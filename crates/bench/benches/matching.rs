@@ -1,0 +1,71 @@
+//! M3 — matching strategies: the paper's naive per-filter scan (Figure 6)
+//! versus the counting index, as the filter population grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use layercake_event::{EventData, TypeRegistry};
+use layercake_filter::{DestId, FilterTable, IndexKind};
+use layercake_workload::{BiblioConfig, BiblioWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup(filters: usize) -> (TypeRegistry, BiblioWorkload, Vec<EventData>) {
+    let mut registry = TypeRegistry::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    let workload = BiblioWorkload::new(
+        BiblioConfig {
+            subscriptions: filters,
+            ..BiblioConfig::default()
+        },
+        &mut registry,
+        &mut rng,
+    );
+    let events: Vec<EventData> = (0..256).map(|_| workload.event(&mut rng)).collect();
+    (registry, workload, events)
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("match_event_against_table");
+    for &n in &[100usize, 1_000, 5_000] {
+        let (registry, workload, events) = setup(n);
+        group.throughput(Throughput::Elements(events.len() as u64));
+        for kind in [IndexKind::Naive, IndexKind::Counting] {
+            let mut table = FilterTable::new(kind);
+            for (i, f) in workload.subscriptions().iter().enumerate() {
+                table.insert(f.clone(), DestId(i as u64));
+            }
+            let class = workload.class();
+            group.bench_with_input(BenchmarkId::new(format!("{kind:?}"), n), &n, |b, _| {
+                let mut out = Vec::new();
+                b.iter(|| {
+                    for e in &events {
+                        table.matches(class, black_box(e), &registry, &mut out);
+                        black_box(&out);
+                    }
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let (_, workload, _) = setup(2_000);
+    let subs = workload.subscriptions().to_vec();
+    let mut group = c.benchmark_group("insert_into_table");
+    for kind in [IndexKind::Naive, IndexKind::Counting] {
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| {
+                let mut table = FilterTable::new(kind);
+                for (i, f) in subs.iter().enumerate() {
+                    table.insert(black_box(f.clone()), DestId(i as u64));
+                }
+                black_box(table.filter_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching, bench_insert);
+criterion_main!(benches);

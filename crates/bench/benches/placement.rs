@@ -1,0 +1,66 @@
+//! M4 — end-to-end subscription placement cost: the Figure 5 walk through
+//! a live hierarchy, including weakening and covering searches at every
+//! visited node.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use layercake_event::{Advertisement, TypeRegistry};
+use layercake_overlay::{OverlayConfig, OverlaySim, PlacementPolicy};
+use layercake_workload::{BiblioConfig, BiblioWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("place_subscriptions");
+    group.sample_size(10);
+    for &subs in &[100usize, 500] {
+        for policy in [PlacementPolicy::Similarity, PlacementPolicy::Random] {
+            group.throughput(Throughput::Elements(subs as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{policy:?}"), subs),
+                &subs,
+                |b, &subs| {
+                    b.iter_batched(
+                        || {
+                            let mut registry = TypeRegistry::new();
+                            let mut rng = StdRng::seed_from_u64(12);
+                            let workload = BiblioWorkload::new(
+                                BiblioConfig {
+                                    subscriptions: subs,
+                                    ..BiblioConfig::default()
+                                },
+                                &mut registry,
+                                &mut rng,
+                            );
+                            let class = workload.class();
+                            let mut sim = OverlaySim::new(
+                                OverlayConfig {
+                                    levels: vec![50, 10, 1],
+                                    placement: policy,
+                                    ..OverlayConfig::default()
+                                },
+                                Arc::new(registry),
+                            );
+                            sim.advertise(Advertisement::new(class, BiblioWorkload::stage_map()));
+                            sim.settle();
+                            (sim, workload)
+                        },
+                        |(mut sim, workload)| {
+                            for f in workload.subscriptions() {
+                                sim.add_subscriber(black_box(f.clone())).expect("valid");
+                                sim.settle();
+                            }
+                            black_box(sim.subscriber_count())
+                        },
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! M2 — automated filter weakening (Section 4.1) and covering merges
+//! (Section 4.2): the operations brokers run at subscription time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use layercake_event::TypeRegistry;
+use layercake_filter::{merge_cover, standardize, weaken_for_parent, weaken_to_stage, Filter};
+use layercake_workload::{BiblioConfig, BiblioWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup() -> (TypeRegistry, BiblioWorkload) {
+    let mut registry = TypeRegistry::new();
+    let mut rng = StdRng::seed_from_u64(6);
+    let workload = BiblioWorkload::new(
+        BiblioConfig {
+            subscriptions: 1_000,
+            ..BiblioConfig::default()
+        },
+        &mut registry,
+        &mut rng,
+    );
+    (registry, workload)
+}
+
+fn bench_weaken(c: &mut Criterion) {
+    let (registry, workload) = setup();
+    let class = registry.class(workload.class()).unwrap().clone();
+    let g = BiblioWorkload::stage_map();
+    let subs = workload.subscriptions();
+
+    let mut group = c.benchmark_group("weaken_to_stage");
+    group.throughput(Throughput::Elements(subs.len() as u64));
+    for stage in 1..=3usize {
+        group.bench_with_input(BenchmarkId::from_parameter(stage), &stage, |b, &stage| {
+            b.iter(|| {
+                for f in subs {
+                    black_box(weaken_to_stage(black_box(f), &class, &g, stage));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_standardize(c: &mut Criterion) {
+    let (registry, workload) = setup();
+    let class = registry.class(workload.class()).unwrap().clone();
+    // Partial filters: standardization has to fill wildcards.
+    let partial: Vec<Filter> = workload
+        .subscriptions()
+        .iter()
+        .map(|f| {
+            let mut p = Filter::for_class(workload.class());
+            for c in f.constraints().iter().take(2) {
+                p = p.with(c.clone());
+            }
+            p
+        })
+        .collect();
+    c.bench_function("standardize_partial_filters", |b| {
+        b.iter(|| {
+            for f in &partial {
+                black_box(standardize(black_box(f), &class).unwrap());
+            }
+        });
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let (registry, workload) = setup();
+    let class = registry.class(workload.class()).unwrap().clone();
+    let g = BiblioWorkload::stage_map();
+    let subs = workload.subscriptions();
+
+    let mut group = c.benchmark_group("merge_cover");
+    for &k in &[2usize, 10, 50] {
+        let groups: Vec<Vec<&Filter>> = subs.chunks(k).map(|c| c.iter().collect()).collect();
+        group.throughput(Throughput::Elements(groups.len() as u64));
+        group.bench_with_input(BenchmarkId::new("merge", k), &k, |b, _| {
+            b.iter(|| {
+                for chunk in &groups {
+                    black_box(merge_cover(black_box(chunk), &registry));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("weaken_for_parent", k), &k, |b, _| {
+            b.iter(|| {
+                for chunk in &groups {
+                    black_box(weaken_for_parent(black_box(chunk), &class, &g, 2, &registry));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weaken, bench_standardize, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Shared experiment harness for regenerating the paper's evaluation.
+//!
+//! Every table and figure in the paper's Section 5 (and the qualitative
+//! claims of Sections 2 and 4) has a binary in `src/bin/` that rebuilds it:
+//!
+//! | id | artifact | binary |
+//! |----|----------|--------|
+//! | E1 | Section 5.3 RLC table | `exp_rlc_table` |
+//! | E2 | Figure 7 matching-rate scatter | `exp_fig7_mr` |
+//! | E3 | Section 2.1/5.1 architecture comparison | `exp_arch_compare` |
+//! | E4 | Section 4.2 placement-policy claim | `exp_placement` |
+//! | E5 | Section 4.4 wildcard-placement claim | `exp_wildcard` |
+//! | E6 | Section 5.3 scalability-in-subscribers claim | `exp_scaling` |
+//!
+//! Micro-benchmarks (Criterion, `cargo bench`) cover the mechanisms:
+//! matching strategies, weakening/merging, covering checks, and the typed
+//! end-to-end path (E7/M1–M4 in `DESIGN.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use layercake_event::{Advertisement, TypeRegistry};
+use layercake_metrics::RunMetrics;
+use layercake_overlay::{OverlayConfig, OverlaySim, SubscriberHandle};
+use layercake_workload::{BiblioConfig, BiblioWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Everything produced by one bibliographic-workload overlay run.
+pub struct BiblioRun {
+    /// Per-node metrics of the run.
+    pub metrics: RunMetrics,
+    /// The simulation, for further inspection.
+    pub sim: OverlaySim,
+    /// The workload that drove it.
+    pub workload: BiblioWorkload,
+    /// Subscriber handles, in creation order.
+    pub handles: Vec<SubscriberHandle>,
+}
+
+/// Runs the paper's Section 5 experiment: build the hierarchy, advertise
+/// the bibliographic class, place the workload's subscriptions one by one,
+/// publish `events` events, and collect metrics.
+#[must_use]
+pub fn run_biblio(overlay: OverlayConfig, biblio: BiblioConfig, events: u64, seed: u64) -> BiblioRun {
+    let mut registry = TypeRegistry::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let workload = BiblioWorkload::new(biblio, &mut registry, &mut rng);
+    let class = workload.class();
+
+    let mut sim = OverlaySim::new(overlay, Arc::new(registry));
+    sim.advertise(Advertisement::new(class, BiblioWorkload::stage_map()));
+    sim.settle();
+
+    let mut handles = Vec::with_capacity(workload.subscriptions().len());
+    for filter in workload.subscriptions() {
+        let h = sim
+            .add_subscriber(filter.clone())
+            .expect("workload subscriptions are schema-valid");
+        sim.settle();
+        handles.push(h);
+    }
+
+    for seq in 0..events {
+        sim.publish(workload.envelope(seq, &mut rng));
+    }
+    sim.settle();
+
+    BiblioRun {
+        metrics: sim.metrics(),
+        sim,
+        workload,
+        handles,
+    }
+}
+
+/// The paper's exact evaluation scale: 1 stage-3 node, 10 stage-2 nodes,
+/// 100 stage-1 nodes, 150 subscribers.
+#[must_use]
+pub fn paper_overlay() -> OverlayConfig {
+    OverlayConfig {
+        levels: vec![100, 10, 1],
+        ..OverlayConfig::default()
+    }
+}
+
+/// The paper's workload scale (150 subscriptions over the 4-attribute
+/// bibliographic space).
+#[must_use]
+pub fn paper_biblio() -> BiblioConfig {
+    BiblioConfig::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_smoke() {
+        let run = run_biblio(
+            OverlayConfig {
+                levels: vec![10, 2, 1],
+                ..OverlayConfig::default()
+            },
+            BiblioConfig {
+                subscriptions: 20,
+                ..BiblioConfig::default()
+            },
+            500,
+            7,
+        );
+        assert_eq!(run.metrics.total_events, 500);
+        assert_eq!(run.metrics.total_subs, 20);
+        assert_eq!(run.handles.len(), 20);
+        // All subscribers got placed.
+        for &h in &run.handles {
+            assert!(run.sim.subscriber(h).host().is_some());
+        }
+        // Subscriber MR tracks 1 − title_scramble.
+        let mr = run.metrics.avg_mr_at(0);
+        assert!((0.7..=1.0).contains(&mr), "subscriber MR {mr}");
+    }
+}

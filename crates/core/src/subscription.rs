@@ -1,0 +1,49 @@
+//! Typed subscription handles.
+
+use std::marker::PhantomData;
+
+use layercake_event::TypedEvent;
+use layercake_overlay::SubscriberHandle;
+
+/// A typed subscription to events of type `E` (and its subtypes).
+///
+/// The handle is `Copy`; pass it back to
+/// [`EventSystem::poll`](crate::EventSystem::poll) to drain the typed
+/// events accepted since the last poll, or exchange it for a channel with
+/// [`EventSystem::channel`](crate::EventSystem::channel).
+pub struct Subscription<E: TypedEvent> {
+    pub(crate) handle: SubscriberHandle,
+    pub(crate) _marker: PhantomData<fn() -> E>,
+}
+
+impl<E: TypedEvent> Subscription<E> {
+    pub(crate) fn new(handle: SubscriberHandle) -> Self {
+        Self {
+            handle,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The underlying overlay subscriber handle.
+    #[must_use]
+    pub fn handle(&self) -> SubscriberHandle {
+        self.handle
+    }
+}
+
+impl<E: TypedEvent> Clone for Subscription<E> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<E: TypedEvent> Copy for Subscription<E> {}
+
+impl<E: TypedEvent> std::fmt::Debug for Subscription<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscription")
+            .field("event", &E::CLASS_NAME)
+            .field("handle", &self.handle)
+            .finish()
+    }
+}

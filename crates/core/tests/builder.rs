@@ -1,0 +1,119 @@
+//! Builder and facade edge cases: registration ordering, advertisement
+//! validation, and API misuse surfacing as typed errors.
+
+use layercake_core::{typed_event, CoreError, EventSystem, StageMap};
+
+typed_event! {
+    pub struct Base: "Base" {
+        key: String,
+    }
+}
+
+typed_event! {
+    pub struct Derived: "Derived" extends Base {
+        key: String,
+        extra: i64,
+    }
+}
+
+#[test]
+fn parent_must_be_registered_first() {
+    // Registering the subtype before its parent fails cleanly.
+    let err = EventSystem::builder().with_event::<Derived>().unwrap_err();
+    assert!(matches!(err, CoreError::Event(_)));
+    // The right order works.
+    let sys = EventSystem::builder()
+        .levels(&[2, 1])
+        .with_event::<Base>()
+        .unwrap()
+        .with_event::<Derived>()
+        .unwrap()
+        .build();
+    let base = sys.class_of::<Base>().unwrap();
+    let derived = sys.class_of::<Derived>().unwrap();
+    assert!(sys.registry().is_subtype(derived, base));
+}
+
+#[test]
+fn double_registration_is_idempotent() {
+    let sys = EventSystem::builder()
+        .with_event::<Base>()
+        .unwrap()
+        .with_event::<Base>()
+        .unwrap()
+        .build();
+    assert!(sys.class_of::<Base>().is_ok());
+}
+
+#[test]
+fn advertise_with_custom_stage_map() {
+    let mut sys = EventSystem::builder()
+        .levels(&[2, 1])
+        .with_event::<Base>()
+        .unwrap()
+        .build();
+    // A map referencing attributes beyond the 1-attribute schema fails.
+    let too_wide = StageMap::from_prefixes(&[3, 1]).unwrap();
+    let err = sys.advertise::<Base>(Some(too_wide)).unwrap_err();
+    assert!(matches!(err, CoreError::Event(_)));
+    // A fitting map succeeds.
+    let ok = StageMap::from_prefixes(&[1, 1]).unwrap();
+    sys.advertise::<Base>(Some(ok)).unwrap();
+    assert!(sys.publish(&Base::new("x".into())).is_ok());
+}
+
+#[test]
+fn stages_reports_hierarchy_depth() {
+    let sys = EventSystem::builder()
+        .levels(&[8, 4, 2, 1])
+        .with_event::<Base>()
+        .unwrap()
+        .build();
+    assert_eq!(sys.stages(), 4);
+}
+
+#[test]
+#[should_panic(expected = "invalid overlay configuration")]
+fn invalid_topology_panics_at_build() {
+    let _ = EventSystem::builder().levels(&[1, 8]).build();
+}
+
+#[test]
+fn subscribe_to_subtype_delivers_only_subtype() {
+    let mut sys = EventSystem::builder()
+        .levels(&[2, 1])
+        .with_event::<Base>()
+        .unwrap()
+        .with_event::<Derived>()
+        .unwrap()
+        .build();
+    sys.advertise::<Base>(None).unwrap();
+    sys.advertise::<Derived>(None).unwrap();
+    let derived_only = sys.subscribe::<Derived>(|f| f).unwrap();
+    let all_base = sys.subscribe::<Base>(|f| f).unwrap();
+    sys.publish(&Base::new("b".into())).unwrap();
+    sys.publish(&Derived::new("d".into(), 7)).unwrap();
+    sys.settle();
+    assert_eq!(sys.poll(&derived_only).unwrap().len(), 1);
+    assert_eq!(sys.poll(&all_base).unwrap().len(), 2);
+}
+
+#[test]
+fn unsubscribed_channel_stops_receiving() {
+    let mut sys = EventSystem::builder()
+        .levels(&[2, 1])
+        .with_event::<Base>()
+        .unwrap()
+        .build();
+    sys.advertise::<Base>(None).unwrap();
+    let sub = sys.subscribe::<Base>(|f| f.eq("key", "k")).unwrap();
+    let rx = sys.channel(&sub);
+    sys.publish(&Base::new("k".into())).unwrap();
+    sys.settle();
+    assert_eq!(rx.try_iter().count(), 1);
+    assert!(sys.unsubscribe_now(&sub));
+    sys.settle();
+    sys.publish(&Base::new("k".into())).unwrap();
+    sys.settle();
+    assert_eq!(rx.try_iter().count(), 0);
+}

@@ -1,0 +1,134 @@
+//! Property tests of the typed pipeline: Proposition 2 end to end (the
+//! extracted meta-data pre-filters soundly for every weakened filter) and
+//! exact typed delivery under random workloads.
+
+use layercake_core::{typed_event, EventSystem, Filter, StageMap, TypedEvent};
+use layercake_event::TypeRegistry;
+use layercake_filter::weaken_to_stage;
+use proptest::prelude::*;
+
+typed_event! {
+    /// A quote with a three-attribute schema so stage maps have room to
+    /// weaken: venue ≻ symbol ≻ price.
+    pub struct Quote: "Quote" {
+        venue: String,
+        symbol: String,
+        price: f64,
+    }
+}
+
+const VENUES: &[&str] = &["NYSE", "NASDAQ", "XETRA"];
+const SYMBOLS: &[&str] = &["AAA", "BBB", "CCC", "DDD"];
+
+fn arb_quote() -> impl Strategy<Value = Quote> {
+    (
+        proptest::sample::select(VENUES),
+        proptest::sample::select(SYMBOLS),
+        0u32..2_000,
+    )
+        .prop_map(|(v, s, cents)| Quote::new(v.to_owned(), s.to_owned(), f64::from(cents) / 100.0))
+}
+
+/// A declarative filter in the Quote schema.
+fn arb_filter() -> impl Strategy<Value = FilterSpec> {
+    (
+        proptest::option::of(proptest::sample::select(VENUES)),
+        proptest::option::of(proptest::sample::select(SYMBOLS)),
+        proptest::option::of(0u32..2_000),
+    )
+        .prop_map(|(venue, symbol, max_cents)| FilterSpec {
+            venue: venue.map(str::to_owned),
+            symbol: symbol.map(str::to_owned),
+            max_price: max_cents.map(|c| f64::from(c) / 100.0),
+        })
+}
+
+#[derive(Debug, Clone)]
+struct FilterSpec {
+    venue: Option<String>,
+    symbol: Option<String>,
+    max_price: Option<f64>,
+}
+
+impl FilterSpec {
+    fn build(&self, f: Filter) -> Filter {
+        let mut f = f;
+        if let Some(v) = &self.venue {
+            f = f.eq("venue", v.clone());
+        }
+        if let Some(s) = &self.symbol {
+            f = f.eq("symbol", s.clone());
+        }
+        if let Some(p) = self.max_price {
+            f = f.lt("price", p);
+        }
+        f
+    }
+
+    fn accepts(&self, q: &Quote) -> bool {
+        self.venue.as_ref().is_none_or(|v| q.venue() == v)
+            && self.symbol.as_ref().is_none_or(|s| q.symbol() == s)
+            && self.max_price.is_none_or(|p| *q.price() < p)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Proposition 2, end to end: for every stage, the weakened filter
+    /// applied to the *extracted meta-data* never rejects an event the
+    /// original typed predicate accepts.
+    #[test]
+    fn extraction_and_weakening_are_jointly_sound(spec in arb_filter(), quotes in proptest::collection::vec(arb_quote(), 1..24)) {
+        let mut registry = TypeRegistry::new();
+        let class_id = registry.register_event::<Quote>().unwrap();
+        let class = registry.class(class_id).unwrap().clone();
+        let g = StageMap::from_prefixes(&[3, 2, 1]).unwrap();
+        let f = spec.build(Filter::for_class(class_id));
+        for q in &quotes {
+            let meta = q.extract();
+            let full = f.matches(class_id, &meta, &registry);
+            prop_assert_eq!(full, spec.accepts(q), "declarative filter agrees with the typed predicate");
+            for stage in 0..4 {
+                let weak = weaken_to_stage(&f, &class, &g, stage);
+                if full {
+                    prop_assert!(
+                        weak.matches(class_id, &meta, &registry),
+                        "stage-{stage} pre-filter dropped an accepted event"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Typed delivery equals the typed oracle for random subscription sets
+    /// and quote streams.
+    #[test]
+    fn typed_delivery_equals_typed_oracle(
+        specs in proptest::collection::vec(arb_filter(), 1..6),
+        quotes in proptest::collection::vec(arb_quote(), 1..30),
+    ) {
+        let mut system = EventSystem::builder()
+            .levels(&[4, 2, 1])
+            .with_event::<Quote>()
+            .unwrap()
+            .build();
+        system.advertise::<Quote>(Some(StageMap::from_prefixes(&[3, 2, 1]).unwrap())).unwrap();
+        let subs: Vec<_> = specs
+            .iter()
+            .map(|spec| {
+                let spec = spec.clone();
+                system.subscribe::<Quote>(move |f| spec.build(f)).unwrap()
+            })
+            .collect();
+        for q in &quotes {
+            system.publish(q).unwrap();
+        }
+        system.settle();
+        for (spec, sub) in specs.iter().zip(&subs) {
+            let got = system.poll(sub).unwrap();
+            let want: Vec<Quote> = quotes.iter().filter(|q| spec.accepts(q)).cloned().collect();
+            prop_assert_eq!(got, want, "typed delivery mismatch for {:?}", spec);
+        }
+    }
+}

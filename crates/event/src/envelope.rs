@@ -1,0 +1,201 @@
+//! Event envelopes: what travels through the broker overlay.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::class::ClassId;
+use crate::data::EventData;
+use crate::error::EventError;
+use crate::typed::TypedEvent;
+
+/// Monotonic sequence number identifying a published event instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EventSeq(pub u64);
+
+/// A published event as seen by the broker network.
+///
+/// An envelope carries two representations of the same event, realizing the
+/// paper's end-to-end safety argument (Section 3.4):
+///
+/// * [`meta`](Envelope::meta) — the extracted name/value meta-data (the
+///   covering event `e'`), which is all intermediate brokers ever inspect;
+/// * [`payload`](Envelope::payload) — the serialized, *opaque* event object,
+///   decoded back into the application type only at the subscriber runtime.
+///
+/// Brokers never deserialize the payload, so encapsulation is preserved and
+/// per-hop filtering cost is independent of the richness of the event type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    class: ClassId,
+    class_name: String,
+    seq: EventSeq,
+    meta: EventData,
+    payload: Bytes,
+}
+
+impl Envelope {
+    /// Encodes a typed event for publication: extracts its meta-data and
+    /// serializes the object for opaque transport.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::PayloadEncode`] if serialization fails.
+    pub fn encode<E: TypedEvent>(class: ClassId, seq: EventSeq, event: &E) -> Result<Self, EventError> {
+        let payload = serde_json::to_vec(event)
+            .map_err(|e| EventError::PayloadEncode(e.to_string()))?;
+        Ok(Self {
+            class,
+            class_name: E::CLASS_NAME.to_owned(),
+            seq,
+            meta: event.extract(),
+            payload: Bytes::from(payload),
+        })
+    }
+
+    /// Creates an envelope from bare meta-data, with an empty payload.
+    ///
+    /// This supports simulation workloads that model only the routing layer
+    /// (the paper's Section 5 setup publishes name/value "dummy" events).
+    #[must_use]
+    pub fn from_meta(class: ClassId, class_name: impl Into<String>, seq: EventSeq, meta: EventData) -> Self {
+        Self {
+            class,
+            class_name: class_name.into(),
+            seq,
+            meta,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Decodes the encapsulated payload into a typed event.
+    ///
+    /// Decoding into a *supertype* of the published class is allowed (the
+    /// extra attributes of the subtype are ignored), which is how
+    /// polymorphic, type-based subscriptions deliver subclass events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::PayloadDecode`] if the payload is empty or not
+    /// a valid encoding of `E`.
+    pub fn decode<E: TypedEvent>(&self) -> Result<E, EventError> {
+        if self.payload.is_empty() {
+            return Err(EventError::PayloadDecode(format!(
+                "event {} of class {:?} carries no payload",
+                self.seq.0, self.class_name
+            )));
+        }
+        serde_json::from_slice(&self.payload)
+            .map_err(|e| EventError::PayloadDecode(e.to_string()))
+    }
+
+    /// The event class id.
+    #[must_use]
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The event class name.
+    #[must_use]
+    pub fn class_name(&self) -> &str {
+        &self.class_name
+    }
+
+    /// The publisher-assigned sequence number.
+    #[must_use]
+    pub fn seq(&self) -> EventSeq {
+        self.seq
+    }
+
+    /// The routing meta-data (covering event).
+    #[must_use]
+    pub fn meta(&self) -> &EventData {
+        &self.meta
+    }
+
+    /// The opaque serialized event object.
+    #[must_use]
+    pub fn payload(&self) -> &Bytes {
+        &self.payload
+    }
+
+    /// Approximate wire size in bytes (meta names/values + payload), used by
+    /// bandwidth accounting in the simulator.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        let meta: usize = self
+            .meta
+            .iter()
+            .map(|(n, v)| n.len() + std::mem::size_of_val(v))
+            .sum();
+        meta + self.payload.len() + self.class_name.len() + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typed_event;
+    use crate::value::AttrValue;
+
+    typed_event! {
+        pub struct Stock: "Stock" {
+            symbol: String,
+            price: f64,
+        }
+    }
+
+    #[test]
+    fn encode_extracts_meta_and_payload() {
+        let s = Stock::new("Foo".to_owned(), 9.0);
+        let env = Envelope::encode(ClassId(1), EventSeq(7), &s).unwrap();
+        assert_eq!(env.class(), ClassId(1));
+        assert_eq!(env.class_name(), "Stock");
+        assert_eq!(env.seq(), EventSeq(7));
+        assert_eq!(env.meta().get("symbol"), Some(&AttrValue::from("Foo")));
+        assert!(!env.payload().is_empty());
+        assert!(env.wire_size() > env.payload().len());
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        let s = Stock::new("Bar".to_owned(), 15.0);
+        let env = Envelope::encode(ClassId(0), EventSeq(0), &s).unwrap();
+        let back: Stock = env.decode().unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.symbol(), "Bar");
+        assert_eq!(*back.price(), 15.0);
+    }
+
+    #[test]
+    fn meta_only_envelope_has_no_payload() {
+        let meta = crate::event_data! { "year" => 2002 };
+        let env = Envelope::from_meta(ClassId(3), "Biblio", EventSeq(1), meta);
+        assert!(env.payload().is_empty());
+        let err = env.decode::<Stock>().unwrap_err();
+        assert!(matches!(err, EventError::PayloadDecode(_)));
+    }
+
+    #[test]
+    fn decode_type_mismatch_reports_error() {
+        typed_event! {
+            pub struct Strict: "Strict" {
+                mandatory: i64,
+            }
+        }
+        assert_eq!(*Strict::new(3).mandatory(), 3);
+        let s = Stock::new("Foo".to_owned(), 1.0);
+        let env = Envelope::encode(ClassId(0), EventSeq(0), &s).unwrap();
+        // `Strict` requires a field the Stock payload lacks.
+        assert!(env.decode::<Strict>().is_err());
+    }
+
+    #[test]
+    fn envelope_serde_round_trip() {
+        let s = Stock::new("Baz".to_owned(), 1.25);
+        let env = Envelope::encode(ClassId(2), EventSeq(9), &s).unwrap();
+        let bytes = serde_json::to_vec(&env).unwrap();
+        let back: Envelope = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(env, back);
+        assert_eq!(back.decode::<Stock>().unwrap(), s);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for the event model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::class::ClassId;
+
+/// Errors produced by the event model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EventError {
+    /// A class with this name is already registered with a different schema.
+    DuplicateClass(String),
+    /// The referenced class id is not registered.
+    UnknownClass(ClassId),
+    /// The referenced class name is not registered.
+    UnknownClassName(String),
+    /// A child class redeclares an inherited attribute with a different kind.
+    ConflictingAttribute {
+        /// Class being registered.
+        class: String,
+        /// Conflicting attribute name.
+        attr: String,
+    },
+    /// A stage map is structurally invalid (see [`crate::StageMap::new`]).
+    InvalidStageMap(String),
+    /// The encapsulated payload could not be decoded into the requested type.
+    PayloadDecode(String),
+    /// The event object could not be encoded for transport.
+    PayloadEncode(String),
+}
+
+impl fmt::Display for EventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventError::DuplicateClass(name) => {
+                write!(f, "event class {name:?} already registered with a different schema")
+            }
+            EventError::UnknownClass(id) => write!(f, "unknown event {id}"),
+            EventError::UnknownClassName(name) => write!(f, "unknown event class {name:?}"),
+            EventError::ConflictingAttribute { class, attr } => write!(
+                f,
+                "class {class:?} redeclares inherited attribute {attr:?} with a different kind"
+            ),
+            EventError::InvalidStageMap(msg) => write!(f, "invalid stage map: {msg}"),
+            EventError::PayloadDecode(msg) => write!(f, "payload decode failed: {msg}"),
+            EventError::PayloadEncode(msg) => write!(f, "payload encode failed: {msg}"),
+        }
+    }
+}
+
+impl Error for EventError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = EventError::UnknownClassName("Stock".to_owned());
+        assert_eq!(e.to_string(), "unknown event class \"Stock\"");
+        let e = EventError::ConflictingAttribute {
+            class: "Sub".to_owned(),
+            attr: "price".to_owned(),
+        };
+        assert!(e.to_string().contains("redeclares"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<EventError>();
+    }
+}

@@ -1,0 +1,77 @@
+//! Typed event model for the `layercake` multi-stage filtering event system.
+//!
+//! This crate implements the *event safety* half of the tradeoff described in
+//! "Event Systems: How to Have Your Cake and Eat It Too" (Eugster, Felber,
+//! Guerraoui, Handurukande, 2002): events are instances of application-defined
+//! types, arranged in a subtype hierarchy, and the event system derives a
+//! *low-level covering representation* (flat name/value meta-data) from the
+//! high-level typed view without breaking encapsulation.
+//!
+//! The main pieces are:
+//!
+//! * [`AttrValue`] / [`ValueKind`] — the scalar values attributes can take.
+//! * [`EventData`] — the flat meta-data extracted from an event object (the
+//!   paper's *covering event* `e'`, Section 3.2/3.4).
+//! * [`EventClass`] / [`TypeRegistry`] — application-defined event types with
+//!   single inheritance; attributes are declared from *most general* to
+//!   *least general* (Section 4.1 "Grouping the attributes").
+//! * [`StageMap`] — the attribute–stage association `G_c` shipped with
+//!   advertisements (Section 4.1).
+//! * [`TypedEvent`] and the [`typed_event!`] macro — the Rust substitute for
+//!   the paper's reflection over `get`-prefixed accessors: a declarative
+//!   derivation of the class name, the attribute schema, and the meta-data
+//!   extraction for a plain struct.
+//! * [`Envelope`] — what actually travels through the broker overlay: the
+//!   extracted meta-data for filtering plus the serialized, *opaque* event
+//!   object for end-to-end typed delivery.
+//!
+//! # Example
+//!
+//! ```
+//! use layercake_event::{typed_event, TypedEvent, TypeRegistry, AttrValue};
+//!
+//! typed_event! {
+//!     /// A stock quote event (paper Example 4).
+//!     pub struct Stock: "Stock" {
+//!         symbol: String,
+//!         price: f64,
+//!     }
+//! }
+//!
+//! let mut registry = TypeRegistry::new();
+//! let class = registry.register_event::<Stock>().unwrap();
+//! let quote = Stock::new("Foo".to_owned(), 9.0);
+//! let meta = quote.extract();
+//! assert_eq!(meta.get("symbol"), Some(&AttrValue::from("Foo")));
+//! assert_eq!(registry.class(class).unwrap().name(), "Stock");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Lets the `typed_event!` macro name this crate by its external path even
+// when expanded inside this crate's own tests and examples.
+extern crate self as layercake_event;
+
+#[doc(hidden)]
+pub mod __private {
+    pub use serde;
+}
+
+mod class;
+mod data;
+mod envelope;
+mod error;
+mod registry;
+mod stage;
+mod typed;
+mod value;
+
+pub use class::{AttributeDecl, ClassId, EventClass};
+pub use data::EventData;
+pub use envelope::{Envelope, EventSeq};
+pub use error::EventError;
+pub use registry::TypeRegistry;
+pub use stage::{Advertisement, StageMap};
+pub use typed::{AttrField, AttrScalar, TypedEvent};
+pub use value::{AttrValue, ValueKind};

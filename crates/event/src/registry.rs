@@ -1,0 +1,286 @@
+//! The type registry: subtype hierarchy over registered event classes.
+
+use std::collections::HashMap;
+
+use crate::class::{AttributeDecl, ClassId, EventClass};
+use crate::error::EventError;
+use crate::typed::TypedEvent;
+
+/// Registry of event classes with single-inheritance subtyping.
+///
+/// The registry is the event system's runtime view of the application's
+/// type hierarchy. It supports the paper's type-based filtering: a
+/// subscription to a class matches events of that class *and all its
+/// subclasses*, so "publishers can easily extend the hierarchy and create
+/// new event (sub)types without requiring subscribers to update their
+/// subscriptions" (Section 2.1).
+///
+/// Registration is idempotent: registering an identical class (same name,
+/// parent and schema) returns the existing id.
+#[derive(Debug, Clone, Default)]
+pub struct TypeRegistry {
+    classes: Vec<EventClass>,
+    by_name: HashMap<String, ClassId>,
+}
+
+impl TypeRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a class by name with an optional parent and its *own*
+    /// (non-inherited) attributes. The resulting schema is the parent's
+    /// schema followed by the class's own attributes, preserving the
+    /// most-general-first ordering across the hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// * [`EventError::UnknownClassName`] if the parent is not registered.
+    /// * [`EventError::ConflictingAttribute`] if an own attribute redeclares
+    ///   an inherited one with a different kind.
+    /// * [`EventError::DuplicateClass`] if the name is taken by a class with
+    ///   a different parent or schema.
+    pub fn register(
+        &mut self,
+        name: &str,
+        parent: Option<&str>,
+        own_attrs: Vec<AttributeDecl>,
+    ) -> Result<ClassId, EventError> {
+        let parent_id = match parent {
+            Some(p) => Some(
+                self.id_of(p)
+                    .ok_or_else(|| EventError::UnknownClassName(p.to_owned()))?,
+            ),
+            None => None,
+        };
+        let mut schema: Vec<AttributeDecl> = match parent_id {
+            Some(pid) => self.classes[pid.0 as usize].attributes().to_vec(),
+            None => Vec::new(),
+        };
+        for attr in own_attrs {
+            match schema.iter().find(|a| a.name() == attr.name()) {
+                Some(existing) if existing.kind() != attr.kind() => {
+                    return Err(EventError::ConflictingAttribute {
+                        class: name.to_owned(),
+                        attr: attr.name().to_owned(),
+                    });
+                }
+                Some(_) => {} // harmless redeclaration with the same kind
+                None => schema.push(attr),
+            }
+        }
+        if let Some(&existing) = self.by_name.get(name) {
+            let c = &self.classes[existing.0 as usize];
+            if c.parent() == parent_id && c.attributes() == schema.as_slice() {
+                return Ok(existing);
+            }
+            return Err(EventError::DuplicateClass(name.to_owned()));
+        }
+        let id = ClassId(u32::try_from(self.classes.len()).expect("class count fits in u32"));
+        self.classes
+            .push(EventClass::new(id, name.to_owned(), parent_id, schema));
+        self.by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Registers the class of a [`TypedEvent`] implementation (and requires
+    /// its declared parent class, if any, to be registered already).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TypeRegistry::register`].
+    pub fn register_event<E: TypedEvent>(&mut self) -> Result<ClassId, EventError> {
+        self.register(E::CLASS_NAME, E::parent_class(), E::attribute_decls())
+    }
+
+    /// Looks up a class by id.
+    #[must_use]
+    pub fn class(&self, id: ClassId) -> Option<&EventClass> {
+        self.classes.get(id.0 as usize)
+    }
+
+    /// Looks up a class by name.
+    #[must_use]
+    pub fn class_by_name(&self, name: &str) -> Option<&EventClass> {
+        self.id_of(name).and_then(|id| self.class(id))
+    }
+
+    /// Looks up a class id by name.
+    #[must_use]
+    pub fn id_of(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Whether `child` is `ancestor` or a (transitive) subclass of it.
+    ///
+    /// Unknown ids are never subtypes of anything.
+    #[must_use]
+    pub fn is_subtype(&self, child: ClassId, ancestor: ClassId) -> bool {
+        let mut cur = Some(child);
+        while let Some(id) = cur {
+            if id == ancestor {
+                return true;
+            }
+            cur = self.class(id).and_then(EventClass::parent);
+        }
+        false
+    }
+
+    /// The nearest common ancestor of two classes, if any. Used when merging
+    /// filters on different classes into a single covering filter.
+    #[must_use]
+    pub fn common_ancestor(&self, a: ClassId, b: ClassId) -> Option<ClassId> {
+        let mut cur = Some(a);
+        while let Some(id) = cur {
+            if self.is_subtype(b, id) {
+                return Some(id);
+            }
+            cur = self.class(id).and_then(EventClass::parent);
+        }
+        None
+    }
+
+    /// Iterates over all registered classes in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &EventClass> {
+        self.classes.iter()
+    }
+
+    /// Number of registered classes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether no classes are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueKind;
+
+    fn decl(name: &str, kind: ValueKind) -> AttributeDecl {
+        AttributeDecl::new(name, kind)
+    }
+
+    fn hierarchy() -> (TypeRegistry, ClassId, ClassId, ClassId) {
+        let mut r = TypeRegistry::new();
+        let base = r
+            .register("Quote", None, vec![decl("symbol", ValueKind::Str)])
+            .unwrap();
+        let stock = r
+            .register("Stock", Some("Quote"), vec![decl("price", ValueKind::Float)])
+            .unwrap();
+        let tech = r
+            .register("TechStock", Some("Stock"), vec![decl("sector", ValueKind::Str)])
+            .unwrap();
+        (r, base, stock, tech)
+    }
+
+    #[test]
+    fn schemas_inherit_parent_attributes_first() {
+        let (r, _, stock, tech) = hierarchy();
+        let names: Vec<_> = r
+            .class(stock)
+            .unwrap()
+            .attributes()
+            .iter()
+            .map(|a| a.name().to_owned())
+            .collect();
+        assert_eq!(names, ["symbol", "price"]);
+        assert_eq!(r.class(tech).unwrap().arity(), 3);
+        assert_eq!(r.class(tech).unwrap().attr_index("symbol"), Some(0));
+    }
+
+    #[test]
+    fn subtype_relation() {
+        let (r, base, stock, tech) = hierarchy();
+        assert!(r.is_subtype(tech, base));
+        assert!(r.is_subtype(tech, stock));
+        assert!(r.is_subtype(stock, stock));
+        assert!(!r.is_subtype(base, stock));
+        assert!(!r.is_subtype(ClassId(99), base));
+    }
+
+    #[test]
+    fn common_ancestor() {
+        let mut r = TypeRegistry::new();
+        let base = r.register("Quote", None, vec![]).unwrap();
+        let a = r.register("Stock", Some("Quote"), vec![]).unwrap();
+        let b = r.register("Bond", Some("Quote"), vec![]).unwrap();
+        let other = r.register("Auction", None, vec![]).unwrap();
+        assert_eq!(r.common_ancestor(a, b), Some(base));
+        assert_eq!(r.common_ancestor(a, a), Some(a));
+        assert_eq!(r.common_ancestor(a, base), Some(base));
+        assert_eq!(r.common_ancestor(a, other), None);
+    }
+
+    #[test]
+    fn idempotent_registration() {
+        let mut r = TypeRegistry::new();
+        let id1 = r
+            .register("Stock", None, vec![decl("symbol", ValueKind::Str)])
+            .unwrap();
+        let id2 = r
+            .register("Stock", None, vec![decl("symbol", ValueKind::Str)])
+            .unwrap();
+        assert_eq!(id1, id2);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_redefinition_rejected() {
+        let mut r = TypeRegistry::new();
+        r.register("Stock", None, vec![decl("symbol", ValueKind::Str)])
+            .unwrap();
+        let err = r
+            .register("Stock", None, vec![decl("symbol", ValueKind::Int)])
+            .unwrap_err();
+        assert!(matches!(err, EventError::DuplicateClass(_)));
+    }
+
+    #[test]
+    fn conflicting_inherited_attribute_rejected() {
+        let mut r = TypeRegistry::new();
+        r.register("Quote", None, vec![decl("symbol", ValueKind::Str)])
+            .unwrap();
+        let err = r
+            .register("Bad", Some("Quote"), vec![decl("symbol", ValueKind::Int)])
+            .unwrap_err();
+        assert!(matches!(err, EventError::ConflictingAttribute { .. }));
+    }
+
+    #[test]
+    fn same_kind_redeclaration_is_harmless() {
+        let mut r = TypeRegistry::new();
+        r.register("Quote", None, vec![decl("symbol", ValueKind::Str)])
+            .unwrap();
+        let id = r
+            .register("Ok", Some("Quote"), vec![decl("symbol", ValueKind::Str)])
+            .unwrap();
+        assert_eq!(r.class(id).unwrap().arity(), 1);
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let mut r = TypeRegistry::new();
+        let err = r.register("Stock", Some("Nope"), vec![]).unwrap_err();
+        assert!(matches!(err, EventError::UnknownClassName(_)));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (r, _, stock, _) = hierarchy();
+        assert_eq!(r.id_of("Stock"), Some(stock));
+        assert_eq!(r.class_by_name("Stock").unwrap().id(), stock);
+        assert_eq!(r.id_of("Missing"), None);
+        assert!(!r.is_empty());
+        assert_eq!(r.iter().count(), 3);
+    }
+}

@@ -1,0 +1,282 @@
+//! Attribute–stage association (`G_c`) and event-class advertisements.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::class::ClassId;
+use crate::error::EventError;
+
+/// The attribute–stage association `G_c` of the paper (Section 4.1).
+///
+/// For a multi-stage filtering scheme with `n + 1` stages, a stage map
+/// records, for every stage `i`, the set `A_i` of attribute schema indices
+/// used in weakened filters at that stage. Stage 0 is the subscriber level
+/// (full filters, all attributes), higher stages use progressively smaller
+/// attribute sets — in the common case, shrinking prefixes of the schema,
+/// since attributes are ordered from most to least general.
+///
+/// Publishers disseminate `G_c` together with advertisements of event class
+/// `c`; broker nodes then weaken incoming subscription filters automatically
+/// according to their own stage.
+///
+/// # Example (paper Example 6)
+///
+/// ```
+/// use layercake_event::StageMap;
+/// // G_Auction: stage 0 uses attributes 1..=5, stage 1 uses 1..=4,
+/// // stage 2 uses 1..=3, stage 3 uses only attribute 1 (0-indexed here).
+/// let g = StageMap::from_prefixes(&[5, 4, 3, 1]).unwrap();
+/// assert_eq!(g.stages(), 4);
+/// assert!(g.uses_attr(1, 3));
+/// assert!(!g.uses_attr(2, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageMap {
+    /// `sets[i]` = sorted attribute indices used at stage `i`.
+    sets: Vec<Vec<usize>>,
+}
+
+impl StageMap {
+    /// Creates a stage map from explicit per-stage attribute index sets.
+    ///
+    /// `sets[0]` is the stage-0 (subscriber level) set and must be the
+    /// largest; each subsequent stage must use a subset of the previous
+    /// stage's attributes (weakening only ever *removes* constraints).
+    ///
+    /// Attribute sets may be *empty* at stages above 0: such stages filter
+    /// on the event type alone, like the paper's `i1 = (class, "Stock", =)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::InvalidStageMap`] if `sets` is empty, the
+    /// stage-0 set is empty, or `sets[i + 1]` is not a subset of `sets[i]`.
+    pub fn new(sets: Vec<Vec<usize>>) -> Result<Self, EventError> {
+        if sets.is_empty() {
+            return Err(EventError::InvalidStageMap("no stages".to_owned()));
+        }
+        let mut normalized: Vec<Vec<usize>> = Vec::with_capacity(sets.len());
+        for (i, mut set) in sets.into_iter().enumerate() {
+            set.sort_unstable();
+            set.dedup();
+            if set.is_empty() && i == 0 {
+                return Err(EventError::InvalidStageMap(
+                    "stage 0 must use at least one attribute".to_owned(),
+                ));
+            }
+            if let Some(prev) = normalized.last() {
+                if !set.iter().all(|a| prev.contains(a)) {
+                    return Err(EventError::InvalidStageMap(format!(
+                        "stage {i} attribute set is not a subset of stage {}",
+                        i - 1
+                    )));
+                }
+            }
+            normalized.push(set);
+        }
+        Ok(Self { sets: normalized })
+    }
+
+    /// Creates a stage map where stage `i` uses the first `prefixes[i]`
+    /// schema attributes — the common case when attributes are ordered by
+    /// generality (most general first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::InvalidStageMap`] if `prefixes` is empty, the
+    /// first prefix is zero, or the prefix lengths are not non-increasing.
+    /// A zero prefix above stage 0 denotes type-only filtering.
+    pub fn from_prefixes(prefixes: &[usize]) -> Result<Self, EventError> {
+        let sets = prefixes.iter().map(|&len| (0..len).collect()).collect();
+        Self::new(sets)
+    }
+
+    /// A uniform map for `stages` stages over an `arity`-attribute schema:
+    /// each stage above 0 drops one more least-general attribute, stopping
+    /// at a single attribute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::InvalidStageMap`] if `stages == 0` or
+    /// `arity == 0`.
+    pub fn stepped(arity: usize, stages: usize) -> Result<Self, EventError> {
+        if arity == 0 {
+            return Err(EventError::InvalidStageMap("zero-arity schema".to_owned()));
+        }
+        let prefixes: Vec<usize> = (0..stages).map(|s| arity.saturating_sub(s).max(1)).collect();
+        Self::from_prefixes(&prefixes)
+    }
+
+    /// Number of stages covered by this map.
+    #[must_use]
+    pub fn stages(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The sorted attribute indices used at `stage`. Stages beyond the map's
+    /// range fall back to the highest (weakest) stage set, so deep
+    /// hierarchies can reuse a shallow map.
+    #[must_use]
+    pub fn attrs_at(&self, stage: usize) -> &[usize] {
+        let i = stage.min(self.sets.len() - 1);
+        &self.sets[i]
+    }
+
+    /// Whether the attribute at schema index `attr_idx` is used at `stage`.
+    #[must_use]
+    pub fn uses_attr(&self, stage: usize, attr_idx: usize) -> bool {
+        self.attrs_at(stage).contains(&attr_idx)
+    }
+
+    /// The *highest* (weakest) stage at which the attribute is still used —
+    /// the paper's "top most stage j at which `Attr_mg` is used"
+    /// (HANDLE-WILDCARD-SUBS). Returns `None` if no stage uses it.
+    #[must_use]
+    pub fn top_stage_using(&self, attr_idx: usize) -> Option<usize> {
+        (0..self.sets.len())
+            .rev()
+            .find(|&s| self.sets[s].contains(&attr_idx))
+    }
+
+    /// Checks that every referenced attribute index is within `arity`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::InvalidStageMap`] if any index is out of range.
+    pub fn check_arity(&self, arity: usize) -> Result<(), EventError> {
+        for (i, set) in self.sets.iter().enumerate() {
+            if let Some(&bad) = set.iter().find(|&&a| a >= arity) {
+                return Err(EventError::InvalidStageMap(format!(
+                    "stage {i} references attribute index {bad} but schema arity is {arity}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for StageMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, set) in self.sets.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "<Stage-{i}:")?;
+            for a in set {
+                write!(f, " {a}")?;
+            }
+            f.write_str(">")?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// An event-class advertisement: the class id plus its stage map, as
+/// disseminated by publishers ahead of publishing (paper Section 4.1:
+/// "`G_k` is sent by producers together with advertisements of event
+/// class `k`").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Advertisement {
+    /// Advertised event class.
+    pub class: ClassId,
+    /// Attribute–stage association for this class.
+    pub stage_map: StageMap,
+}
+
+impl Advertisement {
+    /// Creates an advertisement.
+    #[must_use]
+    pub fn new(class: ClassId, stage_map: StageMap) -> Self {
+        Self { class, stage_map }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_6_auction_map() {
+        // Paper Example 6, shifted to 0-indexing.
+        let g = StageMap::from_prefixes(&[5, 4, 3, 1]).unwrap();
+        assert_eq!(g.stages(), 4);
+        assert_eq!(g.attrs_at(0), &[0, 1, 2, 3, 4]);
+        assert_eq!(g.attrs_at(1), &[0, 1, 2, 3]);
+        assert_eq!(g.attrs_at(2), &[0, 1, 2]);
+        assert_eq!(g.attrs_at(3), &[0]);
+    }
+
+    #[test]
+    fn deep_stage_falls_back_to_weakest() {
+        let g = StageMap::from_prefixes(&[3, 1]).unwrap();
+        assert_eq!(g.attrs_at(7), &[0]);
+    }
+
+    #[test]
+    fn rejects_empty_and_non_monotone() {
+        assert!(StageMap::new(vec![]).is_err());
+        assert!(StageMap::new(vec![vec![], vec![]]).is_err());
+        assert!(StageMap::new(vec![vec![0, 1], vec![2]]).is_err());
+        assert!(StageMap::from_prefixes(&[2, 3]).is_err());
+        assert!(StageMap::from_prefixes(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn empty_high_stages_mean_type_only_filtering() {
+        let g = StageMap::from_prefixes(&[2, 1, 0]).unwrap();
+        assert_eq!(g.attrs_at(2), &[] as &[usize]);
+        assert_eq!(g.attrs_at(7), &[] as &[usize]);
+        assert!(!g.uses_attr(2, 0));
+        assert_eq!(g.top_stage_using(0), Some(1));
+        let g = StageMap::new(vec![vec![0, 1], vec![]]).unwrap();
+        assert_eq!(g.attrs_at(1), &[] as &[usize]);
+    }
+
+    #[test]
+    fn non_prefix_sets_are_allowed() {
+        let g = StageMap::new(vec![vec![0, 1, 2], vec![0, 2], vec![2]]).unwrap();
+        assert!(g.uses_attr(1, 2));
+        assert!(!g.uses_attr(1, 1));
+        assert_eq!(g.attrs_at(2), &[2]);
+    }
+
+    #[test]
+    fn top_stage_using_finds_weakest_stage() {
+        let g = StageMap::from_prefixes(&[4, 3, 2, 1]).unwrap();
+        assert_eq!(g.top_stage_using(0), Some(3));
+        assert_eq!(g.top_stage_using(2), Some(1));
+        assert_eq!(g.top_stage_using(3), Some(0));
+        assert_eq!(g.top_stage_using(9), None);
+    }
+
+    #[test]
+    fn stepped_map() {
+        let g = StageMap::stepped(4, 4).unwrap();
+        assert_eq!(g.attrs_at(0).len(), 4);
+        assert_eq!(g.attrs_at(3).len(), 1);
+        let g = StageMap::stepped(2, 5).unwrap();
+        assert_eq!(g.attrs_at(4).len(), 1);
+        assert!(StageMap::stepped(0, 3).is_err());
+    }
+
+    #[test]
+    fn check_arity_bounds() {
+        let g = StageMap::from_prefixes(&[3, 1]).unwrap();
+        assert!(g.check_arity(3).is_ok());
+        assert!(g.check_arity(2).is_err());
+    }
+
+    #[test]
+    fn dedups_and_sorts() {
+        let g = StageMap::new(vec![vec![2, 0, 1, 1], vec![1, 1]]).unwrap();
+        assert_eq!(g.attrs_at(0), &[0, 1, 2]);
+        assert_eq!(g.attrs_at(1), &[1]);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let g = StageMap::from_prefixes(&[2, 1]).unwrap();
+        assert_eq!(g.to_string(), "{<Stage-0: 0 1>, <Stage-1: 0>}");
+    }
+}

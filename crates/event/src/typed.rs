@@ -1,0 +1,367 @@
+//! The [`TypedEvent`] trait and the [`typed_event!`] reflection macro.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::class::AttributeDecl;
+use crate::data::EventData;
+use crate::value::{AttrValue, ValueKind};
+
+/// A scalar type that can serve as an event attribute.
+///
+/// This is the bridge the [`typed_event!`](crate::typed_event) macro uses to map Rust field
+/// types onto the event model's [`ValueKind`]s; it plays the role of the
+/// paper's reflective inspection of accessor return types.
+pub trait AttrScalar {
+    /// The attribute kind this Rust type maps to.
+    const KIND: ValueKind;
+
+    /// Extracts the attribute value (cloning where needed).
+    fn to_attr_value(&self) -> AttrValue;
+}
+
+macro_rules! impl_attr_scalar {
+    ($($ty:ty => $kind:expr, $conv:expr;)*) => {
+        $(
+            impl AttrScalar for $ty {
+                const KIND: ValueKind = $kind;
+                fn to_attr_value(&self) -> AttrValue {
+                    #[allow(clippy::redundant_closure_call)]
+                    ($conv)(self)
+                }
+            }
+        )*
+    };
+}
+
+impl_attr_scalar! {
+    i64 => ValueKind::Int, |v: &i64| AttrValue::Int(*v);
+    i32 => ValueKind::Int, |v: &i32| AttrValue::Int(i64::from(*v));
+    u32 => ValueKind::Int, |v: &u32| AttrValue::Int(i64::from(*v));
+    u16 => ValueKind::Int, |v: &u16| AttrValue::Int(i64::from(*v));
+    f64 => ValueKind::Float, |v: &f64| AttrValue::from(*v);
+    f32 => ValueKind::Float, |v: &f32| AttrValue::from(*v);
+    bool => ValueKind::Bool, |v: &bool| AttrValue::Bool(*v);
+    String => ValueKind::Str, |v: &String| AttrValue::Str(v.clone());
+}
+
+/// A field type usable in a [`typed_event!`](crate::typed_event) declaration: either a scalar
+/// attribute or an *optional* one.
+///
+/// `Option<T>` fields model events that may lack an attribute — like the
+/// paper's `e1' = (symbol, "Foo") (price, 10.0)` missing `volume`
+/// (Example 3). A `None` field is simply absent from the extracted
+/// meta-data, so `(attr, ∃)` filters select exactly the events that carry
+/// it.
+pub trait AttrField {
+    /// The attribute kind this field maps to.
+    const KIND: ValueKind;
+
+    /// Appends the attribute to the meta-data, if present.
+    fn append_to(&self, name: &str, data: &mut EventData);
+}
+
+impl<T: AttrScalar> AttrField for T {
+    const KIND: ValueKind = T::KIND;
+
+    fn append_to(&self, name: &str, data: &mut EventData) {
+        data.insert(name, self.to_attr_value());
+    }
+}
+
+impl<T: AttrScalar> AttrField for Option<T> {
+    const KIND: ValueKind = T::KIND;
+
+    fn append_to(&self, name: &str, data: &mut EventData) {
+        if let Some(v) = self {
+            data.insert(name, v.to_attr_value());
+        }
+    }
+}
+
+/// An application-defined event type.
+///
+/// Implementations are normally derived with the [`typed_event!`](crate::typed_event) macro,
+/// which mirrors the paper's convention (Section 3.4): "for each attribute
+/// (used for filtering), the type offers an access method (used for
+/// expressing filters)". The event system uses this trait to infer the
+/// low-level meta-data representation — the covering event — from the
+/// high-level typed view, without exposing the type's representation to
+/// brokers.
+pub trait TypedEvent: Serialize + DeserializeOwned + Send + Sync + 'static {
+    /// The event class name, e.g. `"Stock"`.
+    const CLASS_NAME: &'static str;
+
+    /// The attribute schema contributed by this type, ordered from most
+    /// general to least general. Attributes inherited from
+    /// [`parent_class`](TypedEvent::parent_class) may be repeated here with
+    /// the same kind; the registry deduplicates them.
+    fn attribute_decls() -> Vec<AttributeDecl>;
+
+    /// Name of the parent event class, if this type extends one.
+    fn parent_class() -> Option<&'static str> {
+        None
+    }
+
+    /// Extracts the flat meta-data used for broker-side filtering — the
+    /// paper's event transformation `e → e'` (Proposition 2).
+    fn extract(&self) -> EventData;
+}
+
+/// Declares an event type: a struct with private fields, getters, a `new`
+/// constructor, and a derived [`TypedEvent`] implementation.
+///
+/// This macro is the Rust substitute for the paper's runtime reflection over
+/// `get`-prefixed accessors: from a single declaration it derives the event
+/// class name, the attribute schema (fields in declaration order = most
+/// general first), the meta-data extraction, and serde-based encapsulated
+/// transport.
+///
+/// # Examples
+///
+/// ```
+/// use layercake_event::{typed_event, TypedEvent};
+///
+/// typed_event! {
+///     /// A stock quote (paper Example 4).
+///     pub struct Stock: "Stock" {
+///         symbol: String,
+///         price: f64,
+///     }
+/// }
+///
+/// typed_event! {
+///     /// A subtype carrying an extra attribute.
+///     pub struct TechStock: "TechStock" extends Stock {
+///         symbol: String,
+///         price: f64,
+///         sector: String,
+///     }
+/// }
+///
+/// let s = Stock::new("Foo".to_owned(), 9.0);
+/// assert_eq!(s.symbol(), "Foo");
+/// assert_eq!(Stock::CLASS_NAME, "Stock");
+/// assert_eq!(TechStock::parent_class(), Some("Stock"));
+/// ```
+#[macro_export]
+macro_rules! typed_event {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident : $class:literal $(extends $parent:ty)? {
+            $( $field:ident : $fty:ty ),* $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(
+            Debug,
+            Clone,
+            PartialEq,
+            $crate::__private::serde::Serialize,
+            $crate::__private::serde::Deserialize,
+        )]
+        #[serde(crate = "layercake_event::__private::serde")]
+        $vis struct $name {
+            $( $field: $fty, )*
+        }
+
+        impl $name {
+            /// Creates a new event instance.
+            #[must_use]
+            $vis fn new($( $field: $fty ),*) -> Self {
+                Self { $( $field ),* }
+            }
+
+            $(
+                /// Accessor for the correspondingly named attribute.
+                #[must_use]
+                $vis fn $field(&self) -> &$fty {
+                    &self.$field
+                }
+            )*
+        }
+
+        impl $crate::TypedEvent for $name {
+            const CLASS_NAME: &'static str = $class;
+
+            fn attribute_decls() -> ::std::vec::Vec<$crate::AttributeDecl> {
+                vec![
+                    $(
+                        $crate::AttributeDecl::new(
+                            stringify!($field),
+                            <$fty as $crate::AttrField>::KIND,
+                        ),
+                    )*
+                ]
+            }
+
+            fn parent_class() -> ::std::option::Option<&'static str> {
+                $crate::typed_event!(@parent $($parent)?)
+            }
+
+            fn extract(&self) -> $crate::EventData {
+                let mut data = $crate::EventData::with_capacity(
+                    0usize $( + { let _ = stringify!($field); 1 } )*
+                );
+                $(
+                    $crate::AttrField::append_to(
+                        &self.$field,
+                        stringify!($field),
+                        &mut data,
+                    );
+                )*
+                data
+            }
+        }
+    };
+
+    (@parent) => { ::std::option::Option::None };
+    (@parent $parent:ty) => {
+        ::std::option::Option::Some(<$parent as $crate::TypedEvent>::CLASS_NAME)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::TypeRegistry;
+
+    typed_event! {
+        /// Paper Example 4.
+        pub struct Stock: "Stock" {
+            symbol: String,
+            price: f64,
+        }
+    }
+
+    typed_event! {
+        struct Auction: "Auction" {
+            product: String,
+            kind: String,
+            capacity: i64,
+            price: f64,
+        }
+    }
+
+    typed_event! {
+        pub struct TechStock: "TechStock" extends Stock {
+            symbol: String,
+            price: f64,
+            sector: String,
+        }
+    }
+
+    #[test]
+    fn class_name_and_schema() {
+        assert_eq!(Stock::CLASS_NAME, "Stock");
+        let decls = Stock::attribute_decls();
+        assert_eq!(decls.len(), 2);
+        assert_eq!(decls[0].name(), "symbol");
+        assert_eq!(decls[0].kind(), ValueKind::Str);
+        assert_eq!(decls[1].kind(), ValueKind::Float);
+        assert_eq!(Stock::parent_class(), None);
+        assert_eq!(TechStock::parent_class(), Some("Stock"));
+    }
+
+    #[test]
+    fn extraction_follows_declaration_order() {
+        let s = Stock::new("Foo".to_owned(), 9.0);
+        let meta = s.extract();
+        assert_eq!(meta.to_string(), "(symbol, \"Foo\") (price, 9)");
+    }
+
+    #[test]
+    fn getters_and_constructor() {
+        let a = Auction::new("Vehicle".to_owned(), "Car".to_owned(), 2000, 10_000.0);
+        assert_eq!(a.product(), "Vehicle");
+        assert_eq!(a.kind(), "Car");
+        assert_eq!(*a.capacity(), 2000);
+        assert_eq!(*a.price(), 10_000.0);
+        let t = TechStock::new("N".to_owned(), 1.0, "ai".to_owned());
+        assert_eq!(t.symbol(), "N");
+        assert_eq!(*t.price(), 1.0);
+        assert_eq!(t.sector(), "ai");
+    }
+
+    #[test]
+    fn registry_integration_with_inheritance() {
+        let mut r = TypeRegistry::new();
+        let stock = r.register_event::<Stock>().unwrap();
+        let tech = r.register_event::<TechStock>().unwrap();
+        assert!(r.is_subtype(tech, stock));
+        // Inherited attributes deduplicated, own attribute appended.
+        assert_eq!(r.class(tech).unwrap().arity(), 3);
+        assert_eq!(r.class(tech).unwrap().attr_index("sector"), Some(2));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_encapsulation() {
+        let s = Stock::new("Bar".to_owned(), 15.0);
+        let bytes = serde_json::to_vec(&s).unwrap();
+        let back: Stock = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn subtype_payload_decodes_into_supertype_view() {
+        // Polymorphic delivery: a subscriber typed at `Stock` can decode a
+        // `TechStock` payload — the extra attribute is simply ignored.
+        let t = TechStock::new("Neo".to_owned(), 42.0, "ai".to_owned());
+        let bytes = serde_json::to_vec(&t).unwrap();
+        let as_stock: Stock = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(as_stock.symbol(), "Neo");
+        assert_eq!(*as_stock.price(), 42.0);
+    }
+
+    typed_event! {
+        /// Optional attributes: `volume` may be absent (paper Example 3).
+        pub struct Trade: "Trade" {
+            symbol: String,
+            price: f64,
+            volume: Option<i64>,
+        }
+    }
+
+    #[test]
+    fn optional_fields_extract_only_when_present() {
+        let with = Trade::new("Foo".to_owned(), 10.0, Some(32_300));
+        let meta = with.extract();
+        assert_eq!(meta.len(), 3);
+        assert_eq!(meta.get("volume"), Some(&AttrValue::Int(32_300)));
+
+        let without = Trade::new("Foo".to_owned(), 10.0, None);
+        let meta = without.extract();
+        assert_eq!(meta.len(), 2);
+        assert!(!meta.contains("volume"));
+        // Schema still declares the attribute (so filters can reference it).
+        assert_eq!(Trade::attribute_decls().len(), 3);
+        assert_eq!(Trade::attribute_decls()[2].kind(), ValueKind::Int);
+    }
+
+    #[test]
+    fn optional_fields_round_trip_through_serde() {
+        for vol in [Some(5i64), None] {
+            let t = Trade::new("X".to_owned(), 1.0, vol);
+            let bytes = serde_json::to_vec(&t).unwrap();
+            let back: Trade = serde_json::from_slice(&bytes).unwrap();
+            assert_eq!(back, t);
+        }
+        // A payload missing the optional field entirely decodes to None —
+        // this is what lets supertype views drop subtype attributes.
+        let json = br#"{"symbol":"Y","price":2.0}"#;
+        let t: Trade = serde_json::from_slice(json).unwrap();
+        assert_eq!(t.symbol(), "Y");
+        assert_eq!(*t.price(), 2.0);
+        assert_eq!(*t.volume(), None);
+    }
+
+    #[test]
+    fn attr_scalar_kinds() {
+        assert_eq!(<i64 as AttrScalar>::KIND, ValueKind::Int);
+        assert_eq!(<f32 as AttrScalar>::KIND, ValueKind::Float);
+        assert_eq!(<String as AttrScalar>::KIND, ValueKind::Str);
+        assert_eq!(<bool as AttrScalar>::KIND, ValueKind::Bool);
+        assert_eq!(42i32.to_attr_value(), AttrValue::Int(42));
+        assert_eq!(2.5f64.to_attr_value(), AttrValue::Float(2.5));
+    }
+}

@@ -1,0 +1,319 @@
+//! Scalar attribute values and their comparison semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The kind (dynamic type) of an [`AttrValue`].
+///
+/// Kinds matter for two reasons: the schema of an event class declares the
+/// kind of each attribute, and cross-kind comparisons are only defined
+/// between the two numeric kinds (`Int` and `Float`), mirroring the loose
+/// numeric coercion of the paper's name/value tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ValueKind {
+    /// Signed 64-bit integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueKind::Int => "int",
+            ValueKind::Float => "float",
+            ValueKind::Str => "str",
+            ValueKind::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+impl ValueKind {
+    /// Whether two kinds are comparable under the ordering relations
+    /// (`<`, `<=`, `>`, `>=`): same kind, or both numeric.
+    #[must_use]
+    pub fn comparable_with(self, other: ValueKind) -> bool {
+        self == other || (self.is_numeric() && other.is_numeric())
+    }
+
+    /// Whether this kind is `Int` or `Float`.
+    #[must_use]
+    pub fn is_numeric(self) -> bool {
+        matches!(self, ValueKind::Int | ValueKind::Float)
+    }
+}
+
+/// A scalar value carried by an event attribute or a filter constraint.
+///
+/// Values correspond to the second component of the paper's name/value
+/// tuples, e.g. `(price, 10.0)`. Ordering comparisons are defined between
+/// values of the same kind (lexicographic for strings, `false < true` for
+/// booleans) and across the numeric kinds via `f64` coercion.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// Signed 64-bit integer.
+    Int(i64),
+    /// 64-bit IEEE float. NaN is rejected at construction via [`AttrValue::float`].
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// Creates a float value, rejecting NaN (which would break the covering
+    /// relations' transitivity).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `v` is NaN.
+    #[must_use]
+    pub fn float(v: f64) -> Option<Self> {
+        if v.is_nan() {
+            None
+        } else {
+            Some(AttrValue::Float(v))
+        }
+    }
+
+    /// The dynamic kind of this value.
+    #[must_use]
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            AttrValue::Int(_) => ValueKind::Int,
+            AttrValue::Float(_) => ValueKind::Float,
+            AttrValue::Str(_) => ValueKind::Str,
+            AttrValue::Bool(_) => ValueKind::Bool,
+        }
+    }
+
+    /// Numeric view of this value, if it is `Int` or `Float`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AttrValue::Int(i) => Some(*i as f64),
+            AttrValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view of this value, if it is `Str`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view of this value, if it is `Bool`.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Compares two values under the event system's ordering semantics.
+    ///
+    /// Returns `None` when the values are not comparable (e.g. a string
+    /// against a number). Numeric kinds compare through `f64`.
+    #[must_use]
+    pub fn compare(&self, other: &AttrValue) -> Option<Ordering> {
+        match (self, other) {
+            (AttrValue::Str(a), AttrValue::Str(b)) => Some(a.cmp(b)),
+            (AttrValue::Bool(a), AttrValue::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                // NaN is excluded by construction, so partial_cmp is total here.
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// Equality under the comparison semantics (so `Int(5)` equals
+    /// `Float(5.0)`), as opposed to structural equality.
+    #[must_use]
+    pub fn value_eq(&self, other: &AttrValue) -> bool {
+        self.compare(other) == Some(Ordering::Equal)
+    }
+}
+
+impl PartialEq for AttrValue {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (AttrValue::Int(a), AttrValue::Int(b)) => a == b,
+            (AttrValue::Float(a), AttrValue::Float(b)) => a == b,
+            (AttrValue::Str(a), AttrValue::Str(b)) => a == b,
+            (AttrValue::Bool(a), AttrValue::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+// Lawful because NaN is excluded by construction (`AttrValue::float` rejects
+// it, `From<f64>` maps it to 0.0), so float equality is reflexive here.
+impl Eq for AttrValue {}
+
+impl std::hash::Hash for AttrValue {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            AttrValue::Int(i) => i.hash(state),
+            AttrValue::Float(f) => f.to_bits().hash(state),
+            AttrValue::Str(s) => s.hash(state),
+            AttrValue::Bool(b) => b.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Float(x) => write!(f, "{x}"),
+            AttrValue::Str(s) => write!(f, "{s:?}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<i32> for AttrValue {
+    fn from(v: i32) -> Self {
+        AttrValue::Int(i64::from(v))
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::Int(i64::from(v))
+    }
+}
+
+impl From<f64> for AttrValue {
+    /// Converts a float; NaN is mapped to `0.0` to preserve the no-NaN
+    /// invariant (use [`AttrValue::float`] to detect NaN explicitly).
+    fn from(v: f64) -> Self {
+        AttrValue::Float(if v.is_nan() { 0.0 } else { v })
+    }
+}
+
+impl From<f32> for AttrValue {
+    fn from(v: f32) -> Self {
+        AttrValue::from(f64::from(v))
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_reporting() {
+        assert_eq!(AttrValue::Int(1).kind(), ValueKind::Int);
+        assert_eq!(AttrValue::Float(1.5).kind(), ValueKind::Float);
+        assert_eq!(AttrValue::from("x").kind(), ValueKind::Str);
+        assert_eq!(AttrValue::Bool(true).kind(), ValueKind::Bool);
+    }
+
+    #[test]
+    fn numeric_cross_kind_comparison() {
+        let a = AttrValue::Int(5);
+        let b = AttrValue::Float(5.0);
+        assert_eq!(a.compare(&b), Some(Ordering::Equal));
+        assert!(a.value_eq(&b));
+        assert_eq!(AttrValue::Int(4).compare(&b), Some(Ordering::Less));
+        assert_eq!(AttrValue::Float(6.5).compare(&a), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn structural_eq_is_kind_sensitive() {
+        assert_ne!(AttrValue::Int(5), AttrValue::Float(5.0));
+        assert_eq!(AttrValue::Int(5), AttrValue::Int(5));
+    }
+
+    #[test]
+    fn strings_compare_lexicographically() {
+        let a = AttrValue::from("abc");
+        let b = AttrValue::from("abd");
+        assert_eq!(a.compare(&b), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn incomparable_kinds() {
+        assert_eq!(AttrValue::from("5").compare(&AttrValue::Int(5)), None);
+        assert_eq!(AttrValue::Bool(true).compare(&AttrValue::Int(1)), None);
+    }
+
+    #[test]
+    fn bools_order_false_before_true() {
+        assert_eq!(
+            AttrValue::Bool(false).compare(&AttrValue::Bool(true)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn nan_is_rejected_or_mapped() {
+        assert!(AttrValue::float(f64::NAN).is_none());
+        assert_eq!(AttrValue::from(f64::NAN), AttrValue::Float(0.0));
+        assert!(AttrValue::float(1.25).is_some());
+    }
+
+    #[test]
+    fn comparable_with_matrix() {
+        assert!(ValueKind::Int.comparable_with(ValueKind::Float));
+        assert!(ValueKind::Str.comparable_with(ValueKind::Str));
+        assert!(!ValueKind::Str.comparable_with(ValueKind::Int));
+        assert!(!ValueKind::Bool.comparable_with(ValueKind::Float));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = AttrValue::from("Foo");
+        let s = serde_json::to_string(&v).unwrap();
+        let back: AttrValue = serde_json::from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AttrValue::Int(7).to_string(), "7");
+        assert_eq!(AttrValue::from("x").to_string(), "\"x\"");
+        assert_eq!(AttrValue::Bool(false).to_string(), "false");
+    }
+}

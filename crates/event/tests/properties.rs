@@ -1,0 +1,190 @@
+//! Property-based tests for the event model: subtype relation laws, stage
+//! map invariants, event-data container behaviour, and envelope round
+//! trips.
+
+use layercake_event::{
+    typed_event, AttrValue, AttributeDecl, ClassId, Envelope, EventData, EventSeq, StageMap,
+    TypeRegistry, TypedEvent, ValueKind,
+};
+use proptest::prelude::*;
+
+/// Builds a random single-inheritance hierarchy: class `i`'s parent is
+/// drawn from classes `0..i` (or none).
+fn arb_hierarchy() -> impl Strategy<Value = Vec<Option<usize>>> {
+    proptest::collection::vec(proptest::option::of(0usize..8), 1..8).prop_map(|parents| {
+        parents
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| p.filter(|&p| p < i))
+            .collect()
+    })
+}
+
+fn build_registry(parents: &[Option<usize>]) -> TypeRegistry {
+    let mut r = TypeRegistry::new();
+    for (i, parent) in parents.iter().enumerate() {
+        let parent_name = parent.map(|p| format!("C{p}"));
+        r.register(
+            &format!("C{i}"),
+            parent_name.as_deref(),
+            vec![AttributeDecl::new(format!("a{i}"), ValueKind::Int)],
+        )
+        .expect("hierarchy registration");
+    }
+    r
+}
+
+proptest! {
+    /// `is_subtype` is a partial order: reflexive, transitive, and
+    /// antisymmetric on random hierarchies.
+    #[test]
+    fn subtyping_is_a_partial_order(parents in arb_hierarchy()) {
+        let r = build_registry(&parents);
+        let n = parents.len() as u32;
+        for a in 0..n {
+            prop_assert!(r.is_subtype(ClassId(a), ClassId(a)));
+            for b in 0..n {
+                for c in 0..n {
+                    if r.is_subtype(ClassId(a), ClassId(b)) && r.is_subtype(ClassId(b), ClassId(c)) {
+                        prop_assert!(r.is_subtype(ClassId(a), ClassId(c)));
+                    }
+                }
+                if a != b {
+                    prop_assert!(
+                        !(r.is_subtype(ClassId(a), ClassId(b)) && r.is_subtype(ClassId(b), ClassId(a))),
+                        "antisymmetry violated between C{a} and C{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `common_ancestor` returns an ancestor of both arguments, and the two
+    /// orders agree.
+    #[test]
+    fn common_ancestor_laws(parents in arb_hierarchy()) {
+        let r = build_registry(&parents);
+        let n = parents.len() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                let ab = r.common_ancestor(ClassId(a), ClassId(b));
+                if let Some(anc) = ab {
+                    prop_assert!(r.is_subtype(ClassId(a), anc));
+                    prop_assert!(r.is_subtype(ClassId(b), anc));
+                }
+                // Symmetric existence (the ancestor itself may differ only
+                // if one covers the other; on trees it is unique).
+                prop_assert_eq!(ab.is_some(), r.common_ancestor(ClassId(b), ClassId(a)).is_some());
+            }
+        }
+    }
+
+    /// Child schemas extend parent schemas as a prefix.
+    #[test]
+    fn schemas_nest_along_subtyping(parents in arb_hierarchy()) {
+        let r = build_registry(&parents);
+        for (i, parent) in parents.iter().enumerate() {
+            if let Some(p) = parent {
+                let child = r.class_by_name(&format!("C{i}")).unwrap();
+                let parent = r.class_by_name(&format!("C{p}")).unwrap();
+                prop_assert!(child.arity() > parent.arity());
+                for (pa, ca) in parent.attributes().iter().zip(child.attributes()) {
+                    prop_assert_eq!(pa, ca, "inherited attributes come first, in order");
+                }
+            }
+        }
+    }
+
+    /// Stage maps built from monotone random sets satisfy their laws:
+    /// shrinking sets, `uses_attr` consistent with `top_stage_using`.
+    #[test]
+    fn stage_map_laws(sizes in proptest::collection::vec(0usize..6, 1..5), arity in 1usize..6) {
+        // Build monotone prefix sets from the sorted sizes.
+        let mut prefixes: Vec<usize> = sizes.iter().map(|&s| s.min(arity)).collect();
+        prefixes.sort_unstable_by(|a, b| b.cmp(a));
+        if prefixes[0] == 0 {
+            prefixes[0] = 1;
+        }
+        let g = StageMap::from_prefixes(&prefixes).unwrap();
+        prop_assert!(g.check_arity(arity.max(prefixes[0])).is_ok());
+        for stage in 0..g.stages() {
+            // Monotone: each stage's attrs are a subset of the previous.
+            if stage > 0 {
+                for &a in g.attrs_at(stage) {
+                    prop_assert!(g.attrs_at(stage - 1).contains(&a));
+                }
+            }
+            for &a in g.attrs_at(stage) {
+                let top = g.top_stage_using(a).expect("used attr has a top stage");
+                prop_assert!(top >= stage);
+                prop_assert!(g.uses_attr(top, a));
+                prop_assert!(top + 1 >= g.stages() || !g.uses_attr(top + 1, a));
+            }
+        }
+    }
+
+    /// EventData behaves like a last-write-wins ordered map.
+    #[test]
+    fn event_data_is_a_lww_ordered_map(ops in proptest::collection::vec((0u8..3, 0usize..4, -5i64..5), 0..24)) {
+        let names = ["w", "x", "y", "z"];
+        let mut data = EventData::new();
+        let mut model: Vec<(usize, i64)> = Vec::new(); // insertion-ordered
+        for (op, key, value) in ops {
+            match op {
+                0 => {
+                    data.insert(names[key], value);
+                    match model.iter_mut().find(|(k, _)| *k == key) {
+                        Some(slot) => slot.1 = value,
+                        None => model.push((key, value)),
+                    }
+                }
+                1 => {
+                    let got = data.remove(names[key]);
+                    let pos = model.iter().position(|(k, _)| *k == key);
+                    prop_assert_eq!(got.is_some(), pos.is_some());
+                    if let Some(p) = pos {
+                        model.remove(p);
+                    }
+                }
+                _ => {
+                    let got = data.get(names[key]).and_then(AttrValue::as_f64);
+                    let want = model.iter().find(|(k, _)| *k == key).map(|(_, v)| *v as f64);
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(data.len(), model.len());
+            // Order agrees with the model.
+            let order: Vec<&str> = data.iter().map(|(n, _)| n).collect();
+            let want: Vec<&str> = model.iter().map(|(k, _)| names[*k]).collect();
+            prop_assert_eq!(order, want);
+        }
+    }
+}
+
+typed_event! {
+    pub struct Probe: "Probe" {
+        name: String,
+        score: f64,
+        count: i64,
+        flag: bool,
+    }
+}
+
+proptest! {
+    /// Envelope encode/decode round-trips arbitrary typed events, and the
+    /// extracted meta-data agrees with the object's accessors.
+    #[test]
+    fn envelope_round_trip(name in "[a-z]{0,8}", score in -1e6f64..1e6, count in any::<i64>(), flag in any::<bool>()) {
+        let p = Probe::new(name.clone(), score, count, flag);
+        let env = Envelope::encode(ClassId(3), EventSeq(9), &p).unwrap();
+        let back: Probe = env.decode().unwrap();
+        prop_assert_eq!(&back, &p);
+        let meta = env.meta();
+        prop_assert_eq!(meta.get("name"), Some(&AttrValue::Str(name)));
+        prop_assert_eq!(meta.get("score"), Some(&AttrValue::Float(score)));
+        prop_assert_eq!(meta.get("count"), Some(&AttrValue::Int(count)));
+        prop_assert_eq!(meta.get("flag"), Some(&AttrValue::Bool(flag)));
+        // Extraction is deterministic and matches the envelope's meta.
+        prop_assert_eq!(&p.extract(), meta);
+    }
+}

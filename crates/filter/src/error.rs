@@ -1,0 +1,78 @@
+//! Error type for filter construction and standardization.
+
+use std::error::Error;
+use std::fmt;
+
+use layercake_event::ValueKind;
+
+/// Errors produced when validating filters against event-class schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FilterError {
+    /// The filter constrains an attribute the event class does not declare.
+    UnknownAttribute {
+        /// The event class name.
+        class: String,
+        /// The unknown attribute name.
+        attr: String,
+    },
+    /// A constraint's value kind cannot apply to the declared attribute kind.
+    KindMismatch {
+        /// The constrained attribute.
+        attr: String,
+        /// The kind declared by the schema.
+        declared: ValueKind,
+        /// The kind used by the constraint.
+        used: ValueKind,
+    },
+    /// The filter has no class constraint but the operation requires one.
+    MissingClass,
+    /// The filter's class is not registered.
+    UnknownClass,
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::UnknownAttribute { class, attr } => {
+                write!(f, "class {class:?} declares no attribute {attr:?}")
+            }
+            FilterError::KindMismatch {
+                attr,
+                declared,
+                used,
+            } => write!(
+                f,
+                "attribute {attr:?} is declared {declared} but constrained with {used}"
+            ),
+            FilterError::MissingClass => write!(f, "filter has no event-class constraint"),
+            FilterError::UnknownClass => write!(f, "filter references an unregistered class"),
+        }
+    }
+}
+
+impl Error for FilterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = FilterError::KindMismatch {
+            attr: "price".to_owned(),
+            declared: ValueKind::Float,
+            used: ValueKind::Str,
+        };
+        assert_eq!(
+            e.to_string(),
+            "attribute \"price\" is declared float but constrained with str"
+        );
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<FilterError>();
+    }
+}

@@ -1,0 +1,637 @@
+//! Per-node filter tables and matching indexes.
+//!
+//! The paper's Figure 6 keeps, at every node, a table of
+//! `<filter, id-list>` pairs and evaluates each incoming event against every
+//! filter — the *naive* strategy. It notes that "efficient indexing and
+//! matching techniques can be used" but leaves them out of scope; we provide
+//! one such technique, a predicate **counting index** in the style of
+//! Gryphon/Siena/Le Subscribe: identical predicates across filters are
+//! evaluated once per event, and a filter fires when all of its predicates
+//! have been counted.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use layercake_event::{ClassId, EventData, TypeRegistry};
+use serde::{Deserialize, Serialize};
+
+use crate::filter::Filter;
+use crate::predicate::Predicate;
+
+/// Destination of a forwarded event: a child node or a local subscriber,
+/// as assigned by the overlay layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DestId(pub u64);
+
+impl fmt::Display for DestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dest#{}", self.0)
+    }
+}
+
+/// Matching strategy used by a [`FilterTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexKind {
+    /// Scan every filter per event (the paper's Figure 6 algorithm).
+    #[default]
+    Naive,
+    /// Counting index: shared predicates evaluated once per event.
+    Counting,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    filter: Filter,
+    key: Filter,
+    dests: Vec<DestId>,
+}
+
+/// A node's `<filter, id-list>` table (Figure 6) with pluggable matching
+/// strategy.
+///
+/// Inserting an existing filter (up to constraint reordering) for a new
+/// destination extends the id-list instead of duplicating the filter, as in
+/// the paper's insertion algorithm.
+///
+/// # Example
+///
+/// ```
+/// use layercake_event::{event_data, TypeRegistry, ClassId};
+/// use layercake_filter::{Filter, FilterTable, DestId, IndexKind};
+///
+/// let registry = TypeRegistry::new();
+/// let mut table = FilterTable::new(IndexKind::Counting);
+/// table.insert(Filter::any().eq("symbol", "Foo"), DestId(1));
+/// table.insert(Filter::any().gt("price", 5.0), DestId(2));
+///
+/// let meta = event_data! { "symbol" => "Foo", "price" => 10.0 };
+/// let mut out = Vec::new();
+/// table.matches(ClassId(0), &meta, &registry, &mut out);
+/// out.sort();
+/// assert_eq!(out, vec![DestId(1), DestId(2)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FilterTable {
+    kind: IndexKind,
+    entries: Vec<Entry>,
+    /// Normalized filter → entry index, for O(1) insert-time dedup.
+    /// Invalidated (and rebuilt) when entries are removed.
+    by_key: HashMap<Filter, usize>,
+    counting: CountingIndex,
+    counting_dirty: bool,
+}
+
+impl Default for FilterTable {
+    fn default() -> Self {
+        Self::new(IndexKind::default())
+    }
+}
+
+impl FilterTable {
+    /// Creates an empty table with the given matching strategy.
+    #[must_use]
+    pub fn new(kind: IndexKind) -> Self {
+        Self {
+            kind,
+            entries: Vec::new(),
+            by_key: HashMap::new(),
+            counting: CountingIndex::new(),
+            counting_dirty: false,
+        }
+    }
+
+    /// The matching strategy in use.
+    #[must_use]
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// Inserts a `<filter, id>` pair. Returns `true` when this created a new
+    /// filter entry (as opposed to extending an existing id-list).
+    pub fn insert(&mut self, filter: Filter, dest: DestId) -> bool {
+        let key = filter.normalized();
+        if let Some(&idx) = self.by_key.get(&key) {
+            let entry = &mut self.entries[idx];
+            if !entry.dests.contains(&dest) {
+                entry.dests.push(dest);
+            }
+            return false;
+        }
+        if self.kind == IndexKind::Counting && !self.counting_dirty {
+            self.counting
+                .add(u32::try_from(self.entries.len()).expect("filter table fits in u32"), &filter);
+        }
+        self.by_key.insert(key.clone(), self.entries.len());
+        self.entries.push(Entry {
+            filter,
+            key,
+            dests: vec![dest],
+        });
+        true
+    }
+
+    /// Removes a destination from a filter's id-list; the entry disappears
+    /// when its id-list empties. Returns `true` if the pair existed.
+    pub fn remove(&mut self, filter: &Filter, dest: DestId) -> bool {
+        let key = filter.normalized();
+        let Some(&idx) = self.by_key.get(&key) else {
+            return false;
+        };
+        let entry = &mut self.entries[idx];
+        let Some(pos) = entry.dests.iter().position(|d| *d == dest) else {
+            return false;
+        };
+        entry.dests.remove(pos);
+        if entry.dests.is_empty() {
+            self.entries.remove(idx);
+            self.counting_dirty = true;
+            self.rebuild_key_index();
+        }
+        true
+    }
+
+    /// Removes a destination from the first entry whose filter *covers*
+    /// `filter` — the removal counterpart of covering-collapse insertion,
+    /// where a subscription may have been folded into a weaker stored
+    /// filter. Returns `true` if a pair was removed.
+    pub fn remove_covering(
+        &mut self,
+        filter: &Filter,
+        dest: DestId,
+        registry: &TypeRegistry,
+    ) -> bool {
+        let Some(idx) = self
+            .entries
+            .iter()
+            .position(|e| e.dests.contains(&dest) && e.filter.covers(filter, registry))
+        else {
+            return false;
+        };
+        let entry = &mut self.entries[idx];
+        let pos = entry
+            .dests
+            .iter()
+            .position(|d| *d == dest)
+            .expect("checked above");
+        entry.dests.remove(pos);
+        if entry.dests.is_empty() {
+            self.entries.remove(idx);
+            self.counting_dirty = true;
+            self.rebuild_key_index();
+        }
+        true
+    }
+
+    /// Removes a destination from every entry (e.g. on lease expiry of a
+    /// child), dropping entries whose id-lists empty. Returns the number of
+    /// pairs removed.
+    pub fn remove_dest(&mut self, dest: DestId) -> usize {
+        let mut removed = 0;
+        self.entries.retain_mut(|e| {
+            if let Some(pos) = e.dests.iter().position(|d| *d == dest) {
+                e.dests.remove(pos);
+                removed += 1;
+            }
+            !e.dests.is_empty()
+        });
+        if removed > 0 {
+            self.counting_dirty = true;
+            self.rebuild_key_index();
+        }
+        removed
+    }
+
+    /// Collects the destinations of all filters matching the event, without
+    /// duplicates. (`&mut self` because the counting strategy keeps per-call
+    /// scratch state.)
+    pub fn matches(
+        &mut self,
+        class: ClassId,
+        meta: &EventData,
+        registry: &TypeRegistry,
+        out: &mut Vec<DestId>,
+    ) {
+        out.clear();
+        match self.kind {
+            IndexKind::Naive => {
+                for e in &self.entries {
+                    if e.filter.matches(class, meta, registry) {
+                        for d in &e.dests {
+                            if !out.contains(d) {
+                                out.push(*d);
+                            }
+                        }
+                    }
+                }
+            }
+            IndexKind::Counting => {
+                if self.counting_dirty {
+                    self.rebuild_counting();
+                }
+                let mut slots = Vec::new();
+                self.counting.matches(class, meta, registry, &mut slots);
+                for slot in slots {
+                    for d in &self.entries[slot as usize].dests {
+                        if !out.contains(d) {
+                            out.push(*d);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether any stored filter matches the event.
+    pub fn matches_any(&mut self, class: ClassId, meta: &EventData, registry: &TypeRegistry) -> bool {
+        let mut out = Vec::new();
+        self.matches(class, meta, registry, &mut out);
+        !out.is_empty()
+    }
+
+    /// Finds the *strongest* stored filter covering `f`, along with its
+    /// id-list — the search step of the subscription placement algorithm
+    /// (Figure 5(b)). Among covering candidates, a candidate covered by all
+    /// previously seen candidates wins.
+    #[must_use]
+    pub fn find_cover(&self, f: &Filter, registry: &TypeRegistry) -> Option<(&Filter, &[DestId])> {
+        let mut best: Option<&Entry> = None;
+        for e in &self.entries {
+            if e.filter.covers(f, registry) {
+                let better = match best {
+                    None => true,
+                    Some(b) => b.filter.covers(&e.filter, registry),
+                };
+                if better {
+                    best = Some(e);
+                }
+            }
+        }
+        best.map(|e| (&e.filter, e.dests.as_slice()))
+    }
+
+    /// Iterates over `(filter, id-list)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&Filter, &[DestId])> {
+        self.entries.iter().map(|e| (&e.filter, e.dests.as_slice()))
+    }
+
+    /// The filters associated with a given destination.
+    pub fn filters_for(&self, dest: DestId) -> impl Iterator<Item = &Filter> {
+        self.entries
+            .iter()
+            .filter(move |e| e.dests.contains(&dest))
+            .map(|e| &e.filter)
+    }
+
+    /// Number of distinct filters — the "# of filter" term of the paper's
+    /// Load Complexity metric.
+    #[must_use]
+    pub fn filter_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table holds no filters.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of `<filter, id>` pairs.
+    #[must_use]
+    pub fn pair_count(&self) -> usize {
+        self.entries.iter().map(|e| e.dests.len()).sum()
+    }
+
+    fn rebuild_key_index(&mut self) {
+        self.by_key = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.key.clone(), i))
+            .collect();
+    }
+
+    fn rebuild_counting(&mut self) {
+        self.counting = CountingIndex::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            self.counting
+                .add(u32::try_from(i).expect("filter table fits in u32"), &e.filter);
+        }
+        self.counting_dirty = false;
+    }
+}
+
+/// A predicate counting index over a set of filters.
+///
+/// Filters are registered under dense slot numbers; matching returns the
+/// slots whose predicates are all satisfied by the event (and whose class
+/// constraint admits the event's class). Identical predicates shared by
+/// many filters are evaluated once per event.
+#[derive(Debug, Clone, Default)]
+pub struct CountingIndex {
+    /// Per-slot requirements.
+    slots: Vec<SlotInfo>,
+    /// Slots with no counted predicates (class-only or wildcard-only).
+    zero_required: Vec<u32>,
+    /// Distinct predicates grouped by attribute name.
+    by_attr: HashMap<String, Vec<PredGroup>>,
+    /// Per-slot match counters, versioned to avoid clearing per event.
+    scratch: Vec<(u64, u32)>,
+    epoch: u64,
+}
+
+#[derive(Debug, Clone)]
+struct SlotInfo {
+    required: u32,
+    class: Option<ClassId>,
+}
+
+#[derive(Debug, Clone)]
+struct PredGroup {
+    pred: Predicate,
+    slots: Vec<u32>,
+}
+
+impl CountingIndex {
+    /// Creates an empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a filter under the next slot number; slots must be added
+    /// densely in increasing order.
+    pub fn add(&mut self, slot: u32, filter: &Filter) {
+        assert_eq!(
+            slot as usize,
+            self.slots.len(),
+            "counting index slots must be added densely"
+        );
+        let mut required = 0u32;
+        for c in filter.constraints() {
+            if matches!(c.predicate(), Predicate::Any) {
+                continue; // wildcards are always satisfied
+            }
+            required += 1;
+            let groups = self.by_attr.entry(c.name().to_owned()).or_default();
+            match groups.iter_mut().find(|g| g.pred == *c.predicate()) {
+                Some(g) => g.slots.push(slot),
+                None => groups.push(PredGroup {
+                    pred: c.predicate().clone(),
+                    slots: vec![slot],
+                }),
+            }
+        }
+        if required == 0 {
+            self.zero_required.push(slot);
+        }
+        self.slots.push(SlotInfo {
+            required,
+            class: filter.class(),
+        });
+        self.scratch.push((0, 0));
+    }
+
+    /// Collects the slots of all filters matching the event.
+    pub fn matches(
+        &mut self,
+        class: ClassId,
+        meta: &EventData,
+        registry: &TypeRegistry,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for (name, value) in meta.iter() {
+            let Some(groups) = self.by_attr.get(name) else {
+                continue;
+            };
+            for group in groups {
+                if !group.pred.matches(Some(value)) {
+                    continue;
+                }
+                for &slot in &group.slots {
+                    let cell = &mut self.scratch[slot as usize];
+                    if cell.0 != epoch {
+                        *cell = (epoch, 0);
+                    }
+                    cell.1 += 1;
+                    if cell.1 == self.slots[slot as usize].required {
+                        out.push(slot);
+                    }
+                }
+            }
+        }
+        for &slot in &self.zero_required {
+            out.push(slot);
+        }
+        out.retain(|&slot| match self.slots[slot as usize].class {
+            None => true,
+            Some(want) => registry.is_subtype(class, want),
+        });
+        out.sort_unstable();
+    }
+
+    /// Number of registered filters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no filters are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use layercake_event::event_data;
+
+    fn registry() -> (TypeRegistry, ClassId, ClassId) {
+        let mut r = TypeRegistry::new();
+        let stock = r.register("Stock", None, vec![]).unwrap();
+        let auction = r.register("Auction", None, vec![]).unwrap();
+        (r, stock, auction)
+    }
+
+    fn check_both(build: impl Fn(&mut FilterTable)) -> (Vec<DestId>, Vec<DestId>) {
+        let (r, stock, _) = registry();
+        let meta = event_data! { "symbol" => "Foo", "price" => 10.0 };
+        let mut results = Vec::new();
+        for kind in [IndexKind::Naive, IndexKind::Counting] {
+            let mut t = FilterTable::new(kind);
+            build(&mut t);
+            let mut out = Vec::new();
+            t.matches(stock, &meta, &r, &mut out);
+            out.sort();
+            results.push(out);
+        }
+        let counting = results.pop().unwrap();
+        let naive = results.pop().unwrap();
+        (naive, counting)
+    }
+
+    #[test]
+    fn naive_and_counting_agree() {
+        let (naive, counting) = check_both(|t| {
+            t.insert(Filter::any().eq("symbol", "Foo"), DestId(1));
+            t.insert(Filter::any().gt("price", 5.0), DestId(2));
+            t.insert(Filter::any().eq("symbol", "Bar"), DestId(3));
+            t.insert(Filter::any().eq("symbol", "Foo").lt("price", 9.0), DestId(4));
+            t.insert(Filter::any().eq("symbol", "Foo").le("price", 10.0), DestId(5));
+            t.insert(Filter::any(), DestId(6));
+        });
+        assert_eq!(naive, counting);
+        assert_eq!(naive, vec![DestId(1), DestId(2), DestId(5), DestId(6)]);
+    }
+
+    #[test]
+    fn duplicate_filters_extend_id_list() {
+        let mut t = FilterTable::new(IndexKind::Naive);
+        let f = Filter::any().eq("a", 1).eq("b", 2);
+        // Same filter modulo constraint order.
+        let f_reordered = Filter::any().eq("b", 2).eq("a", 1);
+        assert!(t.insert(f.clone(), DestId(1)));
+        assert!(!t.insert(f_reordered, DestId(2)));
+        assert!(!t.insert(f.clone(), DestId(1)));
+        assert_eq!(t.filter_count(), 1);
+        assert_eq!(t.pair_count(), 2);
+    }
+
+    #[test]
+    fn class_constraints_respect_subtyping() {
+        let mut r = TypeRegistry::new();
+        let base = r.register("Quote", None, vec![]).unwrap();
+        let stock = r.register("Stock", Some("Quote"), vec![]).unwrap();
+        for kind in [IndexKind::Naive, IndexKind::Counting] {
+            let mut t = FilterTable::new(kind);
+            t.insert(Filter::for_class(base), DestId(1));
+            t.insert(Filter::for_class(stock), DestId(2));
+            let meta = EventData::new();
+            let mut out = Vec::new();
+            t.matches(stock, &meta, &r, &mut out);
+            out.sort();
+            assert_eq!(out, vec![DestId(1), DestId(2)], "kind {kind:?}");
+            t.matches(base, &meta, &r, &mut out);
+            assert_eq!(out, vec![DestId(1)]);
+        }
+    }
+
+    #[test]
+    fn removal_and_rebuild() {
+        let (r, stock, _) = registry();
+        let meta = event_data! { "symbol" => "Foo" };
+        let mut t = FilterTable::new(IndexKind::Counting);
+        let f = Filter::any().eq("symbol", "Foo");
+        t.insert(f.clone(), DestId(1));
+        t.insert(f.clone(), DestId(2));
+        assert!(t.remove(&f, DestId(1)));
+        assert!(!t.remove(&f, DestId(1)));
+        let mut out = Vec::new();
+        t.matches(stock, &meta, &r, &mut out);
+        assert_eq!(out, vec![DestId(2)]);
+        assert!(t.remove(&f, DestId(2)));
+        assert!(t.is_empty());
+        t.matches(stock, &meta, &r, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn remove_dest_sweeps_all_entries() {
+        let mut t = FilterTable::new(IndexKind::Counting);
+        t.insert(Filter::any().eq("a", 1), DestId(9));
+        t.insert(Filter::any().eq("b", 2), DestId(9));
+        t.insert(Filter::any().eq("b", 2), DestId(3));
+        assert_eq!(t.remove_dest(DestId(9)), 2);
+        assert_eq!(t.filter_count(), 1);
+        assert_eq!(t.remove_dest(DestId(9)), 0);
+    }
+
+    #[test]
+    fn find_cover_picks_strongest() {
+        let (r, stock, _) = registry();
+        let mut t = FilterTable::new(IndexKind::Naive);
+        let weak = Filter::for_class(stock);
+        let mid = Filter::for_class(stock).eq("symbol", "DEF");
+        let strong = Filter::for_class(stock).eq("symbol", "DEF").lt("price", 11.0);
+        t.insert(weak.clone(), DestId(1));
+        t.insert(mid.clone(), DestId(2));
+        t.insert(strong.clone(), DestId(3));
+        let sub = Filter::for_class(stock).eq("symbol", "DEF").lt("price", 10.0);
+        let (found, dests) = t.find_cover(&sub, &r).unwrap();
+        assert_eq!(found, &strong);
+        assert_eq!(dests, &[DestId(3)]);
+        // No covering filter at all:
+        let (_, auction) = (stock, r.id_of("Auction"));
+        let _ = auction;
+        let other = Filter::any();
+        // `weak` does not cover class-unconstrained subscriptions.
+        assert!(t.find_cover(&other, &r).is_none());
+    }
+
+    #[test]
+    fn wildcard_only_filters_match_everything_of_class() {
+        let (r, stock, auction) = registry();
+        for kind in [IndexKind::Naive, IndexKind::Counting] {
+            let mut t = FilterTable::new(kind);
+            t.insert(Filter::for_class(stock).wildcard("symbol"), DestId(1));
+            let meta = event_data! { "symbol" => "Anything" };
+            let mut out = Vec::new();
+            t.matches(stock, &meta, &r, &mut out);
+            assert_eq!(out, vec![DestId(1)]);
+            t.matches(auction, &meta, &r, &mut out);
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn counting_handles_repeated_attr_constraints() {
+        let (r, stock, _) = registry();
+        for kind in [IndexKind::Naive, IndexKind::Counting] {
+            let mut t = FilterTable::new(kind);
+            t.insert(Filter::any().ge("price", 5.0).le("price", 10.0), DestId(1));
+            let mut out = Vec::new();
+            t.matches(stock, &event_data! { "price" => 7.0 }, &r, &mut out);
+            assert_eq!(out, vec![DestId(1)], "kind {kind:?}");
+            t.matches(stock, &event_data! { "price" => 12.0 }, &r, &mut out);
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn shared_predicates_fire_all_slots() {
+        let (r, stock, _) = registry();
+        let mut t = FilterTable::new(IndexKind::Counting);
+        for i in 0u32..10 {
+            t.insert(
+                Filter::any().eq("symbol", "Foo").gt("price", f64::from(i)),
+                DestId(u64::from(i)),
+            );
+        }
+        let mut out = Vec::new();
+        t.matches(stock, &event_data! { "symbol" => "Foo", "price" => 5.5 }, &r, &mut out);
+        assert_eq!(out.len(), 6); // thresholds 0..=5
+    }
+
+    #[test]
+    fn filters_for_lists_by_dest() {
+        let mut t = FilterTable::new(IndexKind::Naive);
+        t.insert(Filter::any().eq("a", 1), DestId(1));
+        t.insert(Filter::any().eq("b", 2), DestId(1));
+        t.insert(Filter::any().eq("c", 3), DestId(2));
+        assert_eq!(t.filters_for(DestId(1)).count(), 2);
+        assert_eq!(t.iter().count(), 3);
+    }
+
+    #[test]
+    fn matches_any_shortcut() {
+        let (r, stock, _) = registry();
+        let mut t = FilterTable::new(IndexKind::Naive);
+        t.insert(Filter::any().eq("symbol", "Foo"), DestId(1));
+        assert!(t.matches_any(stock, &event_data! { "symbol" => "Foo" }, &r));
+        assert!(!t.matches_any(stock, &event_data! { "symbol" => "Bar" }, &r));
+    }
+}

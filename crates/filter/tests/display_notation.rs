@@ -1,0 +1,89 @@
+//! The rendered notation matches the paper's, so debug output and the
+//! `dump_tables` view read like the paper's examples.
+
+use layercake_event::{AttributeDecl, TypeRegistry, ValueKind};
+use layercake_filter::{standardize, Filter};
+
+fn stock_registry() -> (TypeRegistry, layercake_event::ClassId) {
+    let mut r = TypeRegistry::new();
+    let id = r
+        .register(
+            "Stock",
+            None,
+            vec![
+                AttributeDecl::new("symbol", ValueKind::Str),
+                AttributeDecl::new("price", ValueKind::Float),
+            ],
+        )
+        .unwrap();
+    (r, id)
+}
+
+#[test]
+fn example_1_filter_notation() {
+    let f = Filter::any().eq("symbol", "Foo").gt("price", 5.0);
+    assert_eq!(f.to_string(), "(symbol, \"Foo\", =) (price, 5, >)");
+}
+
+#[test]
+fn example_5_stage_filters_notation() {
+    let (r, stock) = stock_registry();
+    let f1 = Filter::for_class(stock).eq("symbol", "DEF").lt("price", 10.0);
+    assert_eq!(
+        f1.display_with(&r),
+        "(class, \"Stock\", =) (symbol, \"DEF\", =) (price, 10, <)"
+    );
+    let i1 = Filter::for_class(stock);
+    assert_eq!(i1.display_with(&r), "(class, \"Stock\", =)");
+}
+
+#[test]
+fn standard_format_shows_wildcards() {
+    let (r, stock) = stock_registry();
+    let class = r.class(stock).unwrap();
+    // fx = (class, "Stock", =)(symbol, "DEF", =) → price becomes ALL.
+    let fx = Filter::for_class(stock).eq("symbol", "DEF");
+    let std = standardize(&fx, class).unwrap();
+    assert_eq!(
+        std.display_with(&r),
+        "(class, \"Stock\", =) (symbol, \"DEF\", =) (price, \"ALL\", =)"
+    );
+}
+
+#[test]
+fn operator_symbols_cover_the_language() {
+    let f = Filter::any()
+        .ne("a", 1)
+        .le("b", 2)
+        .ge("c", 3)
+        .exists("d")
+        .prefix("e", "p")
+        .contains("f", "q")
+        .in_set("g", ["x", "y"]);
+    let s = f.to_string();
+    for needle in [
+        "(a, 1, !=)",
+        "(b, 2, <=)",
+        "(c, 3, >=)",
+        "(d, ∃)",
+        "(e, \"p\", prefix)",
+        "(f, \"q\", contains)",
+        "(g, {\"x\", \"y\"}, in)",
+    ] {
+        assert!(s.contains(needle), "missing {needle} in {s}");
+    }
+}
+
+#[test]
+fn unknown_class_ids_render_gracefully() {
+    let r = TypeRegistry::new();
+    let f = Filter::for_class(layercake_event::ClassId(42)).eq("k", 1);
+    assert_eq!(f.display_with(&r), "(class, \"class#42\", =) (k, 1, =)");
+    assert_eq!(f.to_string(), "(class, 42, =) (k, 1, =)");
+}
+
+#[test]
+fn match_all_renders_as_true() {
+    assert_eq!(Filter::any().to_string(), "(true)");
+    assert_eq!(Filter::any().display_with(&TypeRegistry::new()), "(true)");
+}

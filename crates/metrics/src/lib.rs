@@ -1,0 +1,30 @@
+//! Evaluation metrics for multi-stage event systems (paper Section 5.1).
+//!
+//! Three metrics quantify how a filtering architecture distributes work:
+//!
+//! * **Load Complexity** `LC = (# events received) × (# filters)` — the
+//!   filtering work a node performs per time unit.
+//! * **Relative Load Complexity**
+//!   `RLC = LC / (total # events × total # subscriptions)` — a node's load
+//!   relative to a centralized server holding every subscription, whose
+//!   RLC is exactly 1.
+//! * **Matching Rate** `MR = matched events / received events` — how
+//!   relevant a node's incoming traffic is; pre-filtering should push MR
+//!   towards 1 at the lower stages.
+//!
+//! This crate accumulates per-node counters ([`NodeRecord`]), aggregates
+//! them per stage ([`RunMetrics::stage_summary`]), and renders the paper's
+//! evaluation artifacts: the Section 5.3 RLC table, the Figure 7 matching
+//! rate scatter plot (as ASCII + CSV), and generic text tables for the
+//! extension experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod plot;
+mod record;
+mod table;
+
+pub use plot::{Scatter, Series};
+pub use record::{NodeRecord, RunMetrics, StageSummary};
+pub use table::{format_ratio, render_table};

@@ -1,0 +1,177 @@
+//! Minimal ASCII scatter plots for terminal-rendered figures.
+
+/// One plotted series: a marker character and its `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Marker drawn for this series' points.
+    pub marker: char,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    #[must_use]
+    pub fn new(label: impl Into<String>, marker: char, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            marker,
+            points,
+        }
+    }
+}
+
+/// An ASCII scatter plot, used to regenerate the paper's Figure 7
+/// ("Matching rate of the nodes") in the terminal.
+#[derive(Debug, Clone)]
+pub struct Scatter {
+    title: String,
+    x_label: String,
+    y_label: String,
+    width: usize,
+    height: usize,
+    y_range: Option<(f64, f64)>,
+    series: Vec<Series>,
+}
+
+impl Scatter {
+    /// Creates an empty plot with the given canvas size (in characters).
+    #[must_use]
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        Self {
+            title: title.into(),
+            x_label: String::from("x"),
+            y_label: String::from("y"),
+            width: width.max(10),
+            height: height.max(4),
+            y_range: None,
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the axis labels.
+    #[must_use]
+    pub fn with_axes(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Fixes the y range (otherwise inferred from the data).
+    #[must_use]
+    pub fn with_y_range(mut self, lo: f64, hi: f64) -> Self {
+        self.y_range = Some((lo, hi));
+        self
+    }
+
+    /// Adds a series.
+    #[must_use]
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Renders the plot.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        if all.is_empty() {
+            return format!("{}\n(no data)\n", self.title);
+        }
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (x, _) in &all {
+            x_min = x_min.min(*x);
+            x_max = x_max.max(*x);
+        }
+        let (y_min, y_max) = self.y_range.unwrap_or_else(|| {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for (_, y) in &all {
+                lo = lo.min(*y);
+                hi = hi.max(*y);
+            }
+            (lo, hi)
+        });
+        let x_span = (x_max - x_min).max(f64::MIN_POSITIVE);
+        let y_span = (y_max - y_min).max(f64::MIN_POSITIVE);
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if y < y_min || y > y_max {
+                    continue;
+                }
+                let cx = (((x - x_min) / x_span) * (self.width - 1) as f64).round() as usize;
+                let cy = (((y - y_min) / y_span) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy.min(self.height - 1);
+                let col = cx.min(self.width - 1);
+                grid[row][col] = s.marker;
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        for (i, row) in grid.iter().enumerate() {
+            let y_val = y_max - (i as f64 / (self.height - 1) as f64) * y_span;
+            let line: String = row.iter().collect();
+            out.push_str(&format!("{y_val:>8.2} |{line}\n"));
+        }
+        out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(self.width)));
+        out.push_str(&format!(
+            "{:>8}  {x_min:<10.0}{:>width$.0}  ({})\n",
+            "",
+            x_max,
+            self.x_label,
+            width = self.width.saturating_sub(10)
+        ));
+        for s in &self.series {
+            out.push_str(&format!("  {} {}\n", s.marker, s.label));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_within_canvas() {
+        let plot = Scatter::new("Matching rate of the nodes", 40, 10)
+            .with_axes("Process Id", "Matching Rate (MR)")
+            .with_y_range(0.0, 1.2)
+            .with_series(Series::new("Level 0", '*', vec![(0.0, 0.9), (10.0, 1.0)]))
+            .with_series(Series::new("Level 1", '+', vec![(5.0, 0.5)]));
+        let s = plot.render();
+        assert!(s.contains("Matching rate"));
+        assert!(s.contains('*'));
+        assert!(s.contains('+'));
+        assert!(s.contains("Level 0"));
+        assert!(s.lines().count() > 10);
+    }
+
+    #[test]
+    fn empty_plot_is_graceful() {
+        let plot = Scatter::new("empty", 30, 8);
+        assert!(plot.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn out_of_range_points_are_skipped() {
+        let plot = Scatter::new("t", 20, 6)
+            .with_axes("pid", "mr")
+            .with_y_range(0.0, 1.0)
+            .with_series(Series::new("s", '#', vec![(0.0, 5.0), (1.0, 0.5)]));
+        let s = plot.render();
+        assert_eq!(s.matches('#').count(), 2); // one point + legend marker
+    }
+
+    #[test]
+    fn single_point_plot() {
+        let plot = Scatter::new("t", 20, 6).with_series(Series::new("s", 'o', vec![(1.0, 1.0)]));
+        let s = plot.render();
+        assert!(s.contains('o'));
+    }
+}

@@ -1,0 +1,92 @@
+//! Plain-text table rendering and numeric formatting helpers.
+
+/// Renders an aligned text table with a header row and a separator line.
+///
+/// ```
+/// use layercake_metrics::render_table;
+/// let t = render_table(&["a", "long header"], &[vec!["1".into(), "2".into()]]);
+/// assert!(t.contains("a | long header"));
+/// ```
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str(" | ");
+            }
+            line.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        line.trim_end().to_owned()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| (*s).to_owned()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 3 * (cols.saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a ratio the way the paper's tables do: scientific notation for
+/// tiny values (`2.0e-7`), fixed point otherwise (`0.10`, `1.00`).
+#[must_use]
+pub fn format_ratio(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_owned()
+    } else if x.abs() < 1e-3 {
+        format!("{x:.1e}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["Stage", "RLC"],
+            &[
+                vec!["0".into(), "2.0e-7".into()],
+                vec!["10".into(), "1.000".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "Stage | RLC");
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].starts_with("0     | 2.0e-7"));
+        assert!(lines[3].starts_with("10    | 1.000"));
+    }
+
+    #[test]
+    fn empty_rows_render_header_only() {
+        let t = render_table(&["x"], &[]);
+        assert_eq!(t.lines().count(), 2);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(format_ratio(0.0), "0");
+        assert_eq!(format_ratio(2e-7), "2.0e-7");
+        assert_eq!(format_ratio(0.0002), "2.0e-4");
+        assert_eq!(format_ratio(0.1), "0.100");
+        assert_eq!(format_ratio(1.0), "1.000");
+        assert_eq!(format_ratio(0.02), "0.020");
+    }
+}

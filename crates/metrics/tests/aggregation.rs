@@ -1,0 +1,80 @@
+//! Property tests for metric aggregation invariants.
+
+use layercake_metrics::{NodeRecord, RunMetrics};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = NodeRecord> {
+    (
+        0usize..4,
+        0usize..50,
+        0u64..10_000,
+        0u64..10_000,
+    )
+        .prop_map(|(stage, filters, received, matched_raw)| {
+            let matched = matched_raw.min(received);
+            NodeRecord {
+                node: format!("n{stage}-{filters}"),
+                stage,
+                filters,
+                received,
+                matched,
+                evaluations: received * filters as u64,
+                bytes_received: received * 48,
+            }
+        })
+}
+
+proptest! {
+    /// The global RLC total equals the sum of the per-stage totals, and
+    /// each stage total equals node-average × node-count.
+    #[test]
+    fn stage_totals_sum_to_global(
+        records in proptest::collection::vec(arb_record(), 1..40),
+        total_events in 1u64..10_000,
+        total_subs in 1u64..1_000,
+    ) {
+        let mut m = RunMetrics::new(total_events, total_subs);
+        for r in records {
+            m.push(r);
+        }
+        let summary = m.stage_summary();
+        let stage_sum: f64 = summary.iter().map(|s| s.total_rlc).sum();
+        prop_assert!((stage_sum - m.global_rlc_total()).abs() < 1e-9);
+        for s in &summary {
+            prop_assert!((s.total_rlc - s.avg_rlc * s.nodes as f64).abs() < 1e-9);
+            prop_assert!(s.active_nodes <= s.nodes);
+            prop_assert!((0.0..=1.0).contains(&s.avg_mr), "MR {}", s.avg_mr);
+        }
+        // Summary covers every record exactly once.
+        let total_nodes: usize = summary.iter().map(|s| s.nodes).sum();
+        prop_assert_eq!(total_nodes, m.records.len());
+    }
+
+    /// MR is always within [0, 1] and RLC is non-negative; both are zero
+    /// for idle nodes.
+    #[test]
+    fn per_node_metric_bounds(r in arb_record(), events in 1u64..1_000, subs in 1u64..100) {
+        prop_assert!((0.0..=1.0).contains(&r.mr()));
+        prop_assert!(r.rlc(events, subs) >= 0.0);
+        let idle = NodeRecord::new("idle", r.stage);
+        prop_assert_eq!(idle.mr(), 0.0);
+        prop_assert_eq!(idle.rlc(events, subs), 0.0);
+    }
+
+    /// The rendered RLC table lists exactly one row per stage and the CSV
+    /// one line per record (plus header).
+    #[test]
+    fn rendering_row_counts(records in proptest::collection::vec(arb_record(), 1..20)) {
+        let mut m = RunMetrics::new(100, 10);
+        let n = records.len();
+        for r in records {
+            m.push(r);
+        }
+        let stages = m.stage_summary().len();
+        let table = m.rlc_table();
+        // header + separator + stage rows + global line
+        prop_assert_eq!(table.lines().count(), stages + 3);
+        let csv = m.mr_csv();
+        prop_assert_eq!(csv.lines().count(), n + 1);
+    }
+}

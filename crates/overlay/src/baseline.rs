@@ -1,0 +1,140 @@
+//! The reference architectures of Section 2.1, for load comparisons.
+//!
+//! * **Centralized**: one server holds every subscription and filters every
+//!   event; by construction its Relative Load Complexity is exactly 1 (the
+//!   RLC normalization point).
+//! * **Broadcast**: every event is delivered to every subscriber, which
+//!   filters locally at runtime; the server does no filtering, but each
+//!   subscriber's received-event count equals the full publication volume.
+//!
+//! Both baselines evaluate subscriptions individually (no covering-based
+//! collapse), as the architectures the paper compares against would.
+
+use layercake_event::{Envelope, TypeRegistry};
+use layercake_filter::Filter;
+use layercake_metrics::{NodeRecord, RunMetrics};
+
+/// Simulates a centralized filtering server (Section 2.1, first
+/// architecture): all subscriptions at one node, which forwards matching
+/// events to the interested subscribers.
+#[must_use]
+pub fn centralized_run(subs: &[Filter], events: &[Envelope], registry: &TypeRegistry) -> RunMetrics {
+    let mut metrics = RunMetrics::new(events.len() as u64, subs.len() as u64);
+    let mut server = NodeRecord::new("central", 1);
+    server.filters = subs.len();
+    let mut sub_records: Vec<NodeRecord> = (0..subs.len())
+        .map(|i| {
+            let mut r = NodeRecord::new(format!("sub-{i:04}"), 0);
+            r.filters = 1;
+            r
+        })
+        .collect();
+    for env in events {
+        server.received += 1;
+        server.evaluations += subs.len() as u64;
+        server.bytes_received += env.wire_size() as u64;
+        let mut any = false;
+        for (i, f) in subs.iter().enumerate() {
+            if f.matches_envelope(env, registry) {
+                any = true;
+                // The subscriber receives only relevant events: perfect MR.
+                let r = &mut sub_records[i];
+                r.received += 1;
+                r.matched += 1;
+                r.evaluations += 1;
+                r.bytes_received += env.wire_size() as u64;
+            }
+        }
+        if any {
+            server.matched += 1;
+        }
+    }
+    metrics.push(server);
+    for r in sub_records {
+        metrics.push(r);
+    }
+    metrics
+}
+
+/// Simulates the broadcast architecture (Section 2.1, second architecture):
+/// every subscriber receives every event and filters at runtime.
+#[must_use]
+pub fn broadcast_run(subs: &[Filter], events: &[Envelope], registry: &TypeRegistry) -> RunMetrics {
+    let mut metrics = RunMetrics::new(events.len() as u64, subs.len() as u64);
+    for (i, f) in subs.iter().enumerate() {
+        let mut r = NodeRecord::new(format!("sub-{i:04}"), 0);
+        r.filters = 1;
+        for env in events {
+            r.received += 1;
+            r.evaluations += 1;
+            r.bytes_received += env.wire_size() as u64;
+            if f.matches_envelope(env, registry) {
+                r.matched += 1;
+            }
+        }
+        metrics.push(r);
+    }
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use layercake_event::{event_data, ClassId, EventSeq};
+
+    fn setup() -> (TypeRegistry, ClassId, Vec<Filter>, Vec<Envelope>) {
+        let mut registry = TypeRegistry::new();
+        let class = registry.register("E", None, vec![]).unwrap();
+        let subs: Vec<Filter> = (0..10)
+            .map(|i| Filter::for_class(class).eq("k", i))
+            .collect();
+        let events: Vec<Envelope> = (0..100u64)
+            .map(|i| {
+                Envelope::from_meta(class, "E", EventSeq(i), event_data! { "k" => (i % 20) as i64 })
+            })
+            .collect();
+        (registry, class, subs, events)
+    }
+
+    #[test]
+    fn centralized_server_rlc_is_one() {
+        let (registry, _, subs, events) = setup();
+        let m = centralized_run(&subs, &events, &registry);
+        let server = m.records.iter().find(|r| r.node == "central").unwrap();
+        assert!((server.rlc(m.total_events, m.total_subs) - 1.0).abs() < 1e-12);
+        // Half the events (k in 0..10) match some subscription.
+        assert_eq!(server.matched, 50);
+        // Subscribers see only relevant traffic: MR = 1.
+        for r in m.stage_records(0) {
+            if r.received > 0 {
+                assert!((r.mr() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_pushes_all_load_to_subscribers() {
+        let (registry, _, subs, events) = setup();
+        let m = broadcast_run(&subs, &events, &registry);
+        assert_eq!(m.records.len(), 10);
+        for r in &m.records {
+            assert_eq!(r.received, 100);
+            assert_eq!(r.matched, 5); // each key appears 5 times
+            assert!((r.mr() - 0.05).abs() < 1e-12);
+            // Per-subscriber RLC = 100×1/(100×10) = 0.1.
+            assert!((r.rlc(m.total_events, m.total_subs) - 0.1).abs() < 1e-12);
+        }
+        // Global work equals the centralized server's.
+        assert!((m.global_rlc_total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (registry, ..) = setup();
+        let m = centralized_run(&[], &[], &registry);
+        assert_eq!(m.records.len(), 1);
+        assert_eq!(m.global_rlc_total(), 0.0);
+        let m = broadcast_run(&[], &[], &registry);
+        assert!(m.records.is_empty());
+    }
+}

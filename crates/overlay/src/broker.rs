@@ -1,0 +1,432 @@
+//! The broker protocol machine: one intermediate node of the hierarchy.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use layercake_event::{ClassId, StageMap, TypeRegistry};
+use layercake_filter::{weaken_to_stage, DestId, Filter, FilterTable, IndexKind};
+use layercake_metrics::NodeRecord;
+use layercake_sim::{ActorId, Ctx, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::PlacementPolicy;
+use crate::msg::{OverlayMsg, SubscriptionReq};
+
+/// Timer tag: lease expiry sweep (Section 4.3, "REMOVE INVALID FILTERS").
+const TAG_SWEEP: u64 = 1;
+/// Timer tag: renew own filters at the parent ("EXTEND THE VALIDITY").
+const TAG_RENEW: u64 = 2;
+
+pub(crate) fn dest_of(actor: ActorId) -> DestId {
+    DestId(actor.0 as u64)
+}
+
+pub(crate) fn actor_of(dest: DestId) -> ActorId {
+    ActorId(usize::try_from(dest.0).expect("dest ids are actor ids"))
+}
+
+/// A broker node at stage ≥ 1 of the hierarchy.
+///
+/// Brokers store weakened filters in a `<filter, id-list>` table
+/// ([`FilterTable`]), place incoming subscriptions per Figure 5(b), forward
+/// events per Figure 6, and maintain soft-state leases for the filters their
+/// children registered.
+#[derive(Debug)]
+pub struct Broker {
+    label: String,
+    stage: usize,
+    parent: Option<ActorId>,
+    children: Vec<ActorId>,
+    children_set: HashSet<ActorId>,
+    registry: Arc<TypeRegistry>,
+    stage_maps: HashMap<ClassId, StageMap>,
+    table: FilterTable,
+    placement: PlacementPolicy,
+    covering_collapse: bool,
+    wildcard_stage_placement: bool,
+    leases_enabled: bool,
+    ttl: SimDuration,
+    leases: HashMap<DestId, SimTime>,
+    /// Buffered events for detached durable subscribers.
+    parked: HashMap<DestId, Vec<layercake_event::Envelope>>,
+    timers_started: bool,
+    rng: StdRng,
+    received: u64,
+    matched: u64,
+    evaluations: u64,
+    bytes_received: u64,
+    scratch: Vec<DestId>,
+}
+
+/// Construction parameters for a [`Broker`] (set by the overlay builder).
+#[derive(Debug, Clone)]
+pub(crate) struct BrokerSetup {
+    pub label: String,
+    pub stage: usize,
+    pub parent: Option<ActorId>,
+    pub children: Vec<ActorId>,
+    pub registry: Arc<TypeRegistry>,
+    pub placement: PlacementPolicy,
+    pub index: IndexKind,
+    pub covering_collapse: bool,
+    pub wildcard_stage_placement: bool,
+    pub leases_enabled: bool,
+    pub ttl: SimDuration,
+    pub seed: u64,
+}
+
+impl Broker {
+    pub(crate) fn new(setup: BrokerSetup) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(setup.seed),
+            children_set: setup.children.iter().copied().collect(),
+            label: setup.label,
+            stage: setup.stage,
+            parent: setup.parent,
+            children: setup.children,
+            registry: setup.registry,
+            stage_maps: HashMap::new(),
+            table: FilterTable::new(setup.index),
+            placement: setup.placement,
+            covering_collapse: setup.covering_collapse,
+            wildcard_stage_placement: setup.wildcard_stage_placement,
+            leases_enabled: setup.leases_enabled,
+            ttl: setup.ttl,
+            leases: HashMap::new(),
+            parked: HashMap::new(),
+            timers_started: false,
+            received: 0,
+            matched: 0,
+            evaluations: 0,
+            bytes_received: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The broker's stage (≥ 1).
+    #[must_use]
+    pub fn stage(&self) -> usize {
+        self.stage
+    }
+
+    /// The broker's display label, e.g. `"N2.1"`.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of filters currently stored.
+    #[must_use]
+    pub fn filter_count(&self) -> usize {
+        self.table.filter_count()
+    }
+
+    /// Whether this broker is the hierarchy root.
+    #[must_use]
+    pub fn is_root(&self) -> bool {
+        self.parent.is_none()
+    }
+
+    /// The broker's parent node, if any.
+    #[must_use]
+    pub fn parent(&self) -> Option<ActorId> {
+        self.parent
+    }
+
+    /// Iterates over the broker's `<filter, id-list>` entries (for
+    /// introspection and debugging dumps).
+    pub fn table_entries(&self) -> impl Iterator<Item = (&Filter, &[DestId])> {
+        self.table.iter()
+    }
+
+    /// The broker's counters as a metrics record.
+    #[must_use]
+    pub fn record(&self) -> NodeRecord {
+        NodeRecord {
+            node: self.label.clone(),
+            stage: self.stage,
+            filters: self.table.filter_count(),
+            received: self.received,
+            matched: self.matched,
+            evaluations: self.evaluations,
+            bytes_received: self.bytes_received,
+        }
+    }
+
+    pub(crate) fn handle(&mut self, from: ActorId, msg: OverlayMsg, ctx: &mut Ctx<'_, OverlayMsg>) {
+        self.maybe_start_timers(ctx);
+        match msg {
+            OverlayMsg::Advertise(adv) => {
+                self.stage_maps.insert(adv.class, adv.stage_map.clone());
+                for child in &self.children {
+                    ctx.send(*child, OverlayMsg::Advertise(adv.clone()));
+                }
+            }
+            OverlayMsg::Subscribe(req) => self.place_subscription(req, ctx),
+            OverlayMsg::ReqInsert { filter, child } => self.insert_child_filter(filter, child, ctx),
+            OverlayMsg::Publish(env) => self.forward_event(&env, ctx),
+            OverlayMsg::Renew => {
+                self.leases.insert(dest_of(from), ctx.now() + self.ttl * 3);
+            }
+            OverlayMsg::Unsubscribe { filter, subscriber } => {
+                let dest = dest_of(subscriber);
+                let weakened = self.weaken(&filter, self.stage);
+                self.remove_with_upstream(&weakened, dest, ctx);
+                if self.covering_collapse {
+                    // The subscription may have been folded into a stored
+                    // covering filter; sweep those too.
+                    let registry = Arc::clone(&self.registry);
+                    while self.table.remove_covering(&weakened, dest, &registry) {}
+                }
+                if self.table.filters_for(dest).next().is_none() {
+                    self.leases.remove(&dest);
+                    self.parked.remove(&dest);
+                }
+            }
+            OverlayMsg::ReqRemove { filter, child } => {
+                self.remove_with_upstream(&filter, dest_of(child), ctx);
+            }
+            OverlayMsg::Detach { subscriber } => {
+                self.parked.entry(dest_of(subscriber)).or_default();
+            }
+            OverlayMsg::Attach { subscriber } => {
+                if let Some(buffered) = self.parked.remove(&dest_of(subscriber)) {
+                    for env in buffered {
+                        ctx.send(subscriber, OverlayMsg::Deliver(env));
+                    }
+                }
+            }
+            OverlayMsg::JoinAt { .. } | OverlayMsg::AcceptedAt { .. } | OverlayMsg::Deliver(_) => {
+                debug_assert!(false, "subscriber-bound message delivered to broker {}", self.label);
+            }
+        }
+    }
+
+    pub(crate) fn timer(&mut self, tag: u64, ctx: &mut Ctx<'_, OverlayMsg>) {
+        match tag {
+            TAG_SWEEP => {
+                let now = ctx.now();
+                let expired: Vec<DestId> = self
+                    .leases
+                    .iter()
+                    .filter(|(_, &expiry)| expiry <= now)
+                    .map(|(&d, _)| d)
+                    .collect();
+                for dest in expired {
+                    self.leases.remove(&dest);
+                    self.parked.remove(&dest);
+                    // Remove filter by filter so that weakened forms the
+                    // node no longer needs are withdrawn from the parent
+                    // (the per-filter granularity of the paper's renewals).
+                    let filters: Vec<Filter> = self.table.filters_for(dest).cloned().collect();
+                    for f in filters {
+                        self.remove_with_upstream(&f, dest, ctx);
+                    }
+                }
+                ctx.set_timer(self.ttl, TAG_SWEEP);
+            }
+            TAG_RENEW => {
+                if let Some(parent) = self.parent {
+                    if !self.table.is_empty() {
+                        ctx.send(parent, OverlayMsg::Renew);
+                    }
+                }
+                ctx.set_timer(self.ttl, TAG_RENEW);
+            }
+            _ => debug_assert!(false, "unknown broker timer tag {tag}"),
+        }
+    }
+
+    fn maybe_start_timers(&mut self, ctx: &mut Ctx<'_, OverlayMsg>) {
+        if self.leases_enabled && !self.timers_started {
+            self.timers_started = true;
+            ctx.set_timer(self.ttl, TAG_SWEEP);
+            ctx.set_timer(self.ttl, TAG_RENEW);
+        }
+    }
+
+    /// Figure 5(b): place a subscription request at this node or redirect
+    /// the subscriber to a child.
+    fn place_subscription(&mut self, req: SubscriptionReq, ctx: &mut Ctx<'_, OverlayMsg>) {
+        if self.stage == 1 {
+            self.insert_subscriber(req, ctx);
+            return;
+        }
+        // 1. Wildcard handling (Section 4.4/4.5): anchor subscriptions with
+        //    unspecified attributes at the stage just above the topmost
+        //    stage still using their most general wildcarded attribute.
+        //    This check precedes the similarity search — otherwise a
+        //    covering filter at the anchor node would redirect the
+        //    subscription down to a stage-1 node, exactly the overload
+        //    Section 4.4 warns about.
+        if self.wildcard_stage_placement {
+            if let Some(top) = self.wildcard_top_stage(&req.filter) {
+                if self.stage == top + 1 || (self.is_root() && self.stage <= top + 1) {
+                    self.insert_subscriber(req, ctx);
+                    return;
+                }
+            }
+        }
+        // 2. Similarity search: redirect towards the strongest covering
+        //    filter already stored here (Section 4.2).
+        if self.placement == PlacementPolicy::Similarity {
+            let target = self
+                .table
+                .find_cover(&req.filter, &self.registry)
+                .and_then(|(_, dests)| {
+                    dests
+                        .iter()
+                        .map(|d| actor_of(*d))
+                        .find(|a| self.children_set.contains(a))
+                });
+            if let Some(node) = target {
+                ctx.send(req.subscriber, OverlayMsg::JoinAt { req, node });
+                return;
+            }
+        }
+        // 3. Fall back to a random child.
+        let node = self.children[self.rng.gen_range(0..self.children.len())];
+        ctx.send(req.subscriber, OverlayMsg::JoinAt { req, node });
+    }
+
+    /// For a wildcard subscription, the topmost stage `j` at which its most
+    /// general wildcarded attribute is still used (HANDLE-WILDCARD-SUBS).
+    fn wildcard_top_stage(&self, filter: &Filter) -> Option<usize> {
+        let class_id = filter.class()?;
+        let class = self.registry.class(class_id)?;
+        let g = self.stage_maps.get(&class_id)?;
+        let attr_mg = filter
+            .wildcard_constraints()
+            .filter_map(|c| class.attr_index(c.name()))
+            .min()?;
+        g.top_stage_using(attr_mg)
+    }
+
+    /// Inserts a `<filter, dest>` pair, optionally collapsing into a stored
+    /// covering filter (paper Example 5's "keep only g1"). Returns whether a
+    /// new entry was created.
+    fn table_insert(&mut self, filter: Filter, dest: DestId) -> bool {
+        if self.covering_collapse {
+            if let Some((cover, _)) = self.table.find_cover(&filter, &self.registry) {
+                let cover = cover.clone();
+                self.table.insert(cover, dest);
+                return false;
+            }
+        }
+        self.table.insert(filter, dest)
+    }
+
+    /// INSERT-SUBSCRIBER: store the subscription (weakened to this stage)
+    /// for the subscriber, acknowledge, and propagate a further weakened
+    /// filter to the parent.
+    fn insert_subscriber(&mut self, req: SubscriptionReq, ctx: &mut Ctx<'_, OverlayMsg>) {
+        let weakened = self.weaken(&req.filter, self.stage);
+        let dest = dest_of(req.subscriber);
+        let created = self.table_insert(weakened, dest);
+        self.leases.insert(dest, ctx.now() + self.ttl * 3);
+        ctx.send(
+            req.subscriber,
+            OverlayMsg::AcceptedAt {
+                id: req.id,
+                node: ctx.me(),
+            },
+        );
+        if created {
+            if let Some(parent) = self.parent {
+                let up = self.weaken(&req.filter, self.stage + 1);
+                ctx.send(parent, OverlayMsg::ReqInsert { filter: up, child: ctx.me() });
+            }
+        }
+    }
+
+    /// "Upon Receiving req-Insert": store a child's weakened filter and
+    /// propagate upward unless it collapsed into an existing entry.
+    fn insert_child_filter(&mut self, filter: Filter, child: ActorId, ctx: &mut Ctx<'_, OverlayMsg>) {
+        let dest = dest_of(child);
+        let created = self.table_insert(filter.clone(), dest);
+        self.leases.insert(dest, ctx.now() + self.ttl * 3);
+        if created {
+            if let Some(parent) = self.parent {
+                let up = self.weaken(&filter, self.stage + 1);
+                ctx.send(parent, OverlayMsg::ReqInsert { filter: up, child: ctx.me() });
+            }
+        }
+    }
+
+    /// Figure 6: evaluate the event against every stored filter and forward
+    /// to the associated children (or deliver to directly-attached
+    /// subscribers).
+    fn forward_event(&mut self, env: &layercake_event::Envelope, ctx: &mut Ctx<'_, OverlayMsg>) {
+        self.received += 1;
+        self.evaluations += self.table.filter_count() as u64;
+        self.bytes_received += env.wire_size() as u64;
+        let mut dests = std::mem::take(&mut self.scratch);
+        self.table.matches(env.class(), env.meta(), &self.registry, &mut dests);
+        if !dests.is_empty() {
+            self.matched += 1;
+        }
+        for dest in &dests {
+            if let Some(buffer) = self.parked.get_mut(dest) {
+                buffer.push(env.clone());
+                continue;
+            }
+            let actor = actor_of(*dest);
+            if self.children_set.contains(&actor) {
+                ctx.send(actor, OverlayMsg::Publish(env.clone()));
+            } else {
+                ctx.send(actor, OverlayMsg::Deliver(env.clone()));
+            }
+        }
+        dests.clear();
+        self.scratch = dests;
+    }
+
+    /// Removes a `<filter, dest>` pair and tells the parent about any
+    /// weakened filter this node no longer needs because of it.
+    fn remove_with_upstream(&mut self, filter: &Filter, dest: DestId, ctx: &mut Ctx<'_, OverlayMsg>) -> bool {
+        let before = self.parent_needs();
+        let removed = self.table.remove(filter, dest);
+        if removed {
+            if let Some(parent) = self.parent {
+                let after = self.parent_needs();
+                for gone in before.difference(&after) {
+                    ctx.send(
+                        parent,
+                        OverlayMsg::ReqRemove {
+                            filter: gone.clone(),
+                            child: ctx.me(),
+                        },
+                    );
+                }
+            }
+        }
+        removed
+    }
+
+    /// The set of parent-stage weakened filters this node's table requires
+    /// (normalized for set comparison).
+    fn parent_needs(&self) -> std::collections::HashSet<Filter> {
+        if self.parent.is_none() {
+            return std::collections::HashSet::new();
+        }
+        self.table
+            .iter()
+            .map(|(f, _)| self.weaken(f, self.stage + 1).normalized())
+            .collect()
+    }
+
+    /// Weakens a filter to the format of `stage`, using the class's
+    /// advertised stage map. Without an advertisement the filter passes
+    /// through unweakened (still sound: any filter covers itself).
+    fn weaken(&self, filter: &Filter, stage: usize) -> Filter {
+        let Some(class_id) = filter.class() else {
+            return filter.clone();
+        };
+        let (Some(class), Some(g)) = (self.registry.class(class_id), self.stage_maps.get(&class_id))
+        else {
+            return filter.clone();
+        };
+        weaken_to_stage(filter, class, g, stage)
+    }
+}

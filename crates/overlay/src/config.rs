@@ -1,0 +1,132 @@
+//! Overlay construction parameters.
+
+use layercake_filter::IndexKind;
+use layercake_sim::SimDuration;
+
+/// How a broker picks a child for a subscription it cannot place by
+/// covering-filter search (Figure 5(b), step 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Paper's scheme (Section 4.2): search for the strongest covering
+    /// filter stage by stage, grouping similar subscriptions on the same
+    /// path; fall back to a random child.
+    #[default]
+    Similarity,
+    /// Baseline modeling locality-driven attachment: always descend to a
+    /// random child, never group by similarity.
+    Random,
+}
+
+/// Configuration for [`crate::OverlaySim`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlayConfig {
+    /// Broker counts per stage, from stage 1 upward; the last entry must
+    /// be 1 (the root). The paper's Section 5 hierarchy is
+    /// `[100, 10, 1]`: 100 stage-1 nodes, 10 stage-2 nodes, 1 stage-3 root.
+    /// Subscribers form stage 0.
+    pub levels: Vec<usize>,
+    /// Subscription placement policy.
+    pub placement: PlacementPolicy,
+    /// Matching strategy of broker filter tables.
+    pub index: IndexKind,
+    /// Covering-collapse insertion (paper Example 5: on the common path,
+    /// "we can now ignore filter f1 … and keep only filter g1"): when a
+    /// stored filter already covers an incoming one, the new subscription
+    /// joins the stored filter's id-list instead of adding an entry.
+    /// Smaller tables, coarser pre-filtering; end-to-end delivery stays
+    /// exact thanks to subscriber-side perfect filtering.
+    pub covering_collapse: bool,
+    /// Whether stage-aware wildcard placement (Section 4.4/4.5) is enabled.
+    /// When disabled, wildcard subscriptions descend to stage-1 nodes like
+    /// any other — the naive attachment the paper warns about.
+    pub wildcard_stage_placement: bool,
+    /// Subscription time-to-live. Filters not renewed within
+    /// 3 × TTL are removed (Section 4.3).
+    pub ttl: SimDuration,
+    /// Whether the lease machinery runs (renewal timers and expiry sweeps).
+    /// Large batch evaluations disable it to keep timer traffic out of the
+    /// message counts.
+    pub leases_enabled: bool,
+    /// Seed for the brokers' random child selection.
+    pub seed: u64,
+}
+
+impl Default for OverlayConfig {
+    /// The paper's Section 5 topology with similarity placement, counting
+    /// indexes, stage-aware wildcard handling, and leases off.
+    fn default() -> Self {
+        Self {
+            levels: vec![100, 10, 1],
+            placement: PlacementPolicy::Similarity,
+            index: IndexKind::Counting,
+            covering_collapse: false,
+            wildcard_stage_placement: true,
+            ttl: SimDuration::from_ticks(100_000),
+            leases_enabled: false,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+impl OverlayConfig {
+    /// Number of broker stages (stage numbers 1..=stages).
+    #[must_use]
+    pub fn stages(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Validates the topology: non-empty, exactly one root, and each level
+    /// must not be smaller than the one above it (a node needs at least one
+    /// parent slot).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.levels.is_empty() {
+            return Err("overlay needs at least one broker level".to_owned());
+        }
+        if *self.levels.last().unwrap() != 1 {
+            return Err("the top level must contain exactly the root node".to_owned());
+        }
+        if self.levels.contains(&0) {
+            return Err("broker levels must be non-empty".to_owned());
+        }
+        for w in self.levels.windows(2) {
+            if w[0] < w[1] {
+                return Err(format!(
+                    "level sizes must not grow upward (found {} below {})",
+                    w[0], w[1]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_topology() {
+        let cfg = OverlayConfig::default();
+        assert_eq!(cfg.levels, vec![100, 10, 1]);
+        assert_eq!(cfg.stages(), 3);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.placement, PlacementPolicy::Similarity);
+    }
+
+    #[test]
+    fn validation_rejects_bad_topologies() {
+        let with_levels = |levels: Vec<usize>| OverlayConfig {
+            levels,
+            ..OverlayConfig::default()
+        };
+        assert!(with_levels(vec![]).validate().is_err());
+        assert!(with_levels(vec![10, 2]).validate().is_err());
+        assert!(with_levels(vec![2, 10, 1]).validate().is_err());
+        assert!(with_levels(vec![10, 0, 1]).validate().is_err());
+        assert!(with_levels(vec![1]).validate().is_ok());
+    }
+}

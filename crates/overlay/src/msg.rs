@@ -1,0 +1,136 @@
+//! The overlay's wire protocol (Figures 5 and 6).
+
+use layercake_event::{Advertisement, Envelope};
+use layercake_filter::{Filter, FilterId};
+use layercake_sim::ActorId;
+
+/// A subscription request as it travels down the hierarchy looking for its
+/// insertion point (Figure 5(a): `Subscription(f_sub)`).
+#[derive(Debug, Clone)]
+pub struct SubscriptionReq {
+    /// Unique id of this subscription.
+    pub id: FilterId,
+    /// The standardized subscription filter.
+    pub filter: Filter,
+    /// The subscribing node.
+    pub subscriber: ActorId,
+}
+
+/// Messages exchanged between overlay nodes.
+#[derive(Debug, Clone)]
+pub enum OverlayMsg {
+    /// Event-class advertisement carrying the attribute–stage association
+    /// `G_c`; flooded down from the root (Section 4.1).
+    Advertise(Advertisement),
+    /// A subscription request (sent to the root first, then re-sent to the
+    /// node named by each `JoinAt` redirect).
+    Subscribe(SubscriptionReq),
+    /// Redirect: the subscriber should re-send its request to `node`
+    /// (Figure 5(b): `join-At(id_node)`).
+    JoinAt {
+        /// The original request, echoed back.
+        req: SubscriptionReq,
+        /// The node to try next.
+        node: ActorId,
+    },
+    /// The subscription was inserted at `node` (Figure 5(b):
+    /// `accepted-At(node_i)`).
+    AcceptedAt {
+        /// The subscription that was accepted.
+        id: FilterId,
+        /// The node now hosting it.
+        node: ActorId,
+    },
+    /// A child asks its parent to store a weakened filter for it
+    /// (Figure 5(b): `req-Insert(f_c, id_c)`).
+    ReqInsert {
+        /// The weakened filter (already at the receiving node's stage).
+        filter: Filter,
+        /// The requesting child node.
+        child: ActorId,
+    },
+    /// An event traveling down the broker hierarchy.
+    Publish(Envelope),
+    /// An event delivered to a subscriber runtime for final, perfect
+    /// filtering.
+    Deliver(Envelope),
+    /// Lease renewal: the sender refreshes the validity of all filters it
+    /// has registered at the receiver (Section 4.3).
+    Renew,
+    /// Explicit unsubscription (Section 4.3: the soft-state scheme "can be
+    /// combined with explicit unsubscription for efficiency"): the hosting
+    /// node removes the subscriber's filter immediately.
+    Unsubscribe {
+        /// The standardized original subscription filter.
+        filter: Filter,
+        /// The unsubscribing node.
+        subscriber: ActorId,
+    },
+    /// A child no longer needs a weakened filter stored at its parent
+    /// (the upstream propagation of explicit unsubscription).
+    ReqRemove {
+        /// The weakened filter (in the receiving node's stage format).
+        filter: Filter,
+        /// The requesting child node.
+        child: ActorId,
+    },
+    /// Durable subscription going offline (Section 2.1: nodes store events
+    /// "for temporarily disconnected subscribers with durable
+    /// subscriptions"): the hosting node starts buffering the subscriber's
+    /// matching events.
+    Detach {
+        /// The disconnecting subscriber.
+        subscriber: ActorId,
+    },
+    /// The durable subscriber is back: the hosting node flushes the
+    /// buffered events in publication order.
+    Attach {
+        /// The reconnecting subscriber.
+        subscriber: ActorId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use layercake_event::{ClassId, EventData, EventSeq, StageMap};
+
+    #[test]
+    fn messages_are_cloneable_and_debuggable() {
+        let req = SubscriptionReq {
+            id: FilterId(1),
+            filter: Filter::any(),
+            subscriber: ActorId(3),
+        };
+        let msgs = vec![
+            OverlayMsg::Advertise(Advertisement::new(
+                ClassId(0),
+                StageMap::from_prefixes(&[1]).unwrap(),
+            )),
+            OverlayMsg::Subscribe(req.clone()),
+            OverlayMsg::JoinAt {
+                req,
+                node: ActorId(4),
+            },
+            OverlayMsg::AcceptedAt {
+                id: FilterId(1),
+                node: ActorId(4),
+            },
+            OverlayMsg::ReqInsert {
+                filter: Filter::any(),
+                child: ActorId(2),
+            },
+            OverlayMsg::Publish(Envelope::from_meta(
+                ClassId(0),
+                "X",
+                EventSeq(0),
+                EventData::new(),
+            )),
+            OverlayMsg::Renew,
+        ];
+        for m in &msgs {
+            let copy = m.clone();
+            assert!(!format!("{copy:?}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,949 @@
+//! The overlay simulation facade: topology construction and run control.
+
+use std::sync::Arc;
+
+use layercake_event::{Advertisement, Envelope, EventSeq, TypeRegistry};
+use layercake_filter::{standardize, Filter, FilterError, FilterId};
+use layercake_metrics::RunMetrics;
+use layercake_sim::{ActorId, SimDuration, SimTime, World};
+
+use crate::broker::{Broker, BrokerSetup};
+use crate::config::OverlayConfig;
+use crate::msg::{OverlayMsg, SubscriptionReq};
+use crate::node::NodeActor;
+use crate::subscriber::{ResidualFilter, SubscriberNode};
+
+/// Handle to a subscriber created with [`OverlaySim::add_subscriber`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriberHandle(ActorId);
+
+/// A multi-stage filtering overlay running inside a deterministic
+/// discrete-event world.
+///
+/// The facade builds the broker hierarchy described by an
+/// [`OverlayConfig`], then drives the protocol: advertisements flood from
+/// the root, subscriptions walk down per Figure 5, events publish at the
+/// root and filter down per Figure 6. After (or between) runs, node
+/// counters aggregate into the paper's metrics via
+/// [`OverlaySim::metrics`].
+pub struct OverlaySim {
+    world: World<NodeActor>,
+    registry: Arc<TypeRegistry>,
+    cfg: OverlayConfig,
+    root: ActorId,
+    brokers: Vec<ActorId>,
+    subscribers: Vec<ActorId>,
+    next_filter: u64,
+    published: u64,
+    delivered_messages: u64,
+    fired_timers: u64,
+}
+
+impl OverlaySim {
+    /// Builds the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`OverlayConfig::validate`].
+    #[must_use]
+    pub fn new(cfg: OverlayConfig, registry: Arc<TypeRegistry>) -> Self {
+        cfg.validate().expect("invalid overlay configuration");
+        let mut world = World::with_latency(SimDuration::from_ticks(1));
+
+        // Brokers are created level by level from stage 1 upward, so actor
+        // ids are predictable: level l occupies offsets[l]..offsets[l+1].
+        let mut offsets = Vec::with_capacity(cfg.levels.len() + 1);
+        let mut acc = 0usize;
+        for &n in &cfg.levels {
+            offsets.push(acc);
+            acc += n;
+        }
+        offsets.push(acc);
+
+        let parent_of = |level: usize, i: usize| -> Option<ActorId> {
+            if level + 1 >= cfg.levels.len() {
+                None
+            } else {
+                let idx = i * cfg.levels[level + 1] / cfg.levels[level];
+                Some(ActorId(offsets[level + 1] + idx))
+            }
+        };
+
+        let mut brokers = Vec::with_capacity(acc);
+        for (level, &count) in cfg.levels.iter().enumerate() {
+            for i in 0..count {
+                let stage = level + 1;
+                let children: Vec<ActorId> = if level == 0 {
+                    Vec::new()
+                } else {
+                    (0..cfg.levels[level - 1])
+                        .filter(|&c| parent_of(level - 1, c) == Some(ActorId(offsets[level] + i)))
+                        .map(|c| ActorId(offsets[level - 1] + c))
+                        .collect()
+                };
+                let broker = Broker::new(BrokerSetup {
+                    label: format!("N{stage}.{}", i + 1),
+                    stage,
+                    parent: parent_of(level, i),
+                    children,
+                    registry: Arc::clone(&registry),
+                    placement: cfg.placement,
+                    index: cfg.index,
+                    covering_collapse: cfg.covering_collapse,
+                    wildcard_stage_placement: cfg.wildcard_stage_placement,
+                    leases_enabled: cfg.leases_enabled,
+                    ttl: cfg.ttl,
+                    seed: cfg.seed ^ (offsets[level] + i) as u64,
+                });
+                let id = world.add_actor(NodeActor::Broker(broker));
+                brokers.push(id);
+            }
+        }
+        let root = *brokers.last().expect("validated topology has a root");
+
+        Self {
+            world,
+            registry,
+            cfg,
+            root,
+            brokers,
+            subscribers: Vec::new(),
+            next_filter: 0,
+            published: 0,
+            delivered_messages: 0,
+            fired_timers: 0,
+        }
+    }
+
+    /// The shared type registry.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<TypeRegistry> {
+        &self.registry
+    }
+
+    /// The root broker's actor id.
+    #[must_use]
+    pub fn root(&self) -> ActorId {
+        self.root
+    }
+
+    /// All broker actor ids, stage 1 first.
+    #[must_use]
+    pub fn brokers(&self) -> &[ActorId] {
+        &self.brokers
+    }
+
+    /// Number of subscribers added so far.
+    #[must_use]
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// Floods an event-class advertisement (with its stage map) from the
+    /// root (Section 4.1). Call [`OverlaySim::settle`] before subscribing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the advertised class is not registered or its stage map
+    /// references attribute indices outside the class schema — such an
+    /// advertisement would silently disable weakening for the class.
+    pub fn advertise(&mut self, adv: Advertisement) {
+        let class = self
+            .registry
+            .class(adv.class)
+            .unwrap_or_else(|| panic!("advertised {} is not registered", adv.class));
+        adv.stage_map
+            .check_arity(class.arity())
+            .expect("stage map fits the class schema");
+        self.world.send_external(self.root, OverlayMsg::Advertise(adv));
+    }
+
+    /// Adds a subscriber with a declarative filter only.
+    ///
+    /// The filter must name an event class; it is converted to the standard
+    /// subscription filter format (Section 4.4) before placement.
+    ///
+    /// # Errors
+    ///
+    /// * [`FilterError::MissingClass`] if the filter has no class constraint.
+    /// * [`FilterError::UnknownClass`] if the class is not registered.
+    /// * Standardization errors for unknown attributes or kind mismatches.
+    pub fn add_subscriber(&mut self, filter: Filter) -> Result<SubscriberHandle, FilterError> {
+        self.add_subscriber_with(filter, None)
+    }
+
+    /// Adds a subscriber whose subscription carries a stateful residual
+    /// predicate evaluated only at the subscriber runtime (the paper's
+    /// expressive, type-safe filters such as `BuyFilter`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`OverlaySim::add_subscriber`].
+    pub fn add_subscriber_with(
+        &mut self,
+        filter: Filter,
+        residual: Option<Box<dyn ResidualFilter>>,
+    ) -> Result<SubscriberHandle, FilterError> {
+        self.add_subscriber_any(vec![filter], residual)
+    }
+
+    /// Adds a subscriber with a *disjunctive* subscription: the event is
+    /// delivered when any of the branch filters matches (and the optional
+    /// residual accepts it). Each branch is standardized, routed and hosted
+    /// independently; events arriving via several branches are delivered
+    /// exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`OverlaySim::add_subscriber`], checked per
+    /// branch; also rejects an empty branch list with
+    /// [`FilterError::MissingClass`].
+    pub fn add_subscriber_any(
+        &mut self,
+        filters: Vec<Filter>,
+        residual: Option<Box<dyn ResidualFilter>>,
+    ) -> Result<SubscriberHandle, FilterError> {
+        if filters.is_empty() {
+            return Err(FilterError::MissingClass);
+        }
+        let mut branches = Vec::with_capacity(filters.len());
+        for filter in filters {
+            let class_id = filter.class().ok_or(FilterError::MissingClass)?;
+            let class = self.registry.class(class_id).ok_or(FilterError::UnknownClass)?;
+            let standardized = standardize(&filter, class)?;
+            let id = FilterId(self.next_filter);
+            self.next_filter += 1;
+            branches.push((id, standardized));
+        }
+        let label = format!("sub-{:04}", self.subscribers.len());
+        let node = SubscriberNode::new(
+            label,
+            branches.clone(),
+            residual,
+            Arc::clone(&self.registry),
+            self.cfg.leases_enabled,
+            self.cfg.ttl,
+        );
+        let actor = self.world.add_actor(NodeActor::Subscriber(node));
+        self.subscribers.push(actor);
+        for (id, filter) in branches {
+            self.world.send_external(
+                self.root,
+                OverlayMsg::Subscribe(SubscriptionReq {
+                    id,
+                    filter,
+                    subscriber: actor,
+                }),
+            );
+        }
+        Ok(SubscriberHandle(actor))
+    }
+
+    /// Publishes an event at the root.
+    pub fn publish(&mut self, env: Envelope) {
+        self.published += 1;
+        self.world.send_external(self.root, OverlayMsg::Publish(env));
+    }
+
+    /// Publishes a batch of events.
+    pub fn publish_all(&mut self, envs: impl IntoIterator<Item = Envelope>) {
+        for env in envs {
+            self.publish(env);
+        }
+    }
+
+    /// Runs the world until in-flight protocol traffic drains.
+    ///
+    /// With leases enabled the lease timers keep the queue non-empty
+    /// forever, so this advances a bounded window large enough for any
+    /// placement walk or event delivery, leaving future timers queued.
+    pub fn settle(&mut self) {
+        let report = if self.cfg.leases_enabled {
+            let window = SimDuration::from_ticks(16 * (self.cfg.stages() as u64 + 2));
+            let deadline = self.world.now() + window;
+            self.world.run_until(deadline)
+        } else {
+            self.world.run()
+        };
+        self.account(report);
+    }
+
+    /// Advances virtual time by `d`, processing lease traffic and anything
+    /// else that comes due.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.world.now() + d;
+        let report = self.world.run_until(deadline);
+        self.account(report);
+    }
+
+    fn account(&mut self, report: layercake_sim::RunReport) {
+        self.delivered_messages += report.delivered_messages;
+        self.fired_timers += report.fired_timers;
+    }
+
+    /// Total protocol messages delivered so far (subscription walks, filter
+    /// maintenance, event forwarding, renewals) — the network cost of the
+    /// run.
+    #[must_use]
+    pub fn network_messages(&self) -> u64 {
+        self.delivered_messages
+    }
+
+    /// Total timer firings (lease sweeps and renewal clocks).
+    #[must_use]
+    pub fn fired_timers(&self) -> u64 {
+        self.fired_timers
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// Sequence numbers delivered to (and accepted by) a subscriber.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this simulation.
+    #[must_use]
+    pub fn deliveries(&self, handle: SubscriberHandle) -> &[EventSeq] {
+        self.subscriber(handle).deliveries()
+    }
+
+    /// The subscriber node behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this simulation.
+    #[must_use]
+    pub fn subscriber(&self, handle: SubscriberHandle) -> &SubscriberNode {
+        self.world
+            .actor(handle.0)
+            .as_subscriber()
+            .expect("handle points at a subscriber")
+    }
+
+    /// The broker node behind an actor id, if it is a broker.
+    #[must_use]
+    pub fn broker(&self, id: ActorId) -> Option<&Broker> {
+        self.world.actor(id).as_broker()
+    }
+
+    /// Enables envelope buffering for a subscriber, so accepted events can
+    /// be drained with [`OverlaySim::take_inbox`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this simulation.
+    pub fn set_store_envelopes(&mut self, handle: SubscriberHandle, store: bool) {
+        self.world
+            .actor_mut(handle.0)
+            .as_subscriber_mut()
+            .expect("handle points at a subscriber")
+            .set_store_envelopes(store);
+    }
+
+    /// Drains the envelopes accepted by a subscriber since the last drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this simulation.
+    pub fn take_inbox(&mut self, handle: SubscriberHandle) -> Vec<Envelope> {
+        self.world
+            .actor_mut(handle.0)
+            .as_subscriber_mut()
+            .expect("handle points at a subscriber")
+            .take_inbox()
+    }
+
+    /// Soft-state unsubscription (Section 4.3): the subscriber stops
+    /// renewing; its filters expire from the hierarchy after 3 × TTL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this simulation.
+    pub fn unsubscribe(&mut self, handle: SubscriberHandle) {
+        self.world
+            .actor_mut(handle.0)
+            .as_subscriber_mut()
+            .expect("handle points at a subscriber")
+            .deactivate();
+    }
+
+    /// Explicit unsubscription (Section 4.3): the hosting node removes the
+    /// subscription immediately and withdraws weakened filters that are no
+    /// longer needed all the way up the hierarchy. Also stops lease
+    /// renewal. Returns `false` when the subscription has not completed
+    /// placement yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this simulation.
+    pub fn unsubscribe_now(&mut self, handle: SubscriberHandle) -> bool {
+        let node = self
+            .world
+            .actor_mut(handle.0)
+            .as_subscriber_mut()
+            .expect("handle points at a subscriber");
+        if !node.fully_placed() {
+            return false;
+        }
+        node.deactivate();
+        let removals: Vec<(ActorId, Filter)> = node
+            .branches()
+            .iter()
+            .map(|b| (b.host().expect("fully placed"), b.filter().clone()))
+            .collect();
+        for (host, filter) in removals {
+            self.world.send_external(
+                host,
+                OverlayMsg::Unsubscribe {
+                    filter,
+                    subscriber: handle.0,
+                },
+            );
+        }
+        true
+    }
+
+    /// Takes a durable subscriber offline (Section 2.1): its hosting node
+    /// buffers matching events until [`OverlaySim::reconnect`]. Returns
+    /// `false` when placement has not completed yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this simulation.
+    pub fn disconnect(&mut self, handle: SubscriberHandle) -> bool {
+        self.send_host_control(handle, |subscriber| OverlayMsg::Detach { subscriber })
+    }
+
+    /// Brings a durable subscriber back online: buffered events are
+    /// delivered in publication order. Returns `false` when placement has
+    /// not completed yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this simulation.
+    pub fn reconnect(&mut self, handle: SubscriberHandle) -> bool {
+        self.send_host_control(handle, |subscriber| OverlayMsg::Attach { subscriber })
+    }
+
+    fn send_host_control(
+        &mut self,
+        handle: SubscriberHandle,
+        make: impl Fn(ActorId) -> OverlayMsg,
+    ) -> bool {
+        let node = self.subscriber(handle);
+        if !node.fully_placed() {
+            return false;
+        }
+        let mut hosts: Vec<ActorId> = node
+            .branches()
+            .iter()
+            .filter_map(crate::subscriber::Branch::host)
+            .collect();
+        hosts.sort();
+        hosts.dedup();
+        for host in hosts {
+            self.world.send_external(host, make(handle.0));
+        }
+        true
+    }
+
+    /// Fault injection: drops all messages between two nodes, in both
+    /// directions, until [`OverlaySim::heal_partition`].
+    pub fn partition(&mut self, a: ActorId, b: ActorId) {
+        self.world.block_link(a, b);
+        self.world.block_link(b, a);
+    }
+
+    /// Heals a partition created with [`OverlaySim::partition`].
+    pub fn heal_partition(&mut self, a: ActorId, b: ActorId) {
+        self.world.unblock_link(a, b);
+        self.world.unblock_link(b, a);
+    }
+
+    /// The actor id behind a subscriber handle (for fault injection).
+    #[must_use]
+    pub fn subscriber_actor(&self, handle: SubscriberHandle) -> ActorId {
+        handle.0
+    }
+
+    /// Collects every node's counters into the run metrics.
+    #[must_use]
+    pub fn metrics(&self) -> RunMetrics {
+        let mut m = RunMetrics::new(self.published, self.subscribers.len() as u64);
+        for node in self.world.actors() {
+            match node {
+                NodeActor::Broker(b) => m.push(b.record()),
+                NodeActor::Subscriber(s) => m.push(s.record()),
+            }
+        }
+        m
+    }
+
+    /// Total events published so far.
+    #[must_use]
+    pub fn published(&self) -> u64 {
+        self.published
+    }
+
+    /// Renders every broker's filter table, root first — a debugging view
+    /// of the weakening pyramid (class names resolved through the registry,
+    /// destinations shown as node/subscription labels).
+    #[must_use]
+    pub fn dump_tables(&self) -> String {
+        let mut out = String::new();
+        let label_of = |actor: ActorId| -> String {
+            match self.world.actor(actor) {
+                NodeActor::Broker(b) => b.label().to_owned(),
+                NodeActor::Subscriber(s) => format!("sub:{}", s.id()),
+            }
+        };
+        for &id in self.brokers.iter().rev() {
+            let Some(broker) = self.world.actor(id).as_broker() else {
+                continue;
+            };
+            out.push_str(&format!(
+                "{} (stage {}):{}\n",
+                broker.label(),
+                broker.stage(),
+                if broker.filter_count() == 0 { " —" } else { "" }
+            ));
+            for (filter, dests) in broker.table_entries() {
+                let targets: Vec<String> = dests
+                    .iter()
+                    .map(|d| label_of(crate::broker::actor_of(*d)))
+                    .collect();
+                out.push_str(&format!(
+                    "  {} -> {}\n",
+                    filter.display_with(&self.registry),
+                    targets.join(", ")
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlacementPolicy;
+    use layercake_event::{event_data, EventData};
+    use layercake_workload::BiblioWorkload;
+
+    fn biblio_sim(cfg: OverlayConfig) -> (OverlaySim, layercake_event::ClassId) {
+        let mut registry = TypeRegistry::new();
+        let class = BiblioWorkload::register(&mut registry);
+        let mut sim = OverlaySim::new(cfg, Arc::new(registry));
+        sim.advertise(Advertisement::new(class, BiblioWorkload::stage_map()));
+        sim.settle();
+        (sim, class)
+    }
+
+    fn biblio_event(year: i64, conf: &str, author: &str, title: &str) -> EventData {
+        event_data! { "year" => year, "conference" => conf, "author" => author, "title" => title }
+    }
+
+    fn env(class: layercake_event::ClassId, seq: u64, e: EventData) -> Envelope {
+        Envelope::from_meta(class, "Biblio", EventSeq(seq), e)
+    }
+
+    #[test]
+    fn end_to_end_exact_delivery() {
+        let (mut sim, class) = biblio_sim(OverlayConfig {
+            levels: vec![4, 2, 1],
+            ..OverlayConfig::default()
+        });
+        let sub = sim
+            .add_subscriber(
+                Filter::for_class(class)
+                    .eq("year", 2002)
+                    .eq("conference", "icdcs")
+                    .eq("author", "felber")
+                    .eq("title", "tradeoffs"),
+            )
+            .unwrap();
+        sim.settle();
+        assert!(sim.subscriber(sub).host().is_some());
+
+        sim.publish(env(class, 0, biblio_event(2002, "icdcs", "felber", "tradeoffs")));
+        sim.publish(env(class, 1, biblio_event(2002, "icdcs", "felber", "other")));
+        sim.publish(env(class, 2, biblio_event(1999, "icdcs", "felber", "tradeoffs")));
+        sim.publish(env(class, 3, biblio_event(2002, "podc", "felber", "tradeoffs")));
+        sim.settle();
+        assert_eq!(sim.deliveries(sub), &[EventSeq(0)]);
+    }
+
+    #[test]
+    fn partial_filters_receive_all_matching() {
+        let (mut sim, class) = biblio_sim(OverlayConfig {
+            levels: vec![4, 1],
+            ..OverlayConfig::default()
+        });
+        // Year-only filter (others wildcarded via standardization).
+        let sub = sim.add_subscriber(Filter::for_class(class).eq("year", 2000)).unwrap();
+        sim.settle();
+        for (i, year) in [2000i64, 1999, 2000, 2001].into_iter().enumerate() {
+            sim.publish(env(class, i as u64, biblio_event(year, "c", "a", "t")));
+        }
+        sim.settle();
+        assert_eq!(sim.deliveries(sub), &[EventSeq(0), EventSeq(2)]);
+    }
+
+    #[test]
+    fn similarity_placement_groups_similar_subscriptions() {
+        let (mut sim, class) = biblio_sim(OverlayConfig {
+            levels: vec![50, 5, 1],
+            placement: PlacementPolicy::Similarity,
+            ..OverlayConfig::default()
+        });
+        // Many identical-prefix subscriptions: they should all land on the
+        // same stage-1 node after the first one placed.
+        let filter = |title: &str| {
+            Filter::for_class(class)
+                .eq("year", 2002)
+                .eq("conference", "icdcs")
+                .eq("author", "eugster")
+                .eq("title", title.to_owned())
+        };
+        let first = sim.add_subscriber(filter("t-0")).unwrap();
+        sim.settle();
+        let first_host = sim.subscriber(first).host().unwrap();
+        for i in 1..10 {
+            let h = sim.add_subscriber(filter(&format!("t-{i}"))).unwrap();
+            sim.settle();
+            assert_eq!(
+                sim.subscriber(h).host(),
+                Some(first_host),
+                "similar subscription {i} should join the same node"
+            );
+        }
+        // The shared path means the root holds exactly one year-filter.
+        let root = sim.broker(sim.root()).unwrap();
+        assert_eq!(root.filter_count(), 1);
+    }
+
+    #[test]
+    fn random_placement_scatters() {
+        let (mut sim, class) = biblio_sim(OverlayConfig {
+            levels: vec![50, 5, 1],
+            placement: PlacementPolicy::Random,
+            ..OverlayConfig::default()
+        });
+        let filter = |title: &str| {
+            Filter::for_class(class)
+                .eq("year", 2002)
+                .eq("conference", "icdcs")
+                .eq("author", "eugster")
+                .eq("title", title.to_owned())
+        };
+        let mut hosts = std::collections::HashSet::new();
+        for i in 0..20 {
+            let h = sim.add_subscriber(filter(&format!("t-{i}"))).unwrap();
+            sim.settle();
+            hosts.insert(sim.subscriber(h).host().unwrap());
+        }
+        assert!(hosts.len() > 3, "random placement should scatter (got {})", hosts.len());
+    }
+
+    #[test]
+    fn wildcard_subscription_anchors_high() {
+        let (mut sim, class) = biblio_sim(OverlayConfig {
+            levels: vec![10, 5, 1],
+            ..OverlayConfig::default()
+        });
+        // fy-style: year specified, everything else wildcard. The most
+        // general wildcarded attribute is `conference` (index 1), whose
+        // topmost using stage in the biblio map is 2 — so the subscription
+        // anchors at stage 3, the root of this hierarchy, where filtering
+        // happens on `year` alone.
+        let sub = sim
+            .add_subscriber(Filter::for_class(class).eq("year", 2002))
+            .unwrap();
+        sim.settle();
+        let host = sim.subscriber(sub).host().unwrap();
+        let host_stage = sim.broker(host).unwrap().stage();
+        assert_eq!(host_stage, 3, "wildcard subscription should anchor above stage 2");
+        // And it still receives exactly its events.
+        sim.publish(env(class, 0, biblio_event(2002, "x", "y", "z")));
+        sim.publish(env(class, 1, biblio_event(2001, "x", "y", "z")));
+        sim.settle();
+        assert_eq!(sim.deliveries(sub), &[EventSeq(0)]);
+    }
+
+    #[test]
+    fn naive_wildcard_placement_lands_on_stage_one() {
+        let (mut sim, class) = biblio_sim(OverlayConfig {
+            levels: vec![10, 5, 1],
+            wildcard_stage_placement: false,
+            ..OverlayConfig::default()
+        });
+        let sub = sim
+            .add_subscriber(Filter::for_class(class).eq("year", 2002))
+            .unwrap();
+        sim.settle();
+        let host = sim.subscriber(sub).host().unwrap();
+        assert_eq!(sim.broker(host).unwrap().stage(), 1);
+    }
+
+    #[test]
+    fn type_only_wildcard_anchors_at_root() {
+        let (mut sim, class) = biblio_sim(OverlayConfig {
+            levels: vec![10, 5, 1],
+            ..OverlayConfig::default()
+        });
+        // Everything wildcarded: subscriber wants all Biblio events.
+        let sub = sim.add_subscriber(Filter::for_class(class)).unwrap();
+        sim.settle();
+        let host = sim.subscriber(sub).host().unwrap();
+        assert_eq!(host, sim.root());
+        sim.publish(env(class, 0, biblio_event(1998, "a", "b", "c")));
+        sim.settle();
+        assert_eq!(sim.deliveries(sub).len(), 1);
+    }
+
+    #[test]
+    fn subscription_without_class_is_rejected() {
+        let (mut sim, _) = biblio_sim(OverlayConfig::default());
+        let err = sim.add_subscriber(Filter::any().eq("year", 2002)).unwrap_err();
+        assert!(matches!(err, FilterError::MissingClass));
+    }
+
+    #[test]
+    fn unknown_attribute_is_rejected() {
+        let (mut sim, class) = biblio_sim(OverlayConfig::default());
+        let err = sim
+            .add_subscriber(Filter::for_class(class).eq("publisher", "acm"))
+            .unwrap_err();
+        assert!(matches!(err, FilterError::UnknownAttribute { .. }));
+    }
+
+    #[test]
+    fn events_do_not_reach_uninterested_subtrees() {
+        let (mut sim, class) = biblio_sim(OverlayConfig {
+            levels: vec![10, 2, 1],
+            ..OverlayConfig::default()
+        });
+        let _sub = sim
+            .add_subscriber(
+                Filter::for_class(class)
+                    .eq("year", 2002)
+                    .eq("conference", "icdcs")
+                    .eq("author", "a")
+                    .eq("title", "t"),
+            )
+            .unwrap();
+        sim.settle();
+        sim.publish(env(class, 0, biblio_event(1990, "x", "y", "z")));
+        sim.settle();
+        // Only the root should have received the event; it matches nothing.
+        let received: u64 = sim
+            .brokers()
+            .iter()
+            .map(|&b| sim.broker(b).unwrap().record().received)
+            .sum();
+        assert_eq!(received, 1);
+        let root_rec = sim.broker(sim.root()).unwrap().record();
+        assert_eq!(root_rec.received, 1);
+        assert_eq!(root_rec.matched, 0);
+    }
+
+    #[test]
+    fn lease_expiry_removes_unrenewed_filters() {
+        let ttl = SimDuration::from_ticks(1_000);
+        let (mut sim, class) = biblio_sim(OverlayConfig {
+            levels: vec![4, 1],
+            leases_enabled: true,
+            ttl,
+            ..OverlayConfig::default()
+        });
+        let keep = sim
+            .add_subscriber(Filter::for_class(class).eq("year", 2000).eq("author", "k"))
+            .unwrap();
+        let drop = sim
+            .add_subscriber(Filter::for_class(class).eq("year", 2000).eq("author", "d"))
+            .unwrap();
+        sim.settle();
+        assert!(sim.subscriber(keep).host().is_some());
+        assert!(sim.subscriber(drop).host().is_some());
+
+        // Unsubscribe via lease silence, then advance past 3 × TTL (+ sweep).
+        sim.unsubscribe(drop);
+        sim.run_for(ttl * 6);
+
+        sim.publish(env(class, 0, biblio_event(2000, "c", "k", "t")));
+        sim.publish(env(class, 1, biblio_event(2000, "c", "d", "t")));
+        sim.settle();
+        // The kept subscriber still gets its event; the dropped one is gone.
+        assert_eq!(sim.deliveries(keep), &[EventSeq(0)]);
+        assert_eq!(sim.deliveries(drop), &[] as &[EventSeq]);
+    }
+
+    #[test]
+    fn renewed_subscriptions_survive_many_ttls() {
+        let ttl = SimDuration::from_ticks(1_000);
+        let (mut sim, class) = biblio_sim(OverlayConfig {
+            levels: vec![4, 1],
+            leases_enabled: true,
+            ttl,
+            ..OverlayConfig::default()
+        });
+        let sub = sim
+            .add_subscriber(Filter::for_class(class).eq("year", 2000).eq("author", "k"))
+            .unwrap();
+        sim.settle();
+        sim.run_for(ttl * 20);
+        sim.publish(env(class, 0, biblio_event(2000, "c", "k", "t")));
+        sim.settle();
+        assert_eq!(sim.deliveries(sub).len(), 1);
+    }
+
+    #[test]
+    fn metrics_cover_all_nodes() {
+        let (mut sim, class) = biblio_sim(OverlayConfig {
+            levels: vec![4, 2, 1],
+            ..OverlayConfig::default()
+        });
+        let _s = sim
+            .add_subscriber(Filter::for_class(class).eq("year", 2002).eq("author", "a"))
+            .unwrap();
+        sim.settle();
+        sim.publish(env(class, 0, biblio_event(2002, "c", "a", "t")));
+        sim.settle();
+        let m = sim.metrics();
+        assert_eq!(m.records.len(), 4 + 2 + 1 + 1);
+        assert_eq!(m.total_events, 1);
+        assert_eq!(m.total_subs, 1);
+        // The root evaluated 1 event against 1 filter.
+        let root_rec = m.records.iter().find(|r| r.node == "N3.1").unwrap();
+        assert_eq!(root_rec.evaluations, 1);
+        assert!(m.global_rlc_total() > 0.0);
+    }
+
+    #[test]
+    fn dump_tables_shows_the_weakening_pyramid() {
+        let (mut sim, class) = biblio_sim(OverlayConfig {
+            levels: vec![2, 1],
+            ..OverlayConfig::default()
+        });
+        let _sub = sim
+            .add_subscriber(
+                Filter::for_class(class)
+                    .eq("year", 2002)
+                    .eq("conference", "icdcs")
+                    .eq("author", "felber")
+                    .eq("title", "tradeoffs"),
+            )
+            .unwrap();
+        sim.settle();
+        let dump = sim.dump_tables();
+        // Root first, holding the weaker (year) filter for its child…
+        assert!(dump.starts_with("N2.1 (stage 2):"));
+        assert!(dump.contains("(year, 2002, =) (conference, \"icdcs\", =) -> N1."));
+        // …and a stage-1 node holding the stronger form for the subscriber.
+        assert!(dump.contains("(author, \"felber\", =) -> sub:filter#0"));
+        assert!(dump.contains("(class, \"Biblio\", =)"));
+    }
+
+    #[test]
+    fn residual_filter_sees_only_prefiltered_events() {
+        let (mut sim, class) = biblio_sim(OverlayConfig {
+            levels: vec![4, 1],
+            ..OverlayConfig::default()
+        });
+        // Accept every other matching event (stateful residual).
+        let counter = std::cell::Cell::new(0u32);
+        let residual = move |_env: &Envelope| {
+            let n = counter.get();
+            counter.set(n + 1);
+            n.is_multiple_of(2)
+        };
+        let sub = sim
+            .add_subscriber_with(
+                Filter::for_class(class).eq("year", 2002),
+                Some(Box::new(residual)),
+            )
+            .unwrap();
+        sim.settle();
+        for i in 0..4u64 {
+            sim.publish(env(class, i, biblio_event(2002, "c", "a", &format!("t{i}"))));
+        }
+        sim.settle();
+        assert_eq!(sim.deliveries(sub), &[EventSeq(0), EventSeq(2)]);
+    }
+}
+
+#[cfg(test)]
+mod advertise_validation_tests {
+    use super::*;
+    use layercake_event::StageMap;
+    use layercake_workload::BiblioWorkload;
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn advertising_an_unknown_class_panics() {
+        let registry = Arc::new(TypeRegistry::new());
+        let mut sim = OverlaySim::new(
+            OverlayConfig {
+                levels: vec![1],
+                ..OverlayConfig::default()
+            },
+            registry,
+        );
+        sim.advertise(Advertisement::new(
+            layercake_event::ClassId(9),
+            StageMap::from_prefixes(&[1]).unwrap(),
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "stage map fits")]
+    fn advertising_an_oversized_stage_map_panics() {
+        let mut registry = TypeRegistry::new();
+        let class = BiblioWorkload::register(&mut registry);
+        let mut sim = OverlaySim::new(
+            OverlayConfig {
+                levels: vec![1],
+                ..OverlayConfig::default()
+            },
+            Arc::new(registry),
+        );
+        // Biblio has 4 attributes; a 9-attribute prefix is out of range.
+        sim.advertise(Advertisement::new(class, StageMap::from_prefixes(&[9]).unwrap()));
+    }
+
+    #[test]
+    fn re_advertising_updates_the_stage_map() {
+        let mut registry = TypeRegistry::new();
+        let class = BiblioWorkload::register(&mut registry);
+        let mut sim = OverlaySim::new(
+            OverlayConfig {
+                levels: vec![2, 1],
+                ..OverlayConfig::default()
+            },
+            Arc::new(registry),
+        );
+        sim.advertise(Advertisement::new(class, StageMap::from_prefixes(&[4, 1]).unwrap()));
+        sim.settle();
+        // Re-advertise with a deeper map: later subscriptions weaken by it.
+        sim.advertise(Advertisement::new(class, BiblioWorkload::stage_map()));
+        sim.settle();
+        let h = sim
+            .add_subscriber(
+                Filter::for_class(class)
+                    .eq("year", 2000)
+                    .eq("conference", "c")
+                    .eq("author", "a")
+                    .eq("title", "t"),
+            )
+            .unwrap();
+        sim.settle();
+        assert!(sim.subscriber(h).host().is_some());
+        // Root holds the stage-2 form (year, conference) of the new map.
+        let dump = sim.dump_tables();
+        assert!(dump.contains("(year, 2000, =) (conference, \"c\", =) ->"), "{dump}");
+    }
+}

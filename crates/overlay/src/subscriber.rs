@@ -1,0 +1,282 @@
+//! The subscriber runtime: perfect end-to-end filtering at stage 0.
+
+use std::fmt;
+use std::sync::Arc;
+
+use layercake_event::{Envelope, EventSeq, TypeRegistry};
+use layercake_filter::{Filter, FilterId};
+use layercake_metrics::NodeRecord;
+use layercake_sim::{ActorId, Ctx, SimDuration};
+
+use crate::msg::OverlayMsg;
+
+/// Timer tag: renew the subscription lease at the hosting node.
+const TAG_RENEW: u64 = 3;
+
+/// A stateful subscriber-side predicate that brokers cannot evaluate —
+/// the paper's arbitrary filter code (e.g. `BuyFilter`), applied only at
+/// the subscriber runtime after the declarative filter passed.
+pub trait ResidualFilter: Send {
+    /// Evaluates the residual predicate; may mutate internal state.
+    fn matches(&mut self, env: &Envelope) -> bool;
+}
+
+impl<F: FnMut(&Envelope) -> bool + Send> ResidualFilter for F {
+    fn matches(&mut self, env: &Envelope) -> bool {
+        self(env)
+    }
+}
+
+/// One routed branch of a subscription: a standardized conjunction filter
+/// plus the node hosting it once placement completed.
+#[derive(Debug, Clone)]
+pub struct Branch {
+    id: FilterId,
+    filter: Filter,
+    host: Option<ActorId>,
+}
+
+impl Branch {
+    /// The branch's filter id.
+    #[must_use]
+    pub fn id(&self) -> FilterId {
+        self.id
+    }
+
+    /// The standardized branch filter.
+    #[must_use]
+    pub fn filter(&self) -> &Filter {
+        &self.filter
+    }
+
+    /// The hosting node, once placed.
+    #[must_use]
+    pub fn host(&self) -> Option<ActorId> {
+        self.host
+    }
+}
+
+/// A stage-0 subscriber runtime.
+///
+/// The subscriber drives its own placement (re-sending the subscription on
+/// every `join-At` redirect, per Figure 5(a)), applies the *original*
+/// filter — declarative part plus optional residual — to every delivered
+/// event, and renews its lease while active.
+///
+/// A subscription may consist of several *branches* (a disjunction of
+/// conjunction filters — the "conjunctions/disjunctions" expressiveness
+/// level of the paper's Figure 2). Each branch is routed and hosted
+/// independently; the subscriber deduplicates events that arrive via more
+/// than one branch, so delivery stays exactly-once.
+pub struct SubscriberNode {
+    label: String,
+    branches: Vec<Branch>,
+    residual: Option<Box<dyn ResidualFilter>>,
+    registry: Arc<TypeRegistry>,
+    leases_enabled: bool,
+    ttl: SimDuration,
+    active: bool,
+    timer_started: bool,
+    redirects: u32,
+    received: u64,
+    matched: u64,
+    bytes_received: u64,
+    deliveries: Vec<EventSeq>,
+    seen: std::collections::HashSet<EventSeq>,
+    store_envelopes: bool,
+    inbox: Vec<Envelope>,
+}
+
+impl fmt::Debug for SubscriberNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SubscriberNode")
+            .field("label", &self.label)
+            .field("branches", &self.branches)
+            .field("has_residual", &self.residual.is_some())
+            .field("received", &self.received)
+            .field("matched", &self.matched)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SubscriberNode {
+    pub(crate) fn new(
+        label: String,
+        branches: Vec<(FilterId, Filter)>,
+        residual: Option<Box<dyn ResidualFilter>>,
+        registry: Arc<TypeRegistry>,
+        leases_enabled: bool,
+        ttl: SimDuration,
+    ) -> Self {
+        debug_assert!(!branches.is_empty(), "a subscription needs at least one branch");
+        Self {
+            label,
+            branches: branches
+                .into_iter()
+                .map(|(id, filter)| Branch {
+                    id,
+                    filter,
+                    host: None,
+                })
+                .collect(),
+            residual,
+            registry,
+            leases_enabled,
+            ttl,
+            active: true,
+            timer_started: false,
+            redirects: 0,
+            received: 0,
+            matched: 0,
+            bytes_received: 0,
+            deliveries: Vec::new(),
+            seen: std::collections::HashSet::new(),
+            store_envelopes: false,
+            inbox: Vec::new(),
+        }
+    }
+
+    /// Enables buffering of accepted envelopes for later draining with
+    /// [`SubscriberNode::take_inbox`] (used by the typed facade).
+    pub fn set_store_envelopes(&mut self, store: bool) {
+        self.store_envelopes = store;
+    }
+
+    /// Drains the buffered envelopes accepted since the last call.
+    pub fn take_inbox(&mut self) -> Vec<Envelope> {
+        std::mem::take(&mut self.inbox)
+    }
+
+    /// The subscription id (of the first branch).
+    #[must_use]
+    pub fn id(&self) -> FilterId {
+        self.branches[0].id
+    }
+
+    /// The standardized subscription filter (of the first branch).
+    #[must_use]
+    pub fn filter(&self) -> &Filter {
+        &self.branches[0].filter
+    }
+
+    /// All branches of this subscription.
+    #[must_use]
+    pub fn branches(&self) -> &[Branch] {
+        &self.branches
+    }
+
+    /// The stage-1 (or higher, for wildcard subscriptions) node hosting the
+    /// first branch, once placement completed.
+    #[must_use]
+    pub fn host(&self) -> Option<ActorId> {
+        self.branches[0].host
+    }
+
+    /// Whether every branch has completed placement.
+    #[must_use]
+    pub fn fully_placed(&self) -> bool {
+        self.branches.iter().all(|b| b.host.is_some())
+    }
+
+    /// Number of `join-At` redirects the placement walk took.
+    #[must_use]
+    pub fn redirects(&self) -> u32 {
+        self.redirects
+    }
+
+    /// Sequence numbers of events that passed the full original filter.
+    #[must_use]
+    pub fn deliveries(&self) -> &[EventSeq] {
+        &self.deliveries
+    }
+
+    /// Stops renewing the lease: the soft-state unsubscription of
+    /// Section 4.3.
+    pub fn deactivate(&mut self) {
+        self.active = false;
+    }
+
+    /// The subscriber's counters as a metrics record (stage 0). Every
+    /// delivered event is evaluated against each branch of the original
+    /// subscription.
+    #[must_use]
+    pub fn record(&self) -> NodeRecord {
+        NodeRecord {
+            node: self.label.clone(),
+            stage: 0,
+            filters: self.branches.len(),
+            received: self.received,
+            matched: self.matched,
+            evaluations: self.received * self.branches.len() as u64,
+            bytes_received: self.bytes_received,
+        }
+    }
+
+    pub(crate) fn handle(&mut self, _from: ActorId, msg: OverlayMsg, ctx: &mut Ctx<'_, OverlayMsg>) {
+        match msg {
+            OverlayMsg::JoinAt { req, node } => {
+                self.redirects += 1;
+                ctx.send(node, OverlayMsg::Subscribe(req));
+            }
+            OverlayMsg::AcceptedAt { id, node } => {
+                let branch = self
+                    .branches
+                    .iter_mut()
+                    .find(|b| b.id == id)
+                    .expect("acceptance for one of this subscriber's branches");
+                branch.host = Some(node);
+                if self.leases_enabled && !self.timer_started {
+                    self.timer_started = true;
+                    ctx.set_timer(self.ttl, TAG_RENEW);
+                }
+            }
+            OverlayMsg::Deliver(env) => {
+                self.received += 1;
+                self.bytes_received += env.wire_size() as u64;
+                let declarative = self
+                    .branches
+                    .iter()
+                    .any(|b| b.filter.matches_envelope(&env, &self.registry));
+                let full = declarative
+                    && match &mut self.residual {
+                        Some(r) => r.matches(&env),
+                        None => true,
+                    };
+                if full {
+                    self.matched += 1;
+                    // The same event may arrive once per branch; record it
+                    // exactly once.
+                    if self.seen.insert(env.seq()) {
+                        self.deliveries.push(env.seq());
+                        if self.store_envelopes {
+                            self.inbox.push(env);
+                        }
+                    }
+                }
+            }
+            other => {
+                debug_assert!(
+                    matches!(other, OverlayMsg::Advertise(_)),
+                    "unexpected message at subscriber {}: {other:?}",
+                    self.label
+                );
+            }
+        }
+    }
+
+    pub(crate) fn timer(&mut self, tag: u64, ctx: &mut Ctx<'_, OverlayMsg>) {
+        debug_assert_eq!(tag, TAG_RENEW);
+        if self.active {
+            let mut renewed: Vec<ActorId> = Vec::new();
+            for b in &self.branches {
+                if let Some(host) = b.host {
+                    if !renewed.contains(&host) {
+                        ctx.send(host, OverlayMsg::Renew);
+                        renewed.push(host);
+                    }
+                }
+            }
+            ctx.set_timer(self.ttl, TAG_RENEW);
+        }
+    }
+}

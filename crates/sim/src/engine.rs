@@ -1,0 +1,534 @@
+//! The discrete-event scheduler.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of an actor within a [`World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub usize);
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "actor#{}", self.0)
+    }
+}
+
+/// A simulated node: reacts to messages and timers.
+///
+/// Handlers receive a [`Ctx`] through which they can send messages and set
+/// timers; effects are buffered and scheduled after the handler returns, so
+/// an actor never observes its own re-entrant delivery.
+pub trait Actor {
+    /// The message type exchanged in this simulation.
+    type Msg;
+
+    /// Handles a message delivered to this actor.
+    fn on_message(&mut self, from: ActorId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Handles a timer previously set with [`Ctx::set_timer`]. The default
+    /// implementation ignores timers.
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = (tag, ctx);
+    }
+}
+
+enum Effect<M> {
+    Send {
+        to: ActorId,
+        msg: M,
+        delay: SimDuration,
+    },
+    Timer {
+        tag: u64,
+        delay: SimDuration,
+    },
+}
+
+/// Handler-side view of the world: the clock plus buffered effects.
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    me: ActorId,
+    default_latency: SimDuration,
+    effects: &'a mut Vec<Effect<M>>,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the handling actor.
+    #[must_use]
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// Sends a message with the world's default link latency.
+    pub fn send(&mut self, to: ActorId, msg: M) {
+        let delay = self.default_latency;
+        self.send_after(to, msg, delay);
+    }
+
+    /// Sends a message that will be delivered after `delay`.
+    pub fn send_after(&mut self, to: ActorId, msg: M, delay: SimDuration) {
+        self.effects.push(Effect::Send { to, msg, delay });
+    }
+
+    /// Schedules [`Actor::on_timer`] with `tag` after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.effects.push(Effect::Timer { tag, delay });
+    }
+}
+
+enum Item<M> {
+    Message { from: ActorId, to: ActorId, msg: M },
+    Timer { actor: ActorId, tag: u64 },
+}
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    item: Item<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first;
+        // sequence numbers break ties FIFO.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Summary of a completed [`World::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunReport {
+    /// Number of messages delivered to actors.
+    pub delivered_messages: u64,
+    /// Number of timer firings.
+    pub fired_timers: u64,
+    /// Messages dropped on blocked links (fault injection).
+    pub dropped_messages: u64,
+    /// Virtual time of the last processed item.
+    pub end_time: SimTime,
+    /// Whether the run stopped because it hit the step limit.
+    pub hit_step_limit: bool,
+}
+
+/// The discrete-event scheduler holding all actors and pending deliveries.
+///
+/// Determinism: items are processed in `(time, insertion sequence)` order,
+/// and handlers' effects are scheduled in the order they were issued, so a
+/// simulation's outcome is a pure function of its inputs.
+pub struct World<A: Actor> {
+    actors: Vec<A>,
+    queue: BinaryHeap<Scheduled<A::Msg>>,
+    now: SimTime,
+    seq: u64,
+    default_latency: SimDuration,
+    step_limit: u64,
+    effects_scratch: Vec<Effect<A::Msg>>,
+    blocked: std::collections::HashSet<(ActorId, ActorId)>,
+}
+
+impl<A: Actor> Default for World<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Actor> World<A> {
+    /// Creates an empty world with a default link latency of 1 tick.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_latency(SimDuration::from_ticks(1))
+    }
+
+    /// Creates an empty world with the given default link latency.
+    #[must_use]
+    pub fn with_latency(default_latency: SimDuration) -> Self {
+        Self {
+            actors: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            default_latency,
+            step_limit: u64::MAX,
+            effects_scratch: Vec::new(),
+            blocked: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Fault injection: drops every message traveling from `from` to `to`
+    /// (checked at delivery time, so in-flight messages are lost too).
+    /// External injections are never blocked.
+    pub fn block_link(&mut self, from: ActorId, to: ActorId) {
+        self.blocked.insert((from, to));
+    }
+
+    /// Heals a previously blocked link.
+    pub fn unblock_link(&mut self, from: ActorId, to: ActorId) {
+        self.blocked.remove(&(from, to));
+    }
+
+    /// Blocks every link touching `node`, in both directions — a crashed or
+    /// partitioned node. Messages *to* the node are dropped; note the node's
+    /// own timers still fire (its local clock keeps running).
+    pub fn partition_node(&mut self, node: ActorId) {
+        for i in 0..self.actors.len() {
+            self.blocked.insert((ActorId(i), node));
+            self.blocked.insert((node, ActorId(i)));
+        }
+    }
+
+    /// Heals every link touching `node`.
+    pub fn heal_node(&mut self, node: ActorId) {
+        self.blocked.retain(|&(a, b)| a != node && b != node);
+    }
+
+    /// Caps the number of items a single `run` may process (a safeguard
+    /// against livelock in model bugs). Default: unlimited.
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit;
+    }
+
+    /// Adds an actor, returning its id.
+    pub fn add_actor(&mut self, actor: A) -> ActorId {
+        self.actors.push(actor);
+        ActorId(self.actors.len() - 1)
+    }
+
+    /// Immutable access to an actor's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is not part of this world.
+    #[must_use]
+    pub fn actor(&self, id: ActorId) -> &A {
+        &self.actors[id.0]
+    }
+
+    /// Mutable access to an actor's state (for test setup and post-run
+    /// extraction; not for bypassing the message layer mid-run).
+    pub fn actor_mut(&mut self, id: ActorId) -> &mut A {
+        &mut self.actors[id.0]
+    }
+
+    /// All actors, in id order.
+    #[must_use]
+    pub fn actors(&self) -> &[A] {
+        &self.actors
+    }
+
+    /// Number of actors.
+    #[must_use]
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Injects a message from outside the simulation, delivered at the
+    /// current time plus the default latency.
+    pub fn send_external(&mut self, to: ActorId, msg: A::Msg) {
+        let at = self.now + self.default_latency;
+        self.push(at, Item::Message {
+            from: ActorId(usize::MAX),
+            to,
+            msg,
+        });
+    }
+
+    /// Injects a message delivered at an absolute virtual time.
+    pub fn send_external_at(&mut self, to: ActorId, msg: A::Msg, at: SimTime) {
+        self.push(at.max(self.now), Item::Message {
+            from: ActorId(usize::MAX),
+            to,
+            msg,
+        });
+    }
+
+    /// Runs until the queue drains (or the step limit is hit).
+    pub fn run(&mut self) -> RunReport {
+        self.run_until(SimTime::from_ticks(u64::MAX))
+    }
+
+    /// Runs until the queue drains or virtual time would exceed `deadline`.
+    /// Items scheduled after the deadline stay queued. On return the clock
+    /// stands at `deadline` (the elapsed window is fully spent, so repeated
+    /// bounded runs advance virtual time deterministically), except for the
+    /// unbounded sentinel used by [`World::run`].
+    pub fn run_until(&mut self, deadline: SimTime) -> RunReport {
+        let mut report = RunReport::default();
+        let mut steps = 0u64;
+        while let Some(next) = self.queue.peek() {
+            if next.at > deadline {
+                break;
+            }
+            if steps >= self.step_limit {
+                report.hit_step_limit = true;
+                break;
+            }
+            steps += 1;
+            let scheduled = self.queue.pop().expect("peeked item exists");
+            self.now = scheduled.at;
+            let actor_id = match &scheduled.item {
+                Item::Message { to, .. } => *to,
+                Item::Timer { actor, .. } => *actor,
+            };
+            debug_assert!(actor_id.0 < self.actors.len(), "delivery to unknown actor");
+            let mut effects = std::mem::take(&mut self.effects_scratch);
+            {
+                let mut ctx = Ctx {
+                    now: self.now,
+                    me: actor_id,
+                    default_latency: self.default_latency,
+                    effects: &mut effects,
+                };
+                match scheduled.item {
+                    Item::Message { from, msg, to } => {
+                        if self.blocked.contains(&(from, to)) {
+                            report.dropped_messages += 1;
+                        } else {
+                            report.delivered_messages += 1;
+                            self.actors[actor_id.0].on_message(from, msg, &mut ctx);
+                        }
+                    }
+                    Item::Timer { tag, .. } => {
+                        report.fired_timers += 1;
+                        self.actors[actor_id.0].on_timer(tag, &mut ctx);
+                    }
+                }
+            }
+            for effect in effects.drain(..) {
+                match effect {
+                    Effect::Send { to, msg, delay } => {
+                        let at = self.now + delay;
+                        self.push(at, Item::Message {
+                            from: actor_id,
+                            to,
+                            msg,
+                        });
+                    }
+                    Effect::Timer { tag, delay } => {
+                        let at = self.now + delay;
+                        self.push(at, Item::Timer {
+                            actor: actor_id,
+                            tag,
+                        });
+                    }
+                }
+            }
+            self.effects_scratch = effects;
+        }
+        // Spend the remainder of the window.
+        if deadline < SimTime::from_ticks(u64::MAX) && !report.hit_step_limit && self.now < deadline {
+            self.now = deadline;
+        }
+        report.end_time = self.now;
+        report
+    }
+
+    /// Number of queued, undelivered items.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn push(&mut self, at: SimTime, item: Item<A::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, item });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        log: Vec<(u64, u32, usize)>, // (time, payload, from)
+        bounce_to: Option<ActorId>,
+    }
+
+    impl Actor for Echo {
+        type Msg = u32;
+        fn on_message(&mut self, from: ActorId, msg: u32, ctx: &mut Ctx<'_, u32>) {
+            self.log.push((ctx.now().ticks(), msg, from.0));
+            if let Some(peer) = self.bounce_to {
+                if msg > 0 {
+                    ctx.send(peer, msg - 1);
+                }
+            }
+        }
+        fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, u32>) {
+            self.log.push((ctx.now().ticks(), 1000 + u64::from(tag as u32) as u32, usize::MAX - 1));
+        }
+    }
+
+    fn echo() -> Echo {
+        Echo {
+            log: Vec::new(),
+            bounce_to: None,
+        }
+    }
+
+    #[test]
+    fn ping_pong_until_drained() {
+        let mut world = World::new();
+        let a = world.add_actor(echo());
+        let b = world.add_actor(echo());
+        world.actor_mut(a).bounce_to = Some(b);
+        world.actor_mut(b).bounce_to = Some(a);
+        world.send_external(a, 5);
+        let report = world.run();
+        assert_eq!(report.delivered_messages, 6); // 5,4,3,2,1,0
+        assert_eq!(world.actor(a).log.len(), 3);
+        assert_eq!(world.actor(b).log.len(), 3);
+        assert_eq!(world.pending(), 0);
+        // Latency 1 per hop: timestamps strictly increase.
+        assert_eq!(world.actor(a).log[0].0, 1);
+        assert_eq!(world.actor(b).log[0].0, 2);
+    }
+
+    #[test]
+    fn equal_time_messages_are_fifo() {
+        let mut world: World<Echo> = World::with_latency(SimDuration::ZERO);
+        let a = world.add_actor(echo());
+        for i in 0..10 {
+            world.send_external(a, i);
+        }
+        world.run();
+        let payloads: Vec<u32> = world.actor(a).log.iter().map(|(_, p, _)| *p).collect();
+        assert_eq!(payloads, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timers_fire_at_the_right_time() {
+        struct TimerActor {
+            fired_at: Vec<(u64, u64)>,
+        }
+        impl Actor for TimerActor {
+            type Msg = ();
+            fn on_message(&mut self, _: ActorId, (): (), ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(SimDuration::from_ticks(10), 1);
+                ctx.set_timer(SimDuration::from_ticks(5), 2);
+            }
+            fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, ()>) {
+                self.fired_at.push((tag, ctx.now().ticks()));
+            }
+        }
+        let mut world = World::new();
+        let a = world.add_actor(TimerActor { fired_at: vec![] });
+        world.send_external(a, ());
+        world.run();
+        assert_eq!(world.actor(a).fired_at, vec![(2, 6), (1, 11)]);
+    }
+
+    #[test]
+    fn run_until_leaves_future_items_queued() {
+        let mut world: World<Echo> = World::new();
+        let a = world.add_actor(echo());
+        world.send_external_at(a, 1, SimTime::from_ticks(5));
+        world.send_external_at(a, 2, SimTime::from_ticks(50));
+        let report = world.run_until(SimTime::from_ticks(10));
+        assert_eq!(report.delivered_messages, 1);
+        assert_eq!(world.pending(), 1);
+        let report = world.run();
+        assert_eq!(report.delivered_messages, 1);
+        assert_eq!(world.now(), SimTime::from_ticks(50));
+    }
+
+    #[test]
+    fn external_send_at_past_time_is_clamped() {
+        let mut world: World<Echo> = World::new();
+        let a = world.add_actor(echo());
+        world.send_external_at(a, 1, SimTime::from_ticks(20));
+        world.run();
+        world.send_external_at(a, 2, SimTime::from_ticks(3)); // in the past
+        world.run();
+        let times: Vec<u64> = world.actor(a).log.iter().map(|(t, _, _)| *t).collect();
+        assert_eq!(times, vec![20, 20]);
+    }
+
+    #[test]
+    fn step_limit_stops_runaway() {
+        struct Looper;
+        impl Actor for Looper {
+            type Msg = ();
+            fn on_message(&mut self, _: ActorId, (): (), ctx: &mut Ctx<'_, ()>) {
+                let me = ctx.me();
+                ctx.send(me, ());
+            }
+        }
+        let mut world = World::new();
+        let a = world.add_actor(Looper);
+        world.send_external(a, ());
+        world.set_step_limit(100);
+        let report = world.run();
+        assert!(report.hit_step_limit);
+        assert_eq!(report.delivered_messages, 100);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        fn run_once() -> Vec<(u64, u32, usize)> {
+            let mut world = World::new();
+            let a = world.add_actor(echo());
+            let b = world.add_actor(echo());
+            world.actor_mut(a).bounce_to = Some(b);
+            world.actor_mut(b).bounce_to = Some(a);
+            world.send_external(a, 7);
+            world.send_external(b, 3);
+            world.run();
+            let mut log = world.actor(a).log.clone();
+            log.extend(world.actor(b).log.iter().copied());
+            log
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn bounded_runs_spend_their_whole_window() {
+        let mut world: World<Echo> = World::new();
+        let a = world.add_actor(echo());
+        world.send_external(a, 1);
+        world.run_until(SimTime::from_ticks(100));
+        assert_eq!(world.now(), SimTime::from_ticks(100));
+        // Repeated empty windows keep advancing the clock.
+        world.run_until(SimTime::from_ticks(250));
+        assert_eq!(world.now(), SimTime::from_ticks(250));
+        // The unbounded run does not jump to infinity.
+        world.send_external(a, 2);
+        world.run();
+        assert_eq!(world.now(), SimTime::from_ticks(251));
+    }
+
+    #[test]
+    fn external_sender_id_is_sentinel() {
+        let mut world: World<Echo> = World::new();
+        let a = world.add_actor(echo());
+        world.send_external(a, 9);
+        world.run();
+        assert_eq!(world.actor(a).log[0].2, usize::MAX);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the discrete-event engine: determinism, ordering and
+//! clock laws under randomized message plans.
+
+use layercake_sim::{Actor, ActorId, Ctx, SimDuration, SimTime, World};
+use proptest::prelude::*;
+
+/// An actor that logs every delivery and can relay with a fixed plan:
+/// on receiving `(hops_left, payload)`, forward to the next actor.
+struct Relay {
+    next: Option<ActorId>,
+    log: Vec<(u64, u32)>, // (time, payload)
+}
+
+impl Actor for Relay {
+    type Msg = (u8, u32);
+
+    fn on_message(&mut self, _from: ActorId, (hops, payload): (u8, u32), ctx: &mut Ctx<'_, (u8, u32)>) {
+        self.log.push((ctx.now().ticks(), payload));
+        if hops > 0 {
+            if let Some(next) = self.next {
+                ctx.send(next, (hops - 1, payload));
+            }
+        }
+    }
+}
+
+fn run_plan(latency: u64, injections: &[(usize, u8, u32, u64)], actors: usize) -> Vec<Vec<(u64, u32)>> {
+    let mut world = World::with_latency(SimDuration::from_ticks(latency));
+    let ids: Vec<ActorId> = (0..actors)
+        .map(|_| {
+            world.add_actor(Relay {
+                next: None,
+                log: Vec::new(),
+            })
+        })
+        .collect();
+    for (i, &id) in ids.iter().enumerate() {
+        let next = ids[(i + 1) % ids.len()];
+        world.actor_mut(id).next = Some(next);
+    }
+    for &(to, hops, payload, at) in injections {
+        world.send_external_at(ids[to % actors], (hops, payload), SimTime::from_ticks(at));
+    }
+    world.run();
+    ids.iter().map(|&id| world.actor(id).log.clone()).collect()
+}
+
+proptest! {
+    /// Identical plans produce identical executions.
+    #[test]
+    fn deterministic_replay(
+        latency in 1u64..4,
+        injections in proptest::collection::vec((0usize..5, 0u8..6, any::<u32>(), 0u64..50), 1..20),
+    ) {
+        let a = run_plan(latency, &injections, 5);
+        let b = run_plan(latency, &injections, 5);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Message count conservation: every injection with `h` hops produces
+    /// exactly `h + 1` deliveries.
+    #[test]
+    fn hop_conservation(
+        injections in proptest::collection::vec((0usize..4, 0u8..5, any::<u32>(), 0u64..30), 1..15),
+    ) {
+        let logs = run_plan(1, &injections, 4);
+        let delivered: usize = logs.iter().map(Vec::len).sum();
+        let expected: usize = injections.iter().map(|&(_, h, _, _)| h as usize + 1).sum();
+        prop_assert_eq!(delivered, expected);
+    }
+
+    /// Per-actor timestamps never decrease (the engine is causal).
+    #[test]
+    fn per_actor_time_is_monotone(
+        latency in 1u64..5,
+        injections in proptest::collection::vec((0usize..3, 0u8..6, any::<u32>(), 0u64..40), 1..15),
+    ) {
+        for log in run_plan(latency, &injections, 3) {
+            for w in log.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0, "time went backwards: {w:?}");
+            }
+        }
+    }
+
+    /// A relayed message arrives exactly `latency` ticks after each hop.
+    #[test]
+    fn latency_is_respected(latency in 1u64..10, hops in 1u8..5) {
+        let logs = run_plan(latency, &[(0, hops, 7, 0)], 8);
+        let mut times: Vec<u64> = logs.into_iter().flatten().map(|(t, _)| t).collect();
+        times.sort_unstable();
+        for w in times.windows(2) {
+            prop_assert_eq!(w[1] - w[0], latency);
+        }
+    }
+}

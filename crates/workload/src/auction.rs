@@ -1,0 +1,160 @@
+//! Auction workload: the paper's Example 5 `Auction` events.
+
+use layercake_event::{typed_event, ClassId, StageMap, TypeRegistry};
+use layercake_filter::Filter;
+use rand::Rng;
+
+typed_event! {
+    /// An auction announcement, mirroring the paper's
+    /// `f4 = (class, "Auction", =) (Product, "Vehicle", =) (Kind, "Car", =)
+    /// (Capacity, 2K, <) (price, 10K, <)` attribute space. Attributes are
+    /// ordered most general first: product ≻ kind ≻ capacity ≻ price.
+    pub struct Auction: "Auction" {
+        product: String,
+        kind: String,
+        capacity: i64,
+        price: f64,
+    }
+}
+
+/// Product/kind catalogue used by the generator.
+const CATALOGUE: &[(&str, &[&str])] = &[
+    ("Vehicle", &["Car", "Truck", "Motorbike"]),
+    ("Property", &["House", "Flat", "Land"]),
+    ("Electronics", &["Phone", "Laptop", "Camera"]),
+];
+
+/// Generates auction events and subscriptions.
+#[derive(Debug, Clone)]
+pub struct AuctionWorkload {
+    class: ClassId,
+}
+
+impl AuctionWorkload {
+    /// Registers the `Auction` class and creates the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a conflicting `Auction` class is already registered.
+    pub fn new(registry: &mut TypeRegistry) -> Self {
+        let class = registry.register_event::<Auction>().expect("Auction registration");
+        Self { class }
+    }
+
+    /// The Example 6 stage map `G_Auction` adapted to the 4-attribute
+    /// schema (the paper's five attributes include `class`, which our
+    /// filters carry separately): stage 0 = all, stage 1 = product/kind/
+    /// capacity, stage 2 = product/kind, stage 3 = product.
+    #[must_use]
+    pub fn stage_map() -> StageMap {
+        StageMap::from_prefixes(&[4, 3, 2, 1]).expect("static prefixes are valid")
+    }
+
+    /// The registered class id.
+    #[must_use]
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Generates a random auction event.
+    pub fn next_event<R: Rng + ?Sized>(&self, rng: &mut R) -> Auction {
+        let (product, kinds) = CATALOGUE[rng.gen_range(0..CATALOGUE.len())];
+        let kind = kinds[rng.gen_range(0..kinds.len())];
+        Auction::new(
+            product.to_owned(),
+            kind.to_owned(),
+            rng.gen_range(1..5_000),
+            f64::from(rng.gen_range(500..50_000)),
+        )
+    }
+
+    /// Generates a subscription on a random product/kind with capacity and
+    /// price ceilings — the shape of the paper's `f4`.
+    pub fn subscription<R: Rng + ?Sized>(&self, rng: &mut R) -> Filter {
+        let (product, kinds) = CATALOGUE[rng.gen_range(0..CATALOGUE.len())];
+        let kind = kinds[rng.gen_range(0..kinds.len())];
+        Filter::for_class(self.class)
+            .eq("product", product)
+            .eq("kind", kind)
+            .lt("capacity", rng.gen_range(1_000..5_000))
+            .lt("price", f64::from(rng.gen_range(5_000..40_000)))
+    }
+
+    /// The paper's exact `f4`: vehicles of kind car, capacity below 2K,
+    /// price below 10K.
+    #[must_use]
+    pub fn paper_f4(&self) -> Filter {
+        Filter::for_class(self.class)
+            .eq("product", "Vehicle")
+            .eq("kind", "Car")
+            .lt("capacity", 2_000)
+            .lt("price", 10_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use layercake_event::TypedEvent as _;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn events_come_from_catalogue() {
+        let mut registry = TypeRegistry::new();
+        let w = AuctionWorkload::new(&mut registry);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let e = w.next_event(&mut rng);
+            assert!(CATALOGUE.iter().any(|(p, ks)| {
+                p == e.product() && ks.contains(&e.kind().as_str())
+            }));
+            assert!(*e.capacity() >= 1);
+        }
+    }
+
+    #[test]
+    fn paper_f4_matches_cheap_small_cars_only() {
+        let mut registry = TypeRegistry::new();
+        let w = AuctionWorkload::new(&mut registry);
+        let f4 = w.paper_f4();
+        let car = Auction::new("Vehicle".into(), "Car".into(), 1_500, 9_000.0);
+        assert!(f4.matches(w.class(), &car.extract(), &registry));
+        let big = Auction::new("Vehicle".into(), "Car".into(), 3_000, 9_000.0);
+        assert!(!f4.matches(w.class(), &big.extract(), &registry));
+        let truck = Auction::new("Vehicle".into(), "Truck".into(), 1_500, 9_000.0);
+        assert!(!f4.matches(w.class(), &truck.extract(), &registry));
+    }
+
+    #[test]
+    fn example_5_weakening_of_f4() {
+        // Stage-1 weakening keeps product/kind/capacity: the paper's g3.
+        let mut registry = TypeRegistry::new();
+        let w = AuctionWorkload::new(&mut registry);
+        let class = registry.class(w.class()).unwrap();
+        let g = AuctionWorkload::stage_map();
+        let g3 = layercake_filter::weaken_to_stage(&w.paper_f4(), class, &g, 1);
+        assert_eq!(
+            g3,
+            Filter::for_class(w.class())
+                .eq("product", "Vehicle")
+                .eq("kind", "Car")
+                .lt("capacity", 2_000)
+        );
+        // Stage-2: h3 = product/kind; stage-3: i2 = type only… here product.
+        let h3 = layercake_filter::weaken_to_stage(&w.paper_f4(), class, &g, 2);
+        assert_eq!(h3.constraints().len(), 2);
+        let i2 = layercake_filter::weaken_to_stage(&w.paper_f4(), class, &g, 3);
+        assert_eq!(i2.constraints().len(), 1);
+    }
+
+    #[test]
+    fn subscriptions_have_f4_shape() {
+        let mut registry = TypeRegistry::new();
+        let w = AuctionWorkload::new(&mut registry);
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = w.subscription(&mut rng);
+        assert_eq!(f.constraints().len(), 4);
+        assert_eq!(f.class(), Some(w.class()));
+    }
+}

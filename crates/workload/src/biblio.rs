@@ -1,0 +1,377 @@
+//! The paper's bibliographic workload (Section 5.2).
+
+use layercake_event::{
+    AttrValue, AttributeDecl, ClassId, Envelope, EventData, EventSeq, StageMap, TypeRegistry,
+    ValueKind,
+};
+use layercake_filter::{Filter, Predicate};
+use rand::Rng;
+
+use crate::zipf::Zipf;
+
+/// Configuration of the bibliographic workload.
+///
+/// Pool sizes follow the paper's generality ordering: `year` divides the
+/// event space into a few large sub-categories (most general), `title` into
+/// very many tiny ones (least general).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiblioConfig {
+    /// Number of distinct years.
+    pub years: usize,
+    /// Number of distinct conferences.
+    pub conferences: usize,
+    /// Number of distinct authors.
+    pub authors: usize,
+    /// Number of distinct titles.
+    pub titles: usize,
+    /// Zipf exponent skewing conference/author/title popularity
+    /// (0 = uniform).
+    pub skew: f64,
+    /// Number of subscriptions to generate.
+    pub subscriptions: usize,
+    /// Probability that a published event instantiates one of the generated
+    /// subscriptions (the rest draw all attributes independently). This
+    /// models the paper's setup where published events are largely relevant
+    /// to the subscriber population, yielding subscriber matching rates
+    /// near 1.
+    pub match_bias: f64,
+    /// Probability that a subscription leaves its least general attributes
+    /// unspecified ("wildcard" subscriptions, Section 4.4).
+    pub wildcard_rate: f64,
+    /// Probability that a subscription-biased event scrambles its *title*
+    /// (the least general attribute): the event still traverses the
+    /// hierarchy down to the subscriber — every broker-stage filter
+    /// matches — but fails the exact stage-0 filter. This controls the
+    /// subscriber-level matching rate: MR ≈ 1 − title_scramble (the paper
+    /// measures 0.87).
+    pub title_scramble: f64,
+}
+
+impl Default for BiblioConfig {
+    /// Defaults reproduce the Section 5 scale: 150 subscriptions over a
+    /// 4-attribute space with 3 years.
+    fn default() -> Self {
+        Self {
+            years: 3,
+            conferences: 20,
+            authors: 500,
+            titles: 20_000,
+            skew: 0.8,
+            subscriptions: 150,
+            match_bias: 0.87,
+            wildcard_rate: 0.0,
+            title_scramble: 0.13,
+        }
+    }
+}
+
+/// Generator of bibliographic events and subscriptions.
+///
+/// ```
+/// use layercake_event::TypeRegistry;
+/// use layercake_workload::{BiblioConfig, BiblioWorkload};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut registry = TypeRegistry::new();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let w = BiblioWorkload::new(BiblioConfig::default(), &mut registry, &mut rng);
+/// assert_eq!(w.subscriptions().len(), 150);
+/// let mut rng2 = StdRng::seed_from_u64(2);
+/// let e = w.event(&mut rng2);
+/// assert!(e.get("year").is_some() && e.get("title").is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BiblioWorkload {
+    cfg: BiblioConfig,
+    class: ClassId,
+    zipf_conf: Zipf,
+    zipf_auth: Zipf,
+    zipf_title: Zipf,
+    subscriptions: Vec<Filter>,
+}
+
+/// The schema attribute names, most general first.
+pub const ATTRS: [&str; 4] = ["year", "conference", "author", "title"];
+
+impl BiblioWorkload {
+    /// Registers the `Biblio` event class (if needed), generates the
+    /// subscription population, and returns the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a conflicting `Biblio` class is already registered, or if
+    /// any pool size is zero.
+    pub fn new<R: Rng + ?Sized>(cfg: BiblioConfig, registry: &mut TypeRegistry, rng: &mut R) -> Self {
+        let class = Self::register(registry);
+        let zipf_conf = Zipf::new(cfg.conferences, cfg.skew);
+        let zipf_auth = Zipf::new(cfg.authors, cfg.skew);
+        let zipf_title = Zipf::new(cfg.titles, cfg.skew);
+        let mut w = Self {
+            cfg,
+            class,
+            zipf_conf,
+            zipf_auth,
+            zipf_title,
+            subscriptions: Vec::new(),
+        };
+        w.subscriptions = (0..w.cfg.subscriptions).map(|_| w.gen_subscription(rng)).collect();
+        w
+    }
+
+    /// Registers (or finds) the `Biblio` event class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a class named `Biblio` with a different schema exists.
+    pub fn register(registry: &mut TypeRegistry) -> ClassId {
+        registry
+            .register(
+                "Biblio",
+                None,
+                vec![
+                    AttributeDecl::new("year", ValueKind::Int),
+                    AttributeDecl::new("conference", ValueKind::Str),
+                    AttributeDecl::new("author", ValueKind::Str),
+                    AttributeDecl::new("title", ValueKind::Str),
+                ],
+            )
+            .expect("Biblio class registration")
+    }
+
+    /// The attribute–stage association used by the 4-stage evaluation:
+    /// stage 0 = all four attributes, stage 3 = year only (the paper's
+    /// simulated filter formats).
+    #[must_use]
+    pub fn stage_map() -> StageMap {
+        StageMap::from_prefixes(&[4, 3, 2, 1]).expect("static prefixes are valid")
+    }
+
+    /// The registered event class.
+    #[must_use]
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &BiblioConfig {
+        &self.cfg
+    }
+
+    /// The generated subscription population.
+    #[must_use]
+    pub fn subscriptions(&self) -> &[Filter] {
+        &self.subscriptions
+    }
+
+    fn year_value<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        1998 + rng.gen_range(0..self.cfg.years) as i64
+    }
+
+    fn conf_value<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        format!("conf-{:03}", self.zipf_conf.sample(rng))
+    }
+
+    fn author_value<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        format!("author-{:04}", self.zipf_auth.sample(rng))
+    }
+
+    fn title_value<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        format!("title-{:06}", self.zipf_title.sample(rng))
+    }
+
+    fn gen_subscription<R: Rng + ?Sized>(&self, rng: &mut R) -> Filter {
+        let mut f = Filter::for_class(self.class)
+            .eq("year", self.year_value(rng))
+            .eq("conference", self.conf_value(rng))
+            .eq("author", self.author_value(rng))
+            .eq("title", self.title_value(rng));
+        if rng.gen_bool(self.cfg.wildcard_rate) {
+            // Wildcard 1..=3 of the least general attributes, keeping the
+            // standard subscription filter format (Section 4.4).
+            let k = rng.gen_range(1..=3);
+            let constraints: Vec<_> = f.constraints().to_vec();
+            let mut g = Filter::for_class(self.class);
+            for (i, c) in constraints.into_iter().enumerate() {
+                if i >= 4 - k {
+                    g = g.with(layercake_filter::AttrFilter::new(
+                        c.name().to_owned(),
+                        Predicate::Any,
+                    ));
+                } else {
+                    g = g.with(c);
+                }
+            }
+            f = g;
+        }
+        f
+    }
+
+    /// Generates one event's meta-data: with probability
+    /// [`BiblioConfig::match_bias`] it instantiates a random subscription
+    /// (wildcarded attributes drawn fresh), otherwise all attributes are
+    /// drawn independently.
+    pub fn event<R: Rng + ?Sized>(&self, rng: &mut R) -> EventData {
+        if !self.subscriptions.is_empty() && rng.gen_bool(self.cfg.match_bias) {
+            let sub = &self.subscriptions[rng.gen_range(0..self.subscriptions.len())];
+            let scramble_title = rng.gen_bool(self.cfg.title_scramble);
+            let mut e = EventData::with_capacity(4);
+            for name in ATTRS {
+                let value = if name == "title" && scramble_title {
+                    self.fresh_value(name, rng)
+                } else {
+                    sub.constraints_on(name)
+                        .find_map(|c| match c.predicate() {
+                            Predicate::Eq(v) => Some(v.clone()),
+                            _ => None,
+                        })
+                        .unwrap_or_else(|| self.fresh_value(name, rng))
+                };
+                e.insert(name, value);
+            }
+            e
+        } else {
+            let mut e = EventData::with_capacity(4);
+            for name in ATTRS {
+                let v = self.fresh_value(name, rng);
+                e.insert(name, v);
+            }
+            e
+        }
+    }
+
+    fn fresh_value<R: Rng + ?Sized>(&self, name: &str, rng: &mut R) -> AttrValue {
+        match name {
+            "year" => AttrValue::Int(self.year_value(rng)),
+            "conference" => AttrValue::Str(self.conf_value(rng)),
+            "author" => AttrValue::Str(self.author_value(rng)),
+            "title" => AttrValue::Str(self.title_value(rng)),
+            _ => unreachable!("unknown biblio attribute {name}"),
+        }
+    }
+
+    /// Wraps a generated event in a meta-only envelope (the routing layer is
+    /// all the Section 5 evaluation exercises).
+    pub fn envelope<R: Rng + ?Sized>(&self, seq: u64, rng: &mut R) -> Envelope {
+        Envelope::from_meta(self.class, "Biblio", EventSeq(seq), self.event(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload(cfg: BiblioConfig) -> (BiblioWorkload, TypeRegistry) {
+        let mut registry = TypeRegistry::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = BiblioWorkload::new(cfg, &mut registry, &mut rng);
+        (w, registry)
+    }
+
+    #[test]
+    fn subscriptions_are_standard_equality_filters() {
+        let (w, _) = workload(BiblioConfig::default());
+        assert_eq!(w.subscriptions().len(), 150);
+        for f in w.subscriptions() {
+            assert_eq!(f.class(), Some(w.class()));
+            assert_eq!(f.constraints().len(), 4);
+            let names: Vec<&str> = f.constraints().iter().map(|c| c.name()).collect();
+            assert_eq!(names, ATTRS);
+        }
+    }
+
+    #[test]
+    fn events_have_full_schema_in_order() {
+        let (w, _) = workload(BiblioConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let e = w.event(&mut rng);
+            let names: Vec<String> = e.iter().map(|(n, _)| n.to_owned()).collect();
+            assert_eq!(names, ATTRS);
+            let year = e.get("year").unwrap().as_f64().unwrap();
+            assert!((1998.0..=2000.0).contains(&year));
+        }
+    }
+
+    #[test]
+    fn match_bias_controls_relevance() {
+        let (w, r) = workload(BiblioConfig {
+            match_bias: 1.0,
+            wildcard_rate: 0.0,
+            title_scramble: 0.0,
+            ..BiblioConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut matched = 0;
+        for _ in 0..200 {
+            let e = w.event(&mut rng);
+            if w.subscriptions().iter().any(|f| f.matches(w.class(), &e, &r)) {
+                matched += 1;
+            }
+        }
+        assert_eq!(matched, 200, "bias 1.0 must always instantiate a subscription");
+
+        let (w0, r0) = workload(BiblioConfig {
+            match_bias: 0.0,
+            titles: 100_000,
+            ..BiblioConfig::default()
+        });
+        let mut matched0 = 0;
+        for _ in 0..200 {
+            let e = w0.event(&mut rng);
+            if w0.subscriptions().iter().any(|f| f.matches(w0.class(), &e, &r0)) {
+                matched0 += 1;
+            }
+        }
+        assert!(matched0 < 20, "independent events rarely match full filters (got {matched0})");
+    }
+
+    #[test]
+    fn wildcard_rate_produces_wildcard_subscriptions() {
+        let (w, _) = workload(BiblioConfig {
+            wildcard_rate: 1.0,
+            ..BiblioConfig::default()
+        });
+        for f in w.subscriptions() {
+            let wilds = f.wildcard_constraints().count();
+            assert!((1..=3).contains(&wilds), "expected 1..=3 wildcards, got {wilds}");
+            // Wildcards are on the least general side: the most general
+            // attribute (year) is always specified.
+            assert!(!f.constraints()[0].is_wildcard());
+            // Standard format retained.
+            assert_eq!(f.constraints().len(), 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let gen = |seed| {
+            let mut registry = TypeRegistry::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let w = BiblioWorkload::new(BiblioConfig::default(), &mut registry, &mut rng);
+            let e: Vec<EventData> = (0..10).map(|_| w.event(&mut rng)).collect();
+            (w.subscriptions().to_vec(), e)
+        };
+        assert_eq!(gen(9), gen(9));
+        assert_ne!(gen(9), gen(10));
+    }
+
+    #[test]
+    fn stage_map_matches_paper_formats() {
+        let g = BiblioWorkload::stage_map();
+        assert_eq!(g.stages(), 4);
+        assert_eq!(g.attrs_at(3), &[0]); // year only at the root stage
+    }
+
+    #[test]
+    fn envelope_carries_meta() {
+        let (w, _) = workload(BiblioConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let env = w.envelope(42, &mut rng);
+        assert_eq!(env.seq().0, 42);
+        assert_eq!(env.class_name(), "Biblio");
+        assert_eq!(env.meta().len(), 4);
+    }
+}

@@ -1,0 +1,28 @@
+//! Workload generators for evaluating the `layercake` event system.
+//!
+//! The paper's simulation (Section 5.2) publishes "a dummy set of events and
+//! a dummy set of subscriptions … representing a simple form of
+//! bibliographic data" with attributes `author`, `conference`, `year` and
+//! `title`, ordered from most general (`year`: few large sub-categories) to
+//! least general (`title`: many tiny ones). [`BiblioWorkload`] rebuilds that
+//! setup with configurable pool sizes, popularity skew (self-contained Zipf
+//! sampler) and a match-bias knob controlling how strongly published events
+//! correlate with the subscription population.
+//!
+//! Three further domains exercise the typed API end to end:
+//! [`Stock`](stock::Stock) quotes (the paper's running example, including
+//! the stateful `BuyFilter` scenario), [`Auction`](auction::Auction)
+//! events (the paper's `f4`), and [`sensor`] telemetry (a three-level type
+//! hierarchy with optional attributes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auction;
+pub mod biblio;
+pub mod sensor;
+pub mod stock;
+mod zipf;
+
+pub use biblio::{BiblioConfig, BiblioWorkload};
+pub use zipf::Zipf;

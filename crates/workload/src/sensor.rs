@@ -1,0 +1,294 @@
+//! Sensor telemetry workload: a deeper event-type hierarchy exercising
+//! polymorphic (type-based) subscriptions, numeric range filters and
+//! optional attributes.
+//!
+//! The paper argues that with type hierarchies "publishers can easily
+//! extend the hierarchy and create new event (sub)types without requiring
+//! subscribers to update their subscriptions" (Section 2.1); this domain
+//! provides a three-level hierarchy to exercise exactly that:
+//!
+//! ```text
+//! Reading ── Temperature
+//!        └── Pressure
+//!        └── Alarm          (carries an optional free-text message)
+//! ```
+
+use layercake_event::{typed_event, ClassId, StageMap, TypeRegistry};
+use layercake_filter::Filter;
+use rand::Rng;
+
+typed_event! {
+    /// Base class of all station readings: station id (most general) and a
+    /// logical timestamp.
+    pub struct Reading: "Reading" {
+        station: String,
+        tick: i64,
+    }
+}
+
+typed_event! {
+    /// A temperature sample in °C.
+    pub struct Temperature: "Temperature" extends Reading {
+        station: String,
+        tick: i64,
+        celsius: f64,
+    }
+}
+
+typed_event! {
+    /// A barometric pressure sample in hPa.
+    pub struct Pressure: "Pressure" extends Reading {
+        station: String,
+        tick: i64,
+        hectopascal: f64,
+    }
+}
+
+typed_event! {
+    /// An operator alarm; the free-text message is optional.
+    pub struct Alarm: "Alarm" extends Reading {
+        station: String,
+        tick: i64,
+        severity: i64,
+        message: Option<String>,
+    }
+}
+
+/// Configuration of the telemetry generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorConfig {
+    /// Number of stations.
+    pub stations: usize,
+    /// Fraction of readings that are temperatures (the rest split between
+    /// pressure and alarms).
+    pub temperature_share: f64,
+    /// Fraction of readings that are alarms.
+    pub alarm_share: f64,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        Self {
+            stations: 12,
+            temperature_share: 0.6,
+            alarm_share: 0.05,
+        }
+    }
+}
+
+/// One generated reading, as the concrete subtype it was published with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyReading {
+    /// A temperature sample.
+    Temperature(Temperature),
+    /// A pressure sample.
+    Pressure(Pressure),
+    /// An alarm.
+    Alarm(Alarm),
+}
+
+/// Generates station telemetry as per-station random walks.
+#[derive(Debug, Clone)]
+pub struct SensorWorkload {
+    cfg: SensorConfig,
+    base: ClassId,
+    temperature: ClassId,
+    pressure: ClassId,
+    alarm: ClassId,
+    celsius: Vec<f64>,
+    hpa: Vec<f64>,
+    tick: i64,
+}
+
+impl SensorWorkload {
+    /// Registers the four event classes and creates the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on conflicting registrations or a zero station pool.
+    pub fn new(cfg: SensorConfig, registry: &mut TypeRegistry) -> Self {
+        assert!(cfg.stations > 0, "telemetry needs at least one station");
+        let base = registry.register_event::<Reading>().expect("Reading");
+        let temperature = registry.register_event::<Temperature>().expect("Temperature");
+        let pressure = registry.register_event::<Pressure>().expect("Pressure");
+        let alarm = registry.register_event::<Alarm>().expect("Alarm");
+        Self {
+            celsius: vec![15.0; cfg.stations],
+            hpa: vec![1_013.0; cfg.stations],
+            cfg,
+            base,
+            temperature,
+            pressure,
+            alarm,
+            tick: 0,
+        }
+    }
+
+    /// Stage map for the 3-attribute concrete schemas: station survives to
+    /// the top stage (it is the most general attribute).
+    #[must_use]
+    pub fn stage_map() -> StageMap {
+        StageMap::from_prefixes(&[3, 1, 1]).expect("static prefixes are valid")
+    }
+
+    /// The base `Reading` class.
+    #[must_use]
+    pub fn base_class(&self) -> ClassId {
+        self.base
+    }
+
+    /// The `Temperature` class.
+    #[must_use]
+    pub fn temperature_class(&self) -> ClassId {
+        self.temperature
+    }
+
+    /// The `Pressure` class.
+    #[must_use]
+    pub fn pressure_class(&self) -> ClassId {
+        self.pressure
+    }
+
+    /// The `Alarm` class.
+    #[must_use]
+    pub fn alarm_class(&self) -> ClassId {
+        self.alarm
+    }
+
+    /// The display name of a station index.
+    #[must_use]
+    pub fn station_name(index: usize) -> String {
+        format!("ST{index:02}")
+    }
+
+    /// Generates the next reading, advancing the per-station walks.
+    pub fn next_reading<R: Rng + ?Sized>(&mut self, rng: &mut R) -> AnyReading {
+        self.tick += 1;
+        let s = rng.gen_range(0..self.cfg.stations);
+        let station = Self::station_name(s);
+        let roll: f64 = rng.gen();
+        if roll < self.cfg.alarm_share {
+            let severity = rng.gen_range(1..=5);
+            let message = if rng.gen_bool(0.7) {
+                Some(format!("station {station} anomaly level {severity}"))
+            } else {
+                None
+            };
+            AnyReading::Alarm(Alarm::new(station, self.tick, severity, message))
+        } else if roll < self.cfg.alarm_share + self.cfg.temperature_share {
+            self.celsius[s] = (self.celsius[s] + rng.gen_range(-0.8..0.8)).clamp(-30.0, 45.0);
+            AnyReading::Temperature(Temperature::new(station, self.tick, self.celsius[s]))
+        } else {
+            self.hpa[s] = (self.hpa[s] + rng.gen_range(-1.5..1.5)).clamp(950.0, 1_050.0);
+            AnyReading::Pressure(Pressure::new(station, self.tick, self.hpa[s]))
+        }
+    }
+
+    /// A filter for hot temperatures at one station.
+    #[must_use]
+    pub fn hot_at(&self, station: usize, threshold: f64) -> Filter {
+        Filter::for_class(self.temperature)
+            .eq("station", Self::station_name(station))
+            .gt("celsius", threshold)
+    }
+
+    /// A filter for severe alarms anywhere.
+    #[must_use]
+    pub fn severe_alarms(&self, min_severity: i64) -> Filter {
+        Filter::for_class(self.alarm).ge("severity", min_severity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use layercake_event::TypedEvent as _;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hierarchy_registers_with_subtyping() {
+        let mut r = TypeRegistry::new();
+        let w = SensorWorkload::new(SensorConfig::default(), &mut r);
+        for sub in [w.temperature_class(), w.pressure_class(), w.alarm_class()] {
+            assert!(r.is_subtype(sub, w.base_class()));
+        }
+        assert!(!r.is_subtype(w.temperature_class(), w.pressure_class()));
+        // Inherited attributes lead each concrete schema.
+        let t = r.class(w.temperature_class()).unwrap();
+        assert_eq!(t.attr_index("station"), Some(0));
+        assert_eq!(t.attr_index("tick"), Some(1));
+        assert_eq!(t.attr_index("celsius"), Some(2));
+    }
+
+    #[test]
+    fn shares_are_respected() {
+        let mut r = TypeRegistry::new();
+        let mut w = SensorWorkload::new(SensorConfig::default(), &mut r);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut temp = 0u32;
+        let mut alarm = 0u32;
+        let n = 5_000;
+        for _ in 0..n {
+            match w.next_reading(&mut rng) {
+                AnyReading::Temperature(_) => temp += 1,
+                AnyReading::Alarm(_) => alarm += 1,
+                AnyReading::Pressure(_) => {}
+            }
+        }
+        let temp_share = f64::from(temp) / f64::from(n);
+        let alarm_share = f64::from(alarm) / f64::from(n);
+        assert!((temp_share - 0.6).abs() < 0.05, "temperature share {temp_share}");
+        assert!((alarm_share - 0.05).abs() < 0.02, "alarm share {alarm_share}");
+    }
+
+    #[test]
+    fn walks_stay_in_bounds_and_ticks_increase() {
+        let mut r = TypeRegistry::new();
+        let mut w = SensorWorkload::new(SensorConfig::default(), &mut r);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut last_tick = 0;
+        for _ in 0..2_000 {
+            let reading = w.next_reading(&mut rng);
+            let tick = match &reading {
+                AnyReading::Temperature(t) => {
+                    assert!((-30.0..=45.0).contains(t.celsius()));
+                    *t.tick()
+                }
+                AnyReading::Pressure(p) => {
+                    assert!((950.0..=1_050.0).contains(p.hectopascal()));
+                    *p.tick()
+                }
+                AnyReading::Alarm(a) => {
+                    assert!((1..=5).contains(a.severity()));
+                    *a.tick()
+                }
+            };
+            assert!(tick > last_tick);
+            last_tick = tick;
+        }
+    }
+
+    #[test]
+    fn alarm_messages_extract_optionally() {
+        let with = Alarm::new("ST00".into(), 1, 4, Some("overheat".into()));
+        assert!(with.extract().contains("message"));
+        let without = Alarm::new("ST00".into(), 2, 1, None);
+        assert!(!without.extract().contains("message"));
+    }
+
+    #[test]
+    fn filter_helpers_match_expected_readings() {
+        let mut r = TypeRegistry::new();
+        let w = SensorWorkload::new(SensorConfig::default(), &mut r);
+        let hot = w.hot_at(3, 30.0);
+        let t = Temperature::new(SensorWorkload::station_name(3), 1, 31.0);
+        assert!(hot.matches(w.temperature_class(), &t.extract(), &r));
+        let cold = Temperature::new(SensorWorkload::station_name(3), 2, 12.0);
+        assert!(!hot.matches(w.temperature_class(), &cold.extract(), &r));
+        let severe = w.severe_alarms(3);
+        let a = Alarm::new("ST01".into(), 3, 4, None);
+        assert!(severe.matches(w.alarm_class(), &a.extract(), &r));
+        assert!(!severe.matches(w.temperature_class(), &t.extract(), &r));
+    }
+}

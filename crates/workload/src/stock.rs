@@ -1,0 +1,284 @@
+//! Stock-quote workload: the paper's running example (Examples 1–4).
+
+use layercake_event::{typed_event, ClassId, StageMap, TypeRegistry};
+use layercake_filter::Filter;
+use rand::Rng;
+
+use crate::zipf::Zipf;
+
+typed_event! {
+    /// A stock quote event, the paper's Example 4 `Stock` class: private
+    /// attributes exposed through accessors, from which the event system
+    /// infers the filterable meta-data.
+    pub struct Stock: "Stock" {
+        symbol: String,
+        price: f64,
+    }
+}
+
+typed_event! {
+    /// A stock quote carrying trade volume — a subtype demonstrating
+    /// polymorphic, type-based subscriptions: subscribers to `Stock`
+    /// receive `VolumeStock` events too.
+    pub struct VolumeStock: "VolumeStock" extends Stock {
+        symbol: String,
+        price: f64,
+        volume: i64,
+    }
+}
+
+/// Configuration for the stock workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StockConfig {
+    /// Number of distinct ticker symbols.
+    pub symbols: usize,
+    /// Zipf exponent on symbol popularity.
+    pub skew: f64,
+    /// Initial price for every symbol.
+    pub base_price: f64,
+    /// Maximum absolute per-quote price move.
+    pub max_move: f64,
+    /// Fraction of quotes published as [`VolumeStock`] subtype events.
+    pub subtype_rate: f64,
+}
+
+impl Default for StockConfig {
+    fn default() -> Self {
+        Self {
+            symbols: 100,
+            skew: 1.0,
+            base_price: 10.0,
+            max_move: 0.5,
+            subtype_rate: 0.2,
+        }
+    }
+}
+
+/// Generates stock quotes as a per-symbol random walk.
+#[derive(Debug, Clone)]
+pub struct StockWorkload {
+    cfg: StockConfig,
+    class: ClassId,
+    sub_class: ClassId,
+    zipf: Zipf,
+    prices: Vec<f64>,
+}
+
+impl StockWorkload {
+    /// Registers the `Stock` and `VolumeStock` classes and creates the
+    /// generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on conflicting registrations or a zero symbol pool.
+    pub fn new(cfg: StockConfig, registry: &mut TypeRegistry) -> Self {
+        let class = registry.register_event::<Stock>().expect("Stock registration");
+        let sub_class = registry
+            .register_event::<VolumeStock>()
+            .expect("VolumeStock registration");
+        let zipf = Zipf::new(cfg.symbols, cfg.skew);
+        let prices = vec![cfg.base_price; cfg.symbols];
+        Self {
+            cfg,
+            class,
+            sub_class,
+            zipf,
+            prices,
+        }
+    }
+
+    /// A 3-stage association for the 2-attribute stock schema: full filters
+    /// at stage 0 and 1, symbol-only at stage 2 and type-only above.
+    #[must_use]
+    pub fn stage_map() -> StageMap {
+        StageMap::from_prefixes(&[2, 2, 1]).expect("static prefixes are valid")
+    }
+
+    /// The `Stock` class id.
+    #[must_use]
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The `VolumeStock` subtype class id.
+    #[must_use]
+    pub fn subtype_class(&self) -> ClassId {
+        self.sub_class
+    }
+
+    /// The symbol name for a pool index.
+    #[must_use]
+    pub fn symbol_name(index: usize) -> String {
+        format!("SYM{index:03}")
+    }
+
+    /// Generates the next quote, advancing that symbol's random walk.
+    /// Returns the base-class view; use [`StockWorkload::next_quote_full`]
+    /// to learn whether it was a subtype event.
+    pub fn next_quote<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Stock {
+        self.next_quote_full(rng).0
+    }
+
+    /// Generates the next quote plus its volume when the event is a
+    /// [`VolumeStock`] subtype instance.
+    pub fn next_quote_full<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (Stock, Option<i64>) {
+        let idx = self.zipf.sample(rng);
+        let step = rng.gen_range(-self.cfg.max_move..=self.cfg.max_move);
+        self.prices[idx] = (self.prices[idx] + step).max(0.01);
+        let stock = Stock::new(Self::symbol_name(idx), self.prices[idx]);
+        let volume = if rng.gen_bool(self.cfg.subtype_rate) {
+            Some(rng.gen_range(100..100_000))
+        } else {
+            None
+        };
+        (stock, volume)
+    }
+
+    /// Generates a subscription on a random symbol with a price ceiling a
+    /// little above or below the base price (the declarative half of the
+    /// paper's `BuyFilter`).
+    pub fn subscription<R: Rng + ?Sized>(&self, rng: &mut R) -> Filter {
+        let idx = self.zipf.sample(rng);
+        let ceiling = self.cfg.base_price * rng.gen_range(0.8..1.2);
+        Filter::for_class(self.class)
+            .eq("symbol", Self::symbol_name(idx))
+            .lt("price", ceiling)
+    }
+}
+
+/// The paper's `BuyFilter` (Section 3.4): a *stateful* subscriber-side
+/// filter that cannot be evaluated by intermediate brokers. It matches
+/// quotes cheaper than `max` whose price dropped below `threshold` times the
+/// previous matching price — the residual predicate applied end-to-end at
+/// the subscriber runtime.
+#[derive(Debug, Clone)]
+pub struct BuyFilter {
+    symbol: String,
+    max: f64,
+    threshold: f64,
+    last: f64,
+}
+
+impl BuyFilter {
+    /// Creates the filter.
+    #[must_use]
+    pub fn new(symbol: impl Into<String>, max: f64, threshold: f64) -> Self {
+        Self {
+            symbol: symbol.into(),
+            max,
+            threshold,
+            last: 0.0,
+        }
+    }
+
+    /// The weakened, broker-evaluable half:
+    /// `(class, "Stock", =) (symbol, s, =) (price, max, <)` — the paper's
+    /// `f1`/`g1`.
+    #[must_use]
+    pub fn declarative(&self, class: ClassId) -> Filter {
+        Filter::for_class(class)
+            .eq("symbol", self.symbol.clone())
+            .lt("price", self.max)
+    }
+
+    /// The full stateful predicate, transcribing the paper's `match` method
+    /// (including its quirk of updating `last` on every non-rejected call).
+    pub fn matches(&mut self, stock: &Stock) -> bool {
+        if stock.symbol() != &self.symbol {
+            return false;
+        }
+        let price = *stock.price();
+        if price >= self.max {
+            return false;
+        }
+        let matched = price <= self.last * self.threshold;
+        self.last = price;
+        matched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use layercake_event::TypedEvent as _;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quotes_walk_and_stay_positive() {
+        let mut registry = TypeRegistry::new();
+        let mut w = StockWorkload::new(StockConfig::default(), &mut registry);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let q = w.next_quote(&mut rng);
+            assert!(*q.price() > 0.0);
+            assert!(q.symbol().starts_with("SYM"));
+        }
+    }
+
+    #[test]
+    fn subtype_registration_and_rate() {
+        let mut registry = TypeRegistry::new();
+        let mut w = StockWorkload::new(
+            StockConfig {
+                subtype_rate: 1.0,
+                ..StockConfig::default()
+            },
+            &mut registry,
+        );
+        assert!(registry.is_subtype(w.subtype_class(), w.class()));
+        let mut rng = StdRng::seed_from_u64(2);
+        let (_, vol) = w.next_quote_full(&mut rng);
+        assert!(vol.is_some());
+    }
+
+    #[test]
+    fn subscriptions_reference_real_symbols() {
+        let mut registry = TypeRegistry::new();
+        let w = StockWorkload::new(StockConfig::default(), &mut registry);
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = w.subscription(&mut rng);
+        assert_eq!(f.class(), Some(w.class()));
+        assert_eq!(f.constraints().len(), 2);
+    }
+
+    #[test]
+    fn buy_filter_transcribes_paper_semantics() {
+        // d = Stock("Foo", 9.0); f = BuyFilter("Foo", 10.0, 0.95).
+        let mut f = BuyFilter::new("Foo", 10.0, 0.95);
+        let d = Stock::new("Foo".to_owned(), 9.0);
+        // First call: last = 0, so 9.0 <= 0 * 0.95 is false, but last updates.
+        assert!(!f.matches(&d));
+        // A drop below 95% of 9.0 now matches.
+        let d2 = Stock::new("Foo".to_owned(), 8.0);
+        assert!(f.matches(&d2));
+        // A rise does not.
+        let d3 = Stock::new("Foo".to_owned(), 9.5);
+        assert!(!f.matches(&d3));
+        // At or above max never matches and leaves state untouched.
+        let expensive = Stock::new("Foo".to_owned(), 10.5);
+        assert!(!f.matches(&expensive));
+        // Wrong symbol never matches.
+        let other = Stock::new("Bar".to_owned(), 1.0);
+        assert!(!f.matches(&other));
+    }
+
+    #[test]
+    fn declarative_half_covers_matching_events() {
+        let mut registry = TypeRegistry::new();
+        let w = StockWorkload::new(StockConfig::default(), &mut registry);
+        let mut f = BuyFilter::new("Foo", 10.0, 0.95);
+        let decl = f.declarative(w.class());
+        // Anything the stateful filter accepts passes the declarative half
+        // (the covering property that makes broker pre-filtering safe).
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let price = rng.gen_range(0.5..12.0);
+            let s = Stock::new("Foo".to_owned(), price);
+            let meta = s.extract();
+            if f.matches(&s) {
+                assert!(decl.matches(w.class(), &meta, &registry));
+            }
+        }
+    }
+}

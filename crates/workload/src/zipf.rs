@@ -1,0 +1,161 @@
+//! A self-contained Zipf(-Mandelbrot) sampler.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to
+/// `1 / (rank + 1)^s`.
+///
+/// `s = 0` degenerates to the uniform distribution; larger exponents
+/// concentrate mass on the lowest ranks. Sampling uses a precomputed CDF
+/// and binary search, so draws are `O(log n)`.
+///
+/// ```
+/// use layercake_workload::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let z = Zipf::new(100, 1.1);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut counts = [0u32; 100];
+/// for _ in 0..10_000 {
+///     counts[z.sample(&mut rng)] += 1;
+/// }
+/// assert!(counts[0] > counts[50]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Uniform sampler over `n` ranks (exponent 0).
+    #[must_use]
+    pub fn uniform(n: usize) -> Self {
+        Self::new(n, 0.0)
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is over an empty domain (never true — see
+    /// [`Zipf::new`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf has no NaN"))
+        {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of a rank.
+    #[must_use]
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_is_flat() {
+        let z = Zipf::uniform(4);
+        for r in 0..4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-12);
+        }
+        assert_eq!(z.pmf(4), 0.0);
+        assert_eq!(z.len(), 4);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn skew_orders_masses() {
+        let z = Zipf::new(10, 1.0);
+        for r in 1..10 {
+            assert!(z.pmf(r - 1) > z.pmf(r));
+        }
+        // Harmonic normalization: masses sum to 1.
+        let total: f64 = (0..10).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_cover_domain_and_respect_skew() {
+        let z = Zipf::new(5, 1.5);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0));
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+        // Empirical frequency tracks pmf within a few percent.
+        let freq0 = f64::from(counts[0]) / 50_000.0;
+        assert!((freq0 - z.pmf(0)).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::new(100, 0.8);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn negative_exponent_panics() {
+        let _ = Zipf::new(3, -1.0);
+    }
+}

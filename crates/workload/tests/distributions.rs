@@ -1,0 +1,114 @@
+//! Statistical sanity tests for the workload generators: the shapes the
+//! evaluation depends on (generality ordering, skew, bias) hold under the
+//! configured knobs.
+
+use layercake_event::TypeRegistry;
+use layercake_workload::{BiblioConfig, BiblioWorkload, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+#[test]
+fn attribute_generality_ordering_holds_in_samples() {
+    // year divides events into few big groups, title into very many —
+    // the property that makes the most-general-first stage maps effective.
+    let mut registry = TypeRegistry::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let w = BiblioWorkload::new(BiblioConfig::default(), &mut registry, &mut rng);
+    let mut years = HashSet::new();
+    let mut confs = HashSet::new();
+    let mut authors = HashSet::new();
+    let mut titles = HashSet::new();
+    for _ in 0..3_000 {
+        let e = w.event(&mut rng);
+        years.insert(format!("{:?}", e.get("year")));
+        confs.insert(format!("{:?}", e.get("conference")));
+        authors.insert(format!("{:?}", e.get("author")));
+        titles.insert(format!("{:?}", e.get("title")));
+    }
+    assert!(years.len() <= 3);
+    assert!(years.len() < confs.len());
+    assert!(confs.len() < authors.len());
+    assert!(authors.len() < titles.len());
+}
+
+#[test]
+fn match_bias_sets_the_relevant_fraction() {
+    for bias in [0.2f64, 0.8] {
+        let mut registry = TypeRegistry::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = BiblioWorkload::new(
+            BiblioConfig {
+                match_bias: bias,
+                title_scramble: 0.0,
+                titles: 500_000, // collisions essentially impossible
+                authors: 50_000,
+                ..BiblioConfig::default()
+            },
+            &mut registry,
+            &mut rng,
+        );
+        let n = 4_000;
+        let matched = (0..n)
+            .filter(|_| {
+                let e = w.event(&mut rng);
+                w.subscriptions()
+                    .iter()
+                    .any(|f| f.matches(w.class(), &e, &registry))
+            })
+            .count();
+        let frac = matched as f64 / f64::from(n);
+        assert!(
+            (frac - bias).abs() < 0.05,
+            "bias {bias}: matched fraction {frac}"
+        );
+    }
+}
+
+#[test]
+fn title_scramble_sets_the_subscriber_miss_rate() {
+    let mut registry = TypeRegistry::new();
+    let mut rng = StdRng::seed_from_u64(9);
+    let scramble = 0.25;
+    let w = BiblioWorkload::new(
+        BiblioConfig {
+            match_bias: 1.0,
+            title_scramble: scramble,
+            titles: 500_000,
+            ..BiblioConfig::default()
+        },
+        &mut registry,
+        &mut rng,
+    );
+    // Every event instantiates a subscription's (year, conf, author) prefix;
+    // `scramble` of them break on the title.
+    let n = 4_000;
+    let full_matches = (0..n)
+        .filter(|_| {
+            let e = w.event(&mut rng);
+            w.subscriptions()
+                .iter()
+                .any(|f| f.matches(w.class(), &e, &registry))
+        })
+        .count();
+    let frac = full_matches as f64 / f64::from(n);
+    assert!(
+        (frac - (1.0 - scramble)).abs() < 0.05,
+        "expected ≈{} full matches, got {frac}",
+        1.0 - scramble
+    );
+}
+
+#[test]
+fn zipf_skew_concentrates_mass_as_configured() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let flat = Zipf::uniform(100);
+    let skewed = Zipf::new(100, 1.2);
+    let count_top10 = |z: &Zipf, rng: &mut StdRng| {
+        (0..20_000).filter(|_| z.sample(rng) < 10).count() as f64 / 20_000.0
+    };
+    let flat_top = count_top10(&flat, &mut rng);
+    let skew_top = count_top10(&skewed, &mut rng);
+    assert!((flat_top - 0.10).abs() < 0.02, "uniform top-10 share {flat_top}");
+    assert!(skew_top > 0.5, "skewed top-10 share {skew_top}");
+}

@@ -1,0 +1,49 @@
+//! Quickstart: typed publish/subscribe over a multi-stage filtering overlay.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use layercake::{typed_event, CoreError, EventSystem};
+
+typed_event! {
+    /// The paper's Example 4 event type: private attributes, public
+    /// accessors, meta-data inferred by the event system.
+    pub struct Stock: "Stock" {
+        symbol: String,
+        price: f64,
+    }
+}
+
+fn main() -> Result<(), CoreError> {
+    // A small hierarchy: 4 edge brokers, 2 intermediate, 1 root.
+    let mut system = EventSystem::builder()
+        .levels(&[4, 2, 1])
+        .with_event::<Stock>()?
+        .build();
+
+    // Publishers advertise the event class (with a default attribute-stage
+    // association) before publishing.
+    system.advertise::<Stock>(None)?;
+
+    // Subscribe to cheap Foo quotes. The filter is declarative, so brokers
+    // can pre-filter weakened forms of it; the subscriber runtime applies
+    // the exact filter end-to-end.
+    let cheap_foo = system.subscribe::<Stock>(|f| f.eq("symbol", "Foo").lt("price", 10.0))?;
+
+    for (symbol, price) in [("Foo", 9.0), ("Foo", 12.5), ("Bar", 3.0), ("Foo", 8.25)] {
+        system.publish(&Stock::new(symbol.to_owned(), price))?;
+    }
+    system.settle();
+
+    let quotes: Vec<Stock> = system.poll(&cheap_foo)?;
+    println!("delivered {} quotes:", quotes.len());
+    for q in &quotes {
+        println!("  {} @ {:.2}", q.symbol(), q.price());
+    }
+    assert_eq!(quotes.len(), 2);
+
+    // Every broker reports how much filtering work it did.
+    let metrics = system.metrics();
+    println!("\nper-stage filtering load:");
+    print!("{}", metrics.rlc_table());
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Stock ticker: stateful `BuyFilter` residual predicates, polymorphic
+//! subtype delivery, and channel-based consumption.
+//!
+//! This example reproduces Section 3.4 of the paper at runtime: a
+//! subscription combines a broker-evaluable declarative filter
+//! (`symbol = Foo ∧ price < max`) with a *stateful* typed predicate (buy
+//! when the price dropped below 95% of the last seen matching price) that
+//! only the subscriber runtime can evaluate.
+//!
+//! Run with: `cargo run --example stock_ticker`
+
+use layercake::workload::stock::{BuyFilter, Stock, StockConfig, StockWorkload, VolumeStock};
+use layercake::{CoreError, EventSystem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), CoreError> {
+    let mut system = EventSystem::builder()
+        .levels(&[8, 2, 1])
+        .with_event::<Stock>()?
+        .with_event::<VolumeStock>()?
+        .build();
+    system.advertise::<Stock>(Some(StockWorkload::stage_map()))?;
+    system.advertise::<VolumeStock>(None)?;
+
+    // A buy-signal subscription: declarative half pre-filtered by brokers,
+    // stateful half applied end-to-end.
+    let mut buy = BuyFilter::new("SYM000", 11.0, 0.98);
+    let declarative_max = 11.0;
+    let buy_signals = system.subscribe_with::<Stock, _>(
+        |f| f.eq("symbol", "SYM000").lt("price", declarative_max),
+        move |quote| buy.matches(quote),
+    )?;
+
+    // A type-based subscription: all volume-carrying quotes, any symbol —
+    // demonstrating filtering on the polymorphic nature of events.
+    let volume_feed = system.subscribe::<VolumeStock>(|f| f.gt("volume", 50_000))?;
+    let volume_rx = system.channel(&volume_feed);
+
+    // Publish a random-walk ticker tape; ~20% of quotes are VolumeStock
+    // subtype events, which the Stock machinery handles transparently.
+    let mut registry_for_gen = layercake::TypeRegistry::new();
+    let mut tape = StockWorkload::new(
+        StockConfig {
+            symbols: 20,
+            ..StockConfig::default()
+        },
+        &mut registry_for_gen,
+    );
+    let mut rng = StdRng::seed_from_u64(2002);
+    for _ in 0..2_000 {
+        let (quote, volume) = tape.next_quote_full(&mut rng);
+        match volume {
+            Some(v) => {
+                system.publish(&VolumeStock::new(quote.symbol().clone(), *quote.price(), v))?
+            }
+            None => system.publish(&quote)?,
+        };
+    }
+    system.settle();
+
+    let buys: Vec<Stock> = system.poll(&buy_signals)?;
+    println!("buy signals for SYM000 (price dip under 98% of last match):");
+    for q in buys.iter().take(10) {
+        println!("  buy {} @ {:.3}", q.symbol(), q.price());
+    }
+    println!("  … {} signals total", buys.len());
+
+    let heavy: Vec<VolumeStock> = volume_rx.try_iter().collect();
+    println!("\nheavy-volume quotes (> 50k shares): {}", heavy.len());
+    for q in heavy.iter().take(5) {
+        println!("  {} @ {:.3} × {}", q.symbol(), q.price(), q.volume());
+    }
+
+    // Show how little of the tape each broker had to inspect.
+    let metrics = system.metrics();
+    println!("\nfiltering load per stage (RLC, centralized server = 1):");
+    print!("{}", metrics.rlc_table());
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Telemetry: a three-level event-type hierarchy over the typed API —
+//! polymorphic (type-based) subscriptions, numeric range filters, optional
+//! attributes and substring filters, all pre-filtered by the broker
+//! hierarchy.
+//!
+//! Run with: `cargo run --example telemetry`
+
+use layercake::workload::sensor::{
+    Alarm, AnyReading, Pressure, Reading, SensorConfig, SensorWorkload, Temperature,
+};
+use layercake::{CoreError, EventSystem, TypeRegistry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), CoreError> {
+    let mut system = EventSystem::builder()
+        .levels(&[8, 2, 1])
+        .with_event::<Reading>()?
+        .with_event::<Temperature>()?
+        .with_event::<Pressure>()?
+        .with_event::<Alarm>()?
+        .build();
+    for adv in [
+        system.advertise::<Reading>(None)?,
+        system.advertise::<Temperature>(Some(SensorWorkload::stage_map()))?,
+        system.advertise::<Pressure>(Some(SensorWorkload::stage_map()))?,
+        system.advertise::<Alarm>(None)?,
+    ] {
+        let _ = adv;
+    }
+
+    // Type-based subscription: *everything* from one station, regardless of
+    // the concrete subtype — new reading types would arrive here without
+    // any subscription change (the paper's Section 2.1 argument).
+    let station_feed = system.subscribe::<Reading>(|f| f.eq("station", "ST03"))?;
+
+    // Content-based subscriptions on concrete subtypes.
+    let heat_watch = system.subscribe::<Temperature>(|f| f.gt("celsius", 20.0))?;
+    let severe = system.subscribe::<Alarm>(|f| f.ge("severity", 4))?;
+    // Substring filter over the alarm's optional free-text message.
+    let anomaly_grep = system.subscribe::<Alarm>(|f| f.contains("message", "anomaly"))?;
+
+    let mut workload = SensorWorkload::new(SensorConfig::default(), &mut TypeRegistry::new());
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..5_000 {
+        match workload.next_reading(&mut rng) {
+            AnyReading::Temperature(t) => system.publish(&t)?,
+            AnyReading::Pressure(p) => system.publish(&p)?,
+            AnyReading::Alarm(a) => system.publish(&a)?,
+        };
+    }
+    system.settle();
+
+    let station: Vec<Reading> = system.poll(&station_feed)?;
+    println!("ST03 feed (all subtypes, polymorphic): {} readings", station.len());
+    assert!(station.iter().all(|r| r.station() == "ST03"));
+
+    let hot = system.poll(&heat_watch)?;
+    println!("temperatures above 20°C:               {} samples", hot.len());
+    assert!(hot.iter().all(|t| *t.celsius() > 20.0));
+
+    let alarms = system.poll(&severe)?;
+    println!("severity ≥ 4 alarms:                   {} alarms", alarms.len());
+    assert!(alarms.iter().all(|a| *a.severity() >= 4));
+
+    let greps = system.poll(&anomaly_grep)?;
+    println!("alarms whose message says 'anomaly':   {} alarms", greps.len());
+    assert!(greps
+        .iter()
+        .all(|a| a.message().as_deref().is_some_and(|m| m.contains("anomaly"))));
+
+    println!("\nper-stage filtering load:");
+    print!("{}", system.metrics().rlc_table());
+    Ok(())
+}

@@ -1,0 +1,337 @@
+//! Cross-crate integration tests exercising the typed API over the full
+//! overlay: multiple event classes, subtype polymorphism, wildcard
+//! anchoring, soft-state leases, and channel delivery.
+
+use layercake::workload::auction::Auction;
+use layercake::workload::stock::{Stock, VolumeStock};
+use layercake::{typed_event, CoreError, EventSystem, PlacementPolicy, SimDuration};
+
+fn system() -> EventSystem {
+    let mut system = EventSystem::builder()
+        .levels(&[8, 4, 1])
+        .with_event::<Stock>()
+        .expect("register Stock")
+        .with_event::<VolumeStock>()
+        .expect("register VolumeStock")
+        .with_event::<Auction>()
+        .expect("register Auction")
+        .build();
+    system.advertise::<Stock>(None).expect("advertise Stock");
+    system.advertise::<VolumeStock>(None).expect("advertise VolumeStock");
+    system.advertise::<Auction>(None).expect("advertise Auction");
+    system
+}
+
+#[test]
+fn multiple_classes_route_independently() {
+    let mut sys = system();
+    let stocks = sys.subscribe::<Stock>(|f| f.eq("symbol", "A")).unwrap();
+    let auctions = sys.subscribe::<Auction>(|f| f.eq("product", "Vehicle")).unwrap();
+
+    sys.publish(&Stock::new("A".into(), 1.0)).unwrap();
+    sys.publish(&Auction::new("Vehicle".into(), "Car".into(), 10, 5.0)).unwrap();
+    sys.publish(&Auction::new("Property".into(), "Flat".into(), 3, 9.0)).unwrap();
+    sys.settle();
+
+    assert_eq!(sys.poll(&stocks).unwrap().len(), 1);
+    let got = sys.poll(&auctions).unwrap();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].product(), "Vehicle");
+}
+
+#[test]
+fn subtype_events_reach_supertype_subscribers_only_when_matching() {
+    let mut sys = system();
+    let all_stock = sys.subscribe::<Stock>(|f| f).unwrap();
+    let pricey = sys.subscribe::<Stock>(|f| f.gt("price", 100.0)).unwrap();
+
+    sys.publish(&VolumeStock::new("V".into(), 150.0, 9)).unwrap();
+    sys.publish(&VolumeStock::new("V".into(), 50.0, 9)).unwrap();
+    sys.publish(&Stock::new("S".into(), 200.0)).unwrap();
+    sys.settle();
+
+    assert_eq!(sys.poll(&all_stock).unwrap().len(), 3);
+    let got = sys.poll(&pricey).unwrap();
+    assert_eq!(got.len(), 2);
+    assert!(got.iter().all(|s| *s.price() > 100.0));
+}
+
+#[test]
+fn sibling_classes_do_not_leak() {
+    typed_event! {
+        pub struct Heartbeat: "Heartbeat" { node: String }
+    }
+    let mut sys = EventSystem::builder()
+        .levels(&[4, 1])
+        .with_event::<Stock>()
+        .unwrap()
+        .with_event::<Heartbeat>()
+        .unwrap()
+        .build();
+    sys.advertise::<Stock>(None).unwrap();
+    sys.advertise::<Heartbeat>(None).unwrap();
+    let beats = sys.subscribe::<Heartbeat>(|f| f).unwrap();
+    for i in 0..10 {
+        sys.publish(&Stock::new(format!("S{i}"), 1.0)).unwrap();
+    }
+    sys.publish(&Heartbeat::new("n1".into())).unwrap();
+    sys.settle();
+    let got = sys.poll(&beats).unwrap();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].node(), "n1");
+}
+
+#[test]
+fn wildcard_subscription_through_typed_api() {
+    let mut sys = system();
+    // No constraints at all: a type-only subscription.
+    let everything = sys.subscribe::<Auction>(|f| f).unwrap();
+    // Partially wildcarded (kind unspecified = hole in the schema prefix).
+    let vehicles = sys.subscribe::<Auction>(|f| f.eq("product", "Vehicle").lt("price", 100.0)).unwrap();
+
+    sys.publish(&Auction::new("Vehicle".into(), "Car".into(), 10, 50.0)).unwrap();
+    sys.publish(&Auction::new("Vehicle".into(), "Truck".into(), 10, 500.0)).unwrap();
+    sys.publish(&Auction::new("Property".into(), "Flat".into(), 1, 50.0)).unwrap();
+    sys.settle();
+
+    assert_eq!(sys.poll(&everything).unwrap().len(), 3);
+    let got = sys.poll(&vehicles).unwrap();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].kind(), "Car");
+}
+
+#[test]
+fn lease_based_unsubscription_via_typed_api() {
+    let ttl = SimDuration::from_ticks(500);
+    let mut sys = EventSystem::builder()
+        .levels(&[4, 1])
+        .leases(ttl)
+        .with_event::<Stock>()
+        .unwrap()
+        .build();
+    sys.advertise::<Stock>(None).unwrap();
+    let keep = sys.subscribe::<Stock>(|f| f.eq("symbol", "K")).unwrap();
+    let gone = sys.subscribe::<Stock>(|f| f.eq("symbol", "G")).unwrap();
+    sys.settle();
+
+    sys.unsubscribe(&gone);
+    sys.run_for(SimDuration::from_ticks(500 * 8));
+
+    sys.publish(&Stock::new("K".into(), 1.0)).unwrap();
+    sys.publish(&Stock::new("G".into(), 1.0)).unwrap();
+    sys.settle();
+    assert_eq!(sys.poll(&keep).unwrap().len(), 1);
+    assert!(sys.poll(&gone).unwrap().is_empty());
+}
+
+#[test]
+fn explicit_unsubscription_via_typed_api() {
+    let mut sys = system();
+    let keep = sys.subscribe::<Stock>(|f| f.eq("symbol", "K")).unwrap();
+    let gone = sys.subscribe::<Stock>(|f| f.eq("symbol", "G")).unwrap();
+    assert!(sys.unsubscribe_now(&gone));
+    sys.settle();
+    sys.publish(&Stock::new("K".into(), 1.0)).unwrap();
+    sys.publish(&Stock::new("G".into(), 1.0)).unwrap();
+    sys.settle();
+    assert_eq!(sys.poll(&keep).unwrap().len(), 1);
+    assert!(sys.poll(&gone).unwrap().is_empty());
+}
+
+#[test]
+fn durable_subscription_via_typed_api() {
+    let mut sys = system();
+    let durable = sys.subscribe::<Stock>(|f| f.eq("symbol", "D")).unwrap();
+    assert!(sys.disconnect(&durable));
+    sys.settle();
+    for price in [1.0, 2.0, 3.0] {
+        sys.publish(&Stock::new("D".into(), price)).unwrap();
+    }
+    sys.settle();
+    assert!(sys.poll(&durable).unwrap().is_empty());
+    assert!(sys.reconnect(&durable));
+    sys.settle();
+    let got = sys.poll(&durable).unwrap();
+    assert_eq!(
+        got.iter().map(|s| *s.price()).collect::<Vec<_>>(),
+        vec![1.0, 2.0, 3.0],
+        "catch-up preserves publication order"
+    );
+}
+
+#[test]
+fn channels_and_polls_coexist_on_different_subscriptions() {
+    let mut sys = system();
+    let polled = sys.subscribe::<Stock>(|f| f.eq("symbol", "P")).unwrap();
+    let channeled = sys.subscribe::<Stock>(|f| f.eq("symbol", "C")).unwrap();
+    let rx = sys.channel(&channeled);
+
+    for sym in ["P", "C", "P", "X"] {
+        sys.publish(&Stock::new(sym.into(), 1.0)).unwrap();
+    }
+    sys.settle();
+
+    assert_eq!(sys.poll(&polled).unwrap().len(), 2);
+    assert_eq!(rx.try_iter().count(), 1);
+}
+
+#[test]
+fn random_placement_still_delivers_exactly() {
+    let mut sys = EventSystem::builder()
+        .levels(&[16, 4, 1])
+        .placement(PlacementPolicy::Random)
+        .seed(99)
+        .with_event::<Stock>()
+        .unwrap()
+        .build();
+    sys.advertise::<Stock>(None).unwrap();
+    let subs: Vec<_> = (0..20)
+        .map(|i| {
+            sys.subscribe::<Stock>(move |f| f.eq("symbol", format!("S{i}")))
+                .unwrap()
+        })
+        .collect();
+    for round in 0..5 {
+        for i in 0..20 {
+            sys.publish(&Stock::new(format!("S{i}"), f64::from(round))).unwrap();
+        }
+    }
+    sys.settle();
+    for sub in &subs {
+        assert_eq!(sys.poll(sub).unwrap().len(), 5);
+    }
+}
+
+#[test]
+fn disjunctive_subscription_delivers_union_exactly_once() {
+    use layercake::Filter;
+    let mut sys = system();
+    // Foo at any price OR anything under 1.0.
+    let sub = sys
+        .subscribe_any::<Stock>(vec![
+            Filter::any().eq("symbol", "Foo"),
+            Filter::any().lt("price", 1.0),
+        ])
+        .unwrap();
+    sys.settle();
+    sys.publish(&Stock::new("Foo".into(), 10.0)).unwrap(); // branch 1 only
+    sys.publish(&Stock::new("Bar".into(), 0.5)).unwrap(); // branch 2 only
+    sys.publish(&Stock::new("Foo".into(), 0.5)).unwrap(); // both branches
+    sys.publish(&Stock::new("Bar".into(), 5.0)).unwrap(); // neither
+    sys.settle();
+    let got = sys.poll(&sub).unwrap();
+    assert_eq!(got.len(), 3, "union, with the double-match delivered once");
+}
+
+#[test]
+fn disjunction_across_subtypes() {
+    use layercake::Filter;
+    let mut sys = system();
+    let volume_class = sys.class_of::<VolumeStock>().unwrap();
+    // Cheap base-class quotes OR heavy-volume subtype quotes.
+    let sub = sys
+        .subscribe_any::<Stock>(vec![
+            Filter::any().lt("price", 1.0),
+            Filter::for_class(volume_class).gt("volume", 10_000),
+        ])
+        .unwrap();
+    sys.settle();
+    sys.publish(&Stock::new("A".into(), 0.5)).unwrap();
+    sys.publish(&VolumeStock::new("B".into(), 50.0, 20_000)).unwrap();
+    sys.publish(&VolumeStock::new("C".into(), 50.0, 10)).unwrap();
+    sys.settle();
+    assert_eq!(sys.poll(&sub).unwrap().len(), 2);
+}
+
+#[test]
+fn disjunctive_unsubscription_removes_all_branches() {
+    use layercake::Filter;
+    let mut sys = system();
+    let sub = sys
+        .subscribe_any::<Stock>(vec![
+            Filter::any().eq("symbol", "X"),
+            Filter::any().eq("symbol", "Y"),
+        ])
+        .unwrap();
+    sys.settle();
+    assert!(sys.unsubscribe_now(&sub));
+    sys.settle();
+    sys.publish(&Stock::new("X".into(), 1.0)).unwrap();
+    sys.publish(&Stock::new("Y".into(), 1.0)).unwrap();
+    sys.settle();
+    assert!(sys.poll(&sub).unwrap().is_empty());
+}
+
+#[test]
+fn errors_surface_cleanly() {
+    let mut sys = system();
+    // Unknown attribute in the filter.
+    let err = sys.subscribe::<Stock>(|f| f.eq("dividend", 1)).unwrap_err();
+    assert!(matches!(err, CoreError::Filter(_)));
+    // Kind mismatch.
+    let err = sys.subscribe::<Stock>(|f| f.lt("symbol", 10)).unwrap_err();
+    assert!(matches!(err, CoreError::Filter(_)));
+}
+
+#[test]
+fn optional_attributes_and_exists_filters() {
+    typed_event! {
+        /// A trade whose volume may be unreported.
+        pub struct Trade: "Trade" {
+            symbol: String,
+            price: f64,
+            volume: Option<i64>,
+        }
+    }
+    let mut sys = EventSystem::builder()
+        .levels(&[4, 1])
+        .with_event::<Trade>()
+        .unwrap()
+        .build();
+    sys.advertise::<Trade>(None).unwrap();
+    // Only trades that *report* a volume.
+    let with_volume = sys.subscribe::<Trade>(|f| f.exists("volume")).unwrap();
+    // Only heavy trades.
+    let heavy = sys.subscribe::<Trade>(|f| f.gt("volume", 1_000)).unwrap();
+    sys.settle();
+    sys.publish(&Trade::new("A".into(), 1.0, Some(5_000))).unwrap();
+    sys.publish(&Trade::new("B".into(), 1.0, Some(10))).unwrap();
+    sys.publish(&Trade::new("C".into(), 1.0, None)).unwrap();
+    sys.settle();
+    let reported = sys.poll(&with_volume).unwrap();
+    assert_eq!(reported.len(), 2);
+    assert!(reported.iter().all(|t| t.volume().is_some()));
+    let big = sys.poll(&heavy).unwrap();
+    assert_eq!(big.len(), 1);
+    assert_eq!(big[0].symbol(), "A");
+}
+
+#[test]
+fn deep_hierarchies_work() {
+    let mut sys = EventSystem::builder()
+        .levels(&[16, 8, 4, 2, 1])
+        .with_event::<Stock>()
+        .unwrap()
+        .build();
+    sys.advertise::<Stock>(None).unwrap();
+    let sub = sys.subscribe::<Stock>(|f| f.eq("symbol", "DEEP").lt("price", 5.0)).unwrap();
+    sys.publish(&Stock::new("DEEP".into(), 4.0)).unwrap();
+    sys.publish(&Stock::new("DEEP".into(), 6.0)).unwrap();
+    sys.publish(&Stock::new("SHALLOW".into(), 4.0)).unwrap();
+    sys.settle();
+    assert_eq!(sys.poll(&sub).unwrap().len(), 1);
+}
+
+#[test]
+fn single_broker_degenerate_topology() {
+    let mut sys = EventSystem::builder()
+        .levels(&[1])
+        .with_event::<Stock>()
+        .unwrap()
+        .build();
+    sys.advertise::<Stock>(None).unwrap();
+    let sub = sys.subscribe::<Stock>(|f| f.eq("symbol", "X")).unwrap();
+    sys.publish(&Stock::new("X".into(), 1.0)).unwrap();
+    sys.settle();
+    assert_eq!(sys.poll(&sub).unwrap().len(), 1);
+}

@@ -1,0 +1,290 @@
+//! Every worked example from the paper, verified end to end.
+//!
+//! Example/section numbers refer to "Tradeoffs in Event Systems" (the
+//! extended version of "Event Systems: How to Have Your Cake and Eat It
+//! Too"), Eugster, Felber, Guerraoui, Handurukande, 2002.
+
+use layercake::event::event_data;
+use layercake::filter::{event_covers_for, merge_cover, standardize, weaken_to_stage};
+use layercake::workload::auction::AuctionWorkload;
+use layercake::workload::stock::{BuyFilter, Stock};
+use layercake::{AttributeDecl, Filter, StageMap, TypeRegistry, TypedEvent, ValueKind};
+
+fn stock_registry() -> (TypeRegistry, layercake::ClassId) {
+    let mut r = TypeRegistry::new();
+    let id = r
+        .register(
+            "Stock",
+            None,
+            vec![
+                AttributeDecl::new("symbol", ValueKind::Str),
+                AttributeDecl::new("price", ValueKind::Float),
+                AttributeDecl::new("volume", ValueKind::Int),
+            ],
+        )
+        .unwrap();
+    (r, id)
+}
+
+/// Example 1: stock-quote events and the filter
+/// `f = (symbol, "Foo", =) (price, 5.0, >)`.
+#[test]
+fn example_1_filter_matching() {
+    let e1 = event_data! { "symbol" => "Foo", "price" => 10.0, "volume" => 32_300 };
+    let e2 = event_data! { "symbol" => "Bar", "price" => 15.0, "volume" => 25_600 };
+    let f = Filter::any().eq("symbol", "Foo").gt("price", 5.0);
+    assert!(f.matches_meta(&e1), "f(e1) = true");
+    assert!(!f.matches_meta(&e2), "f(e2) = false");
+}
+
+/// Example 2: the three filters covering `f`.
+#[test]
+fn example_2_filter_covering() {
+    let (r, _) = stock_registry();
+    let f = Filter::any().eq("symbol", "Foo").gt("price", 5.0);
+    let f1 = Filter::any().eq("symbol", "Foo");
+    let f2 = Filter::any().gt("price", 5.0);
+    let f3 = Filter::any().eq("symbol", "Foo").ge("price", 4.5);
+    for (name, weak) in [("f'", &f1), ("f''", &f2), ("f'''", &f3)] {
+        assert!(weak.covers(&f, &r), "{name} ⊒ f");
+    }
+    // And the covering is strict in each case.
+    for weak in [&f1, &f2, &f3] {
+        assert!(!f.covers(weak, &r));
+    }
+}
+
+/// Example 3 + the remark after it: `e1' = (symbol, Foo)(price, 10.0)`
+/// covers `e1` for `f`, but NOT for the existence filter `(volume, ∃)`.
+#[test]
+fn example_3_event_covering_depends_on_filter() {
+    let (r, stock) = stock_registry();
+    let f = Filter::any().eq("symbol", "Foo").gt("price", 5.0);
+    let e1 = event_data! { "symbol" => "Foo", "price" => 10.0, "volume" => 32_300 };
+    let e1p = event_data! { "symbol" => "Foo", "price" => 10.0 };
+    assert!(event_covers_for(&f, (stock, &e1p), (stock, &e1), &r));
+    let f_exists = Filter::any().exists("volume");
+    assert!(!event_covers_for(&f_exists, (stock, &e1p), (stock, &e1), &r));
+}
+
+/// The `f_T` / `f_F` remarks after Definition 2: the always-true filter
+/// covers all filters.
+#[test]
+fn match_all_filter_covers_everything() {
+    let (r, stock) = stock_registry();
+    let ft = Filter::any();
+    for f in [
+        Filter::for_class(stock).eq("symbol", "Foo"),
+        Filter::any().gt("price", 1.0).exists("volume"),
+        Filter::any(),
+    ] {
+        assert!(ft.covers(&f, &r));
+    }
+}
+
+/// Section 3.4: the Stock class and the meta-data the system infers from
+/// it — `d1 = (class, Stock)(symbol, Foo)(price, 9.0)`.
+#[test]
+fn section_3_4_metadata_inference() {
+    let d = Stock::new("Foo".to_owned(), 9.0);
+    let d1 = d.extract();
+    assert_eq!(d1.to_string(), "(symbol, \"Foo\") (price, 9)");
+    assert_eq!(Stock::CLASS_NAME, "Stock");
+}
+
+/// Section 3.4: the filter weakening chain f/g → f1/g1 → g2 → g3, with the
+/// coverings the paper derives, including the collapse `g1 ⊒ f1`.
+#[test]
+fn section_3_4_weakening_chain() {
+    let mut r = TypeRegistry::new();
+    let stock = r
+        .register(
+            "Stock",
+            None,
+            vec![
+                AttributeDecl::new("symbol", ValueKind::Str),
+                AttributeDecl::new("price", ValueKind::Float),
+            ],
+        )
+        .unwrap();
+
+    // f = BuyFilter("Foo", 10.0, 0.95), g = BuyFilter("Foo", 11.0, 0.97).
+    let f = BuyFilter::new("Foo", 10.0, 0.95);
+    let g = BuyFilter::new("Foo", 11.0, 0.97);
+    let f1 = f.declarative(stock);
+    let g1 = g.declarative(stock);
+    assert_eq!(
+        f1,
+        Filter::for_class(stock).eq("symbol", "Foo").lt("price", 10.0)
+    );
+    // g1 ⊒ f1: on the common path only g1 needs to be kept.
+    assert!(g1.covers(&f1, &r));
+    assert!(!f1.covers(&g1, &r));
+
+    // d1 covers d for both weakened filters (trivially: d1 = extract(d)).
+    // g2 = (class Stock)(symbol Foo): weaken g1 by dropping price.
+    let class = r.class(stock).unwrap();
+    let gmap = StageMap::from_prefixes(&[2, 1]).unwrap();
+    let g2 = weaken_to_stage(&g1, class, &gmap, 1);
+    assert_eq!(g2, Filter::for_class(stock).eq("symbol", "Foo"));
+    assert!(g2.covers(&g1, &r));
+
+    // g3 = (class Stock): type-only filtering, "topic-based addressing is a
+    // degenerated form of content-based addressing". An empty stage set in
+    // the map strips every attribute constraint.
+    let gmap_type_only = StageMap::new(vec![vec![0, 1], vec![0], vec![]]).unwrap();
+    let g3 = weaken_to_stage(&g2, class, &gmap_type_only, 2);
+    assert_eq!(g3, Filter::for_class(stock));
+    assert!(g3.covers(&g2, &r));
+    assert!(g3.covers(&f1, &r)); // transitive down the chain
+
+    // The stateful halves behave as the paper walks through.
+    let mut f = BuyFilter::new("Foo", 10.0, 0.95);
+    let d = Stock::new("Foo".to_owned(), 9.0);
+    assert!(!f.matches(&d)); // last = 0 → no match, but primes the state
+    assert!(f.matches(&Stock::new("Foo".to_owned(), 8.0)));
+}
+
+/// Example 5: the four subscriber filters weakened across the 4-stage
+/// hierarchy (g/h/i families) with coverings at every step.
+#[test]
+fn example_5_stage_families() {
+    let mut r = TypeRegistry::new();
+    let stock = r
+        .register(
+            "Stock",
+            None,
+            vec![
+                AttributeDecl::new("symbol", ValueKind::Str),
+                AttributeDecl::new("price", ValueKind::Float),
+            ],
+        )
+        .unwrap();
+    let auction = r
+        .register(
+            "Auction",
+            None,
+            vec![
+                AttributeDecl::new("product", ValueKind::Str),
+                AttributeDecl::new("kind", ValueKind::Str),
+                AttributeDecl::new("capacity", ValueKind::Int),
+                AttributeDecl::new("price", ValueKind::Float),
+            ],
+        )
+        .unwrap();
+
+    let f1 = Filter::for_class(stock).eq("symbol", "DEF").lt("price", 10.0);
+    let f2 = Filter::for_class(stock).eq("symbol", "DEF").lt("price", 11.0);
+    let f3 = Filter::for_class(stock).eq("symbol", "GHI").lt("price", 8.0);
+    let f4 = Filter::for_class(auction)
+        .eq("product", "Vehicle")
+        .eq("kind", "Car")
+        .lt("capacity", 2_000)
+        .lt("price", 10_000.0);
+
+    // Stage 1: f1 and f2 merge into g1 = (Stock)(DEF)(price < 11).
+    let g1 = merge_cover(&[&f1, &f2], &r);
+    assert_eq!(
+        g1,
+        Filter::for_class(stock).eq("symbol", "DEF").lt("price", 11.0)
+    );
+    assert!(g1.covers(&f1, &r) && g1.covers(&f2, &r));
+    let g2 = f3.clone();
+    // Stage 1 keeps f4's first four attributes: g3 drops the price.
+    let auction_class = r.class(auction).unwrap().clone();
+    let g_auction = StageMap::from_prefixes(&[4, 3, 2, 1]).unwrap();
+    let g3 = weaken_to_stage(&f4, &auction_class, &g_auction, 1);
+    assert_eq!(g3.constraints().len(), 3);
+    assert!(g3.covers(&f4, &r));
+
+    // Stage 2: h families drop the price / capacity.
+    let stock_class = r.class(stock).unwrap().clone();
+    let g_stock = StageMap::from_prefixes(&[2, 2, 1, 0]).unwrap();
+    let h1 = weaken_to_stage(&g1, &stock_class, &g_stock, 2);
+    assert_eq!(h1, Filter::for_class(stock).eq("symbol", "DEF"));
+    let h2 = weaken_to_stage(&g2, &stock_class, &g_stock, 2);
+    assert_eq!(h2, Filter::for_class(stock).eq("symbol", "GHI"));
+    let h3 = weaken_to_stage(&g3, &auction_class, &g_auction, 2);
+    assert_eq!(h3.constraints().len(), 2);
+
+    // Stage 3: i families filter on type only.
+    let i1 = weaken_to_stage(&h1, &stock_class, &g_stock, 3);
+    assert_eq!(i1, Filter::for_class(stock));
+    let i2 = weaken_to_stage(&h3, &auction_class, &g_auction, 3);
+    assert_eq!(i2.constraints().len(), 1); // product survives stage 3 of G_Auction
+    assert!(i1.covers(&h1, &r) && i1.covers(&f1, &r) && i1.covers(&f2, &r));
+    assert!(i2.covers(&f4, &r));
+}
+
+/// Example 6: `G_Auction` associates shrinking attribute prefixes with the
+/// four stages.
+#[test]
+fn example_6_stage_map() {
+    let g = StageMap::from_prefixes(&[5, 4, 3, 1]).unwrap();
+    assert_eq!(g.to_string(), "{<Stage-0: 0 1 2 3 4>, <Stage-1: 0 1 2 3>, <Stage-2: 0 1 2>, <Stage-3: 0>}");
+    // "g3 is obtained from f4 by keeping only the first four attributes at
+    // Stage-1" — with our 4-attribute schema (class carried separately).
+    let mut r = TypeRegistry::new();
+    let w = AuctionWorkload::new(&mut r);
+    let class = r.class(w.class()).unwrap();
+    let g = AuctionWorkload::stage_map();
+    let g3 = weaken_to_stage(&w.paper_f4(), class, &g, 1);
+    assert_eq!(
+        g3,
+        Filter::for_class(w.class())
+            .eq("product", "Vehicle")
+            .eq("kind", "Car")
+            .lt("capacity", 2_000)
+    );
+}
+
+/// Section 4.4: wildcard subscription filters — `fy` and `fz` are equal
+/// after conversion to the standard subscription filter format, and `fx`
+/// receives events irrespective of price.
+#[test]
+fn section_4_4_standard_format() {
+    let mut r = TypeRegistry::new();
+    let stock = r
+        .register(
+            "Stock",
+            None,
+            vec![
+                AttributeDecl::new("symbol", ValueKind::Str),
+                AttributeDecl::new("price", ValueKind::Float),
+            ],
+        )
+        .unwrap();
+    let class = r.class(stock).unwrap();
+
+    let fy = Filter::for_class(stock).wildcard("symbol").lt("price", 100.0);
+    let fz = Filter::for_class(stock).lt("price", 100.0);
+    assert_eq!(standardize(&fy, class).unwrap(), standardize(&fz, class).unwrap());
+
+    let fx = Filter::for_class(stock).eq("symbol", "DEF");
+    let std_fx = standardize(&fx, class).unwrap();
+    for price in [1.0, 1_000.0] {
+        let e = event_data! { "symbol" => "DEF", "price" => price };
+        assert!(std_fx.matches(stock, &e, &r), "fx matches irrespective of price");
+    }
+}
+
+/// Section 5.2: the simulated filter formats at each stage of the
+/// bibliographic hierarchy.
+#[test]
+fn section_5_2_biblio_stage_formats() {
+    let mut r = TypeRegistry::new();
+    let class_id = layercake::workload::BiblioWorkload::register(&mut r);
+    let class = r.class(class_id).unwrap();
+    let g = layercake::workload::BiblioWorkload::stage_map();
+    let f = Filter::for_class(class_id)
+        .eq("year", 2002)
+        .eq("conference", "icdcs")
+        .eq("author", "handurukande")
+        .eq("title", "tradeoffs in event systems");
+    let names = |f: &Filter| -> Vec<String> {
+        f.constraints().iter().map(|c| c.name().to_owned()).collect()
+    };
+    assert_eq!(names(&weaken_to_stage(&f, class, &g, 1)), ["year", "conference", "author"]);
+    assert_eq!(names(&weaken_to_stage(&f, class, &g, 2)), ["year", "conference"]);
+    assert_eq!(names(&weaken_to_stage(&f, class, &g, 3)), ["year"]);
+}

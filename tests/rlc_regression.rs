@@ -1,0 +1,105 @@
+//! Regression lock on the paper's headline evaluation shape (Section 5.3):
+//! a scaled-down E1 run inside `cargo test`, asserting the structural
+//! properties the reproduction stands on. If a change to placement,
+//! weakening or forwarding breaks the load distribution, this fails before
+//! any benchmark is run.
+
+use std::sync::Arc;
+
+use layercake::event::Advertisement;
+use layercake::overlay::{OverlayConfig, OverlaySim};
+use layercake::workload::{BiblioConfig, BiblioWorkload};
+use layercake::TypeRegistry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run() -> layercake::RunMetrics {
+    let mut registry = TypeRegistry::new();
+    let mut rng = StdRng::seed_from_u64(2002);
+    let workload = BiblioWorkload::new(
+        BiblioConfig {
+            subscriptions: 60,
+            ..BiblioConfig::default()
+        },
+        &mut registry,
+        &mut rng,
+    );
+    let class = workload.class();
+    let mut sim = OverlaySim::new(
+        OverlayConfig {
+            levels: vec![20, 4, 1],
+            ..OverlayConfig::default()
+        },
+        Arc::new(registry),
+    );
+    sim.advertise(Advertisement::new(class, BiblioWorkload::stage_map()));
+    sim.settle();
+    for f in workload.subscriptions() {
+        sim.add_subscriber(f.clone()).expect("valid subscription");
+        sim.settle();
+    }
+    for seq in 0..4_000 {
+        sim.publish(workload.envelope(seq, &mut rng));
+    }
+    sim.settle();
+    sim.metrics()
+}
+
+#[test]
+fn rlc_shape_matches_the_paper() {
+    let m = run();
+    let summary = m.stage_summary();
+    let by_stage = |s: usize| summary.iter().find(|x| x.stage == s).expect("stage present");
+
+    // 1. Every node far below the centralized server's RLC of 1.
+    for s in &summary {
+        assert!(
+            s.avg_rlc < 0.5,
+            "stage {} avg RLC {} approaches centralized load",
+            s.stage,
+            s.avg_rlc
+        );
+    }
+    // 2. Per-node load decreases towards the subscribers.
+    assert!(by_stage(0).avg_rlc < by_stage(1).avg_rlc);
+    assert!(by_stage(1).avg_rlc < by_stage(2).avg_rlc);
+    // 3. The root's RLC is structural: its table holds the distinct
+    //    year-filters, so RLC(root) = distinct_years / total_subs.
+    let root = m.records.iter().find(|r| r.node == "N3.1").expect("root record");
+    assert_eq!(root.received, m.total_events, "the root sees every event");
+    let expected = root.filters as f64 / m.total_subs as f64;
+    assert!(
+        (root.rlc(m.total_events, m.total_subs) - expected).abs() < 1e-9,
+        "root RLC must equal filters/subscriptions"
+    );
+    assert!(root.filters <= 3, "three publication years collapse to ≤3 root filters");
+    // 4. No more total work than one centralized server.
+    assert!(m.global_rlc_total() < 1.0);
+}
+
+#[test]
+fn matching_rate_shape_matches_figure_7() {
+    let m = run();
+    let sub_mr = m.avg_mr_at(0);
+    assert!(
+        (0.80..=0.95).contains(&sub_mr),
+        "subscriber MR {sub_mr} should sit near the paper's 0.87"
+    );
+    for stage in [1usize, 2] {
+        let mr = m.avg_mr_at(stage);
+        assert!(
+            mr > 0.6,
+            "level-{stage} active nodes should mostly receive relevant events (MR {mr})"
+        );
+    }
+    // Pre-filtering keeps a large share of stage-1 nodes entirely idle.
+    let s1 = m
+        .stage_summary()
+        .into_iter()
+        .find(|s| s.stage == 1)
+        .expect("stage 1");
+    assert!(
+        s1.active_nodes < s1.nodes,
+        "similarity placement should leave some stage-1 nodes without traffic"
+    );
+}
