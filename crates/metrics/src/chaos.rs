@@ -1,0 +1,101 @@
+//! Fault-injection (chaos) counters for a run.
+
+use serde::{Deserialize, Serialize};
+
+/// Reliability and recovery counters accumulated while a run executes under
+/// fault injection ([`layercake_sim::FaultPlan`] link faults and broker
+/// crash/restart).
+///
+/// [`layercake_sim::FaultPlan`]: https://docs.rs/layercake-sim
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ChaosStats {
+    /// Messages the fault layer silently dropped on links.
+    pub dropped: u64,
+    /// Messages the fault layer duplicated on links.
+    pub duplicated: u64,
+    /// In-flight deliveries and timers discarded by node crashes.
+    pub crash_discarded: u64,
+    /// Events re-sent by link senders in response to NACKs.
+    pub retransmitted: u64,
+    /// Arrivals suppressed as duplicates by receivers (link-sequence or
+    /// `(class, seq)` dedup).
+    pub duplicates_suppressed: u64,
+    /// Gap-detection NACKs sent by receivers.
+    pub nacks: u64,
+    /// Subscription placements re-initiated after a host stopped
+    /// acknowledging lease renewals.
+    pub resubscriptions: u64,
+    /// Virtual ticks from the moment faults healed until the overlay
+    /// delivered events exactly-once again; `None` when the run never
+    /// measured reconvergence (or never reconverged).
+    pub reconverge_ticks: Option<u64>,
+}
+
+impl ChaosStats {
+    /// True when no fault, recovery or reliability activity was recorded.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Renders the counters as aligned `key = value` lines for experiment
+    /// reports.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let reconverge = self
+            .reconverge_ticks
+            .map_or_else(|| "n/a".to_owned(), |t| t.to_string());
+        format!(
+            "dropped               = {}\n\
+             duplicated            = {}\n\
+             crash_discarded       = {}\n\
+             retransmitted         = {}\n\
+             duplicates_suppressed = {}\n\
+             nacks                 = {}\n\
+             resubscriptions       = {}\n\
+             reconverge_ticks      = {}\n",
+            self.dropped,
+            self.duplicated,
+            self.crash_discarded,
+            self.retransmitted,
+            self.duplicates_suppressed,
+            self.nacks,
+            self.resubscriptions,
+            reconverge
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_quiet() {
+        assert!(ChaosStats::default().is_quiet());
+        let stats = ChaosStats {
+            dropped: 1,
+            ..ChaosStats::default()
+        };
+        assert!(!stats.is_quiet());
+    }
+
+    #[test]
+    fn render_lists_every_counter() {
+        let stats = ChaosStats {
+            dropped: 3,
+            duplicated: 2,
+            crash_discarded: 5,
+            retransmitted: 4,
+            duplicates_suppressed: 6,
+            nacks: 1,
+            resubscriptions: 2,
+            reconverge_ticks: Some(120),
+        };
+        let text = stats.render();
+        assert!(text.contains("dropped               = 3"));
+        assert!(text.contains("reconverge_ticks      = 120"));
+        let quiet = ChaosStats::default().render();
+        assert!(quiet.contains("reconverge_ticks      = n/a"));
+    }
+}

@@ -21,10 +21,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod plot;
 mod record;
 mod table;
 
+pub use chaos::ChaosStats;
 pub use plot::{Scatter, Series};
 pub use record::{NodeRecord, RunMetrics, StageSummary};
 pub use table::{format_ratio, render_table};

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::chaos::ChaosStats;
 use crate::table::{format_ratio, render_table};
 
 /// Filtering counters for one node (broker or subscriber runtime) over a
@@ -98,6 +99,9 @@ pub struct RunMetrics {
     pub total_events: u64,
     /// Total subscriptions in the system.
     pub total_subs: u64,
+    /// Fault-injection and recovery counters (all zero for fault-free
+    /// runs).
+    pub chaos: ChaosStats,
 }
 
 impl RunMetrics {
@@ -108,6 +112,7 @@ impl RunMetrics {
             records: Vec::new(),
             total_events,
             total_subs,
+            chaos: ChaosStats::default(),
         }
     }
 

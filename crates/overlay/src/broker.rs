@@ -3,7 +3,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use layercake_event::{ClassId, StageMap, TypeRegistry};
+use layercake_event::{Advertisement, ClassId, Envelope, StageMap, TypeRegistry};
 use layercake_filter::{weaken_to_stage, DestId, Filter, FilterTable, IndexKind};
 use layercake_metrics::NodeRecord;
 use layercake_sim::{ActorId, Ctx, SimDuration, SimTime};
@@ -12,6 +12,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::config::PlacementPolicy;
 use crate::msg::{OverlayMsg, SubscriptionReq};
+use crate::reliability::{LinkRx, LinkTx, RxOutcome};
 
 /// Timer tag: lease expiry sweep (Section 4.3, "REMOVE INVALID FILTERS").
 const TAG_SWEEP: u64 = 1;
@@ -42,6 +43,7 @@ pub struct Broker {
     registry: Arc<TypeRegistry>,
     stage_maps: HashMap<ClassId, StageMap>,
     table: FilterTable,
+    index: IndexKind,
     placement: PlacementPolicy,
     covering_collapse: bool,
     wildcard_stage_placement: bool,
@@ -49,13 +51,22 @@ pub struct Broker {
     ttl: SimDuration,
     leases: HashMap<DestId, SimTime>,
     /// Buffered events for detached durable subscribers.
-    parked: HashMap<DestId, Vec<layercake_event::Envelope>>,
+    parked: HashMap<DestId, Vec<Envelope>>,
     timers_started: bool,
+    reliability_enabled: bool,
+    reliability_window: usize,
+    /// Receiver state of reliable links, keyed by the upstream sender.
+    rx: HashMap<ActorId, LinkRx>,
+    /// Sender state of reliable links, keyed by the downstream receiver.
+    tx: HashMap<ActorId, LinkTx>,
     rng: StdRng,
     received: u64,
     matched: u64,
     evaluations: u64,
     bytes_received: u64,
+    retransmitted: u64,
+    dup_suppressed: u64,
+    nacks_sent: u64,
     scratch: Vec<DestId>,
 }
 
@@ -73,6 +84,8 @@ pub(crate) struct BrokerSetup {
     pub wildcard_stage_placement: bool,
     pub leases_enabled: bool,
     pub ttl: SimDuration,
+    pub reliability_enabled: bool,
+    pub reliability_window: usize,
     pub seed: u64,
 }
 
@@ -88,6 +101,7 @@ impl Broker {
             registry: setup.registry,
             stage_maps: HashMap::new(),
             table: FilterTable::new(setup.index),
+            index: setup.index,
             placement: setup.placement,
             covering_collapse: setup.covering_collapse,
             wildcard_stage_placement: setup.wildcard_stage_placement,
@@ -96,10 +110,17 @@ impl Broker {
             leases: HashMap::new(),
             parked: HashMap::new(),
             timers_started: false,
+            reliability_enabled: setup.reliability_enabled,
+            reliability_window: setup.reliability_window,
+            rx: HashMap::new(),
+            tx: HashMap::new(),
             received: 0,
             matched: 0,
             evaluations: 0,
             bytes_received: 0,
+            retransmitted: 0,
+            dup_suppressed: 0,
+            nacks_sent: 0,
             scratch: Vec::new(),
         }
     }
@@ -154,6 +175,25 @@ impl Broker {
         }
     }
 
+    /// Events retransmitted in response to downstream NACKs.
+    #[must_use]
+    pub fn retransmitted(&self) -> u64 {
+        self.retransmitted
+    }
+
+    /// Incoming events suppressed as duplicates (by link sequence or by
+    /// `(class, seq)` identity).
+    #[must_use]
+    pub fn dup_suppressed(&self) -> u64 {
+        self.dup_suppressed
+    }
+
+    /// Gap-detection NACKs this broker sent upstream.
+    #[must_use]
+    pub fn nacks_sent(&self) -> u64 {
+        self.nacks_sent
+    }
+
     pub(crate) fn handle(&mut self, from: ActorId, msg: OverlayMsg, ctx: &mut Ctx<'_, OverlayMsg>) {
         self.maybe_start_timers(ctx);
         match msg {
@@ -165,9 +205,56 @@ impl Broker {
             }
             OverlayMsg::Subscribe(req) => self.place_subscription(req, ctx),
             OverlayMsg::ReqInsert { filter, child } => self.insert_child_filter(filter, child, ctx),
-            OverlayMsg::Publish(env) => self.forward_event(&env, ctx),
+            OverlayMsg::Publish(env) => {
+                self.bytes_received += env.wire_size() as u64;
+                self.forward_event(&env, ctx);
+            }
+            OverlayMsg::Sequenced { link_seq, env } => {
+                self.bytes_received += env.wire_size() as u64;
+                let outcome = self
+                    .rx
+                    .entry(from)
+                    .or_default()
+                    .on_event(link_seq, env, self.reliability_window);
+                self.apply_rx(from, outcome, ctx);
+            }
+            OverlayMsg::Nack { from_seq, to_seq } => {
+                // `from` is the downstream receiver of the link we send on.
+                if let Some(link) = self.tx.get_mut(&from) {
+                    let (resend, advance) = link.handle_nack(from_seq, to_seq);
+                    for (link_seq, env) in resend {
+                        self.retransmitted += 1;
+                        ctx.send(from, OverlayMsg::Sequenced { link_seq, env });
+                    }
+                    if let Some(to) = advance {
+                        ctx.send(from, OverlayMsg::Advance { to });
+                    }
+                }
+            }
+            OverlayMsg::Advance { to } => {
+                let outcome = self
+                    .rx
+                    .entry(from)
+                    .or_default()
+                    .on_advance(to, self.reliability_window);
+                self.apply_rx(from, outcome, ctx);
+            }
             OverlayMsg::Renew => {
-                self.leases.insert(dest_of(from), ctx.now() + self.ttl * 3);
+                let dest = dest_of(from);
+                self.leases.insert(dest, ctx.now() + self.ttl * 3);
+                let known = self.table.filters_for(dest).next().is_some();
+                if self.children_set.contains(&from) {
+                    // A child broker only renews while it holds filters; if
+                    // we store none for it, our table lost them (crash, or a
+                    // dropped req-Insert) — ask the child to re-register.
+                    if !known {
+                        ctx.send(from, OverlayMsg::Reannounce);
+                    }
+                } else if known {
+                    ctx.send(from, OverlayMsg::RenewAck);
+                }
+                // An unknown subscriber gets no ack: silence tells it to
+                // re-subscribe from the root.
             }
             OverlayMsg::Unsubscribe { filter, subscriber } => {
                 let dest = dest_of(subscriber);
@@ -193,13 +280,107 @@ impl Broker {
             OverlayMsg::Attach { subscriber } => {
                 if let Some(buffered) = self.parked.remove(&dest_of(subscriber)) {
                     for env in buffered {
-                        ctx.send(subscriber, OverlayMsg::Deliver(env));
+                        self.send_event(subscriber, env, ctx);
                     }
                 }
             }
-            OverlayMsg::JoinAt { .. } | OverlayMsg::AcceptedAt { .. } | OverlayMsg::Deliver(_) => {
+            OverlayMsg::Rejoin => {
+                // A restarted neighbor: its link sequence state is gone, so
+                // reset ours to match before helping it rebuild.
+                self.rx.remove(&from);
+                self.tx.remove(&from);
+                if self.children_set.contains(&from) {
+                    // A restarted child lost its stage maps; re-flood our
+                    // advertisements to it (deterministic class order).
+                    let mut classes: Vec<ClassId> = self.stage_maps.keys().copied().collect();
+                    classes.sort_unstable_by_key(|c| c.0);
+                    for class in classes {
+                        let map = self.stage_maps[&class].clone();
+                        ctx.send(from, OverlayMsg::Advertise(Advertisement::new(class, map)));
+                    }
+                } else if Some(from) == self.parent {
+                    // A restarted parent lost our filters; re-register them.
+                    self.reannounce_to_parent(ctx);
+                }
+            }
+            OverlayMsg::Reannounce => {
+                debug_assert_eq!(Some(from), self.parent, "re-announce comes from the parent");
+                self.reannounce_to_parent(ctx);
+            }
+            OverlayMsg::JoinAt { .. }
+            | OverlayMsg::AcceptedAt { .. }
+            | OverlayMsg::Deliver(_)
+            | OverlayMsg::RenewAck => {
                 debug_assert!(false, "subscriber-bound message delivered to broker {}", self.label);
             }
+        }
+    }
+
+    /// Handles a crash-restart: every piece of soft state is gone. Ask the
+    /// parent for the advertisement flood and tell both parent and children
+    /// to reset their link state toward us; children lease renewals and
+    /// re-announcements then rebuild the routing table (Section 4.3's
+    /// soft-state recovery argument).
+    pub(crate) fn on_restart(&mut self, ctx: &mut Ctx<'_, OverlayMsg>) {
+        self.table = FilterTable::new(self.index);
+        self.stage_maps.clear();
+        self.leases.clear();
+        self.parked.clear();
+        self.rx.clear();
+        self.tx.clear();
+        if self.leases_enabled {
+            self.timers_started = true;
+            ctx.set_timer(self.ttl, TAG_SWEEP);
+            ctx.set_timer(self.ttl, TAG_RENEW);
+        } else {
+            self.timers_started = false;
+        }
+        if let Some(parent) = self.parent {
+            ctx.send(parent, OverlayMsg::Rejoin);
+        }
+        for child in &self.children {
+            ctx.send(*child, OverlayMsg::Rejoin);
+        }
+    }
+
+    /// Re-sends every weakened filter the parent should hold for this node
+    /// (in a deterministic order, so fault-injection RNG streams line up
+    /// across identically-seeded runs).
+    fn reannounce_to_parent(&mut self, ctx: &mut Ctx<'_, OverlayMsg>) {
+        let Some(parent) = self.parent else {
+            return;
+        };
+        let mut needs: Vec<Filter> = self.parent_needs().into_iter().collect();
+        needs.sort_by_cached_key(|f| format!("{f:?}"));
+        for filter in needs {
+            ctx.send(parent, OverlayMsg::ReqInsert { filter, child: ctx.me() });
+        }
+    }
+
+    /// Applies the receiver-side outcome of one reliable-link arrival:
+    /// forward the released events, NACK any exposed gap.
+    fn apply_rx(&mut self, from: ActorId, outcome: RxOutcome, ctx: &mut Ctx<'_, OverlayMsg>) {
+        self.dup_suppressed += outcome.duplicates_suppressed;
+        if let Some((from_seq, to_seq)) = outcome.nack {
+            self.nacks_sent += 1;
+            ctx.send(from, OverlayMsg::Nack { from_seq, to_seq });
+        }
+        for env in outcome.released {
+            self.forward_event(&env, ctx);
+        }
+    }
+
+    /// Sends one event to a downstream node, under reliable sequencing when
+    /// enabled (the plain `Publish`/`Deliver` forms otherwise).
+    fn send_event(&mut self, to: ActorId, env: Envelope, ctx: &mut Ctx<'_, OverlayMsg>) {
+        if self.reliability_enabled {
+            let link = self.tx.entry(to).or_default();
+            let link_seq = link.stamp(env.clone(), self.reliability_window);
+            ctx.send(to, OverlayMsg::Sequenced { link_seq, env });
+        } else if self.children_set.contains(&to) {
+            ctx.send(to, OverlayMsg::Publish(env));
+        } else {
+            ctx.send(to, OverlayMsg::Deliver(env));
         }
     }
 
@@ -356,11 +537,11 @@ impl Broker {
 
     /// Figure 6: evaluate the event against every stored filter and forward
     /// to the associated children (or deliver to directly-attached
-    /// subscribers).
-    fn forward_event(&mut self, env: &layercake_event::Envelope, ctx: &mut Ctx<'_, OverlayMsg>) {
+    /// subscribers). Bandwidth is accounted at the arrival site, so parked
+    /// and duplicate-suppressed events still count their bytes.
+    fn forward_event(&mut self, env: &Envelope, ctx: &mut Ctx<'_, OverlayMsg>) {
         self.received += 1;
         self.evaluations += self.table.filter_count() as u64;
-        self.bytes_received += env.wire_size() as u64;
         let mut dests = std::mem::take(&mut self.scratch);
         self.table.matches(env.class(), env.meta(), &self.registry, &mut dests);
         if !dests.is_empty() {
@@ -371,12 +552,7 @@ impl Broker {
                 buffer.push(env.clone());
                 continue;
             }
-            let actor = actor_of(*dest);
-            if self.children_set.contains(&actor) {
-                ctx.send(actor, OverlayMsg::Publish(env.clone()));
-            } else {
-                ctx.send(actor, OverlayMsg::Deliver(env.clone()));
-            }
+            self.send_event(actor_of(*dest), env.clone(), ctx);
         }
         dests.clear();
         self.scratch = dests;

@@ -47,6 +47,16 @@ pub struct OverlayConfig {
     /// Large batch evaluations disable it to keep timer traffic out of the
     /// message counts.
     pub leases_enabled: bool,
+    /// Whether event forwarding runs under per-link reliable sequencing
+    /// (gap detection, NACK-driven retransmission, duplicate suppression).
+    /// Required for exactly-once delivery over faulty links; fault-free
+    /// batch evaluations leave it off to keep message counts comparable
+    /// with the paper's.
+    pub reliability_enabled: bool,
+    /// Bound, in events, of each link's retransmission ring and `(class,
+    /// seq)` dedup window. Sequence numbers evicted from the ring can no
+    /// longer be retransmitted (the sender concedes them instead).
+    pub reliability_window: usize,
     /// Seed for the brokers' random child selection.
     pub seed: u64,
 }
@@ -63,6 +73,8 @@ impl Default for OverlayConfig {
             wildcard_stage_placement: true,
             ttl: SimDuration::from_ticks(100_000),
             leases_enabled: false,
+            reliability_enabled: false,
+            reliability_window: 256,
             seed: 0xCAFE,
         }
     }

@@ -59,6 +59,7 @@ pub mod mesh;
 mod config;
 mod msg;
 mod node;
+mod reliability;
 mod sim;
 mod subscriber;
 

@@ -88,6 +88,42 @@ pub enum OverlayMsg {
         /// The reconnecting subscriber.
         subscriber: ActorId,
     },
+    /// An event under per-link reliable sequencing (used instead of
+    /// `Publish`/`Deliver` when the overlay runs with
+    /// [`crate::OverlayConfig::reliability_enabled`]).
+    Sequenced {
+        /// The sender's sequence number for this `(sender, receiver)` link.
+        link_seq: u64,
+        /// The event itself.
+        env: Envelope,
+    },
+    /// The receiver of a reliable link detected a gap: it asks the sender
+    /// to retransmit link sequence numbers in `from_seq..to_seq`.
+    Nack {
+        /// First missing link sequence number.
+        from_seq: u64,
+        /// One past the last missing link sequence number.
+        to_seq: u64,
+    },
+    /// The sender of a reliable link concedes that everything below `to`
+    /// was evicted from its retransmission buffer; the receiver should
+    /// skip ahead rather than stall on the unrecoverable gap.
+    Advance {
+        /// The new lower bound for the receiver's expected link sequence.
+        to: u64,
+    },
+    /// Positive acknowledgement of a [`OverlayMsg::Renew`]: the hosting
+    /// node confirms it still holds filters for the renewing subscriber.
+    /// A renewal that goes unacknowledged tells the subscriber its host
+    /// lost state (crash) and it must re-subscribe.
+    RenewAck,
+    /// A restarted broker announces itself to its parent; the parent
+    /// re-sends its advertisements so the child can rebuild its stage maps.
+    Rejoin,
+    /// A broker asks a child to re-register the weakened filters the child
+    /// needs stored here (sent by a restarted broker rebuilding its table,
+    /// and to children whose renewals reference unknown filters).
+    Reannounce,
 }
 
 #[cfg(test)]

@@ -67,4 +67,13 @@ impl Actor for NodeActor {
             NodeActor::Subscriber(s) => s.timer(tag, ctx),
         }
     }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, OverlayMsg>) {
+        match self {
+            NodeActor::Broker(b) => b.on_restart(ctx),
+            // Subscribers are leaf runtimes: their subscription state
+            // survives in-process; lease silence handles lost hosts.
+            NodeActor::Subscriber(_) => {}
+        }
+    }
 }

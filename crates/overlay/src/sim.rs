@@ -5,7 +5,7 @@ use std::sync::Arc;
 use layercake_event::{Advertisement, Envelope, EventSeq, TypeRegistry};
 use layercake_filter::{standardize, Filter, FilterError, FilterId};
 use layercake_metrics::RunMetrics;
-use layercake_sim::{ActorId, SimDuration, SimTime, World};
+use layercake_sim::{ActorId, FaultPlan, SimDuration, SimTime, World};
 
 use crate::broker::{Broker, BrokerSetup};
 use crate::config::OverlayConfig;
@@ -33,6 +33,7 @@ pub struct OverlaySim {
     root: ActorId,
     brokers: Vec<ActorId>,
     subscribers: Vec<ActorId>,
+    advertisements: Vec<Advertisement>,
     next_filter: u64,
     published: u64,
     delivered_messages: u64,
@@ -93,6 +94,8 @@ impl OverlaySim {
                     wildcard_stage_placement: cfg.wildcard_stage_placement,
                     leases_enabled: cfg.leases_enabled,
                     ttl: cfg.ttl,
+                    reliability_enabled: cfg.reliability_enabled,
+                    reliability_window: cfg.reliability_window,
                     seed: cfg.seed ^ (offsets[level] + i) as u64,
                 });
                 let id = world.add_actor(NodeActor::Broker(broker));
@@ -108,6 +111,7 @@ impl OverlaySim {
             root,
             brokers,
             subscribers: Vec::new(),
+            advertisements: Vec::new(),
             next_filter: 0,
             published: 0,
             delivered_messages: 0,
@@ -155,6 +159,7 @@ impl OverlaySim {
         adv.stage_map
             .check_arity(class.arity())
             .expect("stage map fits the class schema");
+        self.advertisements.push(adv.clone());
         self.world.send_external(self.root, OverlayMsg::Advertise(adv));
     }
 
@@ -216,14 +221,16 @@ impl OverlaySim {
             branches.push((id, standardized));
         }
         let label = format!("sub-{:04}", self.subscribers.len());
-        let node = SubscriberNode::new(
+        let node = SubscriberNode::new(crate::subscriber::SubscriberSetup {
             label,
-            branches.clone(),
+            branches: branches.clone(),
             residual,
-            Arc::clone(&self.registry),
-            self.cfg.leases_enabled,
-            self.cfg.ttl,
-        );
+            registry: Arc::clone(&self.registry),
+            root: self.root,
+            leases_enabled: self.cfg.leases_enabled,
+            ttl: self.cfg.ttl,
+            reliability_window: self.cfg.reliability_window,
+        });
         let actor = self.world.add_actor(NodeActor::Subscriber(node));
         self.subscribers.push(actor);
         for (id, filter) in branches {
@@ -464,20 +471,103 @@ impl OverlaySim {
         self.world.unblock_link(b, a);
     }
 
+    /// Fault injection: cuts every link touching `node`, in both
+    /// directions, until [`OverlaySim::heal_node`]. Unlike
+    /// [`OverlaySim::crash_broker`], the node keeps its state and timers.
+    pub fn isolate(&mut self, node: ActorId) {
+        self.world.partition_node(node);
+    }
+
+    /// Restores all links touching `node` (undoes [`OverlaySim::isolate`]
+    /// and any [`OverlaySim::partition`] involving the node).
+    pub fn heal_node(&mut self, node: ActorId) {
+        self.world.heal_node(node);
+    }
+
+    /// Seeds the deterministic per-link fault streams (defaults to 0).
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.world.set_fault_seed(seed);
+    }
+
+    /// Applies a fault plan to every link without an explicit per-link
+    /// plan; `None` turns default faults off.
+    pub fn set_default_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.world.set_default_fault_plan(plan);
+    }
+
+    /// Applies a fault plan to one directed link.
+    pub fn set_link_fault_plan(&mut self, from: ActorId, to: ActorId, plan: FaultPlan) {
+        self.world.set_link_fault_plan(from, to, plan);
+    }
+
+    /// Heals all link faults: clears the default and every per-link plan.
+    pub fn clear_fault_plans(&mut self) {
+        self.world.clear_fault_plans();
+    }
+
+    /// Crashes a broker: in-flight messages and timers addressed to it are
+    /// discarded, and it stays unreachable until
+    /// [`OverlaySim::restart_broker`]. Returns the number of queue entries
+    /// discarded.
+    pub fn crash_broker(&mut self, id: ActorId) -> u64 {
+        self.world.crash(id)
+    }
+
+    /// Restarts a crashed broker. Its volatile state (filter table, stage
+    /// maps, leases, link reliability state) is wiped by
+    /// [`Broker::on_restart`]; the rejoin protocol rebuilds it from the
+    /// parent's re-advertisements and the children's re-registrations.
+    /// When the *root* restarts, the facade replays the externally-injected
+    /// advertisements (in the real system the publishers would
+    /// re-advertise). Returns `false` if the node was not crashed.
+    ///
+    /// [`Broker::on_restart`]: crate::Broker
+    pub fn restart_broker(&mut self, id: ActorId) -> bool {
+        if !self.world.restart(id) {
+            return false;
+        }
+        if id == self.root {
+            for adv in self.advertisements.clone() {
+                self.world.send_external(self.root, OverlayMsg::Advertise(adv));
+            }
+        }
+        true
+    }
+
+    /// Whether a node is currently crashed.
+    #[must_use]
+    pub fn is_crashed(&self, id: ActorId) -> bool {
+        self.world.is_crashed(id)
+    }
+
     /// The actor id behind a subscriber handle (for fault injection).
     #[must_use]
     pub fn subscriber_actor(&self, handle: SubscriberHandle) -> ActorId {
         handle.0
     }
 
-    /// Collects every node's counters into the run metrics.
+    /// Collects every node's counters into the run metrics, including the
+    /// fault-injection ([`layercake_metrics::ChaosStats`]) counters.
     #[must_use]
     pub fn metrics(&self) -> RunMetrics {
         let mut m = RunMetrics::new(self.published, self.subscribers.len() as u64);
+        m.chaos.dropped = self.world.fault_dropped();
+        m.chaos.duplicated = self.world.fault_duplicated();
+        m.chaos.crash_discarded = self.world.crash_discarded();
         for node in self.world.actors() {
             match node {
-                NodeActor::Broker(b) => m.push(b.record()),
-                NodeActor::Subscriber(s) => m.push(s.record()),
+                NodeActor::Broker(b) => {
+                    m.chaos.retransmitted += b.retransmitted();
+                    m.chaos.duplicates_suppressed += b.dup_suppressed();
+                    m.chaos.nacks += b.nacks_sent();
+                    m.push(b.record());
+                }
+                NodeActor::Subscriber(s) => {
+                    m.chaos.duplicates_suppressed += s.dup_suppressed();
+                    m.chaos.nacks += s.nacks_sent();
+                    m.chaos.resubscriptions += s.resubscriptions();
+                    m.push(s.record());
+                }
             }
         }
         m

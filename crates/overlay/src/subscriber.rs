@@ -1,5 +1,6 @@
 //! The subscriber runtime: perfect end-to-end filtering at stage 0.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -8,10 +9,16 @@ use layercake_filter::{Filter, FilterId};
 use layercake_metrics::NodeRecord;
 use layercake_sim::{ActorId, Ctx, SimDuration};
 
-use crate::msg::OverlayMsg;
+use crate::msg::{OverlayMsg, SubscriptionReq};
+use crate::reliability::LinkRx;
 
 /// Timer tag: renew the subscription lease at the hosting node.
 const TAG_RENEW: u64 = 3;
+/// Timer tag base: re-subscription backoff check for branch
+/// `tag - TAG_RESUB_BASE` (one tag per branch).
+const TAG_RESUB_BASE: u64 = 1_000;
+/// Cap on the re-subscription backoff exponent (`ttl × 2^attempt`).
+const MAX_BACKOFF_EXP: u32 = 5;
 
 /// A stateful subscriber-side predicate that brokers cannot evaluate —
 /// the paper's arbitrary filter code (e.g. `BuyFilter`), applied only at
@@ -73,8 +80,10 @@ pub struct SubscriberNode {
     branches: Vec<Branch>,
     residual: Option<Box<dyn ResidualFilter>>,
     registry: Arc<TypeRegistry>,
+    root: ActorId,
     leases_enabled: bool,
     ttl: SimDuration,
+    reliability_window: usize,
     active: bool,
     timer_started: bool,
     redirects: u32,
@@ -85,6 +94,15 @@ pub struct SubscriberNode {
     seen: std::collections::HashSet<EventSeq>,
     store_envelopes: bool,
     inbox: Vec<Envelope>,
+    /// Receiver state of reliable links, keyed by the sending host.
+    rx: HashMap<ActorId, LinkRx>,
+    /// Hosts renewed since the last renewal timer, still unacknowledged.
+    unacked: Vec<ActorId>,
+    /// Per-branch re-subscription attempt counters (reset on acceptance).
+    resub_attempts: Vec<u32>,
+    resubscriptions: u64,
+    dup_suppressed: u64,
+    nacks_sent: u64,
 }
 
 impl fmt::Debug for SubscriberNode {
@@ -99,16 +117,33 @@ impl fmt::Debug for SubscriberNode {
     }
 }
 
+/// Construction parameters for a [`SubscriberNode`] (mirrors the broker's
+/// setup struct to keep the constructor signature flat).
+pub(crate) struct SubscriberSetup {
+    pub label: String,
+    pub branches: Vec<(FilterId, Filter)>,
+    pub residual: Option<Box<dyn ResidualFilter>>,
+    pub registry: Arc<TypeRegistry>,
+    pub root: ActorId,
+    pub leases_enabled: bool,
+    pub ttl: SimDuration,
+    pub reliability_window: usize,
+}
+
 impl SubscriberNode {
-    pub(crate) fn new(
-        label: String,
-        branches: Vec<(FilterId, Filter)>,
-        residual: Option<Box<dyn ResidualFilter>>,
-        registry: Arc<TypeRegistry>,
-        leases_enabled: bool,
-        ttl: SimDuration,
-    ) -> Self {
+    pub(crate) fn new(setup: SubscriberSetup) -> Self {
+        let SubscriberSetup {
+            label,
+            branches,
+            residual,
+            registry,
+            root,
+            leases_enabled,
+            ttl,
+            reliability_window,
+        } = setup;
         debug_assert!(!branches.is_empty(), "a subscription needs at least one branch");
+        let branch_count = branches.len();
         Self {
             label,
             branches: branches
@@ -121,8 +156,10 @@ impl SubscriberNode {
                 .collect(),
             residual,
             registry,
+            root,
             leases_enabled,
             ttl,
+            reliability_window,
             active: true,
             timer_started: false,
             redirects: 0,
@@ -133,6 +170,12 @@ impl SubscriberNode {
             seen: std::collections::HashSet::new(),
             store_envelopes: false,
             inbox: Vec::new(),
+            rx: HashMap::new(),
+            unacked: Vec::new(),
+            resub_attempts: vec![0; branch_count],
+            resubscriptions: 0,
+            dup_suppressed: 0,
+            nacks_sent: 0,
         }
     }
 
@@ -212,47 +255,76 @@ impl SubscriberNode {
         }
     }
 
-    pub(crate) fn handle(&mut self, _from: ActorId, msg: OverlayMsg, ctx: &mut Ctx<'_, OverlayMsg>) {
+    /// Re-subscriptions issued after a host stopped acknowledging renewals.
+    #[must_use]
+    pub fn resubscriptions(&self) -> u64 {
+        self.resubscriptions
+    }
+
+    /// Incoming events suppressed as duplicates on reliable links.
+    #[must_use]
+    pub fn dup_suppressed(&self) -> u64 {
+        self.dup_suppressed
+    }
+
+    /// Gap-detection NACKs this subscriber sent to its hosts.
+    #[must_use]
+    pub fn nacks_sent(&self) -> u64 {
+        self.nacks_sent
+    }
+
+    pub(crate) fn handle(&mut self, from: ActorId, msg: OverlayMsg, ctx: &mut Ctx<'_, OverlayMsg>) {
         match msg {
             OverlayMsg::JoinAt { req, node } => {
                 self.redirects += 1;
                 ctx.send(node, OverlayMsg::Subscribe(req));
             }
             OverlayMsg::AcceptedAt { id, node } => {
-                let branch = self
+                let branch_idx = self
                     .branches
-                    .iter_mut()
-                    .find(|b| b.id == id)
+                    .iter()
+                    .position(|b| b.id == id)
                     .expect("acceptance for one of this subscriber's branches");
-                branch.host = Some(node);
+                self.branches[branch_idx].host = Some(node);
+                self.resub_attempts[branch_idx] = 0;
                 if self.leases_enabled && !self.timer_started {
                     self.timer_started = true;
                     ctx.set_timer(self.ttl, TAG_RENEW);
                 }
             }
             OverlayMsg::Deliver(env) => {
-                self.received += 1;
                 self.bytes_received += env.wire_size() as u64;
-                let declarative = self
-                    .branches
-                    .iter()
-                    .any(|b| b.filter.matches_envelope(&env, &self.registry));
-                let full = declarative
-                    && match &mut self.residual {
-                        Some(r) => r.matches(&env),
-                        None => true,
-                    };
-                if full {
-                    self.matched += 1;
-                    // The same event may arrive once per branch; record it
-                    // exactly once.
-                    if self.seen.insert(env.seq()) {
-                        self.deliveries.push(env.seq());
-                        if self.store_envelopes {
-                            self.inbox.push(env);
-                        }
-                    }
+                self.accept(env);
+            }
+            OverlayMsg::Sequenced { link_seq, env } => {
+                self.bytes_received += env.wire_size() as u64;
+                let outcome = self
+                    .rx
+                    .entry(from)
+                    .or_default()
+                    .on_event(link_seq, env, self.reliability_window);
+                self.dup_suppressed += outcome.duplicates_suppressed;
+                if let Some((from_seq, to_seq)) = outcome.nack {
+                    self.nacks_sent += 1;
+                    ctx.send(from, OverlayMsg::Nack { from_seq, to_seq });
                 }
+                for env in outcome.released {
+                    self.accept(env);
+                }
+            }
+            OverlayMsg::Advance { to } => {
+                let outcome = self
+                    .rx
+                    .entry(from)
+                    .or_default()
+                    .on_advance(to, self.reliability_window);
+                self.dup_suppressed += outcome.duplicates_suppressed;
+                for env in outcome.released {
+                    self.accept(env);
+                }
+            }
+            OverlayMsg::RenewAck => {
+                self.unacked.retain(|&h| h != from);
             }
             other => {
                 debug_assert!(
@@ -264,19 +336,93 @@ impl SubscriberNode {
         }
     }
 
-    pub(crate) fn timer(&mut self, tag: u64, ctx: &mut Ctx<'_, OverlayMsg>) {
-        debug_assert_eq!(tag, TAG_RENEW);
-        if self.active {
-            let mut renewed: Vec<ActorId> = Vec::new();
-            for b in &self.branches {
-                if let Some(host) = b.host {
-                    if !renewed.contains(&host) {
-                        ctx.send(host, OverlayMsg::Renew);
-                        renewed.push(host);
-                    }
+    /// Applies the full original filter (declarative branches plus residual)
+    /// to one arriving event and records exactly-once deliveries.
+    fn accept(&mut self, env: Envelope) {
+        self.received += 1;
+        let declarative = self
+            .branches
+            .iter()
+            .any(|b| b.filter.matches_envelope(&env, &self.registry));
+        let full = declarative
+            && match &mut self.residual {
+                Some(r) => r.matches(&env),
+                None => true,
+            };
+        if full {
+            self.matched += 1;
+            // The same event may arrive once per branch; record it
+            // exactly once.
+            if self.seen.insert(env.seq()) {
+                self.deliveries.push(env.seq());
+                if self.store_envelopes {
+                    self.inbox.push(env);
                 }
             }
-            ctx.set_timer(self.ttl, TAG_RENEW);
         }
+    }
+
+    pub(crate) fn timer(&mut self, tag: u64, ctx: &mut Ctx<'_, OverlayMsg>) {
+        if tag >= TAG_RESUB_BASE {
+            let branch_idx = usize::try_from(tag - TAG_RESUB_BASE).expect("small branch index");
+            if self.active && self.branches[branch_idx].host.is_none() {
+                self.resubscribe(branch_idx, ctx);
+            }
+            return;
+        }
+        debug_assert_eq!(tag, TAG_RENEW);
+        if !self.active {
+            return;
+        }
+        // Hosts that never acknowledged the previous renewal have lost our
+        // filters (crash): drop them and re-subscribe from the root.
+        let mut suspects = std::mem::take(&mut self.unacked);
+        suspects.sort_unstable();
+        suspects.dedup();
+        for host in suspects {
+            self.suspect_host(host, ctx);
+        }
+        let mut renewed: Vec<ActorId> = Vec::new();
+        for b in &self.branches {
+            if let Some(host) = b.host {
+                if !renewed.contains(&host) {
+                    ctx.send(host, OverlayMsg::Renew);
+                    renewed.push(host);
+                }
+            }
+        }
+        self.unacked = renewed;
+        ctx.set_timer(self.ttl, TAG_RENEW);
+    }
+
+    /// A host stopped acknowledging renewals: forget it (and its link
+    /// state) and start the re-subscription walk for every branch it held.
+    fn suspect_host(&mut self, host: ActorId, ctx: &mut Ctx<'_, OverlayMsg>) {
+        self.rx.remove(&host);
+        for i in 0..self.branches.len() {
+            if self.branches[i].host == Some(host) {
+                self.branches[i].host = None;
+                self.resubscribe(i, ctx);
+            }
+        }
+    }
+
+    /// Re-sends one branch's subscription to the root (a fresh placement
+    /// walk) and arms an exponentially backed-off retry timer.
+    fn resubscribe(&mut self, branch_idx: usize, ctx: &mut Ctx<'_, OverlayMsg>) {
+        let attempt = self.resub_attempts[branch_idx];
+        self.resub_attempts[branch_idx] = attempt.saturating_add(1);
+        self.resubscriptions += 1;
+        let branch = &self.branches[branch_idx];
+        ctx.send(
+            self.root,
+            OverlayMsg::Subscribe(SubscriptionReq {
+                id: branch.id,
+                filter: branch.filter.clone(),
+                subscriber: ctx.me(),
+            }),
+        );
+        let backoff = self.ttl * (1u64 << attempt.min(MAX_BACKOFF_EXP));
+        ctx.set_timer(backoff, TAG_RESUB_BASE + branch_idx as u64);
     }
 }

@@ -1,0 +1,256 @@
+//! Fault-injection (chaos) suite: the overlay must deliver exactly-once
+//! once faults heal, no matter what the fault layer did while it was
+//! active — message drops, duplications, jitter, and a mid-run broker
+//! crash/restart. Everything is seeded, so every failure reproduces.
+
+use std::sync::Arc;
+
+use layercake_event::{event_data, Advertisement, ClassId, Envelope, EventSeq, TypeRegistry};
+use layercake_filter::Filter;
+use layercake_overlay::{OverlayConfig, OverlaySim, SubscriberHandle};
+use layercake_sim::{FaultPlan, SimDuration};
+use layercake_workload::BiblioWorkload;
+use proptest::prelude::*;
+
+const TTL: u64 = 200;
+/// Generous recovery budget: lease silence detection needs two renewal
+/// cycles and the re-subscription walk a few more, plus backoff retries
+/// when the Subscribe message itself is unlucky.
+const MAX_RECONVERGE_ROUNDS: u64 = 20;
+
+struct Chaos {
+    sim: OverlaySim,
+    class: ClassId,
+    subs: Vec<SubscriberHandle>,
+    next_seq: u64,
+}
+
+impl Chaos {
+    /// A `[4, 2, 1]` biblio overlay with reliability and leases on, plus
+    /// `n` subscribers whose filters wildcard only the title (anchoring
+    /// them on stage-1 brokers).
+    fn new(n: usize, seed: u64) -> Self {
+        let mut registry = TypeRegistry::new();
+        let class = BiblioWorkload::register(&mut registry);
+        let mut sim = OverlaySim::new(
+            OverlayConfig {
+                levels: vec![4, 2, 1],
+                leases_enabled: true,
+                reliability_enabled: true,
+                ttl: SimDuration::from_ticks(TTL),
+                seed,
+                ..OverlayConfig::default()
+            },
+            Arc::new(registry),
+        );
+        sim.advertise(Advertisement::new(class, BiblioWorkload::stage_map()));
+        sim.settle();
+        let mut subs = Vec::new();
+        for i in 0..n {
+            let h = sim
+                .add_subscriber(
+                    Filter::for_class(class)
+                        .eq("year", 2000 + (i % 2) as i64)
+                        .eq("conference", format!("c{}", i % 2))
+                        .eq("author", format!("a{i}")),
+                )
+                .expect("valid subscription");
+            subs.push(h);
+        }
+        sim.run_for(SimDuration::from_ticks(TTL / 2));
+        for &h in &subs {
+            assert!(sim.subscriber(h).host().is_some(), "placement completed");
+        }
+        Chaos {
+            sim,
+            class,
+            subs,
+            next_seq: 0,
+        }
+    }
+
+    /// Publishes one event matching exactly subscriber `i`'s filter and
+    /// returns its sequence number.
+    fn publish_for(&mut self, i: usize) -> EventSeq {
+        let seq = EventSeq(self.next_seq);
+        self.next_seq += 1;
+        let data = event_data! {
+            "year" => 2000 + (i % 2) as i64,
+            "conference" => format!("c{}", i % 2),
+            "author" => format!("a{i}"),
+            "title" => format!("t{}", seq.0),
+        };
+        self.sim
+            .publish(Envelope::from_meta(self.class, "Biblio", seq, data));
+        seq
+    }
+
+    fn delivered(&self, i: usize, seq: EventSeq) -> bool {
+        self.sim.deliveries(self.subs[i]).contains(&seq)
+    }
+
+    /// Publishes one fresh probe per subscriber and advances until every
+    /// probe arrived (or the round budget runs out). Returns the virtual
+    /// ticks it took.
+    fn reconverge(&mut self) -> Option<u64> {
+        let start = self.sim.now();
+        let mut outstanding: Vec<(usize, EventSeq)> = Vec::new();
+        for round in 0..MAX_RECONVERGE_ROUNDS {
+            let _ = round;
+            for i in 0..self.subs.len() {
+                let seq = self.publish_for(i);
+                outstanding.push((i, seq));
+            }
+            self.sim.run_for(SimDuration::from_ticks(2 * TTL));
+            // A subscriber is live again once its *latest* probe arrived;
+            // earlier probes may be lost to the pre-heal gap forever.
+            let n = self.subs.len();
+            let latest = &outstanding[outstanding.len() - n..];
+            if latest.iter().all(|&(i, seq)| self.delivered(i, seq)) {
+                return Some((self.sim.now() - start).ticks());
+            }
+        }
+        None
+    }
+}
+
+/// The full scenario: clean traffic, then drops + duplication + jitter
+/// with a mid-run crash/restart of a subscriber-hosting broker, then heal
+/// and verify exactly-once on fresh traffic. Returns the final deliveries
+/// (for determinism comparison) and the reconvergence time.
+fn run_scenario(seed: u64, drop_p: f64, dup_p: f64, jitter: u64, subs: usize) -> (Vec<Vec<EventSeq>>, u64) {
+    let mut c = Chaos::new(subs, seed);
+
+    // Phase 1: fault-free traffic delivers immediately.
+    let clean: Vec<(usize, EventSeq)> = (0..subs).map(|i| (i, c.publish_for(i))).collect();
+    c.sim.run_for(SimDuration::from_ticks(TTL / 2));
+    for &(i, seq) in &clean {
+        assert!(c.delivered(i, seq), "clean-phase event lost (sub {i})");
+    }
+
+    // Phase 2: turn on link faults, crash the broker hosting subscriber 0
+    // mid-traffic, keep publishing, then restart it.
+    c.sim.set_fault_seed(seed ^ 0x5EED);
+    c.sim.set_default_fault_plan(Some(FaultPlan {
+        drop_probability: drop_p,
+        dup_probability: dup_p,
+        max_jitter: SimDuration::from_ticks(jitter),
+    }));
+    let victim = c.sim.subscriber(c.subs[0]).host().expect("placed");
+    for i in 0..subs {
+        c.publish_for(i);
+    }
+    c.sim.run_for(SimDuration::from_ticks(TTL / 4));
+    c.sim.crash_broker(victim);
+    assert!(c.sim.is_crashed(victim));
+    for i in 0..subs {
+        c.publish_for(i);
+    }
+    c.sim.run_for(SimDuration::from_ticks(TTL));
+    assert!(c.sim.restart_broker(victim), "victim was crashed");
+    c.sim.run_for(SimDuration::from_ticks(TTL / 4));
+
+    // Phase 3: heal all link faults and wait for reconvergence.
+    c.sim.clear_fault_plans();
+    let reconverge_ticks = c
+        .reconverge()
+        .expect("overlay reconverges within the round budget");
+
+    // Phase 4: fresh post-heal traffic is delivered exactly once.
+    let fresh: Vec<(usize, EventSeq)> = (0..subs).map(|i| (i, c.publish_for(i))).collect();
+    c.sim.run_for(SimDuration::from_ticks(2 * TTL));
+    for &(i, seq) in &fresh {
+        let count = c
+            .sim
+            .deliveries(c.subs[i])
+            .iter()
+            .filter(|&&s| s == seq)
+            .count();
+        assert_eq!(count, 1, "post-heal event for sub {i} not exactly-once");
+    }
+
+    // Global invariant: no subscriber ever records a duplicate delivery.
+    let mut all = Vec::new();
+    for &h in &c.subs {
+        let d = c.sim.deliveries(h).to_vec();
+        let mut uniq = d.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), d.len(), "duplicate delivery recorded");
+        all.push(d);
+    }
+    (all, reconverge_ticks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn exactly_once_survives_faults_and_a_broker_crash(
+        seed in 0u64..1_000,
+        drop_p in 0.0f64..=0.2,
+        dup_p in 0.0f64..=0.1,
+        jitter in 0u64..=3,
+        subs in 2usize..6,
+    ) {
+        let (_, reconverge) = run_scenario(seed, drop_p, dup_p, jitter, subs);
+        prop_assert!(reconverge < MAX_RECONVERGE_ROUNDS * 2 * TTL);
+    }
+}
+
+#[test]
+fn chaos_scenario_is_deterministic() {
+    let a = run_scenario(42, 0.2, 0.1, 3, 4);
+    let b = run_scenario(42, 0.2, 0.1, 3, 4);
+    assert_eq!(a.0, b.0, "same seed must reproduce identical deliveries");
+    assert_eq!(a.1, b.1, "same seed must reproduce the reconvergence time");
+}
+
+#[test]
+fn lossy_links_force_retransmissions_that_reliability_recovers() {
+    let mut c = Chaos::new(3, 7);
+    c.sim.set_fault_seed(0xBAD);
+    c.sim.set_default_fault_plan(Some(FaultPlan {
+        drop_probability: 0.25,
+        dup_probability: 0.1,
+        max_jitter: SimDuration::from_ticks(2),
+    }));
+    for _ in 0..40 {
+        for i in 0..3 {
+            c.publish_for(i);
+        }
+        c.sim.run_for(SimDuration::from_ticks(4));
+    }
+    c.sim.clear_fault_plans();
+    assert!(c.reconverge().is_some(), "reconverges after heavy loss");
+    let m = c.sim.metrics();
+    assert!(m.chaos.dropped > 0, "fault layer dropped messages: {:?}", m.chaos);
+    assert!(m.chaos.duplicated > 0, "fault layer duplicated messages");
+    assert!(m.chaos.retransmitted > 0, "NACKs triggered retransmissions");
+    assert!(m.chaos.nacks > 0, "receivers detected gaps");
+    assert!(
+        m.chaos.duplicates_suppressed > 0,
+        "duplicate arrivals were suppressed"
+    );
+}
+
+#[test]
+fn crash_discard_and_resubscription_show_up_in_metrics() {
+    let mut c = Chaos::new(2, 11);
+    let victim = c.sim.subscriber(c.subs[0]).host().expect("placed");
+    c.sim.crash_broker(victim);
+    // Traffic into the crashed broker is discarded while it is down.
+    for i in 0..2 {
+        c.publish_for(i);
+    }
+    c.sim.run_for(SimDuration::from_ticks(TTL));
+    assert!(c.sim.restart_broker(victim));
+    assert!(c.reconverge().is_some());
+    let m = c.sim.metrics();
+    assert!(m.chaos.crash_discarded > 0, "crash discarded in-flight work");
+    assert!(
+        m.chaos.resubscriptions > 0,
+        "subscriber 0 re-subscribed after losing its host: {:?}",
+        m.chaos
+    );
+}

@@ -1,8 +1,11 @@
 //! The discrete-event scheduler.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -32,6 +35,51 @@ pub trait Actor {
     /// implementation ignores timers.
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Self::Msg>) {
         let _ = (tag, ctx);
+    }
+
+    /// Called when the actor restarts after a [`World::crash`]. The actor
+    /// should reset the soft state it cannot have persisted and may send
+    /// messages / set timers to rejoin the system (in-flight deliveries and
+    /// pending timers from before the crash are already discarded). The
+    /// default implementation does nothing.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+}
+
+/// Per-link fault model: probabilities rolled on a dedicated, seeded RNG
+/// stream per `(from, to)` link, so outcomes are deterministic and
+/// independent of unrelated traffic.
+///
+/// Faults apply to actor-to-actor messages only — never to timers or
+/// external injections.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that a scheduled message is silently lost.
+    pub drop_probability: f64,
+    /// Probability in `[0, 1]` that a message is delivered twice (the
+    /// duplicate is scheduled independently, with its own jitter).
+    pub dup_probability: f64,
+    /// Maximum extra latency added to each delivery, drawn uniformly from
+    /// `0..=max_jitter` ticks.
+    pub max_jitter: SimDuration,
+}
+
+impl FaultPlan {
+    /// A plan that never drops, duplicates, or delays — useful as a base
+    /// for struct-update syntax.
+    pub const NONE: FaultPlan = FaultPlan {
+        drop_probability: 0.0,
+        dup_probability: 0.0,
+        max_jitter: SimDuration::ZERO,
+    };
+
+    /// Whether this plan can ever alter a delivery.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.drop_probability > 0.0
+            || self.dup_probability > 0.0
+            || self.max_jitter > SimDuration::ZERO
     }
 }
 
@@ -122,8 +170,12 @@ pub struct RunReport {
     pub delivered_messages: u64,
     /// Number of timer firings.
     pub fired_timers: u64,
-    /// Messages dropped on blocked links (fault injection).
+    /// Messages dropped on blocked links or addressed to crashed actors.
     pub dropped_messages: u64,
+    /// Messages lost to a [`FaultPlan`] drop roll during this run.
+    pub fault_dropped_messages: u64,
+    /// Extra deliveries scheduled by [`FaultPlan`] duplication this run.
+    pub duplicated_messages: u64,
     /// Virtual time of the last processed item.
     pub end_time: SimTime,
     /// Whether the run stopped because it hit the step limit.
@@ -143,7 +195,15 @@ pub struct World<A: Actor> {
     default_latency: SimDuration,
     step_limit: u64,
     effects_scratch: Vec<Effect<A::Msg>>,
-    blocked: std::collections::HashSet<(ActorId, ActorId)>,
+    blocked: HashSet<(ActorId, ActorId)>,
+    crashed: HashSet<ActorId>,
+    fault_seed: u64,
+    default_fault: Option<FaultPlan>,
+    fault_plans: HashMap<(ActorId, ActorId), FaultPlan>,
+    fault_rngs: HashMap<(ActorId, ActorId), StdRng>,
+    fault_dropped: u64,
+    fault_duplicated: u64,
+    crash_discarded: u64,
 }
 
 impl<A: Actor> Default for World<A> {
@@ -170,7 +230,15 @@ impl<A: Actor> World<A> {
             default_latency,
             step_limit: u64::MAX,
             effects_scratch: Vec::new(),
-            blocked: std::collections::HashSet::new(),
+            blocked: HashSet::new(),
+            crashed: HashSet::new(),
+            fault_seed: 0,
+            default_fault: None,
+            fault_plans: HashMap::new(),
+            fault_rngs: HashMap::new(),
+            fault_dropped: 0,
+            fault_duplicated: 0,
+            crash_discarded: 0,
         }
     }
 
@@ -199,6 +267,104 @@ impl<A: Actor> World<A> {
     /// Heals every link touching `node`.
     pub fn heal_node(&mut self, node: ActorId) {
         self.blocked.retain(|&(a, b)| a != node && b != node);
+    }
+
+    /// Sets the base seed from which per-link fault RNG streams are derived.
+    /// Changing the seed resets all per-link streams.
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.fault_seed = seed;
+        self.fault_rngs.clear();
+    }
+
+    /// Installs (or clears, with `None`) a fault plan applied to every
+    /// actor-to-actor link without a per-link override.
+    pub fn set_default_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.default_fault = plan;
+    }
+
+    /// Installs a fault plan for one directed link, overriding the default.
+    pub fn set_link_fault_plan(&mut self, from: ActorId, to: ActorId, plan: FaultPlan) {
+        self.fault_plans.insert((from, to), plan);
+    }
+
+    /// Removes all fault plans (default and per-link). RNG streams are
+    /// kept, so re-installing plans later continues the same sequences.
+    pub fn clear_fault_plans(&mut self) {
+        self.default_fault = None;
+        self.fault_plans.clear();
+    }
+
+    /// Total messages lost to fault-plan drop rolls since world creation.
+    #[must_use]
+    pub fn fault_dropped(&self) -> u64 {
+        self.fault_dropped
+    }
+
+    /// Total duplicate deliveries scheduled by fault plans since creation.
+    #[must_use]
+    pub fn fault_duplicated(&self) -> u64 {
+        self.fault_duplicated
+    }
+
+    /// Total queued items discarded by [`World::crash`] since creation.
+    #[must_use]
+    pub fn crash_discarded(&self) -> u64 {
+        self.crash_discarded
+    }
+
+    /// Crashes an actor: discards every queued delivery addressed to it and
+    /// every pending timer it owns, and drops all messages that arrive
+    /// while it is down. Its state is left in place — what survives a real
+    /// process restart is decided by the actor's [`Actor::on_restart`].
+    ///
+    /// Returns the number of queued items discarded.
+    pub fn crash(&mut self, node: ActorId) -> u64 {
+        self.crashed.insert(node);
+        let before = self.queue.len();
+        let kept: Vec<Scheduled<A::Msg>> = self
+            .queue
+            .drain()
+            .filter(|s| match &s.item {
+                Item::Message { to, .. } => *to != node,
+                Item::Timer { actor, .. } => *actor != node,
+            })
+            .collect();
+        let discarded = (before - kept.len()) as u64;
+        self.crash_discarded += discarded;
+        self.queue = BinaryHeap::from(kept);
+        discarded
+    }
+
+    /// Returns whether `node` is currently crashed.
+    #[must_use]
+    pub fn is_crashed(&self, node: ActorId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// Restarts a crashed actor. Invokes [`Actor::on_restart`] so the node
+    /// can reset soft state and rejoin; effects it issues are scheduled
+    /// normally. Returns `false` (and does nothing) if the actor was not
+    /// crashed.
+    pub fn restart(&mut self, node: ActorId) -> bool
+    where
+        A::Msg: Clone,
+    {
+        if !self.crashed.remove(&node) {
+            return false;
+        }
+        let mut effects = std::mem::take(&mut self.effects_scratch);
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                me: node,
+                default_latency: self.default_latency,
+                effects: &mut effects,
+            };
+            self.actors[node.0].on_restart(&mut ctx);
+        }
+        self.drain_effects(node, &mut effects);
+        self.effects_scratch = effects;
+        true
     }
 
     /// Caps the number of items a single `run` may process (a safeguard
@@ -268,7 +434,10 @@ impl<A: Actor> World<A> {
     }
 
     /// Runs until the queue drains (or the step limit is hit).
-    pub fn run(&mut self) -> RunReport {
+    pub fn run(&mut self) -> RunReport
+    where
+        A::Msg: Clone,
+    {
         self.run_until(SimTime::from_ticks(u64::MAX))
     }
 
@@ -277,8 +446,13 @@ impl<A: Actor> World<A> {
     /// stands at `deadline` (the elapsed window is fully spent, so repeated
     /// bounded runs advance virtual time deterministically), except for the
     /// unbounded sentinel used by [`World::run`].
-    pub fn run_until(&mut self, deadline: SimTime) -> RunReport {
+    pub fn run_until(&mut self, deadline: SimTime) -> RunReport
+    where
+        A::Msg: Clone,
+    {
         let mut report = RunReport::default();
+        let fault_dropped_start = self.fault_dropped;
+        let fault_duplicated_start = self.fault_duplicated;
         let mut steps = 0u64;
         while let Some(next) = self.queue.peek() {
             if next.at > deadline {
@@ -306,7 +480,7 @@ impl<A: Actor> World<A> {
                 };
                 match scheduled.item {
                     Item::Message { from, msg, to } => {
-                        if self.blocked.contains(&(from, to)) {
+                        if self.blocked.contains(&(from, to)) || self.crashed.contains(&to) {
                             report.dropped_messages += 1;
                         } else {
                             report.delivered_messages += 1;
@@ -314,32 +488,21 @@ impl<A: Actor> World<A> {
                         }
                     }
                     Item::Timer { tag, .. } => {
-                        report.fired_timers += 1;
-                        self.actors[actor_id.0].on_timer(tag, &mut ctx);
+                        // Timers of a crashed actor were purged at crash
+                        // time; anything left (crashed mid-window) is
+                        // silently discarded.
+                        if !self.crashed.contains(&actor_id) {
+                            report.fired_timers += 1;
+                            self.actors[actor_id.0].on_timer(tag, &mut ctx);
+                        }
                     }
                 }
             }
-            for effect in effects.drain(..) {
-                match effect {
-                    Effect::Send { to, msg, delay } => {
-                        let at = self.now + delay;
-                        self.push(at, Item::Message {
-                            from: actor_id,
-                            to,
-                            msg,
-                        });
-                    }
-                    Effect::Timer { tag, delay } => {
-                        let at = self.now + delay;
-                        self.push(at, Item::Timer {
-                            actor: actor_id,
-                            tag,
-                        });
-                    }
-                }
-            }
+            self.drain_effects(actor_id, &mut effects);
             self.effects_scratch = effects;
         }
+        report.fault_dropped_messages = self.fault_dropped - fault_dropped_start;
+        report.duplicated_messages = self.fault_duplicated - fault_duplicated_start;
         // Spend the remainder of the window.
         if deadline < SimTime::from_ticks(u64::MAX) && !report.hit_step_limit && self.now < deadline {
             self.now = deadline;
@@ -358,6 +521,84 @@ impl<A: Actor> World<A> {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Scheduled { at, seq, item });
+    }
+
+    /// Schedules an actor's buffered effects, rolling fault plans on sends.
+    fn drain_effects(&mut self, from: ActorId, effects: &mut Vec<Effect<A::Msg>>)
+    where
+        A::Msg: Clone,
+    {
+        for effect in effects.drain(..) {
+            match effect {
+                Effect::Send { to, msg, delay } => self.schedule_send(from, to, msg, delay),
+                Effect::Timer { tag, delay } => {
+                    let at = self.now + delay;
+                    self.push(at, Item::Timer { actor: from, tag });
+                }
+            }
+        }
+    }
+
+    fn plan_for(&self, from: ActorId, to: ActorId) -> Option<FaultPlan> {
+        self.fault_plans
+            .get(&(from, to))
+            .copied()
+            .or(self.default_fault)
+    }
+
+    fn schedule_send(&mut self, from: ActorId, to: ActorId, msg: A::Msg, delay: SimDuration)
+    where
+        A::Msg: Clone,
+    {
+        let plan = self.plan_for(from, to).filter(FaultPlan::is_active);
+        let Some(plan) = plan else {
+            let at = self.now + delay;
+            self.push(at, Item::Message { from, to, msg });
+            return;
+        };
+        let seed = self.fault_seed;
+        let rng = self
+            .fault_rngs
+            .entry((from, to))
+            .or_insert_with(|| StdRng::seed_from_u64(link_stream_seed(seed, from, to)));
+        // Fixed roll order (drop, dup, two jitters) keeps each link's RNG
+        // stream aligned across runs regardless of the outcomes.
+        let dropped = plan.drop_probability > 0.0 && rng.gen_bool(plan.drop_probability);
+        let duplicated = plan.dup_probability > 0.0 && rng.gen_bool(plan.dup_probability);
+        let jitter_main = roll_jitter(rng, plan.max_jitter);
+        let jitter_dup = roll_jitter(rng, plan.max_jitter);
+        // Drop and duplication are independent per-copy outcomes: the
+        // original may be lost while its duplicate survives.
+        if duplicated {
+            self.fault_duplicated += 1;
+            let at = self.now + delay + jitter_dup;
+            self.push(at, Item::Message {
+                from,
+                to,
+                msg: msg.clone(),
+            });
+        }
+        if dropped {
+            self.fault_dropped += 1;
+        } else {
+            let at = self.now + delay + jitter_main;
+            self.push(at, Item::Message { from, to, msg });
+        }
+    }
+}
+
+/// Derives the RNG seed for one directed link's fault stream.
+fn link_stream_seed(seed: u64, from: ActorId, to: ActorId) -> u64 {
+    let a = (from.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let b = (to.0 as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    seed ^ a.rotate_left(17) ^ b
+}
+
+fn roll_jitter<R: Rng + ?Sized>(rng: &mut R, max: SimDuration) -> SimDuration {
+    if max == SimDuration::ZERO {
+        SimDuration::ZERO
+    } else {
+        SimDuration::from_ticks(rng.gen_range(0..=max.ticks()))
     }
 }
 
@@ -530,5 +771,203 @@ mod tests {
         world.send_external(a, 9);
         world.run();
         assert_eq!(world.actor(a).log[0].2, usize::MAX);
+    }
+
+    /// Fans `count` messages from `a` to `b` through an actor hop (faults
+    /// only apply to actor-to-actor sends) and returns the world.
+    fn fan_out(count: u32, plan: FaultPlan, seed: u64) -> (World<Fanner>, ActorId) {
+        let mut world: World<Fanner> = World::new();
+        let src = world.add_actor(Fanner {
+            target: None,
+            received: 0,
+        });
+        let dst = world.add_actor(Fanner {
+            target: None,
+            received: 0,
+        });
+        world.actor_mut(src).target = Some((dst, count));
+        world.set_fault_seed(seed);
+        world.set_default_fault_plan(Some(plan));
+        world.send_external(src, 0);
+        (world, dst)
+    }
+
+    struct Fanner {
+        target: Option<(ActorId, u32)>,
+        received: u32,
+    }
+
+    impl Actor for Fanner {
+        type Msg = u32;
+        fn on_message(&mut self, _from: ActorId, _msg: u32, ctx: &mut Ctx<'_, u32>) {
+            self.received += 1;
+            if let Some((to, count)) = self.target.take() {
+                for i in 0..count {
+                    ctx.send(to, i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_drops_are_counted_and_deterministic() {
+        let plan = FaultPlan {
+            drop_probability: 0.3,
+            ..FaultPlan::NONE
+        };
+        let (mut w1, d1) = fan_out(500, plan, 42);
+        let r1 = w1.run();
+        let (mut w2, d2) = fan_out(500, plan, 42);
+        let r2 = w2.run();
+        assert!(r1.fault_dropped_messages > 0, "0.3 drop over 500 sends");
+        assert_eq!(r1.fault_dropped_messages, r2.fault_dropped_messages);
+        assert_eq!(w1.actor(d1).received, w2.actor(d2).received);
+        assert_eq!(
+            u64::from(w1.actor(d1).received) + r1.fault_dropped_messages,
+            500
+        );
+    }
+
+    #[test]
+    fn fault_duplicates_add_deliveries() {
+        let plan = FaultPlan {
+            dup_probability: 0.2,
+            ..FaultPlan::NONE
+        };
+        let (mut world, dst) = fan_out(500, plan, 7);
+        let report = world.run();
+        assert!(report.duplicated_messages > 0, "0.2 dup over 500 sends");
+        assert_eq!(
+            u64::from(world.actor(dst).received),
+            500 + report.duplicated_messages
+        );
+    }
+
+    #[test]
+    fn jitter_delays_but_never_loses() {
+        let plan = FaultPlan {
+            max_jitter: SimDuration::from_ticks(9),
+            ..FaultPlan::NONE
+        };
+        let (mut world, dst) = fan_out(200, plan, 3);
+        let report = world.run();
+        assert_eq!(world.actor(dst).received, 200);
+        assert_eq!(report.fault_dropped_messages, 0);
+        assert_eq!(report.duplicated_messages, 0);
+        // The last delivery must land no later than send time + base + max.
+        assert!(world.now().ticks() <= 1 + 1 + 9);
+    }
+
+    #[test]
+    fn different_seeds_give_different_outcomes() {
+        let plan = FaultPlan {
+            drop_probability: 0.5,
+            ..FaultPlan::NONE
+        };
+        let (mut w1, _) = fan_out(200, plan, 1);
+        let (mut w2, _) = fan_out(200, plan, 2);
+        let (r1, r2) = (w1.run(), w2.run());
+        assert_ne!(
+            r1.fault_dropped_messages, r2.fault_dropped_messages,
+            "200 coin flips on two seeds landing identical is ~impossible"
+        );
+    }
+
+    #[test]
+    fn crash_discards_inflight_and_blocks_arrivals() {
+        let mut world: World<Echo> = World::new();
+        let a = world.add_actor(echo());
+        world.send_external_at(a, 1, SimTime::from_ticks(5));
+        world.send_external_at(a, 2, SimTime::from_ticks(6));
+        let discarded = world.crash(a);
+        assert_eq!(discarded, 2);
+        assert!(world.is_crashed(a));
+        // New arrivals while down are dropped at delivery time.
+        world.send_external_at(a, 3, SimTime::from_ticks(10));
+        let report = world.run();
+        assert_eq!(report.delivered_messages, 0);
+        assert_eq!(report.dropped_messages, 1);
+        assert!(world.actor(a).log.is_empty());
+        assert_eq!(world.crash_discarded(), 2);
+    }
+
+    #[test]
+    fn crash_purges_pending_timers() {
+        struct TimerActor {
+            fired: u32,
+        }
+        impl Actor for TimerActor {
+            type Msg = ();
+            fn on_message(&mut self, _: ActorId, (): (), ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(SimDuration::from_ticks(10), 1);
+            }
+            fn on_timer(&mut self, _tag: u64, _ctx: &mut Ctx<'_, ()>) {
+                self.fired += 1;
+            }
+        }
+        let mut world = World::new();
+        let a = world.add_actor(TimerActor { fired: 0 });
+        world.send_external(a, ());
+        world.run_until(SimTime::from_ticks(5)); // handler ran, timer pending
+        assert_eq!(world.crash(a), 1);
+        world.restart(a);
+        world.run();
+        assert_eq!(world.actor(a).fired, 0, "pre-crash timer must not fire");
+    }
+
+    #[test]
+    fn restart_invokes_hook_and_resumes_delivery() {
+        struct Rejoiner {
+            restarts: u32,
+            received: Vec<u32>,
+        }
+        impl Actor for Rejoiner {
+            type Msg = u32;
+            fn on_message(&mut self, _: ActorId, msg: u32, _: &mut Ctx<'_, u32>) {
+                self.received.push(msg);
+            }
+            fn on_restart(&mut self, ctx: &mut Ctx<'_, u32>) {
+                self.restarts += 1;
+                let me = ctx.me();
+                ctx.send(me, 99); // e.g. a self-notification to rebuild state
+            }
+        }
+        let mut world = World::new();
+        let a = world.add_actor(Rejoiner {
+            restarts: 0,
+            received: vec![],
+        });
+        world.crash(a);
+        assert!(world.restart(a));
+        assert!(!world.restart(a), "double restart is a no-op");
+        world.send_external(a, 7);
+        world.run();
+        assert_eq!(world.actor(a).restarts, 1);
+        assert_eq!(world.actor(a).received, vec![99, 7]);
+    }
+
+    #[test]
+    fn per_link_plan_overrides_default() {
+        let mut world: World<Fanner> = World::new();
+        let src = world.add_actor(Fanner {
+            target: None,
+            received: 0,
+        });
+        let dst = world.add_actor(Fanner {
+            target: None,
+            received: 0,
+        });
+        world.actor_mut(src).target = Some((dst, 100));
+        world.set_fault_seed(11);
+        world.set_default_fault_plan(Some(FaultPlan {
+            drop_probability: 1.0,
+            ..FaultPlan::NONE
+        }));
+        // The src→dst link is explicitly clean: nothing may be lost.
+        world.set_link_fault_plan(src, dst, FaultPlan::NONE);
+        world.send_external(src, 0);
+        let report = world.run();
+        assert_eq!(world.actor(dst).received, 100);
+        assert_eq!(report.fault_dropped_messages, 0);
     }
 }

@@ -52,5 +52,5 @@
 mod engine;
 mod time;
 
-pub use engine::{Actor, ActorId, Ctx, RunReport, World};
+pub use engine::{Actor, ActorId, Ctx, FaultPlan, RunReport, World};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,76 @@
+//! Offline stand-in for `crossbeam`, providing the `channel::unbounded`
+//! MPSC subset this workspace uses, backed by `std::sync::mpsc`.
+
+/// Multi-producer channels (`crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Error returned when the receiving half has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; fails only if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Returns a non-blocking iterator over currently queued values.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.try_iter()
+        }
+
+        /// Receives one value without blocking, if one is queued.
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner.try_recv().ok()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn send_and_try_iter() {
+            let (tx, rx) = super::unbounded();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+            assert!(rx.try_recv().is_none());
+            drop(rx);
+            assert!(tx.send(3).is_err());
+        }
+    }
+}

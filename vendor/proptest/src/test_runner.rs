@@ -1,0 +1,181 @@
+//! Test configuration, RNG, errors, and the case-running loop.
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was falsified.
+    Fail(String),
+    /// The input was rejected (e.g. a failed precondition); not a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A falsification with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// An input rejection with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "test case failed: {msg}"),
+            TestCaseError::Reject(msg) => write!(f, "input rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG handed to strategies. A concrete type (not a generic parameter)
+/// so that `Strategy` stays object-safe.
+pub struct TestRng(rand::rngs::StdRng);
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl TestRng {
+    fn from_name(name: &str) -> Self {
+        // FNV-1a over the fully qualified test name: stable across runs and
+        // processes, so every failure reproduces exactly.
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(<rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(hash))
+    }
+}
+
+/// Runs one property over `config.cases` sampled inputs.
+pub struct TestRunner {
+    config: Config,
+    name: &'static str,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Builds a runner whose RNG seed is derived from `name`.
+    #[must_use]
+    pub fn new(config: Config, name: &'static str) -> Self {
+        let rng = TestRng::from_name(name);
+        TestRunner { config, name, rng }
+    }
+
+    /// Samples inputs and applies the property; panics on the first
+    /// falsified case (there is no shrinking).
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rejects = 0u32;
+        let max_rejects = self.config.cases.saturating_mul(16).max(256);
+        let mut case = 0u32;
+        while case < self.config.cases {
+            let input = strategy.sample(&mut self.rng);
+            let rendered = format!("{input:?}");
+            match test(input) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects < max_rejects,
+                        "{}: too many rejected inputs ({rejects})",
+                        self.name
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "{}: property falsified on case {} of {}\ninput: {}\n{}",
+                        self.name,
+                        case + 1,
+                        self.config.cases,
+                        rendered,
+                        msg
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_across_runners() {
+        let strat = (0u64..1_000, crate::collection::vec(any::<bool>(), 1..5));
+        let mut a = super::TestRunner::new(super::Config::with_cases(10), "same::name");
+        let mut b = super::TestRunner::new(super::Config::with_cases(10), "same::name");
+        let collect = |runner: &mut super::TestRunner| {
+            let mut seen = Vec::new();
+            runner.run(&strat, |input| {
+                seen.push(format!("{input:?}"));
+                Ok(())
+            });
+            seen
+        };
+        assert_eq!(collect(&mut a), collect(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "property falsified")]
+    fn failures_panic_with_input() {
+        let mut runner = super::TestRunner::new(super::Config::with_cases(50), "t::fail");
+        runner.run(&(0u32..10,), |(n,)| {
+            prop_assert!(n < 5, "n was {n}");
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_grammar_works(
+            xs in crate::collection::vec(0i64..100, 1..10),
+            flag in any::<bool>(),
+            word in "[a-z]{0,8}",
+            pick in prop_oneof![Just(1u8), Just(2), 3u8..10],
+        ) {
+            prop_assert!(xs.iter().all(|&x| (0..100).contains(&x)));
+            prop_assert_eq!(flag, flag);
+            prop_assert!(word.len() <= 8 && word.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!((1..10).contains(&pick));
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Offline stand-in for `serde`, providing the subset of the API this
+//! workspace uses: the `Serialize` / `Deserialize` traits (routed through a
+//! self-describing [`Value`] tree instead of serde's visitor machinery),
+//! `serde::de::DeserializeOwned`, and the `#[derive(Serialize, Deserialize)]`
+//! macros re-exported from the companion `serde_derive` crate.
+//!
+//! Formats (here: `serde_json`) convert between text and [`Value`]; types
+//! convert between themselves and [`Value`]. The composition round-trips
+//! everything the real pair would for the data shapes in this workspace.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value — the data model every `Serialize` /
+/// `Deserialize` implementation targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Sentinel for an absent struct field (lets `Option` fields default to
+    /// `None` the way serde's `missing_field` machinery does).
+    Missing,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered map with string keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Creates an empty object value.
+    #[must_use]
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Appends a field to an object value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn insert_field(&mut self, name: &str, value: Value) {
+        match self {
+            Value::Object(fields) => fields.push((name.to_owned(), value)),
+            other => panic!("insert_field on non-object value {other:?}"),
+        }
+    }
+
+    /// Looks up an object field, returning [`Value::Missing`] when absent.
+    #[must_use]
+    pub fn field(&self, name: &str) -> &Value {
+        const MISSING: &Value = &Value::Missing;
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map_or(MISSING, |(_, v)| v),
+            _ => MISSING,
+        }
+    }
+}
+
+/// Deserialization failure.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn msg(message: impl Into<String>) -> Self {
+        DeError(message.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can render itself as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the serialization data model.
+    fn serialize_value(&self) -> Value;
+}
+
+/// A type that can rebuild itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds a value of this type from the data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] describing the first mismatch encountered.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Mirrors `serde::de`.
+pub mod de {
+    /// Owned-deserializable marker, as in real serde every `Deserialize`
+    /// type here is owned.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Helper used by generated code: fetch and deserialize a struct field.
+///
+/// # Errors
+///
+/// Propagates the field's deserialization error, prefixed with its name.
+pub fn __field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    T::deserialize_value(v.field(name))
+        .map_err(|e| DeError::msg(format!("field `{name}`: {e}")))
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::Int(i) => i128::from(*i),
+                    Value::UInt(u) => i128::from(*u),
+                    other => return Err(DeError::msg(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other))),
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::msg(concat!("integer out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Serialize for u64 {
+    fn serialize_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::UInt(*self),
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Int(i) => {
+                u64::try_from(*i).map_err(|_| DeError::msg("negative integer for u64"))
+            }
+            Value::UInt(u) => Ok(*u),
+            other => Err(DeError::msg(format!("expected u64, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for u128 {
+    fn serialize_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(u) => u.serialize_value(),
+            Err(_) => Value::Str(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => s.parse().map_err(|_| DeError::msg("bad u128 string")),
+            other => u64::deserialize_value(other).map(u128::from),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(DeError::msg(format!("expected f64, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::msg(format!("expected char, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null | Value::Missing => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => {
+                        let mut it = items.iter();
+                        Ok(($(
+                            {
+                                let _ = $idx;
+                                $name::deserialize_value(
+                                    it.next().ok_or_else(|| DeError::msg("tuple too short"))?,
+                                )?
+                            },
+                        )+))
+                    }
+                    other => Err(DeError::msg(format!("expected tuple array, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::deserialize_value(&5i64.serialize_value()).unwrap(), 5);
+        assert_eq!(
+            String::deserialize_value(&"hi".to_owned().serialize_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u32>::deserialize_value(&Value::Missing).unwrap(),
+            None
+        );
+        assert_eq!(
+            Vec::<bool>::deserialize_value(&vec![true, false].serialize_value()).unwrap(),
+            vec![true, false]
+        );
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let v = (1u8, "x".to_owned()).serialize_value();
+        let back: (u8, String) = Deserialize::deserialize_value(&v).unwrap();
+        assert_eq!(back, (1, "x".to_owned()));
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end checks of the vendored derive macros against the shapes this
+//! workspace actually generates (doc comments, `#[serde(crate = ...)]`,
+//! private named fields, enums with every variant shape).
+
+/// Mirrors `layercake_event::__private::serde` — the derives must honor the
+/// `#[serde(crate = ...)]` attribute pointing at a re-export path.
+pub mod reexported {
+    pub use serde;
+}
+
+use serde::{Deserialize, Serialize, Value};
+
+/// A struct shaped like a `typed_event!` expansion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(crate = "reexported::serde")]
+pub struct Stock {
+    symbol: String,
+    price: f64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Wrapper(pub u32);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pair(pub i64, pub String);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Marker;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Shape {
+    /// A unit variant.
+    Empty,
+    /// A newtype variant.
+    Count(u64),
+    /// A tuple variant.
+    Span(i64, i64),
+    /// A struct variant.
+    Box { width: f64, height: f64 },
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Optional {
+    pub required: String,
+    pub maybe: Option<i64>,
+}
+
+fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(value: &T) {
+    let v: Value = value.serialize_value();
+    let back = T::deserialize_value(&v).expect("deserialize");
+    assert_eq!(&back, value);
+}
+
+#[test]
+fn structs_round_trip() {
+    round_trip(&Stock {
+        symbol: "Foo".to_owned(),
+        price: 9.75,
+    });
+    round_trip(&Wrapper(7));
+    round_trip(&Pair(-3, "x".to_owned()));
+    round_trip(&Marker);
+    round_trip(&Optional {
+        required: "r".to_owned(),
+        maybe: Some(5),
+    });
+    round_trip(&Optional {
+        required: "r".to_owned(),
+        maybe: None,
+    });
+}
+
+#[test]
+fn enums_round_trip() {
+    round_trip(&Shape::Empty);
+    round_trip(&Shape::Count(12));
+    round_trip(&Shape::Span(-1, 1));
+    round_trip(&Shape::Box {
+        width: 2.0,
+        height: 3.5,
+    });
+}
+
+#[test]
+fn missing_optional_field_defaults_to_none() {
+    let mut obj = Value::object();
+    obj.insert_field("required", Value::Str("r".to_owned()));
+    let got = Optional::deserialize_value(&obj).expect("deserialize");
+    assert_eq!(got.maybe, None);
+}
+
+#[test]
+fn unknown_fields_are_ignored() {
+    let mut obj = Value::object();
+    obj.insert_field("symbol", Value::Str("Foo".to_owned()));
+    obj.insert_field("price", Value::Float(1.5));
+    obj.insert_field("volume", Value::Int(10));
+    let got = Stock::deserialize_value(&obj).expect("deserialize");
+    assert_eq!(
+        got,
+        Stock {
+            symbol: "Foo".to_owned(),
+            price: 1.5
+        }
+    );
+}

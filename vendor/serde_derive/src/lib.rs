@@ -1,0 +1,440 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize` / `Deserialize` impls for the vendored `serde`
+//! crate's value-tree data model. Parsing is hand-rolled over
+//! `proc_macro::TokenStream` (no `syn`/`quote` available offline); it
+//! supports the shapes this workspace uses: non-generic named-field
+//! structs, tuple structs, unit structs, and enums with unit / tuple /
+//! struct variants. The `#[serde(crate = "path")]` container attribute is
+//! honored so re-exported paths (e.g. `layercake_event::__private::serde`)
+//! resolve inside macro expansions.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// Splices the contents of None-delimited groups inline, recursively.
+///
+/// Inputs that went through `macro_rules!` fragments (`$vis:vis`,
+/// `$fty:ty`, ...) arrive wrapped in invisible groups; flattening them
+/// lets the parser below see plain token sequences.
+fn flatten(stream: TokenStream) -> TokenStream {
+    let mut out: Vec<TokenTree> = Vec::new();
+    for tt in stream {
+        match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::None => {
+                out.extend(flatten(g.stream()));
+            }
+            TokenTree::Group(g) => {
+                let mut regrouped = Group::new(g.delimiter(), flatten(g.stream()));
+                regrouped.set_span(g.span());
+                out.push(TokenTree::Group(regrouped));
+            }
+            other => out.push(other),
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Number of tuple fields.
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Input {
+    krate: String,
+    name: String,
+    shape: Shape,
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = flatten(input).into_iter().peekable();
+    let mut krate = "::serde".to_owned();
+
+    // Outer attributes: `#[...]`. Honor `#[serde(crate = "...")]`.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                let Some(TokenTree::Group(g)) = tokens.next() else {
+                    panic!("malformed attribute");
+                };
+                if let Some(path) = serde_crate_attr(&g.stream()) {
+                    krate = path;
+                }
+            }
+            _ => break,
+        }
+    }
+
+    skip_visibility(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive does not support generic types ({name})");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(count_top_level_items(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}`"),
+    };
+
+    Input { krate, name, shape }
+}
+
+/// Extracts `path` from a `serde(crate = "path")` attribute body.
+fn serde_crate_attr(attr: &TokenStream) -> Option<String> {
+    let mut it = attr.clone().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let Some(TokenTree::Group(args)) = it.next() else {
+        return None;
+    };
+    let mut args = args.stream().into_iter();
+    match args.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "crate" => {}
+        _ => return None,
+    }
+    match args.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+        _ => return None,
+    }
+    match args.next() {
+        Some(TokenTree::Literal(lit)) => {
+            let s = lit.to_string();
+            Some(s.trim_matches('"').to_owned())
+        }
+        _ => None,
+    }
+}
+
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        // `pub(crate)` / `pub(super)` etc.
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Splits a token stream on top-level commas and counts non-empty chunks.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut pending = false;
+    let mut depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if pending {
+                    count += 1;
+                }
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+/// Parses `attrs? vis? name : type` items separated by top-level commas,
+/// returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip field attributes.
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        skip_visibility(&mut tokens);
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(ident) = tt else {
+            panic!("expected field name, got {tt:?}");
+        };
+        names.push(ident.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut depth = 0i32;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    names
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(ident) = tt else {
+            panic!("expected variant name, got {tt:?}");
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_items(g.stream());
+                tokens.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                tokens.next();
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((ident.to_string(), fields));
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => panic!("expected `,` between variants, got {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Input { krate, name, shape } = parse_input(input);
+    let p = krate.as_str();
+    let body = match &shape {
+        Shape::Struct(Fields::Unit) => format!("{p}::Value::Null"),
+        Shape::Struct(Fields::Named(fields)) => {
+            let mut code = format!("let mut __obj = {p}::Value::object();\n");
+            for f in fields {
+                code.push_str(&format!(
+                    "__obj.insert_field(\"{f}\", {p}::Serialize::serialize_value(&self.{f}));\n"
+                ));
+            }
+            code.push_str("__obj");
+            code
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("{p}::Serialize::serialize_value(&self.0)")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("{p}::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("{p}::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => {p}::Value::Str(\"{vname}\".to_owned()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => {{\
+                         let mut __o = {p}::Value::object();\
+                         __o.insert_field(\"{vname}\", {p}::Serialize::serialize_value(__f0));\
+                         __o }},\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("{p}::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\
+                             let mut __o = {p}::Value::object();\
+                             __o.insert_field(\"{vname}\", {p}::Value::Array(vec![{}]));\
+                             __o }},\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fnames) => {
+                        let binders = fnames.join(", ");
+                        let mut inner = format!("let mut __i = {p}::Value::object();\n");
+                        for f in fnames {
+                            inner.push_str(&format!(
+                                "__i.insert_field(\"{f}\", {p}::Serialize::serialize_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binders} }} => {{\
+                             {inner}\
+                             let mut __o = {p}::Value::object();\
+                             __o.insert_field(\"{vname}\", __i);\
+                             __o }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl {p}::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> {p}::Value {{\n{body}\n}}\n\
+         }}\n"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Input { krate, name, shape } = parse_input(input);
+    let p = krate.as_str();
+    let body = match &shape {
+        Shape::Struct(Fields::Unit) => format!("::core::result::Result::Ok({name})"),
+        Shape::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: {p}::__field(__v, \"{f}\")?"))
+                .collect();
+            format!(
+                "::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Tuple(1)) => format!(
+            "::core::result::Result::Ok({name}({p}::Deserialize::deserialize_value(__v)?))"
+        ),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("{p}::Deserialize::deserialize_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\
+                 {p}::Value::Array(__items) if __items.len() == {n} => \
+                 ::core::result::Result::Ok({name}({})),\
+                 __other => ::core::result::Result::Err({p}::DeError::msg(\
+                 format!(\"expected {n}-element array for {name}, got {{__other:?}}\"))),\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                         {p}::Deserialize::deserialize_value(__val)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("{p}::Deserialize::deserialize_value(&__items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => match __val {{\
+                             {p}::Value::Array(__items) if __items.len() == {n} => \
+                             ::core::result::Result::Ok({name}::{vname}({})),\
+                             __other => ::core::result::Result::Err({p}::DeError::msg(\
+                             format!(\"bad payload for variant {vname}: {{__other:?}}\"))),\
+                             }},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    Fields::Named(fnames) => {
+                        let inits: Vec<String> = fnames
+                            .iter()
+                            .map(|f| format!("{f}: {p}::__field(__val, \"{f}\")?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\
+                 {p}::Value::Str(__s) => match __s.as_str() {{\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err({p}::DeError::msg(\
+                 format!(\"unknown unit variant `{{__other}}` of {name}\"))),\
+                 }},\
+                 {p}::Value::Object(__fields) if __fields.len() == 1 => {{\
+                 let (__key, __val) = &__fields[0];\
+                 match __key.as_str() {{\
+                 {data_arms}\
+                 __other => ::core::result::Result::Err({p}::DeError::msg(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\
+                 }}\
+                 }},\
+                 __other => ::core::result::Result::Err({p}::DeError::msg(\
+                 format!(\"expected {name} variant, got {{__other:?}}\"))),\
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl {p}::Deserialize for {name} {{\n\
+             fn deserialize_value(__v: &{p}::Value) -> ::core::result::Result<Self, {p}::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
