@@ -33,7 +33,9 @@ fn encoded_quotes(n: usize) -> (TypeRegistry, ClassId, Vec<Envelope>) {
 
 fn bench_per_hop_cost(c: &mut Criterion) {
     let (registry, class, envs) = encoded_quotes(1_024);
-    let filter = Filter::for_class(class).eq("symbol", "SYM000").lt("price", 10.0);
+    let filter = Filter::for_class(class)
+        .eq("symbol", "SYM000")
+        .lt("price", 10.0);
 
     let mut group = c.benchmark_group("per_hop_filtering_cost");
     group.throughput(Throughput::Elements(envs.len() as u64));
@@ -82,11 +84,14 @@ fn bench_end_to_end(c: &mut Criterion) {
                         .with_event::<Stock>()
                         .expect("register")
                         .build();
-                    system.advertise::<Stock>(Some(StockWorkload::stage_map())).expect("advertise");
+                    system
+                        .advertise::<Stock>(Some(StockWorkload::stage_map()))
+                        .expect("advertise");
                     for i in 0..50 {
                         system
                             .subscribe::<Stock>(|f| {
-                                f.eq("symbol", StockWorkload::symbol_name(i)).lt("price", 10.5)
+                                f.eq("symbol", StockWorkload::symbol_name(i))
+                                    .lt("price", 10.5)
                             })
                             .expect("subscribe");
                     }

@@ -87,7 +87,13 @@ fn bench_merge(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("weaken_for_parent", k), &k, |b, _| {
             b.iter(|| {
                 for chunk in &groups {
-                    black_box(weaken_for_parent(black_box(chunk), &class, &g, 2, &registry));
+                    black_box(weaken_for_parent(
+                        black_box(chunk),
+                        &class,
+                        &g,
+                        2,
+                        &registry,
+                    ));
                 }
             });
         });

@@ -38,7 +38,9 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2002);
     let workload = BiblioWorkload::new(paper_biblio(), &mut registry, &mut rng);
     let registry = Arc::new(registry);
-    let stream: Vec<Envelope> = (0..events).map(|seq| workload.envelope(seq, &mut rng)).collect();
+    let stream: Vec<Envelope> = (0..events)
+        .map(|seq| workload.envelope(seq, &mut rng))
+        .collect();
     let subs = workload.subscriptions().to_vec();
 
     let rows = [
@@ -102,7 +104,9 @@ fn main() {
     println!("reading guide:");
     println!("  · centralized: one node carries RLC = 1 (the bottleneck of Section 2.1);");
     println!("  · broadcast: no broker load, but every subscriber downloads and filters the full stream;");
-    println!("  · multi-stage: every node far below 1, subscribers see almost only relevant events.");
+    println!(
+        "  · multi-stage: every node far below 1, subscribers see almost only relevant events."
+    );
 
     // Shape assertions.
     let max_rlc = |i: usize| -> f64 {
@@ -113,10 +117,22 @@ fn main() {
             .map(|r| r.rlc(m.total_events, m.total_subs))
             .fold(0.0f64, f64::max)
     };
-    assert!((max_rlc(0) - 1.0).abs() < 1e-9, "centralized server RLC must be 1");
-    assert!(max_rlc(2) < 0.5, "multi-stage max node RLC must be well below centralized");
+    assert!(
+        (max_rlc(0) - 1.0).abs() < 1e-9,
+        "centralized server RLC must be 1"
+    );
+    assert!(
+        max_rlc(2) < 0.5,
+        "multi-stage max node RLC must be well below centralized"
+    );
     let broadcast_sub_recv = rows[1].metrics.stage_records(0).next().unwrap().received;
-    assert_eq!(broadcast_sub_recv, events, "broadcast floods every subscriber");
-    assert!(rows[2].metrics.avg_mr_at(0) > 0.5, "multi-stage subscribers mostly see relevant events");
+    assert_eq!(
+        broadcast_sub_recv, events,
+        "broadcast floods every subscriber"
+    );
+    assert!(
+        rows[2].metrics.avg_mr_at(0) > 0.5,
+        "multi-stage subscribers mostly see relevant events"
+    );
     println!("\nshape checks passed.");
 }

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use layercake_event::{event_data, Advertisement, ClassId, Envelope, EventSeq, TypeRegistry};
 use layercake_filter::Filter;
-use layercake_metrics::render_table;
+use layercake_metrics::{render_table, RunMetrics};
 use layercake_overlay::{OverlayConfig, OverlaySim, SubscriberHandle};
 use layercake_sim::{FaultPlan, SimDuration};
 use layercake_workload::BiblioWorkload;
@@ -98,7 +98,7 @@ impl Rig {
     }
 }
 
-fn run_cell(drop_p: f64, reliability: bool, seed: u64) -> Cell {
+fn run_cell(drop_p: f64, reliability: bool, seed: u64) -> (Cell, RunMetrics) {
     let mut rig = Rig::new(reliability, seed);
 
     // Fault window: link faults on every link, plus a crash/restart of
@@ -130,8 +130,7 @@ fn run_cell(drop_p: f64, reliability: bool, seed: u64) -> Cell {
     let start = rig.sim.now();
     let mut reconverge_ticks = None;
     for _ in 0..MAX_RECONVERGE_ROUNDS {
-        let probes: Vec<(usize, EventSeq)> =
-            (0..SUBS).map(|i| (i, rig.publish_for(i))).collect();
+        let probes: Vec<(usize, EventSeq)> = (0..SUBS).map(|i| (i, rig.publish_for(i))).collect();
         rig.sim.run_for(SimDuration::from_ticks(2 * TTL));
         if probes.iter().all(|&(i, s)| rig.delivered(i, s)) {
             reconverge_ticks = Some((rig.sim.now() - start).ticks());
@@ -144,7 +143,7 @@ fn run_cell(drop_p: f64, reliability: bool, seed: u64) -> Cell {
         .filter(|&&(i, s)| rig.delivered(i, s))
         .count() as u64;
     let m = rig.sim.metrics();
-    Cell {
+    let cell = Cell {
         delivered_under_fault,
         published_under_fault: FAULT_EVENTS,
         retransmitted: m.chaos.retransmitted,
@@ -152,7 +151,8 @@ fn run_cell(drop_p: f64, reliability: bool, seed: u64) -> Cell {
         dup_suppressed: m.chaos.duplicates_suppressed,
         resubscriptions: m.chaos.resubscriptions,
         reconverge_ticks,
-    }
+    };
+    (cell, m)
 }
 
 fn main() {
@@ -160,9 +160,13 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut cells = Vec::new();
+    let mut worst_metrics = None;
     for &drop_p in &[0.0f64, 0.05, 0.15] {
         for &reliability in &[false, true] {
-            let cell = run_cell(drop_p, reliability, 0xE12);
+            let (cell, metrics) = run_cell(drop_p, reliability, 0xE12);
+            if drop_p == 0.15 && reliability {
+                worst_metrics = Some(metrics);
+            }
             rows.push(vec![
                 format!("{drop_p:.2}"),
                 if reliability { "on" } else { "off" }.to_owned(),
@@ -197,6 +201,14 @@ fn main() {
             &rows,
         )
     );
+    println!("per-node load of the worst cell (drop 0.15, reliability on), with the");
+    println!("run's fault counters in the footer:\n");
+    println!(
+        "{}",
+        worst_metrics
+            .expect("sweep covers the worst cell")
+            .rlc_table()
+    );
     println!("every cell also crashes and restarts a subscriber-hosting broker mid-burst;");
     println!("\"under-fault delivered\" counts events published while faults were active");
     println!("(events traversing the crashed broker can be irrecoverably lost — the");
@@ -215,7 +227,10 @@ fn main() {
             );
         }
         if !*reliability {
-            assert_eq!(cell.retransmitted, 0, "no repair traffic without reliability");
+            assert_eq!(
+                cell.retransmitted, 0,
+                "no repair traffic without reliability"
+            );
         }
     }
     let lossy = |rel: bool| {

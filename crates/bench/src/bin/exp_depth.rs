@@ -48,9 +48,18 @@ fn main() {
             .fold(0.0f64, f64::max);
         // Average hops a delivered event travels: broker receptions per
         // subscriber delivery.
-        let broker_recv: u64 = m.records.iter().filter(|r| r.stage > 0).map(|r| r.received).sum();
+        let broker_recv: u64 = m
+            .records
+            .iter()
+            .filter(|r| r.stage > 0)
+            .map(|r| r.received)
+            .sum();
         let delivered: u64 = m.stage_records(0).map(|r| r.received).sum();
-        let hops = if delivered == 0 { 0.0 } else { broker_recv as f64 / delivered as f64 };
+        let hops = if delivered == 0 {
+            0.0
+        } else {
+            broker_recv as f64 / delivered as f64
+        };
         max_rlcs.push(max_broker_rlc);
         rows.push(vec![
             format!("{levels:?}"),
@@ -81,7 +90,10 @@ fn main() {
     // A single broker approximates the centralized server (slightly below
     // RLC 1 because covering-based collapse dedups identical weakened
     // filters even there).
-    assert!(max_rlcs[0] > 0.8, "single broker ≈ centralized: {max_rlcs:?}");
+    assert!(
+        max_rlcs[0] > 0.8,
+        "single broker ≈ centralized: {max_rlcs:?}"
+    );
     // Depth pays off steeply at first…
     assert!(
         max_rlcs[1] < max_rlcs[0] / 2.0 && max_rlcs[2] < max_rlcs[1],

@@ -59,7 +59,9 @@ fn main() {
         ("+ year equality", Filter::for_class(class).eq("year", year)),
         (
             "+ conference",
-            Filter::for_class(class).eq("year", year).eq("conference", conf),
+            Filter::for_class(class)
+                .eq("year", year)
+                .eq("conference", conf),
         ),
         (
             "+ author (full)",
@@ -85,7 +87,9 @@ fn main() {
         sim.settle();
     }
 
-    let stream: Vec<_> = (0..events).map(|seq| workload.envelope(seq, &mut rng)).collect();
+    let stream: Vec<_> = (0..events)
+        .map(|seq| workload.envelope(seq, &mut rng))
+        .collect();
     let wanted = stream
         .iter()
         .filter(|e| truth.matches_envelope(e, &registry))

@@ -11,10 +11,7 @@ use layercake_metrics::{Scatter, Series};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let events: u64 = args
-        .iter()
-        .find_map(|a| a.parse().ok())
-        .unwrap_or(20_000);
+    let events: u64 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(20_000);
     let want_csv = args.iter().any(|a| a == "--csv");
 
     eprintln!("running E2: 100/10/1 hierarchy, 150 subscribers, {events} events…");

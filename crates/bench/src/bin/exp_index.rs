@@ -56,7 +56,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Subscriptions", "Index", "Wall-clock (s)", "Events delivered"],
+            &[
+                "Subscriptions",
+                "Index",
+                "Wall-clock (s)",
+                "Events delivered"
+            ],
             &rows,
         )
     );
@@ -75,7 +80,10 @@ fn main() {
             .find(|r| r[0] == subs.to_string() && r[1] == "Counting")
             .unwrap()[3]
             .clone();
-        assert_eq!(naive, counting, "strategies must deliver identically at {subs} subs");
+        assert_eq!(
+            naive, counting,
+            "strategies must deliver identically at {subs} subs"
+        );
     }
     // At the largest population the counting index must win.
     assert!(

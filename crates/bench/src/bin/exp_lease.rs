@@ -63,11 +63,7 @@ fn main() {
             sim.run_for(SimDuration::from_ticks(EVENT_EVERY));
         }
 
-        let delivered: u64 = sim
-            .metrics()
-            .stage_records(0)
-            .map(|r| r.received)
-            .sum();
+        let delivered: u64 = sim.metrics().stage_records(0).map(|r| r.received).sum();
         let event_traffic: u64 = sim
             .metrics()
             .records

@@ -31,7 +31,9 @@ fn workload_and_stream(events: u64) -> (TypeRegistry, BiblioWorkload, Vec<Envelo
         &mut registry,
         &mut rng,
     );
-    let stream = (0..events).map(|s| workload.envelope(s, &mut rng)).collect();
+    let stream = (0..events)
+        .map(|s| workload.envelope(s, &mut rng))
+        .collect();
     (registry, workload, stream)
 }
 
@@ -48,7 +50,12 @@ fn summarize(name: &str, m: &RunMetrics) -> Vec<String> {
         .filter(|r| r.stage > 0)
         .map(|r| r.rlc(m.total_events, m.total_subs))
         .fold(0.0f64, f64::max);
-    let broker_recv: u64 = m.records.iter().filter(|r| r.stage > 0).map(|r| r.received).sum();
+    let broker_recv: u64 = m
+        .records
+        .iter()
+        .filter(|r| r.stage > 0)
+        .map(|r| r.received)
+        .sum();
     let delivered: u64 = m.stage_records(0).map(|r| r.received).sum();
     let hops = if delivered == 0 {
         0.0
@@ -162,5 +169,9 @@ fn main() {
 }
 
 fn broker_filter_total(m: &RunMetrics) -> usize {
-    m.records.iter().filter(|r| r.stage > 0).map(|r| r.filters).sum()
+    m.records
+        .iter()
+        .filter(|r| r.stage > 0)
+        .map(|r| r.filters)
+        .sum()
 }

@@ -125,12 +125,8 @@ fn main() {
         let mut quotes = workload.clone();
         for seq in 0..events {
             let q = quotes.next_quote(&mut rng);
-            let env = layercake_event::Envelope::encode(
-                class,
-                layercake_event::EventSeq(seq),
-                &q,
-            )
-            .unwrap();
+            let env = layercake_event::Envelope::encode(class, layercake_event::EventSeq(seq), &q)
+                .unwrap();
             sim.publish(env);
         }
         sim.settle();
@@ -145,7 +141,12 @@ fn main() {
         let matched: u64 = m.stage_records(0).map(|r| r.matched).sum();
         counts.push((broker_filters, matched));
         rows2.push(vec![
-            if collapse { "collapse on" } else { "collapse off" }.to_owned(),
+            if collapse {
+                "collapse on"
+            } else {
+                "collapse off"
+            }
+            .to_owned(),
             broker_filters.to_string(),
             delivered.to_string(),
             matched.to_string(),
@@ -165,8 +166,14 @@ fn main() {
     );
     println!("reading guide: collapse folds stronger price ceilings into weaker stored");
     println!("ones — fewer filters, some extra deliveries, identical accepted sets.");
-    assert!(counts[1].0 < counts[0].0, "collapse must shrink broker tables: {counts:?}");
-    assert_eq!(counts[1].1, counts[0].1, "accepted event sets must be identical");
+    assert!(
+        counts[1].0 < counts[0].0,
+        "collapse must shrink broker tables: {counts:?}"
+    );
+    assert_eq!(
+        counts[1].1, counts[0].1,
+        "accepted event sets must be identical"
+    );
 
     // Shape check at high similarity: similarity placement stores fewer
     // filters and forwards along fewer paths than random placement.

@@ -67,7 +67,12 @@ fn main() {
     );
 
     // Shape assertions the reproduction stands on.
-    let by_stage = |s: usize| summary.iter().find(|x| x.stage == s).expect("stage present");
+    let by_stage = |s: usize| {
+        summary
+            .iter()
+            .find(|x| x.stage == s)
+            .expect("stage present")
+    };
     assert!(
         by_stage(0).avg_rlc < by_stage(1).avg_rlc,
         "per-node load must shrink towards the subscribers"

@@ -45,7 +45,12 @@ fn main() {
             hot.insert((format!("{wildcard_rate}"), stage_aware), hottest_recv);
             rows.push(vec![
                 format!("{wildcard_rate:.1}"),
-                if stage_aware { "stage-aware" } else { "naive stage-1" }.to_owned(),
+                if stage_aware {
+                    "stage-aware"
+                } else {
+                    "naive stage-1"
+                }
+                .to_owned(),
                 hottest_recv.to_string(),
                 format!("{avg_recv:.1}"),
                 hottest_evals.to_string(),

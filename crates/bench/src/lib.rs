@@ -44,7 +44,12 @@ pub struct BiblioRun {
 /// the bibliographic class, place the workload's subscriptions one by one,
 /// publish `events` events, and collect metrics.
 #[must_use]
-pub fn run_biblio(overlay: OverlayConfig, biblio: BiblioConfig, events: u64, seed: u64) -> BiblioRun {
+pub fn run_biblio(
+    overlay: OverlayConfig,
+    biblio: BiblioConfig,
+    events: u64,
+    seed: u64,
+) -> BiblioRun {
     let mut registry = TypeRegistry::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let workload = BiblioWorkload::new(biblio, &mut registry, &mut rng);

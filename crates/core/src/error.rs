@@ -81,7 +81,10 @@ mod tests {
     #[test]
     fn display_and_source() {
         let e = CoreError::NotAdvertised("Stock".to_owned());
-        assert_eq!(e.to_string(), "event class \"Stock\" has not been advertised");
+        assert_eq!(
+            e.to_string(),
+            "event class \"Stock\" has not been advertised"
+        );
         assert!(e.source().is_none());
         let e = CoreError::from(EventError::UnknownClassName("X".to_owned()));
         assert!(e.source().is_some());

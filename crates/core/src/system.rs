@@ -178,7 +178,10 @@ impl EventSystem {
     ///
     /// * [`CoreError::NotRegistered`] for unregistered types.
     /// * Stage-map arity errors via [`CoreError::Event`].
-    pub fn advertise<E: TypedEvent>(&mut self, stage_map: Option<StageMap>) -> Result<ClassId, CoreError> {
+    pub fn advertise<E: TypedEvent>(
+        &mut self,
+        stage_map: Option<StageMap>,
+    ) -> Result<ClassId, CoreError> {
         let class = self.class_of::<E>()?;
         let arity = self
             .registry()
@@ -515,7 +518,9 @@ mod tests {
     #[test]
     fn polymorphic_delivery_of_subtypes() {
         let mut system = stock_system();
-        let base_sub = system.subscribe::<Stock>(|f| f.eq("symbol", "Neo")).unwrap();
+        let base_sub = system
+            .subscribe::<Stock>(|f| f.eq("symbol", "Neo"))
+            .unwrap();
         system.settle();
         system
             .publish(&VolumeStock::new("Neo".into(), 42.0, 1_000))
@@ -615,7 +620,9 @@ mod tests {
     #[test]
     fn channel_subscription_receives_on_settle() {
         let mut system = stock_system();
-        let sub = system.subscribe::<Stock>(|f| f.eq("symbol", "Foo")).unwrap();
+        let sub = system
+            .subscribe::<Stock>(|f| f.eq("symbol", "Foo"))
+            .unwrap();
         let rx = system.channel(&sub);
         system.settle();
         system.publish(&Stock::new("Foo".into(), 3.0)).unwrap();
@@ -628,7 +635,9 @@ mod tests {
     #[test]
     fn metrics_expose_broker_work() {
         let mut system = stock_system();
-        let _sub = system.subscribe::<Stock>(|f| f.eq("symbol", "Foo")).unwrap();
+        let _sub = system
+            .subscribe::<Stock>(|f| f.eq("symbol", "Foo"))
+            .unwrap();
         system.settle();
         system.publish(&Stock::new("Foo".into(), 1.0)).unwrap();
         system.settle();

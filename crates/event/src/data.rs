@@ -38,7 +38,11 @@ impl EventData {
 
     /// Appends an attribute. If the name already exists its value is
     /// replaced in place (order preserved) and the old value returned.
-    pub fn insert(&mut self, name: impl Into<String>, value: impl Into<AttrValue>) -> Option<AttrValue> {
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        value: impl Into<AttrValue>,
+    ) -> Option<AttrValue> {
         let name = name.into();
         let value = value.into();
         for (n, v) in &mut self.attrs {

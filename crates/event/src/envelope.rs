@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 use crate::class::ClassId;
 use crate::data::EventData;
 use crate::error::EventError;
+use crate::trace_ctx::TraceContext;
 use crate::typed::TypedEvent;
 
 /// Monotonic sequence number identifying a published event instance.
@@ -31,6 +32,9 @@ pub struct Envelope {
     seq: EventSeq,
     meta: EventData,
     payload: Bytes,
+    /// Sampled-tracing context; `None` (the default) for the unsampled
+    /// majority of events, which therefore pay nothing for observability.
+    trace: Option<TraceContext>,
 }
 
 impl Envelope {
@@ -40,15 +44,20 @@ impl Envelope {
     /// # Errors
     ///
     /// Returns [`EventError::PayloadEncode`] if serialization fails.
-    pub fn encode<E: TypedEvent>(class: ClassId, seq: EventSeq, event: &E) -> Result<Self, EventError> {
-        let payload = serde_json::to_vec(event)
-            .map_err(|e| EventError::PayloadEncode(e.to_string()))?;
+    pub fn encode<E: TypedEvent>(
+        class: ClassId,
+        seq: EventSeq,
+        event: &E,
+    ) -> Result<Self, EventError> {
+        let payload =
+            serde_json::to_vec(event).map_err(|e| EventError::PayloadEncode(e.to_string()))?;
         Ok(Self {
             class,
             class_name: E::CLASS_NAME.to_owned(),
             seq,
             meta: event.extract(),
             payload: Bytes::from(payload),
+            trace: None,
         })
     }
 
@@ -57,13 +66,19 @@ impl Envelope {
     /// This supports simulation workloads that model only the routing layer
     /// (the paper's Section 5 setup publishes name/value "dummy" events).
     #[must_use]
-    pub fn from_meta(class: ClassId, class_name: impl Into<String>, seq: EventSeq, meta: EventData) -> Self {
+    pub fn from_meta(
+        class: ClassId,
+        class_name: impl Into<String>,
+        seq: EventSeq,
+        meta: EventData,
+    ) -> Self {
         Self {
             class,
             class_name: class_name.into(),
             seq,
             meta,
             payload: Bytes::new(),
+            trace: None,
         }
     }
 
@@ -84,8 +99,7 @@ impl Envelope {
                 self.seq.0, self.class_name
             )));
         }
-        serde_json::from_slice(&self.payload)
-            .map_err(|e| EventError::PayloadDecode(e.to_string()))
+        serde_json::from_slice(&self.payload).map_err(|e| EventError::PayloadDecode(e.to_string()))
     }
 
     /// The event class id.
@@ -116,6 +130,26 @@ impl Envelope {
     #[must_use]
     pub fn payload(&self) -> &Bytes {
         &self.payload
+    }
+
+    /// The sampled-tracing context, if this event was selected for tracing.
+    #[must_use]
+    pub fn trace(&self) -> Option<TraceContext> {
+        self.trace
+    }
+
+    /// Attaches (or clears) the tracing context. Called once at publish
+    /// time by the tracing layer; `None` is the untraced default.
+    pub fn set_trace(&mut self, trace: Option<TraceContext>) {
+        self.trace = trace;
+    }
+
+    /// Re-stamps the context's `last_hop_at` before this copy is forwarded
+    /// to the next hop. A no-op on untraced envelopes.
+    pub fn touch_trace(&mut self, now_ticks: u64) {
+        if let Some(t) = &mut self.trace {
+            t.last_hop_at = now_ticks;
+        }
     }
 
     /// Approximate wire size in bytes (meta names/values + payload), used by
@@ -187,6 +221,26 @@ mod tests {
         let env = Envelope::encode(ClassId(0), EventSeq(0), &s).unwrap();
         // `Strict` requires a field the Stock payload lacks.
         assert!(env.decode::<Strict>().is_err());
+    }
+
+    #[test]
+    fn trace_context_stamping() {
+        use crate::trace_ctx::{TraceContext, TraceId};
+        let meta = crate::event_data! { "year" => 2002 };
+        let mut env = Envelope::from_meta(ClassId(3), "Biblio", EventSeq(1), meta);
+        assert_eq!(env.trace(), None);
+        // touch_trace on an untraced envelope is a no-op.
+        env.touch_trace(10);
+        assert_eq!(env.trace(), None);
+        env.set_trace(Some(TraceContext::new(TraceId(5), 7)));
+        env.touch_trace(12);
+        let ctx = env.trace().unwrap();
+        assert_eq!(ctx.id, TraceId(5));
+        assert_eq!(ctx.published_at, 7);
+        assert_eq!(ctx.last_hop_at, 12);
+        // The context survives a serde round trip with the envelope.
+        let back: Envelope = serde_json::from_slice(&serde_json::to_vec(&env).unwrap()).unwrap();
+        assert_eq!(back, env);
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl fmt::Display for EventError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EventError::DuplicateClass(name) => {
-                write!(f, "event class {name:?} already registered with a different schema")
+                write!(
+                    f,
+                    "event class {name:?} already registered with a different schema"
+                )
             }
             EventError::UnknownClass(id) => write!(f, "unknown event {id}"),
             EventError::UnknownClassName(name) => write!(f, "unknown event class {name:?}"),

@@ -64,6 +64,7 @@ mod envelope;
 mod error;
 mod registry;
 mod stage;
+mod trace_ctx;
 mod typed;
 mod value;
 
@@ -73,5 +74,6 @@ pub use envelope::{Envelope, EventSeq};
 pub use error::EventError;
 pub use registry::TypeRegistry;
 pub use stage::{Advertisement, StageMap};
+pub use trace_ctx::{TraceContext, TraceId};
 pub use typed::{AttrField, AttrScalar, TypedEvent};
 pub use value::{AttrValue, ValueKind};

@@ -175,10 +175,18 @@ mod tests {
             .register("Quote", None, vec![decl("symbol", ValueKind::Str)])
             .unwrap();
         let stock = r
-            .register("Stock", Some("Quote"), vec![decl("price", ValueKind::Float)])
+            .register(
+                "Stock",
+                Some("Quote"),
+                vec![decl("price", ValueKind::Float)],
+            )
             .unwrap();
         let tech = r
-            .register("TechStock", Some("Stock"), vec![decl("sector", ValueKind::Str)])
+            .register(
+                "TechStock",
+                Some("Stock"),
+                vec![decl("sector", ValueKind::Str)],
+            )
             .unwrap();
         (r, base, stock, tech)
     }

@@ -103,7 +103,9 @@ impl StageMap {
         if arity == 0 {
             return Err(EventError::InvalidStageMap("zero-arity schema".to_owned()));
         }
-        let prefixes: Vec<usize> = (0..stages).map(|s| arity.saturating_sub(s).max(1)).collect();
+        let prefixes: Vec<usize> = (0..stages)
+            .map(|s| arity.saturating_sub(s).max(1))
+            .collect();
         Self::from_prefixes(&prefixes)
     }
 

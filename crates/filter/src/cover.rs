@@ -160,18 +160,18 @@ fn merge_attr(per_filter: &[Vec<&Predicate>]) -> Vec<Predicate> {
     // Identical constraint sets: copy them verbatim (covers Eq, Exists, Ne,
     // Prefix and mixed sets alike).
     let first = &per_filter[0];
-    if per_filter[1..]
-        .iter()
-        .all(|preds| preds.len() == first.len() && preds.iter().zip(first.iter()).all(|(a, b)| a == b))
-    {
+    if per_filter[1..].iter().all(|preds| {
+        preds.len() == first.len() && preds.iter().zip(first.iter()).all(|(a, b)| a == b)
+    }) {
         return first.iter().map(|p| (*p).clone()).collect();
     }
     // All single equalities / value sets: exact union (capped — beyond the
     // cap the interval hull below takes over as the coarser summary).
     const MAX_SET: usize = 16;
-    if per_filter.iter().all(|preds| {
-        preds.len() == 1 && matches!(preds[0], Predicate::Eq(_) | Predicate::In(_))
-    }) {
+    if per_filter
+        .iter()
+        .all(|preds| preds.len() == 1 && matches!(preds[0], Predicate::Eq(_) | Predicate::In(_)))
+    {
         let mut union: Vec<layercake_event::AttrValue> = Vec::new();
         for preds in per_filter {
             let values: &[layercake_event::AttrValue] = match preds[0] {
@@ -304,8 +304,12 @@ mod tests {
         let (r, _, stock, _) = registry();
         // f1 = (class Stock) (symbol Foo =) (price 10 <)
         // g1 = (class Stock) (symbol Foo =) (price 11 <): g1 ⊒ f1.
-        let f1 = Filter::for_class(stock).eq("symbol", "Foo").lt("price", 10.0);
-        let g1 = Filter::for_class(stock).eq("symbol", "Foo").lt("price", 11.0);
+        let f1 = Filter::for_class(stock)
+            .eq("symbol", "Foo")
+            .lt("price", 10.0);
+        let g1 = Filter::for_class(stock)
+            .eq("symbol", "Foo")
+            .lt("price", 11.0);
         let g2 = Filter::for_class(stock).eq("symbol", "Foo");
         let g3 = Filter::for_class(stock);
         assert!(g1.covers(&f1, &r));
@@ -360,12 +364,18 @@ mod tests {
     fn merge_cover_paper_g1() {
         let (r, _, stock, _) = registry();
         // f1 = price < 10, f2 = price < 11 (same symbol): merge = price < 11.
-        let f1 = Filter::for_class(stock).eq("symbol", "DEF").lt("price", 10.0);
-        let f2 = Filter::for_class(stock).eq("symbol", "DEF").lt("price", 11.0);
+        let f1 = Filter::for_class(stock)
+            .eq("symbol", "DEF")
+            .lt("price", 10.0);
+        let f2 = Filter::for_class(stock)
+            .eq("symbol", "DEF")
+            .lt("price", 11.0);
         let g = merge_cover(&[&f1, &f2], &r);
         assert_eq!(
             g,
-            Filter::for_class(stock).eq("symbol", "DEF").lt("price", 11.0)
+            Filter::for_class(stock)
+                .eq("symbol", "DEF")
+                .lt("price", 11.0)
         );
         assert!(g.covers(&f1, &r));
         assert!(g.covers(&f2, &r));
@@ -389,9 +399,7 @@ mod tests {
     #[test]
     fn merge_cover_large_unions_fall_back_to_hull() {
         let (r, ..) = registry();
-        let filters: Vec<Filter> = (0..40)
-            .map(|i| Filter::any().eq("v", i * 2))
-            .collect();
+        let filters: Vec<Filter> = (0..40).map(|i| Filter::any().eq("v", i * 2)).collect();
         let refs: Vec<&Filter> = filters.iter().collect();
         let g = merge_cover(&refs, &r);
         for f in &refs {

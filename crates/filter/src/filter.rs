@@ -375,7 +375,9 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let f = Filter::for_class(ClassId(1)).eq("symbol", "Foo").lt("price", 10.0);
+        let f = Filter::for_class(ClassId(1))
+            .eq("symbol", "Foo")
+            .lt("price", 10.0);
         let s = serde_json::to_string(&f).unwrap();
         let back: Filter = serde_json::from_str(&s).unwrap();
         assert_eq!(f, back);
@@ -384,7 +386,10 @@ mod tests {
     #[test]
     fn wildcard_constraints_iterator() {
         let f = Filter::any().eq("a", 1).wildcard("b").wildcard("c");
-        let names: Vec<_> = f.wildcard_constraints().map(|c| c.name().to_owned()).collect();
+        let names: Vec<_> = f
+            .wildcard_constraints()
+            .map(|c| c.name().to_owned())
+            .collect();
         assert_eq!(names, ["b", "c"]);
     }
 }

@@ -118,8 +118,10 @@ impl FilterTable {
             return false;
         }
         if self.kind == IndexKind::Counting && !self.counting_dirty {
-            self.counting
-                .add(u32::try_from(self.entries.len()).expect("filter table fits in u32"), &filter);
+            self.counting.add(
+                u32::try_from(self.entries.len()).expect("filter table fits in u32"),
+                &filter,
+            );
         }
         self.by_key.insert(key.clone(), self.entries.len());
         self.entries.push(Entry {
@@ -242,7 +244,12 @@ impl FilterTable {
     }
 
     /// Whether any stored filter matches the event.
-    pub fn matches_any(&mut self, class: ClassId, meta: &EventData, registry: &TypeRegistry) -> bool {
+    pub fn matches_any(
+        &mut self,
+        class: ClassId,
+        meta: &EventData,
+        registry: &TypeRegistry,
+    ) -> bool {
         let mut out = Vec::new();
         self.matches(class, meta, registry, &mut out);
         !out.is_empty()
@@ -313,8 +320,10 @@ impl FilterTable {
     fn rebuild_counting(&mut self) {
         self.counting = CountingIndex::new();
         for (i, e) in self.entries.iter().enumerate() {
-            self.counting
-                .add(u32::try_from(i).expect("filter table fits in u32"), &e.filter);
+            self.counting.add(
+                u32::try_from(i).expect("filter table fits in u32"),
+                &e.filter,
+            );
         }
         self.counting_dirty = false;
     }
@@ -480,8 +489,14 @@ mod tests {
             t.insert(Filter::any().eq("symbol", "Foo"), DestId(1));
             t.insert(Filter::any().gt("price", 5.0), DestId(2));
             t.insert(Filter::any().eq("symbol", "Bar"), DestId(3));
-            t.insert(Filter::any().eq("symbol", "Foo").lt("price", 9.0), DestId(4));
-            t.insert(Filter::any().eq("symbol", "Foo").le("price", 10.0), DestId(5));
+            t.insert(
+                Filter::any().eq("symbol", "Foo").lt("price", 9.0),
+                DestId(4),
+            );
+            t.insert(
+                Filter::any().eq("symbol", "Foo").le("price", 10.0),
+                DestId(5),
+            );
             t.insert(Filter::any(), DestId(6));
         });
         assert_eq!(naive, counting);
@@ -556,11 +571,15 @@ mod tests {
         let mut t = FilterTable::new(IndexKind::Naive);
         let weak = Filter::for_class(stock);
         let mid = Filter::for_class(stock).eq("symbol", "DEF");
-        let strong = Filter::for_class(stock).eq("symbol", "DEF").lt("price", 11.0);
+        let strong = Filter::for_class(stock)
+            .eq("symbol", "DEF")
+            .lt("price", 11.0);
         t.insert(weak.clone(), DestId(1));
         t.insert(mid.clone(), DestId(2));
         t.insert(strong.clone(), DestId(3));
-        let sub = Filter::for_class(stock).eq("symbol", "DEF").lt("price", 10.0);
+        let sub = Filter::for_class(stock)
+            .eq("symbol", "DEF")
+            .lt("price", 10.0);
         let (found, dests) = t.find_cover(&sub, &r).unwrap();
         assert_eq!(found, &strong);
         assert_eq!(dests, &[DestId(3)]);
@@ -612,7 +631,12 @@ mod tests {
             );
         }
         let mut out = Vec::new();
-        t.matches(stock, &event_data! { "symbol" => "Foo", "price" => 5.5 }, &r, &mut out);
+        t.matches(
+            stock,
+            &event_data! { "symbol" => "Foo", "price" => 5.5 },
+            &r,
+            &mut out,
+        );
         assert_eq!(out.len(), 6); // thresholds 0..=5
     }
 

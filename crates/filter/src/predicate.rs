@@ -84,16 +84,12 @@ impl Predicate {
             Predicate::Exists => !matches!(other, Predicate::Any),
             // `Ne(v)` matches exactly "present and not v": it covers any
             // presence-requiring predicate that does not match `v`.
-            Predicate::Ne(v) => {
-                !matches!(other, Predicate::Any) && !other.matches(Some(v))
-            }
+            Predicate::Ne(v) => !matches!(other, Predicate::Any) && !other.matches(Some(v)),
             // A value set covers exactly the equalities (and smaller sets)
             // it contains.
             Predicate::In(set) => match other {
                 Predicate::Eq(w) => set.iter().any(|v| v.value_eq(w)),
-                Predicate::In(sub) => sub
-                    .iter()
-                    .all(|w| set.iter().any(|v| v.value_eq(w))),
+                Predicate::In(sub) => sub.iter().all(|w| set.iter().any(|v| v.value_eq(w))),
                 _ => false,
             },
             Predicate::Prefix(p) => match other {
@@ -118,7 +114,11 @@ impl Predicate {
                 _ => false,
             },
             // Interval-representable predicates.
-            Predicate::Eq(_) | Predicate::Lt(_) | Predicate::Le(_) | Predicate::Gt(_) | Predicate::Ge(_) => {
+            Predicate::Eq(_)
+            | Predicate::Lt(_)
+            | Predicate::Le(_)
+            | Predicate::Gt(_)
+            | Predicate::Ge(_) => {
                 match other {
                     // No interval can soundly bound a substring predicate.
                     Predicate::Contains(_) => false,

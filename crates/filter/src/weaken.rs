@@ -239,7 +239,11 @@ mod tests {
     fn standardize_respects_explicit_subclass() {
         let mut r = TypeRegistry::new();
         let base = r
-            .register("Quote", None, vec![AttributeDecl::new("symbol", ValueKind::Str)])
+            .register(
+                "Quote",
+                None,
+                vec![AttributeDecl::new("symbol", ValueKind::Str)],
+            )
             .unwrap();
         let sub = r.register("Stock", Some("Quote"), vec![]).unwrap();
         let class = r.class(base).unwrap();
@@ -270,7 +274,9 @@ mod tests {
         let s2 = weaken_to_stage(&f, class, &g, 2);
         assert_eq!(
             s2,
-            Filter::for_class(id).eq("year", 2002).eq("conference", "ICDCS")
+            Filter::for_class(id)
+                .eq("year", 2002)
+                .eq("conference", "ICDCS")
         );
         let s3 = weaken_to_stage(&f, class, &g, 3);
         assert_eq!(s3, Filter::for_class(id).eq("year", 2002));
@@ -326,7 +332,10 @@ mod tests {
         let f1 = Filter::for_class(id).eq("symbol", "DEF").lt("price", 10.0);
         let f2 = Filter::for_class(id).eq("symbol", "DEF").lt("price", 11.0);
         let g1 = weaken_for_parent(&[&f1, &f2], class, &g, 1, &r);
-        assert_eq!(g1, Filter::for_class(id).eq("symbol", "DEF").lt("price", 11.0));
+        assert_eq!(
+            g1,
+            Filter::for_class(id).eq("symbol", "DEF").lt("price", 11.0)
+        );
         // At stage 2 only the symbol survives: h1 = (Stock, DEF).
         let h1 = weaken_for_parent(&[&f1, &f2], class, &g, 2, &r);
         assert_eq!(h1, Filter::for_class(id).eq("symbol", "DEF"));

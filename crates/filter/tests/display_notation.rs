@@ -28,7 +28,9 @@ fn example_1_filter_notation() {
 #[test]
 fn example_5_stage_filters_notation() {
     let (r, stock) = stock_registry();
-    let f1 = Filter::for_class(stock).eq("symbol", "DEF").lt("price", 10.0);
+    let f1 = Filter::for_class(stock)
+        .eq("symbol", "DEF")
+        .lt("price", 10.0);
     assert_eq!(
         f1.display_with(&r),
         "(class, \"Stock\", =) (symbol, \"DEF\", =) (price, 10, <)"

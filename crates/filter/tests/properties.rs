@@ -9,7 +9,9 @@
 //! * standardization preserves semantics (Section 4.4),
 //! * the naive and counting match strategies agree.
 
-use layercake_event::{AttrValue, AttributeDecl, ClassId, EventData, TypeRegistry, StageMap, ValueKind};
+use layercake_event::{
+    AttrValue, AttributeDecl, ClassId, EventData, StageMap, TypeRegistry, ValueKind,
+};
 use layercake_filter::{
     merge_cover, standardize, weaken_to_stage, DestId, Filter, FilterTable, IndexKind, Predicate,
 };
@@ -49,17 +51,15 @@ fn arb_predicate() -> impl Strategy<Value = Predicate> {
 
 /// A filter over the fixed attribute pool with 0..=4 constraints.
 fn arb_filter() -> impl Strategy<Value = Filter> {
-    proptest::collection::vec(
-        (proptest::sample::select(ATTRS), arb_predicate()),
-        0..4,
+    proptest::collection::vec((proptest::sample::select(ATTRS), arb_predicate()), 0..4).prop_map(
+        |constraints| {
+            let mut f = Filter::any();
+            for (name, pred) in constraints {
+                f = f.with(layercake_filter::AttrFilter::new(name, pred));
+            }
+            f
+        },
     )
-    .prop_map(|constraints| {
-        let mut f = Filter::any();
-        for (name, pred) in constraints {
-            f = f.with(layercake_filter::AttrFilter::new(name, pred));
-        }
-        f
-    })
 }
 
 /// An event assigning values to a random subset of the attribute pool.

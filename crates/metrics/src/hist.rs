@@ -1,0 +1,296 @@
+//! Log-bucketed histograms over virtual-time durations.
+//!
+//! Latencies in the simulator are integer tick counts, so the histogram
+//! buckets values by their binary order of magnitude: bucket 0 holds the
+//! value `0`, bucket `i` (for `i >= 1`) holds values in
+//! `[2^(i-1), 2^i - 1]`. Quantiles are therefore approximate — a reported
+//! quantile is the upper bound of the bucket that contains it, clamped to
+//! the observed maximum — which is plenty for the order-of-magnitude
+//! comparisons the experiments make, and keeps recording O(1) with a
+//! fixed, merge-friendly layout.
+
+use serde::{Deserialize, Serialize};
+
+/// A log2-bucketed histogram of `u64` samples (virtual-time tick counts).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples whose bucket index is `i`; the vector
+    /// grows on demand and trailing zero buckets are never materialized.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index of a sample: 0 for 0, otherwise `64 - leading_zeros`, so
+/// bucket `i >= 1` spans `[2^(i-1), 2^i - 1]`.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `(low, high)` bounds of bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 0)
+    } else {
+        let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+        (1u64 << (i - 1), hi)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, n) in other.buckets.iter().enumerate() {
+            self.buckets[i] += n;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (0 on an empty histogram).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 on an empty histogram).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean of the recorded samples (exact — the running sum is kept
+    /// alongside the buckets). 0.0 on an empty histogram.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// containing the `ceil(q * count)`-th smallest sample, clamped into
+    /// `[min, max]`. 0 on an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(i);
+                // The bucket holds at least one sample, so `hi >= min`.
+                return hi.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (approximate; see [`Histogram::quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (approximate).
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (approximate).
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// One-line summary: `n=.. p50=.. p95=.. p99=.. max=.. mean=..`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        if self.count == 0 {
+            return String::from("n=0 (no samples)");
+        }
+        format!(
+            "n={} p50={} p95={} p99={} max={} mean={:.1}",
+            self.count,
+            self.p50(),
+            self.p95(),
+            self.p99(),
+            self.max(),
+            self.mean()
+        )
+    }
+
+    /// Non-empty buckets as `(low, high, count)` rows, in increasing order.
+    #[must_use]
+    pub fn bucket_rows(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, *n)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.summary(), "n=0 (no samples)");
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_bounds(2), (2, 3));
+        assert_eq!(bucket_bounds(0), (0, 0));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_clamped() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 5, 6, 7, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+        assert!(h.p99() <= h.max());
+        // The top quantile lands in the bucket [64, 127] but is clamped to
+        // the observed max.
+        assert_eq!(h.p99(), 100);
+    }
+
+    #[test]
+    fn uniform_samples() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // p50 of 1..=1000 is in bucket [256, 511].
+        assert!(h.p50() >= 500);
+        assert!(h.p50() <= 511);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [3u64, 9, 27, 81] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [1u64, 2, 243] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        // Merging an empty histogram is a no-op.
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut h = Histogram::new();
+        for v in [0u64, 5, 17, 900] {
+            h.record(v);
+        }
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Histogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+}

@@ -22,11 +22,15 @@
 #![warn(missing_docs)]
 
 mod chaos;
+mod hist;
 mod plot;
 mod record;
 mod table;
 
 pub use chaos::ChaosStats;
-pub use plot::{Scatter, Series};
-pub use record::{NodeRecord, RunMetrics, StageSummary};
+pub use hist::Histogram;
+pub use plot::{render_histogram, Scatter, Series};
+pub use record::{
+    LatencyMetrics, NodeRecord, RunMetrics, StageHistogram, StageSummary, StageWeakening,
+};
 pub use table::{format_ratio, render_table};

@@ -1,4 +1,6 @@
-//! Minimal ASCII scatter plots for terminal-rendered figures.
+//! Minimal ASCII scatter plots and histograms for terminal-rendered figures.
+
+use crate::hist::Histogram;
 
 /// One plotted series: a marker character and its `(x, y)` points.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +40,12 @@ pub struct Scatter {
 
 impl Scatter {
     /// Creates an empty plot with the given canvas size (in characters).
+    ///
+    /// The canvas is clamped to a minimum of 10×4 characters — anything
+    /// smaller cannot hold axes plus at least one distinguishable point.
+    /// The *effective* size may therefore differ from what was requested;
+    /// read it back via [`Scatter::width`] / [`Scatter::height`] before
+    /// writing figure captions that mention the canvas dimensions.
     #[must_use]
     pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
         Self {
@@ -49,6 +57,18 @@ impl Scatter {
             y_range: None,
             series: Vec::new(),
         }
+    }
+
+    /// Effective canvas width in characters, after the minimum-size clamp.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Effective canvas height in characters, after the minimum-size clamp.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
     }
 
     /// Sets the axis labels.
@@ -76,7 +96,11 @@ impl Scatter {
     /// Renders the plot.
     #[must_use]
     pub fn render(&self) -> String {
-        let all: Vec<(f64, f64)> = self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
         if all.is_empty() {
             return format!("{}\n(no data)\n", self.title);
         }
@@ -133,9 +157,81 @@ impl Scatter {
     }
 }
 
+/// Renders a [`Histogram`] as horizontal ASCII bars, one line per
+/// non-empty log2 bucket, followed by the quantile summary line.
+///
+/// Latencies are virtual-time tick counts, so bucket bounds are printed as
+/// raw tick values. `max_bar` is the width in characters of the longest
+/// bar (clamped to at least 1).
+#[must_use]
+pub fn render_histogram(title: &str, hist: &Histogram, max_bar: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if hist.is_empty() {
+        out.push_str("  (no samples)\n");
+        return out;
+    }
+    let max_bar = max_bar.max(1);
+    let rows = hist.bucket_rows();
+    let peak = rows.iter().map(|&(_, _, n)| n).max().unwrap_or(1);
+    let lo_w = rows
+        .iter()
+        .map(|&(lo, _, _)| lo.to_string().len())
+        .max()
+        .unwrap_or(1);
+    let hi_w = rows
+        .iter()
+        .map(|&(_, hi, _)| hi.to_string().len())
+        .max()
+        .unwrap_or(1);
+    for (lo, hi, n) in rows {
+        // Proportional bar, but never empty for a non-zero bucket.
+        let len = ((n as f64 / peak as f64) * max_bar as f64).round() as usize;
+        let bar = "#".repeat(len.max(1));
+        out.push_str(&format!(
+            "  [{lo:>lo_w$}..{hi:>hi_w$}] {bar:<max_bar$} {n}\n"
+        ));
+    }
+    out.push_str(&format!("  {}\n", hist.summary()));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn histogram_render_has_bars_and_summary() {
+        let mut h = Histogram::new();
+        for v in [1u64, 1, 2, 3, 4, 8, 9, 300] {
+            h.record(v);
+        }
+        let s = render_histogram("hop latency (ticks)", &h, 30);
+        assert!(s.starts_with("hop latency (ticks)\n"));
+        assert!(s.contains('#'));
+        assert!(s.contains("[256..511]"));
+        assert!(s.contains("p50="));
+        // Every non-empty bucket gets a visible bar.
+        let bars = s.lines().filter(|l| l.contains('#')).count();
+        assert_eq!(bars, h.bucket_rows().len());
+    }
+
+    #[test]
+    fn histogram_render_empty() {
+        let s = render_histogram("empty", &Histogram::new(), 30);
+        assert!(s.contains("(no samples)"));
+    }
+
+    #[test]
+    fn scatter_reports_effective_canvas_after_clamp() {
+        let p = Scatter::new("tiny", 1, 1);
+        assert_eq!(p.width(), 10);
+        assert_eq!(p.height(), 4);
+        let q = Scatter::new("big", 80, 20);
+        assert_eq!(q.width(), 80);
+        assert_eq!(q.height(), 20);
+    }
 
     #[test]
     fn renders_points_within_canvas() {

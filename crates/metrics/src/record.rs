@@ -3,7 +3,68 @@
 use serde::{Deserialize, Serialize};
 
 use crate::chaos::ChaosStats;
+use crate::hist::Histogram;
 use crate::table::{format_ratio, render_table};
+
+/// Hop-latency histogram for one stage of the hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageHistogram {
+    /// The stage whose incoming-hop latencies are recorded.
+    pub stage: usize,
+    /// Virtual-time latency (ticks) of arrivals at this stage, measured
+    /// from the previous hop's forwarding tick.
+    pub hist: Histogram,
+}
+
+/// Virtual-time latency observations aggregated from sampled event traces.
+///
+/// All durations are integer ticks of the deterministic simulator; an
+/// empty collection (every histogram at `n=0`) means tracing was disabled
+/// for the run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LatencyMetrics {
+    /// Per-stage incoming-hop latency, ordered by stage ascending
+    /// (stage 0 = subscriber runtimes).
+    pub hop_by_stage: Vec<StageHistogram>,
+    /// End-to-end publish→deliver latency, one sample per delivery of a
+    /// traced event.
+    pub e2e: Histogram,
+    /// Number of events that carried a trace context (the sampled subset
+    /// of `total_events`).
+    pub traced: u64,
+}
+
+/// Per-stage weakening cost observed on sampled traces: arrivals admitted
+/// by a stage's covering filters versus those the stage-0 original filter
+/// later rejected (Proposition 1's false-positive traffic).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageWeakening {
+    /// The stage number (0 = subscriber runtime).
+    pub stage: usize,
+    /// Traced arrivals at this stage.
+    pub arrivals: u64,
+    /// Arrivals the stage's filters admitted (forwarded, or accepted by
+    /// the original filter at stage 0).
+    pub matched: u64,
+    /// Stage ≥ 1: admitted arrivals that never produced a stage-0
+    /// delivery downstream — traffic that exists only because the
+    /// covering filter is weaker than the original. Stage 0: arrivals the
+    /// original subscription rejected outright.
+    pub false_positives: u64,
+}
+
+impl StageWeakening {
+    /// False positives as a fraction of traced arrivals; 0 when the stage
+    /// saw no traffic.
+    #[must_use]
+    pub fn fp_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / self.arrivals as f64
+        }
+    }
+}
 
 /// Filtering counters for one node (broker or subscriber runtime) over a
 /// simulation run.
@@ -102,6 +163,12 @@ pub struct RunMetrics {
     /// Fault-injection and recovery counters (all zero for fault-free
     /// runs).
     pub chaos: ChaosStats,
+    /// Virtual-time latency histograms from sampled traces (empty when
+    /// tracing is disabled).
+    pub latency: LatencyMetrics,
+    /// Per-stage weakening false-positive counts from sampled traces
+    /// (empty when tracing is disabled).
+    pub weakening: Vec<StageWeakening>,
 }
 
 impl RunMetrics {
@@ -113,6 +180,8 @@ impl RunMetrics {
             total_events,
             total_subs,
             chaos: ChaosStats::default(),
+            latency: LatencyMetrics::default(),
+            weakening: Vec::new(),
         }
     }
 
@@ -202,14 +271,106 @@ impl RunMetrics {
             })
             .collect();
         let mut out = render_table(
-            &["Stage", "Nodes", "Node avg. of RLC", "Total node avg. of RLC"],
+            &[
+                "Stage",
+                "Nodes",
+                "Node avg. of RLC",
+                "Total node avg. of RLC",
+            ],
             &rows,
         );
         out.push_str(&format!(
             "global RLC total = {}\n",
             format_ratio(self.global_rlc_total())
         ));
+        if !self.chaos.is_quiet() {
+            out.push_str("chaos counters:\n");
+            for line in self.chaos.render().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
         out
+    }
+
+    /// Renders the virtual-time latency table: one row per stage with
+    /// incoming-hop latency quantiles, plus a final end-to-end
+    /// publish→deliver row. All values are ticks.
+    #[must_use]
+    pub fn latency_table(&self) -> String {
+        if self.latency.traced == 0 {
+            return String::from("(tracing disabled — no latency samples)\n");
+        }
+        let quant_row = |label: String, h: &Histogram| {
+            vec![
+                label,
+                h.count().to_string(),
+                h.p50().to_string(),
+                h.p95().to_string(),
+                h.p99().to_string(),
+                h.max().to_string(),
+                format!("{:.1}", h.mean()),
+            ]
+        };
+        let mut rows: Vec<Vec<String>> = self
+            .latency
+            .hop_by_stage
+            .iter()
+            .map(|s| quant_row(format!("stage {} hop", s.stage), &s.hist))
+            .collect();
+        rows.push(quant_row(String::from("end-to-end"), &self.latency.e2e));
+        let mut out = render_table(
+            &[
+                "Latency (ticks)",
+                "Samples",
+                "p50",
+                "p95",
+                "p99",
+                "max",
+                "mean",
+            ],
+            &rows,
+        );
+        out.push_str(&format!(
+            "traced events = {} of {}\n",
+            self.latency.traced, self.total_events
+        ));
+        out
+    }
+
+    /// Renders the per-stage weakening false-positive table — the
+    /// empirical read on Proposition 1's cost: how much traffic each
+    /// stage's weakened covering filters admit that the stage-0 original
+    /// filter ultimately rejects.
+    #[must_use]
+    pub fn weakening_table(&self) -> String {
+        if self.weakening.is_empty() {
+            return String::from("(tracing disabled — no weakening samples)\n");
+        }
+        let rows: Vec<Vec<String>> = self
+            .weakening
+            .iter()
+            .map(|w| {
+                vec![
+                    w.stage.to_string(),
+                    w.arrivals.to_string(),
+                    w.matched.to_string(),
+                    w.false_positives.to_string(),
+                    format_ratio(w.fp_rate()),
+                ]
+            })
+            .collect();
+        render_table(
+            &[
+                "Stage",
+                "Traced arrivals",
+                "Matched",
+                "False positives",
+                "FP rate",
+            ],
+            &rows,
+        )
     }
 
     /// Renders per-node matching rates as CSV (`node,stage,mr`), the data

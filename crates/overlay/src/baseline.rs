@@ -18,7 +18,11 @@ use layercake_metrics::{NodeRecord, RunMetrics};
 /// architecture): all subscriptions at one node, which forwards matching
 /// events to the interested subscribers.
 #[must_use]
-pub fn centralized_run(subs: &[Filter], events: &[Envelope], registry: &TypeRegistry) -> RunMetrics {
+pub fn centralized_run(
+    subs: &[Filter],
+    events: &[Envelope],
+    registry: &TypeRegistry,
+) -> RunMetrics {
     let mut metrics = RunMetrics::new(events.len() as u64, subs.len() as u64);
     let mut server = NodeRecord::new("central", 1);
     server.filters = subs.len();
@@ -90,7 +94,12 @@ mod tests {
             .collect();
         let events: Vec<Envelope> = (0..100u64)
             .map(|i| {
-                Envelope::from_meta(class, "E", EventSeq(i), event_data! { "k" => (i % 20) as i64 })
+                Envelope::from_meta(
+                    class,
+                    "E",
+                    EventSeq(i),
+                    event_data! { "k" => (i % 20) as i64 },
+                )
             })
             .collect();
         (registry, class, subs, events)

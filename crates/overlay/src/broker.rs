@@ -7,6 +7,7 @@ use layercake_event::{Advertisement, ClassId, Envelope, StageMap, TypeRegistry};
 use layercake_filter::{weaken_to_stage, DestId, Filter, FilterTable, IndexKind};
 use layercake_metrics::NodeRecord;
 use layercake_sim::{ActorId, Ctx, SimDuration, SimTime};
+use layercake_trace::{HopRecord, HopVerdict, TraceSink, EXTERNAL_SOURCE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -25,6 +26,16 @@ pub(crate) fn dest_of(actor: ActorId) -> DestId {
 
 pub(crate) fn actor_of(dest: DestId) -> ActorId {
     ActorId(usize::try_from(dest.0).expect("dest ids are actor ids"))
+}
+
+/// Maps an actor id onto the trace wire format, folding the simulator's
+/// external-sender sentinel onto the trace crate's.
+pub(crate) fn trace_actor(actor: ActorId) -> u64 {
+    if actor.0 == usize::MAX {
+        EXTERNAL_SOURCE
+    } else {
+        actor.0 as u64
+    }
 }
 
 /// A broker node at stage ≥ 1 of the hierarchy.
@@ -68,6 +79,8 @@ pub struct Broker {
     dup_suppressed: u64,
     nacks_sent: u64,
     scratch: Vec<DestId>,
+    /// Shared trace collector; `None` when tracing is disabled for the run.
+    trace: Option<Arc<TraceSink>>,
 }
 
 /// Construction parameters for a [`Broker`] (set by the overlay builder).
@@ -87,6 +100,7 @@ pub(crate) struct BrokerSetup {
     pub reliability_enabled: bool,
     pub reliability_window: usize,
     pub seed: u64,
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl Broker {
@@ -122,6 +136,7 @@ impl Broker {
             dup_suppressed: 0,
             nacks_sent: 0,
             scratch: Vec::new(),
+            trace: setup.trace,
         }
     }
 
@@ -207,15 +222,15 @@ impl Broker {
             OverlayMsg::ReqInsert { filter, child } => self.insert_child_filter(filter, child, ctx),
             OverlayMsg::Publish(env) => {
                 self.bytes_received += env.wire_size() as u64;
-                self.forward_event(&env, ctx);
+                self.forward_event(from, &env, ctx);
             }
             OverlayMsg::Sequenced { link_seq, env } => {
                 self.bytes_received += env.wire_size() as u64;
-                let outcome = self
-                    .rx
-                    .entry(from)
-                    .or_default()
-                    .on_event(link_seq, env, self.reliability_window);
+                let outcome = self.rx.entry(from).or_default().on_event(
+                    link_seq,
+                    env,
+                    self.reliability_window,
+                );
                 self.apply_rx(from, outcome, ctx);
             }
             OverlayMsg::Nack { from_seq, to_seq } => {
@@ -311,7 +326,11 @@ impl Broker {
             | OverlayMsg::AcceptedAt { .. }
             | OverlayMsg::Deliver(_)
             | OverlayMsg::RenewAck => {
-                debug_assert!(false, "subscriber-bound message delivered to broker {}", self.label);
+                debug_assert!(
+                    false,
+                    "subscriber-bound message delivered to broker {}",
+                    self.label
+                );
             }
         }
     }
@@ -353,7 +372,13 @@ impl Broker {
         let mut needs: Vec<Filter> = self.parent_needs().into_iter().collect();
         needs.sort_by_cached_key(|f| format!("{f:?}"));
         for filter in needs {
-            ctx.send(parent, OverlayMsg::ReqInsert { filter, child: ctx.me() });
+            ctx.send(
+                parent,
+                OverlayMsg::ReqInsert {
+                    filter,
+                    child: ctx.me(),
+                },
+            );
         }
     }
 
@@ -366,7 +391,7 @@ impl Broker {
             ctx.send(from, OverlayMsg::Nack { from_seq, to_seq });
         }
         for env in outcome.released {
-            self.forward_event(&env, ctx);
+            self.forward_event(from, &env, ctx);
         }
     }
 
@@ -452,15 +477,15 @@ impl Broker {
         // 2. Similarity search: redirect towards the strongest covering
         //    filter already stored here (Section 4.2).
         if self.placement == PlacementPolicy::Similarity {
-            let target = self
-                .table
-                .find_cover(&req.filter, &self.registry)
-                .and_then(|(_, dests)| {
-                    dests
-                        .iter()
-                        .map(|d| actor_of(*d))
-                        .find(|a| self.children_set.contains(a))
-                });
+            let target =
+                self.table
+                    .find_cover(&req.filter, &self.registry)
+                    .and_then(|(_, dests)| {
+                        dests
+                            .iter()
+                            .map(|d| actor_of(*d))
+                            .find(|a| self.children_set.contains(a))
+                    });
             if let Some(node) = target {
                 ctx.send(req.subscriber, OverlayMsg::JoinAt { req, node });
                 return;
@@ -516,21 +541,38 @@ impl Broker {
         if created {
             if let Some(parent) = self.parent {
                 let up = self.weaken(&req.filter, self.stage + 1);
-                ctx.send(parent, OverlayMsg::ReqInsert { filter: up, child: ctx.me() });
+                ctx.send(
+                    parent,
+                    OverlayMsg::ReqInsert {
+                        filter: up,
+                        child: ctx.me(),
+                    },
+                );
             }
         }
     }
 
     /// "Upon Receiving req-Insert": store a child's weakened filter and
     /// propagate upward unless it collapsed into an existing entry.
-    fn insert_child_filter(&mut self, filter: Filter, child: ActorId, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn insert_child_filter(
+        &mut self,
+        filter: Filter,
+        child: ActorId,
+        ctx: &mut Ctx<'_, OverlayMsg>,
+    ) {
         let dest = dest_of(child);
         let created = self.table_insert(filter.clone(), dest);
         self.leases.insert(dest, ctx.now() + self.ttl * 3);
         if created {
             if let Some(parent) = self.parent {
                 let up = self.weaken(&filter, self.stage + 1);
-                ctx.send(parent, OverlayMsg::ReqInsert { filter: up, child: ctx.me() });
+                ctx.send(
+                    parent,
+                    OverlayMsg::ReqInsert {
+                        filter: up,
+                        child: ctx.me(),
+                    },
+                );
             }
         }
     }
@@ -539,20 +581,48 @@ impl Broker {
     /// to the associated children (or deliver to directly-attached
     /// subscribers). Bandwidth is accounted at the arrival site, so parked
     /// and duplicate-suppressed events still count their bytes.
-    fn forward_event(&mut self, env: &Envelope, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn forward_event(&mut self, from: ActorId, env: &Envelope, ctx: &mut Ctx<'_, OverlayMsg>) {
         self.received += 1;
         self.evaluations += self.table.filter_count() as u64;
         let mut dests = std::mem::take(&mut self.scratch);
-        self.table.matches(env.class(), env.meta(), &self.registry, &mut dests);
+        self.table
+            .matches(env.class(), env.meta(), &self.registry, &mut dests);
         if !dests.is_empty() {
             self.matched += 1;
         }
+        // Sampled tracing: unsampled envelopes carry no context, so this
+        // costs one `Option` check on the hot path.
+        if let Some(tc) = env.trace() {
+            if let Some(sink) = &self.trace {
+                let now = ctx.now();
+                sink.record_hop(
+                    &tc,
+                    HopRecord {
+                        node: self.label.clone(),
+                        node_id: trace_actor(ctx.me()),
+                        from_id: trace_actor(from),
+                        stage: self.stage,
+                        arrival: now,
+                        hop_latency: now.ticks().saturating_sub(tc.last_hop_at),
+                        verdict: if dests.is_empty() {
+                            HopVerdict::NoMatch
+                        } else {
+                            HopVerdict::Forwarded {
+                                dests: dests.len() as u32,
+                            }
+                        },
+                    },
+                );
+            }
+        }
         for dest in &dests {
+            let mut fwd = env.clone();
+            fwd.touch_trace(ctx.now().ticks());
             if let Some(buffer) = self.parked.get_mut(dest) {
-                buffer.push(env.clone());
+                buffer.push(fwd);
                 continue;
             }
-            self.send_event(actor_of(*dest), env.clone(), ctx);
+            self.send_event(actor_of(*dest), fwd, ctx);
         }
         dests.clear();
         self.scratch = dests;
@@ -560,7 +630,12 @@ impl Broker {
 
     /// Removes a `<filter, dest>` pair and tells the parent about any
     /// weakened filter this node no longer needs because of it.
-    fn remove_with_upstream(&mut self, filter: &Filter, dest: DestId, ctx: &mut Ctx<'_, OverlayMsg>) -> bool {
+    fn remove_with_upstream(
+        &mut self,
+        filter: &Filter,
+        dest: DestId,
+        ctx: &mut Ctx<'_, OverlayMsg>,
+    ) -> bool {
         let before = self.parent_needs();
         let removed = self.table.remove(filter, dest);
         if removed {
@@ -599,8 +674,10 @@ impl Broker {
         let Some(class_id) = filter.class() else {
             return filter.clone();
         };
-        let (Some(class), Some(g)) = (self.registry.class(class_id), self.stage_maps.get(&class_id))
-        else {
+        let (Some(class), Some(g)) = (
+            self.registry.class(class_id),
+            self.stage_maps.get(&class_id),
+        ) else {
             return filter.clone();
         };
         weaken_to_stage(filter, class, g, stage)

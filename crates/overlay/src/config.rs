@@ -59,6 +59,12 @@ pub struct OverlayConfig {
     pub reliability_window: usize,
     /// Seed for the brokers' random child selection.
     pub seed: u64,
+    /// Per-event trace sampling period: every `N`-th published event
+    /// carries a trace context and has its hops recorded (`1` = trace
+    /// everything). `0` — the default — disables tracing entirely: no
+    /// sink is created and published envelopes carry no context, so the
+    /// forwarding hot path does no per-event tracing work at all.
+    pub trace_sample_every: u64,
 }
 
 impl Default for OverlayConfig {
@@ -76,6 +82,7 @@ impl Default for OverlayConfig {
             reliability_enabled: false,
             reliability_window: 256,
             seed: 0xCAFE,
+            trace_sample_every: 0,
         }
     }
 }

@@ -55,8 +55,8 @@
 
 pub mod baseline;
 mod broker;
-pub mod mesh;
 mod config;
+pub mod mesh;
 mod msg;
 mod node;
 mod reliability;

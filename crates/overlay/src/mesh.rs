@@ -112,7 +112,12 @@ impl MeshBroker {
     /// Total filters stored (local + all links).
     #[must_use]
     pub fn filter_count(&self) -> usize {
-        self.local.filter_count() + self.links.values().map(FilterTable::filter_count).sum::<usize>()
+        self.local.filter_count()
+            + self
+                .links
+                .values()
+                .map(FilterTable::filter_count)
+                .sum::<usize>()
     }
 
     /// Counters as a metrics record. Mesh brokers have no stage; they are
@@ -134,8 +139,10 @@ impl MeshBroker {
         let Some(class_id) = filter.class() else {
             return filter.clone();
         };
-        let (Some(class), Some(g)) = (self.registry.class(class_id), self.stage_maps.get(&class_id))
-        else {
+        let (Some(class), Some(g)) = (
+            self.registry.class(class_id),
+            self.stage_maps.get(&class_id),
+        ) else {
             return filter.clone();
         };
         weaken_to_stage(filter, class, g, distance)
@@ -144,7 +151,11 @@ impl MeshBroker {
     fn handle(&mut self, from: ActorId, msg: MeshMsg, ctx: &mut Ctx<'_, MeshMsg>) {
         match msg {
             MeshMsg::Advertise(adv) => {
-                if self.stage_maps.insert(adv.class, adv.stage_map.clone()).is_none() {
+                if self
+                    .stage_maps
+                    .insert(adv.class, adv.stage_map.clone())
+                    .is_none()
+                {
                     for &n in &self.neighbors {
                         if n != from {
                             ctx.send(n, MeshMsg::Advertise(adv.clone()));
@@ -152,16 +163,23 @@ impl MeshBroker {
                     }
                 }
             }
-            MeshMsg::Subscribe { id, filter, subscriber } => {
+            MeshMsg::Subscribe {
+                id,
+                filter,
+                subscriber,
+            } => {
                 let weakened = self.weaken(&filter, 1);
                 self.local.insert(weakened, dest_of(subscriber));
                 ctx.send(subscriber, MeshMsg::Accepted { id });
                 let next = self.weaken(&filter, 2);
                 for &n in &self.neighbors {
-                    ctx.send(n, MeshMsg::Propagate {
-                        filter: next.clone(),
-                        distance: 2,
-                    });
+                    ctx.send(
+                        n,
+                        MeshMsg::Propagate {
+                            filter: next.clone(),
+                            distance: 2,
+                        },
+                    );
                 }
             }
             MeshMsg::Propagate { filter, distance } => {
@@ -174,10 +192,13 @@ impl MeshBroker {
                     let next = self.weaken(&filter, distance + 1);
                     for &n in &self.neighbors {
                         if n != from {
-                            ctx.send(n, MeshMsg::Propagate {
-                                filter: next.clone(),
-                                distance: distance + 1,
-                            });
+                            ctx.send(
+                                n,
+                                MeshMsg::Propagate {
+                                    filter: next.clone(),
+                                    distance: distance + 1,
+                                },
+                            );
                         }
                     }
                 }
@@ -189,7 +210,8 @@ impl MeshBroker {
                 let mut forwarded = false;
                 // Local subscribers.
                 let mut dests = Vec::new();
-                self.local.matches(env.class(), env.meta(), &self.registry, &mut dests);
+                self.local
+                    .matches(env.class(), env.meta(), &self.registry, &mut dests);
                 for d in &dests {
                     ctx.send(actor_of(*d), MeshMsg::Deliver(env.clone()));
                     forwarded = true;
@@ -213,7 +235,11 @@ impl MeshBroker {
                 }
             }
             MeshMsg::Accepted { .. } | MeshMsg::Deliver(_) => {
-                debug_assert!(false, "subscriber-bound mesh message at broker {}", self.label);
+                debug_assert!(
+                    false,
+                    "subscriber-bound mesh message at broker {}",
+                    self.label
+                );
             }
         }
     }
@@ -422,7 +448,8 @@ impl MeshSim {
 
     /// Floods an advertisement from broker 0.
     pub fn advertise(&mut self, adv: Advertisement) {
-        self.world.send_external(self.brokers[0], MeshMsg::Advertise(adv));
+        self.world
+            .send_external(self.brokers[0], MeshMsg::Advertise(adv));
     }
 
     /// Attaches a subscriber to the broker at `broker_idx`.
@@ -440,7 +467,10 @@ impl MeshSim {
         filter: Filter,
     ) -> Result<MeshSubscriberHandle, FilterError> {
         let class_id = filter.class().ok_or(FilterError::MissingClass)?;
-        let class = self.registry.class(class_id).ok_or(FilterError::UnknownClass)?;
+        let class = self
+            .registry
+            .class(class_id)
+            .ok_or(FilterError::UnknownClass)?;
         let standardized = standardize(&filter, class)?;
         let id = FilterId(self.next_filter);
         self.next_filter += 1;
@@ -473,7 +503,8 @@ impl MeshSim {
     /// Panics if `broker_idx` is out of range.
     pub fn publish_at(&mut self, broker_idx: usize, env: Envelope) {
         self.published += 1;
-        self.world.send_external(self.brokers[broker_idx], MeshMsg::Publish(env));
+        self.world
+            .send_external(self.brokers[broker_idx], MeshMsg::Publish(env));
     }
 
     /// Drains in-flight traffic.
@@ -557,15 +588,13 @@ mod tests {
         let mut missing = MeshConfig::line(4);
         missing.edges.pop(); // disconnects
         assert!(missing.validate().is_err());
-        assert!(
-            MeshConfig {
-                brokers: 0,
-                edges: vec![],
-                index: IndexKind::Naive
-            }
-            .validate()
-            .is_err()
-        );
+        assert!(MeshConfig {
+            brokers: 0,
+            edges: vec![],
+            index: IndexKind::Naive
+        }
+        .validate()
+        .is_err());
         let oob = MeshConfig {
             brokers: 2,
             edges: vec![(0, 5)],
@@ -616,14 +645,22 @@ mod tests {
         sim.settle();
         assert_eq!(sim.broker(3).record().received, 1);
         for idx in 0..3 {
-            assert_eq!(sim.broker(idx).record().received, 0, "broker {idx} saw the event");
+            assert_eq!(
+                sim.broker(idx).record().received,
+                0,
+                "broker {idx} saw the event"
+            );
         }
         // Wrong *author* only: passes the distant (year) and (year, conf)
         // filters all the way to the access broker, whose strong distance-1
         // filter finally rejects it — the subscriber never sees it.
         sim.publish_at(3, env(class, 1, 2000, "icdcs", "zzz", "t"));
         sim.settle();
-        assert_eq!(sim.broker(1).record().received, 1, "distance-2 filter admits it");
+        assert_eq!(
+            sim.broker(1).record().received,
+            1,
+            "distance-2 filter admits it"
+        );
         let access = sim.broker(0).record();
         assert_eq!(access.received, 1, "the access broker evaluates it");
         assert_eq!(access.matched, 0, "…and rejects it before delivery");
@@ -671,10 +708,16 @@ mod tests {
     fn multiple_subscribers_share_propagated_interest() {
         let (mut sim, class) = mesh(MeshConfig::line(3));
         let a = sim
-            .add_subscriber_at(0, Filter::for_class(class).eq("year", 2000).eq("author", "x"))
+            .add_subscriber_at(
+                0,
+                Filter::for_class(class).eq("year", 2000).eq("author", "x"),
+            )
             .unwrap();
         let b = sim
-            .add_subscriber_at(0, Filter::for_class(class).eq("year", 2000).eq("author", "y"))
+            .add_subscriber_at(
+                0,
+                Filter::for_class(class).eq("year", 2000).eq("author", "y"),
+            )
             .unwrap();
         sim.settle();
         sim.publish_at(2, env(class, 0, 2000, "c", "x", "t"));

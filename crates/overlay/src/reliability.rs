@@ -117,7 +117,11 @@ impl LinkTx {
     /// Serves a NACK for `[from_seq, to_seq)`. Returns the retransmittable
     /// `(link_seq, envelope)` pairs, plus `Some(advance_to)` when the low
     /// end of the range was already evicted from the buffer.
-    pub fn handle_nack(&mut self, from_seq: u64, to_seq: u64) -> (Vec<(u64, Envelope)>, Option<u64>) {
+    pub fn handle_nack(
+        &mut self,
+        from_seq: u64,
+        to_seq: u64,
+    ) -> (Vec<(u64, Envelope)>, Option<u64>) {
         let resend: Vec<(u64, Envelope)> = self
             .buffer
             .iter()
@@ -199,10 +203,16 @@ mod tests {
         }
         // Window 4 keeps seqs 6..=9.
         let (resend, advance) = tx.handle_nack(7, 9);
-        assert_eq!(resend.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![7, 8]);
+        assert_eq!(
+            resend.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![7, 8]
+        );
         assert_eq!(advance, None);
         let (resend, advance) = tx.handle_nack(2, 8);
-        assert_eq!(resend.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![6, 7]);
+        assert_eq!(
+            resend.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![6, 7]
+        );
         assert_eq!(advance, Some(6));
     }
 

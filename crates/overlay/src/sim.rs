@@ -2,10 +2,11 @@
 
 use std::sync::Arc;
 
-use layercake_event::{Advertisement, Envelope, EventSeq, TypeRegistry};
+use layercake_event::{Advertisement, Envelope, EventSeq, TraceId, TypeRegistry};
 use layercake_filter::{standardize, Filter, FilterError, FilterId};
-use layercake_metrics::RunMetrics;
+use layercake_metrics::{LatencyMetrics, RunMetrics};
 use layercake_sim::{ActorId, FaultPlan, SimDuration, SimTime, World};
+use layercake_trace::{EventTrace, TraceSink};
 
 use crate::broker::{Broker, BrokerSetup};
 use crate::config::OverlayConfig;
@@ -38,6 +39,9 @@ pub struct OverlaySim {
     published: u64,
     delivered_messages: u64,
     fired_timers: u64,
+    /// Shared trace collector, created when
+    /// [`OverlayConfig::trace_sample_every`] is non-zero.
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl OverlaySim {
@@ -49,6 +53,8 @@ impl OverlaySim {
     #[must_use]
     pub fn new(cfg: OverlayConfig, registry: Arc<TypeRegistry>) -> Self {
         cfg.validate().expect("invalid overlay configuration");
+        let trace =
+            (cfg.trace_sample_every > 0).then(|| Arc::new(TraceSink::new(cfg.trace_sample_every)));
         let mut world = World::with_latency(SimDuration::from_ticks(1));
 
         // Brokers are created level by level from stage 1 upward, so actor
@@ -97,6 +103,7 @@ impl OverlaySim {
                     reliability_enabled: cfg.reliability_enabled,
                     reliability_window: cfg.reliability_window,
                     seed: cfg.seed ^ (offsets[level] + i) as u64,
+                    trace: trace.clone(),
                 });
                 let id = world.add_actor(NodeActor::Broker(broker));
                 brokers.push(id);
@@ -116,6 +123,7 @@ impl OverlaySim {
             published: 0,
             delivered_messages: 0,
             fired_timers: 0,
+            trace,
         }
     }
 
@@ -160,7 +168,8 @@ impl OverlaySim {
             .check_arity(class.arity())
             .expect("stage map fits the class schema");
         self.advertisements.push(adv.clone());
-        self.world.send_external(self.root, OverlayMsg::Advertise(adv));
+        self.world
+            .send_external(self.root, OverlayMsg::Advertise(adv));
     }
 
     /// Adds a subscriber with a declarative filter only.
@@ -214,7 +223,10 @@ impl OverlaySim {
         let mut branches = Vec::with_capacity(filters.len());
         for filter in filters {
             let class_id = filter.class().ok_or(FilterError::MissingClass)?;
-            let class = self.registry.class(class_id).ok_or(FilterError::UnknownClass)?;
+            let class = self
+                .registry
+                .class(class_id)
+                .ok_or(FilterError::UnknownClass)?;
             let standardized = standardize(&filter, class)?;
             let id = FilterId(self.next_filter);
             self.next_filter += 1;
@@ -230,6 +242,7 @@ impl OverlaySim {
             leases_enabled: self.cfg.leases_enabled,
             ttl: self.cfg.ttl,
             reliability_window: self.cfg.reliability_window,
+            trace: self.trace.clone(),
         });
         let actor = self.world.add_actor(NodeActor::Subscriber(node));
         self.subscribers.push(actor);
@@ -246,10 +259,18 @@ impl OverlaySim {
         Ok(SubscriberHandle(actor))
     }
 
-    /// Publishes an event at the root.
-    pub fn publish(&mut self, env: Envelope) {
+    /// Publishes an event at the root. With tracing enabled
+    /// ([`OverlayConfig::trace_sample_every`] > 0), every N-th event is
+    /// stamped with a trace context before it enters the overlay.
+    pub fn publish(&mut self, mut env: Envelope) {
         self.published += 1;
-        self.world.send_external(self.root, OverlayMsg::Publish(env));
+        if let Some(sink) = &self.trace {
+            if let Some(tc) = sink.begin_trace(env.class_name(), env.seq().0, self.world.now()) {
+                env.set_trace(Some(tc));
+            }
+        }
+        self.world
+            .send_external(self.root, OverlayMsg::Publish(env));
     }
 
     /// Publishes a batch of events.
@@ -528,7 +549,8 @@ impl OverlaySim {
         }
         if id == self.root {
             for adv in self.advertisements.clone() {
-                self.world.send_external(self.root, OverlayMsg::Advertise(adv));
+                self.world
+                    .send_external(self.root, OverlayMsg::Advertise(adv));
             }
         }
         true
@@ -570,7 +592,61 @@ impl OverlaySim {
                 }
             }
         }
+        if let Some(sink) = &self.trace {
+            m.latency = LatencyMetrics {
+                hop_by_stage: sink.hop_histograms(),
+                e2e: sink.e2e_histogram(),
+                traced: sink.traced_count(),
+            };
+            m.weakening = sink.weakening_summary();
+        }
         m
+    }
+
+    /// The shared trace sink, when tracing is enabled.
+    #[must_use]
+    pub fn trace_sink(&self) -> Option<&Arc<TraceSink>> {
+        self.trace.as_ref()
+    }
+
+    /// Snapshots of all sampled event traces (empty with tracing off).
+    #[must_use]
+    pub fn traces(&self) -> Vec<EventTrace> {
+        self.trace.as_ref().map(|s| s.traces()).unwrap_or_default()
+    }
+
+    /// The sampled traces as deterministic JSONL (one trace per line), or
+    /// `None` with tracing off.
+    #[must_use]
+    pub fn trace_jsonl(&self) -> Option<String> {
+        self.trace.as_ref().map(|s| s.to_jsonl())
+    }
+
+    /// Explains why a traced event did or did not reach a subscriber: a
+    /// hop-by-hop report along the broker path from the root to the
+    /// subscriber's (first-branch) host, ending with a verdict that
+    /// attributes false positives to the covering-filter stage whose
+    /// weakening admitted the event.
+    ///
+    /// Returns `None` when tracing is off or `id` names no sampled trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this simulation.
+    #[must_use]
+    pub fn explain(&self, id: TraceId, handle: SubscriberHandle) -> Option<String> {
+        let sink = self.trace.as_ref()?;
+        let trace = sink.trace(id)?;
+        let sub = self.subscriber(handle);
+        let mut labels = vec![sub.label().to_owned()];
+        let mut cursor = sub.host();
+        while let Some(actor) = cursor {
+            let broker = self.broker(actor)?;
+            labels.push(broker.label().to_owned());
+            cursor = broker.parent();
+        }
+        labels.reverse();
+        Some(trace.explain(&labels))
     }
 
     /// Total events published so far.
@@ -599,7 +675,11 @@ impl OverlaySim {
                 "{} (stage {}):{}\n",
                 broker.label(),
                 broker.stage(),
-                if broker.filter_count() == 0 { " —" } else { "" }
+                if broker.filter_count() == 0 {
+                    " —"
+                } else {
+                    ""
+                }
             ));
             for (filter, dests) in broker.table_entries() {
                 let targets: Vec<String> = dests
@@ -659,10 +739,26 @@ mod tests {
         sim.settle();
         assert!(sim.subscriber(sub).host().is_some());
 
-        sim.publish(env(class, 0, biblio_event(2002, "icdcs", "felber", "tradeoffs")));
-        sim.publish(env(class, 1, biblio_event(2002, "icdcs", "felber", "other")));
-        sim.publish(env(class, 2, biblio_event(1999, "icdcs", "felber", "tradeoffs")));
-        sim.publish(env(class, 3, biblio_event(2002, "podc", "felber", "tradeoffs")));
+        sim.publish(env(
+            class,
+            0,
+            biblio_event(2002, "icdcs", "felber", "tradeoffs"),
+        ));
+        sim.publish(env(
+            class,
+            1,
+            biblio_event(2002, "icdcs", "felber", "other"),
+        ));
+        sim.publish(env(
+            class,
+            2,
+            biblio_event(1999, "icdcs", "felber", "tradeoffs"),
+        ));
+        sim.publish(env(
+            class,
+            3,
+            biblio_event(2002, "podc", "felber", "tradeoffs"),
+        ));
         sim.settle();
         assert_eq!(sim.deliveries(sub), &[EventSeq(0)]);
     }
@@ -674,7 +770,9 @@ mod tests {
             ..OverlayConfig::default()
         });
         // Year-only filter (others wildcarded via standardization).
-        let sub = sim.add_subscriber(Filter::for_class(class).eq("year", 2000)).unwrap();
+        let sub = sim
+            .add_subscriber(Filter::for_class(class).eq("year", 2000))
+            .unwrap();
         sim.settle();
         for (i, year) in [2000i64, 1999, 2000, 2001].into_iter().enumerate() {
             sim.publish(env(class, i as u64, biblio_event(year, "c", "a", "t")));
@@ -736,7 +834,11 @@ mod tests {
             sim.settle();
             hosts.insert(sim.subscriber(h).host().unwrap());
         }
-        assert!(hosts.len() > 3, "random placement should scatter (got {})", hosts.len());
+        assert!(
+            hosts.len() > 3,
+            "random placement should scatter (got {})",
+            hosts.len()
+        );
     }
 
     #[test]
@@ -756,7 +858,10 @@ mod tests {
         sim.settle();
         let host = sim.subscriber(sub).host().unwrap();
         let host_stage = sim.broker(host).unwrap().stage();
-        assert_eq!(host_stage, 3, "wildcard subscription should anchor above stage 2");
+        assert_eq!(
+            host_stage, 3,
+            "wildcard subscription should anchor above stage 2"
+        );
         // And it still receives exactly its events.
         sim.publish(env(class, 0, biblio_event(2002, "x", "y", "z")));
         sim.publish(env(class, 1, biblio_event(2001, "x", "y", "z")));
@@ -798,7 +903,9 @@ mod tests {
     #[test]
     fn subscription_without_class_is_rejected() {
         let (mut sim, _) = biblio_sim(OverlayConfig::default());
-        let err = sim.add_subscriber(Filter::any().eq("year", 2002)).unwrap_err();
+        let err = sim
+            .add_subscriber(Filter::any().eq("year", 2002))
+            .unwrap_err();
         assert!(matches!(err, FilterError::MissingClass));
     }
 
@@ -959,7 +1066,11 @@ mod tests {
             .unwrap();
         sim.settle();
         for i in 0..4u64 {
-            sim.publish(env(class, i, biblio_event(2002, "c", "a", &format!("t{i}"))));
+            sim.publish(env(
+                class,
+                i,
+                biblio_event(2002, "c", "a", &format!("t{i}")),
+            ));
         }
         sim.settle();
         assert_eq!(sim.deliveries(sub), &[EventSeq(0), EventSeq(2)]);
@@ -1002,7 +1113,10 @@ mod advertise_validation_tests {
             Arc::new(registry),
         );
         // Biblio has 4 attributes; a 9-attribute prefix is out of range.
-        sim.advertise(Advertisement::new(class, StageMap::from_prefixes(&[9]).unwrap()));
+        sim.advertise(Advertisement::new(
+            class,
+            StageMap::from_prefixes(&[9]).unwrap(),
+        ));
     }
 
     #[test]
@@ -1016,7 +1130,10 @@ mod advertise_validation_tests {
             },
             Arc::new(registry),
         );
-        sim.advertise(Advertisement::new(class, StageMap::from_prefixes(&[4, 1]).unwrap()));
+        sim.advertise(Advertisement::new(
+            class,
+            StageMap::from_prefixes(&[4, 1]).unwrap(),
+        ));
         sim.settle();
         // Re-advertise with a deeper map: later subscriptions weaken by it.
         sim.advertise(Advertisement::new(class, BiblioWorkload::stage_map()));
@@ -1034,6 +1151,9 @@ mod advertise_validation_tests {
         assert!(sim.subscriber(h).host().is_some());
         // Root holds the stage-2 form (year, conference) of the new map.
         let dump = sim.dump_tables();
-        assert!(dump.contains("(year, 2000, =) (conference, \"c\", =) ->"), "{dump}");
+        assert!(
+            dump.contains("(year, 2000, =) (conference, \"c\", =) ->"),
+            "{dump}"
+        );
     }
 }

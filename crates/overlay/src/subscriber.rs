@@ -8,6 +8,7 @@ use layercake_event::{Envelope, EventSeq, TypeRegistry};
 use layercake_filter::{Filter, FilterId};
 use layercake_metrics::NodeRecord;
 use layercake_sim::{ActorId, Ctx, SimDuration};
+use layercake_trace::{HopRecord, HopVerdict, TraceSink};
 
 use crate::msg::{OverlayMsg, SubscriptionReq};
 use crate::reliability::LinkRx;
@@ -103,6 +104,8 @@ pub struct SubscriberNode {
     resubscriptions: u64,
     dup_suppressed: u64,
     nacks_sent: u64,
+    /// Shared trace collector; `None` when tracing is disabled for the run.
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl fmt::Debug for SubscriberNode {
@@ -128,6 +131,7 @@ pub(crate) struct SubscriberSetup {
     pub leases_enabled: bool,
     pub ttl: SimDuration,
     pub reliability_window: usize,
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl SubscriberNode {
@@ -141,8 +145,12 @@ impl SubscriberNode {
             leases_enabled,
             ttl,
             reliability_window,
+            trace,
         } = setup;
-        debug_assert!(!branches.is_empty(), "a subscription needs at least one branch");
+        debug_assert!(
+            !branches.is_empty(),
+            "a subscription needs at least one branch"
+        );
         let branch_count = branches.len();
         Self {
             label,
@@ -176,6 +184,7 @@ impl SubscriberNode {
             resubscriptions: 0,
             dup_suppressed: 0,
             nacks_sent: 0,
+            trace,
         }
     }
 
@@ -188,6 +197,18 @@ impl SubscriberNode {
     /// Drains the buffered envelopes accepted since the last call.
     pub fn take_inbox(&mut self) -> Vec<Envelope> {
         std::mem::take(&mut self.inbox)
+    }
+
+    /// The buffered envelopes accepted so far, without draining them.
+    #[must_use]
+    pub fn inbox(&self) -> &[Envelope] {
+        &self.inbox
+    }
+
+    /// The subscriber's display label, e.g. `"sub-0005"`.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
     }
 
     /// The subscription id (of the first branch).
@@ -294,22 +315,22 @@ impl SubscriberNode {
             }
             OverlayMsg::Deliver(env) => {
                 self.bytes_received += env.wire_size() as u64;
-                self.accept(env);
+                self.accept(from, env, ctx);
             }
             OverlayMsg::Sequenced { link_seq, env } => {
                 self.bytes_received += env.wire_size() as u64;
-                let outcome = self
-                    .rx
-                    .entry(from)
-                    .or_default()
-                    .on_event(link_seq, env, self.reliability_window);
+                let outcome = self.rx.entry(from).or_default().on_event(
+                    link_seq,
+                    env,
+                    self.reliability_window,
+                );
                 self.dup_suppressed += outcome.duplicates_suppressed;
                 if let Some((from_seq, to_seq)) = outcome.nack {
                     self.nacks_sent += 1;
                     ctx.send(from, OverlayMsg::Nack { from_seq, to_seq });
                 }
                 for env in outcome.released {
-                    self.accept(env);
+                    self.accept(from, env, ctx);
                 }
             }
             OverlayMsg::Advance { to } => {
@@ -320,7 +341,7 @@ impl SubscriberNode {
                     .on_advance(to, self.reliability_window);
                 self.dup_suppressed += outcome.duplicates_suppressed;
                 for env in outcome.released {
-                    self.accept(env);
+                    self.accept(from, env, ctx);
                 }
             }
             OverlayMsg::RenewAck => {
@@ -338,7 +359,7 @@ impl SubscriberNode {
 
     /// Applies the full original filter (declarative branches plus residual)
     /// to one arriving event and records exactly-once deliveries.
-    fn accept(&mut self, env: Envelope) {
+    fn accept(&mut self, from: ActorId, env: Envelope, ctx: &mut Ctx<'_, OverlayMsg>) {
         self.received += 1;
         let declarative = self
             .branches
@@ -349,6 +370,35 @@ impl SubscriberNode {
                 Some(r) => r.matches(&env),
                 None => true,
             };
+        // Stage-0 is where an upstream covering filter's verdict can turn
+        // out to have been a false positive: record which part of the
+        // original filter decided.
+        if let Some(tc) = env.trace() {
+            if let Some(sink) = &self.trace {
+                let now = ctx.now();
+                let verdict = if !declarative {
+                    HopVerdict::RejectedByOriginal
+                } else if !full {
+                    HopVerdict::RejectedByResidual
+                } else if self.seen.contains(&env.seq()) {
+                    HopVerdict::Duplicate
+                } else {
+                    HopVerdict::Delivered
+                };
+                sink.record_hop(
+                    &tc,
+                    HopRecord {
+                        node: self.label.clone(),
+                        node_id: crate::broker::trace_actor(ctx.me()),
+                        from_id: crate::broker::trace_actor(from),
+                        stage: 0,
+                        arrival: now,
+                        hop_latency: now.ticks().saturating_sub(tc.last_hop_at),
+                        verdict,
+                    },
+                );
+            }
+        }
         if full {
             self.matched += 1;
             // The same event may arrive once per branch; record it

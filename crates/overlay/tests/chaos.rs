@@ -118,7 +118,13 @@ impl Chaos {
 /// with a mid-run crash/restart of a subscriber-hosting broker, then heal
 /// and verify exactly-once on fresh traffic. Returns the final deliveries
 /// (for determinism comparison) and the reconvergence time.
-fn run_scenario(seed: u64, drop_p: f64, dup_p: f64, jitter: u64, subs: usize) -> (Vec<Vec<EventSeq>>, u64) {
+fn run_scenario(
+    seed: u64,
+    drop_p: f64,
+    dup_p: f64,
+    jitter: u64,
+    subs: usize,
+) -> (Vec<Vec<EventSeq>>, u64) {
     let mut c = Chaos::new(subs, seed);
 
     // Phase 1: fault-free traffic delivers immediately.
@@ -224,7 +230,11 @@ fn lossy_links_force_retransmissions_that_reliability_recovers() {
     c.sim.clear_fault_plans();
     assert!(c.reconverge().is_some(), "reconverges after heavy loss");
     let m = c.sim.metrics();
-    assert!(m.chaos.dropped > 0, "fault layer dropped messages: {:?}", m.chaos);
+    assert!(
+        m.chaos.dropped > 0,
+        "fault layer dropped messages: {:?}",
+        m.chaos
+    );
     assert!(m.chaos.duplicated > 0, "fault layer duplicated messages");
     assert!(m.chaos.retransmitted > 0, "NACKs triggered retransmissions");
     assert!(m.chaos.nacks > 0, "receivers detected gaps");
@@ -247,7 +257,10 @@ fn crash_discard_and_resubscription_show_up_in_metrics() {
     assert!(c.sim.restart_broker(victim));
     assert!(c.reconverge().is_some());
     let m = c.sim.metrics();
-    assert!(m.chaos.crash_discarded > 0, "crash discarded in-flight work");
+    assert!(
+        m.chaos.crash_discarded > 0,
+        "crash discarded in-flight work"
+    );
     assert!(
         m.chaos.resubscriptions > 0,
         "subscriber 0 re-subscribed after losing its host: {:?}",

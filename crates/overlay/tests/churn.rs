@@ -12,7 +12,11 @@ use layercake_workload::BiblioWorkload;
 
 const TTL: u64 = 200;
 
-fn build(n: usize, leases: bool, reliability: bool) -> (OverlaySim, ClassId, Vec<SubscriberHandle>) {
+fn build(
+    n: usize,
+    leases: bool,
+    reliability: bool,
+) -> (OverlaySim, ClassId, Vec<SubscriberHandle>) {
     let mut registry = TypeRegistry::new();
     let class = BiblioWorkload::register(&mut registry);
     let mut sim = OverlaySim::new(
@@ -78,7 +82,10 @@ fn reliability_recovers_events_sent_while_a_node_was_isolated() {
     sim.heal_node(host);
     let fresh = publish_for(&mut sim, class, 0, 1);
     sim.run_for(SimDuration::from_ticks(64));
-    assert!(sim.deliveries(subs[0]).contains(&dark), "gap repaired after heal");
+    assert!(
+        sim.deliveries(subs[0]).contains(&dark),
+        "gap repaired after heal"
+    );
     assert!(sim.deliveries(subs[0]).contains(&fresh));
     assert!(sim.metrics().chaos.retransmitted > 0);
 }

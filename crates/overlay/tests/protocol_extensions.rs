@@ -71,7 +71,11 @@ fn unsubscription_withdraws_upstream_filters_completely() {
         ..OverlayConfig::default()
     });
     let only = sim
-        .add_subscriber(Filter::for_class(class).eq("year", 1999).eq("title", "solo"))
+        .add_subscriber(
+            Filter::for_class(class)
+                .eq("year", 1999)
+                .eq("title", "solo"),
+        )
         .unwrap();
     sim.settle();
     // Before: the root holds the weakened (year) filter.
@@ -165,7 +169,11 @@ fn durable_subscriber_catches_up_after_reconnect() {
     }
     sim.publish(env(class, 4, ev(1999, "c", "d", "nomatch")));
     sim.settle();
-    assert_eq!(sim.deliveries(durable).len(), 1, "nothing delivered while offline");
+    assert_eq!(
+        sim.deliveries(durable).len(),
+        1,
+        "nothing delivered while offline"
+    );
 
     assert!(sim.reconnect(durable));
     sim.settle();
@@ -219,7 +227,11 @@ fn covering_collapse_shrinks_tables_and_keeps_delivery_exact() {
             .unwrap();
         s.settle();
         let mid = s
-            .add_subscriber(Filter::for_class(class).eq("year", 2000).eq("conference", "icdcs"))
+            .add_subscriber(
+                Filter::for_class(class)
+                    .eq("year", 2000)
+                    .eq("conference", "icdcs"),
+            )
             .unwrap();
         s.settle();
         let strong = s

@@ -24,10 +24,7 @@ fn assert_covering_chain(sim: &OverlaySim) {
         let parent = sim.broker(parent_id).expect("parent is a broker");
         for (filter, _) in broker.table_entries() {
             let covered = parent.table_entries().any(|(pf, dests)| {
-                dests
-                    .iter()
-                    .any(|d| d.0 == id.0 as u64)
-                    && pf.covers(filter, &registry)
+                dests.iter().any(|d| d.0 == id.0 as u64) && pf.covers(filter, &registry)
             });
             assert!(
                 covered,

@@ -417,20 +417,26 @@ impl<A: Actor> World<A> {
     /// current time plus the default latency.
     pub fn send_external(&mut self, to: ActorId, msg: A::Msg) {
         let at = self.now + self.default_latency;
-        self.push(at, Item::Message {
-            from: ActorId(usize::MAX),
-            to,
-            msg,
-        });
+        self.push(
+            at,
+            Item::Message {
+                from: ActorId(usize::MAX),
+                to,
+                msg,
+            },
+        );
     }
 
     /// Injects a message delivered at an absolute virtual time.
     pub fn send_external_at(&mut self, to: ActorId, msg: A::Msg, at: SimTime) {
-        self.push(at.max(self.now), Item::Message {
-            from: ActorId(usize::MAX),
-            to,
-            msg,
-        });
+        self.push(
+            at.max(self.now),
+            Item::Message {
+                from: ActorId(usize::MAX),
+                to,
+                msg,
+            },
+        );
     }
 
     /// Runs until the queue drains (or the step limit is hit).
@@ -504,7 +510,8 @@ impl<A: Actor> World<A> {
         report.fault_dropped_messages = self.fault_dropped - fault_dropped_start;
         report.duplicated_messages = self.fault_duplicated - fault_duplicated_start;
         // Spend the remainder of the window.
-        if deadline < SimTime::from_ticks(u64::MAX) && !report.hit_step_limit && self.now < deadline {
+        if deadline < SimTime::from_ticks(u64::MAX) && !report.hit_step_limit && self.now < deadline
+        {
             self.now = deadline;
         }
         report.end_time = self.now;
@@ -572,11 +579,14 @@ impl<A: Actor> World<A> {
         if duplicated {
             self.fault_duplicated += 1;
             let at = self.now + delay + jitter_dup;
-            self.push(at, Item::Message {
-                from,
-                to,
-                msg: msg.clone(),
-            });
+            self.push(
+                at,
+                Item::Message {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
         }
         if dropped {
             self.fault_dropped += 1;
@@ -622,7 +632,11 @@ mod tests {
             }
         }
         fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, u32>) {
-            self.log.push((ctx.now().ticks(), 1000 + u64::from(tag as u32) as u32, usize::MAX - 1));
+            self.log.push((
+                ctx.now().ticks(),
+                1000 + u64::from(tag as u32) as u32,
+                usize::MAX - 1,
+            ));
         }
     }
 

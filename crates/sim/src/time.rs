@@ -1,5 +1,6 @@
 //! Virtual time for the discrete-event engine.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -7,7 +8,9 @@ use std::ops::{Add, AddAssign, Sub};
 ///
 /// The tick granularity is up to the model; the overlay simulations treat
 /// one tick as one microsecond.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -40,7 +43,9 @@ impl fmt::Display for SimTime {
 }
 
 /// A span of virtual time in ticks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {

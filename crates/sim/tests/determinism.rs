@@ -14,7 +14,12 @@ struct Relay {
 impl Actor for Relay {
     type Msg = (u8, u32);
 
-    fn on_message(&mut self, _from: ActorId, (hops, payload): (u8, u32), ctx: &mut Ctx<'_, (u8, u32)>) {
+    fn on_message(
+        &mut self,
+        _from: ActorId,
+        (hops, payload): (u8, u32),
+        ctx: &mut Ctx<'_, (u8, u32)>,
+    ) {
         self.log.push((ctx.now().ticks(), payload));
         if hops > 0 {
             if let Some(next) = self.next {
@@ -24,7 +29,11 @@ impl Actor for Relay {
     }
 }
 
-fn run_plan(latency: u64, injections: &[(usize, u8, u32, u64)], actors: usize) -> Vec<Vec<(u64, u32)>> {
+fn run_plan(
+    latency: u64,
+    injections: &[(usize, u8, u32, u64)],
+    actors: usize,
+) -> Vec<Vec<(u64, u32)>> {
     let mut world = World::with_latency(SimDuration::from_ticks(latency));
     let ids: Vec<ActorId> = (0..actors)
         .map(|_| {

@@ -1,0 +1,33 @@
+//! Sampled per-event tracing for the multi-stage filtering overlay.
+//!
+//! The paper's architecture distributes filtering work across stages —
+//! progressively *weakened* covering filters at stages k..1, the original
+//! subscription only at stage 0 (Section 4) — so understanding a run means
+//! being able to answer, for an individual event:
+//!
+//! * **where did it go?** — the tree of broker hops it traversed;
+//! * **how long did each hop take, in virtual time?** — per-stage hop
+//!   latency and end-to-end publish→deliver latency;
+//! * **why did it (not) reach subscriber Y?** — which covering filter
+//!   matched or rejected it at each stage, and whether a stage-k covering
+//!   filter admitted traffic the stage-0 original filter later rejected
+//!   (Proposition 1's false-positive cost, observed empirically).
+//!
+//! Tracing is *sampled*: the publisher side stamps a tiny `Copy`
+//! [`TraceContext`] onto 1-in-N envelopes ([`TraceSink::begin_trace`]),
+//! and instrumented nodes append [`HopRecord`]s to the shared
+//! [`TraceSink`]. Unsampled envelopes carry `None` and the hot path does
+//! no per-event allocation or locking. All latencies are integer ticks of
+//! the deterministic simulator, so traces — and the JSONL export
+//! ([`TraceSink::to_jsonl`]) — are byte-identical across runs with the
+//! same seeds and fault plans.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hop;
+mod sink;
+
+pub use hop::{EventTrace, HopRecord, HopVerdict, EXTERNAL_SOURCE};
+pub use layercake_event::{TraceContext, TraceId};
+pub use sink::TraceSink;

@@ -1,0 +1,331 @@
+//! The shared trace collector: sampling decisions, hop recording, and
+//! aggregate views (histograms, weakening summary, JSONL export).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use layercake_event::{TraceContext, TraceId};
+use layercake_metrics::{Histogram, StageHistogram, StageWeakening};
+use layercake_sim::SimTime;
+
+use crate::hop::{EventTrace, HopRecord, HopVerdict};
+
+/// Collects sampled event traces for one overlay run.
+///
+/// The sink is shared (behind `Arc`) by the publisher side — which decides
+/// sampling and stamps [`TraceContext`]s — and by every instrumented node,
+/// which appends [`HopRecord`]s. Internally a `Mutex` guards the state;
+/// the simulator is single-threaded, so the lock is uncontended and exists
+/// only to keep the sink `Sync` without `unsafe`.
+///
+/// Sampling is counter-based and deterministic: publish number `n` is
+/// traced iff `n % sample_every == 0`. With the deterministic simulator
+/// this makes whole trace logs reproducible byte-for-byte across runs with
+/// identical seeds and fault plans.
+#[derive(Debug)]
+pub struct TraceSink {
+    inner: Mutex<SinkState>,
+}
+
+#[derive(Debug)]
+struct SinkState {
+    sample_every: u64,
+    published: u64,
+    traces: Vec<EventTrace>,
+}
+
+impl TraceSink {
+    /// Creates a sink sampling 1-in-`sample_every` published events
+    /// (`1` = trace everything; `0` is treated as `1` — callers that want
+    /// tracing *off* simply don't construct a sink).
+    #[must_use]
+    pub fn new(sample_every: u64) -> Self {
+        Self {
+            inner: Mutex::new(SinkState {
+                sample_every: sample_every.max(1),
+                published: 0,
+                traces: Vec::new(),
+            }),
+        }
+    }
+
+    /// The configured sampling period.
+    #[must_use]
+    pub fn sample_every(&self) -> u64 {
+        self.lock().sample_every
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SinkState> {
+        self.inner.lock().expect("trace sink lock poisoned")
+    }
+
+    /// Counts a publish and, if it falls on the sampling grid, opens a new
+    /// trace and returns the context to stamp onto the envelope.
+    pub fn begin_trace(&self, class: &str, seq: u64, now: SimTime) -> Option<TraceContext> {
+        let mut state = self.lock();
+        let n = state.published;
+        state.published += 1;
+        if !n.is_multiple_of(state.sample_every) {
+            return None;
+        }
+        let id = TraceId(state.traces.len() as u64);
+        state.traces.push(EventTrace {
+            id,
+            class: class.to_owned(),
+            seq,
+            published_at: now,
+            hops: Vec::new(),
+        });
+        Some(TraceContext::new(id, now.ticks()))
+    }
+
+    /// Appends a hop observation to the trace named by `ctx`. Hops for
+    /// unknown trace ids (possible only if contexts outlive the sink they
+    /// came from) are dropped.
+    pub fn record_hop(&self, ctx: &TraceContext, hop: HopRecord) {
+        let mut state = self.lock();
+        if let Some(trace) = state.traces.get_mut(ctx.id.0 as usize) {
+            trace.hops.push(hop);
+        }
+    }
+
+    /// Number of events that were sampled into traces.
+    #[must_use]
+    pub fn traced_count(&self) -> u64 {
+        self.lock().traces.len() as u64
+    }
+
+    /// Total publishes observed (sampled or not).
+    #[must_use]
+    pub fn published_count(&self) -> u64 {
+        self.lock().published
+    }
+
+    /// A snapshot of one trace.
+    #[must_use]
+    pub fn trace(&self, id: TraceId) -> Option<EventTrace> {
+        self.lock().traces.get(id.0 as usize).cloned()
+    }
+
+    /// A snapshot of all traces, in trace-id (= publish) order.
+    #[must_use]
+    pub fn traces(&self) -> Vec<EventTrace> {
+        self.lock().traces.clone()
+    }
+
+    /// Per-stage histograms of incoming-hop latency, ordered by stage
+    /// ascending. Every traced arrival contributes one sample, including
+    /// duplicate copies created by link faults — they are real traffic.
+    #[must_use]
+    pub fn hop_histograms(&self) -> Vec<StageHistogram> {
+        let state = self.lock();
+        let mut by_stage: BTreeMap<usize, Histogram> = BTreeMap::new();
+        for trace in &state.traces {
+            for hop in &trace.hops {
+                by_stage
+                    .entry(hop.stage)
+                    .or_default()
+                    .record(hop.hop_latency);
+            }
+        }
+        by_stage
+            .into_iter()
+            .map(|(stage, hist)| StageHistogram { stage, hist })
+            .collect()
+    }
+
+    /// End-to-end publish→deliver latency histogram: one sample per
+    /// `Delivered` hop across all traces (an event delivered to several
+    /// subscribers contributes one sample each).
+    #[must_use]
+    pub fn e2e_histogram(&self) -> Histogram {
+        let state = self.lock();
+        let mut hist = Histogram::new();
+        for trace in &state.traces {
+            for hop in &trace.hops {
+                if hop.verdict == HopVerdict::Delivered {
+                    hist.record(hop.arrival.since(trace.published_at).ticks());
+                }
+            }
+        }
+        hist
+    }
+
+    /// Per-stage weakening summary over all traces: arrivals, admissions,
+    /// and false positives (see [`StageWeakening`] for the stage-0 vs
+    /// stage-k semantics).
+    #[must_use]
+    pub fn weakening_summary(&self) -> Vec<StageWeakening> {
+        let state = self.lock();
+        let mut by_stage: BTreeMap<usize, StageWeakening> = BTreeMap::new();
+        for trace in &state.traces {
+            for hop in &trace.hops {
+                let w = by_stage.entry(hop.stage).or_insert_with(|| StageWeakening {
+                    stage: hop.stage,
+                    ..StageWeakening::default()
+                });
+                w.arrivals += 1;
+                if hop.verdict.admitted() {
+                    w.matched += 1;
+                }
+                let fp = if hop.stage == 0 {
+                    hop.verdict.rejected_at_stage0()
+                } else {
+                    hop.verdict.admitted() && !trace.delivery_beneath(hop)
+                };
+                if fp {
+                    w.false_positives += 1;
+                }
+            }
+        }
+        by_stage.into_values().collect()
+    }
+
+    /// Serializes every trace as one JSON object per line (JSONL), in
+    /// trace-id order. Deterministic: same seeds + fault plans ⇒ identical
+    /// bytes.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let state = self.lock();
+        let mut out = String::new();
+        for trace in &state.traces {
+            out.push_str(&serde_json::to_string(trace).expect("trace serialization"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hop::EXTERNAL_SOURCE;
+
+    fn record_simple_trace(sink: &TraceSink, seq: u64, deliver: bool) -> Option<TraceContext> {
+        let ctx = sink.begin_trace("Stock", seq, SimTime::from_ticks(seq))?;
+        sink.record_hop(
+            &ctx,
+            HopRecord {
+                node: "root".to_owned(),
+                node_id: 1,
+                from_id: EXTERNAL_SOURCE,
+                stage: 1,
+                arrival: SimTime::from_ticks(seq + 1),
+                hop_latency: 1,
+                verdict: HopVerdict::Forwarded { dests: 1 },
+            },
+        );
+        sink.record_hop(
+            &ctx,
+            HopRecord {
+                node: "sub".to_owned(),
+                node_id: 2,
+                from_id: 1,
+                stage: 0,
+                arrival: SimTime::from_ticks(seq + 3),
+                hop_latency: 2,
+                verdict: if deliver {
+                    HopVerdict::Delivered
+                } else {
+                    HopVerdict::RejectedByOriginal
+                },
+            },
+        );
+        Some(ctx)
+    }
+
+    #[test]
+    fn sampling_one_in_n() {
+        let sink = TraceSink::new(3);
+        let mut sampled = 0;
+        for i in 0..10 {
+            if record_simple_trace(&sink, i, true).is_some() {
+                sampled += 1;
+            }
+        }
+        // Publishes 0, 3, 6, 9 fall on the grid.
+        assert_eq!(sampled, 4);
+        assert_eq!(sink.traced_count(), 4);
+        assert_eq!(sink.published_count(), 10);
+        assert_eq!(sink.sample_every(), 3);
+    }
+
+    #[test]
+    fn zero_sampling_means_every_event() {
+        let sink = TraceSink::new(0);
+        assert_eq!(sink.sample_every(), 1);
+    }
+
+    #[test]
+    fn histograms_aggregate_hops_and_deliveries() {
+        let sink = TraceSink::new(1);
+        for i in 0..5 {
+            record_simple_trace(&sink, i, i % 2 == 0);
+        }
+        let stages = sink.hop_histograms();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].stage, 0);
+        assert_eq!(stages[0].hist.count(), 5);
+        assert_eq!(stages[0].hist.max(), 2);
+        assert_eq!(stages[1].stage, 1);
+        let e2e = sink.e2e_histogram();
+        // Deliveries at i = 0, 2, 4; each e2e latency is 3 ticks.
+        assert_eq!(e2e.count(), 3);
+        assert_eq!(e2e.p50(), 3);
+    }
+
+    #[test]
+    fn weakening_counts_false_positives_per_stage() {
+        let sink = TraceSink::new(1);
+        record_simple_trace(&sink, 0, true);
+        record_simple_trace(&sink, 1, false);
+        let w = sink.weakening_summary();
+        assert_eq!(w.len(), 2);
+        // Stage 0: two arrivals, one delivered, one rejected-by-original.
+        assert_eq!(w[0].stage, 0);
+        assert_eq!(w[0].arrivals, 2);
+        assert_eq!(w[0].matched, 1);
+        assert_eq!(w[0].false_positives, 1);
+        // Stage 1: the rejected trace's forward had no delivery beneath.
+        assert_eq!(w[1].stage, 1);
+        assert_eq!(w[1].arrivals, 2);
+        assert_eq!(w[1].matched, 2);
+        assert_eq!(w[1].false_positives, 1);
+        assert!((w[1].fp_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_trace_and_deterministic() {
+        let make = || {
+            let sink = TraceSink::new(2);
+            for i in 0..6 {
+                record_simple_trace(&sink, i, true);
+            }
+            sink.to_jsonl()
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 3);
+        assert!(a.lines().all(|l| l.starts_with('{')));
+    }
+
+    #[test]
+    fn unknown_trace_ids_are_dropped() {
+        let sink = TraceSink::new(1);
+        let bogus = TraceContext::new(TraceId(99), 0);
+        sink.record_hop(
+            &bogus,
+            HopRecord {
+                node: "x".to_owned(),
+                node_id: 0,
+                from_id: 0,
+                stage: 0,
+                arrival: SimTime::ZERO,
+                hop_latency: 0,
+                verdict: HopVerdict::NoMatch,
+            },
+        );
+        assert_eq!(sink.traced_count(), 0);
+    }
+}

@@ -37,7 +37,9 @@ impl AuctionWorkload {
     ///
     /// Panics if a conflicting `Auction` class is already registered.
     pub fn new(registry: &mut TypeRegistry) -> Self {
-        let class = registry.register_event::<Auction>().expect("Auction registration");
+        let class = registry
+            .register_event::<Auction>()
+            .expect("Auction registration");
         Self { class }
     }
 
@@ -106,9 +108,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..100 {
             let e = w.next_event(&mut rng);
-            assert!(CATALOGUE.iter().any(|(p, ks)| {
-                p == e.product() && ks.contains(&e.kind().as_str())
-            }));
+            assert!(CATALOGUE
+                .iter()
+                .any(|(p, ks)| { p == e.product() && ks.contains(&e.kind().as_str()) }));
             assert!(*e.capacity() >= 1);
         }
     }

@@ -101,7 +101,11 @@ impl BiblioWorkload {
     ///
     /// Panics if a conflicting `Biblio` class is already registered, or if
     /// any pool size is zero.
-    pub fn new<R: Rng + ?Sized>(cfg: BiblioConfig, registry: &mut TypeRegistry, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        cfg: BiblioConfig,
+        registry: &mut TypeRegistry,
+        rng: &mut R,
+    ) -> Self {
         let class = Self::register(registry);
         let zipf_conf = Zipf::new(cfg.conferences, cfg.skew);
         let zipf_auth = Zipf::new(cfg.authors, cfg.skew);
@@ -114,7 +118,9 @@ impl BiblioWorkload {
             zipf_title,
             subscriptions: Vec::new(),
         };
-        w.subscriptions = (0..w.cfg.subscriptions).map(|_| w.gen_subscription(rng)).collect();
+        w.subscriptions = (0..w.cfg.subscriptions)
+            .map(|_| w.gen_subscription(rng))
+            .collect();
         w
     }
 
@@ -307,11 +313,17 @@ mod tests {
         let mut matched = 0;
         for _ in 0..200 {
             let e = w.event(&mut rng);
-            if w.subscriptions().iter().any(|f| f.matches(w.class(), &e, &r)) {
+            if w.subscriptions()
+                .iter()
+                .any(|f| f.matches(w.class(), &e, &r))
+            {
                 matched += 1;
             }
         }
-        assert_eq!(matched, 200, "bias 1.0 must always instantiate a subscription");
+        assert_eq!(
+            matched, 200,
+            "bias 1.0 must always instantiate a subscription"
+        );
 
         let (w0, r0) = workload(BiblioConfig {
             match_bias: 0.0,
@@ -321,11 +333,18 @@ mod tests {
         let mut matched0 = 0;
         for _ in 0..200 {
             let e = w0.event(&mut rng);
-            if w0.subscriptions().iter().any(|f| f.matches(w0.class(), &e, &r0)) {
+            if w0
+                .subscriptions()
+                .iter()
+                .any(|f| f.matches(w0.class(), &e, &r0))
+            {
                 matched0 += 1;
             }
         }
-        assert!(matched0 < 20, "independent events rarely match full filters (got {matched0})");
+        assert!(
+            matched0 < 20,
+            "independent events rarely match full filters (got {matched0})"
+        );
     }
 
     #[test]
@@ -336,7 +355,10 @@ mod tests {
         });
         for f in w.subscriptions() {
             let wilds = f.wildcard_constraints().count();
-            assert!((1..=3).contains(&wilds), "expected 1..=3 wildcards, got {wilds}");
+            assert!(
+                (1..=3).contains(&wilds),
+                "expected 1..=3 wildcards, got {wilds}"
+            );
             // Wildcards are on the least general side: the most general
             // attribute (year) is always specified.
             assert!(!f.constraints()[0].is_wildcard());

@@ -109,7 +109,9 @@ impl SensorWorkload {
     pub fn new(cfg: SensorConfig, registry: &mut TypeRegistry) -> Self {
         assert!(cfg.stations > 0, "telemetry needs at least one station");
         let base = registry.register_event::<Reading>().expect("Reading");
-        let temperature = registry.register_event::<Temperature>().expect("Temperature");
+        let temperature = registry
+            .register_event::<Temperature>()
+            .expect("Temperature");
         let pressure = registry.register_event::<Pressure>().expect("Pressure");
         let alarm = registry.register_event::<Alarm>().expect("Alarm");
         Self {
@@ -238,8 +240,14 @@ mod tests {
         }
         let temp_share = f64::from(temp) / f64::from(n);
         let alarm_share = f64::from(alarm) / f64::from(n);
-        assert!((temp_share - 0.6).abs() < 0.05, "temperature share {temp_share}");
-        assert!((alarm_share - 0.05).abs() < 0.02, "alarm share {alarm_share}");
+        assert!(
+            (temp_share - 0.6).abs() < 0.05,
+            "temperature share {temp_share}"
+        );
+        assert!(
+            (alarm_share - 0.05).abs() < 0.02,
+            "alarm share {alarm_share}"
+        );
     }
 
     #[test]

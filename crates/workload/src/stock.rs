@@ -72,7 +72,9 @@ impl StockWorkload {
     ///
     /// Panics on conflicting registrations or a zero symbol pool.
     pub fn new(cfg: StockConfig, registry: &mut TypeRegistry) -> Self {
-        let class = registry.register_event::<Stock>().expect("Stock registration");
+        let class = registry
+            .register_event::<Stock>()
+            .expect("Stock registration");
         let sub_class = registry
             .register_event::<VolumeStock>()
             .expect("VolumeStock registration");

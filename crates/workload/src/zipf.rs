@@ -35,7 +35,10 @@ impl Zipf {
     #[must_use]
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for rank in 0..n {

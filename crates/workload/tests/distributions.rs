@@ -109,6 +109,9 @@ fn zipf_skew_concentrates_mass_as_configured() {
     };
     let flat_top = count_top10(&flat, &mut rng);
     let skew_top = count_top10(&skewed, &mut rng);
-    assert!((flat_top - 0.10).abs() < 0.02, "uniform top-10 share {flat_top}");
+    assert!(
+        (flat_top - 0.10).abs() < 0.02,
+        "uniform top-10 share {flat_top}"
+    );
     assert!(skew_top > 0.5, "skewed top-10 share {skew_top}");
 }

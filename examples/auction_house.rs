@@ -24,7 +24,10 @@ fn main() -> Result<(), CoreError> {
     println!("stage 0 (subscriber): {}", f4.display_with(&registry));
     for stage in 1..=3 {
         let weak = weaken_to_stage(&f4, class, &g, stage);
-        println!("stage {stage}:              {}", weak.display_with(&registry));
+        println!(
+            "stage {stage}:              {}",
+            weak.display_with(&registry)
+        );
     }
 
     // Now run it: a hierarchy with a few bargain hunters.

@@ -38,7 +38,8 @@ fn main() {
     sim.settle();
 
     for filter in workload.subscriptions() {
-        sim.add_subscriber(filter.clone()).expect("valid subscription");
+        sim.add_subscriber(filter.clone())
+            .expect("valid subscription");
         sim.settle();
     }
 
@@ -62,7 +63,11 @@ fn main() {
             .enumerate()
             .map(|(i, r)| (i as f64, r.mr()))
             .collect();
-        plot = plot.with_series(Series::new(format!("MR of Level {stage} Nodes"), marker, points));
+        plot = plot.with_series(Series::new(
+            format!("MR of Level {stage} Nodes"),
+            marker,
+            points,
+        ));
     }
     println!("{}", plot.render());
     println!(

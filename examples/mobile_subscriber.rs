@@ -58,7 +58,10 @@ fn main() -> Result<(), CoreError> {
     assert!(system.reconnect(&pager));
     system.settle();
     let caught_up = system.poll(&pager)?;
-    println!("reconnect: caught up on {} buffered quotes", caught_up.len());
+    println!(
+        "reconnect: caught up on {} buffered quotes",
+        caught_up.len()
+    );
 
     // The user closes the app: explicit unsubscription removes the filters
     // from the whole hierarchy immediately (no 3×TTL wait).

@@ -42,20 +42,48 @@ fn main() {
     mesh.settle();
 
     // Publications enter at the authors' departments.
-    let publish = |mesh: &mut MeshSim, at: usize, seq: u64, year: i64, conf: &str, author: &str, title: &str| {
+    let publish = |mesh: &mut MeshSim,
+                   at: usize,
+                   seq: u64,
+                   year: i64,
+                   conf: &str,
+                   author: &str,
+                   title: &str| {
         let meta = event_data! {
             "year" => year, "conference" => conf, "author" => author, "title" => title
         };
-        mesh.publish_at(at, Envelope::from_meta(class, "Biblio", EventSeq(seq), meta));
+        mesh.publish_at(
+            at,
+            Envelope::from_meta(class, "Biblio", EventSeq(seq), meta),
+        );
     };
-    publish(&mut mesh, 3, 0, 2002, "icdcs", "guerraoui", "tradeoffs in event systems");
+    publish(
+        &mut mesh,
+        3,
+        0,
+        2002,
+        "icdcs",
+        "guerraoui",
+        "tradeoffs in event systems",
+    );
     publish(&mut mesh, 3, 1, 2002, "icdcs", "smith", "unrelated");
-    publish(&mut mesh, 1, 2, 2001, "sosp", "jones", "medical informatics");
+    publish(
+        &mut mesh,
+        1,
+        2,
+        2001,
+        "sosp",
+        "jones",
+        "medical informatics",
+    );
     publish(&mut mesh, 0, 3, 1999, "podc", "doe", "old news");
     mesh.settle();
 
     println!("CS reader received:       {:?}", mesh.deliveries(cs_reader));
-    println!("Medicine reader received: {:?}", mesh.deliveries(med_reader));
+    println!(
+        "Medicine reader received: {:?}",
+        mesh.deliveries(med_reader)
+    );
     assert_eq!(mesh.deliveries(cs_reader), &[EventSeq(0)]);
     assert_eq!(mesh.deliveries(med_reader), &[EventSeq(2)]);
 

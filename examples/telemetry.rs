@@ -52,22 +52,35 @@ fn main() -> Result<(), CoreError> {
     system.settle();
 
     let station: Vec<Reading> = system.poll(&station_feed)?;
-    println!("ST03 feed (all subtypes, polymorphic): {} readings", station.len());
+    println!(
+        "ST03 feed (all subtypes, polymorphic): {} readings",
+        station.len()
+    );
     assert!(station.iter().all(|r| r.station() == "ST03"));
 
     let hot = system.poll(&heat_watch)?;
-    println!("temperatures above 20°C:               {} samples", hot.len());
+    println!(
+        "temperatures above 20°C:               {} samples",
+        hot.len()
+    );
     assert!(hot.iter().all(|t| *t.celsius() > 20.0));
 
     let alarms = system.poll(&severe)?;
-    println!("severity ≥ 4 alarms:                   {} alarms", alarms.len());
+    println!(
+        "severity ≥ 4 alarms:                   {} alarms",
+        alarms.len()
+    );
     assert!(alarms.iter().all(|a| *a.severity() >= 4));
 
     let greps = system.poll(&anomaly_grep)?;
-    println!("alarms whose message says 'anomaly':   {} alarms", greps.len());
-    assert!(greps
-        .iter()
-        .all(|a| a.message().as_deref().is_some_and(|m| m.contains("anomaly"))));
+    println!(
+        "alarms whose message says 'anomaly':   {} alarms",
+        greps.len()
+    );
+    assert!(greps.iter().all(|a| a
+        .message()
+        .as_deref()
+        .is_some_and(|m| m.contains("anomaly"))));
 
     println!("\nper-stage filtering load:");
     print!("{}", system.metrics().rlc_table());

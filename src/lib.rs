@@ -16,8 +16,10 @@
 //!   forwarding (Figure 6), TTL leases, baselines.
 //! * [`workload`] — bibliographic / stock / auction generators
 //!   (Section 5.2).
-//! * [`metrics`] — LC / RLC / MR metrics and report rendering
-//!   (Section 5.1).
+//! * [`metrics`] — LC / RLC / MR metrics, latency histograms, and report
+//!   rendering (Section 5.1).
+//! * [`trace`] — sampled per-event hop provenance: latency, weakening
+//!   false positives, `explain()` reports, JSONL export.
 //! * [`core`] — the typed [`EventSystem`] facade tying it all together.
 //!
 //! # Quickstart
@@ -55,6 +57,7 @@ pub use layercake_filter as filter;
 pub use layercake_metrics as metrics;
 pub use layercake_overlay as overlay;
 pub use layercake_sim as sim;
+pub use layercake_trace as trace;
 pub use layercake_workload as workload;
 
 pub use layercake_core::{

@@ -138,7 +138,8 @@ fn resubscription_intervals() {
 
     let filter = Filter::for_class(class).eq("year", 2000).eq("author", "me");
     let publish = |sim: &mut OverlaySim, seq: u64| {
-        let e = event_data! { "year" => 2000, "conference" => "c", "author" => "me", "title" => "t" };
+        let e =
+            event_data! { "year" => 2000, "conference" => "c", "author" => "me", "title" => "t" };
         sim.publish(Envelope::from_meta(class, "Biblio", EventSeq(seq), e));
         sim.settle();
     };
@@ -184,7 +185,8 @@ fn isolated_broker_heals_without_losing_events() {
     sim.settle();
     let host = sim.subscriber(sub).host().expect("placed");
     let publish = |sim: &mut OverlaySim, seq: u64| {
-        let e = event_data! { "year" => 2000, "conference" => "c", "author" => "me", "title" => "t" };
+        let e =
+            event_data! { "year" => 2000, "conference" => "c", "author" => "me", "title" => "t" };
         sim.publish(Envelope::from_meta(class, "Biblio", EventSeq(seq), e));
         sim.run_for(SimDuration::from_ticks(32));
     };
@@ -196,6 +198,9 @@ fn isolated_broker_heals_without_losing_events() {
     sim.heal_node(host);
     publish(&mut sim, 2); // exposes the gap; 1 is NACKed and retransmitted
 
-    assert_eq!(sim.deliveries(sub), &[EventSeq(0), EventSeq(1), EventSeq(2)]);
+    assert_eq!(
+        sim.deliveries(sub),
+        &[EventSeq(0), EventSeq(1), EventSeq(2)]
+    );
     assert!(sim.metrics().chaos.retransmitted > 0);
 }

@@ -17,8 +17,12 @@ fn system() -> EventSystem {
         .expect("register Auction")
         .build();
     system.advertise::<Stock>(None).expect("advertise Stock");
-    system.advertise::<VolumeStock>(None).expect("advertise VolumeStock");
-    system.advertise::<Auction>(None).expect("advertise Auction");
+    system
+        .advertise::<VolumeStock>(None)
+        .expect("advertise VolumeStock");
+    system
+        .advertise::<Auction>(None)
+        .expect("advertise Auction");
     system
 }
 
@@ -26,11 +30,15 @@ fn system() -> EventSystem {
 fn multiple_classes_route_independently() {
     let mut sys = system();
     let stocks = sys.subscribe::<Stock>(|f| f.eq("symbol", "A")).unwrap();
-    let auctions = sys.subscribe::<Auction>(|f| f.eq("product", "Vehicle")).unwrap();
+    let auctions = sys
+        .subscribe::<Auction>(|f| f.eq("product", "Vehicle"))
+        .unwrap();
 
     sys.publish(&Stock::new("A".into(), 1.0)).unwrap();
-    sys.publish(&Auction::new("Vehicle".into(), "Car".into(), 10, 5.0)).unwrap();
-    sys.publish(&Auction::new("Property".into(), "Flat".into(), 3, 9.0)).unwrap();
+    sys.publish(&Auction::new("Vehicle".into(), "Car".into(), 10, 5.0))
+        .unwrap();
+    sys.publish(&Auction::new("Property".into(), "Flat".into(), 3, 9.0))
+        .unwrap();
     sys.settle();
 
     assert_eq!(sys.poll(&stocks).unwrap().len(), 1);
@@ -45,7 +53,8 @@ fn subtype_events_reach_supertype_subscribers_only_when_matching() {
     let all_stock = sys.subscribe::<Stock>(|f| f).unwrap();
     let pricey = sys.subscribe::<Stock>(|f| f.gt("price", 100.0)).unwrap();
 
-    sys.publish(&VolumeStock::new("V".into(), 150.0, 9)).unwrap();
+    sys.publish(&VolumeStock::new("V".into(), 150.0, 9))
+        .unwrap();
     sys.publish(&VolumeStock::new("V".into(), 50.0, 9)).unwrap();
     sys.publish(&Stock::new("S".into(), 200.0)).unwrap();
     sys.settle();
@@ -87,11 +96,16 @@ fn wildcard_subscription_through_typed_api() {
     // No constraints at all: a type-only subscription.
     let everything = sys.subscribe::<Auction>(|f| f).unwrap();
     // Partially wildcarded (kind unspecified = hole in the schema prefix).
-    let vehicles = sys.subscribe::<Auction>(|f| f.eq("product", "Vehicle").lt("price", 100.0)).unwrap();
+    let vehicles = sys
+        .subscribe::<Auction>(|f| f.eq("product", "Vehicle").lt("price", 100.0))
+        .unwrap();
 
-    sys.publish(&Auction::new("Vehicle".into(), "Car".into(), 10, 50.0)).unwrap();
-    sys.publish(&Auction::new("Vehicle".into(), "Truck".into(), 10, 500.0)).unwrap();
-    sys.publish(&Auction::new("Property".into(), "Flat".into(), 1, 50.0)).unwrap();
+    sys.publish(&Auction::new("Vehicle".into(), "Car".into(), 10, 50.0))
+        .unwrap();
+    sys.publish(&Auction::new("Vehicle".into(), "Truck".into(), 10, 500.0))
+        .unwrap();
+    sys.publish(&Auction::new("Property".into(), "Flat".into(), 1, 50.0))
+        .unwrap();
     sys.settle();
 
     assert_eq!(sys.poll(&everything).unwrap().len(), 3);
@@ -193,7 +207,8 @@ fn random_placement_still_delivers_exactly() {
         .collect();
     for round in 0..5 {
         for i in 0..20 {
-            sys.publish(&Stock::new(format!("S{i}"), f64::from(round))).unwrap();
+            sys.publish(&Stock::new(format!("S{i}"), f64::from(round)))
+                .unwrap();
         }
     }
     sys.settle();
@@ -237,8 +252,10 @@ fn disjunction_across_subtypes() {
         .unwrap();
     sys.settle();
     sys.publish(&Stock::new("A".into(), 0.5)).unwrap();
-    sys.publish(&VolumeStock::new("B".into(), 50.0, 20_000)).unwrap();
-    sys.publish(&VolumeStock::new("C".into(), 50.0, 10)).unwrap();
+    sys.publish(&VolumeStock::new("B".into(), 50.0, 20_000))
+        .unwrap();
+    sys.publish(&VolumeStock::new("C".into(), 50.0, 10))
+        .unwrap();
     sys.settle();
     assert_eq!(sys.poll(&sub).unwrap().len(), 2);
 }
@@ -294,7 +311,8 @@ fn optional_attributes_and_exists_filters() {
     // Only heavy trades.
     let heavy = sys.subscribe::<Trade>(|f| f.gt("volume", 1_000)).unwrap();
     sys.settle();
-    sys.publish(&Trade::new("A".into(), 1.0, Some(5_000))).unwrap();
+    sys.publish(&Trade::new("A".into(), 1.0, Some(5_000)))
+        .unwrap();
     sys.publish(&Trade::new("B".into(), 1.0, Some(10))).unwrap();
     sys.publish(&Trade::new("C".into(), 1.0, None)).unwrap();
     sys.settle();
@@ -314,7 +332,9 @@ fn deep_hierarchies_work() {
         .unwrap()
         .build();
     sys.advertise::<Stock>(None).unwrap();
-    let sub = sys.subscribe::<Stock>(|f| f.eq("symbol", "DEEP").lt("price", 5.0)).unwrap();
+    let sub = sys
+        .subscribe::<Stock>(|f| f.eq("symbol", "DEEP").lt("price", 5.0))
+        .unwrap();
     sys.publish(&Stock::new("DEEP".into(), 4.0)).unwrap();
     sys.publish(&Stock::new("DEEP".into(), 6.0)).unwrap();
     sys.publish(&Stock::new("SHALLOW".into(), 4.0)).unwrap();

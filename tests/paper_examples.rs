@@ -64,7 +64,12 @@ fn example_3_event_covering_depends_on_filter() {
     let e1p = event_data! { "symbol" => "Foo", "price" => 10.0 };
     assert!(event_covers_for(&f, (stock, &e1p), (stock, &e1), &r));
     let f_exists = Filter::any().exists("volume");
-    assert!(!event_covers_for(&f_exists, (stock, &e1p), (stock, &e1), &r));
+    assert!(!event_covers_for(
+        &f_exists,
+        (stock, &e1p),
+        (stock, &e1),
+        &r
+    ));
 }
 
 /// The `f_T` / `f_F` remarks after Definition 2: the always-true filter
@@ -115,7 +120,9 @@ fn section_3_4_weakening_chain() {
     let g1 = g.declarative(stock);
     assert_eq!(
         f1,
-        Filter::for_class(stock).eq("symbol", "Foo").lt("price", 10.0)
+        Filter::for_class(stock)
+            .eq("symbol", "Foo")
+            .lt("price", 10.0)
     );
     // g1 ⊒ f1: on the common path only g1 needs to be kept.
     assert!(g1.covers(&f1, &r));
@@ -173,9 +180,15 @@ fn example_5_stage_families() {
         )
         .unwrap();
 
-    let f1 = Filter::for_class(stock).eq("symbol", "DEF").lt("price", 10.0);
-    let f2 = Filter::for_class(stock).eq("symbol", "DEF").lt("price", 11.0);
-    let f3 = Filter::for_class(stock).eq("symbol", "GHI").lt("price", 8.0);
+    let f1 = Filter::for_class(stock)
+        .eq("symbol", "DEF")
+        .lt("price", 10.0);
+    let f2 = Filter::for_class(stock)
+        .eq("symbol", "DEF")
+        .lt("price", 11.0);
+    let f3 = Filter::for_class(stock)
+        .eq("symbol", "GHI")
+        .lt("price", 8.0);
     let f4 = Filter::for_class(auction)
         .eq("product", "Vehicle")
         .eq("kind", "Car")
@@ -186,7 +199,9 @@ fn example_5_stage_families() {
     let g1 = merge_cover(&[&f1, &f2], &r);
     assert_eq!(
         g1,
-        Filter::for_class(stock).eq("symbol", "DEF").lt("price", 11.0)
+        Filter::for_class(stock)
+            .eq("symbol", "DEF")
+            .lt("price", 11.0)
     );
     assert!(g1.covers(&f1, &r) && g1.covers(&f2, &r));
     let g2 = f3.clone();
@@ -221,7 +236,10 @@ fn example_5_stage_families() {
 #[test]
 fn example_6_stage_map() {
     let g = StageMap::from_prefixes(&[5, 4, 3, 1]).unwrap();
-    assert_eq!(g.to_string(), "{<Stage-0: 0 1 2 3 4>, <Stage-1: 0 1 2 3>, <Stage-2: 0 1 2>, <Stage-3: 0>}");
+    assert_eq!(
+        g.to_string(),
+        "{<Stage-0: 0 1 2 3 4>, <Stage-1: 0 1 2 3>, <Stage-2: 0 1 2>, <Stage-3: 0>}"
+    );
     // "g3 is obtained from f4 by keeping only the first four attributes at
     // Stage-1" — with our 4-attribute schema (class carried separately).
     let mut r = TypeRegistry::new();
@@ -256,15 +274,23 @@ fn section_4_4_standard_format() {
         .unwrap();
     let class = r.class(stock).unwrap();
 
-    let fy = Filter::for_class(stock).wildcard("symbol").lt("price", 100.0);
+    let fy = Filter::for_class(stock)
+        .wildcard("symbol")
+        .lt("price", 100.0);
     let fz = Filter::for_class(stock).lt("price", 100.0);
-    assert_eq!(standardize(&fy, class).unwrap(), standardize(&fz, class).unwrap());
+    assert_eq!(
+        standardize(&fy, class).unwrap(),
+        standardize(&fz, class).unwrap()
+    );
 
     let fx = Filter::for_class(stock).eq("symbol", "DEF");
     let std_fx = standardize(&fx, class).unwrap();
     for price in [1.0, 1_000.0] {
         let e = event_data! { "symbol" => "DEF", "price" => price };
-        assert!(std_fx.matches(stock, &e, &r), "fx matches irrespective of price");
+        assert!(
+            std_fx.matches(stock, &e, &r),
+            "fx matches irrespective of price"
+        );
     }
 }
 
@@ -282,9 +308,18 @@ fn section_5_2_biblio_stage_formats() {
         .eq("author", "handurukande")
         .eq("title", "tradeoffs in event systems");
     let names = |f: &Filter| -> Vec<String> {
-        f.constraints().iter().map(|c| c.name().to_owned()).collect()
+        f.constraints()
+            .iter()
+            .map(|c| c.name().to_owned())
+            .collect()
     };
-    assert_eq!(names(&weaken_to_stage(&f, class, &g, 1)), ["year", "conference", "author"]);
-    assert_eq!(names(&weaken_to_stage(&f, class, &g, 2)), ["year", "conference"]);
+    assert_eq!(
+        names(&weaken_to_stage(&f, class, &g, 1)),
+        ["year", "conference", "author"]
+    );
+    assert_eq!(
+        names(&weaken_to_stage(&f, class, &g, 2)),
+        ["year", "conference"]
+    );
     assert_eq!(names(&weaken_to_stage(&f, class, &g, 3)), ["year"]);
 }

@@ -49,7 +49,12 @@ fn run() -> layercake::RunMetrics {
 fn rlc_shape_matches_the_paper() {
     let m = run();
     let summary = m.stage_summary();
-    let by_stage = |s: usize| summary.iter().find(|x| x.stage == s).expect("stage present");
+    let by_stage = |s: usize| {
+        summary
+            .iter()
+            .find(|x| x.stage == s)
+            .expect("stage present")
+    };
 
     // 1. Every node far below the centralized server's RLC of 1.
     for s in &summary {
@@ -65,14 +70,21 @@ fn rlc_shape_matches_the_paper() {
     assert!(by_stage(1).avg_rlc < by_stage(2).avg_rlc);
     // 3. The root's RLC is structural: its table holds the distinct
     //    year-filters, so RLC(root) = distinct_years / total_subs.
-    let root = m.records.iter().find(|r| r.node == "N3.1").expect("root record");
+    let root = m
+        .records
+        .iter()
+        .find(|r| r.node == "N3.1")
+        .expect("root record");
     assert_eq!(root.received, m.total_events, "the root sees every event");
     let expected = root.filters as f64 / m.total_subs as f64;
     assert!(
         (root.rlc(m.total_events, m.total_subs) - expected).abs() < 1e-9,
         "root RLC must equal filters/subscriptions"
     );
-    assert!(root.filters <= 3, "three publication years collapse to ≤3 root filters");
+    assert!(
+        root.filters <= 3,
+        "three publication years collapse to ≤3 root filters"
+    );
     // 4. No more total work than one centralized server.
     assert!(m.global_rlc_total() < 1.0);
 }

@@ -64,7 +64,9 @@ fn check_zero_loss(
         sim.settle();
     }
 
-    let stream: Vec<_> = (0..events).map(|seq| workload.envelope(seq, &mut rng)).collect();
+    let stream: Vec<_> = (0..events)
+        .map(|seq| workload.envelope(seq, &mut rng))
+        .collect();
     for env in &stream {
         sim.publish(env.clone());
     }
@@ -165,7 +167,9 @@ fn duplicate_subscriptions_fan_out() {
     sim.advertise(Advertisement::new(class, BiblioWorkload::stage_map()));
     sim.settle();
 
-    let filter = Filter::for_class(class).eq("year", 2000).eq("author", "dup");
+    let filter = Filter::for_class(class)
+        .eq("year", 2000)
+        .eq("author", "dup");
     let handles: Vec<_> = (0..10)
         .map(|_| {
             let h = sim.add_subscriber(filter.clone()).unwrap();
@@ -177,7 +181,12 @@ fn duplicate_subscriptions_fan_out() {
     let e = layercake::event::event_data! {
         "year" => 2000, "conference" => "c", "author" => "dup", "title" => "t"
     };
-    sim.publish(layercake::Envelope::from_meta(class, "Biblio", EventSeq(0), e));
+    sim.publish(layercake::Envelope::from_meta(
+        class,
+        "Biblio",
+        EventSeq(0),
+        e,
+    ));
     sim.settle();
     for h in handles {
         assert_eq!(sim.deliveries(h), &[EventSeq(0)]);

@@ -14,13 +14,17 @@ impl Bytes {
     /// An empty buffer.
     #[must_use]
     pub fn new() -> Self {
-        Bytes { data: Arc::from([]) }
+        Bytes {
+            data: Arc::from([]),
+        }
     }
 
     /// Copies a static slice into a buffer.
     #[must_use]
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes {
+            data: Arc::from(data),
+        }
     }
 
     /// The buffer length in bytes.
@@ -83,7 +87,12 @@ impl std::fmt::Debug for Bytes {
 #[cfg(feature = "serde")]
 impl serde::Serialize for Bytes {
     fn serialize_value(&self) -> serde::Value {
-        serde::Value::Array(self.data.iter().map(|&b| serde::Value::UInt(u64::from(b))).collect())
+        serde::Value::Array(
+            self.data
+                .iter()
+                .map(|&b| serde::Value::UInt(u64::from(b)))
+                .collect(),
+        )
     }
 }
 

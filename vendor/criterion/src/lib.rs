@@ -238,7 +238,11 @@ mod tests {
         group.throughput(Throughput::Elements(4));
         group.bench_function("plain", |b| b.iter(|| (0..100u64).sum::<u64>()));
         group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &n| {
-            b.iter_batched(|| vec![n; 8], |v| v.iter().sum::<u64>(), BatchSize::SmallInput);
+            b.iter_batched(
+                || vec![n; 8],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
         });
         group.finish();
     }

@@ -31,7 +31,9 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Sends a value; fails only if the receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
         }
     }
 

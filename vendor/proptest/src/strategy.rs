@@ -202,7 +202,10 @@ fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
 }
 
 fn expand_class(inner: &[char], pattern: &str) -> Vec<char> {
-    assert!(!inner.is_empty(), "empty character class in pattern {pattern:?}");
+    assert!(
+        !inner.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
     let mut set = Vec::new();
     let mut j = 0;
     while j < inner.len() {

@@ -74,7 +74,9 @@ impl TestRng {
             hash ^= u64::from(byte);
             hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        TestRng(<rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(hash))
+        TestRng(<rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+            hash,
+        ))
     }
 }
 

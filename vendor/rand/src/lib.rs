@@ -30,7 +30,12 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
 /// A type that supports uniform sampling from a bounded interval.
 pub trait SampleUniform: Sized + PartialOrd {
     /// Samples uniformly from `[low, high)` (`[low, high]` if `inclusive`).
-    fn sample_between<R: RngCore + ?Sized>(low: Self, high: Self, inclusive: bool, rng: &mut R) -> Self;
+    fn sample_between<R: RngCore + ?Sized>(
+        low: Self,
+        high: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
 }
 
 /// A range that can produce a uniform sample.
@@ -81,7 +86,10 @@ pub trait Rng: RngCore {
     ///
     /// Panics unless `0.0 <= p <= 1.0`.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} out of range"
+        );
         unit_f64(self.next_u64()) < p
     }
 

@@ -120,8 +120,7 @@ pub mod de {
 ///
 /// Propagates the field's deserialization error, prefixed with its name.
 pub fn __field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
-    T::deserialize_value(v.field(name))
-        .map_err(|e| DeError::msg(format!("field `{name}`: {e}")))
+    T::deserialize_value(v.field(name)).map_err(|e| DeError::msg(format!("field `{name}`: {e}")))
 }
 
 macro_rules! impl_int {

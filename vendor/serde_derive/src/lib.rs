@@ -352,9 +352,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 inits.join(", ")
             )
         }
-        Shape::Struct(Fields::Tuple(1)) => format!(
-            "::core::result::Result::Ok({name}({p}::Deserialize::deserialize_value(__v)?))"
-        ),
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("::core::result::Result::Ok({name}({p}::Deserialize::deserialize_value(__v)?))")
+        }
         Shape::Struct(Fields::Tuple(n)) => {
             let inits: Vec<String> = (0..*n)
                 .map(|i| format!("{p}::Deserialize::deserialize_value(&__items[{i}])?"))
