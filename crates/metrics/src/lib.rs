@@ -23,12 +23,14 @@
 
 mod chaos;
 mod hist;
+mod overload;
 mod plot;
 mod record;
 mod table;
 
 pub use chaos::ChaosStats;
 pub use hist::Histogram;
+pub use overload::{OverloadStats, StageSheds};
 pub use plot::{render_histogram, Scatter, Series};
 pub use record::{
     LatencyMetrics, NodeRecord, RunMetrics, StageHistogram, StageSummary, StageWeakening,

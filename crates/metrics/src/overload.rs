@@ -1,0 +1,230 @@
+//! Flow-control and load-shedding counters for a run.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::Histogram;
+
+/// Events shed by the brokers of one stage.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageSheds {
+    /// The stage number (1 = leaf brokers, N = root).
+    pub stage: usize,
+    /// Data events shed at this stage (queue overflow + open breakers).
+    pub shed: u64,
+}
+
+/// Overload-protection counters accumulated while a run executes with
+/// flow control enabled (credit-based backpressure, bounded egress
+/// queues, priority load shedding, per-downstream circuit breakers).
+///
+/// Control-plane traffic (lease renews, NACKs, rejoins, credit grants)
+/// is never queued or shed, so `control_shed` must stay 0 — the field
+/// exists to make that invariant observable in reports.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OverloadStats {
+    /// Data events shed because a bounded egress queue overflowed.
+    pub data_shed: u64,
+    /// Data events shed because the downstream's circuit breaker was open.
+    pub breaker_shed: u64,
+    /// Control-plane messages shed — 0 by construction; a nonzero value
+    /// is a flow-layer bug.
+    pub control_shed: u64,
+    /// Sheds grouped by the shedding broker's stage, ordered by stage
+    /// ascending. Overload concentrates toward the root (the weakest
+    /// filters), so the highest stages should dominate.
+    pub shed_by_stage: Vec<StageSheds>,
+    /// Data events that had to wait in an egress queue for credit.
+    pub credit_stalls: u64,
+    /// Credit probes sent by stalled senders.
+    pub probes_sent: u64,
+    /// Credit grants sent by receivers.
+    pub grants_sent: u64,
+    /// Credit grants received by senders.
+    pub grants_received: u64,
+    /// Circuit-breaker transitions into `Open`.
+    pub breaker_opened: u64,
+    /// Circuit-breaker transitions into `Half-open`.
+    pub breaker_half_opened: u64,
+    /// Circuit-breaker recoveries into `Closed`.
+    pub breaker_closed: u64,
+    /// Egress-queue depth observed at each enqueue, across all links.
+    pub egress_depth: Histogram,
+    /// Deepest egress queue ever observed on any link.
+    pub peak_egress_depth: u64,
+    /// Per-broker peak ingress backlog (engine deliveries queued behind
+    /// the broker's service clock): one sample per broker.
+    pub ingress_backlog: Histogram,
+    /// Largest per-broker peak ingress backlog.
+    pub peak_ingress_backlog: u64,
+}
+
+impl OverloadStats {
+    /// Total data events shed (queue overflow + breaker).
+    #[must_use]
+    pub fn total_shed(&self) -> u64 {
+        self.data_shed + self.breaker_shed
+    }
+
+    /// True when no shedding, queuing, or breaker activity was recorded.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Folds another node's counters into this aggregate: counters sum,
+    /// histograms merge, peaks take the maximum.
+    pub fn absorb(&mut self, other: &OverloadStats) {
+        self.data_shed += other.data_shed;
+        self.breaker_shed += other.breaker_shed;
+        self.control_shed += other.control_shed;
+        for s in &other.shed_by_stage {
+            self.add_stage_sheds(s.stage, s.shed);
+        }
+        self.credit_stalls += other.credit_stalls;
+        self.probes_sent += other.probes_sent;
+        self.grants_sent += other.grants_sent;
+        self.grants_received += other.grants_received;
+        self.breaker_opened += other.breaker_opened;
+        self.breaker_half_opened += other.breaker_half_opened;
+        self.breaker_closed += other.breaker_closed;
+        self.egress_depth.merge(&other.egress_depth);
+        self.peak_egress_depth = self.peak_egress_depth.max(other.peak_egress_depth);
+        self.ingress_backlog.merge(&other.ingress_backlog);
+        self.peak_ingress_backlog = self.peak_ingress_backlog.max(other.peak_ingress_backlog);
+    }
+
+    /// Adds `shed` events to `stage`'s bucket, keeping the list ordered
+    /// by stage ascending.
+    pub fn add_stage_sheds(&mut self, stage: usize, shed: u64) {
+        if shed == 0 {
+            return;
+        }
+        match self.shed_by_stage.binary_search_by_key(&stage, |s| s.stage) {
+            Ok(i) => self.shed_by_stage[i].shed += shed,
+            Err(i) => self.shed_by_stage.insert(i, StageSheds { stage, shed }),
+        }
+    }
+
+    /// Renders the counters as aligned `key = value` lines for experiment
+    /// reports, with per-stage shed lines and queue-depth quantiles.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "data_shed            = {}\n\
+             breaker_shed         = {}\n\
+             control_shed         = {}\n\
+             credit_stalls        = {}\n\
+             probes_sent          = {}\n\
+             grants_sent          = {}\n\
+             grants_received      = {}\n\
+             breaker_opened       = {}\n\
+             breaker_half_opened  = {}\n\
+             breaker_closed       = {}\n\
+             peak_egress_depth    = {}\n\
+             peak_ingress_backlog = {}\n",
+            self.data_shed,
+            self.breaker_shed,
+            self.control_shed,
+            self.credit_stalls,
+            self.probes_sent,
+            self.grants_sent,
+            self.grants_received,
+            self.breaker_opened,
+            self.breaker_half_opened,
+            self.breaker_closed,
+            self.peak_egress_depth,
+            self.peak_ingress_backlog,
+        );
+        for s in &self.shed_by_stage {
+            out.push_str(&format!("shed at stage {}      = {}\n", s.stage, s.shed));
+        }
+        if self.egress_depth.count() > 0 {
+            out.push_str(&format!(
+                "egress depth         : n={} p50={} p99={} max={}\n",
+                self.egress_depth.count(),
+                self.egress_depth.p50(),
+                self.egress_depth.p99(),
+                self.egress_depth.max(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_quiet() {
+        assert!(OverloadStats::default().is_quiet());
+        let stats = OverloadStats {
+            data_shed: 1,
+            ..OverloadStats::default()
+        };
+        assert!(!stats.is_quiet());
+    }
+
+    #[test]
+    fn stage_sheds_stay_sorted_and_merge() {
+        let mut stats = OverloadStats::default();
+        stats.add_stage_sheds(3, 5);
+        stats.add_stage_sheds(1, 2);
+        stats.add_stage_sheds(3, 1);
+        stats.add_stage_sheds(2, 0); // no-op
+        let stages: Vec<(usize, u64)> = stats
+            .shed_by_stage
+            .iter()
+            .map(|s| (s.stage, s.shed))
+            .collect();
+        assert_eq!(stages, vec![(1, 2), (3, 6)]);
+    }
+
+    #[test]
+    fn absorb_sums_merges_and_maxes() {
+        let mut a = OverloadStats {
+            data_shed: 3,
+            credit_stalls: 2,
+            peak_egress_depth: 5,
+            ..OverloadStats::default()
+        };
+        a.add_stage_sheds(2, 3);
+        a.egress_depth.record(5);
+        let mut b = OverloadStats {
+            data_shed: 4,
+            breaker_opened: 1,
+            peak_egress_depth: 9,
+            ..OverloadStats::default()
+        };
+        b.add_stage_sheds(2, 1);
+        b.add_stage_sheds(3, 3);
+        b.egress_depth.record(9);
+        a.absorb(&b);
+        assert_eq!(a.data_shed, 7);
+        assert_eq!(a.credit_stalls, 2);
+        assert_eq!(a.breaker_opened, 1);
+        assert_eq!(a.peak_egress_depth, 9);
+        assert_eq!(a.egress_depth.count(), 2);
+        let stages: Vec<(usize, u64)> = a.shed_by_stage.iter().map(|s| (s.stage, s.shed)).collect();
+        assert_eq!(stages, vec![(2, 4), (3, 3)]);
+    }
+
+    #[test]
+    fn render_lists_counters_and_stages() {
+        let mut stats = OverloadStats {
+            data_shed: 7,
+            breaker_shed: 2,
+            credit_stalls: 4,
+            peak_egress_depth: 9,
+            ..OverloadStats::default()
+        };
+        stats.add_stage_sheds(3, 9);
+        stats.egress_depth.record(4);
+        let text = stats.render();
+        assert!(text.contains("data_shed            = 7"));
+        assert!(text.contains("control_shed         = 0"));
+        assert!(text.contains("shed at stage 3      = 9"));
+        assert!(text.contains("egress depth         : n=1"));
+        assert_eq!(stats.total_shed(), 9);
+    }
+}

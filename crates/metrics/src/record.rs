@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::chaos::ChaosStats;
 use crate::hist::Histogram;
+use crate::overload::OverloadStats;
 use crate::table::{format_ratio, render_table};
 
 /// Hop-latency histogram for one stage of the hierarchy.
@@ -169,6 +170,9 @@ pub struct RunMetrics {
     /// Per-stage weakening false-positive counts from sampled traces
     /// (empty when tracing is disabled).
     pub weakening: Vec<StageWeakening>,
+    /// Flow-control and load-shedding counters (all zero when flow
+    /// control is disabled or the run never saturated).
+    pub overload: OverloadStats,
 }
 
 impl RunMetrics {
@@ -182,6 +186,7 @@ impl RunMetrics {
             chaos: ChaosStats::default(),
             latency: LatencyMetrics::default(),
             weakening: Vec::new(),
+            overload: OverloadStats::default(),
         }
     }
 
@@ -286,6 +291,14 @@ impl RunMetrics {
         if !self.chaos.is_quiet() {
             out.push_str("chaos counters:\n");
             for line in self.chaos.render().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        if !self.overload.is_quiet() {
+            out.push_str("overload counters:\n");
+            for line in self.overload.render().lines() {
                 out.push_str("  ");
                 out.push_str(line);
                 out.push('\n');

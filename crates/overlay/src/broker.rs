@@ -3,15 +3,16 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use layercake_event::{Advertisement, ClassId, Envelope, StageMap, TypeRegistry};
+use layercake_event::{Advertisement, ClassId, Envelope, StageMap, TraceContext, TypeRegistry};
 use layercake_filter::{weaken_to_stage, DestId, Filter, FilterTable, IndexKind};
-use layercake_metrics::NodeRecord;
+use layercake_metrics::{NodeRecord, OverloadStats};
 use layercake_sim::{ActorId, Ctx, SimDuration, SimTime};
 use layercake_trace::{HopRecord, HopVerdict, TraceSink, EXTERNAL_SOURCE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::PlacementPolicy;
+use crate::flow::{FlowRx, FlowTx, Offer, Queued, Tick};
 use crate::msg::{OverlayMsg, SubscriptionReq};
 use crate::reliability::{LinkRx, LinkTx, RxOutcome};
 
@@ -19,13 +20,20 @@ use crate::reliability::{LinkRx, LinkTx, RxOutcome};
 const TAG_SWEEP: u64 = 1;
 /// Timer tag: renew own filters at the parent ("EXTEND THE VALIDITY").
 const TAG_RENEW: u64 = 2;
+/// Timer tag: flow-control maintenance (stall probes, breaker clock).
+/// Armed on demand — only while some egress queue is non-empty or a
+/// breaker is mid-recovery — so quiescent overlays still drain fully.
+const TAG_FLOW: u64 = 4;
 
 pub(crate) fn dest_of(actor: ActorId) -> DestId {
     DestId(actor.0 as u64)
 }
 
+// Destination ids are minted exclusively from actor ids by `dest_of`, so
+// the conversion back is lossless; `as` keeps the event hot path free of
+// panic branches.
 pub(crate) fn actor_of(dest: DestId) -> ActorId {
-    ActorId(usize::try_from(dest.0).expect("dest ids are actor ids"))
+    ActorId(dest.0 as usize)
 }
 
 /// Maps an actor id onto the trace wire format, folding the simulator's
@@ -79,6 +87,23 @@ pub struct Broker {
     dup_suppressed: u64,
     nacks_sent: u64,
     scratch: Vec<DestId>,
+    flow_enabled: bool,
+    queue_capacity: usize,
+    flow_tick: SimDuration,
+    breaker_threshold: u32,
+    breaker_backoff: SimDuration,
+    /// Sender-side flow state (credit window, egress queue, breaker) per
+    /// downstream receiving data from this broker.
+    flow_tx: HashMap<ActorId, FlowTx>,
+    /// Receiver-side flow state (consumed counter, grant batching) per
+    /// upstream sending data to this broker.
+    flow_rx: HashMap<ActorId, FlowRx>,
+    flow_timer_armed: bool,
+    /// Per-broker overload counters, aggregated by the facade.
+    overload: OverloadStats,
+    /// Virtual service time charged per data message; models this broker's
+    /// processing capacity (see [`layercake_sim::Actor::service_cost`]).
+    service_time: Option<SimDuration>,
     /// Shared trace collector; `None` when tracing is disabled for the run.
     trace: Option<Arc<TraceSink>>,
 }
@@ -99,6 +124,11 @@ pub(crate) struct BrokerSetup {
     pub ttl: SimDuration,
     pub reliability_enabled: bool,
     pub reliability_window: usize,
+    pub flow_control_enabled: bool,
+    pub queue_capacity: usize,
+    pub flow_tick: SimDuration,
+    pub breaker_failure_threshold: u32,
+    pub breaker_backoff: SimDuration,
     pub seed: u64,
     pub trace: Option<Arc<TraceSink>>,
 }
@@ -136,6 +166,16 @@ impl Broker {
             dup_suppressed: 0,
             nacks_sent: 0,
             scratch: Vec::new(),
+            flow_enabled: setup.flow_control_enabled,
+            queue_capacity: setup.queue_capacity,
+            flow_tick: setup.flow_tick,
+            breaker_threshold: setup.breaker_failure_threshold,
+            breaker_backoff: setup.breaker_backoff,
+            flow_tx: HashMap::new(),
+            flow_rx: HashMap::new(),
+            flow_timer_armed: false,
+            overload: OverloadStats::default(),
+            service_time: None,
             trace: setup.trace,
         }
     }
@@ -209,6 +249,33 @@ impl Broker {
         self.nacks_sent
     }
 
+    /// Overload-protection counters accumulated at this broker (sheds,
+    /// credit stalls, breaker transitions, egress-queue depths).
+    #[must_use]
+    pub fn overload(&self) -> &OverloadStats {
+        &self.overload
+    }
+
+    /// Sets the virtual service time this broker charges per data message
+    /// (`None` = infinitely fast). The engine serializes arrivals behind
+    /// the broker's busy clock, so offered load beyond `1/service_time`
+    /// builds a backlog — the overload the flow layer defends against.
+    pub fn set_service_time(&mut self, d: Option<SimDuration>) {
+        self.service_time = d;
+    }
+
+    /// The engine-facing service cost of one message: data pays the
+    /// configured service time, control is free so grants and leases
+    /// never queue behind a saturated data plane.
+    #[must_use]
+    pub fn service_cost(&self, msg: &OverlayMsg) -> Option<SimDuration> {
+        if msg.is_data() {
+            self.service_time
+        } else {
+            None
+        }
+    }
+
     pub(crate) fn handle(&mut self, from: ActorId, msg: OverlayMsg, ctx: &mut Ctx<'_, OverlayMsg>) {
         self.maybe_start_timers(ctx);
         match msg {
@@ -222,10 +289,12 @@ impl Broker {
             OverlayMsg::ReqInsert { filter, child } => self.insert_child_filter(filter, child, ctx),
             OverlayMsg::Publish(env) => {
                 self.bytes_received += env.wire_size() as u64;
+                self.note_data_arrival(from, ctx);
                 self.forward_event(from, &env, ctx);
             }
             OverlayMsg::Sequenced { link_seq, env } => {
                 self.bytes_received += env.wire_size() as u64;
+                self.note_data_arrival(from, ctx);
                 let outcome = self.rx.entry(from).or_default().on_event(
                     link_seq,
                     env,
@@ -237,13 +306,55 @@ impl Broker {
                 // `from` is the downstream receiver of the link we send on.
                 if let Some(link) = self.tx.get_mut(&from) {
                     let (resend, advance) = link.handle_nack(from_seq, to_seq);
-                    for (link_seq, env) in resend {
-                        self.retransmitted += 1;
-                        ctx.send(from, OverlayMsg::Sequenced { link_seq, env });
+                    if self.flow_enabled {
+                        // Retransmissions respect the credit window but
+                        // jump the egress queue: push them to the front in
+                        // reverse so the lowest sequence leads the repair.
+                        for (link_seq, env) in resend.into_iter().rev() {
+                            self.retransmitted += 1;
+                            let queued = self.flow_link(from).push_retransmit(link_seq, env);
+                            if !queued {
+                                self.overload.breaker_shed += 1;
+                                self.overload.add_stage_sheds(self.stage, 1);
+                            }
+                        }
+                        self.drain_flow(from, ctx);
+                        self.ensure_flow_timer(ctx);
+                    } else {
+                        for (link_seq, env) in resend {
+                            self.retransmitted += 1;
+                            ctx.send(from, OverlayMsg::Sequenced { link_seq, env });
+                        }
                     }
                     if let Some(to) = advance {
                         ctx.send(from, OverlayMsg::Advance { to });
                     }
+                }
+            }
+            OverlayMsg::Credit => {
+                // An upstream sender stalled on zero credit (or a breaker
+                // probing our liveness): answer with the consumed total
+                // immediately, bypassing every queue.
+                if self.flow_enabled {
+                    let consumed_total = self
+                        .flow_rx
+                        .entry(from)
+                        .or_insert_with(|| FlowRx::new(self.queue_capacity))
+                        .grant_now();
+                    self.overload.grants_sent += 1;
+                    ctx.send(from, OverlayMsg::CreditGrant { consumed_total });
+                }
+            }
+            OverlayMsg::CreditGrant { consumed_total } => {
+                // Stray grants (e.g. after a Rejoin reset the link) are
+                // ignored rather than asserted on: the next epoch starts
+                // clean.
+                if let Some(link) = self.flow_tx.get_mut(&from) {
+                    self.overload.grants_received += 1;
+                    if link.on_grant(consumed_total).closed_breaker {
+                        self.overload.breaker_closed += 1;
+                    }
+                    self.drain_flow(from, ctx);
                 }
             }
             OverlayMsg::Advance { to } => {
@@ -300,10 +411,19 @@ impl Broker {
                 }
             }
             OverlayMsg::Rejoin => {
-                // A restarted neighbor: its link sequence state is gone, so
-                // reset ours to match before helping it rebuild.
+                // A restarted neighbor: its link sequence and credit state
+                // are gone, so reset ours to match before helping it
+                // rebuild (a fresh credit epoch starts at full window). A
+                // rejoin that supersedes a tripped breaker *is* the
+                // recovery — count it as a close.
                 self.rx.remove(&from);
                 self.tx.remove(&from);
+                if let Some(tx) = self.flow_tx.remove(&from) {
+                    if tx.is_broken() {
+                        self.overload.breaker_closed += 1;
+                    }
+                }
+                self.flow_rx.remove(&from);
                 if self.children_set.contains(&from) {
                     // A restarted child lost its stage maps; re-flood our
                     // advertisements to it (deterministic class order).
@@ -347,6 +467,9 @@ impl Broker {
         self.parked.clear();
         self.rx.clear();
         self.tx.clear();
+        self.flow_tx.clear();
+        self.flow_rx.clear();
+        self.flow_timer_armed = false;
         if self.leases_enabled {
             self.timers_started = true;
             ctx.set_timer(self.ttl, TAG_SWEEP);
@@ -395,9 +518,63 @@ impl Broker {
         }
     }
 
-    /// Sends one event to a downstream node, under reliable sequencing when
-    /// enabled (the plain `Publish`/`Deliver` forms otherwise).
+    /// Sends one event to a downstream node. With flow control enabled the
+    /// event passes through the link's credit window and bounded egress
+    /// queue — and may be shed there; otherwise it transmits directly.
     fn send_event(&mut self, to: ActorId, env: Envelope, ctx: &mut Ctx<'_, OverlayMsg>) {
+        if !self.flow_enabled {
+            self.transmit(to, env, ctx);
+            return;
+        }
+        let tc = env.trace();
+        match self.flow_link(to).offer(env) {
+            Offer::Send(env) => self.transmit(to, env, ctx),
+            Offer::Queued { depth } => {
+                self.overload.credit_stalls += 1;
+                self.overload.egress_depth.record(depth as u64);
+                self.overload.peak_egress_depth = self.overload.peak_egress_depth.max(depth as u64);
+                self.record_flow_hop(
+                    tc,
+                    ctx,
+                    HopVerdict::Throttled {
+                        depth: depth.min(u32::MAX as usize) as u32,
+                    },
+                );
+            }
+            Offer::ShedQueueFull(dropped) => {
+                self.overload.data_shed += 1;
+                self.overload.add_stage_sheds(self.stage, 1);
+                self.record_flow_hop(
+                    dropped.trace(),
+                    ctx,
+                    HopVerdict::Shed {
+                        dest: to.0 as u64,
+                        breaker: false,
+                    },
+                );
+            }
+            Offer::ShedBreakerOpen(dropped) => {
+                self.overload.breaker_shed += 1;
+                self.overload.add_stage_sheds(self.stage, 1);
+                self.record_flow_hop(
+                    dropped.trace(),
+                    ctx,
+                    HopVerdict::Shed {
+                        dest: to.0 as u64,
+                        breaker: true,
+                    },
+                );
+            }
+        }
+        self.drain_flow(to, ctx);
+        self.ensure_flow_timer(ctx);
+    }
+
+    /// Puts one event on the wire, under reliable sequencing when enabled
+    /// (the plain `Publish`/`Deliver` forms otherwise). Fresh events are
+    /// stamped here — after any queueing — so link sequence order always
+    /// equals send order.
+    fn transmit(&mut self, to: ActorId, env: Envelope, ctx: &mut Ctx<'_, OverlayMsg>) {
         if self.reliability_enabled {
             let link = self.tx.entry(to).or_default();
             let link_seq = link.stamp(env.clone(), self.reliability_window);
@@ -407,6 +584,87 @@ impl Broker {
         } else {
             ctx.send(to, OverlayMsg::Deliver(env));
         }
+    }
+
+    /// The sender-side flow state toward `to`, created on first use.
+    fn flow_link(&mut self, to: ActorId) -> &mut FlowTx {
+        self.flow_tx.entry(to).or_insert_with(|| {
+            FlowTx::new(
+                self.queue_capacity,
+                self.breaker_threshold,
+                self.breaker_backoff,
+            )
+        })
+    }
+
+    /// Transmits whatever the credit window allows from `to`'s egress
+    /// queue, repairs (retransmissions) first.
+    fn drain_flow(&mut self, to: ActorId, ctx: &mut Ctx<'_, OverlayMsg>) {
+        loop {
+            let Some(entry) = self.flow_tx.get_mut(&to).and_then(FlowTx::pop_ready) else {
+                return;
+            };
+            match entry {
+                Queued::Fresh(env) => self.transmit(to, env, ctx),
+                Queued::Retransmit { link_seq, env } => {
+                    ctx.send(to, OverlayMsg::Sequenced { link_seq, env });
+                }
+            }
+        }
+    }
+
+    /// Counts one consumed data message from an upstream sender and emits
+    /// a batched credit grant when due. External publishers (the facade)
+    /// are not flow-controlled — they *are* the offered load.
+    fn note_data_arrival(&mut self, from: ActorId, ctx: &mut Ctx<'_, OverlayMsg>) {
+        if !self.flow_enabled || Some(from) != self.parent {
+            return;
+        }
+        let grant = self
+            .flow_rx
+            .entry(from)
+            .or_insert_with(|| FlowRx::new(self.queue_capacity))
+            .on_data();
+        if let Some(consumed_total) = grant {
+            self.overload.grants_sent += 1;
+            ctx.send(from, OverlayMsg::CreditGrant { consumed_total });
+        }
+    }
+
+    /// Arms the flow-maintenance timer iff some link still needs it.
+    fn ensure_flow_timer(&mut self, ctx: &mut Ctx<'_, OverlayMsg>) {
+        if self.flow_timer_armed || !self.flow_tx.values().any(FlowTx::needs_tick) {
+            return;
+        }
+        self.flow_timer_armed = true;
+        ctx.set_timer(self.flow_tick, TAG_FLOW);
+    }
+
+    /// Records a flow event (throttle or shed) on a sampled trace. Flow
+    /// events describe what happened to one *outgoing copy*; the trace
+    /// aggregation layer keeps them out of the arrival statistics.
+    fn record_flow_hop(
+        &self,
+        tc: Option<TraceContext>,
+        ctx: &Ctx<'_, OverlayMsg>,
+        verdict: HopVerdict,
+    ) {
+        let (Some(tc), Some(sink)) = (tc, self.trace.as_ref()) else {
+            return;
+        };
+        let now = ctx.now();
+        sink.record_hop(
+            &tc,
+            HopRecord {
+                node: self.label.clone(),
+                node_id: trace_actor(ctx.me()),
+                from_id: trace_actor(ctx.me()),
+                stage: self.stage,
+                arrival: now,
+                hop_latency: 0,
+                verdict,
+            },
+        );
     }
 
     pub(crate) fn timer(&mut self, tag: u64, ctx: &mut Ctx<'_, OverlayMsg>) {
@@ -440,8 +698,61 @@ impl Broker {
                 }
                 ctx.set_timer(self.ttl, TAG_RENEW);
             }
+            TAG_FLOW => self.on_flow_tick(ctx),
             _ => debug_assert!(false, "unknown broker timer tag {tag}"),
         }
+    }
+
+    /// One flow-maintenance tick: probe stalled links, advance breaker
+    /// clocks, shed what an opening breaker flushed, and re-arm the timer
+    /// while any link still needs it.
+    fn on_flow_tick(&mut self, ctx: &mut Ctx<'_, OverlayMsg>) {
+        self.flow_timer_armed = false;
+        let now = ctx.now();
+        // HashMap iteration order is randomly seeded per process; sends
+        // must happen in a deterministic order for reproducible runs.
+        let mut downs: Vec<ActorId> = self.flow_tx.keys().copied().collect();
+        downs.sort_unstable();
+        for down in downs {
+            let Some(link) = self.flow_tx.get_mut(&down) else {
+                continue;
+            };
+            match link.on_tick(now) {
+                Tick::Idle => {}
+                Tick::Probe => {
+                    self.overload.probes_sent += 1;
+                    ctx.send(down, OverlayMsg::Credit);
+                }
+                Tick::Opened { flushed } => {
+                    self.overload.breaker_opened += 1;
+                    for entry in flushed {
+                        self.overload.breaker_shed += 1;
+                        self.overload.add_stage_sheds(self.stage, 1);
+                        let env = match &entry {
+                            Queued::Fresh(env) | Queued::Retransmit { env, .. } => env,
+                        };
+                        self.record_flow_hop(
+                            env.trace(),
+                            ctx,
+                            HopVerdict::Shed {
+                                dest: down.0 as u64,
+                                breaker: true,
+                            },
+                        );
+                    }
+                }
+                Tick::HalfOpenProbe => {
+                    self.overload.breaker_half_opened += 1;
+                    self.overload.probes_sent += 1;
+                    ctx.send(down, OverlayMsg::Credit);
+                }
+                Tick::Resync => {
+                    // Leaked credit written off: the parked events can go.
+                    self.drain_flow(down, ctx);
+                }
+            }
+        }
+        self.ensure_flow_timer(ctx);
     }
 
     fn maybe_start_timers(&mut self, ctx: &mut Ctx<'_, OverlayMsg>) {
@@ -491,8 +802,16 @@ impl Broker {
                 return;
             }
         }
-        // 3. Fall back to a random child.
-        let node = self.children[self.rng.gen_range(0..self.children.len())];
+        // 3. Fall back to a random child. A broker with no children (a
+        //    degenerate topology, or one mid-reconfiguration) hosts the
+        //    subscription itself instead of panicking on the empty range.
+        let Some(&node) = self
+            .children
+            .get(self.rng.gen_range(0..self.children.len().max(1)))
+        else {
+            self.insert_subscriber(req, ctx);
+            return;
+        };
         ctx.send(req.subscriber, OverlayMsg::JoinAt { req, node });
     }
 

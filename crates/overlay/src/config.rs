@@ -3,6 +3,8 @@
 use layercake_filter::IndexKind;
 use layercake_sim::SimDuration;
 
+use crate::error::OverlayError;
+
 /// How a broker picks a child for a subscription it cannot place by
 /// covering-filter search (Figure 5(b), step 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,6 +59,25 @@ pub struct OverlayConfig {
     /// seq)` dedup window. Sequence numbers evicted from the ring can no
     /// longer be retransmitted (the sender concedes them instead).
     pub reliability_window: usize,
+    /// Whether the overload-protection layer runs: bounded per-link egress
+    /// queues, credit-based hop-by-hop backpressure, priority load
+    /// shedding (data only — control-plane traffic always bypasses the
+    /// queues), and per-downstream circuit breakers.
+    pub flow_control_enabled: bool,
+    /// Bound, in events, of each directed link's egress queue — and the
+    /// link's credit window: a sender never has more than this many
+    /// unconsumed data messages outstanding toward one downstream.
+    pub queue_capacity: usize,
+    /// Period of the flow-maintenance timer: a sender stalled on zero
+    /// credit probes its downstream once per tick, and breaker state
+    /// advances on the same clock.
+    pub flow_tick: SimDuration,
+    /// Consecutive unanswered credit probes before the circuit breaker for
+    /// a downstream trips open. `0` disables the breaker entirely.
+    pub breaker_failure_threshold: u32,
+    /// Initial backoff of an open breaker before the half-open probe; it
+    /// doubles on every failed recovery attempt (capped at 64×).
+    pub breaker_backoff: SimDuration,
     /// Seed for the brokers' random child selection.
     pub seed: u64,
     /// Per-event trace sampling period: every `N`-th published event
@@ -81,6 +102,11 @@ impl Default for OverlayConfig {
             leases_enabled: false,
             reliability_enabled: false,
             reliability_window: 256,
+            flow_control_enabled: false,
+            queue_capacity: 64,
+            flow_tick: SimDuration::from_ticks(32),
+            breaker_failure_threshold: 4,
+            breaker_backoff: SimDuration::from_ticks(128),
             seed: 0xCAFE,
             trace_sample_every: 0,
         }
@@ -94,29 +120,51 @@ impl OverlayConfig {
         self.levels.len()
     }
 
-    /// Validates the topology: non-empty, exactly one root, and each level
-    /// must not be smaller than the one above it (a node needs at least one
-    /// parent slot).
+    /// Validates the topology (non-empty, exactly one root, level sizes
+    /// non-growing upward) and the consistency of the overload-protection
+    /// knobs: flow control needs a non-zero queue and maintenance tick, an
+    /// armed breaker needs a positive backoff, and under reliable links
+    /// the egress queue must hold a full retransmission window (NACK
+    /// bursts are never shed, so a smaller queue could grow unboundedly).
     ///
     /// # Errors
     ///
-    /// Returns a description of the problem.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first [`OverlayError`] found; its `Display` form names
+    /// the knob to change.
+    pub fn validate(&self) -> Result<(), OverlayError> {
         if self.levels.is_empty() {
-            return Err("overlay needs at least one broker level".to_owned());
+            return Err(OverlayError::EmptyTopology);
         }
-        if *self.levels.last().unwrap() != 1 {
-            return Err("the top level must contain exactly the root node".to_owned());
+        let top = *self.levels.last().unwrap();
+        if top != 1 {
+            return Err(OverlayError::MultipleRoots { top_level: top });
         }
-        if self.levels.contains(&0) {
-            return Err("broker levels must be non-empty".to_owned());
+        if let Some(stage) = self.levels.iter().position(|&n| n == 0) {
+            return Err(OverlayError::EmptyLevel { stage: stage + 1 });
         }
         for w in self.levels.windows(2) {
             if w[0] < w[1] {
-                return Err(format!(
-                    "level sizes must not grow upward (found {} below {})",
-                    w[0], w[1]
-                ));
+                return Err(OverlayError::GrowingLevels {
+                    below: w[0],
+                    above: w[1],
+                });
+            }
+        }
+        if self.flow_control_enabled {
+            if self.queue_capacity == 0 {
+                return Err(OverlayError::ZeroQueueCapacity);
+            }
+            if self.flow_tick.ticks() == 0 {
+                return Err(OverlayError::ZeroFlowTick);
+            }
+            if self.breaker_failure_threshold > 0 && self.breaker_backoff.ticks() == 0 {
+                return Err(OverlayError::ZeroBreakerBackoff);
+            }
+            if self.reliability_enabled && self.reliability_window > self.queue_capacity {
+                return Err(OverlayError::WindowExceedsQueue {
+                    window: self.reliability_window,
+                    capacity: self.queue_capacity,
+                });
             }
         }
         Ok(())
@@ -147,5 +195,93 @@ mod tests {
         assert!(with_levels(vec![2, 10, 1]).validate().is_err());
         assert!(with_levels(vec![10, 0, 1]).validate().is_err());
         assert!(with_levels(vec![1]).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_reports_typed_topology_errors() {
+        use crate::error::OverlayError;
+        let bad = OverlayConfig {
+            levels: vec![10, 3],
+            ..OverlayConfig::default()
+        };
+        assert_eq!(
+            bad.validate(),
+            Err(OverlayError::MultipleRoots { top_level: 3 })
+        );
+        let growing = OverlayConfig {
+            levels: vec![2, 10, 1],
+            ..OverlayConfig::default()
+        };
+        assert_eq!(
+            growing.validate(),
+            Err(OverlayError::GrowingLevels {
+                below: 2,
+                above: 10
+            })
+        );
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_flow_knobs() {
+        use crate::error::OverlayError;
+        let base = OverlayConfig {
+            flow_control_enabled: true,
+            ..OverlayConfig::default()
+        };
+        assert!(base.validate().is_ok());
+
+        let zero_queue = OverlayConfig {
+            queue_capacity: 0,
+            ..base.clone()
+        };
+        assert_eq!(zero_queue.validate(), Err(OverlayError::ZeroQueueCapacity));
+
+        let zero_tick = OverlayConfig {
+            flow_tick: SimDuration::ZERO,
+            ..base.clone()
+        };
+        assert_eq!(zero_tick.validate(), Err(OverlayError::ZeroFlowTick));
+
+        let zero_backoff = OverlayConfig {
+            breaker_backoff: SimDuration::ZERO,
+            ..base.clone()
+        };
+        assert_eq!(
+            zero_backoff.validate(),
+            Err(OverlayError::ZeroBreakerBackoff)
+        );
+        // Threshold 0 disables the breaker; a zero backoff is then fine.
+        let breaker_off = OverlayConfig {
+            breaker_failure_threshold: 0,
+            breaker_backoff: SimDuration::ZERO,
+            ..base.clone()
+        };
+        assert!(breaker_off.validate().is_ok());
+
+        let narrow_queue = OverlayConfig {
+            reliability_enabled: true,
+            reliability_window: 256,
+            queue_capacity: 64,
+            ..base.clone()
+        };
+        assert_eq!(
+            narrow_queue.validate(),
+            Err(OverlayError::WindowExceedsQueue {
+                window: 256,
+                capacity: 64,
+            })
+        );
+        // The same knobs are fine with flow control off…
+        let fc_off = OverlayConfig {
+            flow_control_enabled: false,
+            ..narrow_queue.clone()
+        };
+        assert!(fc_off.validate().is_ok());
+        // …or with a queue wide enough for the window.
+        let wide_queue = OverlayConfig {
+            queue_capacity: 256,
+            ..narrow_queue
+        };
+        assert!(wide_queue.validate().is_ok());
     }
 }

@@ -56,6 +56,8 @@
 pub mod baseline;
 mod broker;
 mod config;
+mod error;
+mod flow;
 pub mod mesh;
 mod msg;
 mod node;
@@ -65,6 +67,7 @@ mod subscriber;
 
 pub use broker::Broker;
 pub use config::{OverlayConfig, PlacementPolicy};
+pub use error::OverlayError;
 pub use msg::{OverlayMsg, SubscriptionReq};
 pub use node::NodeActor;
 pub use sim::{OverlaySim, SubscriberHandle};

@@ -124,6 +124,35 @@ pub enum OverlayMsg {
     /// needs stored here (sent by a restarted broker rebuilding its table,
     /// and to children whose renewals reference unknown filters).
     Reannounce,
+    /// Credit probe: a sender stalled on zero flow-control credit asks its
+    /// downstream for an immediate [`OverlayMsg::CreditGrant`]. Also the
+    /// liveness probe of a half-open circuit breaker.
+    Credit,
+    /// Credit grant: the receiver reports how many data messages it has
+    /// consumed from this link **in total**. Grants are absolute (not
+    /// deltas), so duplicated, reordered or lost grants never corrupt the
+    /// sender's credit window — the sender simply keeps the maximum.
+    CreditGrant {
+        /// Cumulative count of data messages the receiver has consumed on
+        /// this directed link.
+        consumed_total: u64,
+    },
+}
+
+impl OverlayMsg {
+    /// Whether this message carries event payload (the *data plane*).
+    /// Data messages are subject to flow control: they consume link
+    /// credit, wait in bounded egress queues, and may be shed under
+    /// overload. Everything else is *control plane* — placement,
+    /// leases, reliability NACKs, credit itself — and always bypasses
+    /// the queues, so the overlay can heal while saturated.
+    #[must_use]
+    pub fn is_data(&self) -> bool {
+        matches!(
+            self,
+            OverlayMsg::Publish(_) | OverlayMsg::Deliver(_) | OverlayMsg::Sequenced { .. }
+        )
+    }
 }
 
 #[cfg(test)]
@@ -163,10 +192,39 @@ mod tests {
                 EventData::new(),
             )),
             OverlayMsg::Renew,
+            OverlayMsg::Credit,
+            OverlayMsg::CreditGrant { consumed_total: 7 },
         ];
         for m in &msgs {
             let copy = m.clone();
             assert!(!format!("{copy:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn only_event_payloads_are_data_plane() {
+        let env = Envelope::from_meta(ClassId(0), "X", EventSeq(0), EventData::new());
+        assert!(OverlayMsg::Publish(env.clone()).is_data());
+        assert!(OverlayMsg::Deliver(env.clone()).is_data());
+        assert!(OverlayMsg::Sequenced {
+            link_seq: 0,
+            env: env.clone(),
+        }
+        .is_data());
+        for control in [
+            OverlayMsg::Renew,
+            OverlayMsg::RenewAck,
+            OverlayMsg::Rejoin,
+            OverlayMsg::Reannounce,
+            OverlayMsg::Credit,
+            OverlayMsg::CreditGrant { consumed_total: 0 },
+            OverlayMsg::Nack {
+                from_seq: 0,
+                to_seq: 1,
+            },
+            OverlayMsg::Advance { to: 1 },
+        ] {
+            assert!(!control.is_data(), "{control:?} must be control plane");
         }
     }
 }

@@ -1,6 +1,6 @@
 //! The heterogeneous actor wrapper dispatching to brokers or subscribers.
 
-use layercake_sim::{Actor, ActorId, Ctx};
+use layercake_sim::{Actor, ActorId, Ctx, SimDuration};
 
 use crate::broker::Broker;
 use crate::msg::OverlayMsg;
@@ -74,6 +74,15 @@ impl Actor for NodeActor {
             // Subscribers are leaf runtimes: their subscription state
             // survives in-process; lease silence handles lost hosts.
             NodeActor::Subscriber(_) => {}
+        }
+    }
+
+    fn service_cost(&self, msg: &OverlayMsg) -> Option<SimDuration> {
+        match self {
+            NodeActor::Broker(b) => b.service_cost(msg),
+            // Subscriber-side filtering is modeled as free: the paper's
+            // bottleneck is broker matching, not leaf delivery.
+            NodeActor::Subscriber(_) => None,
         }
     }
 }

@@ -10,6 +10,7 @@ use layercake_trace::{EventTrace, TraceSink};
 
 use crate::broker::{Broker, BrokerSetup};
 use crate::config::OverlayConfig;
+use crate::error::OverlayError;
 use crate::msg::{OverlayMsg, SubscriptionReq};
 use crate::node::NodeActor;
 use crate::subscriber::{ResidualFilter, SubscriberNode};
@@ -50,9 +51,23 @@ impl OverlaySim {
     /// # Panics
     ///
     /// Panics if the configuration fails [`OverlayConfig::validate`].
+    /// Use [`OverlaySim::try_new`] to handle invalid configurations
+    /// gracefully.
     #[must_use]
     pub fn new(cfg: OverlayConfig, registry: Arc<TypeRegistry>) -> Self {
-        cfg.validate().expect("invalid overlay configuration");
+        Self::try_new(cfg, registry).expect("invalid overlay configuration")
+    }
+
+    /// Builds the hierarchy, reporting configuration problems as typed
+    /// errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`OverlayError`] produced by [`OverlayConfig::validate`]
+    /// (inconsistent topology or flow-control knobs), with a message naming
+    /// the offending knob and how to fix it.
+    pub fn try_new(cfg: OverlayConfig, registry: Arc<TypeRegistry>) -> Result<Self, OverlayError> {
+        cfg.validate()?;
         let trace =
             (cfg.trace_sample_every > 0).then(|| Arc::new(TraceSink::new(cfg.trace_sample_every)));
         let mut world = World::with_latency(SimDuration::from_ticks(1));
@@ -102,6 +117,11 @@ impl OverlaySim {
                     ttl: cfg.ttl,
                     reliability_enabled: cfg.reliability_enabled,
                     reliability_window: cfg.reliability_window,
+                    flow_control_enabled: cfg.flow_control_enabled,
+                    queue_capacity: cfg.queue_capacity,
+                    flow_tick: cfg.flow_tick,
+                    breaker_failure_threshold: cfg.breaker_failure_threshold,
+                    breaker_backoff: cfg.breaker_backoff,
                     seed: cfg.seed ^ (offsets[level] + i) as u64,
                     trace: trace.clone(),
                 });
@@ -111,7 +131,7 @@ impl OverlaySim {
         }
         let root = *brokers.last().expect("validated topology has a root");
 
-        Self {
+        Ok(Self {
             world,
             registry,
             cfg,
@@ -124,7 +144,7 @@ impl OverlaySim {
             delivered_messages: 0,
             fired_timers: 0,
             trace,
-        }
+        })
     }
 
     /// The shared type registry.
@@ -242,6 +262,8 @@ impl OverlaySim {
             leases_enabled: self.cfg.leases_enabled,
             ttl: self.cfg.ttl,
             reliability_window: self.cfg.reliability_window,
+            flow_control_enabled: self.cfg.flow_control_enabled,
+            queue_capacity: self.cfg.queue_capacity,
             trace: self.trace.clone(),
         });
         let actor = self.world.add_actor(NodeActor::Subscriber(node));
@@ -562,6 +584,18 @@ impl OverlaySim {
         self.world.is_crashed(id)
     }
 
+    /// Sets (or clears, with `None`) the per-data-message service time of
+    /// one broker. A broker with a service time is a finite-capacity
+    /// server: data messages queue behind its busy clock, which is what
+    /// makes a stage saturate under overload. Control messages are always
+    /// free so credit grants and probes never queue behind the backlog
+    /// they are meant to drain.
+    pub fn set_broker_service_time(&mut self, id: ActorId, per_message: Option<SimDuration>) {
+        if let NodeActor::Broker(b) = self.world.actor_mut(id) {
+            b.set_service_time(per_message);
+        }
+    }
+
     /// The actor id behind a subscriber handle (for fault injection).
     #[must_use]
     pub fn subscriber_actor(&self, handle: SubscriberHandle) -> ActorId {
@@ -582,15 +616,22 @@ impl OverlaySim {
                     m.chaos.retransmitted += b.retransmitted();
                     m.chaos.duplicates_suppressed += b.dup_suppressed();
                     m.chaos.nacks += b.nacks_sent();
+                    m.overload.absorb(b.overload());
                     m.push(b.record());
                 }
                 NodeActor::Subscriber(s) => {
                     m.chaos.duplicates_suppressed += s.dup_suppressed();
                     m.chaos.nacks += s.nacks_sent();
                     m.chaos.resubscriptions += s.resubscriptions();
+                    m.overload.grants_sent += s.grants_sent();
                     m.push(s.record());
                 }
             }
+        }
+        for &id in &self.brokers {
+            let peak = self.world.peak_inflight_of(id);
+            m.overload.ingress_backlog.record(peak);
+            m.overload.peak_ingress_backlog = m.overload.peak_ingress_backlog.max(peak);
         }
         if let Some(sink) = &self.trace {
             m.latency = LatencyMetrics {

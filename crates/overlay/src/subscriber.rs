@@ -10,6 +10,7 @@ use layercake_metrics::NodeRecord;
 use layercake_sim::{ActorId, Ctx, SimDuration};
 use layercake_trace::{HopRecord, HopVerdict, TraceSink};
 
+use crate::flow::FlowRx;
 use crate::msg::{OverlayMsg, SubscriptionReq};
 use crate::reliability::LinkRx;
 
@@ -97,6 +98,12 @@ pub struct SubscriberNode {
     inbox: Vec<Envelope>,
     /// Receiver state of reliable links, keyed by the sending host.
     rx: HashMap<ActorId, LinkRx>,
+    flow_enabled: bool,
+    queue_capacity: usize,
+    /// Flow-control consumption counters per sending host; subscribers
+    /// only ever *receive* data, so they hold no sender-side state.
+    flow_rx: HashMap<ActorId, FlowRx>,
+    grants_sent: u64,
     /// Hosts renewed since the last renewal timer, still unacknowledged.
     unacked: Vec<ActorId>,
     /// Per-branch re-subscription attempt counters (reset on acceptance).
@@ -131,6 +138,8 @@ pub(crate) struct SubscriberSetup {
     pub leases_enabled: bool,
     pub ttl: SimDuration,
     pub reliability_window: usize,
+    pub flow_control_enabled: bool,
+    pub queue_capacity: usize,
     pub trace: Option<Arc<TraceSink>>,
 }
 
@@ -145,6 +154,8 @@ impl SubscriberNode {
             leases_enabled,
             ttl,
             reliability_window,
+            flow_control_enabled,
+            queue_capacity,
             trace,
         } = setup;
         debug_assert!(
@@ -179,6 +190,10 @@ impl SubscriberNode {
             store_envelopes: false,
             inbox: Vec::new(),
             rx: HashMap::new(),
+            flow_enabled: flow_control_enabled,
+            queue_capacity,
+            flow_rx: HashMap::new(),
+            grants_sent: 0,
             unacked: Vec::new(),
             resub_attempts: vec![0; branch_count],
             resubscriptions: 0,
@@ -294,6 +309,13 @@ impl SubscriberNode {
         self.nacks_sent
     }
 
+    /// Credit grants this subscriber sent to its hosts (batched
+    /// consumption reports plus probe answers).
+    #[must_use]
+    pub fn grants_sent(&self) -> u64 {
+        self.grants_sent
+    }
+
     pub(crate) fn handle(&mut self, from: ActorId, msg: OverlayMsg, ctx: &mut Ctx<'_, OverlayMsg>) {
         match msg {
             OverlayMsg::JoinAt { req, node } => {
@@ -301,11 +323,12 @@ impl SubscriberNode {
                 ctx.send(node, OverlayMsg::Subscribe(req));
             }
             OverlayMsg::AcceptedAt { id, node } => {
-                let branch_idx = self
-                    .branches
-                    .iter()
-                    .position(|b| b.id == id)
-                    .expect("acceptance for one of this subscriber's branches");
+                // A stale acceptance (e.g. a duplicated message from a
+                // placement walk restarted since) names no current branch;
+                // ignore it rather than panic.
+                let Some(branch_idx) = self.branches.iter().position(|b| b.id == id) else {
+                    return;
+                };
                 self.branches[branch_idx].host = Some(node);
                 self.resub_attempts[branch_idx] = 0;
                 if self.leases_enabled && !self.timer_started {
@@ -315,10 +338,12 @@ impl SubscriberNode {
             }
             OverlayMsg::Deliver(env) => {
                 self.bytes_received += env.wire_size() as u64;
+                self.note_data_arrival(from, ctx);
                 self.accept(from, env, ctx);
             }
             OverlayMsg::Sequenced { link_seq, env } => {
                 self.bytes_received += env.wire_size() as u64;
+                self.note_data_arrival(from, ctx);
                 let outcome = self.rx.entry(from).or_default().on_event(
                     link_seq,
                     env,
@@ -347,13 +372,46 @@ impl SubscriberNode {
             OverlayMsg::RenewAck => {
                 self.unacked.retain(|&h| h != from);
             }
+            OverlayMsg::Credit => {
+                // Our host stalled on zero credit toward us (or its
+                // breaker is probing): answer immediately.
+                if self.flow_enabled {
+                    let consumed_total = self
+                        .flow_rx
+                        .entry(from)
+                        .or_insert_with(|| FlowRx::new(self.queue_capacity))
+                        .grant_now();
+                    self.grants_sent += 1;
+                    ctx.send(from, OverlayMsg::CreditGrant { consumed_total });
+                }
+            }
             other => {
                 debug_assert!(
-                    matches!(other, OverlayMsg::Advertise(_)),
+                    matches!(
+                        other,
+                        OverlayMsg::Advertise(_) | OverlayMsg::CreditGrant { .. }
+                    ),
                     "unexpected message at subscriber {}: {other:?}",
                     self.label
                 );
             }
+        }
+    }
+
+    /// Counts one consumed data message from a host and emits a batched
+    /// credit grant when due.
+    fn note_data_arrival(&mut self, from: ActorId, ctx: &mut Ctx<'_, OverlayMsg>) {
+        if !self.flow_enabled {
+            return;
+        }
+        let grant = self
+            .flow_rx
+            .entry(from)
+            .or_insert_with(|| FlowRx::new(self.queue_capacity))
+            .on_data();
+        if let Some(consumed_total) = grant {
+            self.grants_sent += 1;
+            ctx.send(from, OverlayMsg::CreditGrant { consumed_total });
         }
     }
 
@@ -414,8 +472,14 @@ impl SubscriberNode {
 
     pub(crate) fn timer(&mut self, tag: u64, ctx: &mut Ctx<'_, OverlayMsg>) {
         if tag >= TAG_RESUB_BASE {
-            let branch_idx = usize::try_from(tag - TAG_RESUB_BASE).expect("small branch index");
-            if self.active && self.branches[branch_idx].host.is_none() {
+            // A tag minted for a branch that no longer exists (or a
+            // corrupted tag) is ignored instead of indexing out of bounds.
+            let branch_idx = (tag - TAG_RESUB_BASE) as usize;
+            let needs_host = self
+                .branches
+                .get(branch_idx)
+                .is_some_and(|b| b.host.is_none());
+            if self.active && needs_host {
                 self.resubscribe(branch_idx, ctx);
             }
             return;
@@ -449,6 +513,7 @@ impl SubscriberNode {
     /// state) and start the re-subscription walk for every branch it held.
     fn suspect_host(&mut self, host: ActorId, ctx: &mut Ctx<'_, OverlayMsg>) {
         self.rx.remove(&host);
+        self.flow_rx.remove(&host);
         for i in 0..self.branches.len() {
             if self.branches[i].host == Some(host) {
                 self.branches[i].host = None;

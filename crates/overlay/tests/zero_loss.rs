@@ -12,6 +12,7 @@ use layercake_overlay::{OverlayConfig, OverlaySim};
 use layercake_sim::{FaultPlan, SimDuration};
 use layercake_workload::BiblioWorkload;
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 
 const TTL: u64 = 400;
 
@@ -25,6 +26,32 @@ proptest! {
         dup_p in 0.0f64..=0.1,
         jitter in 0u64..=3,
     ) {
+        run_zero_loss(seed, drop_p, dup_p, jitter, false)?;
+    }
+
+    /// The same zero-loss guarantee must hold with the overload-protection
+    /// layer switched on: under capacity, credit windows and bounded
+    /// queues may delay events but never drop them, and the per-link
+    /// dedup/ordering machinery survives credit stalls.
+    #[test]
+    fn flow_control_preserves_zero_loss_under_capacity(
+        seed in 0u64..1_000,
+        drop_p in 0.0f64..=0.15,
+        dup_p in 0.0f64..=0.1,
+        jitter in 0u64..=3,
+    ) {
+        run_zero_loss(seed, drop_p, dup_p, jitter, true)?;
+    }
+}
+
+fn run_zero_loss(
+    seed: u64,
+    drop_p: f64,
+    dup_p: f64,
+    jitter: u64,
+    flow_control: bool,
+) -> Result<(), TestCaseError> {
+    {
         let mut registry = TypeRegistry::new();
         let class = BiblioWorkload::register(&mut registry);
         let mut sim = OverlaySim::new(
@@ -34,6 +61,10 @@ proptest! {
                 reliability_enabled: true,
                 ttl: SimDuration::from_ticks(TTL),
                 seed,
+                flow_control_enabled: flow_control,
+                // The egress queue must hold a full retransmission window
+                // (`validate()` enforces window <= queue).
+                queue_capacity: 256,
                 ..OverlayConfig::default()
             },
             Arc::new(registry),
@@ -104,12 +135,18 @@ proptest! {
         for &(i, s) in &published {
             let count = sim.deliveries(subs[i]).iter().filter(|&&d| d == s).count();
             prop_assert_eq!(
-                count, 1,
+                count,
+                1,
                 "event {:?} for sub {} delivered {} times (drop={}, dup={})",
-                s, i, count, drop_p, dup_p
+                s,
+                i,
+                count,
+                drop_p,
+                dup_p
             );
         }
         let total: usize = subs.iter().map(|&h| sim.deliveries(h).len()).sum();
         prop_assert_eq!(total, published.len(), "no spurious deliveries");
     }
+    Ok(())
 }

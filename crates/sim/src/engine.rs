@@ -45,6 +45,22 @@ pub trait Actor {
     fn on_restart(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
         let _ = ctx;
     }
+
+    /// Virtual time this actor needs to *service* `msg` once it arrives.
+    ///
+    /// `None` (the default) means processing is instantaneous — the message
+    /// is handled at its nominal arrival time. Returning `Some(cost)` makes
+    /// the actor a finite-rate server: arrivals are serialized through a
+    /// per-actor busy clock, so a message's effective delivery time is
+    /// `max(nominal arrival, end of previous service) + cost`. Backlog and
+    /// queueing delay then emerge naturally when the offered rate exceeds
+    /// `1 / cost`. The world queries the *receiver* at scheduling time, so
+    /// an actor can charge different costs per message class (e.g. charge
+    /// data, wave control through).
+    fn service_cost(&self, msg: &Self::Msg) -> Option<SimDuration> {
+        let _ = msg;
+        None
+    }
 }
 
 /// Per-link fault model: probabilities rolled on a dedicated, seeded RNG
@@ -204,6 +220,9 @@ pub struct World<A: Actor> {
     fault_dropped: u64,
     fault_duplicated: u64,
     crash_discarded: u64,
+    busy_until: HashMap<ActorId, SimTime>,
+    inflight: HashMap<ActorId, u64>,
+    peak_inflight: HashMap<ActorId, u64>,
 }
 
 impl<A: Actor> Default for World<A> {
@@ -239,6 +258,9 @@ impl<A: Actor> World<A> {
             fault_dropped: 0,
             fault_duplicated: 0,
             crash_discarded: 0,
+            busy_until: HashMap::new(),
+            inflight: HashMap::new(),
+            peak_inflight: HashMap::new(),
         }
     }
 
@@ -332,6 +354,10 @@ impl<A: Actor> World<A> {
         let discarded = (before - kept.len()) as u64;
         self.crash_discarded += discarded;
         self.queue = BinaryHeap::from(kept);
+        // Every delivery addressed to the node is gone, and its service
+        // backlog dies with the process.
+        self.inflight.remove(&node);
+        self.busy_until.remove(&node);
         discarded
     }
 
@@ -414,9 +440,10 @@ impl<A: Actor> World<A> {
     }
 
     /// Injects a message from outside the simulation, delivered at the
-    /// current time plus the default latency.
+    /// current time plus the default latency (later if the receiver models
+    /// a service time and is backlogged).
     pub fn send_external(&mut self, to: ActorId, msg: A::Msg) {
-        let at = self.now + self.default_latency;
+        let at = self.shaped_arrival(to, self.now + self.default_latency, &msg);
         self.push(
             at,
             Item::Message {
@@ -427,10 +454,12 @@ impl<A: Actor> World<A> {
         );
     }
 
-    /// Injects a message delivered at an absolute virtual time.
+    /// Injects a message delivered at an absolute virtual time (later if
+    /// the receiver models a service time and is backlogged).
     pub fn send_external_at(&mut self, to: ActorId, msg: A::Msg, at: SimTime) {
+        let at = self.shaped_arrival(to, at.max(self.now), &msg);
         self.push(
-            at.max(self.now),
+            at,
             Item::Message {
                 from: ActorId(usize::MAX),
                 to,
@@ -475,6 +504,11 @@ impl<A: Actor> World<A> {
                 Item::Message { to, .. } => *to,
                 Item::Timer { actor, .. } => *actor,
             };
+            if matches!(scheduled.item, Item::Message { .. }) {
+                if let Some(n) = self.inflight.get_mut(&actor_id) {
+                    *n = n.saturating_sub(1);
+                }
+            }
             debug_assert!(actor_id.0 < self.actors.len(), "delivery to unknown actor");
             let mut effects = std::mem::take(&mut self.effects_scratch);
             {
@@ -524,7 +558,39 @@ impl<A: Actor> World<A> {
         self.queue.len()
     }
 
+    /// Messages currently scheduled toward `id` (in transit or waiting out
+    /// the receiver's service backlog). Timers are not counted.
+    #[must_use]
+    pub fn inflight_of(&self, id: ActorId) -> u64 {
+        self.inflight.get(&id).copied().unwrap_or(0)
+    }
+
+    /// High-water mark of [`World::inflight_of`] over the world's lifetime.
+    #[must_use]
+    pub fn peak_inflight_of(&self, id: ActorId) -> u64 {
+        self.peak_inflight.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Applies the receiver's service model to a nominal arrival time: if
+    /// the receiver charges a cost for this message, the delivery is pushed
+    /// behind its service backlog and the busy clock advances.
+    fn shaped_arrival(&mut self, to: ActorId, nominal: SimTime, msg: &A::Msg) -> SimTime {
+        let Some(cost) = self.actors.get(to.0).and_then(|a| a.service_cost(msg)) else {
+            return nominal;
+        };
+        let start = nominal.max(self.busy_until.get(&to).copied().unwrap_or(SimTime::ZERO));
+        let done = start + cost;
+        self.busy_until.insert(to, done);
+        done
+    }
+
     fn push(&mut self, at: SimTime, item: Item<A::Msg>) {
+        if let Item::Message { to, .. } = &item {
+            let n = self.inflight.entry(*to).or_insert(0);
+            *n += 1;
+            let peak = self.peak_inflight.entry(*to).or_insert(0);
+            *peak = (*peak).max(*n);
+        }
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Scheduled { at, seq, item });
@@ -559,7 +625,7 @@ impl<A: Actor> World<A> {
     {
         let plan = self.plan_for(from, to).filter(FaultPlan::is_active);
         let Some(plan) = plan else {
-            let at = self.now + delay;
+            let at = self.shaped_arrival(to, self.now + delay, &msg);
             self.push(at, Item::Message { from, to, msg });
             return;
         };
@@ -578,7 +644,7 @@ impl<A: Actor> World<A> {
         // original may be lost while its duplicate survives.
         if duplicated {
             self.fault_duplicated += 1;
-            let at = self.now + delay + jitter_dup;
+            let at = self.shaped_arrival(to, self.now + delay + jitter_dup, &msg);
             self.push(
                 at,
                 Item::Message {
@@ -591,7 +657,7 @@ impl<A: Actor> World<A> {
         if dropped {
             self.fault_dropped += 1;
         } else {
-            let at = self.now + delay + jitter_main;
+            let at = self.shaped_arrival(to, self.now + delay + jitter_main, &msg);
             self.push(at, Item::Message { from, to, msg });
         }
     }
@@ -958,6 +1024,95 @@ mod tests {
         world.run();
         assert_eq!(world.actor(a).restarts, 1);
         assert_eq!(world.actor(a).received, vec![99, 7]);
+    }
+
+    /// Server charging a fixed cost for odd payloads, nothing for even —
+    /// models a broker that charges data but waves control through.
+    struct Server {
+        cost: u64,
+        log: Vec<(u64, u32)>,
+    }
+
+    impl Actor for Server {
+        type Msg = u32;
+        fn on_message(&mut self, _from: ActorId, msg: u32, ctx: &mut Ctx<'_, u32>) {
+            self.log.push((ctx.now().ticks(), msg));
+        }
+        fn service_cost(&self, msg: &u32) -> Option<SimDuration> {
+            (*msg % 2 == 1).then(|| SimDuration::from_ticks(self.cost))
+        }
+    }
+
+    #[test]
+    fn service_time_serializes_arrivals() {
+        let mut world: World<Server> = World::new();
+        let a = world.add_actor(Server {
+            cost: 10,
+            log: vec![],
+        });
+        // Three chargeable messages injected at t=0, nominal arrival t=1:
+        // they must be serviced back-to-back at 11, 21, 31, in FIFO order.
+        for i in 0..3 {
+            world.send_external(a, 2 * i + 1);
+        }
+        world.run();
+        let times: Vec<u64> = world.actor(a).log.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![11, 21, 31]);
+        let payloads: Vec<u32> = world.actor(a).log.iter().map(|(_, p)| *p).collect();
+        assert_eq!(payloads, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn zero_cost_messages_bypass_the_busy_clock() {
+        let mut world: World<Server> = World::new();
+        let a = world.add_actor(Server {
+            cost: 10,
+            log: vec![],
+        });
+        world.send_external(a, 1); // serviced at 11
+        world.send_external(a, 2); // free: arrives at nominal t=1
+        world.run();
+        assert_eq!(world.actor(a).log, vec![(1, 2), (11, 1)]);
+    }
+
+    #[test]
+    fn inflight_tracks_backlog_and_peak() {
+        let mut world: World<Server> = World::new();
+        let a = world.add_actor(Server {
+            cost: 100,
+            log: vec![],
+        });
+        for _ in 0..5 {
+            world.send_external(a, 1);
+        }
+        assert_eq!(world.inflight_of(a), 5);
+        assert_eq!(world.peak_inflight_of(a), 5);
+        world.run_until(SimTime::from_ticks(250)); // services two of five
+        assert_eq!(world.inflight_of(a), 3);
+        assert_eq!(world.peak_inflight_of(a), 5, "peak is a high-water mark");
+        world.run();
+        assert_eq!(world.inflight_of(a), 0);
+        assert_eq!(world.peak_inflight_of(a), 5);
+    }
+
+    #[test]
+    fn crash_clears_backlog_and_busy_clock() {
+        let mut world: World<Server> = World::new();
+        let a = world.add_actor(Server {
+            cost: 50,
+            log: vec![],
+        });
+        for _ in 0..4 {
+            world.send_external(a, 1);
+        }
+        world.crash(a);
+        assert_eq!(world.inflight_of(a), 0);
+        world.restart(a);
+        // A fresh arrival is serviced from a clean busy clock, not behind
+        // the dead backlog's 4 × 50 ticks.
+        world.send_external(a, 1);
+        world.run();
+        assert_eq!(world.actor(a).log, vec![(51, 1)]);
     }
 
     #[test]

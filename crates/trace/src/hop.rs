@@ -32,6 +32,22 @@ pub enum HopVerdict {
     /// The original filter matched but the event had already been
     /// delivered (duplicate suppressed by exactly-once bookkeeping).
     Duplicate,
+    /// Flow control queued this copy in a bounded egress queue to wait
+    /// for downstream credit — delayed, not dropped.
+    Throttled {
+        /// Egress-queue depth at enqueue time (this event included).
+        depth: u32,
+    },
+    /// Overload protection dropped this copy before it reached the
+    /// downstream: the bounded egress queue was full, or the
+    /// downstream's circuit breaker was open.
+    Shed {
+        /// Actor id of the downstream the copy was headed for.
+        dest: u64,
+        /// `true` when an open circuit breaker fast-failed the copy,
+        /// `false` for a queue-overflow shed.
+        breaker: bool,
+    },
 }
 
 impl HopVerdict {
@@ -56,6 +72,16 @@ impl HopVerdict {
         )
     }
 
+    /// `true` for flow-control observations ([`HopVerdict::Throttled`],
+    /// [`HopVerdict::Shed`]): these describe what happened to an *outgoing*
+    /// copy at a node the event had already arrived at, so they are not
+    /// arrivals and are excluded from hop-latency and weakening
+    /// aggregation.
+    #[must_use]
+    pub fn is_flow_event(&self) -> bool {
+        matches!(self, HopVerdict::Throttled { .. } | HopVerdict::Shed { .. })
+    }
+
     /// Human-readable one-line description used by `explain()` reports.
     #[must_use]
     pub fn describe(&self) -> String {
@@ -72,6 +98,21 @@ impl HopVerdict {
                 String::from("rejected by the subscriber's residual predicate")
             }
             HopVerdict::Duplicate => String::from("duplicate of an already-delivered event"),
+            HopVerdict::Throttled { depth } => {
+                format!("throttled by backpressure -> queued for credit (egress depth {depth})")
+            }
+            HopVerdict::Shed {
+                dest,
+                breaker: false,
+            } => {
+                format!("SHED under overload toward actor#{dest} (egress queue full)")
+            }
+            HopVerdict::Shed {
+                dest,
+                breaker: true,
+            } => {
+                format!("SHED by an open circuit breaker toward actor#{dest}")
+            }
         }
     }
 }
@@ -132,10 +173,34 @@ impl EventTrace {
             .map(|h| h.arrival.since(self.published_at).ticks())
     }
 
-    /// The first hop recorded at a node label, if the event reached it.
+    /// The first *arrival* hop recorded at a node label, if the event
+    /// reached it. Flow-control observations (throttle/shed records for
+    /// outgoing copies) at the same node are skipped; see
+    /// [`EventTrace::flow_events_at`].
     #[must_use]
     pub fn hop_at(&self, label: &str) -> Option<&HopRecord> {
-        self.hops.iter().find(|h| h.node == label)
+        self.hops
+            .iter()
+            .find(|h| h.node == label && !h.verdict.is_flow_event())
+    }
+
+    /// All flow-control observations (throttles and sheds of outgoing
+    /// copies) recorded at a node label.
+    #[must_use]
+    pub fn flow_events_at(&self, label: &str) -> Vec<&HopRecord> {
+        self.hops
+            .iter()
+            .filter(|h| h.node == label && h.verdict.is_flow_event())
+            .collect()
+    }
+
+    /// `true` if overload protection dropped at least one copy of this
+    /// event somewhere in the overlay.
+    #[must_use]
+    pub fn shed(&self) -> bool {
+        self.hops
+            .iter()
+            .any(|h| matches!(h.verdict, HopVerdict::Shed { .. }))
     }
 
     /// `true` if any `Delivered` hop lies strictly downstream of `hop` in
@@ -199,6 +264,15 @@ impl EventTrace {
                         hop.stage,
                         hop.verdict.describe()
                     ));
+                    for flow in self.flow_events_at(label) {
+                        out.push_str(&format!(
+                            "  {} (+0) {} [stage {}] {}\n",
+                            flow.arrival,
+                            flow.node,
+                            flow.stage,
+                            flow.verdict.describe()
+                        ));
+                    }
                     reached_target = i + 1 == path.len();
                     deepest = Some(hop);
                 }
@@ -230,6 +304,19 @@ impl EventTrace {
                      (stage {}), so no traffic flowed below it.\n",
                     hop.node, hop.stage
                 ),
+                HopVerdict::Forwarded { .. }
+                    if self
+                        .flow_events_at(&hop.node)
+                        .iter()
+                        .any(|h| matches!(h.verdict, HopVerdict::Shed { .. })) =>
+                {
+                    format!(
+                        "verdict: died under overload — {} (stage {}) matched and would \
+                         have forwarded the event, but overload protection shed the copy \
+                         before it left the broker.\n",
+                        hop.node, hop.stage
+                    )
+                }
                 HopVerdict::Forwarded { .. } => format!(
                     "verdict: pre-filtered toward this subscriber — {} (stage {}) forwarded \
                      the event elsewhere, but the covering filter routing toward the next \
@@ -398,6 +485,78 @@ mod tests {
         let report = t.explain(&path);
         assert!(report.contains("N1.9: event never arrived"));
         assert!(report.contains("pre-filtered toward this subscriber"));
+    }
+
+    /// root forwards, but the copy toward N2.3 is shed by the bounded
+    /// egress queue; the subscriber below N2.3 never sees the event.
+    fn shed_trace() -> EventTrace {
+        EventTrace {
+            id: TraceId(2),
+            class: "Biblio".to_owned(),
+            seq: 9,
+            published_at: SimTime::from_ticks(10),
+            hops: vec![
+                hop(
+                    "N3.1",
+                    10,
+                    EXTERNAL_SOURCE,
+                    3,
+                    11,
+                    HopVerdict::Forwarded { dests: 2 },
+                ),
+                hop(
+                    "N3.1",
+                    10,
+                    EXTERNAL_SOURCE,
+                    3,
+                    11,
+                    HopVerdict::Shed {
+                        dest: 16,
+                        breaker: false,
+                    },
+                ),
+                hop("N2.1", 11, 10, 2, 12, HopVerdict::Forwarded { dests: 1 }),
+            ],
+        }
+    }
+
+    #[test]
+    fn hop_at_skips_flow_events_and_flow_events_are_listed() {
+        let t = shed_trace();
+        let arrival = t.hop_at("N3.1").unwrap();
+        assert_eq!(arrival.verdict, HopVerdict::Forwarded { dests: 2 });
+        let flow = t.flow_events_at("N3.1");
+        assert_eq!(flow.len(), 1);
+        assert!(matches!(flow[0].verdict, HopVerdict::Shed { dest: 16, .. }));
+        assert!(t.shed());
+        assert!(!sample_trace().shed());
+    }
+
+    #[test]
+    fn explain_attributes_death_to_overload_shed() {
+        let t = shed_trace();
+        let path: Vec<String> = ["N3.1", "N2.3", "sub-c"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let report = t.explain(&path);
+        assert!(report.contains("SHED under overload toward actor#16"));
+        assert!(report.contains("N2.3: event never arrived"));
+        assert!(report.contains("died under overload"));
+        assert!(report.contains("shed the copy"));
+    }
+
+    #[test]
+    fn throttled_describes_depth_and_is_flow_event() {
+        let v = HopVerdict::Throttled { depth: 12 };
+        assert!(v.is_flow_event());
+        assert!(!v.admitted());
+        assert!(v.describe().contains("egress depth 12"));
+        let b = HopVerdict::Shed {
+            dest: 3,
+            breaker: true,
+        };
+        assert!(b.describe().contains("circuit breaker"));
     }
 
     #[test]

@@ -122,6 +122,9 @@ impl TraceSink {
         let mut by_stage: BTreeMap<usize, Histogram> = BTreeMap::new();
         for trace in &state.traces {
             for hop in &trace.hops {
+                if hop.verdict.is_flow_event() {
+                    continue; // throttle/shed records are not arrivals
+                }
                 by_stage
                     .entry(hop.stage)
                     .or_default()
@@ -160,6 +163,9 @@ impl TraceSink {
         let mut by_stage: BTreeMap<usize, StageWeakening> = BTreeMap::new();
         for trace in &state.traces {
             for hop in &trace.hops {
+                if hop.verdict.is_flow_event() {
+                    continue; // throttle/shed records are not arrivals
+                }
                 let w = by_stage.entry(hop.stage).or_insert_with(|| StageWeakening {
                     stage: hop.stage,
                     ..StageWeakening::default()
