@@ -4,6 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::intern::AttrId;
 use crate::value::ValueKind;
 
 /// Identifier of a registered event class within a [`crate::TypeRegistry`].
@@ -63,6 +64,7 @@ pub struct EventClass {
     name: String,
     parent: Option<ClassId>,
     attrs: Vec<AttributeDecl>,
+    attr_ids: Vec<AttrId>,
 }
 
 impl EventClass {
@@ -72,11 +74,13 @@ impl EventClass {
         parent: Option<ClassId>,
         attrs: Vec<AttributeDecl>,
     ) -> Self {
+        let attr_ids = attrs.iter().map(|a| AttrId::intern(a.name())).collect();
         Self {
             id,
             name,
             parent,
             attrs,
+            attr_ids,
         }
     }
 
@@ -103,6 +107,15 @@ impl EventClass {
     #[must_use]
     pub fn attributes(&self) -> &[AttributeDecl] {
         &self.attrs
+    }
+
+    /// The interned ids of the schema attributes, parallel to
+    /// [`attributes`](EventClass::attributes). Registration interns every
+    /// schema name, so the data plane can always resolve schema attributes
+    /// by id.
+    #[must_use]
+    pub fn attr_ids(&self) -> &[AttrId] {
+        &self.attr_ids
     }
 
     /// Looks up the schema index (generality rank) of an attribute.

@@ -2,8 +2,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
+use crate::intern::AttrId;
 use crate::value::AttrValue;
 
 /// Ordered name/value meta-data extracted from an event object.
@@ -16,9 +17,15 @@ use crate::value::AttrValue;
 /// which lists attributes from *most general* to *least general*
 /// (Section 4.1), so a stage prefix of this list is exactly the attribute
 /// set used by a weakened filter.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+///
+/// Internally names are stored as interned [`AttrId`]s, so the per-hop
+/// matching path compares dense `u32`s instead of scanning strings; the
+/// string-based API interns (on insertion) or looks up (on query) behind
+/// the scenes. On the wire attributes still travel as `(name, value)`
+/// pairs — ids are process-local.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EventData {
-    attrs: Vec<(String, AttrValue)>,
+    attrs: Vec<(AttrId, AttrValue)>,
 }
 
 impl EventData {
@@ -44,20 +51,34 @@ impl EventData {
         value: impl Into<AttrValue>,
     ) -> Option<AttrValue> {
         let name = name.into();
+        self.insert_id(AttrId::intern(&name), value.into())
+    }
+
+    /// Appends an attribute by interned id. If the id already exists its
+    /// value is replaced in place (order preserved) and the old value
+    /// returned.
+    pub fn insert_id(&mut self, id: AttrId, value: impl Into<AttrValue>) -> Option<AttrValue> {
         let value = value.into();
         for (n, v) in &mut self.attrs {
-            if *n == name {
+            if *n == id {
                 return Some(std::mem::replace(v, value));
             }
         }
-        self.attrs.push((name, value));
+        self.attrs.push((id, value));
         None
     }
 
     /// Looks up an attribute value by name.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<&AttrValue> {
-        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.get_id(AttrId::lookup(name)?)
+    }
+
+    /// Looks up an attribute value by interned id — the hot-path lookup:
+    /// a scan over dense `u32`s, no string hashing or comparison.
+    #[must_use]
+    pub fn get_id(&self, id: AttrId) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(n, _)| *n == id).map(|(_, v)| v)
     }
 
     /// Whether an attribute with the given name is present.
@@ -68,7 +89,8 @@ impl EventData {
 
     /// Removes an attribute by name, returning its value.
     pub fn remove(&mut self, name: &str) -> Option<AttrValue> {
-        let idx = self.attrs.iter().position(|(n, _)| n == name)?;
+        let id = AttrId::lookup(name)?;
+        let idx = self.attrs.iter().position(|(n, _)| *n == id)?;
         Some(self.attrs.remove(idx).1)
     }
 
@@ -86,14 +108,20 @@ impl EventData {
 
     /// Iterates over `(name, value)` pairs in schema order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
-        self.attrs.iter().map(|(n, v)| (n.as_str(), v))
+        self.attrs.iter().map(|(n, v)| (n.name(), v))
+    }
+
+    /// Iterates over `(id, value)` pairs in schema order — the hot-path
+    /// view used by the matching indexes.
+    pub fn iter_ids(&self) -> impl Iterator<Item = (AttrId, &AttrValue)> {
+        self.attrs.iter().map(|(n, v)| (*n, v))
     }
 
     /// Retains only the attributes whose names satisfy `keep`, preserving
     /// order. This is the *event weakening* primitive: dropping the least
     /// general attributes yields a covering event (paper Proposition 2).
     pub fn retain_attrs(&mut self, mut keep: impl FnMut(&str) -> bool) {
-        self.attrs.retain(|(n, _)| keep(n));
+        self.attrs.retain(|(n, _)| keep(n.name()));
     }
 
     /// Returns a copy containing only the named attributes, in schema order.
@@ -101,8 +129,8 @@ impl EventData {
     pub fn project(&self, names: &[&str]) -> EventData {
         let mut out = EventData::with_capacity(names.len());
         for (n, v) in &self.attrs {
-            if names.contains(&n.as_str()) {
-                out.attrs.push((n.clone(), v.clone()));
+            if names.contains(&n.name()) {
+                out.attrs.push((*n, v.clone()));
             }
         }
         out
@@ -144,10 +172,41 @@ impl Extend<(String, AttrValue)> for EventData {
 
 impl IntoIterator for EventData {
     type Item = (String, AttrValue);
-    type IntoIter = std::vec::IntoIter<(String, AttrValue)>;
+    type IntoIter = std::iter::Map<
+        std::vec::IntoIter<(AttrId, AttrValue)>,
+        fn((AttrId, AttrValue)) -> (String, AttrValue),
+    >;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.attrs.into_iter()
+        self.attrs
+            .into_iter()
+            .map(|(n, v)| (n.name().to_owned(), v))
+    }
+}
+
+// Wire shape: `{"attrs": [[name, value], ...]}` — identical to the previous
+// `Vec<(String, AttrValue)>` representation, so ids never leak off-process.
+impl Serialize for EventData {
+    fn serialize_value(&self) -> Value {
+        let items = self
+            .attrs
+            .iter()
+            .map(|(n, v)| Value::Array(vec![Value::Str(n.name().to_owned()), v.serialize_value()]))
+            .collect();
+        let mut obj = Value::object();
+        obj.insert_field("attrs", Value::Array(items));
+        obj
+    }
+}
+
+impl Deserialize for EventData {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let pairs: Vec<(String, AttrValue)> = serde::__field(v, "attrs")?;
+        let mut data = EventData::with_capacity(pairs.len());
+        for (n, v) in pairs {
+            data.insert(n, v);
+        }
+        Ok(data)
     }
 }
 
@@ -183,6 +242,15 @@ mod tests {
         assert_eq!(e.get("volume"), Some(&AttrValue::Int(32_300)));
         assert_eq!(e.get("missing"), None);
         assert_eq!(e.len(), 3);
+    }
+
+    #[test]
+    fn id_lookup_agrees_with_name_lookup() {
+        let e = sample();
+        let id = AttrId::lookup("price").unwrap();
+        assert_eq!(e.get_id(id), e.get("price"));
+        let ids: Vec<_> = e.iter_ids().map(|(id, _)| id.name()).collect();
+        assert_eq!(ids, ["symbol", "price", "volume"]);
     }
 
     #[test]
@@ -246,6 +314,14 @@ mod tests {
         let s = serde_json::to_string(&e).unwrap();
         let back: EventData = serde_json::from_str(&s).unwrap();
         assert_eq!(e, back);
+    }
+
+    #[test]
+    fn serde_wire_shape_carries_names() {
+        // Ids are process-local: the serialized form must spell out names.
+        let e = event_data! { "symbol" => "Foo" };
+        let s = serde_json::to_string(&e).unwrap();
+        assert!(s.contains("symbol"), "wire form lacks the name: {s}");
     }
 
     #[test]

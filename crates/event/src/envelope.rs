@@ -1,7 +1,9 @@
 //! Event envelopes: what travels through the broker overlay.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::class::ClassId;
 use crate::data::EventData;
@@ -12,6 +14,23 @@ use crate::typed::TypedEvent;
 /// Monotonic sequence number identifying a published event instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct EventSeq(pub u64);
+
+/// The immutable, structurally shared part of an [`Envelope`]: everything
+/// that is identical across every copy of one published event.
+///
+/// Fan-out to N downstreams, the reliability retransmission ring, and
+/// flow-control egress queues all hold `Arc` references to one body; the
+/// only per-copy state lives in the envelope header ([`Envelope::trace`]).
+/// Nothing may mutate a body after construction — there is deliberately no
+/// `&mut` accessor.
+#[derive(Debug, PartialEq)]
+struct EnvelopeBody {
+    class: ClassId,
+    class_name: String,
+    seq: EventSeq,
+    meta: EventData,
+    payload: Bytes,
+}
 
 /// A published event as seen by the broker network.
 ///
@@ -25,19 +44,33 @@ pub struct EventSeq(pub u64);
 ///
 /// Brokers never deserialize the payload, so encapsulation is preserved and
 /// per-hop filtering cost is independent of the richness of the event type.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// # Sharing contract
+///
+/// An envelope is a cheap header (the tracing context) plus an immutable,
+/// reference-counted body (class, sequence, meta-data, payload). `clone()`
+/// bumps a reference count — its cost is independent of meta and payload
+/// size — so per-downstream fan-out copies, retransmission-ring entries and
+/// queued envelopes all share one body. The body is never mutated after
+/// construction; the tracing context is the only per-copy mutable state
+/// ([`Envelope::set_trace`] / [`Envelope::touch_trace`]), which is how each
+/// hop re-stamps `last_hop_at` on its own copy without disturbing siblings.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
-    class: ClassId,
-    class_name: String,
-    seq: EventSeq,
-    meta: EventData,
-    payload: Bytes,
+    body: Arc<EnvelopeBody>,
     /// Sampled-tracing context; `None` (the default) for the unsampled
     /// majority of events, which therefore pay nothing for observability.
     trace: Option<TraceContext>,
 }
 
 impl Envelope {
+    fn from_body(body: EnvelopeBody) -> Self {
+        Self {
+            body: Arc::new(body),
+            trace: None,
+        }
+    }
+
     /// Encodes a typed event for publication: extracts its meta-data and
     /// serializes the object for opaque transport.
     ///
@@ -51,14 +84,13 @@ impl Envelope {
     ) -> Result<Self, EventError> {
         let payload =
             serde_json::to_vec(event).map_err(|e| EventError::PayloadEncode(e.to_string()))?;
-        Ok(Self {
+        Ok(Self::from_body(EnvelopeBody {
             class,
             class_name: E::CLASS_NAME.to_owned(),
             seq,
             meta: event.extract(),
             payload: Bytes::from(payload),
-            trace: None,
-        })
+        }))
     }
 
     /// Creates an envelope from bare meta-data, with an empty payload.
@@ -72,14 +104,33 @@ impl Envelope {
         seq: EventSeq,
         meta: EventData,
     ) -> Self {
-        Self {
+        Self::from_body(EnvelopeBody {
             class,
             class_name: class_name.into(),
             seq,
             meta,
             payload: Bytes::new(),
-            trace: None,
-        }
+        })
+    }
+
+    /// Creates an envelope from explicit parts, including an opaque
+    /// payload. Benchmarks and gateways that re-wrap foreign encodings use
+    /// this; typed publication goes through [`Envelope::encode`].
+    #[must_use]
+    pub fn from_parts(
+        class: ClassId,
+        class_name: impl Into<String>,
+        seq: EventSeq,
+        meta: EventData,
+        payload: Bytes,
+    ) -> Self {
+        Self::from_body(EnvelopeBody {
+            class,
+            class_name: class_name.into(),
+            seq,
+            meta,
+            payload,
+        })
     }
 
     /// Decodes the encapsulated payload into a typed event.
@@ -93,43 +144,52 @@ impl Envelope {
     /// Returns [`EventError::PayloadDecode`] if the payload is empty or not
     /// a valid encoding of `E`.
     pub fn decode<E: TypedEvent>(&self) -> Result<E, EventError> {
-        if self.payload.is_empty() {
+        if self.body.payload.is_empty() {
             return Err(EventError::PayloadDecode(format!(
                 "event {} of class {:?} carries no payload",
-                self.seq.0, self.class_name
+                self.body.seq.0, self.body.class_name
             )));
         }
-        serde_json::from_slice(&self.payload).map_err(|e| EventError::PayloadDecode(e.to_string()))
+        serde_json::from_slice(&self.body.payload)
+            .map_err(|e| EventError::PayloadDecode(e.to_string()))
     }
 
     /// The event class id.
     #[must_use]
     pub fn class(&self) -> ClassId {
-        self.class
+        self.body.class
     }
 
     /// The event class name.
     #[must_use]
     pub fn class_name(&self) -> &str {
-        &self.class_name
+        &self.body.class_name
     }
 
     /// The publisher-assigned sequence number.
     #[must_use]
     pub fn seq(&self) -> EventSeq {
-        self.seq
+        self.body.seq
     }
 
     /// The routing meta-data (covering event).
     #[must_use]
     pub fn meta(&self) -> &EventData {
-        &self.meta
+        &self.body.meta
     }
 
     /// The opaque serialized event object.
     #[must_use]
     pub fn payload(&self) -> &Bytes {
-        &self.payload
+        &self.body.payload
+    }
+
+    /// Whether two envelopes share one body allocation (true for clones of
+    /// the same published event). Used by tests and benchmarks to verify
+    /// the zero-copy fan-out contract.
+    #[must_use]
+    pub fn shares_body_with(&self, other: &Envelope) -> bool {
+        Arc::ptr_eq(&self.body, &other.body)
     }
 
     /// The sampled-tracing context, if this event was selected for tracing.
@@ -139,13 +199,15 @@ impl Envelope {
     }
 
     /// Attaches (or clears) the tracing context. Called once at publish
-    /// time by the tracing layer; `None` is the untraced default.
+    /// time by the tracing layer; `None` is the untraced default. Per-copy:
+    /// clones made afterwards inherit the context, siblings do not change.
     pub fn set_trace(&mut self, trace: Option<TraceContext>) {
         self.trace = trace;
     }
 
     /// Re-stamps the context's `last_hop_at` before this copy is forwarded
-    /// to the next hop. A no-op on untraced envelopes.
+    /// to the next hop. A no-op on untraced envelopes. Only this copy's
+    /// header changes; the shared body is untouched.
     pub fn touch_trace(&mut self, now_ticks: u64) {
         if let Some(t) = &mut self.trace {
             t.last_hop_at = now_ticks;
@@ -157,11 +219,42 @@ impl Envelope {
     #[must_use]
     pub fn wire_size(&self) -> usize {
         let meta: usize = self
+            .body
             .meta
             .iter()
             .map(|(n, v)| n.len() + std::mem::size_of_val(v))
             .sum();
-        meta + self.payload.len() + self.class_name.len() + 16
+        meta + self.body.payload.len() + self.body.class_name.len() + 16
+    }
+}
+
+// Hand-written because the derive macro cannot see through `Arc`; the wire
+// shape is the flat six-field object the derived form used to produce, so
+// serialized envelopes are indistinguishable from pre-split ones.
+impl Serialize for Envelope {
+    fn serialize_value(&self) -> Value {
+        let mut obj = Value::object();
+        obj.insert_field("class", self.body.class.serialize_value());
+        obj.insert_field("class_name", self.body.class_name.serialize_value());
+        obj.insert_field("seq", self.body.seq.serialize_value());
+        obj.insert_field("meta", self.body.meta.serialize_value());
+        obj.insert_field("payload", self.body.payload.serialize_value());
+        obj.insert_field("trace", self.trace.serialize_value());
+        obj
+    }
+}
+
+impl Deserialize for Envelope {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let mut env = Envelope::from_body(EnvelopeBody {
+            class: serde::__field(v, "class")?,
+            class_name: serde::__field(v, "class_name")?,
+            seq: serde::__field(v, "seq")?,
+            meta: serde::__field(v, "meta")?,
+            payload: serde::__field(v, "payload")?,
+        });
+        env.trace = serde::__field(v, "trace")?;
+        Ok(env)
     }
 }
 
@@ -221,6 +314,32 @@ mod tests {
         let env = Envelope::encode(ClassId(0), EventSeq(0), &s).unwrap();
         // `Strict` requires a field the Stock payload lacks.
         assert!(env.decode::<Strict>().is_err());
+    }
+
+    #[test]
+    fn clones_share_one_body() {
+        let meta = crate::event_data! { "year" => 2002 };
+        let env = Envelope::from_meta(ClassId(3), "Biblio", EventSeq(1), meta);
+        let copy = env.clone();
+        assert!(env.shares_body_with(&copy));
+        // Distinct publishes do not share.
+        let other = Envelope::from_meta(ClassId(3), "Biblio", EventSeq(2), EventData::new());
+        assert!(!env.shares_body_with(&other));
+    }
+
+    #[test]
+    fn trace_stamping_is_per_copy() {
+        use crate::trace_ctx::{TraceContext, TraceId};
+        let meta = crate::event_data! { "year" => 2002 };
+        let mut env = Envelope::from_meta(ClassId(3), "Biblio", EventSeq(1), meta);
+        env.set_trace(Some(TraceContext::new(TraceId(5), 7)));
+        let mut fwd = env.clone();
+        fwd.touch_trace(42);
+        // The forwarded copy re-stamped its own header; the original copy
+        // and the shared body are untouched.
+        assert_eq!(fwd.trace().unwrap().last_hop_at, 42);
+        assert_eq!(env.trace().unwrap().last_hop_at, 7);
+        assert!(env.shares_body_with(&fwd));
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Global attribute-name interning.
+//!
+//! Attribute names are drawn from the event classes' advertised schemas
+//! (the `G_c` attribute order of Section 4.1), so the universe of names in
+//! a running system is small and fixed early. Interning maps each name to a
+//! dense [`AttrId`] once, at registration/subscription time, so the data
+//! plane — meta-data lookup, predicate grouping, counting-index slots —
+//! compares and indexes `u32`s instead of hashing and comparing strings on
+//! every event.
+//!
+//! The interner is process-global, append-only, and thread-safe. Interned
+//! names are leaked (once per distinct name, ever) so resolution hands out
+//! `&'static str` without holding any lock. Wire formats always carry the
+//! *name*, never the id: ids are a process-local acceleration and are
+//! re-derived on deserialization, so two processes never need to agree on
+//! numbering.
+
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Dense identifier of an interned attribute name.
+///
+/// Ids are assigned in first-intern order and are stable for the lifetime
+/// of the process. They are *not* stable across processes — serialization
+/// always goes through the name (see the [`Serialize`] impl).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u32);
+
+struct Interner {
+    by_name: HashMap<&'static str, AttrId>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+impl AttrId {
+    /// Interns a name, returning its dense id. Idempotent: the same name
+    /// always yields the same id.
+    #[must_use]
+    pub fn intern(name: &str) -> AttrId {
+        if let Some(id) = AttrId::lookup(name) {
+            return id;
+        }
+        let mut guard = interner().write().expect("attribute interner poisoned");
+        if let Some(&id) = guard.by_name.get(name) {
+            return id; // raced with another writer
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = AttrId(u32::try_from(guard.names.len()).expect("attribute names fit in u32"));
+        guard.names.push(leaked);
+        guard.by_name.insert(leaked, id);
+        id
+    }
+
+    /// Looks up a name's id without interning it. `None` means the name has
+    /// never been interned — and therefore cannot occur in any [`EventData`]
+    /// or compiled filter constraint.
+    ///
+    /// [`EventData`]: crate::EventData
+    #[must_use]
+    pub fn lookup(name: &str) -> Option<AttrId> {
+        interner()
+            .read()
+            .expect("attribute interner poisoned")
+            .by_name
+            .get(name)
+            .copied()
+    }
+
+    /// Resolves the id back to its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not produced by [`AttrId::intern`] in this
+    /// process.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        interner()
+            .read()
+            .expect("attribute interner poisoned")
+            .names
+            .get(self.0 as usize)
+            .copied()
+            .unwrap_or_else(|| panic!("AttrId({}) was never interned", self.0))
+    }
+
+    /// Number of distinct names interned so far (also the exclusive upper
+    /// bound of live id values) — the width a dense per-attribute table
+    /// needs.
+    #[must_use]
+    pub fn universe_size() -> usize {
+        interner()
+            .read()
+            .expect("attribute interner poisoned")
+            .names
+            .len()
+    }
+}
+
+impl std::fmt::Display for AttrId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// On the wire an attribute id is its name; numbering is process-local.
+impl Serialize for AttrId {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.name().to_owned())
+    }
+}
+
+impl Deserialize for AttrId {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(AttrId::intern(s)),
+            other => Err(DeError::msg(format!(
+                "expected attribute name string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let a = AttrId::intern("intern-test-alpha");
+        let b = AttrId::intern("intern-test-beta");
+        assert_ne!(a, b);
+        assert_eq!(AttrId::intern("intern-test-alpha"), a);
+        assert_eq!(AttrId::lookup("intern-test-alpha"), Some(a));
+        assert_eq!(a.name(), "intern-test-alpha");
+        assert!(AttrId::universe_size() >= 2);
+    }
+
+    #[test]
+    fn lookup_misses_without_interning() {
+        assert_eq!(AttrId::lookup("intern-test-never-seen-g7Q"), None);
+        // Still not interned by the failed lookup.
+        assert_eq!(AttrId::lookup("intern-test-never-seen-g7Q"), None);
+    }
+
+    #[test]
+    fn serde_round_trips_by_name() {
+        let id = AttrId::intern("intern-test-serde");
+        let v = id.serialize_value();
+        assert_eq!(v, Value::Str("intern-test-serde".to_owned()));
+        assert_eq!(AttrId::deserialize_value(&v).unwrap(), id);
+        assert!(AttrId::deserialize_value(&Value::Int(3)).is_err());
+    }
+}

@@ -10,6 +10,8 @@
 //! The main pieces are:
 //!
 //! * [`AttrValue`] / [`ValueKind`] — the scalar values attributes can take.
+//! * [`AttrId`] — process-global interned attribute names, so the hot
+//!   matching path compares dense ids instead of strings.
 //! * [`EventData`] — the flat meta-data extracted from an event object (the
 //!   paper's *covering event* `e'`, Section 3.2/3.4).
 //! * [`EventClass`] / [`TypeRegistry`] — application-defined event types with
@@ -62,16 +64,19 @@ mod class;
 mod data;
 mod envelope;
 mod error;
+mod intern;
 mod registry;
 mod stage;
 mod trace_ctx;
 mod typed;
 mod value;
 
+pub use bytes::Bytes;
 pub use class::{AttributeDecl, ClassId, EventClass};
 pub use data::EventData;
 pub use envelope::{Envelope, EventSeq};
 pub use error::EventError;
+pub use intern::AttrId;
 pub use registry::TypeRegistry;
 pub use stage::{Advertisement, StageMap};
 pub use trace_ctx::{TraceContext, TraceId};

@@ -171,7 +171,9 @@ impl Filter {
 
     /// Iterates over the constraints on a given attribute.
     pub fn constraints_on<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a AttrFilter> {
-        self.constraints.iter().filter(move |c| c.name() == name)
+        // A name that was never interned cannot appear in any constraint.
+        let id = layercake_event::AttrId::lookup(name);
+        self.constraints.iter().filter(move |c| Some(c.id()) == id)
     }
 
     /// Whether this filter has neither class nor non-wildcard attribute
@@ -193,7 +195,7 @@ impl Filter {
     pub fn matches_meta(&self, meta: &EventData) -> bool {
         self.constraints
             .iter()
-            .all(|c| c.predicate().matches(meta.get(c.name())))
+            .all(|c| c.predicate().matches(meta.get_id(c.id())))
     }
 
     /// Evaluates the full filter: the event's class must be a subtype of the

@@ -4,15 +4,27 @@
 //! `<filter, id-list>` pairs and evaluates each incoming event against every
 //! filter — the *naive* strategy. It notes that "efficient indexing and
 //! matching techniques can be used" but leaves them out of scope; we provide
-//! one such technique, a predicate **counting index** in the style of
-//! Gryphon/Siena/Le Subscribe: identical predicates across filters are
-//! evaluated once per event, and a filter fires when all of its predicates
-//! have been counted.
+//! two such techniques:
+//!
+//! * a predicate **counting index** in the style of Gryphon/Siena/Le
+//!   Subscribe: identical predicates across filters are evaluated once per
+//!   event, and a filter fires when all of its predicates have been counted;
+//! * a **compiled** variant of the counting index that additionally resolves
+//!   equality predicates — by far the most common shape in content-based
+//!   workloads — through a per-attribute table sorted by value, so the cost
+//!   of an attribute with `k` distinct equality constants is one binary
+//!   search (`O(log k)`) instead of `k` predicate evaluations.
+//!
+//! Both indexes key predicate groups by interned
+//! [`AttrId`](layercake_event::AttrId)s in a dense vector, so dispatching an
+//! event attribute to its groups is an array index, with no string hashing
+//! on the hot path.
 
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
 
-use layercake_event::{ClassId, EventData, TypeRegistry};
+use layercake_event::{AttrValue, ClassId, EventData, TypeRegistry};
 use serde::{Deserialize, Serialize};
 
 use crate::filter::Filter;
@@ -37,6 +49,9 @@ pub enum IndexKind {
     Naive,
     /// Counting index: shared predicates evaluated once per event.
     Counting,
+    /// Counting index with equality predicates compiled into sorted
+    /// per-attribute tables resolved by binary search.
+    Compiled,
 }
 
 #[derive(Debug, Clone)]
@@ -79,6 +94,9 @@ pub struct FilterTable {
     by_key: HashMap<Filter, usize>,
     counting: CountingIndex,
     counting_dirty: bool,
+    /// Reused per-event buffer of matched slots, so the counting path does
+    /// not allocate per event.
+    slot_scratch: Vec<u32>,
 }
 
 impl Default for FilterTable {
@@ -95,8 +113,9 @@ impl FilterTable {
             kind,
             entries: Vec::new(),
             by_key: HashMap::new(),
-            counting: CountingIndex::new(),
+            counting: CountingIndex::with_compilation(kind == IndexKind::Compiled),
             counting_dirty: false,
+            slot_scratch: Vec::new(),
         }
     }
 
@@ -117,7 +136,7 @@ impl FilterTable {
             }
             return false;
         }
-        if self.kind == IndexKind::Counting && !self.counting_dirty {
+        if self.kind != IndexKind::Naive && !self.counting_dirty {
             self.counting.add(
                 u32::try_from(self.entries.len()).expect("filter table fits in u32"),
                 &filter,
@@ -204,8 +223,8 @@ impl FilterTable {
     }
 
     /// Collects the destinations of all filters matching the event, without
-    /// duplicates. (`&mut self` because the counting strategy keeps per-call
-    /// scratch state.)
+    /// duplicates, in ascending [`DestId`] order. (`&mut self` because the
+    /// counting strategy keeps per-call scratch state.)
     pub fn matches(
         &mut self,
         class: ClassId,
@@ -218,41 +237,49 @@ impl FilterTable {
             IndexKind::Naive => {
                 for e in &self.entries {
                     if e.filter.matches(class, meta, registry) {
-                        for d in &e.dests {
-                            if !out.contains(d) {
-                                out.push(*d);
-                            }
-                        }
+                        out.extend_from_slice(&e.dests);
                     }
                 }
             }
-            IndexKind::Counting => {
+            IndexKind::Counting | IndexKind::Compiled => {
                 if self.counting_dirty {
                     self.rebuild_counting();
                 }
-                let mut slots = Vec::new();
+                let mut slots = std::mem::take(&mut self.slot_scratch);
                 self.counting.matches(class, meta, registry, &mut slots);
-                for slot in slots {
-                    for d in &self.entries[slot as usize].dests {
-                        if !out.contains(d) {
-                            out.push(*d);
-                        }
-                    }
+                for &slot in &slots {
+                    out.extend_from_slice(&self.entries[slot as usize].dests);
                 }
+                self.slot_scratch = slots;
             }
         }
+        out.sort_unstable();
+        out.dedup();
     }
 
-    /// Whether any stored filter matches the event.
+    /// Whether any stored filter matches the event, stopping at the first
+    /// hit instead of computing the full destination set. This is the
+    /// neighbor-forwarding question the mesh hot path asks per link.
     pub fn matches_any(
         &mut self,
         class: ClassId,
         meta: &EventData,
         registry: &TypeRegistry,
     ) -> bool {
-        let mut out = Vec::new();
-        self.matches(class, meta, registry, &mut out);
-        !out.is_empty()
+        match self.kind {
+            // Entries never have empty id-lists, so a matching filter
+            // implies a destination.
+            IndexKind::Naive => self
+                .entries
+                .iter()
+                .any(|e| e.filter.matches(class, meta, registry)),
+            IndexKind::Counting | IndexKind::Compiled => {
+                if self.counting_dirty {
+                    self.rebuild_counting();
+                }
+                self.counting.matches_any(class, meta, registry)
+            }
+        }
     }
 
     /// Finds the *strongest* stored filter covering `f`, along with its
@@ -318,7 +345,7 @@ impl FilterTable {
     }
 
     fn rebuild_counting(&mut self) {
-        self.counting = CountingIndex::new();
+        self.counting = CountingIndex::with_compilation(self.kind == IndexKind::Compiled);
         for (i, e) in self.entries.iter().enumerate() {
             self.counting.add(
                 u32::try_from(i).expect("filter table fits in u32"),
@@ -329,20 +356,121 @@ impl FilterTable {
     }
 }
 
+/// The equality class of an [`AttrValue`] under `value_eq` semantics:
+/// `Int` and `Float` collapse into one numeric key (so `Eq(Int(5))` and an
+/// event value of `Float(5.0)` meet in the same class), while `Bool` and
+/// `Str` stay apart (they are incomparable to numbers under `compare`).
+///
+/// Ordered so compiled equality groups can be kept sorted and resolved by
+/// binary search. The ordering itself is arbitrary but total and consistent
+/// with the equality classes: `-0.0` is normalized to `0.0` before keying
+/// because `total_cmp` would otherwise separate two `value_eq` values.
+#[derive(Debug, Clone)]
+enum EqKey {
+    Bool(bool),
+    Num(f64),
+    Str(String),
+}
+
+/// Borrowed view of an event value's equality class, so the per-event
+/// binary search never allocates a `String`.
+#[derive(Debug, Clone, Copy)]
+enum EqKeyRef<'a> {
+    Bool(bool),
+    Num(f64),
+    Str(&'a str),
+}
+
+fn eq_num_key(f: f64) -> Option<f64> {
+    if f.is_nan() {
+        // NaN equals nothing (not even itself), so it has no equality class.
+        None
+    } else if f == 0.0 {
+        Some(0.0)
+    } else {
+        Some(f)
+    }
+}
+
+impl EqKey {
+    fn of(value: &AttrValue) -> Option<EqKey> {
+        Some(match value {
+            AttrValue::Bool(b) => EqKey::Bool(*b),
+            AttrValue::Str(s) => EqKey::Str(s.clone()),
+            AttrValue::Int(i) => EqKey::Num(*i as f64),
+            AttrValue::Float(f) => EqKey::Num(eq_num_key(*f)?),
+        })
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            EqKey::Bool(_) => 0,
+            EqKey::Num(_) => 1,
+            EqKey::Str(_) => 2,
+        }
+    }
+
+    fn cmp_ref(&self, other: &EqKeyRef<'_>) -> Ordering {
+        match (self, other) {
+            (EqKey::Bool(a), EqKeyRef::Bool(b)) => a.cmp(b),
+            (EqKey::Num(a), EqKeyRef::Num(b)) => a.total_cmp(b),
+            (EqKey::Str(a), EqKeyRef::Str(b)) => a.as_str().cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+
+    fn cmp_key(&self, other: &EqKey) -> Ordering {
+        match (self, other) {
+            (EqKey::Bool(a), EqKey::Bool(b)) => a.cmp(b),
+            (EqKey::Num(a), EqKey::Num(b)) => a.total_cmp(b),
+            (EqKey::Str(a), EqKey::Str(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl<'a> EqKeyRef<'a> {
+    fn of(value: &'a AttrValue) -> Option<EqKeyRef<'a>> {
+        Some(match value {
+            AttrValue::Bool(b) => EqKeyRef::Bool(*b),
+            AttrValue::Str(s) => EqKeyRef::Str(s),
+            AttrValue::Int(i) => EqKeyRef::Num(*i as f64),
+            AttrValue::Float(f) => EqKeyRef::Num(eq_num_key(*f)?),
+        })
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            EqKeyRef::Bool(_) => 0,
+            EqKeyRef::Num(_) => 1,
+            EqKeyRef::Str(_) => 2,
+        }
+    }
+}
+
 /// A predicate counting index over a set of filters.
 ///
 /// Filters are registered under dense slot numbers; matching returns the
 /// slots whose predicates are all satisfied by the event (and whose class
 /// constraint admits the event's class). Identical predicates shared by
 /// many filters are evaluated once per event.
+///
+/// When built with compilation enabled
+/// ([`with_compilation`](CountingIndex::with_compilation)), equality
+/// predicates are additionally keyed by value in a sorted per-attribute
+/// table, so all equality constraints on one attribute cost a single binary
+/// search per event instead of one evaluation each.
 #[derive(Debug, Clone, Default)]
 pub struct CountingIndex {
+    /// Whether equality predicates compile to sorted lookup tables.
+    compiled: bool,
     /// Per-slot requirements.
     slots: Vec<SlotInfo>,
     /// Slots with no counted predicates (class-only or wildcard-only).
     zero_required: Vec<u32>,
-    /// Distinct predicates grouped by attribute name.
-    by_attr: HashMap<String, Vec<PredGroup>>,
+    /// Distinct predicates grouped by interned attribute id; the vector is
+    /// indexed directly by `AttrId.0`.
+    by_attr: Vec<AttrGroups>,
     /// Per-slot match counters, versioned to avoid clearing per event.
     scratch: Vec<(u64, u32)>,
     epoch: u64,
@@ -354,17 +482,72 @@ struct SlotInfo {
     class: Option<ClassId>,
 }
 
+/// The predicate groups of one attribute.
+#[derive(Debug, Clone, Default)]
+struct AttrGroups {
+    /// Equality groups sorted by key, resolved by binary search (compiled
+    /// indexes only; empty otherwise).
+    eq: Vec<EqGroup>,
+    /// Every other predicate shape, evaluated by linear scan.
+    scan: Vec<PredGroup>,
+}
+
+#[derive(Debug, Clone)]
+struct EqGroup {
+    key: EqKey,
+    slots: Vec<u32>,
+}
+
 #[derive(Debug, Clone)]
 struct PredGroup {
     pred: Predicate,
     slots: Vec<u32>,
 }
 
+/// Marks `slot` as having one more satisfied predicate this epoch; pushes
+/// it to `out` when the count completes. Free function so callers can hold
+/// disjoint field borrows.
+#[inline]
+fn bump_slot(
+    scratch: &mut [(u64, u32)],
+    slots: &[SlotInfo],
+    epoch: u64,
+    slot: u32,
+    out: &mut Vec<u32>,
+) {
+    let cell = &mut scratch[slot as usize];
+    if cell.0 != epoch {
+        *cell = (epoch, 0);
+    }
+    cell.1 += 1;
+    if cell.1 == slots[slot as usize].required {
+        out.push(slot);
+    }
+}
+
+fn class_admits(info: &SlotInfo, class: ClassId, registry: &TypeRegistry) -> bool {
+    match info.class {
+        None => true,
+        Some(want) => registry.is_subtype(class, want),
+    }
+}
+
 impl CountingIndex {
-    /// Creates an empty index.
+    /// Creates an empty index without equality compilation (the plain
+    /// counting strategy).
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty index, compiling equality predicates into sorted
+    /// lookup tables when `compiled` is set.
+    #[must_use]
+    pub fn with_compilation(compiled: bool) -> Self {
+        Self {
+            compiled,
+            ..Self::default()
+        }
     }
 
     /// Registers a filter under the next slot number; slots must be added
@@ -381,10 +564,33 @@ impl CountingIndex {
                 continue; // wildcards are always satisfied
             }
             required += 1;
-            let groups = self.by_attr.entry(c.name().to_owned()).or_default();
-            match groups.iter_mut().find(|g| g.pred == *c.predicate()) {
+            let idx = c.id().0 as usize;
+            if idx >= self.by_attr.len() {
+                self.by_attr.resize_with(idx + 1, AttrGroups::default);
+            }
+            let groups = &mut self.by_attr[idx];
+            if self.compiled {
+                if let Predicate::Eq(v) = c.predicate() {
+                    if let Some(key) = EqKey::of(v) {
+                        match groups.eq.binary_search_by(|g| g.key.cmp_key(&key)) {
+                            Ok(pos) => groups.eq[pos].slots.push(slot),
+                            Err(pos) => groups.eq.insert(
+                                pos,
+                                EqGroup {
+                                    key,
+                                    slots: vec![slot],
+                                },
+                            ),
+                        }
+                        continue;
+                    }
+                    // An Eq on NaN has no equality class (it matches
+                    // nothing); the scan path preserves that semantics.
+                }
+            }
+            match groups.scan.iter_mut().find(|g| g.pred == *c.predicate()) {
                 Some(g) => g.slots.push(slot),
-                None => groups.push(PredGroup {
+                None => groups.scan.push(PredGroup {
                     pred: c.predicate().clone(),
                     slots: vec![slot],
                 }),
@@ -400,7 +606,8 @@ impl CountingIndex {
         self.scratch.push((0, 0));
     }
 
-    /// Collects the slots of all filters matching the event.
+    /// Collects the slots of all filters matching the event, in ascending
+    /// slot order.
     pub fn matches(
         &mut self,
         class: ClassId,
@@ -411,34 +618,83 @@ impl CountingIndex {
         out.clear();
         self.epoch += 1;
         let epoch = self.epoch;
-        for (name, value) in meta.iter() {
-            let Some(groups) = self.by_attr.get(name) else {
+        for (id, value) in meta.iter_ids() {
+            let Some(groups) = self.by_attr.get(id.0 as usize) else {
                 continue;
             };
-            for group in groups {
+            if !groups.eq.is_empty() {
+                if let Some(key) = EqKeyRef::of(value) {
+                    if let Ok(pos) = groups.eq.binary_search_by(|g| g.key.cmp_ref(&key)) {
+                        for &slot in &groups.eq[pos].slots {
+                            bump_slot(&mut self.scratch, &self.slots, epoch, slot, out);
+                        }
+                    }
+                }
+            }
+            for group in &groups.scan {
                 if !group.pred.matches(Some(value)) {
                     continue;
                 }
                 for &slot in &group.slots {
-                    let cell = &mut self.scratch[slot as usize];
-                    if cell.0 != epoch {
-                        *cell = (epoch, 0);
-                    }
-                    cell.1 += 1;
-                    if cell.1 == self.slots[slot as usize].required {
-                        out.push(slot);
-                    }
+                    bump_slot(&mut self.scratch, &self.slots, epoch, slot, out);
                 }
             }
         }
         for &slot in &self.zero_required {
             out.push(slot);
         }
-        out.retain(|&slot| match self.slots[slot as usize].class {
-            None => true,
-            Some(want) => registry.is_subtype(class, want),
-        });
+        out.retain(|&slot| class_admits(&self.slots[slot as usize], class, registry));
         out.sort_unstable();
+    }
+
+    /// Whether any registered filter matches the event, returning at the
+    /// first completed slot instead of collecting them all.
+    pub fn matches_any(
+        &mut self,
+        class: ClassId,
+        meta: &EventData,
+        registry: &TypeRegistry,
+    ) -> bool {
+        // Zero-required slots (match-all / class-only filters) decide
+        // without touching the event at all.
+        for &slot in &self.zero_required {
+            if class_admits(&self.slots[slot as usize], class, registry) {
+                return true;
+            }
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut completed = Vec::new();
+        for (id, value) in meta.iter_ids() {
+            let Some(groups) = self.by_attr.get(id.0 as usize) else {
+                continue;
+            };
+            completed.clear();
+            if !groups.eq.is_empty() {
+                if let Some(key) = EqKeyRef::of(value) {
+                    if let Ok(pos) = groups.eq.binary_search_by(|g| g.key.cmp_ref(&key)) {
+                        for &slot in &groups.eq[pos].slots {
+                            bump_slot(&mut self.scratch, &self.slots, epoch, slot, &mut completed);
+                        }
+                    }
+                }
+            }
+            for group in &groups.scan {
+                if !group.pred.matches(Some(value)) {
+                    continue;
+                }
+                for &slot in &group.slots {
+                    bump_slot(&mut self.scratch, &self.slots, epoch, slot, &mut completed);
+                }
+            }
+            if completed
+                .iter()
+                .any(|&slot| class_admits(&self.slots[slot as usize], class, registry))
+            {
+                return true;
+            }
+        }
+        false
     }
 
     /// Number of registered filters.
@@ -466,11 +722,11 @@ mod tests {
         (r, stock, auction)
     }
 
-    fn check_both(build: impl Fn(&mut FilterTable)) -> (Vec<DestId>, Vec<DestId>) {
+    fn check_all(build: impl Fn(&mut FilterTable)) -> Vec<Vec<DestId>> {
         let (r, stock, _) = registry();
         let meta = event_data! { "symbol" => "Foo", "price" => 10.0 };
         let mut results = Vec::new();
-        for kind in [IndexKind::Naive, IndexKind::Counting] {
+        for kind in [IndexKind::Naive, IndexKind::Counting, IndexKind::Compiled] {
             let mut t = FilterTable::new(kind);
             build(&mut t);
             let mut out = Vec::new();
@@ -478,14 +734,12 @@ mod tests {
             out.sort();
             results.push(out);
         }
-        let counting = results.pop().unwrap();
-        let naive = results.pop().unwrap();
-        (naive, counting)
+        results
     }
 
     #[test]
-    fn naive_and_counting_agree() {
-        let (naive, counting) = check_both(|t| {
+    fn all_strategies_agree() {
+        let results = check_all(|t| {
             t.insert(Filter::any().eq("symbol", "Foo"), DestId(1));
             t.insert(Filter::any().gt("price", 5.0), DestId(2));
             t.insert(Filter::any().eq("symbol", "Bar"), DestId(3));
@@ -499,8 +753,89 @@ mod tests {
             );
             t.insert(Filter::any(), DestId(6));
         });
-        assert_eq!(naive, counting);
-        assert_eq!(naive, vec![DestId(1), DestId(2), DestId(5), DestId(6)]);
+        let expect = vec![DestId(1), DestId(2), DestId(5), DestId(6)];
+        for out in results {
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn compiled_eq_groups_cross_kinds() {
+        // Int and Float equality constants land in one numeric key; an Int
+        // event value must hit a Float-written constraint and vice versa.
+        let (r, stock, _) = registry();
+        let mut t = FilterTable::new(IndexKind::Compiled);
+        t.insert(Filter::any().eq("price", 5.0), DestId(1));
+        t.insert(Filter::any().eq("price", 5_i64), DestId(2));
+        t.insert(Filter::any().eq("price", 6_i64), DestId(3));
+        t.insert(Filter::any().eq("flag", true), DestId(4));
+        let mut out = Vec::new();
+        t.matches(stock, &event_data! { "price" => 5_i64 }, &r, &mut out);
+        assert_eq!(out, vec![DestId(1), DestId(2)]);
+        t.matches(stock, &event_data! { "price" => 6.0 }, &r, &mut out);
+        assert_eq!(out, vec![DestId(3)]);
+        // A boolean value must not meet numeric keys (incomparable kinds).
+        t.matches(stock, &event_data! { "flag" => true }, &r, &mut out);
+        assert_eq!(out, vec![DestId(4)]);
+        t.matches(stock, &event_data! { "price" => true }, &r, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn compiled_mixes_eq_and_range_constraints() {
+        let (r, stock, _) = registry();
+        for kind in [IndexKind::Counting, IndexKind::Compiled] {
+            let mut t = FilterTable::new(kind);
+            t.insert(
+                Filter::any().eq("symbol", "Foo").gt("price", 5.0),
+                DestId(1),
+            );
+            t.insert(Filter::any().eq("symbol", "Foo"), DestId(2));
+            let mut out = Vec::new();
+            t.matches(
+                stock,
+                &event_data! { "symbol" => "Foo", "price" => 7.0 },
+                &r,
+                &mut out,
+            );
+            assert_eq!(out, vec![DestId(1), DestId(2)], "kind {kind:?}");
+            t.matches(
+                stock,
+                &event_data! { "symbol" => "Foo", "price" => 3.0 },
+                &r,
+                &mut out,
+            );
+            assert_eq!(out, vec![DestId(2)], "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn negative_zero_equality_class() {
+        let (r, stock, _) = registry();
+        let mut t = FilterTable::new(IndexKind::Compiled);
+        t.insert(Filter::any().eq("x", -0.0), DestId(1));
+        let mut out = Vec::new();
+        t.matches(stock, &event_data! { "x" => 0.0 }, &r, &mut out);
+        assert_eq!(out, vec![DestId(1)]);
+    }
+
+    #[test]
+    fn matches_any_early_exit_agrees_with_full_match() {
+        let (r, stock, auction) = registry();
+        for kind in [IndexKind::Naive, IndexKind::Counting, IndexKind::Compiled] {
+            let mut t = FilterTable::new(kind);
+            t.insert(Filter::for_class(stock).eq("symbol", "Foo"), DestId(1));
+            t.insert(Filter::any().gt("price", 100.0), DestId(2));
+            let hit = event_data! { "symbol" => "Foo" };
+            let miss = event_data! { "symbol" => "Bar", "price" => 10.0 };
+            assert!(t.matches_any(stock, &hit, &r,), "kind {kind:?}");
+            assert!(!t.matches_any(stock, &miss, &r), "kind {kind:?}");
+            // The class-constrained filter must not fire for Auction.
+            assert!(!t.matches_any(auction, &hit, &r), "kind {kind:?}");
+            // A zero-required (class-only) filter answers immediately.
+            t.insert(Filter::for_class(auction), DestId(3));
+            assert!(t.matches_any(auction, &hit, &r), "kind {kind:?}");
+        }
     }
 
     #[test]
@@ -521,7 +856,7 @@ mod tests {
         let mut r = TypeRegistry::new();
         let base = r.register("Quote", None, vec![]).unwrap();
         let stock = r.register("Stock", Some("Quote"), vec![]).unwrap();
-        for kind in [IndexKind::Naive, IndexKind::Counting] {
+        for kind in [IndexKind::Naive, IndexKind::Counting, IndexKind::Compiled] {
             let mut t = FilterTable::new(kind);
             t.insert(Filter::for_class(base), DestId(1));
             t.insert(Filter::for_class(stock), DestId(2));
@@ -594,7 +929,7 @@ mod tests {
     #[test]
     fn wildcard_only_filters_match_everything_of_class() {
         let (r, stock, auction) = registry();
-        for kind in [IndexKind::Naive, IndexKind::Counting] {
+        for kind in [IndexKind::Naive, IndexKind::Counting, IndexKind::Compiled] {
             let mut t = FilterTable::new(kind);
             t.insert(Filter::for_class(stock).wildcard("symbol"), DestId(1));
             let meta = event_data! { "symbol" => "Anything" };
@@ -609,7 +944,7 @@ mod tests {
     #[test]
     fn counting_handles_repeated_attr_constraints() {
         let (r, stock, _) = registry();
-        for kind in [IndexKind::Naive, IndexKind::Counting] {
+        for kind in [IndexKind::Naive, IndexKind::Counting, IndexKind::Compiled] {
             let mut t = FilterTable::new(kind);
             t.insert(Filter::any().ge("price", 5.0).le("price", 10.0), DestId(1));
             let mut out = Vec::new();

@@ -3,8 +3,8 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-use layercake_event::AttrValue;
-use serde::{Deserialize, Serialize};
+use layercake_event::{AttrId, AttrValue};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// A predicate on a single attribute value.
 ///
@@ -353,26 +353,45 @@ fn combine_bound(a: &Bound, b: &Bound, is_lo: bool, tighter: bool) -> Option<Bou
 
 /// A named attribute constraint: one component of a conjunction filter,
 /// the paper's `(name, value, operator)` tuple.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The attribute name is *compiled* to an interned [`AttrId`] on
+/// construction, so every downstream matching structure — filter tables,
+/// counting slots, dense per-attribute groups — works with `u32` ids and
+/// never touches the string on the hot path. [`name`](AttrFilter::name)
+/// still resolves the original spelling, and the serialized form carries
+/// the name (ids are process-local).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AttrFilter {
-    name: String,
+    id: AttrId,
     pred: Predicate,
 }
 
 impl AttrFilter {
-    /// Creates a constraint on the named attribute.
+    /// Creates a constraint on the named attribute, interning the name.
     #[must_use]
     pub fn new(name: impl Into<String>, pred: Predicate) -> Self {
         Self {
-            name: name.into(),
+            id: AttrId::intern(&name.into()),
             pred,
         }
+    }
+
+    /// Creates a constraint on an already-interned attribute.
+    #[must_use]
+    pub fn for_id(id: AttrId, pred: Predicate) -> Self {
+        Self { id, pred }
     }
 
     /// The constrained attribute name.
     #[must_use]
     pub fn name(&self) -> &str {
-        &self.name
+        self.id.name()
+    }
+
+    /// The interned id of the constrained attribute.
+    #[must_use]
+    pub fn id(&self) -> AttrId {
+        self.id
     }
 
     /// The predicate applied to the attribute.
@@ -388,14 +407,35 @@ impl AttrFilter {
     }
 }
 
+// Hand-written so the wire form spells out the attribute name (`{"name":
+// ..., "pred": ...}`), matching the pre-interning representation.
+impl Serialize for AttrFilter {
+    fn serialize_value(&self) -> Value {
+        let mut obj = Value::object();
+        obj.insert_field("name", Value::Str(self.name().to_owned()));
+        obj.insert_field("pred", self.pred.serialize_value());
+        obj
+    }
+}
+
+impl Deserialize for AttrFilter {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let name: String = serde::__field(v, "name")?;
+        Ok(Self {
+            id: AttrId::intern(&name),
+            pred: serde::__field(v, "pred")?,
+        })
+    }
+}
+
 impl fmt::Display for AttrFilter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.pred {
-            Predicate::Exists => write!(f, "({}, ∃)", self.name),
-            Predicate::Any => write!(f, "({}, \"ALL\", =)", self.name),
-            Predicate::Prefix(p) => write!(f, "({}, {p:?}, prefix)", self.name),
+            Predicate::Exists => write!(f, "({}, ∃)", self.name()),
+            Predicate::Any => write!(f, "({}, \"ALL\", =)", self.name()),
+            Predicate::Prefix(p) => write!(f, "({}, {p:?}, prefix)", self.name()),
             Predicate::In(set) => {
-                write!(f, "({}, {{", self.name)?;
+                write!(f, "({}, {{", self.name())?;
                 for (i, v) in set.iter().enumerate() {
                     if i > 0 {
                         f.write_str(", ")?;
@@ -404,13 +444,13 @@ impl fmt::Display for AttrFilter {
                 }
                 f.write_str("}, in)")
             }
-            Predicate::Contains(p) => write!(f, "({}, {p:?}, contains)", self.name),
+            Predicate::Contains(p) => write!(f, "({}, {p:?}, contains)", self.name()),
             Predicate::Eq(v)
             | Predicate::Ne(v)
             | Predicate::Lt(v)
             | Predicate::Le(v)
             | Predicate::Gt(v)
-            | Predicate::Ge(v) => write!(f, "({}, {v}, {})", self.name, self.pred.op_symbol()),
+            | Predicate::Ge(v) => write!(f, "({}, {v}, {})", self.name(), self.pred.op_symbol()),
         }
     }
 }

@@ -81,6 +81,15 @@ fn empty_registry_and_class() -> (TypeRegistry, ClassId) {
     (r, id)
 }
 
+/// A registry with a base class and a subtype, for exercising type-based
+/// filtering in the index-agreement properties.
+fn registry_with_subtype() -> (TypeRegistry, ClassId, ClassId) {
+    let mut r = TypeRegistry::new();
+    let base = r.register("Biblio", None, biblio_attrs()).unwrap();
+    let sub = r.register("Journal", Some("Biblio"), vec![]).unwrap();
+    (r, base, sub)
+}
+
 fn biblio_attrs() -> Vec<AttributeDecl> {
     vec![
         AttributeDecl::new("year", ValueKind::Int),
@@ -227,29 +236,49 @@ proptest! {
         }
     }
 
-    /// The naive scan and the counting index always return the same
-    /// destinations.
+    /// The naive scan, the counting index, and the compiled index always
+    /// return the same destinations — over random filter tables and events,
+    /// including subtyped class constraints, wildcards, and repeated
+    /// range constraints on one attribute (all generated by `arb_filter`'s
+    /// attribute-pool sampling with replacement).
     #[test]
     fn index_strategies_agree(
-        filters in proptest::collection::vec(arb_filter(), 1..12),
-        events in proptest::collection::vec(arb_event(), 1..6),
+        filters in proptest::collection::vec((arb_filter(), 0u8..3), 1..12),
+        events in proptest::collection::vec((arb_event(), any::<bool>()), 1..6),
     ) {
-        let (r, class) = empty_registry_and_class();
-        let mut naive = FilterTable::new(IndexKind::Naive);
-        let mut counting = FilterTable::new(IndexKind::Counting);
-        for (i, f) in filters.iter().enumerate() {
-            let dest = DestId(i as u64);
-            naive.insert(f.clone(), dest);
-            counting.insert(f.clone(), dest);
+        let (r, base, sub) = registry_with_subtype();
+        let mut tables = [
+            FilterTable::new(IndexKind::Naive),
+            FilterTable::new(IndexKind::Counting),
+            FilterTable::new(IndexKind::Compiled),
+        ];
+        for (i, (f, class_pick)) in filters.iter().enumerate() {
+            let class = match class_pick {
+                0 => None,
+                1 => Some(base),
+                _ => Some(sub),
+            };
+            let f = f.clone().with_class(class);
+            for t in &mut tables {
+                t.insert(f.clone(), DestId(i as u64));
+            }
         }
-        for e in &events {
-            let mut a = Vec::new();
-            let mut b = Vec::new();
-            naive.matches(class, e, &r, &mut a);
-            counting.matches(class, e, &r, &mut b);
-            a.sort();
-            b.sort();
-            prop_assert_eq!(&a, &b, "strategies disagree on {}", e);
+        for (e, publish_sub) in &events {
+            let class = if *publish_sub { sub } else { base };
+            let mut outs: Vec<Vec<DestId>> = Vec::new();
+            let mut anys = Vec::new();
+            for t in &mut tables {
+                let mut out = Vec::new();
+                t.matches(class, e, &r, &mut out);
+                out.sort();
+                anys.push(t.matches_any(class, e, &r));
+                outs.push(out);
+            }
+            prop_assert_eq!(&outs[0], &outs[1], "naive vs counting disagree on {}", e);
+            prop_assert_eq!(&outs[0], &outs[2], "naive vs compiled disagree on {}", e);
+            for (out, any) in outs.iter().zip(&anys) {
+                prop_assert_eq!(!out.is_empty(), *any, "matches_any disagrees on {}", e);
+            }
         }
     }
 
@@ -263,24 +292,32 @@ proptest! {
         let (r, class) = empty_registry_and_class();
         let mut naive = FilterTable::new(IndexKind::Naive);
         let mut counting = FilterTable::new(IndexKind::Counting);
+        let mut compiled = FilterTable::new(IndexKind::Compiled);
         for (i, f) in filters.iter().enumerate() {
             let dest = DestId(i as u64);
             naive.insert(f.clone(), dest);
             counting.insert(f.clone(), dest);
+            compiled.insert(f.clone(), dest);
         }
         for (i, (f, rm)) in filters.iter().zip(remove_mask.iter()).enumerate() {
             if *rm {
                 let dest = DestId(i as u64);
-                assert_eq!(naive.remove(f, dest), counting.remove(f, dest));
+                let removed = naive.remove(f, dest);
+                assert_eq!(removed, counting.remove(f, dest));
+                assert_eq!(removed, compiled.remove(f, dest));
             }
         }
         let mut a = Vec::new();
         let mut b = Vec::new();
+        let mut c = Vec::new();
         naive.matches(class, &e, &r, &mut a);
         counting.matches(class, &e, &r, &mut b);
+        compiled.matches(class, &e, &r, &mut c);
         a.sort();
         b.sort();
-        prop_assert_eq!(a, b);
+        c.sort();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
     }
 
     /// find_cover returns a filter that indeed covers the probe.

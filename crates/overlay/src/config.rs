@@ -89,13 +89,13 @@ pub struct OverlayConfig {
 }
 
 impl Default for OverlayConfig {
-    /// The paper's Section 5 topology with similarity placement, counting
-    /// indexes, stage-aware wildcard handling, and leases off.
+    /// The paper's Section 5 topology with similarity placement, compiled
+    /// counting indexes, stage-aware wildcard handling, and leases off.
     fn default() -> Self {
         Self {
             levels: vec![100, 10, 1],
             placement: PlacementPolicy::Similarity,
-            index: IndexKind::Counting,
+            index: IndexKind::Compiled,
             covering_collapse: false,
             wildcard_stage_placement: true,
             ttl: SimDuration::from_ticks(100_000),

@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use layercake_event::{Advertisement, ClassId, Envelope, EventSeq, StageMap, TypeRegistry};
 use layercake_filter::{
-    standardize, weaken_to_stage, Filter, FilterError, FilterId, FilterTable, IndexKind,
+    standardize, weaken_to_stage, DestId, Filter, FilterError, FilterId, FilterTable, IndexKind,
 };
 use layercake_metrics::{NodeRecord, RunMetrics};
 use layercake_sim::{Actor, ActorId, Ctx, SimDuration, World};
@@ -84,6 +84,9 @@ pub struct MeshBroker {
     matched: u64,
     evaluations: u64,
     bytes_received: u64,
+    /// Reused per-event buffer of local match results, so the publish hot
+    /// path does not allocate per event.
+    dest_scratch: Vec<DestId>,
 }
 
 impl MeshBroker {
@@ -100,6 +103,7 @@ impl MeshBroker {
             matched: 0,
             evaluations: 0,
             bytes_received: 0,
+            dest_scratch: Vec::new(),
         }
     }
 
@@ -208,14 +212,16 @@ impl MeshBroker {
                 self.evaluations += self.filter_count() as u64;
                 self.bytes_received += env.wire_size() as u64;
                 let mut forwarded = false;
-                // Local subscribers.
-                let mut dests = Vec::new();
+                // Local subscribers. The envelope clone per delivery is an
+                // `Arc` bump: all copies share one body.
+                let mut dests = std::mem::take(&mut self.dest_scratch);
                 self.local
                     .matches(env.class(), env.meta(), &self.registry, &mut dests);
                 for d in &dests {
                     ctx.send(actor_of(*d), MeshMsg::Deliver(env.clone()));
                     forwarded = true;
                 }
+                self.dest_scratch = dests;
                 // Interested neighbor directions (never back the way the
                 // event came; the graph is acyclic so this terminates).
                 let neighbors = self.neighbors.clone();
@@ -340,7 +346,7 @@ impl MeshConfig {
         Self {
             brokers: n,
             edges: (1..n).map(|i| (i - 1, i)).collect(),
-            index: IndexKind::Counting,
+            index: IndexKind::Compiled,
         }
     }
 
@@ -350,7 +356,7 @@ impl MeshConfig {
         Self {
             brokers: n,
             edges: (1..n).map(|i| (0, i)).collect(),
-            index: IndexKind::Counting,
+            index: IndexKind::Compiled,
         }
     }
 
