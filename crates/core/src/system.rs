@@ -2,9 +2,9 @@
 
 use std::collections::HashSet;
 use std::marker::PhantomData;
+use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver};
 use layercake_event::{
     Advertisement, ClassId, Envelope, EventSeq, StageMap, TypeRegistry, TypedEvent,
 };
@@ -416,7 +416,7 @@ impl EventSystem {
     /// [`EventSystem::settle`]. Don't combine with [`EventSystem::poll`]
     /// on the same subscription — whichever drains first wins.
     pub fn channel<E: TypedEvent>(&mut self, sub: &Subscription<E>) -> Receiver<E> {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         let dispatch = move |env: Envelope| {
             if let Ok(event) = env.decode::<E>() {
                 let _ = tx.send(event);

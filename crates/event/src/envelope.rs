@@ -63,6 +63,18 @@ pub struct Envelope {
     trace: Option<TraceContext>,
 }
 
+// Compile-time audit that envelopes can cross threads: the wall-clock
+// runtime (`layercake-rt`) fans one `Arc<EnvelopeBody>` out to matcher
+// shards running on different OS threads, which is only sound while both
+// the header and the shared body are `Send + Sync`. A field that loses
+// the bound (say, an `Rc` or a `Cell` slipping into `EventData`) must
+// fail the build here, not deadlock or data-race at runtime.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<Envelope>();
+    _assert_send_sync::<EnvelopeBody>();
+};
+
 impl Envelope {
     fn from_body(body: EnvelopeBody) -> Self {
         Self {

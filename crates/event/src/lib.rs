@@ -64,6 +64,7 @@ mod class;
 mod data;
 mod envelope;
 mod error;
+mod frame;
 mod intern;
 mod registry;
 mod stage;
@@ -76,6 +77,7 @@ pub use class::{AttributeDecl, ClassId, EventClass};
 pub use data::EventData;
 pub use envelope::{Envelope, EventSeq};
 pub use error::EventError;
+pub use frame::{encode_frame, FrameDecoder, FrameError, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
 pub use intern::AttrId;
 pub use registry::TypeRegistry;
 pub use stage::{Advertisement, StageMap};

@@ -68,6 +68,13 @@ pub enum AttrValue {
     Bool(bool),
 }
 
+// Compile-time audit matching the one on `Envelope`: attribute values are
+// embedded in envelope bodies shared across runtime threads, so they must
+// stay `Send + Sync` (a `Cow<'_, str>` or interior-mutable variant added
+// later must fail the build here).
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<AttrValue>();
+
 impl AttrValue {
     /// Creates a float value, rejecting NaN (which would break the covering
     /// relations' transitivity).

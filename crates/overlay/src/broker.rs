@@ -6,12 +6,13 @@ use std::sync::Arc;
 use layercake_event::{Advertisement, ClassId, Envelope, StageMap, TraceContext, TypeRegistry};
 use layercake_filter::{weaken_to_stage, DestId, Filter, FilterTable, IndexKind};
 use layercake_metrics::{NodeRecord, OverloadStats};
-use layercake_sim::{ActorId, Ctx, SimDuration, SimTime};
+use layercake_sim::{ActorId, SimDuration, SimTime};
 use layercake_trace::{HopRecord, HopVerdict, TraceSink, EXTERNAL_SOURCE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::PlacementPolicy;
+use crate::ctx::NodeCtx;
 use crate::flow::{FlowRx, FlowTx, Offer, Queued, Tick};
 use crate::msg::{OverlayMsg, SubscriptionReq};
 use crate::reliability::{LinkRx, LinkTx, RxOutcome};
@@ -276,7 +277,7 @@ impl Broker {
         }
     }
 
-    pub(crate) fn handle(&mut self, from: ActorId, msg: OverlayMsg, ctx: &mut Ctx<'_, OverlayMsg>) {
+    pub(crate) fn handle(&mut self, from: ActorId, msg: OverlayMsg, ctx: &mut dyn NodeCtx) {
         self.maybe_start_timers(ctx);
         match msg {
             OverlayMsg::Advertise(adv) => {
@@ -460,7 +461,7 @@ impl Broker {
     /// to reset their link state toward us; children lease renewals and
     /// re-announcements then rebuild the routing table (Section 4.3's
     /// soft-state recovery argument).
-    pub(crate) fn on_restart(&mut self, ctx: &mut Ctx<'_, OverlayMsg>) {
+    pub(crate) fn on_restart(&mut self, ctx: &mut dyn NodeCtx) {
         self.table = FilterTable::new(self.index);
         self.stage_maps.clear();
         self.leases.clear();
@@ -488,7 +489,7 @@ impl Broker {
     /// Re-sends every weakened filter the parent should hold for this node
     /// (in a deterministic order, so fault-injection RNG streams line up
     /// across identically-seeded runs).
-    fn reannounce_to_parent(&mut self, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn reannounce_to_parent(&mut self, ctx: &mut dyn NodeCtx) {
         let Some(parent) = self.parent else {
             return;
         };
@@ -507,7 +508,7 @@ impl Broker {
 
     /// Applies the receiver-side outcome of one reliable-link arrival:
     /// forward the released events, NACK any exposed gap.
-    fn apply_rx(&mut self, from: ActorId, outcome: RxOutcome, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn apply_rx(&mut self, from: ActorId, outcome: RxOutcome, ctx: &mut dyn NodeCtx) {
         self.dup_suppressed += outcome.duplicates_suppressed;
         if let Some((from_seq, to_seq)) = outcome.nack {
             self.nacks_sent += 1;
@@ -521,7 +522,7 @@ impl Broker {
     /// Sends one event to a downstream node. With flow control enabled the
     /// event passes through the link's credit window and bounded egress
     /// queue — and may be shed there; otherwise it transmits directly.
-    fn send_event(&mut self, to: ActorId, env: Envelope, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn send_event(&mut self, to: ActorId, env: Envelope, ctx: &mut dyn NodeCtx) {
         if !self.flow_enabled {
             self.transmit(to, env, ctx);
             return;
@@ -574,7 +575,7 @@ impl Broker {
     /// (the plain `Publish`/`Deliver` forms otherwise). Fresh events are
     /// stamped here — after any queueing — so link sequence order always
     /// equals send order.
-    fn transmit(&mut self, to: ActorId, env: Envelope, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn transmit(&mut self, to: ActorId, env: Envelope, ctx: &mut dyn NodeCtx) {
         if self.reliability_enabled {
             let link = self.tx.entry(to).or_default();
             let link_seq = link.stamp(env.clone(), self.reliability_window);
@@ -599,7 +600,7 @@ impl Broker {
 
     /// Transmits whatever the credit window allows from `to`'s egress
     /// queue, repairs (retransmissions) first.
-    fn drain_flow(&mut self, to: ActorId, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn drain_flow(&mut self, to: ActorId, ctx: &mut dyn NodeCtx) {
         loop {
             let Some(entry) = self.flow_tx.get_mut(&to).and_then(FlowTx::pop_ready) else {
                 return;
@@ -616,7 +617,7 @@ impl Broker {
     /// Counts one consumed data message from an upstream sender and emits
     /// a batched credit grant when due. External publishers (the facade)
     /// are not flow-controlled — they *are* the offered load.
-    fn note_data_arrival(&mut self, from: ActorId, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn note_data_arrival(&mut self, from: ActorId, ctx: &mut dyn NodeCtx) {
         if !self.flow_enabled || Some(from) != self.parent {
             return;
         }
@@ -632,7 +633,7 @@ impl Broker {
     }
 
     /// Arms the flow-maintenance timer iff some link still needs it.
-    fn ensure_flow_timer(&mut self, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn ensure_flow_timer(&mut self, ctx: &mut dyn NodeCtx) {
         if self.flow_timer_armed || !self.flow_tx.values().any(FlowTx::needs_tick) {
             return;
         }
@@ -643,12 +644,7 @@ impl Broker {
     /// Records a flow event (throttle or shed) on a sampled trace. Flow
     /// events describe what happened to one *outgoing copy*; the trace
     /// aggregation layer keeps them out of the arrival statistics.
-    fn record_flow_hop(
-        &self,
-        tc: Option<TraceContext>,
-        ctx: &Ctx<'_, OverlayMsg>,
-        verdict: HopVerdict,
-    ) {
+    fn record_flow_hop(&self, tc: Option<TraceContext>, ctx: &dyn NodeCtx, verdict: HopVerdict) {
         let (Some(tc), Some(sink)) = (tc, self.trace.as_ref()) else {
             return;
         };
@@ -667,7 +663,7 @@ impl Broker {
         );
     }
 
-    pub(crate) fn timer(&mut self, tag: u64, ctx: &mut Ctx<'_, OverlayMsg>) {
+    pub(crate) fn timer(&mut self, tag: u64, ctx: &mut dyn NodeCtx) {
         match tag {
             TAG_SWEEP => {
                 let now = ctx.now();
@@ -706,7 +702,7 @@ impl Broker {
     /// One flow-maintenance tick: probe stalled links, advance breaker
     /// clocks, shed what an opening breaker flushed, and re-arm the timer
     /// while any link still needs it.
-    fn on_flow_tick(&mut self, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn on_flow_tick(&mut self, ctx: &mut dyn NodeCtx) {
         self.flow_timer_armed = false;
         let now = ctx.now();
         // HashMap iteration order is randomly seeded per process; sends
@@ -755,7 +751,7 @@ impl Broker {
         self.ensure_flow_timer(ctx);
     }
 
-    fn maybe_start_timers(&mut self, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn maybe_start_timers(&mut self, ctx: &mut dyn NodeCtx) {
         if self.leases_enabled && !self.timers_started {
             self.timers_started = true;
             ctx.set_timer(self.ttl, TAG_SWEEP);
@@ -765,7 +761,7 @@ impl Broker {
 
     /// Figure 5(b): place a subscription request at this node or redirect
     /// the subscriber to a child.
-    fn place_subscription(&mut self, req: SubscriptionReq, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn place_subscription(&mut self, req: SubscriptionReq, ctx: &mut dyn NodeCtx) {
         if self.stage == 1 {
             self.insert_subscriber(req, ctx);
             return;
@@ -845,7 +841,7 @@ impl Broker {
     /// INSERT-SUBSCRIBER: store the subscription (weakened to this stage)
     /// for the subscriber, acknowledge, and propagate a further weakened
     /// filter to the parent.
-    fn insert_subscriber(&mut self, req: SubscriptionReq, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn insert_subscriber(&mut self, req: SubscriptionReq, ctx: &mut dyn NodeCtx) {
         let weakened = self.weaken(&req.filter, self.stage);
         let dest = dest_of(req.subscriber);
         let created = self.table_insert(weakened, dest);
@@ -873,12 +869,7 @@ impl Broker {
 
     /// "Upon Receiving req-Insert": store a child's weakened filter and
     /// propagate upward unless it collapsed into an existing entry.
-    fn insert_child_filter(
-        &mut self,
-        filter: Filter,
-        child: ActorId,
-        ctx: &mut Ctx<'_, OverlayMsg>,
-    ) {
+    fn insert_child_filter(&mut self, filter: Filter, child: ActorId, ctx: &mut dyn NodeCtx) {
         let dest = dest_of(child);
         let created = self.table_insert(filter.clone(), dest);
         self.leases.insert(dest, ctx.now() + self.ttl * 3);
@@ -900,7 +891,7 @@ impl Broker {
     /// to the associated children (or deliver to directly-attached
     /// subscribers). Bandwidth is accounted at the arrival site, so parked
     /// and duplicate-suppressed events still count their bytes.
-    fn forward_event(&mut self, from: ActorId, env: &Envelope, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn forward_event(&mut self, from: ActorId, env: &Envelope, ctx: &mut dyn NodeCtx) {
         self.received += 1;
         self.evaluations += self.table.filter_count() as u64;
         let mut dests = std::mem::take(&mut self.scratch);
@@ -953,7 +944,7 @@ impl Broker {
         &mut self,
         filter: &Filter,
         dest: DestId,
-        ctx: &mut Ctx<'_, OverlayMsg>,
+        ctx: &mut dyn NodeCtx,
     ) -> bool {
         let before = self.parent_needs();
         let removed = self.table.remove(filter, dest);

@@ -1,0 +1,75 @@
+//! Transport-agnostic node abstraction.
+//!
+//! Broker and subscriber protocol logic is written against [`NodeCtx`] — a
+//! minimal clock + outbox capability — instead of the simulator's concrete
+//! [`Ctx`]. The deterministic simulator and the wall-clock runtime
+//! (`layercake-rt`) each provide their own implementation, so the *same*
+//! state machines run under virtual time (byte-identical, reproducible)
+//! and under real threads with framed wire messages. This is the parity
+//! contract: any behavioral divergence between sim and runtime must come
+//! from the transport, never from the protocol logic.
+
+use layercake_sim::{ActorId, Ctx, SimDuration, SimTime};
+
+use crate::msg::OverlayMsg;
+
+/// The capabilities an overlay node's protocol logic may use.
+///
+/// Deliberately minimal: a clock, the node's own address, fire-and-forget
+/// sends, and relative timers. There is no `send_after` — protocol logic
+/// must not depend on scheduling latitude the real runtime cannot honor.
+pub trait NodeCtx {
+    /// Current time (virtual ticks in the simulator, microseconds since
+    /// runtime start under wall clock).
+    fn now(&self) -> SimTime;
+
+    /// The id of the node running this handler.
+    fn me(&self) -> ActorId;
+
+    /// Sends a message to another node (best effort, FIFO per link).
+    fn send(&mut self, to: ActorId, msg: OverlayMsg);
+
+    /// Schedules [`Node::on_timer`] with `tag` after `delay`.
+    fn set_timer(&mut self, delay: SimDuration, tag: u64);
+}
+
+impl NodeCtx for Ctx<'_, OverlayMsg> {
+    fn now(&self) -> SimTime {
+        Ctx::now(self)
+    }
+
+    fn me(&self) -> ActorId {
+        Ctx::me(self)
+    }
+
+    fn send(&mut self, to: ActorId, msg: OverlayMsg) {
+        Ctx::send(self, to, msg);
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        Ctx::set_timer(self, delay, tag);
+    }
+}
+
+/// A transport-agnostic overlay node: the handler surface shared by the
+/// deterministic simulator (via the `Actor` adapter on
+/// [`crate::NodeActor`]) and the wall-clock runtime's node threads.
+pub trait Node {
+    /// Handles one incoming message.
+    fn on_message(&mut self, from: ActorId, msg: OverlayMsg, ctx: &mut dyn NodeCtx);
+
+    /// Handles an expired timer previously set through
+    /// [`NodeCtx::set_timer`].
+    fn on_timer(&mut self, tag: u64, ctx: &mut dyn NodeCtx);
+
+    /// Called once when the node restarts after a crash (volatile state
+    /// lost). Default: nothing.
+    fn on_restart(&mut self, _ctx: &mut dyn NodeCtx) {}
+
+    /// Per-message processing cost used by the simulator's service-time
+    /// model; the wall-clock runtime pays real costs instead and ignores
+    /// this. Default: free.
+    fn service_cost(&self, _msg: &OverlayMsg) -> Option<SimDuration> {
+        None
+    }
+}

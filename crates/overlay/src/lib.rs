@@ -56,6 +56,7 @@
 pub mod baseline;
 mod broker;
 mod config;
+mod ctx;
 mod error;
 mod flow;
 pub mod mesh;
@@ -64,9 +65,11 @@ mod node;
 mod reliability;
 mod sim;
 mod subscriber;
+pub mod topology;
 
 pub use broker::Broker;
 pub use config::{OverlayConfig, PlacementPolicy};
+pub use ctx::{Node, NodeCtx};
 pub use error::OverlayError;
 pub use msg::{OverlayMsg, SubscriptionReq};
 pub use node::NodeActor;

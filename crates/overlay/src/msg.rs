@@ -1,12 +1,24 @@
 //! The overlay's wire protocol (Figures 5 and 6).
+//!
+//! Besides the in-memory message enum, this module defines its *wire
+//! encoding*: a hand-written serde mapping onto tagged JSON objects
+//! (`{"t": "<variant>", ...fields}`), used by the wall-clock runtime to
+//! put every hop through a real serialize → frame → deframe →
+//! deserialize cycle. Node addresses ([`ActorId`]) travel as plain
+//! integers — the id space is runtime-local, exactly as in the
+//! simulator — and all payload types (filters, advertisements,
+//! envelopes) reuse their existing wire formats, so the envelope bytes a
+//! broker forwards are the same bytes the simulator's trace tooling
+//! knows.
 
 use layercake_event::{Advertisement, Envelope};
 use layercake_filter::{Filter, FilterId};
 use layercake_sim::ActorId;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// A subscription request as it travels down the hierarchy looking for its
 /// insertion point (Figure 5(a): `Subscription(f_sub)`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SubscriptionReq {
     /// Unique id of this subscription.
     pub id: FilterId,
@@ -17,7 +29,7 @@ pub struct SubscriptionReq {
 }
 
 /// Messages exchanged between overlay nodes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum OverlayMsg {
     /// Event-class advertisement carrying the attribute–stage association
     /// `G_c`; flooded down from the root (Section 4.1).
@@ -155,6 +167,184 @@ impl OverlayMsg {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Wire encoding
+// ---------------------------------------------------------------------------
+//
+// Every message becomes an object tagged with its variant name under "t",
+// with the variant's fields flattened alongside. Node addresses are plain
+// integers: `ActorId(usize::MAX)` (the external-sender sentinel) survives
+// the trip through `u64`.
+
+fn actor_value(a: ActorId) -> Value {
+    (a.0 as u64).serialize_value()
+}
+
+fn actor_field(v: &Value, name: &str) -> Result<ActorId, DeError> {
+    let raw: u64 = serde::__field(v, name)?;
+    Ok(ActorId(raw as usize))
+}
+
+impl Serialize for SubscriptionReq {
+    fn serialize_value(&self) -> Value {
+        let mut obj = Value::object();
+        obj.insert_field("id", self.id.serialize_value());
+        obj.insert_field("filter", self.filter.serialize_value());
+        obj.insert_field("subscriber", actor_value(self.subscriber));
+        obj
+    }
+}
+
+impl Deserialize for SubscriptionReq {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(SubscriptionReq {
+            id: serde::__field(v, "id")?,
+            filter: serde::__field(v, "filter")?,
+            subscriber: actor_field(v, "subscriber")?,
+        })
+    }
+}
+
+impl Serialize for OverlayMsg {
+    fn serialize_value(&self) -> Value {
+        let mut obj = Value::object();
+        let tag = match self {
+            OverlayMsg::Advertise(ad) => {
+                obj.insert_field("ad", ad.serialize_value());
+                "Advertise"
+            }
+            OverlayMsg::Subscribe(req) => {
+                obj.insert_field("req", req.serialize_value());
+                "Subscribe"
+            }
+            OverlayMsg::JoinAt { req, node } => {
+                obj.insert_field("req", req.serialize_value());
+                obj.insert_field("node", actor_value(*node));
+                "JoinAt"
+            }
+            OverlayMsg::AcceptedAt { id, node } => {
+                obj.insert_field("id", id.serialize_value());
+                obj.insert_field("node", actor_value(*node));
+                "AcceptedAt"
+            }
+            OverlayMsg::ReqInsert { filter, child } => {
+                obj.insert_field("filter", filter.serialize_value());
+                obj.insert_field("child", actor_value(*child));
+                "ReqInsert"
+            }
+            OverlayMsg::Publish(env) => {
+                obj.insert_field("env", env.serialize_value());
+                "Publish"
+            }
+            OverlayMsg::Deliver(env) => {
+                obj.insert_field("env", env.serialize_value());
+                "Deliver"
+            }
+            OverlayMsg::Renew => "Renew",
+            OverlayMsg::Unsubscribe { filter, subscriber } => {
+                obj.insert_field("filter", filter.serialize_value());
+                obj.insert_field("subscriber", actor_value(*subscriber));
+                "Unsubscribe"
+            }
+            OverlayMsg::ReqRemove { filter, child } => {
+                obj.insert_field("filter", filter.serialize_value());
+                obj.insert_field("child", actor_value(*child));
+                "ReqRemove"
+            }
+            OverlayMsg::Detach { subscriber } => {
+                obj.insert_field("subscriber", actor_value(*subscriber));
+                "Detach"
+            }
+            OverlayMsg::Attach { subscriber } => {
+                obj.insert_field("subscriber", actor_value(*subscriber));
+                "Attach"
+            }
+            OverlayMsg::Sequenced { link_seq, env } => {
+                obj.insert_field("link_seq", link_seq.serialize_value());
+                obj.insert_field("env", env.serialize_value());
+                "Sequenced"
+            }
+            OverlayMsg::Nack { from_seq, to_seq } => {
+                obj.insert_field("from_seq", from_seq.serialize_value());
+                obj.insert_field("to_seq", to_seq.serialize_value());
+                "Nack"
+            }
+            OverlayMsg::Advance { to } => {
+                obj.insert_field("to", to.serialize_value());
+                "Advance"
+            }
+            OverlayMsg::RenewAck => "RenewAck",
+            OverlayMsg::Rejoin => "Rejoin",
+            OverlayMsg::Reannounce => "Reannounce",
+            OverlayMsg::Credit => "Credit",
+            OverlayMsg::CreditGrant { consumed_total } => {
+                obj.insert_field("consumed_total", consumed_total.serialize_value());
+                "CreditGrant"
+            }
+        };
+        obj.insert_field("t", Value::Str(tag.to_owned()));
+        obj
+    }
+}
+
+impl Deserialize for OverlayMsg {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let tag: String = serde::__field(v, "t")?;
+        Ok(match tag.as_str() {
+            "Advertise" => OverlayMsg::Advertise(serde::__field(v, "ad")?),
+            "Subscribe" => OverlayMsg::Subscribe(serde::__field(v, "req")?),
+            "JoinAt" => OverlayMsg::JoinAt {
+                req: serde::__field(v, "req")?,
+                node: actor_field(v, "node")?,
+            },
+            "AcceptedAt" => OverlayMsg::AcceptedAt {
+                id: serde::__field(v, "id")?,
+                node: actor_field(v, "node")?,
+            },
+            "ReqInsert" => OverlayMsg::ReqInsert {
+                filter: serde::__field(v, "filter")?,
+                child: actor_field(v, "child")?,
+            },
+            "Publish" => OverlayMsg::Publish(serde::__field(v, "env")?),
+            "Deliver" => OverlayMsg::Deliver(serde::__field(v, "env")?),
+            "Renew" => OverlayMsg::Renew,
+            "Unsubscribe" => OverlayMsg::Unsubscribe {
+                filter: serde::__field(v, "filter")?,
+                subscriber: actor_field(v, "subscriber")?,
+            },
+            "ReqRemove" => OverlayMsg::ReqRemove {
+                filter: serde::__field(v, "filter")?,
+                child: actor_field(v, "child")?,
+            },
+            "Detach" => OverlayMsg::Detach {
+                subscriber: actor_field(v, "subscriber")?,
+            },
+            "Attach" => OverlayMsg::Attach {
+                subscriber: actor_field(v, "subscriber")?,
+            },
+            "Sequenced" => OverlayMsg::Sequenced {
+                link_seq: serde::__field(v, "link_seq")?,
+                env: serde::__field(v, "env")?,
+            },
+            "Nack" => OverlayMsg::Nack {
+                from_seq: serde::__field(v, "from_seq")?,
+                to_seq: serde::__field(v, "to_seq")?,
+            },
+            "Advance" => OverlayMsg::Advance {
+                to: serde::__field(v, "to")?,
+            },
+            "RenewAck" => OverlayMsg::RenewAck,
+            "Rejoin" => OverlayMsg::Rejoin,
+            "Reannounce" => OverlayMsg::Reannounce,
+            "Credit" => OverlayMsg::Credit,
+            "CreditGrant" => OverlayMsg::CreditGrant {
+                consumed_total: serde::__field(v, "consumed_total")?,
+            },
+            other => return Err(DeError::msg(format!("unknown OverlayMsg tag {other:?}"))),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,5 +416,111 @@ mod tests {
         ] {
             assert!(!control.is_data(), "{control:?} must be control plane");
         }
+    }
+
+    /// One instance of every variant, with non-trivial payloads where the
+    /// variant carries any.
+    fn one_of_each() -> Vec<OverlayMsg> {
+        let mut meta = EventData::new();
+        meta.insert("symbol", "Foo");
+        meta.insert("price", 9.5_f64);
+        let mut env = Envelope::from_meta(ClassId(3), "Stock", EventSeq(41), meta);
+        env.set_trace(Some(layercake_event::TraceContext::new(
+            layercake_event::TraceId(77),
+            123_456,
+        )));
+        let req = SubscriptionReq {
+            id: FilterId(9),
+            filter: Filter::any(),
+            subscriber: ActorId(usize::MAX),
+        };
+        vec![
+            OverlayMsg::Advertise(Advertisement::new(
+                ClassId(3),
+                StageMap::from_prefixes(&[2, 1]).unwrap(),
+            )),
+            OverlayMsg::Subscribe(req.clone()),
+            OverlayMsg::JoinAt {
+                req,
+                node: ActorId(4),
+            },
+            OverlayMsg::AcceptedAt {
+                id: FilterId(9),
+                node: ActorId(0),
+            },
+            OverlayMsg::ReqInsert {
+                filter: Filter::any(),
+                child: ActorId(2),
+            },
+            OverlayMsg::Publish(env.clone()),
+            OverlayMsg::Deliver(env.clone()),
+            OverlayMsg::Renew,
+            OverlayMsg::Unsubscribe {
+                filter: Filter::any(),
+                subscriber: ActorId(5),
+            },
+            OverlayMsg::ReqRemove {
+                filter: Filter::any(),
+                child: ActorId(6),
+            },
+            OverlayMsg::Detach {
+                subscriber: ActorId(7),
+            },
+            OverlayMsg::Attach {
+                subscriber: ActorId(7),
+            },
+            OverlayMsg::Sequenced { link_seq: 19, env },
+            OverlayMsg::Nack {
+                from_seq: 3,
+                to_seq: 8,
+            },
+            OverlayMsg::Advance { to: 11 },
+            OverlayMsg::RenewAck,
+            OverlayMsg::Rejoin,
+            OverlayMsg::Reannounce,
+            OverlayMsg::Credit,
+            OverlayMsg::CreditGrant {
+                consumed_total: u64::MAX,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        for msg in one_of_each() {
+            let bytes = serde_json::to_vec(&msg).unwrap();
+            let back: OverlayMsg = serde_json::from_slice(&bytes).unwrap();
+            assert_eq!(msg, back, "value round trip failed");
+            // Byte identity: re-serializing the decoded message yields the
+            // exact bytes that were sent (the encoding is canonical).
+            let again = serde_json::to_vec(&back).unwrap();
+            assert_eq!(bytes, again, "re-encode of {msg:?} not byte-identical");
+        }
+    }
+
+    #[test]
+    fn external_sender_sentinel_survives_the_wire() {
+        let msg = OverlayMsg::Detach {
+            subscriber: ActorId(usize::MAX),
+        };
+        let bytes = serde_json::to_vec(&msg).unwrap();
+        let back: OverlayMsg = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let mut obj = Value::object();
+        obj.insert_field("t", Value::Str("Bogus".to_owned()));
+        let err = OverlayMsg::deserialize_value(&obj).unwrap_err();
+        assert!(format!("{err}").contains("Bogus"));
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        // A tag whose required payload field is absent must not decode.
+        let mut obj = Value::object();
+        obj.insert_field("t", Value::Str("Publish".to_owned()));
+        assert!(OverlayMsg::deserialize_value(&obj).is_err());
     }
 }

@@ -3,6 +3,7 @@
 use layercake_sim::{Actor, ActorId, Ctx, SimDuration};
 
 use crate::broker::Broker;
+use crate::ctx::{Node, NodeCtx};
 use crate::msg::OverlayMsg;
 use crate::subscriber::SubscriberNode;
 
@@ -51,38 +52,84 @@ impl NodeActor {
     }
 }
 
-impl Actor for NodeActor {
-    type Msg = OverlayMsg;
+impl Node for Broker {
+    fn on_message(&mut self, from: ActorId, msg: OverlayMsg, ctx: &mut dyn NodeCtx) {
+        self.handle(from, msg, ctx);
+    }
 
-    fn on_message(&mut self, from: ActorId, msg: OverlayMsg, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn on_timer(&mut self, tag: u64, ctx: &mut dyn NodeCtx) {
+        self.timer(tag, ctx);
+    }
+
+    fn on_restart(&mut self, ctx: &mut dyn NodeCtx) {
+        Broker::on_restart(self, ctx);
+    }
+
+    fn service_cost(&self, msg: &OverlayMsg) -> Option<SimDuration> {
+        Broker::service_cost(self, msg)
+    }
+}
+
+impl Node for SubscriberNode {
+    fn on_message(&mut self, from: ActorId, msg: OverlayMsg, ctx: &mut dyn NodeCtx) {
+        self.handle(from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut dyn NodeCtx) {
+        self.timer(tag, ctx);
+    }
+
+    // Subscribers are leaf runtimes: their subscription state survives
+    // in-process; lease silence handles lost hosts. Filtering at the leaf
+    // is modeled as free: the paper's bottleneck is broker matching.
+}
+
+impl Node for NodeActor {
+    fn on_message(&mut self, from: ActorId, msg: OverlayMsg, ctx: &mut dyn NodeCtx) {
         match self {
             NodeActor::Broker(b) => b.handle(from, msg, ctx),
             NodeActor::Subscriber(s) => s.handle(from, msg, ctx),
         }
     }
 
-    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn on_timer(&mut self, tag: u64, ctx: &mut dyn NodeCtx) {
         match self {
             NodeActor::Broker(b) => b.timer(tag, ctx),
             NodeActor::Subscriber(s) => s.timer(tag, ctx),
         }
     }
 
-    fn on_restart(&mut self, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn on_restart(&mut self, ctx: &mut dyn NodeCtx) {
         match self {
-            NodeActor::Broker(b) => b.on_restart(ctx),
-            // Subscribers are leaf runtimes: their subscription state
-            // survives in-process; lease silence handles lost hosts.
+            NodeActor::Broker(b) => Broker::on_restart(b, ctx),
             NodeActor::Subscriber(_) => {}
         }
     }
 
     fn service_cost(&self, msg: &OverlayMsg) -> Option<SimDuration> {
         match self {
-            NodeActor::Broker(b) => b.service_cost(msg),
-            // Subscriber-side filtering is modeled as free: the paper's
-            // bottleneck is broker matching, not leaf delivery.
+            NodeActor::Broker(b) => Broker::service_cost(b, msg),
             NodeActor::Subscriber(_) => None,
         }
+    }
+}
+
+impl Actor for NodeActor {
+    type Msg = OverlayMsg;
+
+    fn on_message(&mut self, from: ActorId, msg: OverlayMsg, ctx: &mut Ctx<'_, OverlayMsg>) {
+        Node::on_message(self, from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, OverlayMsg>) {
+        Node::on_timer(self, tag, ctx);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, OverlayMsg>) {
+        Node::on_restart(self, ctx);
+    }
+
+    fn service_cost(&self, msg: &OverlayMsg) -> Option<SimDuration> {
+        Node::service_cost(self, msg)
     }
 }

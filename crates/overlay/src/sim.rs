@@ -3,12 +3,12 @@
 use std::sync::Arc;
 
 use layercake_event::{Advertisement, Envelope, EventSeq, TraceId, TypeRegistry};
-use layercake_filter::{standardize, Filter, FilterError, FilterId};
+use layercake_filter::{Filter, FilterError};
 use layercake_metrics::{LatencyMetrics, RunMetrics};
 use layercake_sim::{ActorId, FaultPlan, SimDuration, SimTime, World};
 use layercake_trace::{EventTrace, TraceSink};
 
-use crate::broker::{Broker, BrokerSetup};
+use crate::broker::Broker;
 use crate::config::OverlayConfig;
 use crate::error::OverlayError;
 use crate::msg::{OverlayMsg, SubscriptionReq};
@@ -67,67 +67,18 @@ impl OverlaySim {
     /// (inconsistent topology or flow-control knobs), with a message naming
     /// the offending knob and how to fix it.
     pub fn try_new(cfg: OverlayConfig, registry: Arc<TypeRegistry>) -> Result<Self, OverlayError> {
-        cfg.validate()?;
         let trace =
             (cfg.trace_sample_every > 0).then(|| Arc::new(TraceSink::new(cfg.trace_sample_every)));
         let mut world = World::with_latency(SimDuration::from_ticks(1));
 
-        // Brokers are created level by level from stage 1 upward, so actor
-        // ids are predictable: level l occupies offsets[l]..offsets[l+1].
-        let mut offsets = Vec::with_capacity(cfg.levels.len() + 1);
-        let mut acc = 0usize;
-        for &n in &cfg.levels {
-            offsets.push(acc);
-            acc += n;
-        }
-        offsets.push(acc);
-
-        let parent_of = |level: usize, i: usize| -> Option<ActorId> {
-            if level + 1 >= cfg.levels.len() {
-                None
-            } else {
-                let idx = i * cfg.levels[level + 1] / cfg.levels[level];
-                Some(ActorId(offsets[level + 1] + idx))
-            }
-        };
-
-        let mut brokers = Vec::with_capacity(acc);
-        for (level, &count) in cfg.levels.iter().enumerate() {
-            for i in 0..count {
-                let stage = level + 1;
-                let children: Vec<ActorId> = if level == 0 {
-                    Vec::new()
-                } else {
-                    (0..cfg.levels[level - 1])
-                        .filter(|&c| parent_of(level - 1, c) == Some(ActorId(offsets[level] + i)))
-                        .map(|c| ActorId(offsets[level - 1] + c))
-                        .collect()
-                };
-                let broker = Broker::new(BrokerSetup {
-                    label: format!("N{stage}.{}", i + 1),
-                    stage,
-                    parent: parent_of(level, i),
-                    children,
-                    registry: Arc::clone(&registry),
-                    placement: cfg.placement,
-                    index: cfg.index,
-                    covering_collapse: cfg.covering_collapse,
-                    wildcard_stage_placement: cfg.wildcard_stage_placement,
-                    leases_enabled: cfg.leases_enabled,
-                    ttl: cfg.ttl,
-                    reliability_enabled: cfg.reliability_enabled,
-                    reliability_window: cfg.reliability_window,
-                    flow_control_enabled: cfg.flow_control_enabled,
-                    queue_capacity: cfg.queue_capacity,
-                    flow_tick: cfg.flow_tick,
-                    breaker_failure_threshold: cfg.breaker_failure_threshold,
-                    breaker_backoff: cfg.breaker_backoff,
-                    seed: cfg.seed ^ (offsets[level] + i) as u64,
-                    trace: trace.clone(),
-                });
-                let id = world.add_actor(NodeActor::Broker(broker));
-                brokers.push(id);
-            }
+        // The shared topology builder numbers brokers level by level from
+        // stage 1 upward; inserting them in order makes the world assign
+        // exactly those ids.
+        let mut brokers = Vec::new();
+        for node in crate::topology::build_brokers(&cfg, &registry, trace.as_ref())? {
+            let id = world.add_actor(NodeActor::Broker(node.broker));
+            debug_assert_eq!(id, node.id, "world id assignment diverged from topology");
+            brokers.push(id);
         }
         let root = *brokers.last().expect("validated topology has a root");
 
@@ -237,35 +188,19 @@ impl OverlaySim {
         filters: Vec<Filter>,
         residual: Option<Box<dyn ResidualFilter>>,
     ) -> Result<SubscriberHandle, FilterError> {
-        if filters.is_empty() {
-            return Err(FilterError::MissingClass);
-        }
-        let mut branches = Vec::with_capacity(filters.len());
-        for filter in filters {
-            let class_id = filter.class().ok_or(FilterError::MissingClass)?;
-            let class = self
-                .registry
-                .class(class_id)
-                .ok_or(FilterError::UnknownClass)?;
-            let standardized = standardize(&filter, class)?;
-            let id = FilterId(self.next_filter);
-            self.next_filter += 1;
-            branches.push((id, standardized));
-        }
+        let branches =
+            crate::topology::standardize_branches(&self.registry, filters, self.next_filter)?;
+        self.next_filter += branches.len() as u64;
         let label = format!("sub-{:04}", self.subscribers.len());
-        let node = SubscriberNode::new(crate::subscriber::SubscriberSetup {
+        let node = crate::topology::build_subscriber(
+            &self.cfg,
+            &self.registry,
+            self.root,
             label,
-            branches: branches.clone(),
+            branches.clone(),
             residual,
-            registry: Arc::clone(&self.registry),
-            root: self.root,
-            leases_enabled: self.cfg.leases_enabled,
-            ttl: self.cfg.ttl,
-            reliability_window: self.cfg.reliability_window,
-            flow_control_enabled: self.cfg.flow_control_enabled,
-            queue_capacity: self.cfg.queue_capacity,
-            trace: self.trace.clone(),
-        });
+            self.trace.as_ref(),
+        );
         let actor = self.world.add_actor(NodeActor::Subscriber(node));
         self.subscribers.push(actor);
         for (id, filter) in branches {

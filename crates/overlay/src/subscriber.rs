@@ -7,9 +7,10 @@ use std::sync::Arc;
 use layercake_event::{Envelope, EventSeq, TypeRegistry};
 use layercake_filter::{Filter, FilterId};
 use layercake_metrics::NodeRecord;
-use layercake_sim::{ActorId, Ctx, SimDuration};
+use layercake_sim::{ActorId, SimDuration};
 use layercake_trace::{HopRecord, HopVerdict, TraceSink};
 
+use crate::ctx::NodeCtx;
 use crate::flow::FlowRx;
 use crate::msg::{OverlayMsg, SubscriptionReq};
 use crate::reliability::LinkRx;
@@ -316,7 +317,7 @@ impl SubscriberNode {
         self.grants_sent
     }
 
-    pub(crate) fn handle(&mut self, from: ActorId, msg: OverlayMsg, ctx: &mut Ctx<'_, OverlayMsg>) {
+    pub(crate) fn handle(&mut self, from: ActorId, msg: OverlayMsg, ctx: &mut dyn NodeCtx) {
         match msg {
             OverlayMsg::JoinAt { req, node } => {
                 self.redirects += 1;
@@ -400,7 +401,7 @@ impl SubscriberNode {
 
     /// Counts one consumed data message from a host and emits a batched
     /// credit grant when due.
-    fn note_data_arrival(&mut self, from: ActorId, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn note_data_arrival(&mut self, from: ActorId, ctx: &mut dyn NodeCtx) {
         if !self.flow_enabled {
             return;
         }
@@ -417,7 +418,7 @@ impl SubscriberNode {
 
     /// Applies the full original filter (declarative branches plus residual)
     /// to one arriving event and records exactly-once deliveries.
-    fn accept(&mut self, from: ActorId, env: Envelope, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn accept(&mut self, from: ActorId, env: Envelope, ctx: &mut dyn NodeCtx) {
         self.received += 1;
         let declarative = self
             .branches
@@ -470,7 +471,7 @@ impl SubscriberNode {
         }
     }
 
-    pub(crate) fn timer(&mut self, tag: u64, ctx: &mut Ctx<'_, OverlayMsg>) {
+    pub(crate) fn timer(&mut self, tag: u64, ctx: &mut dyn NodeCtx) {
         if tag >= TAG_RESUB_BASE {
             // A tag minted for a branch that no longer exists (or a
             // corrupted tag) is ignored instead of indexing out of bounds.
@@ -511,7 +512,7 @@ impl SubscriberNode {
 
     /// A host stopped acknowledging renewals: forget it (and its link
     /// state) and start the re-subscription walk for every branch it held.
-    fn suspect_host(&mut self, host: ActorId, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn suspect_host(&mut self, host: ActorId, ctx: &mut dyn NodeCtx) {
         self.rx.remove(&host);
         self.flow_rx.remove(&host);
         for i in 0..self.branches.len() {
@@ -524,7 +525,7 @@ impl SubscriberNode {
 
     /// Re-sends one branch's subscription to the root (a fresh placement
     /// walk) and arms an exponentially backed-off retry timer.
-    fn resubscribe(&mut self, branch_idx: usize, ctx: &mut Ctx<'_, OverlayMsg>) {
+    fn resubscribe(&mut self, branch_idx: usize, ctx: &mut dyn NodeCtx) {
         let attempt = self.resub_attempts[branch_idx];
         self.resub_attempts[branch_idx] = attempt.saturating_add(1);
         self.resubscriptions += 1;

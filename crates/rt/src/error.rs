@@ -1,0 +1,49 @@
+//! Runtime error types.
+
+use layercake_filter::FilterError;
+use layercake_overlay::OverlayError;
+
+/// Errors from starting or driving the wall-clock runtime.
+#[derive(Debug)]
+pub enum RtError {
+    /// The underlying overlay configuration is invalid.
+    Overlay(OverlayError),
+    /// A subscription filter failed standardization.
+    Filter(FilterError),
+    /// `shards` must be at least 1.
+    InvalidShards,
+    /// The overlay config enables a feature the sharded runtime cannot
+    /// replicate consistently; the message names it.
+    UnsupportedFeature(&'static str),
+    /// A subscription's placement walk did not finish within the
+    /// configured timeout.
+    PlacementTimeout,
+}
+
+impl std::fmt::Display for RtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtError::Overlay(e) => write!(f, "invalid overlay config: {e}"),
+            RtError::Filter(e) => write!(f, "invalid subscription filter: {e}"),
+            RtError::InvalidShards => write!(f, "shards must be >= 1"),
+            RtError::UnsupportedFeature(what) => write!(f, "unsupported in the runtime: {what}"),
+            RtError::PlacementTimeout => write!(f, "subscription placement walk timed out"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RtError::Overlay(e) => Some(e),
+            RtError::Filter(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OverlayError> for RtError {
+    fn from(e: OverlayError) -> Self {
+        RtError::Overlay(e)
+    }
+}

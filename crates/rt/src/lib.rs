@@ -1,0 +1,63 @@
+//! `layercake-rt`: a multi-threaded wall-clock runtime for the broker
+//! overlay.
+//!
+//! The deterministic simulator (`layercake-overlay`) is the reference
+//! implementation of the protocol; this crate runs the *same* broker and
+//! subscriber state machines — via the transport-agnostic
+//! [`layercake_overlay::Node`] / [`layercake_overlay::NodeCtx`] traits —
+//! under real concurrency:
+//!
+//! * every broker matcher shard and every subscriber is an OS thread;
+//! * threads exchange length-prefixed byte frames over `std::sync::mpsc`,
+//!   so each hop pays genuine serialize/deserialize cost (the frames are
+//!   the exact wire encoding defined in `layercake-overlay::msg`);
+//! * events are hashed by class across `shards` matcher threads per
+//!   broker, scaling the dominant per-event cost (deserialize + match +
+//!   re-serialize) across cores;
+//! * wall-clock end-to-end latency is stamped at publish and recorded at
+//!   delivery into the shared log₂ [`layercake_metrics::Histogram`].
+//!
+//! See `DESIGN.md` ("Runtime") for the threading model, the
+//! leader/follower sharding contract, the shutdown protocol, and the
+//! sim-vs-rt parity argument. The `exp_throughput` benchmark (E17)
+//! measures events/sec and latency percentiles against the shard count.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use layercake_event::{typed_event, Advertisement, StageMap, TypeRegistry, TypedEvent, Envelope, EventSeq};
+//! use layercake_filter::Filter;
+//! use layercake_overlay::OverlayConfig;
+//! use layercake_rt::{RtConfig, Runtime};
+//!
+//! typed_event! {
+//!     pub struct Tick: "Tick" { level: i64 }
+//! }
+//!
+//! let mut registry = TypeRegistry::new();
+//! let class = registry.register_event::<Tick>().unwrap();
+//! let overlay = OverlayConfig { levels: vec![1], ..OverlayConfig::default() };
+//! let mut rt = Runtime::start(RtConfig::new(overlay, 2), Arc::new(registry)).unwrap();
+//! rt.advertise(Advertisement::new(class, StageMap::from_prefixes(&[1]).unwrap()));
+//! let sub = rt.add_subscriber(Filter::for_class(class).ge("level", 5)).unwrap();
+//!
+//! let publisher = rt.publisher();
+//! publisher.publish(Envelope::encode(class, EventSeq(0), &Tick::new(9)).unwrap());
+//! assert!(rt.wait_delivered(1, std::time::Duration::from_secs(5)));
+//!
+//! let report = rt.shutdown();
+//! assert_eq!(report.deliveries(sub), &[EventSeq(0)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod runtime;
+mod stats;
+pub mod wire;
+
+pub use error::RtError;
+pub use runtime::{Publisher, RtConfig, RtReport, RtSubscriberHandle, Runtime};
+pub use stats::RtStats;

@@ -1,0 +1,816 @@
+//! The multi-threaded wall-clock runtime.
+//!
+//! Every overlay node — each matcher shard of each broker, and each
+//! subscriber — runs as its own OS thread owning the node state machine
+//! outright; threads exchange *byte frames* over `std::sync::mpsc`
+//! channels, so every hop pays real serialize/frame/deframe/deserialize
+//! cost. Zero-copy `Arc` envelope sharing therefore happens only inside
+//! a shard (fan-out clones within one matcher thread), exactly as it
+//! would across real sockets.
+//!
+//! # Sharding contract (leader/follower)
+//!
+//! Each broker is replicated across `shards` matcher threads. Data
+//! frames (`Publish`/`Deliver`/`Sequenced`) are routed to exactly one
+//! shard by a hash of the event class, so each class's matching work
+//! runs on one thread per broker and distinct classes spread across
+//! shards. Control frames are broadcast to *all* shards so every
+//! replica's filter table stays identical — but only shard 0 (the
+//! leader) emits outgoing control messages or arms timers; followers
+//! apply the same table mutations and stay silent. Because placement
+//! decisions can consult a seeded RNG, replicas stay convergent only
+//! when control traffic reaches them in one global order — which the
+//! runtime guarantees by placing subscriptions sequentially during
+//! setup ([`Runtime::add_subscriber_any`] blocks until the walk
+//! finishes) before any data flows.
+//!
+//! # Shutdown protocol
+//!
+//! [`Runtime::shutdown`] poisons and joins stage by stage from the root
+//! down: each thread receiving the poison pill drains everything still
+//! queued in its inbox, then exits. Since a stage is joined before the
+//! next one down is poisoned, every data frame forwarded downward is
+//! already enqueued at its destination when that destination drains —
+//! published events are never lost at shutdown. Subscribers drain last.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use layercake_event::{Advertisement, Envelope, FrameDecoder, TraceContext, TraceId, TypeRegistry};
+use layercake_filter::Filter;
+use layercake_overlay::topology::{self, TopologyNode};
+use layercake_overlay::{Broker, Node, NodeCtx, OverlayConfig, OverlayMsg, SubscriberNode};
+use layercake_sim::{ActorId, SimDuration, SimTime};
+
+use crate::error::RtError;
+use crate::stats::RtStats;
+use crate::wire;
+
+/// The external-publisher sentinel: same value the simulator uses for
+/// `send_external`, so provenance on the wire matches sim traces.
+const EXTERNAL: ActorId = ActorId(usize::MAX);
+
+/// How long an idle node thread sleeps in `recv_timeout` before checking
+/// timers again.
+const IDLE_TICK: Duration = Duration::from_millis(5);
+
+/// Configuration for [`Runtime::start`].
+#[derive(Debug, Clone)]
+pub struct RtConfig {
+    /// The overlay to run. Soft-state leases, per-link reliability, flow
+    /// control and trace sampling must all be disabled: their per-link
+    /// state lives inside each broker replica and would diverge across
+    /// matcher shards.
+    pub overlay: OverlayConfig,
+    /// Matcher shards (threads) per broker; ≥ 1.
+    pub shards: usize,
+    /// How long [`Runtime::add_subscriber_any`] waits for the placement
+    /// walk to finish before giving up.
+    pub placement_timeout: Duration,
+}
+
+impl RtConfig {
+    /// A runtime config over `overlay` with `shards` matcher threads per
+    /// broker and a generous placement timeout.
+    #[must_use]
+    pub fn new(overlay: OverlayConfig, shards: usize) -> Self {
+        Self {
+            overlay,
+            shards,
+            placement_timeout: Duration::from_secs(10),
+        }
+    }
+
+    fn validate(&self) -> Result<(), RtError> {
+        self.overlay.validate()?;
+        if self.shards == 0 {
+            return Err(RtError::InvalidShards);
+        }
+        if self.overlay.leases_enabled
+            || self.overlay.reliability_enabled
+            || self.overlay.flow_control_enabled
+        {
+            return Err(RtError::UnsupportedFeature(
+                "leases, reliability and flow control hold per-link state \
+                 that would diverge across matcher shards; run them in the \
+                 deterministic simulator",
+            ));
+        }
+        if self.overlay.trace_sample_every != 0 {
+            return Err(RtError::UnsupportedFeature(
+                "trace sampling expects virtual-time hop stamps; the runtime \
+                 measures wall-clock latency through RtStats instead",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What a node thread receives: either one framed wire message or the
+/// shutdown poison pill.
+enum RtEvent {
+    Frame(Vec<u8>),
+    Shutdown,
+}
+
+enum Route {
+    Broker { shards: Vec<Sender<RtEvent>> },
+    Subscriber { tx: Sender<RtEvent> },
+}
+
+/// The routing table: node id → channel(s). Subscribers register after
+/// broker threads are already running, hence the lock; sends take a read
+/// lock, which is uncontended in steady state.
+#[derive(Clone)]
+struct Router {
+    routes: Arc<RwLock<Vec<Option<Route>>>>,
+}
+
+impl Router {
+    fn new(capacity: usize) -> Self {
+        let mut routes = Vec::with_capacity(capacity);
+        routes.resize_with(capacity, || None);
+        Self {
+            routes: Arc::new(RwLock::new(routes)),
+        }
+    }
+
+    fn set(&self, id: ActorId, route: Route) {
+        let mut routes = self.routes.write().expect("router poisoned");
+        if routes.len() <= id.0 {
+            routes.resize_with(id.0 + 1, || None);
+        }
+        routes[id.0] = Some(route);
+    }
+
+    /// Serializes `msg` and delivers it: data frames go to the class
+    /// shard, control frames are broadcast to every shard. Sends to
+    /// already-exited nodes are dropped silently (shutdown tail traffic).
+    fn dispatch(&self, from: ActorId, to: ActorId, msg: &OverlayMsg, stats: &RtStats) {
+        let bytes = wire::encode(from, msg);
+        let routes = self.routes.read().expect("router poisoned");
+        let Some(Some(route)) = routes.get(to.0) else {
+            return;
+        };
+        match route {
+            Route::Subscriber { tx } => {
+                stats.note_frame_sent(bytes.len());
+                let _ = tx.send(RtEvent::Frame(bytes));
+            }
+            Route::Broker { shards } => {
+                if let Some(class) = data_class(msg) {
+                    let shard = shard_of(class, shards.len());
+                    stats.note_frame_sent(bytes.len());
+                    let _ = shards[shard].send(RtEvent::Frame(bytes));
+                } else {
+                    for tx in shards {
+                        stats.note_frame_sent(bytes.len());
+                        let _ = tx.send(RtEvent::Frame(bytes.clone()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The event class a data frame is keyed on, `None` for control.
+fn data_class(msg: &OverlayMsg) -> Option<u32> {
+    match msg {
+        OverlayMsg::Publish(env) | OverlayMsg::Deliver(env) => Some(env.class().0),
+        OverlayMsg::Sequenced { env, .. } => Some(env.class().0),
+        _ => None,
+    }
+}
+
+/// Maps an event class to a matcher shard. Fibonacci hashing spreads the
+/// small dense class-id space evenly even when `shards` is a power of 2.
+fn shard_of(class: u32, shards: usize) -> usize {
+    let h = u64::from(class).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) as usize) % shards
+}
+
+/// The [`NodeCtx`] a node thread hands to its state machine: wall-clock
+/// time in microseconds since runtime start, sends through the router,
+/// timers into the thread-local deadline heap.
+struct RtCtx<'a> {
+    me: ActorId,
+    epoch: Instant,
+    router: &'a Router,
+    stats: &'a RtStats,
+    timers: &'a mut BinaryHeap<Reverse<(u64, u64)>>,
+    /// Leader shards (and every subscriber) emit control traffic and arm
+    /// timers; follower shards mutate state silently.
+    speaks: bool,
+}
+
+impl NodeCtx for RtCtx<'_> {
+    fn now(&self) -> SimTime {
+        SimTime::from_ticks(micros_since(self.epoch))
+    }
+
+    fn me(&self) -> ActorId {
+        self.me
+    }
+
+    fn send(&mut self, to: ActorId, msg: OverlayMsg) {
+        if !msg.is_data() && !self.speaks {
+            self.stats.inc_suppressed_control();
+            return;
+        }
+        self.router.dispatch(self.me, to, &msg, self.stats);
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        if !self.speaks {
+            return;
+        }
+        let deadline = micros_since(self.epoch) + delay.ticks();
+        self.timers.push(Reverse((deadline, tag)));
+    }
+}
+
+fn micros_since(epoch: Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+fn nanos_since(epoch: Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A cloneable publisher edge. Each clone is meant to be driven by its
+/// own thread; publishing stamps the envelope with a wall-clock trace
+/// context (nanoseconds since runtime start) and injects it at the root
+/// with external provenance, paying the same wire cost as any hop.
+#[derive(Clone)]
+pub struct Publisher {
+    root: ActorId,
+    epoch: Instant,
+    router: Router,
+    stats: Arc<RtStats>,
+}
+
+impl Publisher {
+    /// Publishes one event at the root.
+    pub fn publish(&self, mut env: Envelope) {
+        let seq = env.seq().0;
+        env.set_trace(Some(TraceContext::new(
+            TraceId(seq),
+            nanos_since(self.epoch),
+        )));
+        self.stats.inc_published();
+        self.router
+            .dispatch(EXTERNAL, self.root, &OverlayMsg::Publish(env), &self.stats);
+    }
+}
+
+/// Handle to a subscriber thread, returned by
+/// [`Runtime::add_subscriber_any`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RtSubscriberHandle {
+    id: ActorId,
+    index: usize,
+}
+
+/// Final state returned by [`Runtime::shutdown`].
+pub struct RtReport {
+    /// The runtime's counters and latency distribution.
+    pub stats: Arc<RtStats>,
+    /// Each subscriber's final node state (deliveries, inbox, labels),
+    /// in the order the subscribers were added.
+    pub subscribers: Vec<SubscriberNode>,
+    /// Each broker shard's final state, keyed by `(broker id, shard)`.
+    pub brokers: Vec<((ActorId, usize), Broker)>,
+}
+
+impl RtReport {
+    /// The delivered event sequences of the subscriber behind `handle`.
+    #[must_use]
+    pub fn deliveries(&self, handle: RtSubscriberHandle) -> &[layercake_event::EventSeq] {
+        self.subscribers[handle.index].deliveries()
+    }
+}
+
+struct BrokerThread {
+    id: ActorId,
+    shard: usize,
+    stage: usize,
+    handle: JoinHandle<Broker>,
+}
+
+struct SubscriberThread {
+    handle: JoinHandle<SubscriberNode>,
+}
+
+/// A running wall-clock overlay: broker shard threads wired per the
+/// shared topology, ready to accept advertisements, subscribers and
+/// published events.
+pub struct Runtime {
+    cfg: RtConfig,
+    registry: Arc<TypeRegistry>,
+    epoch: Instant,
+    router: Router,
+    stats: Arc<RtStats>,
+    root: ActorId,
+    broker_count: usize,
+    broker_threads: Vec<BrokerThread>,
+    subscriber_threads: Vec<SubscriberThread>,
+    next_filter: u64,
+}
+
+impl Runtime {
+    /// Builds the broker hierarchy from the shared topology and spawns
+    /// `shards` matcher threads per broker.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::Overlay`] for invalid overlay configs,
+    /// [`RtError::InvalidShards`] / [`RtError::UnsupportedFeature`] for
+    /// runtime-specific constraint violations (see [`RtConfig`]).
+    pub fn start(cfg: RtConfig, registry: Arc<TypeRegistry>) -> Result<Self, RtError> {
+        cfg.validate()?;
+        let epoch = Instant::now();
+        let stats = Arc::new(RtStats::new());
+
+        // One full replica of the hierarchy per shard; replica s of every
+        // broker handles the same class slice end to end.
+        let mut replicas: Vec<Vec<TopologyNode>> = (0..cfg.shards)
+            .map(|_| topology::build_brokers(&cfg.overlay, &registry, None))
+            .collect::<Result<_, _>>()?;
+        let broker_count = replicas[0].len();
+        let root = replicas[0]
+            .last()
+            .expect("validated topology has a root")
+            .id;
+
+        let router = Router::new(broker_count);
+        let mut inboxes: Vec<Vec<Receiver<RtEvent>>> = Vec::with_capacity(broker_count);
+        for b in 0..broker_count {
+            let mut txs = Vec::with_capacity(cfg.shards);
+            let mut rxs = Vec::with_capacity(cfg.shards);
+            for _ in 0..cfg.shards {
+                let (tx, rx) = channel();
+                txs.push(tx);
+                rxs.push(rx);
+            }
+            router.set(ActorId(b), Route::Broker { shards: txs });
+            inboxes.push(rxs);
+        }
+
+        let mut broker_threads = Vec::with_capacity(broker_count * cfg.shards);
+        // Consume replicas back to front so each broker's receiver list
+        // (also popped from the back) pairs with the right shard index.
+        for shard in (0..cfg.shards).rev() {
+            let replica = replicas.pop().expect("one replica per shard");
+            for node in replica {
+                let b = node.id.0;
+                let rx = inboxes[b].pop().expect("one receiver per shard");
+                let stage = node.stage;
+                let broker = node.broker;
+                let router = router.clone();
+                let stats = Arc::clone(&stats);
+                let speaks = shard == 0;
+                let handle = std::thread::Builder::new()
+                    .name(format!("lc-broker-{b}.{shard}"))
+                    .spawn(move || {
+                        broker_thread_main(broker, ActorId(b), epoch, router, stats, speaks, rx)
+                    })
+                    .expect("spawn broker thread");
+                broker_threads.push(BrokerThread {
+                    id: ActorId(b),
+                    shard,
+                    stage,
+                    handle,
+                });
+            }
+        }
+
+        Ok(Self {
+            cfg,
+            registry,
+            epoch,
+            router,
+            stats,
+            root,
+            broker_count,
+            broker_threads,
+            subscriber_threads: Vec::new(),
+            next_filter: 0,
+        })
+    }
+
+    /// The shared counters.
+    #[must_use]
+    pub fn stats(&self) -> &Arc<RtStats> {
+        &self.stats
+    }
+
+    /// The root broker's node id.
+    #[must_use]
+    pub fn root(&self) -> ActorId {
+        self.root
+    }
+
+    /// Floods an event-class advertisement from the root, mirroring
+    /// [`layercake_overlay::OverlaySim::advertise`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the advertised class is unregistered or the stage map
+    /// does not fit its schema (same contract as the simulator).
+    pub fn advertise(&self, adv: Advertisement) {
+        let class = self
+            .registry
+            .class(adv.class)
+            .unwrap_or_else(|| panic!("advertised {} is not registered", adv.class));
+        adv.stage_map
+            .check_arity(class.arity())
+            .expect("stage map fits the class schema");
+        self.router.dispatch(
+            EXTERNAL,
+            self.root,
+            &OverlayMsg::Advertise(adv),
+            &self.stats,
+        );
+        // Advertisements flood through leader control; give followers the
+        // same broadcast before subscriptions race in.
+        self.quiesce(Duration::from_millis(50));
+    }
+
+    /// Adds a subscriber with a single declarative filter, blocking until
+    /// its placement walk completes.
+    ///
+    /// # Errors
+    ///
+    /// Standardization errors as in the simulator, or
+    /// [`RtError::PlacementTimeout`] if the walk does not finish within
+    /// the configured timeout.
+    pub fn add_subscriber(&mut self, filter: Filter) -> Result<RtSubscriberHandle, RtError> {
+        self.add_subscriber_any(vec![filter])
+    }
+
+    /// Adds a subscriber with a disjunctive subscription, spawns its
+    /// thread, sends the placement requests and blocks until every branch
+    /// is hosted. Sequential placement is what keeps follower shards
+    /// convergent with their leader (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::add_subscriber`].
+    pub fn add_subscriber_any(
+        &mut self,
+        filters: Vec<Filter>,
+    ) -> Result<RtSubscriberHandle, RtError> {
+        let branches = topology::standardize_branches(&self.registry, filters, self.next_filter)
+            .map_err(RtError::Filter)?;
+        self.next_filter += branches.len() as u64;
+        let index = self.subscriber_threads.len();
+        let id = ActorId(self.broker_count + index);
+        let label = format!("sub-{index:04}");
+        let mut node = topology::build_subscriber(
+            &self.cfg.overlay,
+            &self.registry,
+            self.root,
+            label,
+            branches.clone(),
+            None,
+            None,
+        );
+        node.set_store_envelopes(true);
+
+        let (tx, rx) = channel();
+        self.router.set(id, Route::Subscriber { tx });
+        let placed = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let router = self.router.clone();
+            let stats = Arc::clone(&self.stats);
+            let placed = Arc::clone(&placed);
+            let epoch = self.epoch;
+            std::thread::Builder::new()
+                .name(format!("lc-sub-{index}"))
+                .spawn(move || subscriber_thread_main(node, id, epoch, router, stats, placed, rx))
+                .expect("spawn subscriber thread")
+        };
+        self.subscriber_threads.push(SubscriberThread { handle });
+
+        // The subscriber itself initiates the walk, with external
+        // provenance for the initial requests — as in the simulator.
+        for (fid, filter) in branches {
+            self.router.dispatch(
+                EXTERNAL,
+                self.root,
+                &OverlayMsg::Subscribe(layercake_overlay::SubscriptionReq {
+                    id: fid,
+                    filter,
+                    subscriber: id,
+                }),
+                &self.stats,
+            );
+        }
+
+        let deadline = Instant::now() + self.cfg.placement_timeout;
+        while !placed.load(Ordering::Acquire) {
+            if Instant::now() >= deadline {
+                return Err(RtError::PlacementTimeout);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        Ok(RtSubscriberHandle { id, index })
+    }
+
+    /// A cloneable publisher edge for driving load from caller threads.
+    #[must_use]
+    pub fn publisher(&self) -> Publisher {
+        Publisher {
+            root: self.root,
+            epoch: self.epoch,
+            router: self.router.clone(),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+
+    /// Blocks until `expected` events have been delivered or `timeout`
+    /// elapses; returns whether the target was reached.
+    pub fn wait_delivered(&self, expected: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.stats.delivered() < expected {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        true
+    }
+
+    /// Sleeps briefly to let in-flight control traffic settle. Crude but
+    /// honest: the runtime has no global quiescence detector (that's the
+    /// simulator's job).
+    fn quiesce(&self, pause: Duration) {
+        std::thread::sleep(pause);
+    }
+
+    /// Stops the runtime: poisons and joins broker stages from the root
+    /// down (each thread drains its inbox before exiting), then the
+    /// subscribers, and returns the final node states plus stats.
+    ///
+    /// Callers must stop publishing first; frames injected during
+    /// shutdown may be dropped with the closed channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node thread itself panicked.
+    #[must_use]
+    pub fn shutdown(mut self) -> RtReport {
+        let mut stages: Vec<usize> = self.broker_threads.iter().map(|t| t.stage).collect();
+        stages.sort_unstable();
+        stages.dedup();
+
+        let mut brokers = Vec::with_capacity(self.broker_threads.len());
+        // Top-down: the root's stage is the highest.
+        for &stage in stages.iter().rev() {
+            let (now, later): (Vec<_>, Vec<_>) = self
+                .broker_threads
+                .drain(..)
+                .partition(|t| t.stage == stage);
+            self.broker_threads = later;
+            for t in &now {
+                self.poison(t.id, t.shard);
+            }
+            for t in now {
+                let broker = t.handle.join().expect("broker thread panicked");
+                brokers.push(((t.id, t.shard), broker));
+            }
+        }
+
+        let mut subscribers = Vec::with_capacity(self.subscriber_threads.len());
+        let subs = std::mem::take(&mut self.subscriber_threads);
+        for i in 0..subs.len() {
+            self.poison(ActorId(self.broker_count + i), 0);
+        }
+        for t in subs {
+            subscribers.push(t.handle.join().expect("subscriber thread panicked"));
+        }
+
+        RtReport {
+            stats: self.stats,
+            subscribers,
+            brokers,
+        }
+    }
+
+    fn poison(&self, id: ActorId, shard: usize) {
+        let routes = self.router.routes.read().expect("router poisoned");
+        match routes.get(id.0) {
+            Some(Some(Route::Broker { shards })) => {
+                let _ = shards[shard].send(RtEvent::Shutdown);
+            }
+            Some(Some(Route::Subscriber { tx })) => {
+                let _ = tx.send(RtEvent::Shutdown);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs one broker shard: decode frames, drive the state machine, fire
+/// timers, drain on poison.
+fn broker_thread_main(
+    mut broker: Broker,
+    me: ActorId,
+    epoch: Instant,
+    router: Router,
+    stats: Arc<RtStats>,
+    speaks: bool,
+    rx: Receiver<RtEvent>,
+) -> Broker {
+    let mut timers: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut decoder = FrameDecoder::new();
+    loop {
+        let timeout = next_wakeup(&timers, epoch);
+        match rx.recv_timeout(timeout) {
+            Ok(RtEvent::Frame(bytes)) => {
+                feed_node(
+                    &mut broker,
+                    &mut decoder,
+                    &bytes,
+                    me,
+                    epoch,
+                    &router,
+                    &stats,
+                    speaks,
+                    &mut timers,
+                );
+            }
+            Ok(RtEvent::Shutdown) => {
+                while let Ok(RtEvent::Frame(bytes)) = rx.try_recv() {
+                    feed_node(
+                        &mut broker,
+                        &mut decoder,
+                        &bytes,
+                        me,
+                        epoch,
+                        &router,
+                        &stats,
+                        speaks,
+                        &mut timers,
+                    );
+                }
+                break;
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        fire_due_timers(&mut broker, &mut timers, me, epoch, &router, &stats, speaks);
+    }
+    broker
+}
+
+/// Runs one subscriber: like a broker shard, plus placement signalling
+/// and per-delivery latency accounting.
+fn subscriber_thread_main(
+    mut node: SubscriberNode,
+    me: ActorId,
+    epoch: Instant,
+    router: Router,
+    stats: Arc<RtStats>,
+    placed: Arc<AtomicBool>,
+    rx: Receiver<RtEvent>,
+) -> SubscriberNode {
+    let mut timers: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut decoder = FrameDecoder::new();
+    let after = |node: &mut SubscriberNode, stats: &RtStats| {
+        if !placed.load(Ordering::Relaxed) && node.fully_placed() {
+            placed.store(true, Ordering::Release);
+        }
+        for env in node.take_inbox() {
+            if let Some(tc) = env.trace() {
+                stats.record_latency_ns(nanos_since(epoch).saturating_sub(tc.published_at));
+            }
+            stats.inc_delivered();
+        }
+    };
+    loop {
+        let timeout = next_wakeup(&timers, epoch);
+        match rx.recv_timeout(timeout) {
+            Ok(RtEvent::Frame(bytes)) => {
+                feed_node(
+                    &mut node,
+                    &mut decoder,
+                    &bytes,
+                    me,
+                    epoch,
+                    &router,
+                    &stats,
+                    true,
+                    &mut timers,
+                );
+                after(&mut node, &stats);
+            }
+            Ok(RtEvent::Shutdown) => {
+                while let Ok(RtEvent::Frame(bytes)) = rx.try_recv() {
+                    feed_node(
+                        &mut node,
+                        &mut decoder,
+                        &bytes,
+                        me,
+                        epoch,
+                        &router,
+                        &stats,
+                        true,
+                        &mut timers,
+                    );
+                    after(&mut node, &stats);
+                }
+                break;
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        fire_due_timers(&mut node, &mut timers, me, epoch, &router, &stats, true);
+        after(&mut node, &stats);
+    }
+    node
+}
+
+/// Pushes one channel message's bytes through the frame decoder and
+/// feeds every complete wire message to the node. Corrupt frames are
+/// counted and the buffered remainder discarded.
+#[allow(clippy::too_many_arguments)]
+fn feed_node<N: Node>(
+    node: &mut N,
+    decoder: &mut FrameDecoder,
+    bytes: &[u8],
+    me: ActorId,
+    epoch: Instant,
+    router: &Router,
+    stats: &RtStats,
+    speaks: bool,
+    timers: &mut BinaryHeap<Reverse<(u64, u64)>>,
+) {
+    decoder.push(bytes);
+    loop {
+        match decoder.next_frame() {
+            Ok(Some(payload)) => match wire::decode(&payload) {
+                Ok((from, msg)) => {
+                    stats.inc_frames_received();
+                    let mut ctx = RtCtx {
+                        me,
+                        epoch,
+                        router,
+                        stats,
+                        timers: &mut *timers,
+                        speaks,
+                    };
+                    node.on_message(from, msg, &mut ctx);
+                }
+                Err(_) => stats.inc_decode_errors(),
+            },
+            Ok(None) => break,
+            Err(_) => {
+                stats.inc_decode_errors();
+                *decoder = FrameDecoder::new();
+                break;
+            }
+        }
+    }
+}
+
+fn next_wakeup(timers: &BinaryHeap<Reverse<(u64, u64)>>, epoch: Instant) -> Duration {
+    match timers.peek() {
+        Some(Reverse((deadline, _))) => {
+            Duration::from_micros(deadline.saturating_sub(micros_since(epoch))).min(IDLE_TICK)
+        }
+        None => IDLE_TICK,
+    }
+}
+
+fn fire_due_timers<N: Node>(
+    node: &mut N,
+    timers: &mut BinaryHeap<Reverse<(u64, u64)>>,
+    me: ActorId,
+    epoch: Instant,
+    router: &Router,
+    stats: &RtStats,
+    speaks: bool,
+) {
+    while let Some(&Reverse((deadline, tag))) = timers.peek() {
+        if deadline > micros_since(epoch) {
+            break;
+        }
+        timers.pop();
+        stats.inc_timers_fired();
+        let mut ctx = RtCtx {
+            me,
+            epoch,
+            router,
+            stats,
+            timers: &mut *timers,
+            speaks,
+        };
+        node.on_timer(tag, &mut ctx);
+    }
+}

@@ -1,0 +1,135 @@
+//! Wall-clock runtime counters and latency distribution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use layercake_metrics::Histogram;
+
+/// Shared counters for a runtime instance.
+///
+/// All counters are monotone and updated with relaxed atomics — they are
+/// throughput/accounting figures, not synchronization. End-to-end latency
+/// is fed in nanoseconds into the same log₂ [`Histogram`] the simulator's
+/// metrics use, so virtual-time and wall-clock latency reports share one
+/// bucketing scheme.
+#[derive(Debug, Default)]
+pub struct RtStats {
+    published: AtomicU64,
+    delivered: AtomicU64,
+    frames_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    frames_received: AtomicU64,
+    suppressed_control: AtomicU64,
+    decode_errors: AtomicU64,
+    timers_fired: AtomicU64,
+    latency_ns: Mutex<Histogram>,
+}
+
+impl RtStats {
+    /// Creates zeroed stats.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn inc_published(&self) {
+        self.published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_delivered(&self) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_frame_sent(&self, bytes: usize) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_frames_received(&self) {
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_suppressed_control(&self) {
+        self.suppressed_control.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_decode_errors(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_timers_fired(&self) {
+        self.timers_fired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_latency_ns(&self, ns: u64) {
+        self.latency_ns
+            .lock()
+            .expect("latency histogram poisoned")
+            .record(ns);
+    }
+
+    /// Events handed to [`crate::Publisher::publish`].
+    #[must_use]
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Events accepted exactly-once by subscriber nodes.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Frames pushed onto node channels (control broadcasts count once
+    /// per shard copy).
+    #[must_use]
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total framed bytes sent — every one of them paid serialization.
+    #[must_use]
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Frames decoded by node threads.
+    #[must_use]
+    pub fn frames_received(&self) -> u64 {
+        self.frames_received.load(Ordering::Relaxed)
+    }
+
+    /// Outgoing control messages dropped by follower shards (the leader
+    /// speaks for the broker; see the runtime's sharding contract).
+    #[must_use]
+    pub fn suppressed_control(&self) -> u64 {
+        self.suppressed_control.load(Ordering::Relaxed)
+    }
+
+    /// Frames that failed framing or payload decoding and were dropped.
+    #[must_use]
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors.load(Ordering::Relaxed)
+    }
+
+    /// Node timers that fired.
+    #[must_use]
+    pub fn timers_fired(&self) -> u64 {
+        self.timers_fired.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the end-to-end delivery latency distribution
+    /// (publish stamp → subscriber accept), in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the histogram
+    /// lock (the runtime treats that as fatal).
+    #[must_use]
+    pub fn latency_histogram(&self) -> Histogram {
+        self.latency_ns
+            .lock()
+            .expect("latency histogram poisoned")
+            .clone()
+    }
+}

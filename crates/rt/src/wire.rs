@@ -1,0 +1,147 @@
+//! The runtime's wire format: one length-prefixed frame per message,
+//! whose payload is the JSON encoding of `{"from": <node id>, "msg":
+//! <OverlayMsg>}`.
+//!
+//! Every hop in the runtime pays this full cycle — serialize, frame,
+//! deframe, deserialize — so the measured throughput includes the real
+//! marshalling cost the deterministic simulator only models. The sender
+//! id rides inside the frame because OS channels, unlike the simulator's
+//! scheduler, do not carry provenance.
+
+use layercake_event::{encode_frame, FrameDecoder, FrameError};
+use layercake_overlay::OverlayMsg;
+use layercake_sim::ActorId;
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Errors surfaced while decoding an incoming byte stream.
+#[derive(Debug)]
+pub enum WireError {
+    /// The framing layer rejected the stream (oversized or truncated).
+    Frame(FrameError),
+    /// A frame's payload was not a valid wire message.
+    Decode(DeError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Frame(e) => write!(f, "framing error: {e}"),
+            WireError::Decode(e) => write!(f, "payload decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<FrameError> for WireError {
+    fn from(e: FrameError) -> Self {
+        WireError::Frame(e)
+    }
+}
+
+/// The frame payload: a message plus its sender's node id.
+struct WireMsg {
+    from: u64,
+    msg: OverlayMsg,
+}
+
+impl Serialize for WireMsg {
+    fn serialize_value(&self) -> Value {
+        let mut obj = Value::object();
+        obj.insert_field("from", self.from.serialize_value());
+        obj.insert_field("msg", self.msg.serialize_value());
+        obj
+    }
+}
+
+impl Deserialize for WireMsg {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(WireMsg {
+            from: serde::__field(v, "from")?,
+            msg: serde::__field(v, "msg")?,
+        })
+    }
+}
+
+/// Encodes one wire message: serialize `{from, msg}` to JSON, then wrap
+/// it in a length-prefixed frame.
+///
+/// # Panics
+///
+/// Panics if the message serializes to more than the 16 MiB frame cap —
+/// a protocol bug, not an input condition (event payloads are bounded
+/// far below it).
+#[must_use]
+pub fn encode(from: ActorId, msg: &OverlayMsg) -> Vec<u8> {
+    // Cloning the message is cheap: envelope bodies are Arc-shared, so
+    // only the serialization below walks the payload bytes.
+    let wire = WireMsg {
+        from: from.0 as u64,
+        msg: msg.clone(),
+    };
+    let json = serde_json::to_vec(&wire).expect("wire message serializes");
+    encode_frame(&json).expect("wire message fits the frame cap")
+}
+
+/// Decodes one frame payload back into `(sender, message)`.
+///
+/// # Errors
+///
+/// Returns [`WireError::Decode`] when the payload is not valid JSON or
+/// not a tagged wire object.
+pub fn decode(payload: &[u8]) -> Result<(ActorId, OverlayMsg), WireError> {
+    let wire: WireMsg = serde_json::from_slice(payload)
+        .map_err(|e| WireError::Decode(DeError::msg(e.to_string())))?;
+    Ok((ActorId(wire.from as usize), wire.msg))
+}
+
+/// Drains every complete frame currently buffered in `decoder`, decoding
+/// each into `(sender, message)`.
+///
+/// # Errors
+///
+/// Returns the first framing or payload error; earlier good messages are
+/// already in the returned vector's place — the caller drops the link.
+pub fn drain(decoder: &mut FrameDecoder) -> Result<Vec<(ActorId, OverlayMsg)>, WireError> {
+    let mut out = Vec::new();
+    while let Some(payload) = decoder.next_frame()? {
+        out.push(decode(&payload)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use layercake_event::FrameDecoder;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let msg = OverlayMsg::CreditGrant { consumed_total: 9 };
+        let bytes = encode(ActorId(usize::MAX), &msg);
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let got = drain(&mut dec).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, ActorId(usize::MAX));
+        assert_eq!(got[0].1, msg);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn garbage_payload_is_a_decode_error() {
+        let framed = layercake_event::encode_frame(b"not json").unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&framed);
+        assert!(matches!(drain(&mut dec), Err(WireError::Decode(_))));
+    }
+
+    #[test]
+    fn truncated_stream_is_a_frame_error_on_finish() {
+        let bytes = encode(ActorId(1), &OverlayMsg::Renew);
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes[..bytes.len() - 1]);
+        assert!(drain(&mut dec).unwrap().is_empty());
+        assert!(dec.finish().is_err());
+    }
+}
