@@ -19,6 +19,12 @@
 //!   corrupt header would make the decoder wait forever for gigabytes);
 //! * a stream that ends mid-frame ([`FrameDecoder::finish`] reports the
 //!   truncation).
+//!
+//! A framing error is **terminal for the connection**: once a header is
+//! corrupt there are no message boundaries left to resynchronize on, so
+//! the decoder latches the error and every later call reports it again.
+//! The only correct recovery is to drop the stream and establish a new
+//! one with a fresh decoder.
 
 use std::fmt;
 
@@ -97,6 +103,9 @@ pub struct FrameDecoder {
     /// Bytes of `buf` already consumed by returned frames; compacted
     /// lazily so pushing and popping stay amortized O(bytes).
     read: usize,
+    /// The first framing error seen, latched: corrupt framing has no
+    /// boundaries to resync on, so the error is terminal for the stream.
+    poisoned: Option<FrameError>,
 }
 
 impl FrameDecoder {
@@ -107,7 +116,14 @@ impl FrameDecoder {
     }
 
     /// Appends received bytes to the decode buffer.
+    ///
+    /// Once the decoder is poisoned the bytes are discarded: nothing
+    /// after a corrupt header can be framed, so buffering it would only
+    /// grow memory on a connection that must be dropped anyway.
     pub fn push(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_some() {
+            return;
+        }
         // Compact once the dead prefix dominates, so the buffer does not
         // grow with the total stream length.
         if self.read > 0 && self.read >= self.buf.len() / 2 {
@@ -115,6 +131,14 @@ impl FrameDecoder {
             self.read = 0;
         }
         self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether the decoder has latched a framing error. A poisoned
+    /// decoder never yields another frame; the connection it was reading
+    /// must be dropped.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
     }
 
     /// Bytes buffered but not yet returned as a frame.
@@ -130,20 +154,30 @@ impl FrameDecoder {
     /// # Errors
     ///
     /// Returns [`FrameError::Oversized`] when the next header announces a
-    /// payload beyond [`MAX_FRAME_PAYLOAD`]; the decoder is then poisoned
-    /// for that stream (resynchronizing inside corrupt framing is not
-    /// possible without message boundaries).
+    /// payload beyond [`MAX_FRAME_PAYLOAD`]. The error is **terminal**:
+    /// the decoder latches it, every subsequent `next_frame`/`finish`
+    /// call returns it again, and later `push`es are discarded —
+    /// resynchronizing inside corrupt framing is not possible without
+    /// message boundaries, so the connection must be dropped.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
         let avail = &self.buf[self.read..];
         if avail.len() < FRAME_HEADER_LEN {
             return Ok(None);
         }
         let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
         if len > MAX_FRAME_PAYLOAD {
-            return Err(FrameError::Oversized {
+            let err = FrameError::Oversized {
                 len,
                 max: MAX_FRAME_PAYLOAD,
-            });
+            };
+            self.poisoned = Some(err.clone());
+            // Drop the unusable tail: a poisoned decoder never reads it.
+            self.buf.clear();
+            self.read = 0;
+            return Err(err);
         }
         if avail.len() < FRAME_HEADER_LEN + len {
             return Ok(None);
@@ -159,9 +193,13 @@ impl FrameDecoder {
     ///
     /// # Errors
     ///
-    /// Returns [`FrameError::Truncated`] when bytes of an incomplete
+    /// Returns the latched framing error if the decoder is poisoned,
+    /// otherwise [`FrameError::Truncated`] when bytes of an incomplete
     /// frame remain buffered.
     pub fn finish(&self) -> Result<(), FrameError> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
         let avail = &self.buf[self.read..];
         if avail.is_empty() {
             return Ok(());
@@ -263,6 +301,28 @@ mod tests {
                 max: MAX_FRAME_PAYLOAD,
             })
         );
+    }
+
+    #[test]
+    fn framing_error_is_terminal_for_the_stream() {
+        let mut dec = FrameDecoder::new();
+        // A good frame followed by a corrupt header followed by another
+        // good frame: only the first frame may come out.
+        dec.push(&encode_frame(b"before").unwrap());
+        dec.push(&u32::MAX.to_le_bytes());
+        dec.push(&encode_frame(b"after").unwrap());
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"before"[..]));
+        let err = dec.next_frame().unwrap_err();
+        assert!(matches!(err, FrameError::Oversized { .. }));
+        assert!(dec.is_poisoned());
+        // The error is latched: re-polling re-errors, it never resyncs
+        // onto the valid frame that followed the garbage.
+        assert_eq!(dec.next_frame(), Err(err.clone()));
+        assert_eq!(dec.finish(), Err(err.clone()));
+        // Later pushes are discarded rather than buffered.
+        dec.push(&encode_frame(b"late").unwrap());
+        assert_eq!(dec.pending(), 0);
+        assert_eq!(dec.next_frame(), Err(err));
     }
 
     #[test]

@@ -66,6 +66,7 @@ mod envelope;
 mod error;
 mod frame;
 mod intern;
+mod record;
 mod registry;
 mod stage;
 mod trace_ctx;
@@ -79,6 +80,7 @@ pub use envelope::{Envelope, EventSeq};
 pub use error::EventError;
 pub use frame::{encode_frame, FrameDecoder, FrameError, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
 pub use intern::AttrId;
+pub use record::{crc32, encode_record, scan_records, RecordScan, RECORD_HEADER_LEN};
 pub use registry::TypeRegistry;
 pub use stage::{Advertisement, StageMap};
 pub use trace_ctx::{TraceContext, TraceId};

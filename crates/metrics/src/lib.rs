@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 mod chaos;
+mod durability;
 mod hist;
 mod overload;
 mod plot;
@@ -29,6 +30,7 @@ mod record;
 mod table;
 
 pub use chaos::ChaosStats;
+pub use durability::DurabilityStats;
 pub use hist::Histogram;
 pub use overload::{OverloadStats, StageSheds};
 pub use plot::{render_histogram, Scatter, Series};

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::chaos::ChaosStats;
+use crate::durability::DurabilityStats;
 use crate::hist::Histogram;
 use crate::overload::OverloadStats;
 use crate::table::{format_ratio, render_table};
@@ -173,6 +174,8 @@ pub struct RunMetrics {
     /// Flow-control and load-shedding counters (all zero when flow
     /// control is disabled or the run never saturated).
     pub overload: OverloadStats,
+    /// Durable-log counters (all zero when durability is disabled).
+    pub durability: DurabilityStats,
 }
 
 impl RunMetrics {
@@ -187,6 +190,7 @@ impl RunMetrics {
             latency: LatencyMetrics::default(),
             weakening: Vec::new(),
             overload: OverloadStats::default(),
+            durability: DurabilityStats::default(),
         }
     }
 
@@ -303,6 +307,30 @@ impl RunMetrics {
                 out.push_str(line);
                 out.push('\n');
             }
+        }
+        if !self.durability.is_quiet() {
+            out.push_str("durability counters:\n");
+            for line in self.durability.render().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Renders the durable-log counters in the chaos/overload table style;
+    /// a one-line placeholder when the run logged nothing durably.
+    #[must_use]
+    pub fn durability_table(&self) -> String {
+        if self.durability.is_quiet() {
+            return String::from("(durability disabled — no log activity)\n");
+        }
+        let mut out = String::from("durability counters:\n");
+        for line in self.durability.render().lines() {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
         }
         out
     }
@@ -481,6 +509,18 @@ mod tests {
         let csv = m.mr_csv();
         assert!(csv.starts_with("node,stage,"));
         assert!(csv.contains("x,0,10,5,0.5000"));
+    }
+
+    #[test]
+    fn durability_table_renders_when_active() {
+        let mut m = RunMetrics::new(10, 1);
+        assert!(m.durability_table().contains("durability disabled"));
+        assert!(!m.rlc_table().contains("durability counters"));
+        m.durability.records_appended = 12;
+        m.durability.fsync_batches = 2;
+        let table = m.durability_table();
+        assert!(table.contains("records_appended   = 12"));
+        assert!(m.rlc_table().contains("durability counters:"));
     }
 
     #[test]

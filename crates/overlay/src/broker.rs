@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use layercake_event::{Advertisement, ClassId, Envelope, StageMap, TraceContext, TypeRegistry};
 use layercake_filter::{weaken_to_stage, DestId, Filter, FilterTable, IndexKind};
-use layercake_metrics::{NodeRecord, OverloadStats};
+use layercake_metrics::{DurabilityStats, NodeRecord, OverloadStats};
 use layercake_sim::{ActorId, SimDuration, SimTime};
 use layercake_trace::{HopRecord, HopVerdict, TraceSink, EXTERNAL_SOURCE};
 use rand::rngs::StdRng;
@@ -16,6 +16,7 @@ use crate::ctx::NodeCtx;
 use crate::flow::{FlowRx, FlowTx, Offer, Queued, Tick};
 use crate::msg::{OverlayMsg, SubscriptionReq};
 use crate::reliability::{LinkRx, LinkTx, RxOutcome};
+use crate::wal::{DurableLog, LogConfig, LogStorage};
 
 /// Timer tag: lease expiry sweep (Section 4.3, "REMOVE INVALID FILTERS").
 const TAG_SWEEP: u64 = 1;
@@ -107,6 +108,10 @@ pub struct Broker {
     service_time: Option<SimDuration>,
     /// Shared trace collector; `None` when tracing is disabled for the run.
     trace: Option<Arc<TraceSink>>,
+    /// The durable segmented event log; `Some` when durability is enabled
+    /// for this broker. Unlike every other field, the log's *storage*
+    /// survives `on_restart` — that is the whole point.
+    wal: Option<DurableLog>,
 }
 
 /// Construction parameters for a [`Broker`] (set by the overlay builder).
@@ -178,6 +183,37 @@ impl Broker {
             overload: OverloadStats::default(),
             service_time: None,
             trace: setup.trace,
+            wal: None,
+        }
+    }
+
+    /// Attaches a durable event log backed by `storage` (opened and
+    /// recovered immediately). Called by the drivers after construction,
+    /// because the storage flavor is theirs to choose: the simulator's
+    /// deterministic in-memory model, or real files under the runtime.
+    pub fn enable_durability(&mut self, storage: Box<dyn LogStorage>, cfg: LogConfig) {
+        self.wal = Some(DurableLog::open(storage, cfg));
+    }
+
+    /// The durable log's activity counters, when durability is enabled.
+    #[must_use]
+    pub fn durability(&self) -> Option<&DurabilityStats> {
+        self.wal.as_ref().map(DurableLog::stats)
+    }
+
+    /// Read access to the durable log, when durability is enabled.
+    #[must_use]
+    pub fn wal(&self) -> Option<&DurableLog> {
+        self.wal.as_ref()
+    }
+
+    /// Forces the durable log's unsynced tail and offset table to disk
+    /// (a final fsync batch). Drivers call this at shutdown and before
+    /// reading results, so records below the `wal_flush_every` threshold
+    /// are not silently volatile.
+    pub fn flush_wal(&mut self) {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.flush();
         }
     }
 
@@ -396,6 +432,12 @@ impl Broker {
                 if self.table.filters_for(dest).next().is_none() {
                     self.leases.remove(&dest);
                     self.parked.remove(&dest);
+                    // An explicit unsubscription also ends the durable
+                    // contract: drop the consumer's offsets so its
+                    // segments become compactable.
+                    if let Some(wal) = self.wal.as_mut() {
+                        wal.drop_consumer(dest);
+                    }
                 }
             }
             OverlayMsg::ReqRemove { filter, child } => {
@@ -403,12 +445,33 @@ impl Broker {
             }
             OverlayMsg::Detach { subscriber } => {
                 self.parked.entry(dest_of(subscriber)).or_default();
+                // A detaching durable consumer's history lives in the
+                // log, not the parked buffer — make the tail durable now
+                // so a crash during the absence loses nothing flushed.
+                if self
+                    .wal
+                    .as_ref()
+                    .is_some_and(|w| w.is_consumer(dest_of(subscriber)))
+                {
+                    self.flush_wal();
+                }
             }
             OverlayMsg::Attach { subscriber } => {
-                if let Some(buffered) = self.parked.remove(&dest_of(subscriber)) {
+                let dest = dest_of(subscriber);
+                let buffered = self.parked.remove(&dest);
+                if self.wal.as_ref().is_some_and(|w| w.is_consumer(dest)) {
+                    // Durable: the log is authoritative; the parked buffer
+                    // stayed empty while detached (forwarding skipped it).
+                    self.replay_to(subscriber, ctx);
+                } else if let Some(buffered) = buffered {
                     for env in buffered {
                         self.send_event(subscriber, env, ctx);
                     }
+                }
+            }
+            OverlayMsg::AckUpto { class, upto } => {
+                if let Some(wal) = self.wal.as_mut() {
+                    wal.ack(dest_of(from), class, upto);
                 }
             }
             OverlayMsg::Rejoin => {
@@ -446,6 +509,7 @@ impl Broker {
             OverlayMsg::JoinAt { .. }
             | OverlayMsg::AcceptedAt { .. }
             | OverlayMsg::Deliver(_)
+            | OverlayMsg::Durable { .. }
             | OverlayMsg::RenewAck => {
                 debug_assert!(
                     false,
@@ -462,6 +526,14 @@ impl Broker {
     /// re-announcements then rebuild the routing table (Section 4.3's
     /// soft-state recovery argument).
     pub(crate) fn on_restart(&mut self, ctx: &mut dyn NodeCtx) {
+        // The durable log is the one thing a crash does NOT wipe: it
+        // re-opens from storage, losing only the unsynced tail, with the
+        // persisted consumer offsets intact. Durable subscribers notice
+        // the crash through unacknowledged renewals, re-subscribe, and
+        // replay from those offsets.
+        if let Some(wal) = self.wal.as_mut() {
+            wal.crash_restart();
+        }
         self.table = FilterTable::new(self.index);
         self.stage_maps.clear();
         self.leases.clear();
@@ -676,6 +748,12 @@ impl Broker {
                 for dest in expired {
                     self.leases.remove(&dest);
                     self.parked.remove(&dest);
+                    // Lease expiry ends the durable contract too: the
+                    // consumer's offsets go, which is what lets the log
+                    // compact segments nobody else still needs.
+                    if let Some(wal) = self.wal.as_mut() {
+                        wal.drop_consumer(dest);
+                    }
                     // Remove filter by filter so that weakened forms the
                     // node no longer needs are withdrawn from the parent
                     // (the per-filter granularity of the paper's renewals).
@@ -853,6 +931,22 @@ impl Broker {
                 node: ctx.me(),
             },
         );
+        // A durable subscription registers a per-class consumer offset in
+        // the log and replays the gap past it. A first-time registration
+        // starts at the tail (empty replay); a re-subscription — after a
+        // lost renewal, or after this broker crashed and restarted with
+        // nothing but its log — finds its persisted offset and replays
+        // the unacknowledged suffix. Durability needs a class to key the
+        // offsets; class-less (pure wildcard) subscriptions fall back to
+        // the volatile path.
+        if req.durable {
+            if let (Some(wal), Some(class)) = (self.wal.as_mut(), req.filter.class()) {
+                let acked = wal.register_consumer(dest, class);
+                for (off, env) in wal.replay_after(class, acked) {
+                    ctx.send(req.subscriber, OverlayMsg::Durable { off, env });
+                }
+            }
+        }
         if created {
             if let Some(parent) = self.parent {
                 let up = self.weaken(&req.filter, self.stage + 1);
@@ -925,7 +1019,45 @@ impl Broker {
                 );
             }
         }
+        // Durable path: if any durable consumer is registered for this
+        // class, append the event to the log ONCE, then hand the stamped
+        // offset to every attached durable consumer of the class. Durable
+        // deliveries bypass the flow-control egress queues and the
+        // retransmission ring — the log is the buffer, and loss is
+        // repaired by offset replay instead of NACKs. Detached durable
+        // consumers get nothing now (and nothing parked): the log holds
+        // their history until they acknowledge it. Note the granularity:
+        // durable consumers receive the class's whole appended stream and
+        // finish with their own perfect filtering, exactly like any
+        // stage-0 subscriber.
+        let class = env.class();
+        if self
+            .wal
+            .as_ref()
+            .is_some_and(|w| w.has_class_consumer(class))
+        {
+            let wal = self.wal.as_mut().expect("checked above");
+            let off = wal.append(env);
+            for dest in wal.consumers_of_class(class) {
+                if self.parked.contains_key(&dest) {
+                    continue;
+                }
+                let mut fwd = env.clone();
+                fwd.touch_trace(ctx.now().ticks());
+                ctx.send(actor_of(dest), OverlayMsg::Durable { off, env: fwd });
+            }
+        }
         for dest in &dests {
+            // Durable consumers of this class were served from the log
+            // above; sending the volatile copy too would only burn the
+            // dedup window.
+            if self
+                .wal
+                .as_ref()
+                .is_some_and(|w| w.is_class_consumer(*dest, class))
+            {
+                continue;
+            }
             let mut fwd = env.clone();
             fwd.touch_trace(ctx.now().ticks());
             if let Some(buffer) = self.parked.get_mut(dest) {
@@ -936,6 +1068,23 @@ impl Broker {
         }
         dests.clear();
         self.scratch = dests;
+    }
+
+    /// Replays the unacknowledged suffix of every class a durable
+    /// consumer holds offsets for (used on re-attach).
+    fn replay_to(&mut self, subscriber: ActorId, ctx: &mut dyn NodeCtx) {
+        let Some(wal) = self.wal.as_mut() else {
+            return;
+        };
+        let dest = dest_of(subscriber);
+        let mut sends = Vec::new();
+        for class in wal.consumer_classes(dest) {
+            let acked = wal.acked_upto(dest, class);
+            sends.extend(wal.replay_after(class, acked));
+        }
+        for (off, env) in sends {
+            ctx.send(subscriber, OverlayMsg::Durable { off, env });
+        }
     }
 
     /// Removes a `<filter, dest>` pair and tells the parent about any

@@ -78,6 +78,24 @@ pub struct OverlayConfig {
     /// Initial backoff of an open breaker before the half-open probe; it
     /// doubles on every failed recovery attempt (capped at 64×).
     pub breaker_backoff: SimDuration,
+    /// Whether brokers keep a durable segmented event log: events matched
+    /// for *durable* subscriptions are appended to a per-broker
+    /// write-ahead log (CRC-framed records, batched fsync, segment
+    /// rotation) and replayed to resuming subscribers from their last
+    /// acknowledged per-class offset — including across a broker crash,
+    /// where the in-memory retransmission ring and parked buffers lose
+    /// all history.
+    pub durability_enabled: bool,
+    /// Size bound, in bytes, at which a durable-log segment is sealed and
+    /// a new one started. Smaller segments compact sooner but rotate (and
+    /// fsync) more often.
+    pub wal_segment_bytes: usize,
+    /// fsync batching interval of the durable log, in records: the log
+    /// syncs after every `wal_flush_every` appends. `1` makes every
+    /// append durable immediately; larger values amortize the fsync at
+    /// the price of a longer unsynced tail lost on a crash (replay plus
+    /// `(class, seq)` dedup keeps delivery exact either way).
+    pub wal_flush_every: usize,
     /// Seed for the brokers' random child selection.
     pub seed: u64,
     /// Per-event trace sampling period: every `N`-th published event
@@ -107,6 +125,9 @@ impl Default for OverlayConfig {
             flow_tick: SimDuration::from_ticks(32),
             breaker_failure_threshold: 4,
             breaker_backoff: SimDuration::from_ticks(128),
+            durability_enabled: false,
+            wal_segment_bytes: 64 * 1024,
+            wal_flush_every: 8,
             seed: 0xCAFE,
             trace_sample_every: 0,
         }
@@ -165,6 +186,14 @@ impl OverlayConfig {
                     window: self.reliability_window,
                     capacity: self.queue_capacity,
                 });
+            }
+        }
+        if self.durability_enabled {
+            if self.wal_segment_bytes == 0 {
+                return Err(OverlayError::ZeroSegmentBytes);
+            }
+            if self.wal_flush_every == 0 {
+                return Err(OverlayError::ZeroFlushEvery);
             }
         }
         Ok(())
@@ -283,5 +312,36 @@ mod tests {
             ..narrow_queue
         };
         assert!(wide_queue.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_durability_knobs() {
+        use crate::error::OverlayError;
+        let base = OverlayConfig {
+            durability_enabled: true,
+            ..OverlayConfig::default()
+        };
+        assert!(base.validate().is_ok());
+
+        let zero_segment = OverlayConfig {
+            wal_segment_bytes: 0,
+            ..base.clone()
+        };
+        assert_eq!(zero_segment.validate(), Err(OverlayError::ZeroSegmentBytes));
+
+        let zero_flush = OverlayConfig {
+            wal_flush_every: 0,
+            ..base.clone()
+        };
+        assert_eq!(zero_flush.validate(), Err(OverlayError::ZeroFlushEvery));
+
+        // The same zero knobs are ignored while durability is off.
+        let durability_off = OverlayConfig {
+            durability_enabled: false,
+            wal_segment_bytes: 0,
+            wal_flush_every: 0,
+            ..OverlayConfig::default()
+        };
+        assert!(durability_off.validate().is_ok());
     }
 }

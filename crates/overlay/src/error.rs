@@ -48,6 +48,13 @@ pub enum OverlayError {
         /// Configured `queue_capacity`.
         capacity: usize,
     },
+    /// Durability is enabled with zero-byte log segments, so every append
+    /// would rotate (and fsync) its own segment.
+    ZeroSegmentBytes,
+    /// Durability is enabled with a zero fsync interval; the log syncs
+    /// after every `wal_flush_every` appended records, so zero would
+    /// never flush at all.
+    ZeroFlushEvery,
 }
 
 impl fmt::Display for OverlayError {
@@ -93,6 +100,17 @@ impl fmt::Display for OverlayError {
                  to hold a full NACK burst — raise `queue_capacity` or shrink \
                  `reliability_window`"
             ),
+            Self::ZeroSegmentBytes => write!(
+                f,
+                "durability is enabled with wal_segment_bytes = 0, which would rotate a \
+                 segment per record; set `wal_segment_bytes` >= 1 or disable \
+                 `durability_enabled`"
+            ),
+            Self::ZeroFlushEvery => write!(
+                f,
+                "durability is enabled with wal_flush_every = 0, so the log would never \
+                 fsync; set `wal_flush_every` >= 1 (1 = sync every append)"
+            ),
         }
     }
 }
@@ -126,6 +144,8 @@ mod tests {
                 },
                 "reliability_window (256)",
             ),
+            (OverlayError::ZeroSegmentBytes, "wal_segment_bytes"),
+            (OverlayError::ZeroFlushEvery, "wal_flush_every"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -66,6 +66,7 @@ mod reliability;
 mod sim;
 mod subscriber;
 pub mod topology;
+pub mod wal;
 
 pub use broker::Broker;
 pub use config::{OverlayConfig, PlacementPolicy};

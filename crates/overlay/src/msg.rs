@@ -11,7 +11,7 @@
 //! broker forwards are the same bytes the simulator's trace tooling
 //! knows.
 
-use layercake_event::{Advertisement, Envelope};
+use layercake_event::{Advertisement, ClassId, Envelope};
 use layercake_filter::{Filter, FilterId};
 use layercake_sim::ActorId;
 use serde::{DeError, Deserialize, Serialize, Value};
@@ -26,6 +26,12 @@ pub struct SubscriptionReq {
     pub filter: Filter,
     /// The subscribing node.
     pub subscriber: ActorId,
+    /// Durable subscription: the hosting broker logs every matching
+    /// event to its durable log and replays the unacknowledged suffix
+    /// when the subscriber re-attaches or re-subscribes — even across a
+    /// broker crash (Section 2.1's durable subscriptions, backed by the
+    /// write-ahead log instead of the in-memory `parked` buffer).
+    pub durable: bool,
 }
 
 /// Messages exchanged between overlay nodes.
@@ -149,6 +155,26 @@ pub enum OverlayMsg {
         /// this directed link.
         consumed_total: u64,
     },
+    /// An event delivered from a broker's durable log to a durable
+    /// subscriber, stamped with its per-class log offset. Durable
+    /// deliveries bypass the flow-control egress queues and the
+    /// retransmission ring: the log itself is the buffer, and loss is
+    /// repaired by offset replay rather than NACKs.
+    Durable {
+        /// The event's per-class durable log offset (1-based, monotone).
+        off: u64,
+        /// The event itself.
+        env: Envelope,
+    },
+    /// A durable subscriber acknowledges everything of `class` up to and
+    /// including log offset `upto`; the hosting broker persists the
+    /// offset and may compact segments all consumers have passed.
+    AckUpto {
+        /// The event class being acknowledged.
+        class: ClassId,
+        /// Highest contiguous durable offset received for that class.
+        upto: u64,
+    },
 }
 
 impl OverlayMsg {
@@ -162,7 +188,10 @@ impl OverlayMsg {
     pub fn is_data(&self) -> bool {
         matches!(
             self,
-            OverlayMsg::Publish(_) | OverlayMsg::Deliver(_) | OverlayMsg::Sequenced { .. }
+            OverlayMsg::Publish(_)
+                | OverlayMsg::Deliver(_)
+                | OverlayMsg::Sequenced { .. }
+                | OverlayMsg::Durable { .. }
         )
     }
 }
@@ -191,6 +220,7 @@ impl Serialize for SubscriptionReq {
         obj.insert_field("id", self.id.serialize_value());
         obj.insert_field("filter", self.filter.serialize_value());
         obj.insert_field("subscriber", actor_value(self.subscriber));
+        obj.insert_field("durable", self.durable.serialize_value());
         obj
     }
 }
@@ -201,6 +231,7 @@ impl Deserialize for SubscriptionReq {
             id: serde::__field(v, "id")?,
             filter: serde::__field(v, "filter")?,
             subscriber: actor_field(v, "subscriber")?,
+            durable: serde::__field(v, "durable")?,
         })
     }
 }
@@ -281,6 +312,16 @@ impl Serialize for OverlayMsg {
                 obj.insert_field("consumed_total", consumed_total.serialize_value());
                 "CreditGrant"
             }
+            OverlayMsg::Durable { off, env } => {
+                obj.insert_field("off", off.serialize_value());
+                obj.insert_field("env", env.serialize_value());
+                "Durable"
+            }
+            OverlayMsg::AckUpto { class, upto } => {
+                obj.insert_field("class", u64::from(class.0).serialize_value());
+                obj.insert_field("upto", upto.serialize_value());
+                "AckUpto"
+            }
         };
         obj.insert_field("t", Value::Str(tag.to_owned()));
         obj
@@ -340,6 +381,17 @@ impl Deserialize for OverlayMsg {
             "CreditGrant" => OverlayMsg::CreditGrant {
                 consumed_total: serde::__field(v, "consumed_total")?,
             },
+            "Durable" => OverlayMsg::Durable {
+                off: serde::__field(v, "off")?,
+                env: serde::__field(v, "env")?,
+            },
+            "AckUpto" => {
+                let class: u64 = serde::__field(v, "class")?;
+                OverlayMsg::AckUpto {
+                    class: ClassId(class as u32),
+                    upto: serde::__field(v, "upto")?,
+                }
+            }
             other => return Err(DeError::msg(format!("unknown OverlayMsg tag {other:?}"))),
         })
     }
@@ -356,6 +408,7 @@ mod tests {
             id: FilterId(1),
             filter: Filter::any(),
             subscriber: ActorId(3),
+            durable: false,
         };
         let msgs = vec![
             OverlayMsg::Advertise(Advertisement::new(
@@ -401,6 +454,11 @@ mod tests {
             env: env.clone(),
         }
         .is_data());
+        assert!(OverlayMsg::Durable {
+            off: 1,
+            env: env.clone(),
+        }
+        .is_data());
         for control in [
             OverlayMsg::Renew,
             OverlayMsg::RenewAck,
@@ -413,6 +471,10 @@ mod tests {
                 to_seq: 1,
             },
             OverlayMsg::Advance { to: 1 },
+            OverlayMsg::AckUpto {
+                class: ClassId(0),
+                upto: 3,
+            },
         ] {
             assert!(!control.is_data(), "{control:?} must be control plane");
         }
@@ -433,6 +495,7 @@ mod tests {
             id: FilterId(9),
             filter: Filter::any(),
             subscriber: ActorId(usize::MAX),
+            durable: true,
         };
         vec![
             OverlayMsg::Advertise(Advertisement::new(
@@ -469,7 +532,10 @@ mod tests {
             OverlayMsg::Attach {
                 subscriber: ActorId(7),
             },
-            OverlayMsg::Sequenced { link_seq: 19, env },
+            OverlayMsg::Sequenced {
+                link_seq: 19,
+                env: env.clone(),
+            },
             OverlayMsg::Nack {
                 from_seq: 3,
                 to_seq: 8,
@@ -481,6 +547,11 @@ mod tests {
             OverlayMsg::Credit,
             OverlayMsg::CreditGrant {
                 consumed_total: u64::MAX,
+            },
+            OverlayMsg::Durable { off: 23, env },
+            OverlayMsg::AckUpto {
+                class: ClassId(3),
+                upto: 23,
             },
         ]
     }

@@ -80,6 +80,23 @@ impl OverlaySim {
             debug_assert_eq!(id, node.id, "world id assignment diverged from topology");
             brokers.push(id);
         }
+        if cfg.durability_enabled {
+            // Each broker gets a deterministic in-memory log whose
+            // synced/unsynced split models a page cache: crash_restart
+            // loses the unsynced tail, exactly like the file-backed
+            // storage of the wall-clock runtime.
+            for &id in &brokers {
+                if let NodeActor::Broker(b) = world.actor_mut(id) {
+                    b.enable_durability(
+                        Box::new(crate::wal::MemStorage::new()),
+                        crate::wal::LogConfig {
+                            segment_bytes: cfg.wal_segment_bytes,
+                            flush_every: cfg.wal_flush_every,
+                        },
+                    );
+                }
+            }
+        }
         let root = *brokers.last().expect("validated topology has a root");
 
         Ok(Self {
@@ -188,6 +205,33 @@ impl OverlaySim {
         filters: Vec<Filter>,
         residual: Option<Box<dyn ResidualFilter>>,
     ) -> Result<SubscriberHandle, FilterError> {
+        self.add_subscriber_inner(filters, residual, false)
+    }
+
+    /// Adds a *durable* subscriber: its hosting broker appends the
+    /// subscription's event class to its durable log and replays past the
+    /// subscriber's last acknowledged offset on every re-subscription —
+    /// including after the broker itself crashed and restarted with
+    /// nothing but the log. Requires
+    /// [`OverlayConfig::durability_enabled`]; without it the subscription
+    /// behaves like [`OverlaySim::add_subscriber`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`OverlaySim::add_subscriber`].
+    pub fn add_durable_subscriber(
+        &mut self,
+        filter: Filter,
+    ) -> Result<SubscriberHandle, FilterError> {
+        self.add_subscriber_inner(vec![filter], None, true)
+    }
+
+    fn add_subscriber_inner(
+        &mut self,
+        filters: Vec<Filter>,
+        residual: Option<Box<dyn ResidualFilter>>,
+        durable: bool,
+    ) -> Result<SubscriberHandle, FilterError> {
         let branches =
             crate::topology::standardize_branches(&self.registry, filters, self.next_filter)?;
         self.next_filter += branches.len() as u64;
@@ -200,6 +244,7 @@ impl OverlaySim {
             branches.clone(),
             residual,
             self.trace.as_ref(),
+            durable,
         );
         let actor = self.world.add_actor(NodeActor::Subscriber(node));
         self.subscribers.push(actor);
@@ -210,6 +255,7 @@ impl OverlaySim {
                     id,
                     filter,
                     subscriber: actor,
+                    durable,
                 }),
             );
         }
@@ -537,6 +583,18 @@ impl OverlaySim {
         handle.0
     }
 
+    /// Forces every broker's durable log to disk (final fsync batches and
+    /// offset-table writes). Call before comparing durability counters or
+    /// before a deliberate crash where the tail should survive. A no-op
+    /// without [`OverlayConfig::durability_enabled`].
+    pub fn flush_wals(&mut self) {
+        for &id in &self.brokers.clone() {
+            if let NodeActor::Broker(b) = self.world.actor_mut(id) {
+                b.flush_wal();
+            }
+        }
+    }
+
     /// Collects every node's counters into the run metrics, including the
     /// fault-injection ([`layercake_metrics::ChaosStats`]) counters.
     #[must_use]
@@ -552,6 +610,9 @@ impl OverlaySim {
                     m.chaos.duplicates_suppressed += b.dup_suppressed();
                     m.chaos.nacks += b.nacks_sent();
                     m.overload.absorb(b.overload());
+                    if let Some(d) = b.durability() {
+                        m.durability.absorb(d);
+                    }
                     m.push(b.record());
                 }
                 NodeActor::Subscriber(s) => {

@@ -114,6 +114,12 @@ pub struct SubscriberNode {
     nacks_sent: u64,
     /// Shared trace collector; `None` when tracing is disabled for the run.
     trace: Option<Arc<TraceSink>>,
+    /// Whether this subscription is durable: the hosting broker logs the
+    /// matched classes and replays past the last acknowledged offset on
+    /// re-subscription, so broker crashes lose no accepted history.
+    durable: bool,
+    /// Events received over the durable replay/delivery path.
+    durable_received: u64,
 }
 
 impl fmt::Debug for SubscriberNode {
@@ -142,6 +148,7 @@ pub(crate) struct SubscriberSetup {
     pub flow_control_enabled: bool,
     pub queue_capacity: usize,
     pub trace: Option<Arc<TraceSink>>,
+    pub durable: bool,
 }
 
 impl SubscriberNode {
@@ -158,6 +165,7 @@ impl SubscriberNode {
             flow_control_enabled,
             queue_capacity,
             trace,
+            durable,
         } = setup;
         debug_assert!(
             !branches.is_empty(),
@@ -201,7 +209,21 @@ impl SubscriberNode {
             dup_suppressed: 0,
             nacks_sent: 0,
             trace,
+            durable,
+            durable_received: 0,
         }
+    }
+
+    /// Whether this subscription was created durable.
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.durable
+    }
+
+    /// Events that arrived over the durable delivery/replay path.
+    #[must_use]
+    pub fn durable_received(&self) -> u64 {
+        self.durable_received
     }
 
     /// Enables buffering of accepted envelopes for later draining with
@@ -341,6 +363,18 @@ impl SubscriberNode {
                 self.bytes_received += env.wire_size() as u64;
                 self.note_data_arrival(from, ctx);
                 self.accept(from, env, ctx);
+            }
+            OverlayMsg::Durable { off, env } => {
+                // Durable deliveries skip flow accounting on purpose: the
+                // broker sends them outside its credit window, so counting
+                // them as consumed credit would corrupt the window. The
+                // ack — per class, cumulative — is what advances the
+                // broker's persisted offset and unpins log segments.
+                self.bytes_received += env.wire_size() as u64;
+                self.durable_received += 1;
+                let class = env.class();
+                self.accept(from, env, ctx);
+                ctx.send(from, OverlayMsg::AckUpto { class, upto: off });
             }
             OverlayMsg::Sequenced { link_seq, env } => {
                 self.bytes_received += env.wire_size() as u64;
@@ -536,6 +570,7 @@ impl SubscriberNode {
                 id: branch.id,
                 filter: branch.filter.clone(),
                 subscriber: ctx.me(),
+                durable: self.durable,
             }),
         );
         let backoff = self.ttl * (1u64 << attempt.min(MAX_BACKOFF_EXP));

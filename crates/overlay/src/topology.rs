@@ -154,6 +154,9 @@ pub fn standardize_branches(
 
 /// Builds a subscriber runtime wired to `root`, configured consistently
 /// with the brokers built from the same `cfg`.
+// One parameter per SubscriberSetup knob that isn't derived from `cfg`;
+// bundling them into a second struct would just mirror SubscriberSetup.
+#[allow(clippy::too_many_arguments)]
 #[must_use]
 pub fn build_subscriber(
     cfg: &OverlayConfig,
@@ -163,6 +166,7 @@ pub fn build_subscriber(
     branches: Vec<(FilterId, Filter)>,
     residual: Option<Box<dyn ResidualFilter>>,
     trace: Option<&Arc<TraceSink>>,
+    durable: bool,
 ) -> SubscriberNode {
     SubscriberNode::new(SubscriberSetup {
         label,
@@ -176,5 +180,6 @@ pub fn build_subscriber(
         flow_control_enabled: cfg.flow_control_enabled,
         queue_capacity: cfg.queue_capacity,
         trace: trace.cloned(),
+        durable,
     })
 }

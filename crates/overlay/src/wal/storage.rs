@@ -1,0 +1,353 @@
+//! Byte-level storage behind a durable log: named append-only segments
+//! plus one atomically-replaced metadata blob.
+//!
+//! Two implementations back the same [`crate::wal::DurableLog`] state
+//! machine, keeping the protocol identical across drivers:
+//!
+//! * [`MemStorage`] — deterministic in-memory segments for the simulator.
+//!   It models the write/fsync distinction explicitly: bytes appended but
+//!   not yet synced are *lost* by [`LogStorage::lose_unsynced`], which the
+//!   broker invokes when it simulates a process crash. Tests get
+//!   byte-reproducible durability semantics without touching a disk.
+//! * [`FileStorage`] — real files under a directory, real `fsync`
+//!   (`sync_data`) per segment, and atomic metadata replacement via
+//!   write-to-temp + rename. This is what `layercake-rt` runs on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// The storage a [`crate::wal::DurableLog`] appends to: a set of segments
+/// addressed by numeric id, plus one metadata blob (the consumer-offset
+/// table) replaced atomically as a whole.
+///
+/// All methods are infallible from the log's point of view; a file
+/// implementation treats an I/O error on a log it already opened as
+/// fatal (storage loss under an append-only log has no useful partial
+/// recovery), while open-time errors surface from its constructor.
+pub trait LogStorage: fmt::Debug + Send {
+    /// Ids of all existing segments, ascending.
+    fn segment_ids(&self) -> Vec<u64>;
+
+    /// Full contents of one segment (empty if it does not exist).
+    fn read_segment(&self, seg: u64) -> Vec<u8>;
+
+    /// Appends bytes to a segment, creating it if needed. The bytes are
+    /// *written* but not yet durable — only [`LogStorage::sync`] makes
+    /// them survive [`LogStorage::lose_unsynced`] / a power cut.
+    fn append(&mut self, seg: u64, bytes: &[u8]);
+
+    /// Truncates a segment to `len` bytes (recovery cutting a torn tail).
+    fn truncate(&mut self, seg: u64, len: u64);
+
+    /// Makes every byte written to the segment so far durable (fsync).
+    fn sync(&mut self, seg: u64);
+
+    /// Deletes a segment (compaction).
+    fn remove_segment(&mut self, seg: u64);
+
+    /// The metadata blob, if one was ever written.
+    fn read_meta(&self) -> Option<Vec<u8>>;
+
+    /// Atomically replaces the metadata blob; durable on return.
+    fn write_meta(&mut self, bytes: &[u8]);
+
+    /// Drops every byte not yet covered by a [`LogStorage::sync`] —
+    /// the simulator's model of a process crash taking the page cache
+    /// with it. Real-file storage keeps nothing in userspace, so its
+    /// implementation is a no-op.
+    fn lose_unsynced(&mut self);
+}
+
+/// One in-memory segment: its bytes and the synced prefix length.
+#[derive(Debug, Default, Clone)]
+struct MemSegment {
+    bytes: Vec<u8>,
+    synced: usize,
+}
+
+/// Deterministic in-memory [`LogStorage`] for the simulator and for
+/// corruption tests (which mutate segment bytes directly through
+/// [`MemStorage::segment_bytes_mut`]).
+#[derive(Debug, Default)]
+pub struct MemStorage {
+    segments: BTreeMap<u64, MemSegment>,
+    meta: Option<Vec<u8>>,
+}
+
+impl MemStorage {
+    /// Creates empty storage.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Direct mutable access to a segment's raw bytes — the fault-
+    /// injection hook corruption tests flip bits and splice garbage
+    /// through. Mutations count as synced (the corruption is "on disk").
+    pub fn segment_bytes_mut(&mut self, seg: u64) -> Option<&mut Vec<u8>> {
+        let s = self.segments.get_mut(&seg)?;
+        s.synced = usize::MAX; // keep whatever the test writes
+        Some(&mut s.bytes)
+    }
+}
+
+impl LogStorage for MemStorage {
+    fn segment_ids(&self) -> Vec<u64> {
+        self.segments.keys().copied().collect()
+    }
+
+    fn read_segment(&self, seg: u64) -> Vec<u8> {
+        self.segments
+            .get(&seg)
+            .map(|s| s.bytes.clone())
+            .unwrap_or_default()
+    }
+
+    fn append(&mut self, seg: u64, bytes: &[u8]) {
+        self.segments
+            .entry(seg)
+            .or_default()
+            .bytes
+            .extend_from_slice(bytes);
+    }
+
+    fn truncate(&mut self, seg: u64, len: u64) {
+        if let Some(s) = self.segments.get_mut(&seg) {
+            s.bytes.truncate(len as usize);
+            s.synced = s.synced.min(s.bytes.len());
+        }
+    }
+
+    fn sync(&mut self, seg: u64) {
+        if let Some(s) = self.segments.get_mut(&seg) {
+            s.synced = s.bytes.len();
+        }
+    }
+
+    fn remove_segment(&mut self, seg: u64) {
+        self.segments.remove(&seg);
+    }
+
+    fn read_meta(&self) -> Option<Vec<u8>> {
+        self.meta.clone()
+    }
+
+    fn write_meta(&mut self, bytes: &[u8]) {
+        self.meta = Some(bytes.to_vec());
+    }
+
+    fn lose_unsynced(&mut self) {
+        for s in self.segments.values_mut() {
+            let keep = s.synced.min(s.bytes.len());
+            s.bytes.truncate(keep);
+        }
+        self.segments.retain(|_, s| !s.bytes.is_empty());
+    }
+}
+
+/// Real-file [`LogStorage`]: one `seg-<id>.log` file per segment and an
+/// `offsets.meta` blob in a directory, with real `fsync` on
+/// [`LogStorage::sync`] and atomic metadata replacement.
+pub struct FileStorage {
+    dir: PathBuf,
+    /// Open append handles, kept so `sync` can `sync_data` the same file
+    /// descriptor the writes went through.
+    handles: BTreeMap<u64, fs::File>,
+}
+
+impl fmt::Debug for FileStorage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FileStorage")
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FileStorage {
+    /// Opens (creating if needed) the storage directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory cannot be
+    /// created or is not accessible.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            handles: BTreeMap::new(),
+        })
+    }
+
+    /// The directory this storage lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn segment_path(&self, seg: u64) -> PathBuf {
+        self.dir.join(format!("seg-{seg:016x}.log"))
+    }
+
+    fn meta_path(&self) -> PathBuf {
+        self.dir.join("offsets.meta")
+    }
+
+    fn handle(&mut self, seg: u64) -> &mut fs::File {
+        let path = self.segment_path(seg);
+        self.handles.entry(seg).or_insert_with(|| {
+            fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap_or_else(|e| panic!("open log segment {}: {e}", path.display()))
+        })
+    }
+}
+
+impl LogStorage for FileStorage {
+    fn segment_ids(&self) -> Vec<u64> {
+        let mut ids = Vec::new();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return ids;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(hex) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".log"))
+            {
+                if let Ok(id) = u64::from_str_radix(hex, 16) {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    fn read_segment(&self, seg: u64) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        if let Ok(mut f) = fs::File::open(self.segment_path(seg)) {
+            f.read_to_end(&mut bytes)
+                .unwrap_or_else(|e| panic!("read log segment {seg}: {e}"));
+        }
+        bytes
+    }
+
+    fn append(&mut self, seg: u64, bytes: &[u8]) {
+        self.handle(seg)
+            .write_all(bytes)
+            .unwrap_or_else(|e| panic!("append to log segment {seg}: {e}"));
+    }
+
+    fn truncate(&mut self, seg: u64, len: u64) {
+        // Re-open without append mode: set_len on an append handle is
+        // fine, but dropping the handle first keeps the offset story
+        // simple across platforms.
+        self.handles.remove(&seg);
+        let path = self.segment_path(seg);
+        let f = fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("open log segment {} for truncate: {e}", path.display()));
+        f.set_len(len)
+            .unwrap_or_else(|e| panic!("truncate log segment {seg}: {e}"));
+        f.sync_data()
+            .unwrap_or_else(|e| panic!("sync truncated log segment {seg}: {e}"));
+    }
+
+    fn sync(&mut self, seg: u64) {
+        self.handle(seg)
+            .sync_data()
+            .unwrap_or_else(|e| panic!("fsync log segment {seg}: {e}"));
+    }
+
+    fn remove_segment(&mut self, seg: u64) {
+        self.handles.remove(&seg);
+        let path = self.segment_path(seg);
+        fs::remove_file(&path)
+            .unwrap_or_else(|e| panic!("remove log segment {}: {e}", path.display()));
+    }
+
+    fn read_meta(&self) -> Option<Vec<u8>> {
+        fs::read(self.meta_path()).ok()
+    }
+
+    fn write_meta(&mut self, bytes: &[u8]) {
+        let tmp = self.dir.join("offsets.meta.tmp");
+        let mut f =
+            fs::File::create(&tmp).unwrap_or_else(|e| panic!("create {}: {e}", tmp.display()));
+        f.write_all(bytes)
+            .unwrap_or_else(|e| panic!("write {}: {e}", tmp.display()));
+        f.sync_data()
+            .unwrap_or_else(|e| panic!("sync {}: {e}", tmp.display()));
+        drop(f);
+        fs::rename(&tmp, self.meta_path())
+            .unwrap_or_else(|e| panic!("rename offsets meta into place: {e}"));
+    }
+
+    fn lose_unsynced(&mut self) {
+        // A real process crash loses nothing userspace-visible: the OS
+        // already has every written byte. Only power loss would, and the
+        // file driver cannot simulate that.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_round_trips_and_loses_unsynced() {
+        let mut s = MemStorage::new();
+        s.append(0, b"abc");
+        s.sync(0);
+        s.append(0, b"def");
+        assert_eq!(s.read_segment(0), b"abcdef");
+        s.lose_unsynced();
+        assert_eq!(s.read_segment(0), b"abc");
+        s.append(1, b"x");
+        s.lose_unsynced();
+        // A never-synced segment vanishes entirely.
+        assert_eq!(s.segment_ids(), vec![0]);
+        s.write_meta(b"meta");
+        assert_eq!(s.read_meta().as_deref(), Some(&b"meta"[..]));
+        s.remove_segment(0);
+        assert!(s.segment_ids().is_empty());
+    }
+
+    #[test]
+    fn file_storage_round_trips() {
+        let dir = std::env::temp_dir().join(format!(
+            "layercake-wal-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = FileStorage::open(&dir).unwrap();
+        assert!(s.segment_ids().is_empty());
+        s.append(7, b"hello ");
+        s.append(7, b"world");
+        s.sync(7);
+        s.append(9, b"zzz");
+        assert_eq!(s.segment_ids(), vec![7, 9]);
+        assert_eq!(s.read_segment(7), b"hello world");
+        s.truncate(7, 5);
+        assert_eq!(s.read_segment(7), b"hello");
+        s.write_meta(b"{\"v\":1}");
+        // Re-open from the same directory: everything persisted.
+        let s2 = FileStorage::open(&dir).unwrap();
+        assert_eq!(s2.segment_ids(), vec![7, 9]);
+        assert_eq!(s2.read_segment(7), b"hello");
+        assert_eq!(s2.read_meta().as_deref(), Some(&b"{\"v\":1}"[..]));
+        let mut s2 = s2;
+        s2.remove_segment(9);
+        assert_eq!(s2.segment_ids(), vec![7]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

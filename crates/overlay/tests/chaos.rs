@@ -244,6 +244,108 @@ fn lossy_links_force_retransmissions_that_reliability_recovers() {
     );
 }
 
+/// The E13 reliability ring and the parked buffer are volatile: a broker
+/// crash erases the history a detached subscriber was owed. The durable
+/// log closes exactly that gap. Run the same detach → publish → crash →
+/// restart → reattach scenario twice — ring-only and with the log — and
+/// the logged variant alone recovers the events from the outage window.
+#[test]
+fn crashes_erase_ring_history_but_not_the_durable_log() {
+    let run = |durable: bool| -> Vec<EventSeq> {
+        let mut registry = TypeRegistry::new();
+        let class = BiblioWorkload::register(&mut registry);
+        let mut sim = OverlaySim::new(
+            OverlayConfig {
+                levels: vec![1],
+                leases_enabled: true,
+                reliability_enabled: true,
+                durability_enabled: durable,
+                ttl: SimDuration::from_ticks(TTL),
+                seed: 5,
+                ..OverlayConfig::default()
+            },
+            Arc::new(registry),
+        );
+        sim.advertise(Advertisement::new(class, BiblioWorkload::stage_map()));
+        sim.settle();
+        let filter = Filter::for_class(class).eq("year", 2002);
+        let sub = if durable {
+            sim.add_durable_subscriber(filter).unwrap()
+        } else {
+            sim.add_subscriber(filter).unwrap()
+        };
+        sim.run_for(SimDuration::from_ticks(TTL / 2));
+        let host = sim.subscriber(sub).host().expect("placed");
+
+        let publish = |sim: &mut OverlaySim, seq: u64| {
+            let data = event_data! {
+                "year" => 2002i64,
+                "conference" => "icdcs",
+                "author" => "eugster",
+                "title" => format!("t{seq}"),
+            };
+            sim.publish(Envelope::from_meta(class, "Biblio", EventSeq(seq), data));
+        };
+
+        // Online traffic, then a detach with events published into the
+        // outage window: ring-only parks them in broker memory, the
+        // durable variant appends them to the log.
+        for seq in 0..3 {
+            publish(&mut sim, seq);
+        }
+        sim.run_for(SimDuration::from_ticks(TTL / 2));
+        assert!(sim.disconnect(sub));
+        sim.run_for(SimDuration::from_ticks(4));
+        for seq in 3..8 {
+            publish(&mut sim, seq);
+        }
+        sim.run_for(SimDuration::from_ticks(TTL / 2));
+        sim.flush_wals();
+
+        // Crash + restart wipes all volatile broker state.
+        sim.crash_broker(host);
+        sim.run_for(SimDuration::from_ticks(TTL));
+        assert!(sim.restart_broker(host));
+        for _ in 0..MAX_RECONVERGE_ROUNDS {
+            sim.run_for(SimDuration::from_ticks(2 * TTL));
+            if sim.deliveries(sub).len() >= 8 {
+                break;
+            }
+        }
+        // Fresh post-recovery traffic must flow either way.
+        publish(&mut sim, 100);
+        for _ in 0..MAX_RECONVERGE_ROUNDS {
+            sim.run_for(SimDuration::from_ticks(2 * TTL));
+            if sim.deliveries(sub).contains(&EventSeq(100)) {
+                break;
+            }
+        }
+        assert!(
+            sim.deliveries(sub).contains(&EventSeq(100)),
+            "post-recovery traffic must deliver (durable = {durable})"
+        );
+        sim.deliveries(sub).to_vec()
+    };
+
+    let ring_only = run(false);
+    let with_log = run(true);
+    let outage: Vec<EventSeq> = (3..8).map(EventSeq).collect();
+    assert!(
+        outage.iter().all(|s| !ring_only.contains(s)),
+        "ring-only history should die with the broker: {ring_only:?}"
+    );
+    assert!(
+        outage.iter().all(|s| with_log.contains(s)),
+        "the durable log must replay the outage window: {with_log:?}"
+    );
+    for d in [&ring_only, &with_log] {
+        let mut uniq = d.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), d.len(), "no duplicate deliveries");
+    }
+}
+
 #[test]
 fn crash_discard_and_resubscription_show_up_in_metrics() {
     let mut c = Chaos::new(2, 11);

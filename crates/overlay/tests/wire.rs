@@ -85,11 +85,14 @@ fn arb_envelope() -> impl Strategy<Value = Envelope> {
 }
 
 fn arb_req() -> impl Strategy<Value = SubscriptionReq> {
-    (any::<u64>(), arb_filter(), arb_actor()).prop_map(|(id, filter, subscriber)| SubscriptionReq {
-        id: FilterId(id),
-        filter,
-        subscriber,
-    })
+    (any::<u64>(), arb_filter(), arb_actor(), any::<bool>()).prop_map(
+        |(id, filter, subscriber, durable)| SubscriptionReq {
+            id: FilterId(id),
+            filter,
+            subscriber,
+            durable,
+        },
+    )
 }
 
 /// A strategy covering every `OverlayMsg` variant with randomized payloads.
@@ -129,6 +132,11 @@ fn arb_msg() -> impl Strategy<Value = OverlayMsg> {
         Just(OverlayMsg::Reannounce),
         Just(OverlayMsg::Credit),
         any::<u64>().prop_map(|consumed_total| OverlayMsg::CreditGrant { consumed_total }),
+        (any::<u64>(), arb_envelope()).prop_map(|(off, env)| OverlayMsg::Durable { off, env }),
+        (0u32..8, any::<u64>()).prop_map(|(class, upto)| OverlayMsg::AckUpto {
+            class: ClassId(class),
+            upto
+        }),
     ]
 }
 
@@ -186,6 +194,31 @@ proptest! {
         dec.push(&len.to_le_bytes());
         let err = dec.next_frame().expect_err("oversized length must error");
         prop_assert!(matches!(err, FrameError::Oversized { .. }), "{err}");
+    }
+
+    /// A framing error is terminal: after a corrupt header the decoder
+    /// keeps reporting the same error and never "resynchronizes" onto
+    /// valid-looking frames that follow — there are no boundaries left
+    /// to trust. (Regression: the decoder used to clear its state and
+    /// decode phantom frames out of the corrupt tail.)
+    #[test]
+    fn framing_errors_poison_the_stream(
+        msg in arb_msg(),
+        after in arb_msg(),
+        len in 0x0100_0001u32..=u32::MAX,
+    ) {
+        let mut dec = FrameDecoder::new();
+        dec.push(&encode_frame(&serde_json::to_vec(&msg).unwrap()).unwrap());
+        dec.push(&len.to_le_bytes());
+        dec.push(&encode_frame(&serde_json::to_vec(&after).unwrap()).unwrap());
+        // The frame before the corruption still comes out.
+        prop_assert!(dec.next_frame().unwrap().is_some());
+        let err = dec.next_frame().expect_err("corrupt header must error");
+        prop_assert!(dec.is_poisoned());
+        // Latched: every later poll re-reports, nothing ever decodes.
+        prop_assert_eq!(dec.next_frame().expect_err("stays poisoned"), err.clone());
+        prop_assert_eq!(dec.finish().expect_err("finish reports it too"), err);
+        prop_assert_eq!(dec.pending(), 0, "poisoned tail must be discarded");
     }
 }
 

@@ -18,6 +18,8 @@ pub enum RtError {
     /// A subscription's placement walk did not finish within the
     /// configured timeout.
     PlacementTimeout,
+    /// A durable-log directory could not be opened at startup.
+    Storage(std::io::Error),
 }
 
 impl std::fmt::Display for RtError {
@@ -28,6 +30,7 @@ impl std::fmt::Display for RtError {
             RtError::InvalidShards => write!(f, "shards must be >= 1"),
             RtError::UnsupportedFeature(what) => write!(f, "unsupported in the runtime: {what}"),
             RtError::PlacementTimeout => write!(f, "subscription placement walk timed out"),
+            RtError::Storage(e) => write!(f, "cannot open durable log storage: {e}"),
         }
     }
 }
@@ -37,6 +40,7 @@ impl std::error::Error for RtError {
         match self {
             RtError::Overlay(e) => Some(e),
             RtError::Filter(e) => Some(e),
+            RtError::Storage(e) => Some(e),
             _ => None,
         }
     }
@@ -45,5 +49,11 @@ impl std::error::Error for RtError {
 impl From<OverlayError> for RtError {
     fn from(e: OverlayError) -> Self {
         RtError::Overlay(e)
+    }
+}
+
+impl From<std::io::Error> for RtError {
+    fn from(e: std::io::Error) -> Self {
+        RtError::Storage(e)
     }
 }

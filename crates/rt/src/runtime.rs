@@ -35,6 +35,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, RwLock};
@@ -43,7 +44,9 @@ use std::time::{Duration, Instant};
 
 use layercake_event::{Advertisement, Envelope, FrameDecoder, TraceContext, TraceId, TypeRegistry};
 use layercake_filter::Filter;
+use layercake_metrics::DurabilityStats;
 use layercake_overlay::topology::{self, TopologyNode};
+use layercake_overlay::wal::{FileStorage, LogConfig};
 use layercake_overlay::{Broker, Node, NodeCtx, OverlayConfig, OverlayMsg, SubscriberNode};
 use layercake_sim::{ActorId, SimDuration, SimTime};
 
@@ -65,13 +68,23 @@ pub struct RtConfig {
     /// The overlay to run. Soft-state leases, per-link reliability, flow
     /// control and trace sampling must all be disabled: their per-link
     /// state lives inside each broker replica and would diverge across
-    /// matcher shards.
+    /// matcher shards. Durability is the exception — the durable log is
+    /// keyed by event class, and data frames shard by class too, so each
+    /// shard's log covers exactly the classes it matches and replicas
+    /// never disagree; enable it with `overlay.durability_enabled` plus
+    /// [`RtConfig::durable_dir`].
     pub overlay: OverlayConfig,
     /// Matcher shards (threads) per broker; ≥ 1.
     pub shards: usize,
     /// How long [`Runtime::add_subscriber_any`] waits for the placement
     /// walk to finish before giving up.
     pub placement_timeout: Duration,
+    /// Root directory for the per-broker durable logs, required when
+    /// `overlay.durability_enabled` is set. Broker `b`'s shard `s` logs
+    /// under `<durable_dir>/b<b>/s<s>`; restarting a runtime over the
+    /// same directory recovers consumer offsets and replays unacked
+    /// events to re-subscribing durable subscribers.
+    pub durable_dir: Option<PathBuf>,
 }
 
 impl RtConfig {
@@ -83,6 +96,7 @@ impl RtConfig {
             overlay,
             shards,
             placement_timeout: Duration::from_secs(10),
+            durable_dir: None,
         }
     }
 
@@ -98,13 +112,27 @@ impl RtConfig {
             return Err(RtError::UnsupportedFeature(
                 "leases, reliability and flow control hold per-link state \
                  that would diverge across matcher shards; run them in the \
-                 deterministic simulator",
+                 deterministic simulator (durable subscriptions are the \
+                 runtime's loss-protection path: set durability_enabled \
+                 and durable_dir)",
             ));
         }
         if self.overlay.trace_sample_every != 0 {
             return Err(RtError::UnsupportedFeature(
                 "trace sampling expects virtual-time hop stamps; the runtime \
                  measures wall-clock latency through RtStats instead",
+            ));
+        }
+        if self.overlay.durability_enabled && self.durable_dir.is_none() {
+            return Err(RtError::UnsupportedFeature(
+                "durability in the runtime writes real files; set \
+                 RtConfig::durable_dir to the log directory",
+            ));
+        }
+        if self.durable_dir.is_some() && !self.overlay.durability_enabled {
+            return Err(RtError::UnsupportedFeature(
+                "durable_dir is set but overlay.durability_enabled is \
+                 false; enable both or neither",
             ));
         }
         Ok(())
@@ -179,10 +207,15 @@ impl Router {
 }
 
 /// The event class a data frame is keyed on, `None` for control.
+///
+/// `AckUpto` deliberately stays control: broadcasting acks keeps every
+/// replica's consumer-offset table identical, and on shards that do not
+/// own the class the ack is a no-op against an empty class history.
 fn data_class(msg: &OverlayMsg) -> Option<u32> {
     match msg {
         OverlayMsg::Publish(env) | OverlayMsg::Deliver(env) => Some(env.class().0),
         OverlayMsg::Sequenced { env, .. } => Some(env.class().0),
+        OverlayMsg::Durable { env, .. } => Some(env.class().0),
         _ => None,
     }
 }
@@ -293,6 +326,19 @@ impl RtReport {
     pub fn deliveries(&self, handle: RtSubscriberHandle) -> &[layercake_event::EventSeq] {
         self.subscribers[handle.index].deliveries()
     }
+
+    /// Durable-log counters summed across every broker shard; quiet when
+    /// the runtime ran without durability.
+    #[must_use]
+    pub fn durability(&self) -> DurabilityStats {
+        let mut total = DurabilityStats::default();
+        for (_, broker) in &self.brokers {
+            if let Some(stats) = broker.durability() {
+                total.absorb(stats);
+            }
+        }
+        total
+    }
 }
 
 struct BrokerThread {
@@ -370,7 +416,22 @@ impl Runtime {
                 let b = node.id.0;
                 let rx = inboxes[b].pop().expect("one receiver per shard");
                 let stage = node.stage;
-                let broker = node.broker;
+                let mut broker = node.broker;
+                if let Some(dir) = &cfg.durable_dir {
+                    // Each shard owns a disjoint class slice, so shard
+                    // logs never overlap; recovery happens inside
+                    // `DurableLog::open` (torn-tail truncation, offset
+                    // table reload) before the thread takes traffic.
+                    let storage =
+                        FileStorage::open(dir.join(format!("b{b}")).join(format!("s{shard}")))?;
+                    broker.enable_durability(
+                        Box::new(storage),
+                        LogConfig {
+                            segment_bytes: cfg.overlay.wal_segment_bytes,
+                            flush_every: cfg.overlay.wal_flush_every,
+                        },
+                    );
+                }
                 let router = router.clone();
                 let stats = Arc::clone(&stats);
                 let speaks = shard == 0;
@@ -450,7 +511,27 @@ impl Runtime {
     /// [`RtError::PlacementTimeout`] if the walk does not finish within
     /// the configured timeout.
     pub fn add_subscriber(&mut self, filter: Filter) -> Result<RtSubscriberHandle, RtError> {
-        self.add_subscriber_any(vec![filter])
+        self.add_subscriber_inner(vec![filter], false)
+    }
+
+    /// Adds a *durable* subscriber: the hosting broker appends the
+    /// subscription's class history to its on-disk log and replays
+    /// everything past the subscriber's acknowledged offset when the
+    /// same subscriber id re-subscribes — including across a runtime
+    /// restarted over the same [`RtConfig::durable_dir`].
+    ///
+    /// Requires `overlay.durability_enabled` (otherwise the subscription
+    /// silently degrades to the volatile path, exactly as in the
+    /// simulator).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::add_subscriber`].
+    pub fn add_durable_subscriber(
+        &mut self,
+        filter: Filter,
+    ) -> Result<RtSubscriberHandle, RtError> {
+        self.add_subscriber_inner(vec![filter], true)
     }
 
     /// Adds a subscriber with a disjunctive subscription, spawns its
@@ -464,6 +545,14 @@ impl Runtime {
     pub fn add_subscriber_any(
         &mut self,
         filters: Vec<Filter>,
+    ) -> Result<RtSubscriberHandle, RtError> {
+        self.add_subscriber_inner(filters, false)
+    }
+
+    fn add_subscriber_inner(
+        &mut self,
+        filters: Vec<Filter>,
+        durable: bool,
     ) -> Result<RtSubscriberHandle, RtError> {
         let branches = topology::standardize_branches(&self.registry, filters, self.next_filter)
             .map_err(RtError::Filter)?;
@@ -479,6 +568,7 @@ impl Runtime {
             branches.clone(),
             None,
             None,
+            durable,
         );
         node.set_store_envelopes(true);
 
@@ -507,6 +597,7 @@ impl Runtime {
                     id: fid,
                     filter,
                     subscriber: id,
+                    durable,
                 }),
                 &self.stats,
             );
@@ -555,7 +646,9 @@ impl Runtime {
 
     /// Stops the runtime: poisons and joins broker stages from the root
     /// down (each thread drains its inbox before exiting), then the
-    /// subscribers, and returns the final node states plus stats.
+    /// subscribers, and returns the final node states plus stats. Each
+    /// broker's durable log gets a final flush, so every appended record
+    /// and acknowledged offset is on disk when this returns.
     ///
     /// Callers must stop publishing first; frames injected during
     /// shutdown may be dropped with the closed channels.
@@ -564,7 +657,29 @@ impl Runtime {
     ///
     /// Panics if a node thread itself panicked.
     #[must_use]
-    pub fn shutdown(mut self) -> RtReport {
+    pub fn shutdown(self) -> RtReport {
+        self.teardown(true)
+    }
+
+    /// Tears the runtime down like [`Runtime::shutdown`] but *without*
+    /// the final durable-log flush — a crash stand-in for recovery
+    /// tests. Acknowledged offsets still sitting in the batched offset
+    /// table are abandoned, so a runtime restarted over the same
+    /// [`RtConfig::durable_dir`] replays a suffix the subscribers had
+    /// already seen (the bounded re-delivery the `(class, seq)` dedup
+    /// absorbs). Record bytes already handed to the OS survive either
+    /// way: in-process, only a power failure can lose written-but-
+    /// unsynced file data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node thread itself panicked.
+    #[must_use]
+    pub fn kill(self) -> RtReport {
+        self.teardown(false)
+    }
+
+    fn teardown(mut self, flush_wals: bool) -> RtReport {
         let mut stages: Vec<usize> = self.broker_threads.iter().map(|t| t.stage).collect();
         stages.sort_unstable();
         stages.dedup();
@@ -581,7 +696,10 @@ impl Runtime {
                 self.poison(t.id, t.shard);
             }
             for t in now {
-                let broker = t.handle.join().expect("broker thread panicked");
+                let mut broker = t.handle.join().expect("broker thread panicked");
+                if flush_wals {
+                    broker.flush_wal();
+                }
                 brokers.push(((t.id, t.shard), broker));
             }
         }
