@@ -27,6 +27,14 @@ const TAG_RENEW: u64 = 2;
 /// breaker is mid-recovery — so quiescent overlays still drain fully.
 const TAG_FLOW: u64 = 4;
 
+/// Bound on unacknowledged durable deliveries in flight per
+/// `(consumer, class)` stream: the broker never sends more than this
+/// far past the consumer's acknowledged offset. The log is the
+/// overflow buffer — a slow consumer's backlog stays on disk and is
+/// paged out by its own acknowledgements, so its inbox growth is
+/// bounded instead of tracking the publisher's rate.
+const DURABLE_WINDOW: u64 = 64;
+
 pub(crate) fn dest_of(actor: ActorId) -> DestId {
     DestId(actor.0 as u64)
 }
@@ -112,6 +120,19 @@ pub struct Broker {
     /// for this broker. Unlike every other field, the log's *storage*
     /// survives `on_restart` — that is the whole point.
     wal: Option<DurableLog>,
+    /// Highest durable offset sent contiguously per `(consumer, class)`
+    /// stream. Volatile: a restart resets it to the persisted acks, and
+    /// the streams restart from there via `DurableBase`.
+    durable_sent: HashMap<(u64, u32), u64>,
+    /// Each stream's acknowledged offset as of the previous lease sweep;
+    /// an ack sitting still below the log tail for a whole sweep means
+    /// deliveries (or acks) were lost and the stream is restarted.
+    durable_sweep_acked: HashMap<(u64, u32), u64>,
+    /// The log tail at the moment each stream was last (re)opened.
+    /// Catch-up records at or below this mark are re-read history and
+    /// count as replays; records above it are first-time deliveries the
+    /// window merely deferred (see [`DurableLog::note_replayed`]).
+    durable_replay_hwm: HashMap<(u64, u32), u64>,
 }
 
 /// Construction parameters for a [`Broker`] (set by the overlay builder).
@@ -184,6 +205,9 @@ impl Broker {
             service_time: None,
             trace: setup.trace,
             wal: None,
+            durable_sent: HashMap::new(),
+            durable_sweep_acked: HashMap::new(),
+            durable_replay_hwm: HashMap::new(),
         }
     }
 
@@ -214,6 +238,22 @@ impl Broker {
     pub fn flush_wal(&mut self) {
         if let Some(wal) = self.wal.as_mut() {
             wal.flush();
+        }
+    }
+
+    /// Applies a subscriber's final contiguous cursor as an out-of-band
+    /// acknowledgement. Drivers call this at *graceful* shutdown, after
+    /// the wires are down: batched acks still sitting at the subscriber
+    /// (waiting on `ACK_EVERY` or the flush timer) would otherwise be
+    /// abandoned and force a spurious replay on the next start. A no-op
+    /// for unregistered consumers, and clamped to the log tail like any
+    /// other ack. Call [`Broker::flush_wal`] afterwards to persist.
+    pub fn apply_final_ack(&mut self, subscriber: ActorId, class: ClassId, upto: u64) {
+        let dest = dest_of(subscriber);
+        if let Some(wal) = self.wal.as_mut() {
+            if wal.is_class_consumer(dest, class) {
+                wal.ack(dest, class, upto);
+            }
         }
     }
 
@@ -438,6 +478,9 @@ impl Broker {
                     if let Some(wal) = self.wal.as_mut() {
                         wal.drop_consumer(dest);
                     }
+                    self.durable_sent.retain(|&(d, _), _| d != dest.0);
+                    self.durable_sweep_acked.retain(|&(d, _), _| d != dest.0);
+                    self.durable_replay_hwm.retain(|&(d, _), _| d != dest.0);
                 }
             }
             OverlayMsg::ReqRemove { filter, child } => {
@@ -470,9 +513,13 @@ impl Broker {
                 }
             }
             OverlayMsg::AckUpto { class, upto } => {
+                let dest = dest_of(from);
                 if let Some(wal) = self.wal.as_mut() {
-                    wal.ack(dest_of(from), class, upto);
+                    wal.ack(dest, class, upto);
                 }
+                // The ack freed in-flight window room: page the next
+                // stretch of this consumer's backlog out of the log.
+                self.durable_catch_up(dest, class, ctx);
             }
             OverlayMsg::Rejoin => {
                 // A restarted neighbor: its link sequence and credit state
@@ -510,6 +557,7 @@ impl Broker {
             | OverlayMsg::AcceptedAt { .. }
             | OverlayMsg::Deliver(_)
             | OverlayMsg::Durable { .. }
+            | OverlayMsg::DurableBase { .. }
             | OverlayMsg::RenewAck => {
                 debug_assert!(
                     false,
@@ -534,6 +582,9 @@ impl Broker {
         if let Some(wal) = self.wal.as_mut() {
             wal.crash_restart();
         }
+        self.durable_sent.clear();
+        self.durable_sweep_acked.clear();
+        self.durable_replay_hwm.clear();
         self.table = FilterTable::new(self.index);
         self.stage_maps.clear();
         self.leases.clear();
@@ -754,6 +805,9 @@ impl Broker {
                     if let Some(wal) = self.wal.as_mut() {
                         wal.drop_consumer(dest);
                     }
+                    self.durable_sent.retain(|&(d, _), _| d != dest.0);
+                    self.durable_sweep_acked.retain(|&(d, _), _| d != dest.0);
+                    self.durable_replay_hwm.retain(|&(d, _), _| d != dest.0);
                     // Remove filter by filter so that weakened forms the
                     // node no longer needs are withdrawn from the parent
                     // (the per-filter granularity of the paper's renewals).
@@ -762,6 +816,7 @@ impl Broker {
                         self.remove_with_upstream(&f, dest, ctx);
                     }
                 }
+                self.durable_anti_entropy(ctx);
                 ctx.set_timer(self.ttl, TAG_SWEEP);
             }
             TAG_RENEW => {
@@ -942,9 +997,20 @@ impl Broker {
         if req.durable {
             if let (Some(wal), Some(class)) = (self.wal.as_mut(), req.filter.class()) {
                 let acked = wal.register_consumer(dest, class);
-                for (off, env) in wal.replay_after(class, acked) {
-                    ctx.send(req.subscriber, OverlayMsg::Durable { off, env });
-                }
+                let tail = wal.tail_off(class);
+                // Open the stream: the base seeds the subscriber's
+                // contiguity cursor, then the first window of the
+                // unacknowledged suffix goes out (acks pull the rest).
+                // Everything logged before this moment is history; if the
+                // registration resumes below the tail, the catch-up
+                // records up to it are replays.
+                ctx.send(
+                    req.subscriber,
+                    OverlayMsg::DurableBase { class, base: acked },
+                );
+                self.durable_sent.insert((dest.0, class.0), acked);
+                self.durable_replay_hwm.insert((dest.0, class.0), tail);
+                self.durable_catch_up(dest, class, ctx);
             }
         }
         if created {
@@ -1021,15 +1087,18 @@ impl Broker {
         }
         // Durable path: if any durable consumer is registered for this
         // class, append the event to the log ONCE, then hand the stamped
-        // offset to every attached durable consumer of the class. Durable
-        // deliveries bypass the flow-control egress queues and the
-        // retransmission ring — the log is the buffer, and loss is
-        // repaired by offset replay instead of NACKs. Detached durable
-        // consumers get nothing now (and nothing parked): the log holds
-        // their history until they acknowledge it. Note the granularity:
-        // durable consumers receive the class's whole appended stream and
-        // finish with their own perfect filtering, exactly like any
-        // stage-0 subscriber.
+        // offset to every attached durable consumer of the class that is
+        // both caught up (the stream stays contiguous — a deliberate skip
+        // must not look like loss) and inside its in-flight window (the
+        // log is the buffer for slow consumers; their acks page the
+        // backlog out via `durable_catch_up`). Durable deliveries bypass
+        // the flow-control egress queues and the retransmission ring —
+        // loss is repaired by offset replay instead of NACKs. Detached
+        // durable consumers get nothing now (and nothing parked): the log
+        // holds their history until they acknowledge it. Note the
+        // granularity: durable consumers receive the class's whole
+        // appended stream and finish with their own perfect filtering,
+        // exactly like any stage-0 subscriber.
         let class = env.class();
         if self
             .wal
@@ -1038,10 +1107,24 @@ impl Broker {
         {
             let wal = self.wal.as_mut().expect("checked above");
             let off = wal.append(env);
-            for dest in wal.consumers_of_class(class) {
+            let consumers = wal.consumers_of_class(class);
+            for dest in consumers {
                 if self.parked.contains_key(&dest) {
                     continue;
                 }
+                let key = (dest.0, class.0);
+                let wal = self.wal.as_ref().expect("checked above");
+                let acked = wal.acked_upto(dest, class);
+                let sent = self
+                    .durable_sent
+                    .get(&key)
+                    .copied()
+                    .unwrap_or(acked)
+                    .max(acked);
+                if off != sent + 1 || off - acked > DURABLE_WINDOW {
+                    continue;
+                }
+                self.durable_sent.insert(key, off);
                 let mut fwd = env.clone();
                 fwd.touch_trace(ctx.now().ticks());
                 ctx.send(actor_of(dest), OverlayMsg::Durable { off, env: fwd });
@@ -1070,20 +1153,112 @@ impl Broker {
         self.scratch = dests;
     }
 
-    /// Replays the unacknowledged suffix of every class a durable
-    /// consumer holds offsets for (used on re-attach).
+    /// Restarts every durable stream a consumer holds offsets for (used
+    /// on re-attach, and on a subscriber-requested gap repair): each
+    /// class's stream re-opens with a `DurableBase` at the acknowledged
+    /// offset and the first in-flight window of its unacknowledged
+    /// suffix; acknowledgements page out the rest.
     fn replay_to(&mut self, subscriber: ActorId, ctx: &mut dyn NodeCtx) {
+        let dest = dest_of(subscriber);
+        let classes = match self.wal.as_ref() {
+            Some(wal) => wal.consumer_classes(dest),
+            None => return,
+        };
+        for class in classes {
+            let wal = self.wal.as_ref().expect("durability enabled");
+            let acked = wal.acked_upto(dest, class);
+            let tail = wal.tail_off(class);
+            ctx.send(subscriber, OverlayMsg::DurableBase { class, base: acked });
+            self.durable_sent.insert((dest.0, class.0), acked);
+            // Everything re-sent from here up to the current tail was
+            // (or could have been) sent before: it is replay, not
+            // deferred first delivery.
+            self.durable_replay_hwm.insert((dest.0, class.0), tail);
+            self.durable_catch_up(dest, class, ctx);
+        }
+    }
+
+    /// Sends the next stretch of one durable stream out of the log: from
+    /// the highest offset already in flight, up to the window bound.
+    /// Called when a stream (re)starts and whenever an acknowledgement
+    /// frees window room, so a consumer drains its backlog at its own
+    /// acknowledged pace with the log as the buffer.
+    fn durable_catch_up(&mut self, dest: DestId, class: ClassId, ctx: &mut dyn NodeCtx) {
+        if self.parked.contains_key(&dest) {
+            return;
+        }
+        let key = (dest.0, class.0);
         let Some(wal) = self.wal.as_mut() else {
             return;
         };
-        let dest = dest_of(subscriber);
-        let mut sends = Vec::new();
-        for class in wal.consumer_classes(dest) {
-            let acked = wal.acked_upto(dest, class);
-            sends.extend(wal.replay_after(class, acked));
+        if !wal.is_class_consumer(dest, class) {
+            return;
         }
-        for (off, env) in sends {
-            ctx.send(subscriber, OverlayMsg::Durable { off, env });
+        let acked = wal.acked_upto(dest, class);
+        let sent = self
+            .durable_sent
+            .get(&key)
+            .copied()
+            .unwrap_or(acked)
+            .max(acked);
+        let room = DURABLE_WINDOW.saturating_sub(sent - acked);
+        if room == 0 || sent >= wal.tail_off(class) {
+            return;
+        }
+        let events = wal.replay_window(class, sent, room as usize);
+        // Only records the stream had already passed when it was last
+        // (re)opened count as replays; the rest is backlog the window
+        // deferred, now going out for the first time.
+        let hwm = self.durable_replay_hwm.get(&key).copied().unwrap_or(0);
+        let replayed = events.iter().filter(|(off, _)| *off <= hwm).count() as u64;
+        wal.note_replayed(replayed);
+        for (off, env) in events {
+            self.durable_sent.insert(key, off);
+            let mut fwd = env;
+            fwd.touch_trace(ctx.now().ticks());
+            ctx.send(actor_of(dest), OverlayMsg::Durable { off, env: fwd });
+        }
+    }
+
+    /// Lease-cadence anti-entropy for durable streams: an attached
+    /// consumer whose acknowledged offset sat still below the log tail
+    /// for a whole sweep interval has lost deliveries or acks on the
+    /// unreliable durable path (e.g. the *last* event of a burst was
+    /// dropped, which no later arrival can expose as a gap). Restart the
+    /// stream from the acknowledged offset; the subscriber's cursor and
+    /// `(class, seq)` dedup absorb anything re-sent by a false positive.
+    fn durable_anti_entropy(&mut self, ctx: &mut dyn NodeCtx) {
+        let Some(wal) = self.wal.as_ref() else {
+            return;
+        };
+        let mut snapshot: HashMap<(u64, u32), u64> = HashMap::new();
+        let mut stalled: Vec<(DestId, ClassId, u64)> = Vec::new();
+        for dest in wal.consumer_dests() {
+            for class in wal.consumer_classes(dest) {
+                let acked = wal.acked_upto(dest, class);
+                snapshot.insert((dest.0, class.0), acked);
+                if self.parked.contains_key(&dest) {
+                    continue;
+                }
+                if acked < wal.tail_off(class)
+                    && self.durable_sweep_acked.get(&(dest.0, class.0)) == Some(&acked)
+                {
+                    stalled.push((dest, class, acked));
+                }
+            }
+        }
+        self.durable_sweep_acked = snapshot;
+        for (dest, class, acked) in stalled {
+            let tail = self.wal.as_ref().map_or(0, |wal| wal.tail_off(class));
+            ctx.send(
+                actor_of(dest),
+                OverlayMsg::DurableBase { class, base: acked },
+            );
+            self.durable_sent.insert((dest.0, class.0), acked);
+            // A restarted stream re-covers everything up to the tail it
+            // stalled under; those re-sends are replays.
+            self.durable_replay_hwm.insert((dest.0, class.0), tail);
+            self.durable_catch_up(dest, class, ctx);
         }
     }
 

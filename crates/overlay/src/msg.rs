@@ -169,11 +169,29 @@ pub enum OverlayMsg {
     /// A durable subscriber acknowledges everything of `class` up to and
     /// including log offset `upto`; the hosting broker persists the
     /// offset and may compact segments all consumers have passed.
+    /// Subscribers only ever acknowledge their highest *contiguous*
+    /// received offset — a gap in the durable stream is repaired by
+    /// replay, never acked over, so compaction can't outrun delivery.
     AckUpto {
         /// The event class being acknowledged.
         class: ClassId,
         /// Highest contiguous durable offset received for that class.
         upto: u64,
+    },
+    /// Opens (or re-opens) the durable stream of one class toward a
+    /// subscriber: the [`OverlayMsg::Durable`] deliveries that follow
+    /// start at `base + 1` and are contiguous. Sent by the hosting broker
+    /// on durable registration, on re-attach, and whenever it restarts a
+    /// stalled stream from the consumer's acknowledged offset. The
+    /// subscriber resets its contiguity cursor to `base` — which is what
+    /// lets it detect a genuine hole (and request replay) instead of
+    /// guessing where the stream begins.
+    DurableBase {
+        /// The event class whose stream is (re)starting.
+        class: ClassId,
+        /// The offset the stream resumes after (the consumer's
+        /// acknowledged offset as persisted at the broker).
+        base: u64,
     },
 }
 
@@ -322,6 +340,11 @@ impl Serialize for OverlayMsg {
                 obj.insert_field("upto", upto.serialize_value());
                 "AckUpto"
             }
+            OverlayMsg::DurableBase { class, base } => {
+                obj.insert_field("class", u64::from(class.0).serialize_value());
+                obj.insert_field("base", base.serialize_value());
+                "DurableBase"
+            }
         };
         obj.insert_field("t", Value::Str(tag.to_owned()));
         obj
@@ -390,6 +413,13 @@ impl Deserialize for OverlayMsg {
                 OverlayMsg::AckUpto {
                     class: ClassId(class as u32),
                     upto: serde::__field(v, "upto")?,
+                }
+            }
+            "DurableBase" => {
+                let class: u64 = serde::__field(v, "class")?;
+                OverlayMsg::DurableBase {
+                    class: ClassId(class as u32),
+                    base: serde::__field(v, "base")?,
                 }
             }
             other => return Err(DeError::msg(format!("unknown OverlayMsg tag {other:?}"))),
@@ -475,6 +505,10 @@ mod tests {
                 class: ClassId(0),
                 upto: 3,
             },
+            OverlayMsg::DurableBase {
+                class: ClassId(0),
+                base: 3,
+            },
         ] {
             assert!(!control.is_data(), "{control:?} must be control plane");
         }
@@ -552,6 +586,10 @@ mod tests {
             OverlayMsg::AckUpto {
                 class: ClassId(3),
                 upto: 23,
+            },
+            OverlayMsg::DurableBase {
+                class: ClassId(3),
+                base: 17,
             },
         ]
     }

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use layercake_event::{Envelope, EventSeq, TypeRegistry};
+use layercake_event::{ClassId, Envelope, EventSeq, TypeRegistry};
 use layercake_filter::{Filter, FilterId};
 use layercake_metrics::NodeRecord;
 use layercake_sim::{ActorId, SimDuration};
@@ -17,11 +17,18 @@ use crate::reliability::LinkRx;
 
 /// Timer tag: renew the subscription lease at the hosting node.
 const TAG_RENEW: u64 = 3;
+/// Timer tag: flush batched durable acks (and re-request stalled
+/// replays). One-shot, armed while durable progress is unacknowledged.
+const TAG_ACK_FLUSH: u64 = 4;
 /// Timer tag base: re-subscription backoff check for branch
 /// `tag - TAG_RESUB_BASE` (one tag per branch).
 const TAG_RESUB_BASE: u64 = 1_000;
 /// Cap on the re-subscription backoff exponent (`ttl × 2^attempt`).
 const MAX_BACKOFF_EXP: u32 = 5;
+/// Durable-ack batching: acknowledge after the contiguity cursor has
+/// advanced this far since the last ack (the flush timer covers the
+/// remainder), instead of one `AckUpto` per delivery.
+const ACK_EVERY: u64 = 8;
 
 /// A stateful subscriber-side predicate that brokers cannot evaluate —
 /// the paper's arbitrary filter code (e.g. `BuyFilter`), applied only at
@@ -120,6 +127,23 @@ pub struct SubscriberNode {
     durable: bool,
     /// Events received over the durable replay/delivery path.
     durable_received: u64,
+    /// Highest *contiguous* durable offset received per `(host, class)`
+    /// stream — the only value ever acknowledged. Seeded by the host's
+    /// `DurableBase`; an offset that would leave a hole never advances
+    /// it, so the broker can never compact an undelivered record.
+    durable_cursor: HashMap<(ActorId, u32), u64>,
+    /// Last offset actually acknowledged per stream (acks are batched:
+    /// one every [`ACK_EVERY`] cursor advances, the flush timer sweeps
+    /// up the remainder).
+    durable_acked: HashMap<(ActorId, u32), u64>,
+    /// Streams with a detected hole, keyed to the cursor position the
+    /// replay was requested at — one `Attach` per hole, not one per
+    /// out-of-order arrival; the flush timer re-requests if the stream
+    /// stays stalled.
+    repair_requested: HashMap<(ActorId, u32), u64>,
+    ack_timer_armed: bool,
+    /// Replay requests sent after detecting a hole in a durable stream.
+    gap_repairs: u64,
 }
 
 impl fmt::Debug for SubscriberNode {
@@ -211,6 +235,11 @@ impl SubscriberNode {
             trace,
             durable,
             durable_received: 0,
+            durable_cursor: HashMap::new(),
+            durable_acked: HashMap::new(),
+            repair_requested: HashMap::new(),
+            ack_timer_armed: false,
+            gap_repairs: 0,
         }
     }
 
@@ -224,6 +253,35 @@ impl SubscriberNode {
     #[must_use]
     pub fn durable_received(&self) -> u64 {
         self.durable_received
+    }
+
+    /// Replay requests this subscriber issued after detecting a hole in
+    /// a durable stream (a delivery was lost in flight).
+    #[must_use]
+    pub fn gap_repairs(&self) -> u64 {
+        self.gap_repairs
+    }
+
+    /// The highest contiguous durable offset received from `host` for
+    /// `class` — what the subscriber acknowledges (test introspection).
+    #[must_use]
+    pub fn durable_cursor(&self, host: ActorId, class: ClassId) -> Option<u64> {
+        self.durable_cursor.get(&(host, class.0)).copied()
+    }
+
+    /// Every durable stream's contiguous cursor: `(host, class, cursor)`,
+    /// sorted for determinism. This is exactly what the subscriber is
+    /// entitled to acknowledge; drivers drain it at graceful shutdown to
+    /// persist acks still waiting on the batch threshold or flush timer.
+    #[must_use]
+    pub fn durable_cursors(&self) -> Vec<(ActorId, ClassId, u64)> {
+        let mut out: Vec<(ActorId, ClassId, u64)> = self
+            .durable_cursor
+            .iter()
+            .map(|(&(host, class), &cursor)| (host, ClassId(class), cursor))
+            .collect();
+        out.sort_unstable_by_key(|&(host, class, _)| (host.0, class.0));
+        out
     }
 
     /// Enables buffering of accepted envelopes for later draining with
@@ -364,17 +422,70 @@ impl SubscriberNode {
                 self.note_data_arrival(from, ctx);
                 self.accept(from, env, ctx);
             }
+            OverlayMsg::DurableBase { class, base } => {
+                // The host (re)opens the durable stream of a class: the
+                // deliveries that follow are contiguous from `base + 1`.
+                // Resetting the cursor — downward too — is what keeps
+                // acks honest across a broker crash that regressed the
+                // log's offsets; re-sent events fall through `(class,
+                // seq)` dedup.
+                let key = (from, class.0);
+                self.durable_cursor.insert(key, base);
+                self.durable_acked.insert(key, base);
+                self.repair_requested.remove(&key);
+            }
             OverlayMsg::Durable { off, env } => {
                 // Durable deliveries skip flow accounting on purpose: the
                 // broker sends them outside its credit window, so counting
                 // them as consumed credit would corrupt the window. The
                 // ack — per class, cumulative — is what advances the
-                // broker's persisted offset and unpins log segments.
+                // broker's persisted offset and unpins log segments, so it
+                // must only ever name the highest *contiguous* offset:
+                // acking across a hole would let compaction delete a
+                // record this subscriber never received.
                 self.bytes_received += env.wire_size() as u64;
                 self.durable_received += 1;
                 let class = env.class();
-                self.accept(from, env, ctx);
-                ctx.send(from, OverlayMsg::AckUpto { class, upto: off });
+                let key = (from, class.0);
+                match self.durable_cursor.get(&key).copied() {
+                    // The stream's `DurableBase` never arrived (lost, or
+                    // reordered behind this delivery): deliver — `(class,
+                    // seq)` dedup keeps delivery exact — but acknowledge
+                    // nothing and ask the host to restart the stream.
+                    None => {
+                        self.accept(from, env, ctx);
+                        self.request_repair(key, u64::MAX, ctx);
+                    }
+                    Some(cursor) if off == cursor + 1 => {
+                        self.accept(from, env, ctx);
+                        self.durable_cursor.insert(key, off);
+                        self.repair_requested.remove(&key);
+                        self.note_durable_progress(key, ctx);
+                    }
+                    Some(cursor) if off <= cursor => {
+                        // A duplicate, or a re-send after the host
+                        // restarted a stalled stream: deliver through
+                        // dedup and re-ack the cursor immediately — the
+                        // host resending means it may have lost our ack.
+                        self.accept(from, env, ctx);
+                        self.durable_acked.insert(key, cursor);
+                        ctx.send(
+                            from,
+                            OverlayMsg::AckUpto {
+                                class,
+                                upto: cursor,
+                            },
+                        );
+                    }
+                    Some(cursor) => {
+                        // A hole: offsets `cursor+1..off` never arrived.
+                        // Deliver this event (the replayed copy dedups)
+                        // but never ack past the hole; have the host
+                        // replay from our acknowledged offset instead.
+                        self.accept(from, env, ctx);
+                        self.request_repair(key, cursor, ctx);
+                    }
+                }
             }
             OverlayMsg::Sequenced { link_seq, env } => {
                 self.bytes_received += env.wire_size() as u64;
@@ -430,6 +541,93 @@ impl SubscriberNode {
                     self.label
                 );
             }
+        }
+    }
+
+    /// Acknowledges a durable stream's cursor advance, batched: an ack
+    /// goes out once the cursor is [`ACK_EVERY`] past the last ack; any
+    /// shorter remainder is swept up by the flush timer, so the broker's
+    /// persisted offset (and compaction) lags by a bounded amount only.
+    fn note_durable_progress(&mut self, key: (ActorId, u32), ctx: &mut dyn NodeCtx) {
+        let cursor = self.durable_cursor[&key];
+        let acked = self.durable_acked.get(&key).copied().unwrap_or(0);
+        if cursor >= acked + ACK_EVERY {
+            self.durable_acked.insert(key, cursor);
+            ctx.send(
+                key.0,
+                OverlayMsg::AckUpto {
+                    class: ClassId(key.1),
+                    upto: cursor,
+                },
+            );
+        } else if cursor > acked {
+            self.arm_ack_timer(ctx);
+        }
+    }
+
+    /// Asks a stream's host to restart it: `Attach` makes the host send
+    /// a fresh `DurableBase` and replay everything past our acknowledged
+    /// offset, filling the hole. One request per cursor position —
+    /// further out-of-order arrivals at the same cursor are already
+    /// covered by the pending replay; the flush timer re-requests if the
+    /// stream stays stalled (the request or its replay got lost too).
+    fn request_repair(&mut self, key: (ActorId, u32), cursor: u64, ctx: &mut dyn NodeCtx) {
+        if self.repair_requested.get(&key) != Some(&cursor) {
+            self.repair_requested.insert(key, cursor);
+            self.gap_repairs += 1;
+            ctx.send(
+                key.0,
+                OverlayMsg::Attach {
+                    subscriber: ctx.me(),
+                },
+            );
+        }
+        self.arm_ack_timer(ctx);
+    }
+
+    fn arm_ack_timer(&mut self, ctx: &mut dyn NodeCtx) {
+        if !self.ack_timer_armed {
+            self.ack_timer_armed = true;
+            ctx.set_timer(self.ttl, TAG_ACK_FLUSH);
+        }
+    }
+
+    /// Flushes every pending batched ack and re-requests replays for
+    /// streams still waiting on one. Re-arms itself while repairs stay
+    /// outstanding, so a lost `Attach` (or a lost replay) cannot stall a
+    /// durable stream forever.
+    fn flush_durable_acks(&mut self, ctx: &mut dyn NodeCtx) {
+        // Deterministic send order: identically-seeded runs must replay
+        // byte-identically, and HashMap iteration order is not stable.
+        let mut keys: Vec<(ActorId, u32)> = self.durable_cursor.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let cursor = self.durable_cursor[&key];
+            let acked = self.durable_acked.get(&key).copied().unwrap_or(0);
+            if cursor > acked {
+                self.durable_acked.insert(key, cursor);
+                ctx.send(
+                    key.0,
+                    OverlayMsg::AckUpto {
+                        class: ClassId(key.1),
+                        upto: cursor,
+                    },
+                );
+            }
+        }
+        let mut stalled: Vec<(ActorId, u32)> = self.repair_requested.keys().copied().collect();
+        stalled.sort_unstable();
+        for key in &stalled {
+            self.gap_repairs += 1;
+            ctx.send(
+                key.0,
+                OverlayMsg::Attach {
+                    subscriber: ctx.me(),
+                },
+            );
+        }
+        if !stalled.is_empty() {
+            self.arm_ack_timer(ctx);
         }
     }
 
@@ -519,6 +717,11 @@ impl SubscriberNode {
             }
             return;
         }
+        if tag == TAG_ACK_FLUSH {
+            self.ack_timer_armed = false;
+            self.flush_durable_acks(ctx);
+            return;
+        }
         debug_assert_eq!(tag, TAG_RENEW);
         if !self.active {
             return;
@@ -549,6 +752,12 @@ impl SubscriberNode {
     fn suspect_host(&mut self, host: ActorId, ctx: &mut dyn NodeCtx) {
         self.rx.remove(&host);
         self.flow_rx.remove(&host);
+        // Durable stream state for the dead host is stale: the
+        // re-subscription's `DurableBase` re-seeds the cursor from the
+        // broker's (possibly recovered-and-regressed) offset table.
+        self.durable_cursor.retain(|&(h, _), _| h != host);
+        self.durable_acked.retain(|&(h, _), _| h != host);
+        self.repair_requested.retain(|&(h, _), _| h != host);
         for i in 0..self.branches.len() {
             if self.branches[i].host == Some(host) {
                 self.branches[i].host = None;

@@ -188,19 +188,29 @@ impl DurableLog {
     /// (one batch) and persists the consumer-offset table if it changed.
     /// Then compacts, since newly persisted acks may free segments.
     pub fn flush(&mut self) {
-        if self.dirty_records > 0 {
-            if let Some(seg) = self.segs.last() {
-                self.storage.sync(seg.id);
-            }
-            self.stats.fsync_batches += 1;
-            self.stats.bytes_fsynced += self.dirty_bytes;
-            self.dirty_records = 0;
-            self.dirty_bytes = 0;
-        }
+        self.sync_dirty();
         if self.offsets_dirty {
             self.persist_offsets();
         }
         self.compact();
+    }
+
+    /// fsyncs any unsynced appended records (one batch). Always runs
+    /// before the offset table is persisted: a persisted ack must never
+    /// refer past the durable tail, or a crash in between would recover
+    /// a tail below the ack and `replay_after` would skip the offsets
+    /// new appends then reuse.
+    fn sync_dirty(&mut self) {
+        if self.dirty_records == 0 {
+            return;
+        }
+        if let Some(seg) = self.segs.last() {
+            self.storage.sync(seg.id);
+        }
+        self.stats.fsync_batches += 1;
+        self.stats.bytes_fsynced += self.dirty_bytes;
+        self.dirty_records = 0;
+        self.dirty_bytes = 0;
     }
 
     /// Registers a durable consumer for a class. An unknown consumer
@@ -213,6 +223,10 @@ impl DurableLog {
     pub fn register_consumer(&mut self, dest: DestId, class: ClassId) -> u64 {
         let tail = self.tail_off(class);
         let upto = *self.offsets.entry((dest.0, class.0)).or_insert(tail);
+        // The new entry points at the in-memory tail (and the table may
+        // carry other consumers' unflushed acks): sync appended records
+        // first so the persisted table never outruns the durable tail.
+        self.sync_dirty();
         self.persist_offsets();
         upto
     }
@@ -276,10 +290,14 @@ impl DurableLog {
     /// Records a consumer's acknowledgement: everything of `class` up to
     /// and including `upto` has been received. Acks for unregistered
     /// consumers are ignored (stale, or addressed to a shard that does
-    /// not own the class). Persisted at the next flush — a crash in
-    /// between replays a little extra, which the subscriber's
-    /// `(class, seq)` dedup absorbs.
+    /// not own the class), and an ack is clamped to the class tail — a
+    /// consumer cannot have received what was never appended, so an
+    /// over-tail ack is necessarily stale (e.g. from before a crash that
+    /// lost the unsynced tail) and must not skip reused offsets.
+    /// Persisted at the next flush — a crash in between replays a little
+    /// extra, which the subscriber's `(class, seq)` dedup absorbs.
     pub fn ack(&mut self, dest: DestId, class: ClassId, upto: u64) {
+        let upto = upto.min(self.tail_off(class));
         if let Some(entry) = self.offsets.get_mut(&(dest.0, class.0)) {
             if upto > *entry {
                 *entry = upto;
@@ -295,16 +313,42 @@ impl DurableLog {
         let before = self.offsets.len();
         self.offsets.retain(|&(d, _), _| d != dest.0);
         if self.offsets.len() != before {
+            // The surviving entries may hold acks for records not yet
+            // synced; keep the sync-before-persist invariant here too.
+            self.sync_dirty();
             self.persist_offsets();
             self.compact();
         }
     }
 
     /// Replays every logged record of `class` with offset greater than
-    /// `upto`, in append order.
+    /// `upto`, in append order. Everything returned counts as a replay
+    /// in [`DurabilityStats`]: this entry point exists for recovery and
+    /// gap repair, where the caller is by definition re-reading history.
     pub fn replay_after(&mut self, class: ClassId, upto: u64) -> Vec<(u64, Envelope)> {
+        let out = self.replay_window(class, upto, usize::MAX);
+        self.stats.records_replayed += out.len() as u64;
+        out
+    }
+
+    /// Credits `n` re-read records to [`DurabilityStats::records_replayed`].
+    /// [`DurableLog::replay_window`] cannot count its own output — the
+    /// broker pages *first-time* deliveries through it too (window-full
+    /// backlog), and only the caller knows where replayed history ends
+    /// and fresh backlog begins.
+    pub fn note_replayed(&mut self, n: u64) {
+        self.stats.records_replayed += n;
+    }
+
+    /// The bounded form of [`DurableLog::replay_after`]: at most `max`
+    /// records, in append order. Used by the broker's in-flight window —
+    /// a consumer far behind is paged out of the log one window at a
+    /// time, paced by its acknowledgements, instead of having its whole
+    /// backlog dumped on the wire at once. Does **not** touch the replay
+    /// counter (see [`DurableLog::note_replayed`]).
+    pub fn replay_window(&mut self, class: ClassId, upto: u64, max: usize) -> Vec<(u64, Envelope)> {
         let mut out = Vec::new();
-        for seg in &self.segs {
+        'segs: for seg in &self.segs {
             if seg.max_off.get(&class.0).copied().unwrap_or(0) <= upto {
                 continue;
             }
@@ -314,11 +358,13 @@ impl DurableLog {
                     continue;
                 };
                 if rec.class == class && rec.off > upto {
+                    if out.len() >= max {
+                        break 'segs;
+                    }
                     out.push((rec.off, rec.env));
                 }
             }
         }
-        self.stats.records_replayed += out.len() as u64;
         out
     }
 
@@ -388,6 +434,17 @@ impl DurableLog {
             .and_then(|bytes| serde_json::from_slice::<OffsetTable>(&bytes).ok())
             .map(|t| t.entries)
             .unwrap_or_default();
+        // A persisted ack above the recovered tail refers to records the
+        // crash took (the offset table can legitimately be newer than the
+        // last record sync). Clamp it, or new appends reusing those
+        // offsets would be skipped by `replay_after` forever.
+        let tail = &self.tail;
+        for (&(_, class), upto) in self.offsets.iter_mut() {
+            let recovered = tail.get(&class).copied().unwrap_or(0);
+            if *upto > recovered {
+                *upto = recovered;
+            }
+        }
     }
 
     /// Seals the open segment (fsyncing its tail) and starts a new one.
@@ -664,6 +721,109 @@ mod tests {
         log.append(&env(0, 0));
         log.ack(DestId(99), ClassId(0), 1);
         assert!(!log.is_consumer(DestId(99)));
+    }
+
+    #[test]
+    fn register_consumer_syncs_appended_records_before_persisting_offsets() {
+        let mut log = DurableLog::open(
+            Box::new(MemStorage::new()),
+            LogConfig {
+                segment_bytes: 4096,
+                flush_every: 100, // appends stay unsynced on their own
+            },
+        );
+        log.register_consumer(DestId(1), ClassId(0));
+        for i in 0..3 {
+            log.append(&env(0, i));
+        }
+        // Registering a second consumer persists an offset equal to the
+        // in-memory tail (3) — which must force those three records to
+        // disk first, or a crash would recover tail 0 < ack 3 and new
+        // events reusing offsets 1..=3 would never replay.
+        assert_eq!(log.register_consumer(DestId(2), ClassId(0)), 3);
+        log.crash_restart();
+        assert_eq!(
+            log.tail_off(ClassId(0)),
+            3,
+            "registration made the appended records durable"
+        );
+        assert_eq!(log.acked_upto(DestId(2), ClassId(0)), 3);
+        assert!(log.replay_after(ClassId(0), 3).is_empty());
+    }
+
+    #[test]
+    fn recovery_clamps_persisted_acks_to_the_recovered_tail() {
+        // Two durable records, synced — then an offset table claiming a
+        // consumer acknowledged offset 99 (persisted by an incarnation
+        // whose later records did not survive the crash).
+        let mut storage = MemStorage::new();
+        {
+            let mut log = DurableLog::open(
+                Box::new(MemStorage::new()),
+                LogConfig {
+                    segment_bytes: 4096,
+                    flush_every: 1,
+                },
+            );
+            log.register_consumer(DestId(7), ClassId(0));
+            log.append(&env(0, 0));
+            log.append(&env(0, 1));
+            storage.append(0, &log.storage.read_segment(0));
+            storage.sync(0);
+        }
+        let table = OffsetTable {
+            entries: [((7u64, 0u32), 99u64)].into_iter().collect(),
+        };
+        storage.write_meta(&serde_json::to_vec(&table).expect("table serializes"));
+        let mut log = DurableLog::open(Box::new(storage), LogConfig::default());
+        assert_eq!(
+            log.acked_upto(DestId(7), ClassId(0)),
+            2,
+            "an ack beyond the durable tail is clamped on recovery"
+        );
+        // Offsets reused by new appends replay instead of being skipped.
+        assert_eq!(log.append(&env(0, 5)), 3);
+        assert_eq!(log.replay_after(ClassId(0), 2).len(), 1);
+    }
+
+    #[test]
+    fn over_tail_acks_are_clamped() {
+        let mut log = small_log();
+        log.register_consumer(DestId(1), ClassId(0));
+        log.append(&env(0, 0));
+        // A stale subscriber cursor from before a broker crash can name
+        // offsets the recovered log never assigned; taking it verbatim
+        // would skip the reused offsets forever.
+        log.ack(DestId(1), ClassId(0), 50);
+        assert_eq!(log.acked_upto(DestId(1), ClassId(0)), 1);
+    }
+
+    #[test]
+    fn replay_window_bounds_the_batch() {
+        let mut log = DurableLog::open(
+            Box::new(MemStorage::new()),
+            LogConfig {
+                segment_bytes: 256, // records span several segments
+                flush_every: 1,
+            },
+        );
+        log.register_consumer(DestId(1), ClassId(0));
+        for i in 0..10 {
+            log.append(&env(0, i));
+        }
+        let first = log.replay_window(ClassId(0), 2, 4);
+        let offs: Vec<u64> = first.iter().map(|(off, _)| *off).collect();
+        assert_eq!(offs, vec![3, 4, 5, 6]);
+        assert_eq!(
+            log.stats().records_replayed,
+            0,
+            "window paging is not replay; only the caller can tell"
+        );
+        log.note_replayed(first.len() as u64);
+        assert_eq!(log.stats().records_replayed, 4);
+        let rest = log.replay_window(ClassId(0), 6, usize::MAX);
+        assert_eq!(rest.len(), 4);
+        assert_eq!(rest[0].0, 7);
     }
 
     mod corruption {

@@ -137,6 +137,10 @@ fn arb_msg() -> impl Strategy<Value = OverlayMsg> {
             class: ClassId(class),
             upto
         }),
+        (0u32..8, any::<u64>()).prop_map(|(class, base)| OverlayMsg::DurableBase {
+            class: ClassId(class),
+            base
+        }),
     ]
 }
 

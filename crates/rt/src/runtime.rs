@@ -239,6 +239,13 @@ struct RtCtx<'a> {
     /// Leader shards (and every subscriber) emit control traffic and arm
     /// timers; follower shards mutate state silently.
     speaks: bool,
+    /// `(shard index, shard count)` for broker threads, `None` for
+    /// subscribers. Durable stream-open frames (`DurableBase`) are
+    /// emitted by the shard that owns the class's log slice rather than
+    /// the leader: only the owner knows the stream's real resume offset —
+    /// the leader's replica of a class it does not own has an empty
+    /// history and would open every stream at offset 0.
+    shard: Option<(usize, usize)>,
 }
 
 impl NodeCtx for RtCtx<'_> {
@@ -251,7 +258,14 @@ impl NodeCtx for RtCtx<'_> {
     }
 
     fn send(&mut self, to: ActorId, msg: OverlayMsg) {
-        if !msg.is_data() && !self.speaks {
+        if let (OverlayMsg::DurableBase { class, .. }, Some((shard, count))) = (&msg, self.shard) {
+            // Class-owner shards open durable streams, leaders don't
+            // (see the `shard` field) — exactly one replica speaks.
+            if shard_of(class.0, count) != shard {
+                self.stats.inc_suppressed_control();
+                return;
+            }
+        } else if !msg.is_data() && !self.speaks {
             self.stats.inc_suppressed_control();
             return;
         }
@@ -435,10 +449,20 @@ impl Runtime {
                 let router = router.clone();
                 let stats = Arc::clone(&stats);
                 let speaks = shard == 0;
+                let shard_slot = (shard, cfg.shards);
                 let handle = std::thread::Builder::new()
                     .name(format!("lc-broker-{b}.{shard}"))
                     .spawn(move || {
-                        broker_thread_main(broker, ActorId(b), epoch, router, stats, speaks, rx)
+                        broker_thread_main(
+                            broker,
+                            ActorId(b),
+                            epoch,
+                            router,
+                            stats,
+                            speaks,
+                            shard_slot,
+                            rx,
+                        )
                     })
                     .expect("spawn broker thread");
                 broker_threads.push(BrokerThread {
@@ -696,10 +720,7 @@ impl Runtime {
                 self.poison(t.id, t.shard);
             }
             for t in now {
-                let mut broker = t.handle.join().expect("broker thread panicked");
-                if flush_wals {
-                    broker.flush_wal();
-                }
+                let broker = t.handle.join().expect("broker thread panicked");
                 brokers.push(((t.id, t.shard), broker));
             }
         }
@@ -711,6 +732,27 @@ impl Runtime {
         }
         for t in subs {
             subscribers.push(t.handle.join().expect("subscriber thread panicked"));
+        }
+
+        if flush_wals {
+            // Subscribers batch acknowledgements (`ACK_EVERY` plus a
+            // flush timer); at a graceful shutdown the tail of a batch
+            // is usually still unsent, and the wires are already down.
+            // Apply each subscriber's final contiguous cursor directly —
+            // to every shard of the host broker, mirroring the broadcast
+            // ack routing — then flush, so a restart over the same
+            // directory owes these streams nothing.
+            for (i, node) in subscribers.iter().enumerate() {
+                let me = ActorId(self.broker_count + i);
+                for (host, class, cursor) in node.durable_cursors() {
+                    for (_, broker) in brokers.iter_mut().filter(|((id, _), _)| *id == host) {
+                        broker.apply_final_ack(me, class, cursor);
+                    }
+                }
+            }
+            for (_, broker) in brokers.iter_mut() {
+                broker.flush_wal();
+            }
         }
 
         RtReport {
@@ -736,6 +778,7 @@ impl Runtime {
 
 /// Runs one broker shard: decode frames, drive the state machine, fire
 /// timers, drain on poison.
+#[allow(clippy::too_many_arguments)]
 fn broker_thread_main(
     mut broker: Broker,
     me: ActorId,
@@ -743,6 +786,7 @@ fn broker_thread_main(
     router: Router,
     stats: Arc<RtStats>,
     speaks: bool,
+    shard: (usize, usize),
     rx: Receiver<RtEvent>,
 ) -> Broker {
     let mut timers: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
@@ -760,6 +804,7 @@ fn broker_thread_main(
                     &router,
                     &stats,
                     speaks,
+                    Some(shard),
                     &mut timers,
                 );
             }
@@ -774,6 +819,7 @@ fn broker_thread_main(
                         &router,
                         &stats,
                         speaks,
+                        Some(shard),
                         &mut timers,
                     );
                 }
@@ -782,7 +828,16 @@ fn broker_thread_main(
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
-        fire_due_timers(&mut broker, &mut timers, me, epoch, &router, &stats, speaks);
+        fire_due_timers(
+            &mut broker,
+            &mut timers,
+            me,
+            epoch,
+            &router,
+            &stats,
+            speaks,
+            Some(shard),
+        );
     }
     broker
 }
@@ -824,6 +879,7 @@ fn subscriber_thread_main(
                     &router,
                     &stats,
                     true,
+                    None,
                     &mut timers,
                 );
                 after(&mut node, &stats);
@@ -839,6 +895,7 @@ fn subscriber_thread_main(
                         &router,
                         &stats,
                         true,
+                        None,
                         &mut timers,
                     );
                     after(&mut node, &stats);
@@ -848,7 +905,16 @@ fn subscriber_thread_main(
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
-        fire_due_timers(&mut node, &mut timers, me, epoch, &router, &stats, true);
+        fire_due_timers(
+            &mut node,
+            &mut timers,
+            me,
+            epoch,
+            &router,
+            &stats,
+            true,
+            None,
+        );
         after(&mut node, &stats);
     }
     node
@@ -867,6 +933,7 @@ fn feed_node<N: Node>(
     router: &Router,
     stats: &RtStats,
     speaks: bool,
+    shard: Option<(usize, usize)>,
     timers: &mut BinaryHeap<Reverse<(u64, u64)>>,
 ) {
     decoder.push(bytes);
@@ -882,6 +949,7 @@ fn feed_node<N: Node>(
                         stats,
                         timers: &mut *timers,
                         speaks,
+                        shard,
                     };
                     node.on_message(from, msg, &mut ctx);
                 }
@@ -906,6 +974,7 @@ fn next_wakeup(timers: &BinaryHeap<Reverse<(u64, u64)>>, epoch: Instant) -> Dura
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fire_due_timers<N: Node>(
     node: &mut N,
     timers: &mut BinaryHeap<Reverse<(u64, u64)>>,
@@ -914,6 +983,7 @@ fn fire_due_timers<N: Node>(
     router: &Router,
     stats: &RtStats,
     speaks: bool,
+    shard: Option<(usize, usize)>,
 ) {
     while let Some(&Reverse((deadline, tag))) = timers.peek() {
         if deadline > micros_since(epoch) {
@@ -928,6 +998,7 @@ fn fire_due_timers<N: Node>(
             stats,
             timers: &mut *timers,
             speaks,
+            shard,
         };
         node.on_timer(tag, &mut ctx);
     }

@@ -149,6 +149,67 @@ fn graceful_shutdown_persists_acks_so_nothing_replays() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Sharded runtime, durable class hashed to a *follower* shard (shard 1
+/// of 2): the class's log slice — and therefore the only true resume
+/// offset — lives on a shard that normally stays silent on control
+/// traffic. The stream-open frame (`DurableBase`) must come from the
+/// owner shard, not the leader: the leader's replica has an empty
+/// history for the class and would open every stream at offset 0,
+/// wedging recovery. (The other recovery tests use a class that happens
+/// to hash to the leader, which hides this.)
+#[test]
+fn recovery_works_for_classes_owned_by_a_follower_shard() {
+    let dir = scratch_dir("follower");
+    let mut registry = TypeRegistry::new();
+    // A filler class pushes "Sensor" to id 1, which hashes to shard 1
+    // when running 2 shards (Fibonacci hash, see runtime::shard_of).
+    registry
+        .register("Noise", None, vec![AttributeDecl::new("x", ValueKind::Int)])
+        .unwrap();
+    let class = registry
+        .register(
+            "Sensor",
+            None,
+            vec![
+                AttributeDecl::new("region", ValueKind::Int),
+                AttributeDecl::new("level", ValueKind::Int),
+            ],
+        )
+        .unwrap();
+    assert_eq!(class, ClassId(1), "filler must land Sensor on shard 1");
+    let reg = Arc::new(registry);
+
+    let (first, d1) = run_once(&dir, &reg, class, 0..30, true);
+    assert_eq!(first.len(), 30);
+    assert_eq!(d1.records_appended, 30, "only the owner shard appends");
+
+    // More fresh events than the broker's in-flight window: if the
+    // subscriber's cursor were seeded from the wrong shard's (empty)
+    // history, acks would never advance and the stream would stall
+    // before delivering them all.
+    let (second, d2) = run_once(&dir, &reg, class, 30..110, false);
+    assert!(
+        d2.records_replayed > 0,
+        "acks lost to the crash force a replay"
+    );
+    let union: BTreeSet<EventSeq> = first.iter().chain(second.iter()).copied().collect();
+    let all: BTreeSet<EventSeq> = (0..110).map(EventSeq).collect();
+    assert_eq!(union, all, "first: {first:?}\nsecond: {second:?}");
+    for run in [&first, &second] {
+        let uniq: BTreeSet<EventSeq> = run.iter().copied().collect();
+        assert_eq!(uniq.len(), run.len(), "duplicate delivery within a run");
+    }
+
+    // Graceful shutdown persisted the owner-shard acks; a third run owes
+    // the subscriber nothing — which also proves the acks converged on
+    // the shard that actually holds the history.
+    let (third, d3) = run_once(&dir, &reg, class, 110..120, false);
+    assert_eq!(d3.records_replayed, 0, "persisted acks suppress replay");
+    assert_eq!(third, (110..120).map(EventSeq).collect::<Vec<_>>());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn durable_dir_and_durability_flag_must_agree() {
     let (reg, _) = registry();

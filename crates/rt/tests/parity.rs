@@ -65,12 +65,40 @@ fn parity_case(levels: Vec<usize>, shards: usize, seed: u64) {
     for env in events {
         publisher.publish(env);
     }
-    assert!(
-        rt.wait_delivered(expected_total as u64, Duration::from_secs(30)),
-        "runtime delivered {} of {} expected events",
-        rt.stats().delivered(),
-        expected_total
-    );
+    // On timeout, identify the loss before panicking: per-broker overload
+    // counters say whether an event was shed, the per-subscriber diff says
+    // which sequence never arrived — a bare count is undebuggable for a
+    // race that strikes rarely under load.
+    let ok = rt.wait_delivered(expected_total as u64, Duration::from_secs(30));
+    if !ok {
+        let delivered = rt.stats().delivered();
+        let report = rt.shutdown();
+        let mut overload = layercake_metrics::OverloadStats::default();
+        for ((id, shard), broker) in &report.brokers {
+            let o = broker.overload();
+            if o.total_shed() > 0 || o.credit_stalls > 0 {
+                eprintln!("broker {id:?} shard {shard}: {o:?}");
+            }
+            overload.absorb(o);
+        }
+        for (i, (&rth, exp)) in rt_handles.iter().zip(&expected).enumerate() {
+            let got: std::collections::BTreeSet<_> =
+                report.deliveries(rth).iter().copied().collect();
+            let want: std::collections::BTreeSet<_> = exp.iter().copied().collect();
+            let missing: Vec<_> = want.difference(&got).collect();
+            let extra: Vec<_> = got.difference(&want).collect();
+            if !missing.is_empty() || !extra.is_empty() || got.len() != report.deliveries(rth).len()
+            {
+                eprintln!(
+                    "subscriber {i}: missing {missing:?} extra {extra:?} dup {}",
+                    report.deliveries(rth).len() - got.len()
+                );
+            }
+        }
+        panic!(
+            "runtime delivered {delivered} of {expected_total} expected events\ntotal overload: {overload:?}"
+        );
+    }
     let report = rt.shutdown();
 
     for (i, (&rth, exp)) in rt_handles.iter().zip(&expected).enumerate() {
