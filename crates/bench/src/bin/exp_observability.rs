@@ -1,0 +1,434 @@
+//! E19 — runtime observability: what the telemetry itself costs.
+//!
+//! Three questions, one binary:
+//!
+//!   1. **Per-stage pipeline profile.** With stage sampling on, where
+//!      does a wall-clock event's time go — ingress wait, decode,
+//!      match, encode, egress send — at 1/4/8 matcher shards, and how
+//!      does wall-clock hop tracing (off / 1-in-64 / 1-in-1) shift it?
+//!   2. **Registry contention.** The runtime's latency histogram used
+//!      to be a `Mutex<Histogram>` every subscriber thread fought over;
+//!      it is now a sharded lock-free histogram merged on read. The
+//!      microbench records ns/op for both under the same thread count —
+//!      the regression this PR-sized change is guarding against.
+//!   3. **Off-path overhead.** All observability off, the hot path pays
+//!      one relaxed load + branch per frame. Best-of-3 events/sec is
+//!      compared against the checked-in E17 hot-path baseline
+//!      (`BENCH_throughput.json`, 1-shard row); the gate demands ≥ 95%
+//!      of it when the baseline was produced with the same event count.
+//!
+//! Shape checks (the binary exits non-zero on violation):
+//!
+//!   1. every timed run delivers exactly `events` events with zero
+//!      decode errors;
+//!   2. stage histograms hold samples exactly when stage sampling is
+//!      on, and full tracing traces every published event;
+//!   3. the sharded histogram microbench total matches the sequential
+//!      total (no samples lost to sharding);
+//!   4. **only when a compatible baseline exists**: tracing-off
+//!      events/sec ≥ 0.95 × the checked-in 1-shard baseline, else the
+//!      JSON records `"overhead_gate_active": false`.
+//!
+//! Run with: `cargo run --release -p layercake-bench --bin
+//! exp_observability [out_dir] [events] [baseline]` — `out_dir`
+//! (default `docs/results`) receives `BENCH_observability.json`;
+//! `events` (default 20000) is the per-run published event count;
+//! `baseline` (default `docs/results/BENCH_throughput.json`) is the
+//! E17 output the overhead gate reads.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use layercake_event::ValueKind;
+use layercake_event::{
+    Advertisement, AttributeDecl, ClassId, Envelope, EventData, EventSeq, StageMap, TypeRegistry,
+};
+use layercake_metrics::{render_table, Histogram, PipelineStage, ShardedHistogram};
+use layercake_overlay::OverlayConfig;
+use layercake_rt::{RtConfig, RtSnapshot, Runtime};
+
+const SHARD_COUNTS: [usize; 3] = [1, 4, 8];
+const TRACE_SETTINGS: [u64; 3] = [0, 64, 1];
+const STAGE_EVERY: u64 = 32;
+const CLASSES: usize = 8;
+const CONTENTION_THREADS: usize = 4;
+const CONTENTION_OPS: u64 = 200_000;
+
+fn registry_with_classes() -> (TypeRegistry, Vec<ClassId>) {
+    let mut registry = TypeRegistry::new();
+    let classes = (0..CLASSES)
+        .map(|i| {
+            registry
+                .register(
+                    &format!("Feed{i}"),
+                    None,
+                    vec![
+                        AttributeDecl::new("region", ValueKind::Int),
+                        AttributeDecl::new("level", ValueKind::Int),
+                    ],
+                )
+                .expect("register bench class")
+        })
+        .collect();
+    (registry, classes)
+}
+
+fn event_stream(classes: &[ClassId], events: usize) -> Vec<Envelope> {
+    (0..events as u64)
+        .map(|seq| {
+            let idx = (seq as usize) % classes.len();
+            let mut meta = EventData::new();
+            meta.insert("region", 0i64);
+            meta.insert("level", (seq % 100) as i64);
+            Envelope::from_meta(classes[idx], format!("Feed{idx}"), EventSeq(seq), meta)
+        })
+        .collect()
+}
+
+/// E17's workload shape — single root broker, one all-of-class
+/// subscriber per class — so the overhead comparison is apples to
+/// apples with the checked-in throughput baseline.
+fn build_runtime(shards: usize, trace_every: u64, stage_every: u64) -> (Runtime, Vec<ClassId>) {
+    let (registry, classes) = registry_with_classes();
+    let overlay = OverlayConfig {
+        levels: vec![1],
+        trace_sample_every: trace_every,
+        ..OverlayConfig::default()
+    };
+    let mut cfg = RtConfig::new(overlay, shards);
+    cfg.stage_sample_every = stage_every;
+    let mut rt = Runtime::start(cfg, Arc::new(registry)).expect("start runtime");
+    for &class in &classes {
+        rt.advertise(Advertisement::new(
+            class,
+            StageMap::from_prefixes(&[2]).expect("stage map"),
+        ));
+    }
+    for &class in &classes {
+        rt.add_subscriber(layercake_filter::Filter::for_class(class).eq("region", 0i64))
+            .expect("place subscriber");
+    }
+    (rt, classes)
+}
+
+struct RunResult {
+    events_per_sec: f64,
+    traced: u64,
+    snapshot: RtSnapshot,
+}
+
+fn timed_run(shards: usize, trace_every: u64, stage_every: u64, events: usize) -> RunResult {
+    let (rt, classes) = build_runtime(shards, trace_every, stage_every);
+    let stream = event_stream(&classes, events);
+    let publisher = rt.publisher();
+    let start = Instant::now();
+    for env in &stream {
+        publisher.publish(env.clone());
+    }
+    assert!(
+        rt.wait_delivered(events as u64, Duration::from_secs(120)),
+        "run at {shards} shards / trace 1-in-{trace_every} delivered {} of {events}",
+        rt.stats().delivered()
+    );
+    let elapsed = start.elapsed();
+    let snapshot = rt.snapshot();
+    let report = rt.shutdown();
+    assert_eq!(report.stats.delivered(), events as u64);
+    assert_eq!(report.stats.decode_errors(), 0);
+    let traced = report.trace.as_ref().map_or(0, |t| t.traced_count());
+    if trace_every == 1 {
+        assert_eq!(traced, events as u64, "full tracing must trace every event");
+    }
+    RunResult {
+        events_per_sec: events as f64 / elapsed.as_secs_f64(),
+        traced,
+        snapshot,
+    }
+}
+
+/// The contention microbench behind satellite E19.2: the exact access
+/// pattern `RtStats::record_latency_ns` sees — every delivery thread
+/// recording into one shared histogram.
+fn contention_bench() -> (f64, f64) {
+    let run_mutex = || {
+        let hist = Arc::new(Mutex::new(Histogram::new()));
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..CONTENTION_THREADS {
+                let hist = Arc::clone(&hist);
+                scope.spawn(move || {
+                    for i in 0..CONTENTION_OPS {
+                        hist.lock().unwrap().record(t as u64 * 1000 + i);
+                    }
+                });
+            }
+        });
+        let total = hist.lock().unwrap().count();
+        assert_eq!(total, CONTENTION_THREADS as u64 * CONTENTION_OPS);
+        start.elapsed().as_nanos() as f64 / total as f64
+    };
+    let run_sharded = || {
+        let hist = Arc::new(ShardedHistogram::new(CONTENTION_THREADS * 2));
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..CONTENTION_THREADS {
+                let hist = Arc::clone(&hist);
+                scope.spawn(move || {
+                    for i in 0..CONTENTION_OPS {
+                        hist.record(t as u64 * 1000 + i);
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed();
+        let merged = hist.merged();
+        assert_eq!(
+            merged.count(),
+            CONTENTION_THREADS as u64 * CONTENTION_OPS,
+            "sharded histogram must not lose samples"
+        );
+        elapsed.as_nanos() as f64 / merged.count() as f64
+    };
+    // Interleave and keep the best of two for each — the 1-core CI box
+    // schedules coarsely and the first run pays warmup.
+    let mutex_ns = run_mutex().min(run_mutex());
+    let sharded_ns = run_sharded().min(run_sharded());
+    (mutex_ns, sharded_ns)
+}
+
+/// Reads the E17 baseline's 1-shard events/sec and event count, if the
+/// file exists and parses.
+fn json_u64(v: &serde_json::Value) -> Option<u64> {
+    match v {
+        serde_json::Value::UInt(u) => Some(*u),
+        serde_json::Value::Int(i) => u64::try_from(*i).ok(),
+        _ => None,
+    }
+}
+
+fn json_f64(v: &serde_json::Value) -> Option<f64> {
+    match v {
+        serde_json::Value::Float(f) => Some(*f),
+        _ => json_u64(v).map(|u| u as f64),
+    }
+}
+
+fn read_baseline(path: &str) -> Option<(f64, u64)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let json: serde_json::Value = serde_json::from_str(&text).ok()?;
+    let events = json_u64(json.field("events_per_run"))?;
+    let runs = match json.field("runs") {
+        serde_json::Value::Array(rows) => rows,
+        _ => return None,
+    };
+    let one_shard = runs
+        .iter()
+        .find(|r| json_u64(r.field("shards")) == Some(1))?;
+    let eps = json_f64(one_shard.field("events_per_sec"))?;
+    Some((eps, events))
+}
+
+fn stage_p50(snap: &RtSnapshot, stage: PipelineStage) -> u64 {
+    snap.stage(stage.metric_name()).map_or(0, Histogram::p50)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_dir = args.get(1).map_or("docs/results", String::as_str);
+    let events: usize = args.get(2).map_or(20_000, |s| {
+        s.parse().expect("events must be a positive integer")
+    });
+    let baseline_path = args
+        .get(3)
+        .map_or("docs/results/BENCH_throughput.json", String::as_str);
+    assert!(events >= 256, "events must be at least 256");
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // ---- per-stage pipeline profile -----------------------------------
+    eprintln!("E19: {events} events per run, {cores} cores available …");
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut last_snapshot: Option<RtSnapshot> = None;
+    for &shards in &SHARD_COUNTS {
+        for &trace_every in &TRACE_SETTINGS {
+            let r = timed_run(shards, trace_every, STAGE_EVERY, events);
+            let trace_label = match trace_every {
+                0 => "off".to_string(),
+                n => format!("1-in-{n}"),
+            };
+            eprintln!(
+                "  {shards} shards, tracing {trace_label}: {:.0} events/sec",
+                r.events_per_sec
+            );
+            let snap = &r.snapshot;
+            for stage in [
+                PipelineStage::IngressWait,
+                PipelineStage::Decode,
+                PipelineStage::Match,
+                PipelineStage::Encode,
+                PipelineStage::EgressSend,
+            ] {
+                assert!(
+                    snap.stage(stage.metric_name())
+                        .is_some_and(|h| !h.is_empty()),
+                    "stage sampling on: {} must hold samples",
+                    stage.metric_name()
+                );
+            }
+            rows.push(vec![
+                shards.to_string(),
+                trace_label.clone(),
+                format!("{:.0}", r.events_per_sec),
+                stage_p50(snap, PipelineStage::IngressWait).to_string(),
+                stage_p50(snap, PipelineStage::Decode).to_string(),
+                stage_p50(snap, PipelineStage::Match).to_string(),
+                stage_p50(snap, PipelineStage::Encode).to_string(),
+                stage_p50(snap, PipelineStage::EgressSend).to_string(),
+                r.traced.to_string(),
+            ]);
+            json_rows.push(format!(
+                "    {{\"shards\": {shards}, \"trace_every\": {trace_every}, \
+                 \"stage_every\": {STAGE_EVERY}, \"events_per_sec\": {:.1}, \
+                 \"traced\": {}, \"stage_p50_ns\": {{\"ingress_wait\": {}, \
+                 \"decode\": {}, \"match\": {}, \"encode\": {}, \
+                 \"egress_send\": {}}}}}",
+                r.events_per_sec,
+                r.traced,
+                stage_p50(snap, PipelineStage::IngressWait),
+                stage_p50(snap, PipelineStage::Decode),
+                stage_p50(snap, PipelineStage::Match),
+                stage_p50(snap, PipelineStage::Encode),
+                stage_p50(snap, PipelineStage::EgressSend),
+            ));
+            last_snapshot = Some(r.snapshot);
+        }
+    }
+    println!("per-stage pipeline profile, {events} events per run ({cores} cores):\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "shards",
+                "tracing",
+                "events/s",
+                "wait p50",
+                "decode p50",
+                "match p50",
+                "encode p50",
+                "send p50",
+                "traced",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "reading guide: stage columns are p50 nanoseconds per sampled\n\
+         frame (1-in-{STAGE_EVERY} sampling). `match` excludes the nested\n\
+         encode/send of forwarded copies, which are their own columns;\n\
+         ingress wait is channel queueing, so it absorbs whatever the\n\
+         other stages (and tracing's hop bookkeeping) add upstream.\n"
+    );
+
+    // One full structured snapshot, rendered by the library — benches no
+    // longer hand-format counters (note the last run traced every event).
+    let snap = last_snapshot.expect("at least one run");
+    println!("final run snapshot (8 shards, tracing 1-in-1):\n\n{snap}\n");
+
+    // ---- registry contention microbench -------------------------------
+    eprintln!("E19: registry contention microbench …");
+    let (mutex_ns, sharded_ns) = contention_bench();
+    println!(
+        "{}",
+        render_table(
+            &["latency histogram", "ns/record"],
+            &[
+                vec!["Mutex<Histogram>".to_string(), format!("{mutex_ns:.1}")],
+                vec!["ShardedHistogram".to_string(), format!("{sharded_ns:.1}")],
+            ],
+        )
+    );
+    println!(
+        "contention note: {CONTENTION_THREADS} threads x {CONTENTION_OPS} records. The runtime's\n\
+         delivery path used to take the mutex per event; the sharded\n\
+         histogram keeps recording wait-free ({:.1}x the locked cost per\n\
+         op here) and pays at merge time instead. On a single-core host\n\
+         the lock is rarely contended — the gap widens with real cores.\n",
+        mutex_ns / sharded_ns
+    );
+
+    // ---- off-path overhead gate ---------------------------------------
+    eprintln!("E19: tracing-off overhead (best of 3) …");
+    let mut off_eps = 0f64;
+    for _ in 0..3 {
+        let r = timed_run(1, 0, 0, events);
+        assert!(
+            r.snapshot
+                .stage(PipelineStage::Match.metric_name())
+                .is_some_and(Histogram::is_empty),
+            "stage sampling off must record nothing"
+        );
+        off_eps = off_eps.max(r.events_per_sec);
+    }
+    let baseline = read_baseline(baseline_path);
+    let gate_active = baseline.is_some_and(|(_, n)| n == events as u64);
+    let (baseline_eps, baseline_events) = baseline.unwrap_or((0.0, 0));
+    let ratio = if baseline_eps > 0.0 {
+        off_eps / baseline_eps
+    } else {
+        0.0
+    };
+    if gate_active {
+        println!(
+            "overhead: observability-off best-of-3 {off_eps:.0} ev/s vs checked-in\n\
+             1-shard baseline {baseline_eps:.0} ev/s ({:.1}% of baseline).\n",
+            ratio * 100.0
+        );
+    } else {
+        println!(
+            "overhead: observability-off best-of-3 {off_eps:.0} ev/s; gate skipped\n\
+             (baseline {baseline_path}: {})\n",
+            if baseline_events == 0 {
+                "missing or unreadable".to_string()
+            } else {
+                format!("measured at {baseline_events} events, not {events}")
+            }
+        );
+    }
+
+    // ---- machine-readable output --------------------------------------
+    let snapshot_json = serde_json::to_string(&snap).expect("snapshot serializes");
+    let run_rows = json_rows.join(",\n");
+    let json = format!(
+        "{{\n  \"experiment\": \"E19\",\n  \"events_per_run\": {events},\n  \
+         \"cores\": {cores},\n  \"runs\": [\n{run_rows}\n  ],\n  \
+         \"registry_contention\": {{\"threads\": {CONTENTION_THREADS}, \
+         \"ops_per_thread\": {CONTENTION_OPS}, \"mutex_ns_per_op\": {mutex_ns:.1}, \
+         \"sharded_ns_per_op\": {sharded_ns:.1}}},\n  \
+         \"overhead\": {{\"baseline_path\": \"{baseline_path}\", \
+         \"baseline_events_per_sec\": {baseline_eps:.1}, \
+         \"off_events_per_sec\": {off_eps:.1}, \"off_over_baseline\": {ratio:.3}, \
+         \"overhead_gate_active\": {gate_active}}},\n  \
+         \"final_snapshot\": {snapshot_json}\n}}\n"
+    );
+    std::fs::create_dir_all(out_dir).expect("create out_dir");
+    let path = format!("{out_dir}/BENCH_observability.json");
+    std::fs::write(&path, &json).expect("write BENCH_observability.json");
+    println!("wrote {path}");
+
+    // ---- shape checks -------------------------------------------------
+    assert!(off_eps > 0.0 && off_eps.is_finite());
+    assert!(mutex_ns > 0.0 && sharded_ns > 0.0);
+    if gate_active {
+        assert!(
+            ratio >= 0.95,
+            "observability-off throughput dropped more than 5% below the \
+             checked-in baseline ({off_eps:.0} vs {baseline_eps:.0} ev/s); \
+             if the regression is real, fix it — if the baseline is stale, \
+             regenerate docs/results/BENCH_throughput.json on this machine"
+        );
+        println!("overhead gate passed ({:.1}% of baseline).", ratio * 100.0);
+    } else {
+        println!("overhead gate skipped (no compatible baseline).");
+    }
+    println!("shape checks passed.");
+}

@@ -68,6 +68,29 @@ impl Histogram {
         self.sum = self.sum.saturating_add(v);
     }
 
+    /// Assembles a histogram from raw bucket counts plus observed
+    /// `min`/`max`/`sum` — the bridge from the telemetry module's atomic
+    /// snapshots. The count is derived from the buckets (so it always
+    /// matches them), trailing zero buckets are trimmed, and an all-zero
+    /// bucket vector yields the empty histogram regardless of the other
+    /// arguments.
+    pub(crate) fn from_raw(mut buckets: Vec<u64>, min: u64, max: u64, sum: u64) -> Self {
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        let count: u64 = buckets.iter().sum();
+        if count == 0 {
+            return Self::default();
+        }
+        Self {
+            buckets,
+            count,
+            sum,
+            min: min.min(max),
+            max,
+        }
+    }
+
     /// Folds another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
@@ -120,6 +143,12 @@ impl Histogram {
         } else {
             self.max
         }
+    }
+
+    /// Sum of the recorded samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
     }
 
     /// Mean of the recorded samples (exact — the running sum is kept

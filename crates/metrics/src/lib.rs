@@ -28,6 +28,7 @@ mod overload;
 mod plot;
 mod record;
 mod table;
+mod telemetry;
 
 pub use chaos::ChaosStats;
 pub use durability::DurabilityStats;
@@ -38,3 +39,8 @@ pub use record::{
     LatencyMetrics, NodeRecord, RunMetrics, StageHistogram, StageSummary, StageWeakening,
 };
 pub use table::{format_ratio, render_table};
+pub use telemetry::{
+    prometheus_text, telemetry_table, AtomicHistogram, CounterSample, Gauge, GaugeSample,
+    HistogramSample, PipelineStage, ShardedCounter, ShardedHistogram, StageProfiler,
+    TelemetryRegistry, TelemetrySnapshot,
+};

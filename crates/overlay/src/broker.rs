@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use layercake_event::{Advertisement, ClassId, Envelope, StageMap, TraceContext, TypeRegistry};
 use layercake_filter::{weaken_to_stage, DestId, Filter, FilterTable, IndexKind};
-use layercake_metrics::{DurabilityStats, NodeRecord, OverloadStats};
+use layercake_metrics::{DurabilityStats, NodeRecord, OverloadStats, PipelineStage, StageProfiler};
 use layercake_sim::{ActorId, SimDuration, SimTime};
 use layercake_trace::{HopRecord, HopVerdict, TraceSink, EXTERNAL_SOURCE};
 use rand::rngs::StdRng;
@@ -238,6 +238,16 @@ impl Broker {
     pub fn flush_wal(&mut self) {
         if let Some(wal) = self.wal.as_mut() {
             wal.flush();
+        }
+    }
+
+    /// Attaches stage telemetry to the durable log, so fsync batches
+    /// record their wall-clock duration (see
+    /// [`DurableLog::set_stage_profiler`]). Call after
+    /// [`Broker::enable_durability`]; a no-op on volatile brokers.
+    pub fn set_stage_profiler(&mut self, profiler: std::sync::Arc<StageProfiler>) {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.set_stage_profiler(profiler);
         }
     }
 
@@ -771,7 +781,7 @@ impl Broker {
         let (Some(tc), Some(sink)) = (tc, self.trace.as_ref()) else {
             return;
         };
-        let now = ctx.now();
+        let now = ctx.trace_now();
         sink.record_hop(
             &tc,
             HopRecord {
@@ -779,7 +789,8 @@ impl Broker {
                 node_id: trace_actor(ctx.me()),
                 from_id: trace_actor(ctx.me()),
                 stage: self.stage,
-                arrival: now,
+                shard: ctx.shard(),
+                arrival: SimTime::from_ticks(now),
                 hop_latency: 0,
                 verdict,
             },
@@ -1064,7 +1075,7 @@ impl Broker {
         // costs one `Option` check on the hot path.
         if let Some(tc) = env.trace() {
             if let Some(sink) = &self.trace {
-                let now = ctx.now();
+                let now = ctx.trace_now();
                 sink.record_hop(
                     &tc,
                     HopRecord {
@@ -1072,8 +1083,9 @@ impl Broker {
                         node_id: trace_actor(ctx.me()),
                         from_id: trace_actor(from),
                         stage: self.stage,
-                        arrival: now,
-                        hop_latency: now.ticks().saturating_sub(tc.last_hop_at),
+                        shard: ctx.shard(),
+                        arrival: SimTime::from_ticks(now),
+                        hop_latency: now.saturating_sub(tc.last_hop_at),
                         verdict: if dests.is_empty() {
                             HopVerdict::NoMatch
                         } else {
@@ -1106,7 +1118,14 @@ impl Broker {
             .is_some_and(|w| w.has_class_consumer(class))
         {
             let wal = self.wal.as_mut().expect("checked above");
+            let append_timer = ctx.stage_sampled().then(std::time::Instant::now);
             let off = wal.append(env);
+            if let Some(t0) = append_timer {
+                ctx.record_stage(
+                    PipelineStage::WalAppend,
+                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                );
+            }
             let consumers = wal.consumers_of_class(class);
             for dest in consumers {
                 if self.parked.contains_key(&dest) {
@@ -1126,7 +1145,7 @@ impl Broker {
                 }
                 self.durable_sent.insert(key, off);
                 let mut fwd = env.clone();
-                fwd.touch_trace(ctx.now().ticks());
+                fwd.touch_trace(ctx.trace_now());
                 ctx.send(actor_of(dest), OverlayMsg::Durable { off, env: fwd });
             }
         }
@@ -1142,7 +1161,7 @@ impl Broker {
                 continue;
             }
             let mut fwd = env.clone();
-            fwd.touch_trace(ctx.now().ticks());
+            fwd.touch_trace(ctx.trace_now());
             if let Some(buffer) = self.parked.get_mut(dest) {
                 buffer.push(fwd);
                 continue;
@@ -1215,7 +1234,7 @@ impl Broker {
         for (off, env) in events {
             self.durable_sent.insert(key, off);
             let mut fwd = env;
-            fwd.touch_trace(ctx.now().ticks());
+            fwd.touch_trace(ctx.trace_now());
             ctx.send(actor_of(dest), OverlayMsg::Durable { off, env: fwd });
         }
     }

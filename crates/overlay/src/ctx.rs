@@ -9,6 +9,7 @@
 //! contract: any behavioral divergence between sim and runtime must come
 //! from the transport, never from the protocol logic.
 
+use layercake_metrics::PipelineStage;
 use layercake_sim::{ActorId, Ctx, SimDuration, SimTime};
 
 use crate::msg::OverlayMsg;
@@ -31,6 +32,36 @@ pub trait NodeCtx {
 
     /// Schedules [`Node::on_timer`] with `tag` after `delay`.
     fn set_timer(&mut self, delay: SimDuration, tag: u64);
+
+    /// Timestamp source for trace hop stamps. The simulator's default —
+    /// the virtual clock — keeps sim traces byte-identical across runs;
+    /// the wall-clock runtime overrides this with nanoseconds since
+    /// runtime start, so hop latencies in its traces resolve real
+    /// sub-microsecond pipeline costs instead of the microsecond
+    /// granularity of [`NodeCtx::now`].
+    fn trace_now(&self) -> u64 {
+        self.now().ticks()
+    }
+
+    /// Matcher-shard provenance recorded on trace hops: which replica of
+    /// the node is running this handler. The simulator has exactly one
+    /// replica per broker, hence the default.
+    fn shard(&self) -> u32 {
+        0
+    }
+
+    /// `true` when the surrounding transport is stage-profiling the
+    /// frame currently being processed (see
+    /// [`layercake_metrics::StageProfiler`]). Protocol code uses this to
+    /// time optional sub-stages — e.g. the durable-log append — only
+    /// when the sample will actually be recorded.
+    fn stage_sampled(&self) -> bool {
+        false
+    }
+
+    /// Records one pipeline-stage duration for a sampled frame. A no-op
+    /// everywhere except the wall-clock runtime.
+    fn record_stage(&self, _stage: PipelineStage, _ns: u64) {}
 }
 
 impl NodeCtx for Ctx<'_, OverlayMsg> {

@@ -666,7 +666,7 @@ impl SubscriberNode {
         // original filter decided.
         if let Some(tc) = env.trace() {
             if let Some(sink) = &self.trace {
-                let now = ctx.now();
+                let now = ctx.trace_now();
                 let verdict = if !declarative {
                     HopVerdict::RejectedByOriginal
                 } else if !full {
@@ -683,8 +683,9 @@ impl SubscriberNode {
                         node_id: crate::broker::trace_actor(ctx.me()),
                         from_id: crate::broker::trace_actor(from),
                         stage: 0,
-                        arrival: now,
-                        hop_latency: now.ticks().saturating_sub(tc.last_hop_at),
+                        shard: ctx.shard(),
+                        arrival: layercake_sim::SimTime::from_ticks(now),
+                        hop_latency: now.saturating_sub(tc.last_hop_at),
                         verdict,
                     },
                 );

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 
 use layercake_event::{encode_record, scan_records, ClassId, Envelope, RECORD_HEADER_LEN};
 use layercake_filter::DestId;
-use layercake_metrics::DurabilityStats;
+use layercake_metrics::{DurabilityStats, PipelineStage, StageProfiler};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 use super::storage::LogStorage;
@@ -96,6 +96,11 @@ pub struct DurableLog {
     dirty_bytes: u64,
     offsets_dirty: bool,
     stats: DurabilityStats,
+    /// Optional stage telemetry: every fsync batch's duration lands in
+    /// the [`PipelineStage::WalFsync`] histogram. Set only by the
+    /// wall-clock runtime; the simulator's logs never time syncs, so
+    /// sim behavior is untouched.
+    profiler: Option<std::sync::Arc<StageProfiler>>,
 }
 
 impl DurableLog {
@@ -117,9 +122,18 @@ impl DurableLog {
             dirty_bytes: 0,
             offsets_dirty: false,
             stats: DurabilityStats::default(),
+            profiler: None,
         };
         log.rescan();
         log
+    }
+
+    /// Attaches stage telemetry: from here on, every fsync batch records
+    /// its wall-clock duration. Unconditional (not sampled) — syncs are
+    /// batched and rare, so the timing cost is noise next to the fsync
+    /// itself.
+    pub fn set_stage_profiler(&mut self, profiler: std::sync::Arc<StageProfiler>) {
+        self.profiler = Some(profiler);
     }
 
     /// The log's cumulative activity counters.
@@ -205,7 +219,17 @@ impl DurableLog {
             return;
         }
         if let Some(seg) = self.segs.last() {
+            let t0 = self
+                .profiler
+                .as_ref()
+                .map(|p| (p, std::time::Instant::now()));
             self.storage.sync(seg.id);
+            if let Some((p, t0)) = t0 {
+                p.record(
+                    PipelineStage::WalFsync,
+                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                );
+            }
         }
         self.stats.fsync_batches += 1;
         self.stats.bytes_fsynced += self.dirty_bytes;

@@ -20,6 +20,13 @@ pub enum RtError {
     PlacementTimeout,
     /// A durable-log directory could not be opened at startup.
     Storage(std::io::Error),
+    /// The Prometheus metrics endpoint could not be configured or bound.
+    Metrics {
+        /// The `RtConfig::metrics_addr` value that failed.
+        addr: String,
+        /// What went wrong (parse failure, bind error, ...).
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for RtError {
@@ -31,6 +38,13 @@ impl std::fmt::Display for RtError {
             RtError::UnsupportedFeature(what) => write!(f, "unsupported in the runtime: {what}"),
             RtError::PlacementTimeout => write!(f, "subscription placement walk timed out"),
             RtError::Storage(e) => write!(f, "cannot open durable log storage: {e}"),
+            RtError::Metrics { addr, reason } => write!(
+                f,
+                "cannot serve metrics on RtConfig::metrics_addr = {addr:?}: \
+                 {reason} (use a socket address like \"127.0.0.1:9464\"; \
+                 port 0 binds an ephemeral port reported by \
+                 Runtime::metrics_addr)"
+            ),
         }
     }
 }

@@ -17,10 +17,32 @@
 //! * wall-clock end-to-end latency is stamped at publish and recorded at
 //!   delivery into the shared log₂ [`layercake_metrics::Histogram`].
 //!
-//! See `DESIGN.md` ("Runtime") for the threading model, the
-//! leader/follower sharding contract, the shutdown protocol, and the
-//! sim-vs-rt parity argument. The `exp_throughput` benchmark (E17)
-//! measures events/sec and latency percentiles against the shard count.
+//! # Observability
+//!
+//! Every counter and histogram lives in a sharded, lock-free
+//! [`layercake_metrics::TelemetryRegistry`] ([`RtStats::registry`]) and
+//! flows out three ways from one merged read:
+//!
+//! * [`Runtime::snapshot`] — a structured [`RtSnapshot`] with stable
+//!   serde JSON and a `Display` table renderer;
+//! * a Prometheus text-exposition endpoint
+//!   ([`RtConfig::metrics_addr`], scrape with `curl`);
+//! * `overlay.trace_sample_every = n` samples every n-th published event
+//!   into a wall-clock [`layercake_trace::TraceSink`] whose per-hop
+//!   provenance (shard id, covering-filter verdict) and JSONL schema
+//!   match the simulator's traces.
+//!
+//! `RtConfig::stage_sample_every` additionally times sampled frames
+//! through the pipeline stages (ingress wait → decode → match → encode
+//! → egress send, plus WAL append/fsync on durable runs); with the knob
+//! at 0 the hot path pays one relaxed load and a branch per frame.
+//!
+//! See `DESIGN.md` ("Runtime", "Runtime observability") for the
+//! threading model, the leader/follower sharding contract, the shutdown
+//! protocol, and the sim-vs-rt parity argument. The `exp_throughput`
+//! benchmark (E17) measures events/sec and latency percentiles against
+//! the shard count; `exp_observability` (E19) measures per-stage costs
+//! and the overhead of the instrumentation itself.
 //!
 //! # Example
 //!
@@ -54,10 +76,13 @@
 #![warn(missing_docs)]
 
 mod error;
+mod metrics_http;
 mod runtime;
+mod snapshot;
 mod stats;
 pub mod wire;
 
 pub use error::RtError;
 pub use runtime::{Publisher, RtConfig, RtReport, RtSubscriberHandle, Runtime};
+pub use snapshot::RtSnapshot;
 pub use stats::RtStats;

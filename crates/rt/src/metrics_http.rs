@@ -1,0 +1,135 @@
+//! A minimal Prometheus text-exposition endpoint on `std::net`.
+//!
+//! One background thread accepts connections on a non-blocking
+//! `TcpListener` and answers every request with the current merged
+//! registry snapshot rendered by
+//! [`layercake_metrics::prometheus_text`]. Deliberately tiny: no HTTP
+//! parsing beyond draining the request head, no keep-alive, no TLS —
+//! enough for `curl` and a Prometheus scrape job, with zero cost on the
+//! event hot path (the snapshot merge happens on the scraper's clock,
+//! not the publisher's).
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use layercake_metrics::{prometheus_text, TelemetryRegistry};
+
+use crate::error::RtError;
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_IDLE: Duration = Duration::from_millis(10);
+
+/// Metric-name prefix for every exported series (`layercake_rt_...`).
+const PROM_PREFIX: &str = "layercake";
+
+/// The running endpoint: owns the listener thread and its stop flag.
+pub(crate) struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Parses `addr`, binds it, and spawns the serving thread.
+    pub(crate) fn start(addr: &str, registry: Arc<TelemetryRegistry>) -> Result<Self, RtError> {
+        let sock: SocketAddr = addr.parse().map_err(|_| RtError::Metrics {
+            addr: addr.to_string(),
+            reason: "not a valid socket address".to_string(),
+        })?;
+        let listener = TcpListener::bind(sock).map_err(|e| RtError::Metrics {
+            addr: addr.to_string(),
+            reason: format!("bind failed: {e}"),
+        })?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| RtError::Metrics {
+                addr: addr.to_string(),
+                reason: format!("cannot set non-blocking accept: {e}"),
+            })?;
+        let bound = listener.local_addr().map_err(|e| RtError::Metrics {
+            addr: addr.to_string(),
+            reason: format!("cannot resolve bound address: {e}"),
+        })?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("lc-metrics".to_string())
+                .spawn(move || serve(&listener, &registry, &stop))
+                .expect("spawn metrics thread")
+        };
+        Ok(Self {
+            addr: bound,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0 to the ephemeral
+    /// port the OS picked).
+    pub(crate) fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve(listener: &TcpListener, registry: &TelemetryRegistry, stop: &AtomicBool) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Scrape errors are the scraper's problem; the runtime
+                // must not care whether anyone is watching.
+                let _ = answer(stream, registry);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_IDLE);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_IDLE),
+        }
+    }
+}
+
+/// Drains the request head and writes one full exposition response.
+fn answer(mut stream: TcpStream, registry: &TelemetryRegistry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read until the blank line ending the request head (or timeout) —
+    // every path serves the same document, so the bytes are irrelevant.
+    let mut head = [0u8; 1024];
+    let mut seen: Vec<u8> = Vec::new();
+    loop {
+        match stream.read(&mut head) {
+            Ok(0) => break,
+            Ok(n) => {
+                seen.extend_from_slice(&head[..n]);
+                if seen.windows(4).any(|w| w == b"\r\n\r\n") || seen.len() > 8192 {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        }
+    }
+    let body = prometheus_text(&registry.snapshot(), PROM_PREFIX);
+    let response = format!(
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}

@@ -35,6 +35,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -44,13 +45,16 @@ use std::time::{Duration, Instant};
 
 use layercake_event::{Advertisement, Envelope, FrameDecoder, TraceContext, TraceId, TypeRegistry};
 use layercake_filter::Filter;
-use layercake_metrics::DurabilityStats;
+use layercake_metrics::{DurabilityStats, HistogramSample, PipelineStage, StageProfiler};
 use layercake_overlay::topology::{self, TopologyNode};
 use layercake_overlay::wal::{FileStorage, LogConfig};
 use layercake_overlay::{Broker, Node, NodeCtx, OverlayConfig, OverlayMsg, SubscriberNode};
 use layercake_sim::{ActorId, SimDuration, SimTime};
+use layercake_trace::TraceSink;
 
 use crate::error::RtError;
+use crate::metrics_http::MetricsServer;
+use crate::snapshot::RtSnapshot;
 use crate::stats::RtStats;
 use crate::wire;
 
@@ -65,14 +69,18 @@ const IDLE_TICK: Duration = Duration::from_millis(5);
 /// Configuration for [`Runtime::start`].
 #[derive(Debug, Clone)]
 pub struct RtConfig {
-    /// The overlay to run. Soft-state leases, per-link reliability, flow
-    /// control and trace sampling must all be disabled: their per-link
-    /// state lives inside each broker replica and would diverge across
-    /// matcher shards. Durability is the exception — the durable log is
-    /// keyed by event class, and data frames shard by class too, so each
-    /// shard's log covers exactly the classes it matches and replicas
-    /// never disagree; enable it with `overlay.durability_enabled` plus
-    /// [`RtConfig::durable_dir`].
+    /// The overlay to run. Soft-state leases, per-link reliability and
+    /// flow control must be disabled: their per-link state lives inside
+    /// each broker replica and would diverge across matcher shards.
+    /// Durability is an exception — the durable log is keyed by event
+    /// class, and data frames shard by class too, so each shard's log
+    /// covers exactly the classes it matches and replicas never
+    /// disagree; enable it with `overlay.durability_enabled` plus
+    /// [`RtConfig::durable_dir`]. Trace sampling is the other exception:
+    /// `overlay.trace_sample_every = n` samples every n-th published
+    /// event into a wall-clock [`TraceSink`] with per-hop provenance
+    /// (shard id, covering-filter verdict) matching the simulator's,
+    /// exported as the same JSONL schema.
     pub overlay: OverlayConfig,
     /// Matcher shards (threads) per broker; ≥ 1.
     pub shards: usize,
@@ -85,11 +93,25 @@ pub struct RtConfig {
     /// same directory recovers consumer offsets and replays unacked
     /// events to re-subscribing durable subscribers.
     pub durable_dir: Option<PathBuf>,
+    /// Pipeline stage profiling: every n-th frame a node thread receives
+    /// is timed through ingress wait → decode → match → encode → egress
+    /// send (plus WAL append/fsync on durable runs) into the telemetry
+    /// registry. `0` (the default) turns profiling off; the cost left on
+    /// the hot path is then one relaxed atomic load and a branch per
+    /// frame (experiment E19 asserts it stays within noise of a build
+    /// without the instrumentation).
+    pub stage_sample_every: u64,
+    /// When set, serves the telemetry registry in Prometheus text
+    /// exposition format on this socket address (e.g. `"127.0.0.1:9464"`;
+    /// port 0 binds an ephemeral port reported by
+    /// [`Runtime::metrics_addr`]). `None` (the default) serves nothing.
+    pub metrics_addr: Option<String>,
 }
 
 impl RtConfig {
     /// A runtime config over `overlay` with `shards` matcher threads per
-    /// broker and a generous placement timeout.
+    /// broker, a generous placement timeout, and all observability
+    /// (stage profiling, metrics endpoint) off.
     #[must_use]
     pub fn new(overlay: OverlayConfig, shards: usize) -> Self {
         Self {
@@ -97,6 +119,8 @@ impl RtConfig {
             shards,
             placement_timeout: Duration::from_secs(10),
             durable_dir: None,
+            stage_sample_every: 0,
+            metrics_addr: None,
         }
     }
 
@@ -117,11 +141,13 @@ impl RtConfig {
                  and durable_dir)",
             ));
         }
-        if self.overlay.trace_sample_every != 0 {
-            return Err(RtError::UnsupportedFeature(
-                "trace sampling expects virtual-time hop stamps; the runtime \
-                 measures wall-clock latency through RtStats instead",
-            ));
+        if let Some(addr) = &self.metrics_addr {
+            if addr.parse::<SocketAddr>().is_err() {
+                return Err(RtError::Metrics {
+                    addr: addr.clone(),
+                    reason: "not a valid socket address".to_string(),
+                });
+            }
         }
         if self.overlay.durability_enabled && self.durable_dir.is_none() {
             return Err(RtError::UnsupportedFeature(
@@ -142,7 +168,14 @@ impl RtConfig {
 /// What a node thread receives: either one framed wire message or the
 /// shutdown poison pill.
 enum RtEvent {
-    Frame(Vec<u8>),
+    Frame {
+        bytes: Vec<u8>,
+        /// Nanoseconds since runtime start at enqueue time; `0` when the
+        /// stage profiler is off (the receiver then skips the
+        /// ingress-wait stage rather than misreading an unstamped
+        /// frame).
+        enqueued_ns: u64,
+    },
     Shutdown,
 }
 
@@ -157,14 +190,18 @@ enum Route {
 #[derive(Clone)]
 struct Router {
     routes: Arc<RwLock<Vec<Option<Route>>>>,
+    epoch: Instant,
+    profiler: Arc<StageProfiler>,
 }
 
 impl Router {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, epoch: Instant, profiler: Arc<StageProfiler>) -> Self {
         let mut routes = Vec::with_capacity(capacity);
         routes.resize_with(capacity, || None);
         Self {
             routes: Arc::new(RwLock::new(routes)),
+            epoch,
+            profiler,
         }
     }
 
@@ -179,8 +216,31 @@ impl Router {
     /// Serializes `msg` and delivers it: data frames go to the class
     /// shard, control frames are broadcast to every shard. Sends to
     /// already-exited nodes are dropped silently (shutdown tail traffic).
-    fn dispatch(&self, from: ActorId, to: ActorId, msg: &OverlayMsg, stats: &RtStats) {
+    ///
+    /// When `sampled`, the encode and the routed send are timed into the
+    /// `Encode` / `EgressSend` pipeline stages. Independently of the
+    /// sample, frames are stamped with an enqueue timestamp whenever the
+    /// profiler is enabled at all, so the *receiver's* sampler can
+    /// measure ingress wait on frames whose send was not itself sampled.
+    fn dispatch(
+        &self,
+        from: ActorId,
+        to: ActorId,
+        msg: &OverlayMsg,
+        stats: &RtStats,
+        sampled: bool,
+    ) {
+        let encode_timer = sampled.then(Instant::now);
         let bytes = wire::encode(from, msg);
+        if let Some(t0) = encode_timer {
+            self.profiler.record(PipelineStage::Encode, elapsed_ns(t0));
+        }
+        let enqueued_ns = if self.profiler.enabled() {
+            nanos_since(self.epoch)
+        } else {
+            0
+        };
+        let send_timer = sampled.then(Instant::now);
         let routes = self.routes.read().expect("router poisoned");
         let Some(Some(route)) = routes.get(to.0) else {
             return;
@@ -188,22 +248,34 @@ impl Router {
         match route {
             Route::Subscriber { tx } => {
                 stats.note_frame_sent(bytes.len());
-                let _ = tx.send(RtEvent::Frame(bytes));
+                let _ = tx.send(RtEvent::Frame { bytes, enqueued_ns });
             }
             Route::Broker { shards } => {
                 if let Some(class) = data_class(msg) {
                     let shard = shard_of(class, shards.len());
                     stats.note_frame_sent(bytes.len());
-                    let _ = shards[shard].send(RtEvent::Frame(bytes));
+                    let _ = shards[shard].send(RtEvent::Frame { bytes, enqueued_ns });
                 } else {
                     for tx in shards {
                         stats.note_frame_sent(bytes.len());
-                        let _ = tx.send(RtEvent::Frame(bytes.clone()));
+                        let _ = tx.send(RtEvent::Frame {
+                            bytes: bytes.clone(),
+                            enqueued_ns,
+                        });
                     }
                 }
             }
         }
+        if let Some(t0) = send_timer {
+            self.profiler
+                .record(PipelineStage::EgressSend, elapsed_ns(t0));
+        }
     }
+}
+
+/// Nanoseconds elapsed since `t0`, saturating at `u64::MAX`.
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// The event class a data frame is keyed on, `None` for control.
@@ -246,6 +318,17 @@ struct RtCtx<'a> {
     /// the leader's replica of a class it does not own has an empty
     /// history and would open every stream at offset 0.
     shard: Option<(usize, usize)>,
+    /// The runtime's stage profiler; consulted by the trace/profiling
+    /// default-method overrides below.
+    profiler: &'a StageProfiler,
+    /// Whether the frame currently being processed was picked by the
+    /// stage sampler.
+    sampled: bool,
+    /// Wall-clock nanoseconds this handler spent inside nested
+    /// `dispatch` calls (encode + egress send). Subtracted from the
+    /// handler's total so the `Match` stage reports pure state-machine
+    /// time rather than re-counting downstream wire costs.
+    nested_ns: u64,
 }
 
 impl NodeCtx for RtCtx<'_> {
@@ -269,7 +352,12 @@ impl NodeCtx for RtCtx<'_> {
             self.stats.inc_suppressed_control();
             return;
         }
-        self.router.dispatch(self.me, to, &msg, self.stats);
+        let timer = self.sampled.then(Instant::now);
+        self.router
+            .dispatch(self.me, to, &msg, self.stats, self.sampled);
+        if let Some(t0) = timer {
+            self.nested_ns = self.nested_ns.saturating_add(elapsed_ns(t0));
+        }
     }
 
     fn set_timer(&mut self, delay: SimDuration, tag: u64) {
@@ -278,6 +366,25 @@ impl NodeCtx for RtCtx<'_> {
         }
         let deadline = micros_since(self.epoch) + delay.ticks();
         self.timers.push(Reverse((deadline, tag)));
+    }
+
+    /// Wall-clock trace stamps in nanoseconds since runtime start — the
+    /// resolution hop latencies need to resolve sub-microsecond pipeline
+    /// costs ([`NodeCtx::now`] only ticks in microseconds).
+    fn trace_now(&self) -> u64 {
+        nanos_since(self.epoch)
+    }
+
+    fn shard(&self) -> u32 {
+        self.shard.map_or(0, |(s, _)| s as u32)
+    }
+
+    fn stage_sampled(&self) -> bool {
+        self.sampled
+    }
+
+    fn record_stage(&self, stage: PipelineStage, ns: u64) {
+        self.profiler.record(stage, ns);
     }
 }
 
@@ -289,29 +396,76 @@ fn nanos_since(epoch: Instant) -> u64 {
     u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// Builds an [`RtSnapshot`] from the live metric sources. Stage entries
+/// are emitted for every pipeline stage, in pipeline order, whether or
+/// not they have samples — a stable shape is worth more than a few empty
+/// histograms.
+fn snapshot_from(
+    stats: &RtStats,
+    profiler: &StageProfiler,
+    trace: Option<&TraceSink>,
+    uptime_us: u64,
+) -> RtSnapshot {
+    RtSnapshot {
+        uptime_us,
+        published: stats.published(),
+        delivered: stats.delivered(),
+        frames_sent: stats.frames_sent(),
+        bytes_sent: stats.bytes_sent(),
+        frames_received: stats.frames_received(),
+        suppressed_control: stats.suppressed_control(),
+        decode_errors: stats.decode_errors(),
+        timers_fired: stats.timers_fired(),
+        traced: trace.map_or(0, TraceSink::traced_count),
+        latency_ns: stats.latency_histogram(),
+        stages: PipelineStage::ALL
+            .iter()
+            .map(|&s| HistogramSample {
+                name: s.metric_name().to_string(),
+                hist: profiler.stage_histogram(s),
+            })
+            .collect(),
+    }
+}
+
 /// A cloneable publisher edge. Each clone is meant to be driven by its
 /// own thread; publishing stamps the envelope with a wall-clock trace
 /// context (nanoseconds since runtime start) and injects it at the root
 /// with external provenance, paying the same wire cost as any hop.
+///
+/// Without a trace sink every event is stamped (the stamp only feeds the
+/// latency histogram). With trace sampling on, the sink decides which
+/// events carry a context — those accumulate full per-hop provenance in
+/// the sink, and only they feed the latency histogram.
 #[derive(Clone)]
 pub struct Publisher {
     root: ActorId,
     epoch: Instant,
     router: Router,
     stats: Arc<RtStats>,
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl Publisher {
     /// Publishes one event at the root.
     pub fn publish(&self, mut env: Envelope) {
-        let seq = env.seq().0;
-        env.set_trace(Some(TraceContext::new(
-            TraceId(seq),
-            nanos_since(self.epoch),
-        )));
+        let now = nanos_since(self.epoch);
+        match &self.trace {
+            Some(sink) => env.set_trace(sink.begin_trace(
+                env.class_name(),
+                env.seq().0,
+                SimTime::from_ticks(now),
+            )),
+            None => env.set_trace(Some(TraceContext::new(TraceId(env.seq().0), now))),
+        }
         self.stats.inc_published();
-        self.router
-            .dispatch(EXTERNAL, self.root, &OverlayMsg::Publish(env), &self.stats);
+        self.router.dispatch(
+            EXTERNAL,
+            self.root,
+            &OverlayMsg::Publish(env),
+            &self.stats,
+            false,
+        );
     }
 }
 
@@ -332,6 +486,9 @@ pub struct RtReport {
     pub subscribers: Vec<SubscriberNode>,
     /// Each broker shard's final state, keyed by `(broker id, shard)`.
     pub brokers: Vec<((ActorId, usize), Broker)>,
+    /// The wall-clock trace sink with every sampled event's per-hop
+    /// provenance; `None` when `overlay.trace_sample_every` was 0.
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl RtReport {
@@ -380,6 +537,9 @@ pub struct Runtime {
     broker_threads: Vec<BrokerThread>,
     subscriber_threads: Vec<SubscriberThread>,
     next_filter: u64,
+    trace: Option<Arc<TraceSink>>,
+    profiler: Arc<StageProfiler>,
+    metrics: Option<MetricsServer>,
 }
 
 impl Runtime {
@@ -395,11 +555,24 @@ impl Runtime {
         cfg.validate()?;
         let epoch = Instant::now();
         let stats = Arc::new(RtStats::new());
+        // The profiler registers its stage histograms in the stats
+        // registry, so one snapshot (and the Prometheus endpoint) covers
+        // counters, latency and stages alike.
+        let profiler = Arc::new(StageProfiler::new(stats.registry(), cfg.stage_sample_every));
+        // One shared sink across every shard replica: data frames reach
+        // exactly one shard, so each sampled event's hops land once, in
+        // causal order per hop chain — same invariant as the simulator.
+        let trace = (cfg.overlay.trace_sample_every > 0)
+            .then(|| Arc::new(TraceSink::new(cfg.overlay.trace_sample_every)));
+        let metrics = match &cfg.metrics_addr {
+            Some(addr) => Some(MetricsServer::start(addr, Arc::clone(stats.registry()))?),
+            None => None,
+        };
 
         // One full replica of the hierarchy per shard; replica s of every
         // broker handles the same class slice end to end.
         let mut replicas: Vec<Vec<TopologyNode>> = (0..cfg.shards)
-            .map(|_| topology::build_brokers(&cfg.overlay, &registry, None))
+            .map(|_| topology::build_brokers(&cfg.overlay, &registry, trace.as_ref()))
             .collect::<Result<_, _>>()?;
         let broker_count = replicas[0].len();
         let root = replicas[0]
@@ -407,7 +580,7 @@ impl Runtime {
             .expect("validated topology has a root")
             .id;
 
-        let router = Router::new(broker_count);
+        let router = Router::new(broker_count, epoch, Arc::clone(&profiler));
         let mut inboxes: Vec<Vec<Receiver<RtEvent>>> = Vec::with_capacity(broker_count);
         for b in 0..broker_count {
             let mut txs = Vec::with_capacity(cfg.shards);
@@ -446,8 +619,10 @@ impl Runtime {
                         },
                     );
                 }
+                broker.set_stage_profiler(Arc::clone(&profiler));
                 let router = router.clone();
                 let stats = Arc::clone(&stats);
+                let profiler = Arc::clone(&profiler);
                 let speaks = shard == 0;
                 let shard_slot = (shard, cfg.shards);
                 let handle = std::thread::Builder::new()
@@ -459,6 +634,7 @@ impl Runtime {
                             epoch,
                             router,
                             stats,
+                            profiler,
                             speaks,
                             shard_slot,
                             rx,
@@ -485,6 +661,9 @@ impl Runtime {
             broker_threads,
             subscriber_threads: Vec::new(),
             next_filter: 0,
+            trace,
+            profiler,
+            metrics,
         })
     }
 
@@ -492,6 +671,44 @@ impl Runtime {
     #[must_use]
     pub fn stats(&self) -> &Arc<RtStats> {
         &self.stats
+    }
+
+    /// The wall-clock trace sink, when `overlay.trace_sample_every` is
+    /// non-zero. Sampled events accumulate per-hop provenance here while
+    /// the runtime runs; [`layercake_trace::TraceSink::to_jsonl`]
+    /// exports it in the same schema as the simulator's traces.
+    #[must_use]
+    pub fn trace_sink(&self) -> Option<&Arc<TraceSink>> {
+        self.trace.as_ref()
+    }
+
+    /// The address the Prometheus endpoint actually bound, when
+    /// [`RtConfig::metrics_addr`] was set (resolves port 0 to the
+    /// OS-assigned ephemeral port).
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(MetricsServer::addr)
+    }
+
+    /// The stage profiler driving per-frame pipeline sampling; exposed
+    /// so callers can retune [`RtConfig::stage_sample_every`] live.
+    #[must_use]
+    pub fn stage_profiler(&self) -> &Arc<StageProfiler> {
+        &self.profiler
+    }
+
+    /// A merged point-in-time view of every runtime metric: counters,
+    /// end-to-end latency, and per-stage pipeline histograms. The same
+    /// data serializes to stable JSON (`serde`) and renders as aligned
+    /// tables (`Display`).
+    #[must_use]
+    pub fn snapshot(&self) -> RtSnapshot {
+        snapshot_from(
+            &self.stats,
+            &self.profiler,
+            self.trace.as_deref(),
+            micros_since(self.epoch),
+        )
     }
 
     /// The root broker's node id.
@@ -520,6 +737,7 @@ impl Runtime {
             self.root,
             &OverlayMsg::Advertise(adv),
             &self.stats,
+            false,
         );
         // Advertisements flood through leader control; give followers the
         // same broadcast before subscriptions race in.
@@ -591,7 +809,7 @@ impl Runtime {
             label,
             branches.clone(),
             None,
-            None,
+            self.trace.as_ref(),
             durable,
         );
         node.set_store_envelopes(true);
@@ -602,11 +820,14 @@ impl Runtime {
         let handle = {
             let router = self.router.clone();
             let stats = Arc::clone(&self.stats);
+            let profiler = Arc::clone(&self.profiler);
             let placed = Arc::clone(&placed);
             let epoch = self.epoch;
             std::thread::Builder::new()
                 .name(format!("lc-sub-{index}"))
-                .spawn(move || subscriber_thread_main(node, id, epoch, router, stats, placed, rx))
+                .spawn(move || {
+                    subscriber_thread_main(node, id, epoch, router, stats, profiler, placed, rx)
+                })
                 .expect("spawn subscriber thread")
         };
         self.subscriber_threads.push(SubscriberThread { handle });
@@ -624,6 +845,7 @@ impl Runtime {
                     durable,
                 }),
                 &self.stats,
+                false,
             );
         }
 
@@ -645,6 +867,7 @@ impl Runtime {
             epoch: self.epoch,
             router: self.router.clone(),
             stats: Arc::clone(&self.stats),
+            trace: self.trace.clone(),
         }
     }
 
@@ -704,6 +927,9 @@ impl Runtime {
     }
 
     fn teardown(mut self, flush_wals: bool) -> RtReport {
+        // Stop scraping before the metrics become a half-drained mix of
+        // live and joined threads.
+        drop(self.metrics.take());
         let mut stages: Vec<usize> = self.broker_threads.iter().map(|t| t.stage).collect();
         stages.sort_unstable();
         stages.dedup();
@@ -759,6 +985,7 @@ impl Runtime {
             stats: self.stats,
             subscribers,
             brokers,
+            trace: self.trace,
         }
     }
 
@@ -785,39 +1012,47 @@ fn broker_thread_main(
     epoch: Instant,
     router: Router,
     stats: Arc<RtStats>,
+    profiler: Arc<StageProfiler>,
     speaks: bool,
     shard: (usize, usize),
     rx: Receiver<RtEvent>,
 ) -> Broker {
     let mut timers: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
     let mut decoder = FrameDecoder::new();
+    let mut frame_counter = 0u64;
     loop {
         let timeout = next_wakeup(&timers, epoch);
         match rx.recv_timeout(timeout) {
-            Ok(RtEvent::Frame(bytes)) => {
+            Ok(RtEvent::Frame { bytes, enqueued_ns }) => {
                 feed_node(
                     &mut broker,
                     &mut decoder,
                     &bytes,
+                    enqueued_ns,
+                    profiler.tick(&mut frame_counter),
                     me,
                     epoch,
                     &router,
                     &stats,
+                    &profiler,
                     speaks,
                     Some(shard),
                     &mut timers,
                 );
             }
             Ok(RtEvent::Shutdown) => {
-                while let Ok(RtEvent::Frame(bytes)) = rx.try_recv() {
+                while let Ok(RtEvent::Frame { bytes, enqueued_ns }) = rx.try_recv() {
                     feed_node(
                         &mut broker,
                         &mut decoder,
                         &bytes,
+                        enqueued_ns,
+                        profiler.tick(&mut frame_counter),
                         me,
                         epoch,
                         &router,
                         &stats,
+                        &profiler,
                         speaks,
                         Some(shard),
                         &mut timers,
@@ -835,6 +1070,7 @@ fn broker_thread_main(
             epoch,
             &router,
             &stats,
+            &profiler,
             speaks,
             Some(shard),
         );
@@ -844,17 +1080,20 @@ fn broker_thread_main(
 
 /// Runs one subscriber: like a broker shard, plus placement signalling
 /// and per-delivery latency accounting.
+#[allow(clippy::too_many_arguments)]
 fn subscriber_thread_main(
     mut node: SubscriberNode,
     me: ActorId,
     epoch: Instant,
     router: Router,
     stats: Arc<RtStats>,
+    profiler: Arc<StageProfiler>,
     placed: Arc<AtomicBool>,
     rx: Receiver<RtEvent>,
 ) -> SubscriberNode {
     let mut timers: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
     let mut decoder = FrameDecoder::new();
+    let mut frame_counter = 0u64;
     let after = |node: &mut SubscriberNode, stats: &RtStats| {
         if !placed.load(Ordering::Relaxed) && node.fully_placed() {
             placed.store(true, Ordering::Release);
@@ -869,15 +1108,18 @@ fn subscriber_thread_main(
     loop {
         let timeout = next_wakeup(&timers, epoch);
         match rx.recv_timeout(timeout) {
-            Ok(RtEvent::Frame(bytes)) => {
+            Ok(RtEvent::Frame { bytes, enqueued_ns }) => {
                 feed_node(
                     &mut node,
                     &mut decoder,
                     &bytes,
+                    enqueued_ns,
+                    profiler.tick(&mut frame_counter),
                     me,
                     epoch,
                     &router,
                     &stats,
+                    &profiler,
                     true,
                     None,
                     &mut timers,
@@ -885,15 +1127,18 @@ fn subscriber_thread_main(
                 after(&mut node, &stats);
             }
             Ok(RtEvent::Shutdown) => {
-                while let Ok(RtEvent::Frame(bytes)) = rx.try_recv() {
+                while let Ok(RtEvent::Frame { bytes, enqueued_ns }) = rx.try_recv() {
                     feed_node(
                         &mut node,
                         &mut decoder,
                         &bytes,
+                        enqueued_ns,
+                        profiler.tick(&mut frame_counter),
                         me,
                         epoch,
                         &router,
                         &stats,
+                        &profiler,
                         true,
                         None,
                         &mut timers,
@@ -912,6 +1157,7 @@ fn subscriber_thread_main(
             epoch,
             &router,
             &stats,
+            &profiler,
             true,
             None,
         );
@@ -923,24 +1169,43 @@ fn subscriber_thread_main(
 /// Pushes one channel message's bytes through the frame decoder and
 /// feeds every complete wire message to the node. Corrupt frames are
 /// counted and the buffered remainder discarded.
+///
+/// On a sampled frame the per-stage pipeline costs are recorded:
+/// ingress wait (sender's enqueue stamp → now), decode (deframe +
+/// deserialize, per wire message), and match (the state-machine step,
+/// minus the time its own sends spent encoding and enqueuing — those
+/// are reported as `Encode`/`EgressSend` by the nested dispatch).
 #[allow(clippy::too_many_arguments)]
 fn feed_node<N: Node>(
     node: &mut N,
     decoder: &mut FrameDecoder,
     bytes: &[u8],
+    enqueued_ns: u64,
+    sampled: bool,
     me: ActorId,
     epoch: Instant,
     router: &Router,
     stats: &RtStats,
+    profiler: &StageProfiler,
     speaks: bool,
     shard: Option<(usize, usize)>,
     timers: &mut BinaryHeap<Reverse<(u64, u64)>>,
 ) {
+    if sampled && enqueued_ns != 0 {
+        profiler.record(
+            PipelineStage::IngressWait,
+            nanos_since(epoch).saturating_sub(enqueued_ns),
+        );
+    }
     decoder.push(bytes);
     loop {
+        let decode_timer = sampled.then(Instant::now);
         match decoder.next_frame() {
             Ok(Some(payload)) => match wire::decode(&payload) {
                 Ok((from, msg)) => {
+                    if let Some(t0) = decode_timer {
+                        profiler.record(PipelineStage::Decode, elapsed_ns(t0));
+                    }
                     stats.inc_frames_received();
                     let mut ctx = RtCtx {
                         me,
@@ -950,8 +1215,18 @@ fn feed_node<N: Node>(
                         timers: &mut *timers,
                         speaks,
                         shard,
+                        profiler,
+                        sampled,
+                        nested_ns: 0,
                     };
+                    let match_timer = sampled.then(Instant::now);
                     node.on_message(from, msg, &mut ctx);
+                    if let Some(t0) = match_timer {
+                        profiler.record(
+                            PipelineStage::Match,
+                            elapsed_ns(t0).saturating_sub(ctx.nested_ns),
+                        );
+                    }
                 }
                 Err(_) => stats.inc_decode_errors(),
             },
@@ -982,6 +1257,7 @@ fn fire_due_timers<N: Node>(
     epoch: Instant,
     router: &Router,
     stats: &RtStats,
+    profiler: &StageProfiler,
     speaks: bool,
     shard: Option<(usize, usize)>,
 ) {
@@ -991,6 +1267,7 @@ fn fire_due_timers<N: Node>(
         }
         timers.pop();
         stats.inc_timers_fired();
+        // Timer work is maintenance, not pipeline — never stage-sampled.
         let mut ctx = RtCtx {
             me,
             epoch,
@@ -999,6 +1276,9 @@ fn fire_due_timers<N: Node>(
             timers: &mut *timers,
             speaks,
             shard,
+            profiler,
+            sampled: false,
+            nested_ns: 0,
         };
         node.on_timer(tag, &mut ctx);
     }

@@ -1,135 +1,170 @@
 //! Wall-clock runtime counters and latency distribution.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 
-use layercake_metrics::Histogram;
+use layercake_metrics::{Histogram, ShardedCounter, ShardedHistogram, TelemetryRegistry};
+
+/// How many cache-padded slots each runtime metric shards across. Node
+/// threads pick distinct slots round-robin, so this bounds the writer
+/// parallelism before two threads share a slot; 16 covers a root + two
+/// fan-in levels at 8 matcher shards.
+const STAT_SHARDS: usize = 16;
 
 /// Shared counters for a runtime instance.
 ///
-/// All counters are monotone and updated with relaxed atomics — they are
-/// throughput/accounting figures, not synchronization. End-to-end latency
-/// is fed in nanoseconds into the same log₂ [`Histogram`] the simulator's
-/// metrics use, so virtual-time and wall-clock latency reports share one
-/// bucketing scheme.
-#[derive(Debug, Default)]
+/// All counters are monotone and sharded across cache-padded atomic
+/// slots ([`ShardedCounter`]) — each node thread increments its own slot
+/// with a relaxed `fetch_add` and readers merge on demand, so the hot
+/// path never bounces a shared cache line. End-to-end latency is fed in
+/// nanoseconds into a [`ShardedHistogram`] with the same log₂ bucketing
+/// the simulator's metrics use, so virtual-time and wall-clock latency
+/// reports share one bucketing scheme. (Earlier revisions funneled every
+/// delivery through a `Mutex<Histogram>`; experiment E19's registry
+/// microbench records the contention gap that motivated the swap.)
+///
+/// Every metric is registered in a [`TelemetryRegistry`] under a
+/// `rt.`-prefixed name, so the same figures flow out through
+/// [`crate::Runtime::snapshot`] and the Prometheus endpoint without a
+/// second accounting path.
+///
+/// With trace sampling enabled (`overlay.trace_sample_every > 0`) only
+/// the sampled events carry the publish stamp, so the latency histogram
+/// then describes the sampled subset rather than every delivery.
+#[derive(Debug)]
 pub struct RtStats {
-    published: AtomicU64,
-    delivered: AtomicU64,
-    frames_sent: AtomicU64,
-    bytes_sent: AtomicU64,
-    frames_received: AtomicU64,
-    suppressed_control: AtomicU64,
-    decode_errors: AtomicU64,
-    timers_fired: AtomicU64,
-    latency_ns: Mutex<Histogram>,
+    registry: Arc<TelemetryRegistry>,
+    published: Arc<ShardedCounter>,
+    delivered: Arc<ShardedCounter>,
+    frames_sent: Arc<ShardedCounter>,
+    bytes_sent: Arc<ShardedCounter>,
+    frames_received: Arc<ShardedCounter>,
+    suppressed_control: Arc<ShardedCounter>,
+    decode_errors: Arc<ShardedCounter>,
+    timers_fired: Arc<ShardedCounter>,
+    latency_ns: Arc<ShardedHistogram>,
+}
+
+impl Default for RtStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl RtStats {
-    /// Creates zeroed stats.
+    /// Creates zeroed stats backed by a fresh telemetry registry.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        let registry = Arc::new(TelemetryRegistry::new(STAT_SHARDS));
+        Self {
+            published: registry.counter("rt.published"),
+            delivered: registry.counter("rt.delivered"),
+            frames_sent: registry.counter("rt.frames_sent"),
+            bytes_sent: registry.counter("rt.bytes_sent"),
+            frames_received: registry.counter("rt.frames_received"),
+            suppressed_control: registry.counter("rt.suppressed_control"),
+            decode_errors: registry.counter("rt.decode_errors"),
+            timers_fired: registry.counter("rt.timers_fired"),
+            latency_ns: registry.histogram("rt.latency_ns"),
+            registry,
+        }
+    }
+
+    /// The registry holding every runtime metric (these counters plus
+    /// the stage profiler's histograms) — the source for
+    /// [`crate::Runtime::snapshot`] and the Prometheus endpoint.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<TelemetryRegistry> {
+        &self.registry
     }
 
     pub(crate) fn inc_published(&self) {
-        self.published.fetch_add(1, Ordering::Relaxed);
+        self.published.inc();
     }
 
     pub(crate) fn inc_delivered(&self) {
-        self.delivered.fetch_add(1, Ordering::Relaxed);
+        self.delivered.inc();
     }
 
     pub(crate) fn note_frame_sent(&self, bytes: usize) {
-        self.frames_sent.fetch_add(1, Ordering::Relaxed);
-        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.frames_sent.inc();
+        self.bytes_sent.add(bytes as u64);
     }
 
     pub(crate) fn inc_frames_received(&self) {
-        self.frames_received.fetch_add(1, Ordering::Relaxed);
+        self.frames_received.inc();
     }
 
     pub(crate) fn inc_suppressed_control(&self) {
-        self.suppressed_control.fetch_add(1, Ordering::Relaxed);
+        self.suppressed_control.inc();
     }
 
     pub(crate) fn inc_decode_errors(&self) {
-        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+        self.decode_errors.inc();
     }
 
     pub(crate) fn inc_timers_fired(&self) {
-        self.timers_fired.fetch_add(1, Ordering::Relaxed);
+        self.timers_fired.inc();
     }
 
     pub(crate) fn record_latency_ns(&self, ns: u64) {
-        self.latency_ns
-            .lock()
-            .expect("latency histogram poisoned")
-            .record(ns);
+        self.latency_ns.record(ns);
     }
 
     /// Events handed to [`crate::Publisher::publish`].
     #[must_use]
     pub fn published(&self) -> u64 {
-        self.published.load(Ordering::Relaxed)
+        self.published.get()
     }
 
     /// Events accepted exactly-once by subscriber nodes.
     #[must_use]
     pub fn delivered(&self) -> u64 {
-        self.delivered.load(Ordering::Relaxed)
+        self.delivered.get()
     }
 
     /// Frames pushed onto node channels (control broadcasts count once
     /// per shard copy).
     #[must_use]
     pub fn frames_sent(&self) -> u64 {
-        self.frames_sent.load(Ordering::Relaxed)
+        self.frames_sent.get()
     }
 
     /// Total framed bytes sent — every one of them paid serialization.
     #[must_use]
     pub fn bytes_sent(&self) -> u64 {
-        self.bytes_sent.load(Ordering::Relaxed)
+        self.bytes_sent.get()
     }
 
     /// Frames decoded by node threads.
     #[must_use]
     pub fn frames_received(&self) -> u64 {
-        self.frames_received.load(Ordering::Relaxed)
+        self.frames_received.get()
     }
 
     /// Outgoing control messages dropped by follower shards (the leader
     /// speaks for the broker; see the runtime's sharding contract).
     #[must_use]
     pub fn suppressed_control(&self) -> u64 {
-        self.suppressed_control.load(Ordering::Relaxed)
+        self.suppressed_control.get()
     }
 
     /// Frames that failed framing or payload decoding and were dropped.
     #[must_use]
     pub fn decode_errors(&self) -> u64 {
-        self.decode_errors.load(Ordering::Relaxed)
+        self.decode_errors.get()
     }
 
     /// Node timers that fired.
     #[must_use]
     pub fn timers_fired(&self) -> u64 {
-        self.timers_fired.load(Ordering::Relaxed)
+        self.timers_fired.get()
     }
 
-    /// Snapshot of the end-to-end delivery latency distribution
-    /// (publish stamp → subscriber accept), in nanoseconds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a recording thread panicked while holding the histogram
-    /// lock (the runtime treats that as fatal).
+    /// Merged snapshot of the end-to-end delivery latency distribution
+    /// (publish stamp → subscriber accept), in nanoseconds. With trace
+    /// sampling on, covers the sampled deliveries only.
     #[must_use]
     pub fn latency_histogram(&self) -> Histogram {
-        self.latency_ns
-            .lock()
-            .expect("latency histogram poisoned")
-            .clone()
+        self.latency_ns.merged()
     }
 }

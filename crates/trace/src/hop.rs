@@ -129,7 +129,13 @@ pub struct HopRecord {
     pub from_id: u64,
     /// The node's stage (0 = subscriber runtime).
     pub stage: usize,
-    /// Virtual time at which the event arrived at this node.
+    /// Matcher-shard provenance: which replica of the node observed the
+    /// event. Always 0 in the simulator (one replica per broker); the
+    /// sharded wall-clock runtime records the shard thread that matched
+    /// the event's class.
+    pub shard: u32,
+    /// Virtual time at which the event arrived at this node (wall-clock
+    /// nanoseconds since runtime start under the real-thread runtime).
     pub arrival: SimTime,
     /// Ticks since the previous hop forwarded this copy (includes link
     /// latency, fault-injection jitter, and any retransmission delay).
@@ -394,6 +400,7 @@ mod tests {
             node_id,
             from_id,
             stage,
+            shard: 0,
             arrival: SimTime::from_ticks(arrival),
             hop_latency: 1,
             verdict,

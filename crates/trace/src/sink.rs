@@ -216,6 +216,7 @@ mod tests {
                 node_id: 1,
                 from_id: EXTERNAL_SOURCE,
                 stage: 1,
+                shard: 0,
                 arrival: SimTime::from_ticks(seq + 1),
                 hop_latency: 1,
                 verdict: HopVerdict::Forwarded { dests: 1 },
@@ -228,6 +229,7 @@ mod tests {
                 node_id: 2,
                 from_id: 1,
                 stage: 0,
+                shard: 0,
                 arrival: SimTime::from_ticks(seq + 3),
                 hop_latency: 2,
                 verdict: if deliver {
@@ -327,6 +329,7 @@ mod tests {
                 node_id: 0,
                 from_id: 0,
                 stage: 0,
+                shard: 0,
                 arrival: SimTime::ZERO,
                 hop_latency: 0,
                 verdict: HopVerdict::NoMatch,

@@ -70,6 +70,18 @@ impl Value {
     }
 }
 
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Deserialization failure.
 #[derive(Debug, Clone)]
 pub struct DeError(pub String);

@@ -7,7 +7,8 @@
 
 use std::fmt;
 
-use serde::{de::DeserializeOwned, Serialize, Value};
+pub use serde::Value;
+use serde::{de::DeserializeOwned, Serialize};
 
 /// Serialization / deserialization failure.
 #[derive(Debug, Clone)]
