@@ -121,6 +121,15 @@ impl Gauge {
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Raises the value to `v` unless it is already higher — a monotone
+    /// `set` for gauges that track an increasing series under racing
+    /// writers (e.g. liveness heartbeats written by overlapping thread
+    /// generations after a supervised restart: a late write from the
+    /// replaced generation can never move the gauge backwards).
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// The current value.
     #[must_use]
     pub fn get(&self) -> i64 {

@@ -990,6 +990,23 @@ impl Broker {
         let dest = dest_of(req.subscriber);
         let created = self.table_insert(weakened, dest);
         self.leases.insert(dest, ctx.now() + self.ttl * 3);
+        // Propagate upward *before* acknowledging: the ack is what
+        // releases a blocked `add_subscriber` caller, so the weakened
+        // filter must already be enqueued at the parent when the caller
+        // wakes — otherwise an immediate publish can overtake the
+        // req-Insert into the parent's inbox and miss this subscription.
+        if created {
+            if let Some(parent) = self.parent {
+                let up = self.weaken(&req.filter, self.stage + 1);
+                ctx.send(
+                    parent,
+                    OverlayMsg::ReqInsert {
+                        filter: up,
+                        child: ctx.me(),
+                    },
+                );
+            }
+        }
         ctx.send(
             req.subscriber,
             OverlayMsg::AcceptedAt {
@@ -1022,18 +1039,6 @@ impl Broker {
                 self.durable_sent.insert((dest.0, class.0), acked);
                 self.durable_replay_hwm.insert((dest.0, class.0), tail);
                 self.durable_catch_up(dest, class, ctx);
-            }
-        }
-        if created {
-            if let Some(parent) = self.parent {
-                let up = self.weaken(&req.filter, self.stage + 1);
-                ctx.send(
-                    parent,
-                    OverlayMsg::ReqInsert {
-                        filter: up,
-                        child: ctx.me(),
-                    },
-                );
             }
         }
     }
@@ -1170,6 +1175,27 @@ impl Broker {
         }
         dests.clear();
         self.scratch = dests;
+    }
+
+    /// Re-opens every durable stream the broker's recovered log holds
+    /// consumer offsets for — the restart-reattach seam drivers use
+    /// after rebuilding this broker's volatile state over an existing
+    /// log directory (e.g. the runtime supervisor replacing a crashed
+    /// matcher shard in place). Each consumer's streams restart with a
+    /// `DurableBase` at the persisted acknowledged offset, so subscriber
+    /// contiguity cursors rebase before any fresh deliveries flow; the
+    /// re-sent unacknowledged suffix is replay the `(class, seq)` dedup
+    /// absorbs. Consumers are visited in deterministic id order. A no-op
+    /// on volatile brokers.
+    pub fn reopen_durable_streams(&mut self, ctx: &mut dyn NodeCtx) {
+        let mut dests = match self.wal.as_ref() {
+            Some(wal) => wal.consumer_dests(),
+            None => return,
+        };
+        dests.sort_unstable_by_key(|d| d.0);
+        for dest in dests {
+            self.replay_to(actor_of(dest), ctx);
+        }
     }
 
     /// Restarts every durable stream a consumer holds offsets for (used

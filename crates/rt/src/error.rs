@@ -27,6 +27,14 @@ pub enum RtError {
         /// What went wrong (parse failure, bind error, ...).
         reason: String,
     },
+    /// A node thread exited unrecovered (panic with no restart, or a
+    /// spent restart budget); the message carries the node, shard and
+    /// panic payload. Produced by `RtReport::into_result` — the
+    /// structured replacement for the panicking `shutdown()` of earlier
+    /// revisions.
+    NodePanic(String),
+    /// The OS refused to spawn a runtime thread.
+    Thread(std::io::Error),
 }
 
 impl std::fmt::Display for RtError {
@@ -45,6 +53,8 @@ impl std::fmt::Display for RtError {
                  port 0 binds an ephemeral port reported by \
                  Runtime::metrics_addr)"
             ),
+            RtError::NodePanic(detail) => write!(f, "node thread exited unrecovered: {detail}"),
+            RtError::Thread(e) => write!(f, "cannot spawn runtime thread: {e}"),
         }
     }
 }
@@ -55,6 +65,7 @@ impl std::error::Error for RtError {
             RtError::Overlay(e) => Some(e),
             RtError::Filter(e) => Some(e),
             RtError::Storage(e) => Some(e),
+            RtError::Thread(e) => Some(e),
             _ => None,
         }
     }

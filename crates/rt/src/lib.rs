@@ -37,6 +37,23 @@
 //! → egress send, plus WAL append/fsync on durable runs); with the knob
 //! at 0 the hot path pays one relaxed load and a branch per frame.
 //!
+//! # Self-healing
+//!
+//! Every node thread runs under a supervision wrapper: a panicking
+//! broker shard is restarted in place by the `lc-supervisor` thread —
+//! state machine rebuilt deterministically, durable log recovered from
+//! [`RtConfig::durable_dir`], `DurableBase` re-emitted so durable
+//! subscribers rebase and lose nothing, inbox backlog requeued — under
+//! a bounded, exponentially backed-off restart budget
+//! ([`SupervisionConfig`]). Stalled shards are fenced and replaced when
+//! [`SupervisionConfig::stall_timeout`] is set. Crashes never panic
+//! [`Runtime::shutdown`]; they surface as [`CrashEntry`] values in
+//! [`RtReport::crashes`], and volatile loss lands in the
+//! `rt.frames_dropped` ledger instead of disappearing. [`RtFaultPlan`]
+//! injects seeded wall-clock faults (panic-at-nth-frame, stalls, link
+//! drops) for chaos testing; experiment E20 (`exp_selfheal`) measures
+//! MTTR and durable-loss behavior under it.
+//!
 //! See `DESIGN.md` ("Runtime", "Runtime observability") for the
 //! threading model, the leader/follower sharding contract, the shutdown
 //! protocol, and the sim-vs-rt parity argument. The `exp_throughput`
@@ -76,13 +93,17 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fault;
 mod metrics_http;
 mod runtime;
 mod snapshot;
 mod stats;
+mod supervisor;
 pub mod wire;
 
 pub use error::RtError;
+pub use fault::RtFaultPlan;
 pub use runtime::{Publisher, RtConfig, RtReport, RtSubscriberHandle, Runtime};
 pub use snapshot::RtSnapshot;
 pub use stats::RtStats;
+pub use supervisor::{CrashEntry, CrashKind, SupervisionConfig};

@@ -1,16 +1,20 @@
 //! A minimal Prometheus text-exposition endpoint on `std::net`.
 //!
-//! One background thread accepts connections on a non-blocking
-//! `TcpListener` and answers every request with the current merged
-//! registry snapshot rendered by
-//! [`layercake_metrics::prometheus_text`]. Deliberately tiny: no HTTP
-//! parsing beyond draining the request head, no keep-alive, no TLS —
-//! enough for `curl` and a Prometheus scrape job, with zero cost on the
-//! event hot path (the snapshot merge happens on the scraper's clock,
-//! not the publisher's).
+//! One background thread blocks in `accept` on a `TcpListener` and
+//! answers every request with the current merged registry snapshot
+//! rendered by [`layercake_metrics::prometheus_text`]. Deliberately
+//! tiny: no HTTP parsing beyond draining the request head, no
+//! keep-alive, no TLS — enough for `curl` and a Prometheus scrape job,
+//! with zero cost on the event hot path (the snapshot merge happens on
+//! the scraper's clock, not the publisher's).
+//!
+//! Shutdown wakes the blocked accept with a self-connection: `Drop`
+//! sets the stop flag, connects once to the bound port, and joins the
+//! thread. Earlier revisions polled a non-blocking accept every 10ms
+//! instead — this version idles at zero CPU and exits promptly.
 
 use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -20,8 +24,9 @@ use layercake_metrics::{prometheus_text, TelemetryRegistry};
 
 use crate::error::RtError;
 
-/// How long the accept loop sleeps when no connection is pending.
-const ACCEPT_IDLE: Duration = Duration::from_millis(10);
+/// Backoff after a failed `accept` so a persistent error (fd
+/// exhaustion, ...) cannot spin the serving thread hot.
+const ACCEPT_ERR_BACKOFF: Duration = Duration::from_millis(10);
 
 /// Metric-name prefix for every exported series (`layercake_rt_...`).
 const PROM_PREFIX: &str = "layercake";
@@ -44,12 +49,6 @@ impl MetricsServer {
             addr: addr.to_string(),
             reason: format!("bind failed: {e}"),
         })?;
-        listener
-            .set_nonblocking(true)
-            .map_err(|e| RtError::Metrics {
-                addr: addr.to_string(),
-                reason: format!("cannot set non-blocking accept: {e}"),
-            })?;
         let bound = listener.local_addr().map_err(|e| RtError::Metrics {
             addr: addr.to_string(),
             reason: format!("cannot resolve bound address: {e}"),
@@ -60,7 +59,10 @@ impl MetricsServer {
             std::thread::Builder::new()
                 .name("lc-metrics".to_string())
                 .spawn(move || serve(&listener, &registry, &stop))
-                .expect("spawn metrics thread")
+                .map_err(|e| RtError::Metrics {
+                    addr: addr.to_string(),
+                    reason: format!("cannot spawn serving thread: {e}"),
+                })?
         };
         Ok(Self {
             addr: bound,
@@ -74,29 +76,55 @@ impl MetricsServer {
     pub(crate) fn addr(&self) -> SocketAddr {
         self.addr
     }
+
+    /// The address `Drop` dials to wake the blocked accept: the bound
+    /// address itself, with an unspecified IP (`0.0.0.0` / `::`)
+    /// rewritten to the matching loopback.
+    fn wake_addr(&self) -> SocketAddr {
+        let ip = match self.addr.ip() {
+            IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            ip => ip,
+        };
+        SocketAddr::new(ip, self.addr.port())
+    }
 }
 
 impl Drop for MetricsServer {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Release);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        // One throwaway connection unblocks the accept; the thread sees
+        // the stop flag and exits. If the dial fails the thread stays
+        // parked in accept — detach it rather than hang the shutdown.
+        match TcpStream::connect_timeout(&self.wake_addr(), Duration::from_secs(1)) {
+            Ok(_) => {
+                let _ = handle.join();
+            }
+            Err(_) => drop(handle),
         }
     }
 }
 
 fn serve(listener: &TcpListener, registry: &TelemetryRegistry, stop: &AtomicBool) {
-    while !stop.load(Ordering::Acquire) {
+    loop {
         match listener.accept() {
             Ok((stream, _)) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
                 // Scrape errors are the scraper's problem; the runtime
                 // must not care whether anyone is watching.
                 let _ = answer(stream, registry);
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_IDLE);
+            Err(_) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(ACCEPT_ERR_BACKOFF);
             }
-            Err(_) => std::thread::sleep(ACCEPT_IDLE),
         }
     }
 }

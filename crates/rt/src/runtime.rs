@@ -24,28 +24,51 @@
 //! setup ([`Runtime::add_subscriber_any`] blocks until the walk
 //! finishes) before any data flows.
 //!
+//! # Supervision
+//!
+//! Every node thread body runs under `catch_unwind`. A panicking or
+//! stalled broker shard does not abort the process: the thread reports
+//! its exit over a supervision channel (carrying the in-flight frame and
+//! its drained inbox receiver), and the supervisor thread restarts the
+//! shard in place — rebuilding the deterministic node state machine,
+//! replaying the captured control prefix mutedly so the filter table and
+//! RNG stream converge, recovering the shard's durable log slice from
+//! [`RtConfig::durable_dir`] and re-emitting `DurableBase` so durable
+//! subscribers rebase their contiguity cursors, and swapping the shard's
+//! inbox sender inside the shared router so peers never hold a dead
+//! channel. Restarts run under a bounded budget with exponential
+//! backoff; a shard that exhausts it is routed to a dead end and every
+//! subsequently dropped data frame is counted in `rt.frames_dropped`
+//! (see [`crate::SupervisionConfig`] and `DESIGN.md`'s runtime fault
+//! model). Subscriber panics are isolated and reported in
+//! [`RtReport::crashes`], not restarted: their node state died with the
+//! thread and durable re-subscription is the caller's recovery path.
+//!
 //! # Shutdown protocol
 //!
-//! [`Runtime::shutdown`] poisons and joins stage by stage from the root
-//! down: each thread receiving the poison pill drains everything still
-//! queued in its inbox, then exits. Since a stage is joined before the
-//! next one down is poisoned, every data frame forwarded downward is
-//! already enqueued at its destination when that destination drains —
-//! published events are never lost at shutdown. Subscribers drain last.
+//! [`Runtime::shutdown`] stops the supervisor (force-completing pending
+//! restarts), then poisons and joins stage by stage from the root down:
+//! each thread receiving the poison pill drains everything still queued
+//! in its inbox, then exits. Since a stage is joined before the next one
+//! down is poisoned, every data frame forwarded downward is already
+//! enqueued at its destination when that destination drains — published
+//! events are never lost at shutdown. Subscribers drain last.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+use std::io;
 use std::net::SocketAddr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use layercake_event::{Advertisement, Envelope, FrameDecoder, TraceContext, TraceId, TypeRegistry};
-use layercake_filter::Filter;
-use layercake_metrics::{DurabilityStats, HistogramSample, PipelineStage, StageProfiler};
+use layercake_filter::{Filter, FilterId};
+use layercake_metrics::{DurabilityStats, Gauge, HistogramSample, PipelineStage, StageProfiler};
 use layercake_overlay::topology::{self, TopologyNode};
 use layercake_overlay::wal::{FileStorage, LogConfig};
 use layercake_overlay::{Broker, Node, NodeCtx, OverlayConfig, OverlayMsg, SubscriberNode};
@@ -53,9 +76,14 @@ use layercake_sim::{ActorId, SimDuration, SimTime};
 use layercake_trace::TraceSink;
 
 use crate::error::RtError;
+use crate::fault::{FaultAction, FaultState, RtFaultPlan};
 use crate::metrics_http::MetricsServer;
 use crate::snapshot::RtSnapshot;
 use crate::stats::RtStats;
+use crate::supervisor::{
+    panic_message, CrashEntry, CrashKind, DownKind, Notice, ShardOutcome, ShardSlot, Slots,
+    SubOutcome, SupervisionConfig, Supervisor, SupervisorShared,
+};
 use crate::wire;
 
 /// The external-publisher sentinel: same value the simulator uses for
@@ -91,7 +119,9 @@ pub struct RtConfig {
     /// `overlay.durability_enabled` is set. Broker `b`'s shard `s` logs
     /// under `<durable_dir>/b<b>/s<s>`; restarting a runtime over the
     /// same directory recovers consumer offsets and replays unacked
-    /// events to re-subscribing durable subscribers.
+    /// events to re-subscribing durable subscribers. The supervisor
+    /// reuses the same layout when it restarts a single crashed shard in
+    /// place.
     pub durable_dir: Option<PathBuf>,
     /// Pipeline stage profiling: every n-th frame a node thread receives
     /// is timed through ingress wait → decode → match → encode → egress
@@ -106,12 +136,21 @@ pub struct RtConfig {
     /// port 0 binds an ephemeral port reported by
     /// [`Runtime::metrics_addr`]). `None` (the default) serves nothing.
     pub metrics_addr: Option<String>,
+    /// Crash-recovery policy: restart budget, backoff, stall detection.
+    /// Supervision is on by default; see [`SupervisionConfig`].
+    pub supervision: SupervisionConfig,
+    /// Seeded wall-clock fault injection (induced shard panics/stalls,
+    /// link drops) for chaos tests and the E20 experiment. `None` (the
+    /// default) injects nothing and keeps the fault hooks to two hash
+    /// probes per frame.
+    pub fault_plan: Option<RtFaultPlan>,
 }
 
 impl RtConfig {
     /// A runtime config over `overlay` with `shards` matcher threads per
-    /// broker, a generous placement timeout, and all observability
-    /// (stage profiling, metrics endpoint) off.
+    /// broker, a generous placement timeout, default supervision, no
+    /// fault injection, and all observability (stage profiling, metrics
+    /// endpoint) off.
     #[must_use]
     pub fn new(overlay: OverlayConfig, shards: usize) -> Self {
         Self {
@@ -121,6 +160,8 @@ impl RtConfig {
             durable_dir: None,
             stage_sample_every: 0,
             metrics_addr: None,
+            supervision: SupervisionConfig::default(),
+            fault_plan: None,
         }
     }
 
@@ -161,21 +202,45 @@ impl RtConfig {
                  false; enable both or neither",
             ));
         }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate()?;
+        }
         Ok(())
     }
 }
 
+/// How a frame sitting in a shard inbox relates to the restart replay,
+/// decided at send time by the router. When the supervisor requeues a
+/// crashed shard's backlog into its replacement, data frames and ack
+/// broadcasts are always kept, while a control frame is kept only if the
+/// rebuilt state machine did *not* already absorb it from the captured
+/// control prefix (its capture sequence is `>=` the replayed length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FrameTag {
+    /// A class-routed data frame; counted in the loss/requeue ledgers.
+    Data,
+    /// A captured control broadcast with its position in the broker's
+    /// control log.
+    Ctrl(u64),
+    /// An `AckUpto` broadcast (or subscriber-bound control): idempotent,
+    /// never captured, always requeued, never counted as data loss.
+    Ack,
+}
+
+/// One framed wire message in flight between node threads.
+pub(crate) struct Frame {
+    pub(crate) bytes: Vec<u8>,
+    /// Nanoseconds since runtime start at enqueue time; `0` when the
+    /// stage profiler is off (the receiver then skips the ingress-wait
+    /// stage rather than misreading an unstamped frame).
+    pub(crate) enqueued_ns: u64,
+    pub(crate) tag: FrameTag,
+}
+
 /// What a node thread receives: either one framed wire message or the
 /// shutdown poison pill.
-enum RtEvent {
-    Frame {
-        bytes: Vec<u8>,
-        /// Nanoseconds since runtime start at enqueue time; `0` when the
-        /// stage profiler is off (the receiver then skips the
-        /// ingress-wait stage rather than misreading an unstamped
-        /// frame).
-        enqueued_ns: u64,
-    },
+pub(crate) enum RtEvent {
+    Frame(Frame),
     Shutdown,
 }
 
@@ -187,42 +252,94 @@ enum Route {
 /// The routing table: node id → channel(s). Subscribers register after
 /// broker threads are already running, hence the lock; sends take a read
 /// lock, which is uncontended in steady state.
+///
+/// The router is also the supervisor's re-wiring seam: a crashed shard's
+/// sender is swapped under the write lock (park → live replacement, or a
+/// dead end once the restart budget is spent), so peers holding the
+/// router never see a closed channel — their sends either reach the
+/// replacement's backlog or fail soft into the loss ledger.
 #[derive(Clone)]
-struct Router {
+pub(crate) struct Router {
     routes: Arc<RwLock<Vec<Option<Route>>>>,
-    epoch: Instant,
+    /// Captured control broadcasts per broker id (framed bytes, in send
+    /// order), excluding the high-rate idempotent `AckUpto`. Replayed
+    /// mutedly into a rebuilt shard so its filter table and placement
+    /// RNG stream converge with the surviving replicas. Growth is
+    /// bounded by setup traffic (advertisements + placement walks), not
+    /// by data volume.
+    ctrl: Arc<Vec<Mutex<Vec<Vec<u8>>>>>,
+    pub(crate) epoch: Instant,
     profiler: Arc<StageProfiler>,
+    pub(crate) fault: Arc<FaultState>,
+    /// Set once teardown begins: send failures stop counting as frame
+    /// loss (closed channels are the shutdown protocol, not a fault).
+    teardown: Arc<AtomicBool>,
 }
 
 impl Router {
-    fn new(capacity: usize, epoch: Instant, profiler: Arc<StageProfiler>) -> Self {
+    fn new(
+        capacity: usize,
+        epoch: Instant,
+        profiler: Arc<StageProfiler>,
+        fault: Arc<FaultState>,
+    ) -> Self {
         let mut routes = Vec::with_capacity(capacity);
         routes.resize_with(capacity, || None);
+        let mut ctrl = Vec::with_capacity(capacity);
+        ctrl.resize_with(capacity, || Mutex::new(Vec::new()));
         Self {
             routes: Arc::new(RwLock::new(routes)),
+            ctrl: Arc::new(ctrl),
             epoch,
             profiler,
+            fault,
+            teardown: Arc::new(AtomicBool::new(false)),
         }
     }
 
+    /// Lock poisoning cannot corrupt the table (writers only swap whole
+    /// `Sender` slots), and the supervisor must keep routing around a
+    /// panicked peer — so every lock acquisition survives poison.
+    fn read_routes(&self) -> RwLockReadGuard<'_, Vec<Option<Route>>> {
+        self.routes.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_routes(&self) -> RwLockWriteGuard<'_, Vec<Option<Route>>> {
+        self.routes.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn set(&self, id: ActorId, route: Route) {
-        let mut routes = self.routes.write().expect("router poisoned");
+        let mut routes = self.write_routes();
         if routes.len() <= id.0 {
             routes.resize_with(id.0 + 1, || None);
         }
         routes[id.0] = Some(route);
     }
 
+    /// A send hitting a closed channel: the receiving thread is dead (or
+    /// deliberately dead-ended after give-up). Data frames count in the
+    /// loss ledger unless the runtime is tearing down.
+    fn note_send_failure(&self, stats: &RtStats, data: bool) {
+        if data && !self.teardown.load(Ordering::Relaxed) {
+            stats.inc_frames_dropped();
+        }
+    }
+
+    pub(crate) fn begin_teardown(&self) {
+        self.teardown.store(true, Ordering::Relaxed);
+    }
+
     /// Serializes `msg` and delivers it: data frames go to the class
     /// shard, control frames are broadcast to every shard. Sends to
-    /// already-exited nodes are dropped silently (shutdown tail traffic).
+    /// already-exited nodes fail soft (counted for data, silent for
+    /// control/teardown).
     ///
     /// When `sampled`, the encode and the routed send are timed into the
     /// `Encode` / `EgressSend` pipeline stages. Independently of the
     /// sample, frames are stamped with an enqueue timestamp whenever the
     /// profiler is enabled at all, so the *receiver's* sampler can
     /// measure ingress wait on frames whose send was not itself sampled.
-    fn dispatch(
+    pub(crate) fn dispatch(
         &self,
         from: ActorId,
         to: ActorId,
@@ -230,6 +347,14 @@ impl Router {
         stats: &RtStats,
         sampled: bool,
     ) {
+        if msg.is_data() && self.fault.should_drop(from.0, to.0) {
+            // An injected link drop: unlike a panic (whose in-flight
+            // frames the supervisor requeues), this frame is really
+            // gone, so it lands in both ledgers.
+            stats.inc_faults_injected();
+            stats.inc_frames_dropped();
+            return;
+        }
         let encode_timer = sampled.then(Instant::now);
         let bytes = wire::encode(from, msg);
         if let Some(t0) = encode_timer {
@@ -241,27 +366,65 @@ impl Router {
             0
         };
         let send_timer = sampled.then(Instant::now);
-        let routes = self.routes.read().expect("router poisoned");
+        let routes = self.read_routes();
         let Some(Some(route)) = routes.get(to.0) else {
             return;
         };
         match route {
             Route::Subscriber { tx } => {
                 stats.note_frame_sent(bytes.len());
-                let _ = tx.send(RtEvent::Frame { bytes, enqueued_ns });
+                let tag = if msg.is_data() {
+                    FrameTag::Data
+                } else {
+                    FrameTag::Ack
+                };
+                if tx
+                    .send(RtEvent::Frame(Frame {
+                        bytes,
+                        enqueued_ns,
+                        tag,
+                    }))
+                    .is_err()
+                {
+                    self.note_send_failure(stats, tag == FrameTag::Data);
+                }
             }
             Route::Broker { shards } => {
                 if let Some(class) = data_class(msg) {
                     let shard = shard_of(class, shards.len());
                     stats.note_frame_sent(bytes.len());
-                    let _ = shards[shard].send(RtEvent::Frame { bytes, enqueued_ns });
+                    if shards[shard]
+                        .send(RtEvent::Frame(Frame {
+                            bytes,
+                            enqueued_ns,
+                            tag: FrameTag::Data,
+                        }))
+                        .is_err()
+                    {
+                        self.note_send_failure(stats, true);
+                    }
                 } else {
+                    let tag = if matches!(msg, OverlayMsg::AckUpto { .. }) {
+                        FrameTag::Ack
+                    } else {
+                        let mut log = self.ctrl[to.0]
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        log.push(bytes.clone());
+                        FrameTag::Ctrl(log.len() as u64 - 1)
+                    };
                     for tx in shards {
                         stats.note_frame_sent(bytes.len());
-                        let _ = tx.send(RtEvent::Frame {
-                            bytes: bytes.clone(),
-                            enqueued_ns,
-                        });
+                        if tx
+                            .send(RtEvent::Frame(Frame {
+                                bytes: bytes.clone(),
+                                enqueued_ns,
+                                tag,
+                            }))
+                            .is_err()
+                        {
+                            self.note_send_failure(stats, false);
+                        }
                     }
                 }
             }
@@ -270,6 +433,172 @@ impl Router {
             self.profiler
                 .record(PipelineStage::EgressSend, elapsed_ns(t0));
         }
+    }
+
+    /// The captured control prefix of broker `b`, for muted replay into
+    /// a rebuilt shard.
+    pub(crate) fn ctrl_prefix(&self, b: usize) -> Vec<Vec<u8>> {
+        self.ctrl[b]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Swaps broker `b` shard `shard`'s inbox sender for a fresh *park*
+    /// channel and returns its receiver: frames sent during the restart
+    /// window buffer there instead of vanishing into the dead channel.
+    /// Dropping the old sender under the write lock also closes the dead
+    /// channel, so the crashed thread's receiver drains completely.
+    pub(crate) fn park_shard(&self, b: usize, shard: usize) -> Receiver<RtEvent> {
+        let (tx, rx) = channel();
+        let mut routes = self.write_routes();
+        if let Some(Some(Route::Broker { shards })) = routes.get_mut(b) {
+            shards[shard] = tx;
+        }
+        rx
+    }
+
+    /// Whether `frame` should be requeued into a rebuilt shard that
+    /// already replayed `replayed` captured control broadcasts.
+    fn keep_frame(frame: &Frame, replayed: u64) -> bool {
+        match frame.tag {
+            FrameTag::Data | FrameTag::Ack => true,
+            FrameTag::Ctrl(seq) => seq >= replayed,
+        }
+    }
+
+    /// Installs a fresh live channel for broker `b` shard `shard`,
+    /// requeuing the crashed generation's backlog — `stranded` (the dead
+    /// inbox's drained frames, in order) then everything parked during
+    /// the restart — filtered against the rebuilt state machine's
+    /// control replay. Runs under the write lock so no new frame can
+    /// overtake the requeued backlog. Returns the new receiver and the
+    /// number of data frames requeued.
+    pub(crate) fn install_shard(
+        &self,
+        b: usize,
+        shard: usize,
+        stranded: Vec<Frame>,
+        park_rx: &Receiver<RtEvent>,
+        replayed: u64,
+    ) -> (Receiver<RtEvent>, u64) {
+        let (tx, rx) = channel();
+        let mut requeued = 0u64;
+        let mut routes = self.write_routes();
+        for frame in stranded {
+            if Self::keep_frame(&frame, replayed) {
+                if frame.tag == FrameTag::Data {
+                    requeued += 1;
+                }
+                let _ = tx.send(RtEvent::Frame(frame));
+            }
+        }
+        while let Ok(ev) = park_rx.try_recv() {
+            match ev {
+                RtEvent::Frame(frame) => {
+                    if Self::keep_frame(&frame, replayed) {
+                        if frame.tag == FrameTag::Data {
+                            requeued += 1;
+                        }
+                        let _ = tx.send(RtEvent::Frame(frame));
+                    }
+                }
+                // A poison pill racing the restart still shuts the
+                // replacement down.
+                RtEvent::Shutdown => {
+                    let _ = tx.send(RtEvent::Shutdown);
+                }
+            }
+        }
+        if let Some(Some(Route::Broker { shards })) = routes.get_mut(b) {
+            shards[shard] = tx;
+        }
+        drop(routes);
+        (rx, requeued)
+    }
+
+    /// Routes broker `b` shard `shard` to a dead end (a sender whose
+    /// receiver is already dropped): the restart budget is spent, and
+    /// from now on every data frame sent to this shard fails soft into
+    /// the loss ledger. Counts and discards the backlog (`stranded` plus
+    /// whatever `extra` still holds); returns the number of data frames
+    /// lost.
+    pub(crate) fn fail_shard(
+        &self,
+        b: usize,
+        shard: usize,
+        stranded: Vec<Frame>,
+        extra: &Receiver<RtEvent>,
+    ) -> u64 {
+        let (tx, _dead_rx) = channel();
+        {
+            let mut routes = self.write_routes();
+            if let Some(Some(Route::Broker { shards })) = routes.get_mut(b) {
+                shards[shard] = tx;
+            }
+        }
+        let mut lost = 0u64;
+        for frame in stranded {
+            if frame.tag == FrameTag::Data {
+                lost += 1;
+            }
+        }
+        while let Ok(ev) = extra.try_recv() {
+            if let RtEvent::Frame(frame) = ev {
+                if frame.tag == FrameTag::Data {
+                    lost += 1;
+                }
+            }
+        }
+        lost
+    }
+
+    /// Salvages a late-exiting zombie's trapped backlog into whatever
+    /// route is *currently* live for broker `b` shard `shard` (a fenced
+    /// thread waking after its replacement already took over, or frames
+    /// from a stale generation). Returns `(data frames requeued, data
+    /// frames lost)`.
+    pub(crate) fn requeue_stranded(
+        &self,
+        b: usize,
+        shard: usize,
+        current: Option<Frame>,
+        rx: &Receiver<RtEvent>,
+        replayed: u64,
+    ) -> (u64, u64) {
+        let routes = self.read_routes();
+        let tx = match routes.get(b) {
+            Some(Some(Route::Broker { shards })) => shards.get(shard).cloned(),
+            _ => None,
+        };
+        drop(routes);
+        let mut requeued = 0u64;
+        let mut lost = 0u64;
+        let mut feed = |frame: Frame| {
+            if !Self::keep_frame(&frame, replayed) {
+                return;
+            }
+            let data = frame.tag == FrameTag::Data;
+            let delivered = tx
+                .as_ref()
+                .is_some_and(|tx| tx.send(RtEvent::Frame(frame)).is_ok());
+            if data {
+                if delivered {
+                    requeued += 1;
+                } else {
+                    lost += 1;
+                }
+            }
+        };
+        if let Some(frame) = current {
+            feed(frame);
+        }
+        while let Ok(ev) = rx.try_recv() {
+            if let RtEvent::Frame(frame) = ev {
+                feed(frame);
+            }
+        }
+        (requeued, lost)
     }
 }
 
@@ -388,7 +717,31 @@ impl NodeCtx for RtCtx<'_> {
     }
 }
 
-fn micros_since(epoch: Instant) -> u64 {
+/// The muted [`NodeCtx`] used while replaying a rebuilt shard's captured
+/// control prefix: the surviving replicas already delivered every
+/// side-effect of these messages (walk replies, placement acks, timer
+/// arms), so the replay must mutate state *silently* — re-sending would
+/// duplicate control traffic the overlay has no dedup for.
+struct MutedCtx {
+    me: ActorId,
+    epoch: Instant,
+}
+
+impl NodeCtx for MutedCtx {
+    fn now(&self) -> SimTime {
+        SimTime::from_ticks(micros_since(self.epoch))
+    }
+
+    fn me(&self) -> ActorId {
+        self.me
+    }
+
+    fn send(&mut self, _to: ActorId, _msg: OverlayMsg) {}
+
+    fn set_timer(&mut self, _delay: SimDuration, _tag: u64) {}
+}
+
+pub(crate) fn micros_since(epoch: Instant) -> u64 {
     u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
@@ -416,8 +769,16 @@ fn snapshot_from(
         suppressed_control: stats.suppressed_control(),
         decode_errors: stats.decode_errors(),
         timers_fired: stats.timers_fired(),
+        panics: stats.panics(),
+        restarts: stats.restarts(),
+        stalls: stats.stalls(),
+        gave_up: stats.gave_up(),
+        frames_dropped: stats.frames_dropped(),
+        frames_requeued: stats.frames_requeued(),
+        faults_injected: stats.faults_injected(),
         traced: trace.map_or(0, TraceSink::traced_count),
         latency_ns: stats.latency_histogram(),
+        restart_ns: stats.restart_histogram(),
         stages: PipelineStage::ALL
             .iter()
             .map(|&s| HistogramSample {
@@ -477,18 +838,37 @@ pub struct RtSubscriberHandle {
     index: usize,
 }
 
+impl RtSubscriberHandle {
+    /// The subscriber's overlay node id — the value an
+    /// [`RtFaultPlan`] targets to inject faults into this subscriber's
+    /// thread (with shard `0`).
+    #[must_use]
+    pub fn node(&self) -> ActorId {
+        self.id
+    }
+}
+
 /// Final state returned by [`Runtime::shutdown`].
 pub struct RtReport {
     /// The runtime's counters and latency distribution.
     pub stats: Arc<RtStats>,
     /// Each subscriber's final node state (deliveries, inbox, labels),
-    /// in the order the subscribers were added.
+    /// in the order the subscribers were added. A subscriber whose
+    /// thread panicked is represented by an empty rebuilt node (its
+    /// volatile state died with the thread) and a [`RtReport::crashes`]
+    /// entry.
     pub subscribers: Vec<SubscriberNode>,
     /// Each broker shard's final state, keyed by `(broker id, shard)`.
+    /// Shards that died unrecovered are absent here and present in
+    /// [`RtReport::crashes`].
     pub brokers: Vec<((ActorId, usize), Broker)>,
     /// The wall-clock trace sink with every sampled event's per-hop
     /// provenance; `None` when `overlay.trace_sample_every` was 0.
     pub trace: Option<Arc<TraceSink>>,
+    /// Every crash the supervision layer observed: recovered shard
+    /// restarts first (in completion order), then unrecovered exits
+    /// found at teardown.
+    pub crashes: Vec<CrashEntry>,
 }
 
 impl RtReport {
@@ -510,17 +890,41 @@ impl RtReport {
         }
         total
     }
+
+    /// The first crash the supervision layer could *not* recover from
+    /// (an unrestarted node panic, a spent restart budget), if any.
+    /// Recovered restarts are normal operation and do not count.
+    #[must_use]
+    pub fn failure(&self) -> Option<&CrashEntry> {
+        self.crashes.iter().find(|c| !c.recovered)
+    }
+
+    /// Converts the report into a `Result`, turning the first
+    /// unrecovered crash into [`RtError::NodePanic`] — for callers that
+    /// treated the old panicking `shutdown()` as their failure signal.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::NodePanic`] when any node exited unrecovered.
+    pub fn into_result(self) -> Result<Self, RtError> {
+        match self.failure() {
+            Some(c) => Err(RtError::NodePanic(format!(
+                "node {} shard {} ({:?}): {}",
+                c.node.0, c.shard, c.kind, c.detail
+            ))),
+            None => Ok(self),
+        }
+    }
 }
 
-struct BrokerThread {
-    id: ActorId,
-    shard: usize,
-    stage: usize,
-    handle: JoinHandle<Broker>,
-}
-
+/// Everything needed to rebuild a subscriber's node shell if its thread
+/// panics: the report must keep one entry per subscriber index.
 struct SubscriberThread {
-    handle: JoinHandle<SubscriberNode>,
+    id: ActorId,
+    label: String,
+    branches: Vec<(FilterId, Filter)>,
+    durable: bool,
+    handle: JoinHandle<SubOutcome>,
 }
 
 /// A running wall-clock overlay: broker shard threads wired per the
@@ -534,7 +938,11 @@ pub struct Runtime {
     stats: Arc<RtStats>,
     root: ActorId,
     broker_count: usize,
-    broker_threads: Vec<BrokerThread>,
+    /// Per-shard supervision bookkeeping, shared with the supervisor.
+    slots: Slots,
+    crashes: Arc<Mutex<Vec<CrashEntry>>>,
+    supervisor: Option<Supervisor>,
+    notice_tx: Sender<Notice>,
     subscriber_threads: Vec<SubscriberThread>,
     next_filter: u64,
     trace: Option<Arc<TraceSink>>,
@@ -544,13 +952,15 @@ pub struct Runtime {
 
 impl Runtime {
     /// Builds the broker hierarchy from the shared topology and spawns
-    /// `shards` matcher threads per broker.
+    /// `shards` matcher threads per broker, plus the supervisor thread
+    /// (unless `cfg.supervision.enabled` is off).
     ///
     /// # Errors
     ///
     /// [`RtError::Overlay`] for invalid overlay configs,
     /// [`RtError::InvalidShards`] / [`RtError::UnsupportedFeature`] for
-    /// runtime-specific constraint violations (see [`RtConfig`]).
+    /// runtime-specific constraint violations (see [`RtConfig`]),
+    /// [`RtError::Thread`] if the OS refuses a thread spawn.
     pub fn start(cfg: RtConfig, registry: Arc<TypeRegistry>) -> Result<Self, RtError> {
         cfg.validate()?;
         let epoch = Instant::now();
@@ -559,6 +969,7 @@ impl Runtime {
         // registry, so one snapshot (and the Prometheus endpoint) covers
         // counters, latency and stages alike.
         let profiler = Arc::new(StageProfiler::new(stats.registry(), cfg.stage_sample_every));
+        let fault = Arc::new(FaultState::new(cfg.fault_plan.clone()));
         // One shared sink across every shard replica: data frames reach
         // exactly one shard, so each sampled event's hops land once, in
         // causal order per hop chain — same invariant as the simulator.
@@ -580,7 +991,7 @@ impl Runtime {
             .expect("validated topology has a root")
             .id;
 
-        let router = Router::new(broker_count, epoch, Arc::clone(&profiler));
+        let router = Router::new(broker_count, epoch, Arc::clone(&profiler), fault);
         let mut inboxes: Vec<Vec<Receiver<RtEvent>>> = Vec::with_capacity(broker_count);
         for b in 0..broker_count {
             let mut txs = Vec::with_capacity(cfg.shards);
@@ -594,7 +1005,9 @@ impl Runtime {
             inboxes.push(rxs);
         }
 
-        let mut broker_threads = Vec::with_capacity(broker_count * cfg.shards);
+        let (notice_tx, notice_rx) = channel();
+        let slots: Slots = Arc::new(Mutex::new(HashMap::new()));
+        let crashes: Arc<Mutex<Vec<CrashEntry>>> = Arc::new(Mutex::new(Vec::new()));
         // Consume replicas back to front so each broker's receiver list
         // (also popped from the back) pairs with the right shard index.
         for shard in (0..cfg.shards).rev() {
@@ -620,35 +1033,61 @@ impl Runtime {
                     );
                 }
                 broker.set_stage_profiler(Arc::clone(&profiler));
-                let router = router.clone();
-                let stats = Arc::clone(&stats);
-                let profiler = Arc::clone(&profiler);
-                let speaks = shard == 0;
-                let shard_slot = (shard, cfg.shards);
-                let handle = std::thread::Builder::new()
-                    .name(format!("lc-broker-{b}.{shard}"))
-                    .spawn(move || {
-                        broker_thread_main(
-                            broker,
-                            ActorId(b),
-                            epoch,
-                            router,
-                            stats,
-                            profiler,
-                            speaks,
-                            shard_slot,
-                            rx,
-                        )
-                    })
-                    .expect("spawn broker thread");
-                broker_threads.push(BrokerThread {
-                    id: ActorId(b),
+                let fence = Arc::new(AtomicBool::new(false));
+                let heartbeat = stats
+                    .registry()
+                    .gauge(&format!("rt.heartbeat_us.b{b}s{shard}"));
+                heartbeat.set_max(heartbeat_now(epoch));
+                let env = ShardEnv {
+                    b,
                     shard,
-                    stage,
-                    handle,
-                });
+                    count: cfg.shards,
+                    generation: 0,
+                    speaks: shard == 0,
+                    epoch,
+                    router: router.clone(),
+                    stats: Arc::clone(&stats),
+                    profiler: Arc::clone(&profiler),
+                    fence: Arc::clone(&fence),
+                    heartbeat: Arc::clone(&heartbeat),
+                    notices: notice_tx.clone(),
+                };
+                let handle = spawn_shard(env, broker, rx).map_err(RtError::Thread)?;
+                slots.lock().unwrap_or_else(PoisonError::into_inner).insert(
+                    (b, shard),
+                    ShardSlot {
+                        stage,
+                        generation: 0,
+                        restarts: 0,
+                        replayed: 0,
+                        fence,
+                        heartbeat,
+                        handle: Some(handle),
+                        failed: false,
+                        restarting: false,
+                    },
+                );
             }
         }
+
+        let supervisor = if cfg.supervision.enabled {
+            let shared = SupervisorShared {
+                cfg: cfg.clone(),
+                registry: Arc::clone(&registry),
+                trace: trace.clone(),
+                router: router.clone(),
+                stats: Arc::clone(&stats),
+                profiler: Arc::clone(&profiler),
+                slots: Arc::clone(&slots),
+                crashes: Arc::clone(&crashes),
+                notice_tx: notice_tx.clone(),
+            };
+            Some(Supervisor::start(shared, notice_rx).map_err(RtError::Thread)?)
+        } else {
+            // Without a supervisor the notice receiver is dropped and
+            // exit notices fail soft; crashes still surface at teardown.
+            None
+        };
 
         Ok(Self {
             cfg,
@@ -658,7 +1097,10 @@ impl Runtime {
             stats,
             root,
             broker_count,
-            broker_threads,
+            slots,
+            crashes,
+            supervisor,
+            notice_tx,
             subscriber_threads: Vec::new(),
             next_filter: 0,
             trace,
@@ -671,6 +1113,17 @@ impl Runtime {
     #[must_use]
     pub fn stats(&self) -> &Arc<RtStats> {
         &self.stats
+    }
+
+    /// The crashes the supervision layer has recorded so far (restart
+    /// completions and give-ups), for mid-run inspection; the full list
+    /// including teardown-time findings is in [`RtReport::crashes`].
+    #[must_use]
+    pub fn crashes(&self) -> Vec<CrashEntry> {
+        self.crashes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// The wall-clock trace sink, when `overlay.trace_sample_every` is
@@ -760,7 +1213,8 @@ impl Runtime {
     /// subscription's class history to its on-disk log and replays
     /// everything past the subscriber's acknowledged offset when the
     /// same subscriber id re-subscribes — including across a runtime
-    /// restarted over the same [`RtConfig::durable_dir`].
+    /// restarted over the same [`RtConfig::durable_dir`], and across a
+    /// supervised in-place shard restart.
     ///
     /// Requires `overlay.durability_enabled` (otherwise the subscription
     /// silently degrades to the volatile path, exactly as in the
@@ -806,7 +1260,7 @@ impl Runtime {
             &self.cfg.overlay,
             &self.registry,
             self.root,
-            label,
+            label.clone(),
             branches.clone(),
             None,
             self.trace.as_ref(),
@@ -817,20 +1271,30 @@ impl Runtime {
         let (tx, rx) = channel();
         self.router.set(id, Route::Subscriber { tx });
         let placed = Arc::new(AtomicBool::new(false));
-        let handle = {
-            let router = self.router.clone();
-            let stats = Arc::clone(&self.stats);
-            let profiler = Arc::clone(&self.profiler);
-            let placed = Arc::clone(&placed);
-            let epoch = self.epoch;
-            std::thread::Builder::new()
-                .name(format!("lc-sub-{index}"))
-                .spawn(move || {
-                    subscriber_thread_main(node, id, epoch, router, stats, profiler, placed, rx)
-                })
-                .expect("spawn subscriber thread")
+        let heartbeat = self
+            .stats
+            .registry()
+            .gauge(&format!("rt.heartbeat_us.sub{index}"));
+        heartbeat.set_max(heartbeat_now(self.epoch));
+        let env = SubEnv {
+            index,
+            id,
+            epoch: self.epoch,
+            router: self.router.clone(),
+            stats: Arc::clone(&self.stats),
+            profiler: Arc::clone(&self.profiler),
+            placed: Arc::clone(&placed),
+            heartbeat,
+            notices: self.notice_tx.clone(),
         };
-        self.subscriber_threads.push(SubscriberThread { handle });
+        let handle = spawn_subscriber(env, node, rx).map_err(RtError::Thread)?;
+        self.subscriber_threads.push(SubscriberThread {
+            id,
+            label,
+            branches: branches.clone(),
+            durable,
+            handle,
+        });
 
         // The subscriber itself initiates the walk, with external
         // provenance for the initial requests — as in the simulator.
@@ -891,18 +1355,19 @@ impl Runtime {
         std::thread::sleep(pause);
     }
 
-    /// Stops the runtime: poisons and joins broker stages from the root
+    /// Stops the runtime: stops the supervisor (force-completing any
+    /// pending restart), poisons and joins broker stages from the root
     /// down (each thread drains its inbox before exiting), then the
     /// subscribers, and returns the final node states plus stats. Each
     /// broker's durable log gets a final flush, so every appended record
     /// and acknowledged offset is on disk when this returns.
     ///
+    /// Node threads that panicked do **not** panic this call: they
+    /// surface as [`RtReport::crashes`] entries (see
+    /// [`RtReport::failure`] / [`RtReport::into_result`]).
+    ///
     /// Callers must stop publishing first; frames injected during
     /// shutdown may be dropped with the closed channels.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a node thread itself panicked.
     #[must_use]
     pub fn shutdown(self) -> RtReport {
         self.teardown(true)
@@ -918,9 +1383,7 @@ impl Runtime {
     /// way: in-process, only a power failure can lose written-but-
     /// unsynced file data.
     ///
-    /// # Panics
-    ///
-    /// Panics if a node thread itself panicked.
+    /// Like [`Runtime::shutdown`], never panics on crashed node threads.
     #[must_use]
     pub fn kill(self) -> RtReport {
         self.teardown(false)
@@ -930,34 +1393,119 @@ impl Runtime {
         // Stop scraping before the metrics become a half-drained mix of
         // live and joined threads.
         drop(self.metrics.take());
-        let mut stages: Vec<usize> = self.broker_threads.iter().map(|t| t.stage).collect();
-        stages.sort_unstable();
-        stages.dedup();
-
-        let mut brokers = Vec::with_capacity(self.broker_threads.len());
-        // Top-down: the root's stage is the highest.
-        for &stage in stages.iter().rev() {
-            let (now, later): (Vec<_>, Vec<_>) = self
-                .broker_threads
-                .drain(..)
-                .partition(|t| t.stage == stage);
-            self.broker_threads = later;
-            for t in &now {
-                self.poison(t.id, t.shard);
-            }
-            for t in now {
-                let broker = t.handle.join().expect("broker thread panicked");
-                brokers.push(((t.id, t.shard), broker));
-            }
+        // Closed channels are expected from here on — stop counting
+        // them as loss.
+        self.router.begin_teardown();
+        // Stop the supervisor first: it force-completes pending restarts
+        // (skipping the remaining backoff) so every shard is either live
+        // or permanently dead-ended before the poison sweep starts.
+        if let Some(mut sup) = self.supervisor.take() {
+            sup.stop_and_join();
         }
 
-        let mut subscribers = Vec::with_capacity(self.subscriber_threads.len());
+        let mut entries: Vec<((usize, usize), ShardSlot)> = {
+            let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+            slots.drain().collect()
+        };
+        // Top-down: the root's stage is the highest; deterministic order
+        // within a stage.
+        entries.sort_by_key(|e| (Reverse(e.1.stage), e.0));
+
+        let mut crashes =
+            std::mem::take(&mut *self.crashes.lock().unwrap_or_else(PoisonError::into_inner));
+        let mut brokers = Vec::with_capacity(entries.len());
+        let mut i = 0;
+        while i < entries.len() {
+            let stage = entries[i].1.stage;
+            let mut j = i;
+            while j < entries.len() && entries[j].1.stage == stage {
+                j += 1;
+            }
+            for e in &entries[i..j] {
+                self.poison(ActorId(e.0 .0), e.0 .1);
+            }
+            for e in &mut entries[i..j] {
+                let ((b, shard), slot) = e;
+                let Some(handle) = slot.handle.take() else {
+                    // Dead-ended after a spent restart budget; its crash
+                    // entry was recorded when the supervisor gave up.
+                    continue;
+                };
+                match handle.join() {
+                    Ok(ShardOutcome::Clean(broker)) => {
+                        brokers.push(((ActorId(*b), *shard), *broker));
+                    }
+                    Ok(ShardOutcome::Panicked(detail)) => {
+                        // A panic after the supervisor stopped: the exit
+                        // notice had nobody to process it.
+                        crashes.push(CrashEntry {
+                            node: ActorId(*b),
+                            shard: *shard,
+                            kind: CrashKind::Panic,
+                            detail,
+                            restarts: slot.restarts,
+                            recovered: false,
+                        });
+                    }
+                    // A fenced zombie this generation never replaced
+                    // (cannot normally happen — fencing always installs
+                    // a successor handle); nothing to report.
+                    Ok(ShardOutcome::Fenced) => {}
+                    Err(payload) => {
+                        crashes.push(CrashEntry {
+                            node: ActorId(*b),
+                            shard: *shard,
+                            kind: CrashKind::Panic,
+                            detail: panic_message(payload.as_ref()),
+                            restarts: slot.restarts,
+                            recovered: false,
+                        });
+                    }
+                }
+            }
+            i = j;
+        }
+
         let subs = std::mem::take(&mut self.subscriber_threads);
-        for i in 0..subs.len() {
-            self.poison(ActorId(self.broker_count + i), 0);
+        for t in &subs {
+            self.poison(t.id, 0);
         }
+        let mut subscribers = Vec::with_capacity(subs.len());
         for t in subs {
-            subscribers.push(t.handle.join().expect("subscriber thread panicked"));
+            let outcome = t.handle.join();
+            match outcome {
+                Ok(SubOutcome::Clean(node)) => subscribers.push(*node),
+                Ok(SubOutcome::Panicked(detail)) => {
+                    // The supervisor usually recorded this from the exit
+                    // notice already; don't double-count.
+                    if !crashes.iter().any(|c| c.node == t.id) {
+                        crashes.push(CrashEntry {
+                            node: t.id,
+                            shard: 0,
+                            kind: CrashKind::Panic,
+                            detail,
+                            restarts: 0,
+                            recovered: false,
+                        });
+                    }
+                    subscribers
+                        .push(self.rebuild_subscriber_shell(&t.label, t.branches, t.durable));
+                }
+                Err(payload) => {
+                    if !crashes.iter().any(|c| c.node == t.id) {
+                        crashes.push(CrashEntry {
+                            node: t.id,
+                            shard: 0,
+                            kind: CrashKind::Panic,
+                            detail: panic_message(payload.as_ref()),
+                            restarts: 0,
+                            recovered: false,
+                        });
+                    }
+                    subscribers
+                        .push(self.rebuild_subscriber_shell(&t.label, t.branches, t.durable));
+                }
+            }
         }
 
         if flush_wals {
@@ -986,11 +1534,35 @@ impl Runtime {
             subscribers,
             brokers,
             trace: self.trace,
+            crashes,
         }
     }
 
+    /// An empty stand-in node for a subscriber whose thread panicked:
+    /// keeps [`RtReport::subscribers`] aligned with subscriber indices
+    /// (its deliveries read empty; the crash entry carries the story).
+    fn rebuild_subscriber_shell(
+        &self,
+        label: &str,
+        branches: Vec<(FilterId, Filter)>,
+        durable: bool,
+    ) -> SubscriberNode {
+        let mut node = topology::build_subscriber(
+            &self.cfg.overlay,
+            &self.registry,
+            self.root,
+            label.to_string(),
+            branches,
+            None,
+            self.trace.as_ref(),
+            durable,
+        );
+        node.set_store_envelopes(true);
+        node
+    }
+
     fn poison(&self, id: ActorId, shard: usize) {
-        let routes = self.router.routes.read().expect("router poisoned");
+        let routes = self.router.read_routes();
         match routes.get(id.0) {
             Some(Some(Route::Broker { shards })) => {
                 let _ = shards[shard].send(RtEvent::Shutdown);
@@ -1003,167 +1575,491 @@ impl Runtime {
     }
 }
 
-/// Runs one broker shard: decode frames, drive the state machine, fire
-/// timers, drain on poison.
-#[allow(clippy::too_many_arguments)]
-fn broker_thread_main(
-    mut broker: Broker,
-    me: ActorId,
-    epoch: Instant,
-    router: Router,
-    stats: Arc<RtStats>,
-    profiler: Arc<StageProfiler>,
-    speaks: bool,
-    shard: (usize, usize),
+/// The current wall-clock microsecond tick as a heartbeat gauge value.
+fn heartbeat_now(epoch: Instant) -> i64 {
+    i64::try_from(micros_since(epoch)).unwrap_or(i64::MAX)
+}
+
+/// Everything a broker shard thread needs besides its state machine and
+/// inbox. Rebuilt (with a bumped generation and fresh fence) for every
+/// supervised restart.
+pub(crate) struct ShardEnv {
+    pub(crate) b: usize,
+    pub(crate) shard: usize,
+    pub(crate) count: usize,
+    /// Restart generation of this thread; stale-generation exit notices
+    /// (a fenced zombie waking late) are salvaged, not restarted again.
+    pub(crate) generation: u64,
+    pub(crate) speaks: bool,
+    pub(crate) epoch: Instant,
+    pub(crate) router: Router,
+    pub(crate) stats: Arc<RtStats>,
+    pub(crate) profiler: Arc<StageProfiler>,
+    /// Set by the supervisor's stall detector: the thread must stop
+    /// touching shared state and exit `Fenced` at the next opportunity.
+    pub(crate) fence: Arc<AtomicBool>,
+    /// Liveness gauge (`rt.heartbeat_us.b<b>s<shard>`), raised to the
+    /// current tick every loop iteration; monotone (`set_max`) so a late
+    /// write from a replaced generation can't rewind it.
+    pub(crate) heartbeat: Arc<Gauge>,
+    pub(crate) notices: Sender<Notice>,
+}
+
+/// How a shard's run loop ended (when it didn't panic).
+enum LoopExit {
+    Clean,
+    Fenced,
+}
+
+fn spawn_shard(
+    env: ShardEnv,
+    broker: Broker,
     rx: Receiver<RtEvent>,
-) -> Broker {
+) -> io::Result<JoinHandle<ShardOutcome>> {
+    std::thread::Builder::new()
+        .name(format!("lc-broker-{}.{}", env.b, env.shard))
+        .spawn(move || shard_thread_main(env, broker, rx))
+}
+
+/// The supervised wrapper around one broker shard's run loop: catches
+/// panics, reports the exit over the supervision channel with the
+/// in-flight frame and the (now drainable) inbox receiver, and hands the
+/// state machine back on a clean exit.
+fn shard_thread_main(env: ShardEnv, mut broker: Broker, rx: Receiver<RtEvent>) -> ShardOutcome {
+    let mut current: Option<Frame> = None;
+    let exit = catch_unwind(AssertUnwindSafe(|| {
+        shard_run_loop(&env, &mut broker, &rx, &mut current)
+    }));
+    match exit {
+        Ok(LoopExit::Clean) => ShardOutcome::Clean(Box::new(broker)),
+        Ok(LoopExit::Fenced) => {
+            let _ = env.notices.send(Notice::ShardDown {
+                b: env.b,
+                shard: env.shard,
+                generation: env.generation,
+                kind: DownKind::Fence,
+                detail: String::new(),
+                current: current.take(),
+                rx,
+            });
+            ShardOutcome::Fenced
+        }
+        Err(payload) => {
+            let detail = panic_message(payload.as_ref());
+            env.stats.inc_panics();
+            let _ = env.notices.send(Notice::ShardDown {
+                b: env.b,
+                shard: env.shard,
+                generation: env.generation,
+                kind: DownKind::Panic,
+                detail: detail.clone(),
+                current: current.take(),
+                rx,
+            });
+            ShardOutcome::Panicked(detail)
+        }
+    }
+}
+
+/// Runs one broker shard: decode frames, drive the state machine, fire
+/// timers, drain on poison. `current` mirrors the frame being processed
+/// so a panic hands it back to the supervisor for requeueing (a
+/// deterministically poisonous frame then re-crashes the replacement —
+/// bounded by the restart budget, which is the intended behavior for a
+/// poison-pill input).
+fn shard_run_loop(
+    env: &ShardEnv,
+    broker: &mut Broker,
+    rx: &Receiver<RtEvent>,
+    current: &mut Option<Frame>,
+) -> LoopExit {
+    let me = ActorId(env.b);
+    let shard = Some((env.shard, env.count));
     let mut timers: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
     let mut decoder = FrameDecoder::new();
     let mut frame_counter = 0u64;
+    let mut received = 0u64;
     loop {
-        let timeout = next_wakeup(&timers, epoch);
+        env.heartbeat.set_max(heartbeat_now(env.epoch));
+        if env.fence.load(Ordering::Relaxed) {
+            return LoopExit::Fenced;
+        }
+        let timeout = next_wakeup(&timers, env.epoch);
         match rx.recv_timeout(timeout) {
-            Ok(RtEvent::Frame { bytes, enqueued_ns }) => {
-                feed_node(
-                    &mut broker,
-                    &mut decoder,
-                    &bytes,
-                    enqueued_ns,
-                    profiler.tick(&mut frame_counter),
-                    me,
-                    epoch,
-                    &router,
-                    &stats,
-                    &profiler,
-                    speaks,
-                    Some(shard),
-                    &mut timers,
-                );
-            }
-            Ok(RtEvent::Shutdown) => {
-                while let Ok(RtEvent::Frame { bytes, enqueued_ns }) = rx.try_recv() {
+            Ok(RtEvent::Frame(frame)) => {
+                received += 1;
+                let sampled = env.profiler.tick(&mut frame_counter);
+                *current = Some(frame);
+                match env.router.fault.frame_action(env.b, env.shard, received) {
+                    FaultAction::Pass => {}
+                    FaultAction::Panic => {
+                        env.stats.inc_faults_injected();
+                        panic!(
+                            "injected fault: broker {} shard {} panics at frame {received}",
+                            env.b, env.shard
+                        );
+                    }
+                    FaultAction::Stall(dur) => {
+                        env.stats.inc_faults_injected();
+                        std::thread::sleep(dur);
+                        if env.fence.load(Ordering::Relaxed) {
+                            return LoopExit::Fenced;
+                        }
+                    }
+                }
+                if let Some(f) = current.as_ref() {
                     feed_node(
-                        &mut broker,
+                        broker,
                         &mut decoder,
-                        &bytes,
-                        enqueued_ns,
-                        profiler.tick(&mut frame_counter),
+                        &f.bytes,
+                        f.enqueued_ns,
+                        sampled,
                         me,
-                        epoch,
-                        &router,
-                        &stats,
-                        &profiler,
-                        speaks,
-                        Some(shard),
+                        env.epoch,
+                        &env.router,
+                        &env.stats,
+                        &env.profiler,
+                        env.speaks,
+                        shard,
                         &mut timers,
                     );
                 }
-                break;
+                *current = None;
+            }
+            Ok(RtEvent::Shutdown) => {
+                while let Ok(ev) = rx.try_recv() {
+                    if let RtEvent::Frame(f) = ev {
+                        *current = Some(f);
+                        if let Some(f) = current.as_ref() {
+                            feed_node(
+                                broker,
+                                &mut decoder,
+                                &f.bytes,
+                                f.enqueued_ns,
+                                env.profiler.tick(&mut frame_counter),
+                                me,
+                                env.epoch,
+                                &env.router,
+                                &env.stats,
+                                &env.profiler,
+                                env.speaks,
+                                shard,
+                                &mut timers,
+                            );
+                        }
+                        *current = None;
+                    }
+                }
+                return LoopExit::Clean;
             }
             Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Disconnected) => return LoopExit::Clean,
         }
         fire_due_timers(
-            &mut broker,
+            broker,
             &mut timers,
             me,
-            epoch,
-            &router,
-            &stats,
-            &profiler,
-            speaks,
-            Some(shard),
+            env.epoch,
+            &env.router,
+            &env.stats,
+            &env.profiler,
+            env.speaks,
+            shard,
         );
     }
-    broker
 }
 
-/// Runs one subscriber: like a broker shard, plus placement signalling
-/// and per-delivery latency accounting.
-#[allow(clippy::too_many_arguments)]
-fn subscriber_thread_main(
-    mut node: SubscriberNode,
-    me: ActorId,
+/// Everything a subscriber thread needs besides its node and inbox.
+struct SubEnv {
+    index: usize,
+    id: ActorId,
     epoch: Instant,
     router: Router,
     stats: Arc<RtStats>,
     profiler: Arc<StageProfiler>,
     placed: Arc<AtomicBool>,
+    heartbeat: Arc<Gauge>,
+    notices: Sender<Notice>,
+}
+
+fn spawn_subscriber(
+    env: SubEnv,
+    node: SubscriberNode,
     rx: Receiver<RtEvent>,
-) -> SubscriberNode {
+) -> io::Result<JoinHandle<SubOutcome>> {
+    std::thread::Builder::new()
+        .name(format!("lc-sub-{}", env.index))
+        .spawn(move || subscriber_thread_main(env, node, rx))
+}
+
+/// The supervised wrapper around one subscriber's run loop. Subscriber
+/// panics are isolated and reported, not restarted: the node's volatile
+/// delivery state died with the thread, and re-subscription (durable for
+/// zero loss) is the caller-level recovery path.
+fn subscriber_thread_main(
+    env: SubEnv,
+    mut node: SubscriberNode,
+    rx: Receiver<RtEvent>,
+) -> SubOutcome {
+    let exit = catch_unwind(AssertUnwindSafe(|| sub_run_loop(&env, &mut node, &rx)));
+    match exit {
+        Ok(()) => SubOutcome::Clean(Box::new(node)),
+        Err(payload) => {
+            let detail = panic_message(payload.as_ref());
+            env.stats.inc_panics();
+            let _ = env.notices.send(Notice::SubscriberDown {
+                id: env.id,
+                detail: detail.clone(),
+            });
+            SubOutcome::Panicked(detail)
+        }
+    }
+}
+
+/// Runs one subscriber: like a broker shard, plus placement signalling
+/// and per-delivery latency accounting. Fault plans target a subscriber
+/// through its node id with shard 0 ([`RtSubscriberHandle::node`]).
+fn sub_run_loop(env: &SubEnv, node: &mut SubscriberNode, rx: &Receiver<RtEvent>) {
     let mut timers: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
     let mut decoder = FrameDecoder::new();
     let mut frame_counter = 0u64;
+    let mut received = 0u64;
     let after = |node: &mut SubscriberNode, stats: &RtStats| {
-        if !placed.load(Ordering::Relaxed) && node.fully_placed() {
-            placed.store(true, Ordering::Release);
+        if !env.placed.load(Ordering::Relaxed) && node.fully_placed() {
+            env.placed.store(true, Ordering::Release);
         }
-        for env in node.take_inbox() {
-            if let Some(tc) = env.trace() {
-                stats.record_latency_ns(nanos_since(epoch).saturating_sub(tc.published_at));
+        for env_msg in node.take_inbox() {
+            if let Some(tc) = env_msg.trace() {
+                stats.record_latency_ns(nanos_since(env.epoch).saturating_sub(tc.published_at));
             }
             stats.inc_delivered();
         }
     };
     loop {
-        let timeout = next_wakeup(&timers, epoch);
+        env.heartbeat.set_max(heartbeat_now(env.epoch));
+        let timeout = next_wakeup(&timers, env.epoch);
         match rx.recv_timeout(timeout) {
-            Ok(RtEvent::Frame { bytes, enqueued_ns }) => {
+            Ok(RtEvent::Frame(frame)) => {
+                received += 1;
+                match env.router.fault.frame_action(env.id.0, 0, received) {
+                    FaultAction::Pass => {}
+                    FaultAction::Panic => {
+                        env.stats.inc_faults_injected();
+                        panic!(
+                            "injected fault: subscriber {} panics at frame {received}",
+                            env.id.0
+                        );
+                    }
+                    FaultAction::Stall(dur) => {
+                        env.stats.inc_faults_injected();
+                        std::thread::sleep(dur);
+                    }
+                }
                 feed_node(
-                    &mut node,
+                    node,
                     &mut decoder,
-                    &bytes,
-                    enqueued_ns,
-                    profiler.tick(&mut frame_counter),
-                    me,
-                    epoch,
-                    &router,
-                    &stats,
-                    &profiler,
+                    &frame.bytes,
+                    frame.enqueued_ns,
+                    env.profiler.tick(&mut frame_counter),
+                    env.id,
+                    env.epoch,
+                    &env.router,
+                    &env.stats,
+                    &env.profiler,
                     true,
                     None,
                     &mut timers,
                 );
-                after(&mut node, &stats);
+                after(node, &env.stats);
             }
             Ok(RtEvent::Shutdown) => {
-                while let Ok(RtEvent::Frame { bytes, enqueued_ns }) = rx.try_recv() {
+                while let Ok(RtEvent::Frame(frame)) = rx.try_recv() {
                     feed_node(
-                        &mut node,
+                        node,
                         &mut decoder,
-                        &bytes,
-                        enqueued_ns,
-                        profiler.tick(&mut frame_counter),
-                        me,
-                        epoch,
-                        &router,
-                        &stats,
-                        &profiler,
+                        &frame.bytes,
+                        frame.enqueued_ns,
+                        env.profiler.tick(&mut frame_counter),
+                        env.id,
+                        env.epoch,
+                        &env.router,
+                        &env.stats,
+                        &env.profiler,
                         true,
                         None,
                         &mut timers,
                     );
-                    after(&mut node, &stats);
+                    after(node, &env.stats);
                 }
-                break;
+                return;
             }
             Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Disconnected) => return,
         }
         fire_due_timers(
-            &mut node,
+            node,
             &mut timers,
-            me,
-            epoch,
-            &router,
-            &stats,
-            &profiler,
+            env.id,
+            env.epoch,
+            &env.router,
+            &env.stats,
+            &env.profiler,
             true,
             None,
         );
-        after(&mut node, &stats);
+        after(node, &env.stats);
     }
-    node
+}
+
+/// Rebuilds broker `b`'s shard `shard` state machine from scratch:
+/// deterministic topology construction (seeded `cfg.seed ^ node_index`,
+/// so the RNG stream matches the crashed instance's), durable-log
+/// recovery over the same per-shard directory, then a *muted* replay of
+/// the broker's captured control prefix so the filter table, placement
+/// decisions and RNG position converge with the surviving replicas.
+/// Returns the broker and the replayed prefix length (the requeue
+/// filter's cutoff).
+fn rebuild_broker(
+    shared: &SupervisorShared,
+    b: usize,
+    shard: usize,
+) -> Result<(Broker, u64), String> {
+    let cfg = &shared.cfg;
+    let mut nodes = topology::build_brokers(&cfg.overlay, &shared.registry, shared.trace.as_ref())
+        .map_err(|e| format!("topology rebuild failed: {e}"))?;
+    if b >= nodes.len() {
+        return Err(format!("broker {b} not in rebuilt topology"));
+    }
+    // Nodes are indexed by id, so this takes exactly broker `b`.
+    let node = nodes.swap_remove(b);
+    let mut broker = node.broker;
+    if let Some(dir) = &cfg.durable_dir {
+        let storage = FileStorage::open(dir.join(format!("b{b}")).join(format!("s{shard}")))
+            .map_err(|e| format!("durable log reopen failed: {e}"))?;
+        broker.enable_durability(
+            Box::new(storage),
+            LogConfig {
+                segment_bytes: cfg.overlay.wal_segment_bytes,
+                flush_every: cfg.overlay.wal_flush_every,
+            },
+        );
+    }
+    broker.set_stage_profiler(Arc::clone(&shared.profiler));
+    let prefix = shared.router.ctrl_prefix(b);
+    let replayed = prefix.len() as u64;
+    let mut decoder = FrameDecoder::new();
+    let mut ctx = MutedCtx {
+        me: ActorId(b),
+        epoch: shared.router.epoch,
+    };
+    for bytes in prefix {
+        decoder.push(&bytes);
+        while let Ok(Some(payload)) = decoder.next_frame() {
+            if let Ok((from, msg)) = wire::decode(&payload) {
+                broker.on_message(from, msg, &mut ctx);
+            }
+        }
+    }
+    Ok((broker, replayed))
+}
+
+/// Replaces a crashed (or fenced) broker shard in place: rebuild the
+/// state machine ([`rebuild_broker`]), re-open its durable streams so
+/// durable subscribers receive a fresh `DurableBase` (rebasing their
+/// contiguity cursors) plus any unacked replay, requeue the crashed
+/// generation's surviving backlog into a fresh inbox, and spawn the
+/// replacement thread under a bumped generation.
+///
+/// On success returns the number of data frames requeued. On failure the
+/// shard has already been routed to a dead end and the error carries the
+/// number of data frames lost with it; the caller marks the slot failed.
+pub(crate) fn perform_restart(
+    shared: &SupervisorShared,
+    b: usize,
+    shard: usize,
+    stranded: Vec<Frame>,
+    park_rx: &Receiver<RtEvent>,
+) -> Result<u64, (String, u64)> {
+    let (mut broker, replayed) = match rebuild_broker(shared, b, shard) {
+        Ok(x) => x,
+        Err(e) => {
+            let lost = shared.router.fail_shard(b, shard, stranded, park_rx);
+            return Err((e, lost));
+        }
+    };
+    {
+        // Re-open durable streams *before* the new inbox goes live:
+        // mpsc linearizes sends, so every subscriber sees its rebased
+        // `DurableBase` ahead of anything the replacement delivers.
+        let mut timers: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut ctx = RtCtx {
+            me: ActorId(b),
+            epoch: shared.router.epoch,
+            router: &shared.router,
+            stats: &shared.stats,
+            timers: &mut timers,
+            speaks: shard == 0,
+            shard: Some((shard, shared.cfg.shards)),
+            profiler: &shared.profiler,
+            sampled: false,
+            nested_ns: 0,
+        };
+        broker.reopen_durable_streams(&mut ctx);
+    }
+    let (generation, fence, heartbeat) = {
+        let slots = shared.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(slot) = slots.get(&(b, shard)) else {
+            let lost = shared.router.fail_shard(b, shard, stranded, park_rx);
+            return Err(("supervision slot vanished".to_string(), lost));
+        };
+        (
+            slot.generation + 1,
+            Arc::new(AtomicBool::new(false)),
+            Arc::clone(&slot.heartbeat),
+        )
+    };
+    heartbeat.set_max(heartbeat_now(shared.router.epoch));
+    let (live_rx, requeued) = shared
+        .router
+        .install_shard(b, shard, stranded, park_rx, replayed);
+    let env = ShardEnv {
+        b,
+        shard,
+        count: shared.cfg.shards,
+        generation,
+        speaks: shard == 0,
+        epoch: shared.router.epoch,
+        router: shared.router.clone(),
+        stats: Arc::clone(&shared.stats),
+        profiler: Arc::clone(&shared.profiler),
+        fence: Arc::clone(&fence),
+        heartbeat,
+        notices: shared.notice_tx.clone(),
+    };
+    match spawn_shard(env, broker, live_rx) {
+        Ok(handle) => {
+            let mut slots = shared.slots.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(slot) = slots.get_mut(&(b, shard)) {
+                slot.generation = generation;
+                slot.restarts += 1;
+                slot.replayed = replayed;
+                slot.fence = fence;
+                // Drop (detach) the dead generation's handle: it already
+                // reported its outcome through the notice channel.
+                slot.handle = Some(handle);
+                slot.restarting = false;
+            }
+            Ok(requeued)
+        }
+        Err(e) => {
+            // The spawn closure consumed the live inbox, taking the
+            // freshly requeued backlog with it — count those frames as
+            // lost alongside dead-ending the route.
+            let (_dead_tx, dead_rx) = channel();
+            let lost = shared.router.fail_shard(b, shard, Vec::new(), &dead_rx) + requeued;
+            Err((format!("replacement thread spawn failed: {e}"), lost))
+        }
+    }
 }
 
 /// Pushes one channel message's bytes through the frame decoder and

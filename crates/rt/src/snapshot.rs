@@ -38,11 +38,30 @@ pub struct RtSnapshot {
     pub decode_errors: u64,
     /// Node timers that fired.
     pub timers_fired: u64,
+    /// Node-thread panics caught by the supervision wrappers.
+    pub panics: u64,
+    /// Supervised shard restarts completed.
+    pub restarts: u64,
+    /// Shards fenced by the stall detector.
+    pub stalls: u64,
+    /// Shards permanently dead-ended (restart budget spent or restart
+    /// failed).
+    pub gave_up: u64,
+    /// The volatile loss ledger: data frames dropped by injected link
+    /// faults, dead-ended routes, or unsalvageable crash backlogs.
+    pub frames_dropped: u64,
+    /// Data frames salvaged from crashed inboxes into replacements.
+    pub frames_requeued: u64,
+    /// Faults the configured `RtFaultPlan` actually injected.
+    pub faults_injected: u64,
     /// Events the trace sink sampled (0 when tracing is off).
     pub traced: u64,
     /// End-to-end delivery latency (publish stamp → subscriber accept),
     /// nanoseconds. Sampled deliveries only when tracing is on.
     pub latency_ns: Histogram,
+    /// Supervised restart durations (crash noticed → replacement live,
+    /// backoff included), nanoseconds — the runtime's MTTR distribution.
+    pub restart_ns: Histogram,
     /// Per-stage pipeline timings in pipeline order, named by
     /// [`layercake_metrics::PipelineStage::metric_name`].
     pub stages: Vec<HistogramSample>,
@@ -72,6 +91,13 @@ impl std::fmt::Display for RtSnapshot {
             ("suppressed_control", self.suppressed_control),
             ("decode_errors", self.decode_errors),
             ("timers_fired", self.timers_fired),
+            ("panics", self.panics),
+            ("restarts", self.restarts),
+            ("stalls", self.stalls),
+            ("gave_up", self.gave_up),
+            ("frames_dropped", self.frames_dropped),
+            ("frames_requeued", self.frames_requeued),
+            ("faults_injected", self.faults_injected),
             ("traced", self.traced),
         ];
         let rows: Vec<Vec<String>> = counters
@@ -94,6 +120,9 @@ impl std::fmt::Display for RtSnapshot {
         };
         if !self.latency_ns.is_empty() {
             push_hist(&mut hist_rows, "rt.latency_ns", &self.latency_ns);
+        }
+        if !self.restart_ns.is_empty() {
+            push_hist(&mut hist_rows, "rt.restart_ns", &self.restart_ns);
         }
         for s in &self.stages {
             if !s.hist.is_empty() {
@@ -134,8 +163,16 @@ mod tests {
             suppressed_control: 2,
             decode_errors: 0,
             timers_fired: 3,
+            panics: 1,
+            restarts: 1,
+            stalls: 0,
+            gave_up: 0,
+            frames_dropped: 2,
+            frames_requeued: 4,
+            faults_injected: 1,
             traced: 5,
             latency_ns: latency,
+            restart_ns: Histogram::new(),
             stages: vec![
                 HistogramSample {
                     name: "stage.decode_ns".into(),

@@ -41,7 +41,15 @@ pub struct RtStats {
     suppressed_control: Arc<ShardedCounter>,
     decode_errors: Arc<ShardedCounter>,
     timers_fired: Arc<ShardedCounter>,
+    panics: Arc<ShardedCounter>,
+    restarts: Arc<ShardedCounter>,
+    stalls: Arc<ShardedCounter>,
+    gave_up: Arc<ShardedCounter>,
+    frames_dropped: Arc<ShardedCounter>,
+    frames_requeued: Arc<ShardedCounter>,
+    faults_injected: Arc<ShardedCounter>,
     latency_ns: Arc<ShardedHistogram>,
+    restart_ns: Arc<ShardedHistogram>,
 }
 
 impl Default for RtStats {
@@ -64,7 +72,15 @@ impl RtStats {
             suppressed_control: registry.counter("rt.suppressed_control"),
             decode_errors: registry.counter("rt.decode_errors"),
             timers_fired: registry.counter("rt.timers_fired"),
+            panics: registry.counter("rt.panics"),
+            restarts: registry.counter("rt.restarts"),
+            stalls: registry.counter("rt.stalls"),
+            gave_up: registry.counter("rt.gave_up"),
+            frames_dropped: registry.counter("rt.frames_dropped"),
+            frames_requeued: registry.counter("rt.frames_requeued"),
+            faults_injected: registry.counter("rt.faults_injected"),
             latency_ns: registry.histogram("rt.latency_ns"),
+            restart_ns: registry.histogram("rt.restart_ns"),
             registry,
         }
     }
@@ -108,6 +124,46 @@ impl RtStats {
 
     pub(crate) fn record_latency_ns(&self, ns: u64) {
         self.latency_ns.record(ns);
+    }
+
+    pub(crate) fn inc_panics(&self) {
+        self.panics.inc();
+    }
+
+    pub(crate) fn inc_restarts(&self) {
+        self.restarts.inc();
+    }
+
+    pub(crate) fn inc_stalls(&self) {
+        self.stalls.inc();
+    }
+
+    pub(crate) fn inc_gave_up(&self) {
+        self.gave_up.inc();
+    }
+
+    pub(crate) fn inc_frames_dropped(&self) {
+        self.frames_dropped.inc();
+    }
+
+    pub(crate) fn add_frames_dropped(&self, n: u64) {
+        if n > 0 {
+            self.frames_dropped.add(n);
+        }
+    }
+
+    pub(crate) fn add_frames_requeued(&self, n: u64) {
+        if n > 0 {
+            self.frames_requeued.add(n);
+        }
+    }
+
+    pub(crate) fn inc_faults_injected(&self) {
+        self.faults_injected.inc();
+    }
+
+    pub(crate) fn record_restart_ns(&self, ns: u64) {
+        self.restart_ns.record(ns);
     }
 
     /// Events handed to [`crate::Publisher::publish`].
@@ -160,11 +216,70 @@ impl RtStats {
         self.timers_fired.get()
     }
 
+    /// Node-thread panics caught by the supervision wrappers (broker
+    /// shards and subscribers alike), injected or organic.
+    #[must_use]
+    pub fn panics(&self) -> u64 {
+        self.panics.get()
+    }
+
+    /// Supervised shard restarts completed (state machine rebuilt,
+    /// durable log recovered, route re-wired).
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.restarts.get()
+    }
+
+    /// Shards the supervisor's heartbeat scan fenced for stalling.
+    #[must_use]
+    pub fn stalls(&self) -> u64 {
+        self.stalls.get()
+    }
+
+    /// Shards permanently dead-ended: restart budget spent, or the
+    /// restart itself failed.
+    #[must_use]
+    pub fn gave_up(&self) -> u64 {
+        self.gave_up.get()
+    }
+
+    /// The volatile loss ledger: data frames dropped by injected link
+    /// faults, sends to dead-ended shards, crash backlogs that could not
+    /// be requeued. Durable subscribers recover these through log
+    /// replay; volatile subscribers see exactly this count as potential
+    /// loss — accounted, never silent.
+    #[must_use]
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_dropped.get()
+    }
+
+    /// Data frames salvaged from crashed shard inboxes and requeued into
+    /// the replacement thread.
+    #[must_use]
+    pub fn frames_requeued(&self) -> u64 {
+        self.frames_requeued.get()
+    }
+
+    /// Faults the [`crate::RtFaultPlan`] actually injected (panics,
+    /// stalls, link drops).
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected.get()
+    }
+
     /// Merged snapshot of the end-to-end delivery latency distribution
     /// (publish stamp → subscriber accept), in nanoseconds. With trace
     /// sampling on, covers the sampled deliveries only.
     #[must_use]
     pub fn latency_histogram(&self) -> Histogram {
         self.latency_ns.merged()
+    }
+
+    /// Distribution of supervised restart durations (crash noticed →
+    /// replacement thread live, backoff included), in nanoseconds — the
+    /// runtime's MTTR measurement (experiment E20).
+    #[must_use]
+    pub fn restart_histogram(&self) -> Histogram {
+        self.restart_ns.merged()
     }
 }
