@@ -1,19 +1,30 @@
 //! E17 — wall-clock runtime throughput: events/sec and end-to-end
 //! latency through the multi-threaded broker runtime (`layercake-rt`),
-//! against the matcher shard count.
+//! against the matcher shard count and the wire codec.
 //!
 //! The runtime runs every broker matcher shard and every subscriber as
 //! an OS thread exchanging length-prefixed wire frames, so each hop
 //! pays real serialize/deserialize cost. Events are hashed by class
 //! across the shards of each broker, which is the runtime's scaling
 //! lever: with enough cores, the per-event deserialize + match +
-//! re-serialize cost spreads across shards.
+//! re-serialize cost spreads across shards. Every shard count runs
+//! twice — once with the legacy JSON codec, once with the compact
+//! binary codec — so the JSON-vs-binary delta is measured on the same
+//! workload in the same process.
+//!
+//! Latency is stamped at ingress dequeue: the broker re-bases each
+//! externally published event's trace clock when its ingress shard
+//! dequeues it, and records the time spent waiting in the publish
+//! queue separately (the `queue p50` column). Without the re-stamp,
+//! publish backlog under a saturating open-loop publisher dominates
+//! the "latency" number — the seed's 1-shard p50 of ~268ms was queue
+//! wait, not pipeline time.
 //!
 //! Setup: a single root broker, 8 event classes, one subscriber per
 //! class matching all of that class's events, two publisher threads
 //! splitting the event stream. Every published event is delivered
 //! exactly once; completion is detected by the delivered counter, and
-//! end-to-end latency (publish stamp → subscriber-thread receipt) feeds
+//! end-to-end latency (ingress stamp → subscriber-thread receipt) feeds
 //! the shared log₂ histogram.
 //!
 //! Shape checks (the binary exits non-zero on violation):
@@ -21,13 +32,15 @@
 //!   1. a small correctness run delivers each matching event exactly
 //!      once per subscriber, in publisher order;
 //!   2. every timed run delivers exactly `events` events, with zero
-//!      decode errors, and the latency histogram holds one sample per
-//!      delivery;
-//!   3. **only when this host has ≥ 4 cores**: 4 shards must deliver
-//!      ≥ 2x the events/sec of 1 shard. On smaller hosts (CI smoke
-//!      runs included) the check cannot physically hold — OS threads
-//!      time-slice one core — so it is skipped and the JSON records
-//!      `"scaling_gate_active": false`.
+//!      decode or encode errors, and the latency histogram holds one
+//!      sample per delivery;
+//!   3. at 1 shard, the binary codec moves at most half the wire bytes
+//!      of the JSON codec on the identical workload;
+//!   4. **only when this host has ≥ 4 cores**: 4 shards must deliver
+//!      ≥ 2x the events/sec of 1 shard (binary codec). On smaller
+//!      hosts (CI smoke runs included) the check cannot physically
+//!      hold — OS threads time-slice one core — so it is skipped and
+//!      the JSON records `"scaling_gate_active": false`.
 //!
 //! Run with: `cargo run --release -p layercake-bench --bin
 //! exp_throughput [out_dir] [events]` — `out_dir` (default
@@ -45,11 +58,18 @@ use layercake_event::{
 use layercake_filter::Filter;
 use layercake_metrics::render_table;
 use layercake_overlay::OverlayConfig;
-use layercake_rt::{RtConfig, Runtime};
+use layercake_rt::{RtConfig, Runtime, WireCodec};
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const CLASSES: usize = 8;
 const PUBLISHERS: usize = 2;
+
+fn codec_name(codec: WireCodec) -> &'static str {
+    match codec {
+        WireCodec::Json => "json",
+        WireCodec::Binary => "binary",
+    }
+}
 
 fn registry_with_classes() -> (TypeRegistry, Vec<ClassId>) {
     let mut registry = TypeRegistry::new();
@@ -86,14 +106,15 @@ fn event_stream(classes: &[ClassId], events: usize) -> Vec<Envelope> {
 
 /// Starts the runtime, advertises every class, and subscribes one node
 /// per class (matching the whole class via `region = 0`).
-fn build_runtime(shards: usize) -> (Runtime, Vec<ClassId>) {
+fn build_runtime(shards: usize, codec: WireCodec) -> (Runtime, Vec<ClassId>) {
     let (registry, classes) = registry_with_classes();
     let overlay = OverlayConfig {
         levels: vec![1],
         ..OverlayConfig::default()
     };
-    let mut rt =
-        Runtime::start(RtConfig::new(overlay, shards), Arc::new(registry)).expect("start runtime");
+    let mut cfg = RtConfig::new(overlay, shards);
+    cfg.codec = codec;
+    let mut rt = Runtime::start(cfg, Arc::new(registry)).expect("start runtime");
     for &class in &classes {
         rt.advertise(Advertisement::new(
             class,
@@ -111,6 +132,7 @@ struct RunResult {
     events_per_sec: f64,
     p50_ns: u64,
     p99_ns: u64,
+    queue_wait_p50_ns: u64,
     frames_sent: u64,
     bytes_sent: u64,
 }
@@ -118,8 +140,8 @@ struct RunResult {
 /// One timed run: publish `events` pre-built envelopes from
 /// `PUBLISHERS` threads, wait for every delivery, and read the stats
 /// out of the shutdown report.
-fn timed_run(shards: usize, events: usize) -> RunResult {
-    let (rt, classes) = build_runtime(shards);
+fn timed_run(shards: usize, codec: WireCodec, events: usize) -> RunResult {
+    let (rt, classes) = build_runtime(shards, codec);
     let stream = event_stream(&classes, events);
     let chunk = events.div_ceil(PUBLISHERS);
 
@@ -136,7 +158,8 @@ fn timed_run(shards: usize, events: usize) -> RunResult {
     });
     assert!(
         rt.wait_delivered(events as u64, Duration::from_secs(120)),
-        "run at {shards} shards delivered {} of {events}",
+        "run at {shards} shards ({}) delivered {} of {events}",
+        codec_name(codec),
         rt.stats().delivered()
     );
     let elapsed = start.elapsed();
@@ -144,12 +167,14 @@ fn timed_run(shards: usize, events: usize) -> RunResult {
 
     assert_eq!(report.stats.delivered(), events as u64);
     assert_eq!(report.stats.decode_errors(), 0);
+    assert_eq!(report.stats.encode_errors(), 0);
     let hist = report.stats.latency_histogram();
     assert_eq!(hist.count(), events as u64);
     RunResult {
         events_per_sec: events as f64 / elapsed.as_secs_f64(),
         p50_ns: hist.p50(),
         p99_ns: hist.p99(),
+        queue_wait_p50_ns: report.stats.queue_wait_histogram().p50(),
         frames_sent: report.stats.frames_sent(),
         bytes_sent: report.stats.bytes_sent(),
     }
@@ -157,8 +182,8 @@ fn timed_run(shards: usize, events: usize) -> RunResult {
 
 /// Small correctness run: every matching event arrives exactly once, in
 /// publisher order per class (single publisher, FIFO links).
-fn correctness_run() {
-    let (rt, classes) = build_runtime(2);
+fn correctness_run(codec: WireCodec) {
+    let (rt, classes) = build_runtime(2, codec);
     let stream = event_stream(&classes, 256);
     let publisher = rt.publisher();
     for env in &stream {
@@ -193,40 +218,60 @@ fn main() {
 
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
 
-    eprintln!("E17: correctness run …");
-    correctness_run();
+    eprintln!("E17: correctness runs (both codecs) …");
+    correctness_run(WireCodec::Json);
+    correctness_run(WireCodec::Binary);
 
     eprintln!("E17: {events} events per run, {cores} cores available …");
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
-    let mut eps = Vec::new();
-    for &shards in &SHARD_COUNTS {
-        let r = timed_run(shards, events);
-        eprintln!("  {shards} shards: {:.0} events/sec", r.events_per_sec);
-        rows.push(vec![
-            shards.to_string(),
-            format!("{:.0}", r.events_per_sec),
-            format!("{:.1}", r.p50_ns as f64 / 1000.0),
-            format!("{:.1}", r.p99_ns as f64 / 1000.0),
-            r.frames_sent.to_string(),
-            r.bytes_sent.to_string(),
-        ]);
-        json_rows.push(format!(
-            "    {{\"shards\": {shards}, \"events_per_sec\": {:.1}, \"p50_ns\": {}, \
-             \"p99_ns\": {}, \"frames_sent\": {}, \"bytes_sent\": {}}}",
-            r.events_per_sec, r.p50_ns, r.p99_ns, r.frames_sent, r.bytes_sent
-        ));
-        eps.push(r.events_per_sec);
+    // results[codec_idx][shard_idx]: 0 = json, 1 = binary.
+    let mut results: [Vec<RunResult>; 2] = [Vec::new(), Vec::new()];
+    for (ci, codec) in [WireCodec::Json, WireCodec::Binary].into_iter().enumerate() {
+        for &shards in &SHARD_COUNTS {
+            let r = timed_run(shards, codec, events);
+            eprintln!(
+                "  {} / {shards} shards: {:.0} events/sec, {} wire bytes",
+                codec_name(codec),
+                r.events_per_sec,
+                r.bytes_sent
+            );
+            rows.push(vec![
+                codec_name(codec).to_string(),
+                shards.to_string(),
+                format!("{:.0}", r.events_per_sec),
+                format!("{:.1}", r.p50_ns as f64 / 1000.0),
+                format!("{:.1}", r.p99_ns as f64 / 1000.0),
+                format!("{:.1}", r.queue_wait_p50_ns as f64 / 1000.0),
+                r.frames_sent.to_string(),
+                r.bytes_sent.to_string(),
+            ]);
+            json_rows.push(format!(
+                "    {{\"codec\": \"{}\", \"shards\": {shards}, \"events_per_sec\": {:.1}, \
+                 \"p50_ns\": {}, \"p99_ns\": {}, \"queue_wait_p50_ns\": {}, \
+                 \"frames_sent\": {}, \"bytes_sent\": {}}}",
+                codec_name(codec),
+                r.events_per_sec,
+                r.p50_ns,
+                r.p99_ns,
+                r.queue_wait_p50_ns,
+                r.frames_sent,
+                r.bytes_sent
+            ));
+            results[ci].push(r);
+        }
     }
     println!("runtime throughput, {events} events per run ({cores} cores):\n");
     println!(
         "{}",
         render_table(
             &[
+                "codec",
                 "shards",
                 "events/sec",
                 "p50 us",
                 "p99 us",
+                "queue p50 us",
                 "frames",
                 "bytes"
             ],
@@ -236,8 +281,21 @@ fn main() {
     println!(
         "reading guide: every hop serializes, frames, deframes, and\n\
          deserializes each event, so events/sec measures the full wire\n\
-         cost. Shard scaling needs real cores: on a single-CPU host the\n\
-         shard threads time-slice and extra shards only add routing work.\n"
+         cost and the codec rows isolate the serde delta on an identical\n\
+         workload. p50/p99 are pipeline time from ingress dequeue; the\n\
+         queue column is how long events sat in the publish queue first\n\
+         (an open-loop publisher artifact, reported separately on\n\
+         purpose). Shard scaling needs real cores: on a single-CPU host\n\
+         the shard threads time-slice and extra shards only add routing\n\
+         work.\n"
+    );
+
+    let (json_1, bin_1) = (&results[0][0], &results[1][0]);
+    let speedup_1shard = bin_1.events_per_sec / json_1.events_per_sec;
+    let bytes_ratio_1shard = bin_1.bytes_sent as f64 / json_1.bytes_sent as f64;
+    println!(
+        "binary vs json at 1 shard: {speedup_1shard:.2}x events/sec, \
+         {bytes_ratio_1shard:.3}x wire bytes\n"
     );
 
     // ---- machine-readable output --------------------------------------
@@ -245,8 +303,14 @@ fn main() {
     let json = format!(
         "{{\n  \"experiment\": \"E17\",\n  \"events_per_run\": {events},\n  \
          \"cores\": {cores},\n  \"scaling_gate_active\": {gate_active},\n  \
-         \"runs\": [\n{}\n  ]\n}}\n",
-        json_rows.join(",\n")
+         \"runs\": [\n{}\n  ],\n  \"comparison\": {{\n    \
+         \"json_1shard_events_per_sec\": {:.1},\n    \
+         \"binary_1shard_events_per_sec\": {:.1},\n    \
+         \"speedup_1shard\": {speedup_1shard:.3},\n    \
+         \"bytes_ratio_1shard\": {bytes_ratio_1shard:.4}\n  }}\n}}\n",
+        json_rows.join(",\n"),
+        json_1.events_per_sec,
+        bin_1.events_per_sec
     );
     std::fs::create_dir_all(out_dir).expect("create out_dir");
     let path = format!("{out_dir}/BENCH_throughput.json");
@@ -254,14 +318,23 @@ fn main() {
     println!("wrote {path}");
 
     // ---- shape checks -------------------------------------------------
-    for (&shards, &e) in SHARD_COUNTS.iter().zip(&eps) {
-        assert!(
-            e > 0.0 && e.is_finite(),
-            "events/sec at {shards} shards must be positive"
-        );
+    for (ci, per_codec) in results.iter().enumerate() {
+        for (&shards, r) in SHARD_COUNTS.iter().zip(per_codec) {
+            assert!(
+                r.events_per_sec > 0.0 && r.events_per_sec.is_finite(),
+                "events/sec at {shards} shards (codec {ci}) must be positive"
+            );
+        }
     }
+    assert!(
+        bytes_ratio_1shard <= 0.5,
+        "binary codec must move at most half the JSON wire bytes \
+         (json: {} bytes, binary: {} bytes, ratio {bytes_ratio_1shard:.3})",
+        json_1.bytes_sent,
+        bin_1.bytes_sent
+    );
     if gate_active {
-        let (one, four) = (eps[0], eps[2]);
+        let (one, four) = (results[1][0].events_per_sec, results[1][2].events_per_sec);
         assert!(
             four >= one * 2.0,
             "with {cores} cores, 4 shards must be >= 2x the 1-shard rate \

@@ -61,6 +61,7 @@ pub mod __private {
 }
 
 mod class;
+mod codec;
 mod data;
 mod envelope;
 mod error;
@@ -75,6 +76,10 @@ mod value;
 
 pub use bytes::Bytes;
 pub use class::{AttributeDecl, ClassId, EventClass};
+pub use codec::{
+    encode_dict_update, write_bytes, write_str, write_varint, write_zigzag, BinCodec, CodecError,
+    DecodeDict, DictMode, EncodeDict, WireReader, HELLO_MAGIC, KIND_DICT, KIND_HELLO, KIND_MSG,
+};
 pub use data::EventData;
 pub use envelope::{Envelope, EventSeq};
 pub use error::EventError;

@@ -427,6 +427,238 @@ impl Deserialize for OverlayMsg {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Binary wire encoding
+// ---------------------------------------------------------------------------
+//
+// The compact form: a single tag byte per variant, varints for every
+// integer, attribute/class names through the per-connection dictionary.
+// `ActorId` travels as a varint `u64`, so the external-sender sentinel
+// `ActorId(usize::MAX)` survives the trip exactly as it does in JSON.
+
+use layercake_event::{write_varint, BinCodec, CodecError, DecodeDict, EncodeDict, WireReader};
+
+fn write_actor(out: &mut Vec<u8>, a: ActorId) {
+    write_varint(out, a.0 as u64);
+}
+
+fn read_actor(r: &mut WireReader<'_>) -> Result<ActorId, CodecError> {
+    let raw = r.varint()?;
+    usize::try_from(raw)
+        .map(ActorId)
+        .map_err(|_| CodecError::Invalid("actor id exceeds usize"))
+}
+
+impl BinCodec for SubscriptionReq {
+    fn encode_bin(&self, out: &mut Vec<u8>, dict: &mut EncodeDict) {
+        self.id.encode_bin(out, dict);
+        self.filter.encode_bin(out, dict);
+        write_actor(out, self.subscriber);
+        out.push(u8::from(self.durable));
+    }
+
+    fn decode_bin(r: &mut WireReader<'_>, dict: &DecodeDict) -> Result<Self, CodecError> {
+        let id = FilterId::decode_bin(r, dict)?;
+        let filter = Filter::decode_bin(r, dict)?;
+        let subscriber = read_actor(r)?;
+        let durable = match r.u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(CodecError::Tag(t)),
+        };
+        Ok(SubscriptionReq {
+            id,
+            filter,
+            subscriber,
+            durable,
+        })
+    }
+}
+
+// Variant tag bytes. Stable wire constants: append, never renumber.
+const T_ADVERTISE: u8 = 0;
+const T_SUBSCRIBE: u8 = 1;
+const T_JOIN_AT: u8 = 2;
+const T_ACCEPTED_AT: u8 = 3;
+const T_REQ_INSERT: u8 = 4;
+const T_PUBLISH: u8 = 5;
+const T_DELIVER: u8 = 6;
+const T_RENEW: u8 = 7;
+const T_UNSUBSCRIBE: u8 = 8;
+const T_REQ_REMOVE: u8 = 9;
+const T_DETACH: u8 = 10;
+const T_ATTACH: u8 = 11;
+const T_SEQUENCED: u8 = 12;
+const T_NACK: u8 = 13;
+const T_ADVANCE: u8 = 14;
+const T_RENEW_ACK: u8 = 15;
+const T_REJOIN: u8 = 16;
+const T_REANNOUNCE: u8 = 17;
+const T_CREDIT: u8 = 18;
+const T_CREDIT_GRANT: u8 = 19;
+const T_DURABLE: u8 = 20;
+const T_ACK_UPTO: u8 = 21;
+const T_DURABLE_BASE: u8 = 22;
+
+impl BinCodec for OverlayMsg {
+    fn encode_bin(&self, out: &mut Vec<u8>, dict: &mut EncodeDict) {
+        match self {
+            OverlayMsg::Advertise(ad) => {
+                out.push(T_ADVERTISE);
+                ad.encode_bin(out, dict);
+            }
+            OverlayMsg::Subscribe(req) => {
+                out.push(T_SUBSCRIBE);
+                req.encode_bin(out, dict);
+            }
+            OverlayMsg::JoinAt { req, node } => {
+                out.push(T_JOIN_AT);
+                req.encode_bin(out, dict);
+                write_actor(out, *node);
+            }
+            OverlayMsg::AcceptedAt { id, node } => {
+                out.push(T_ACCEPTED_AT);
+                id.encode_bin(out, dict);
+                write_actor(out, *node);
+            }
+            OverlayMsg::ReqInsert { filter, child } => {
+                out.push(T_REQ_INSERT);
+                filter.encode_bin(out, dict);
+                write_actor(out, *child);
+            }
+            OverlayMsg::Publish(env) => {
+                out.push(T_PUBLISH);
+                env.encode_bin(out, dict);
+            }
+            OverlayMsg::Deliver(env) => {
+                out.push(T_DELIVER);
+                env.encode_bin(out, dict);
+            }
+            OverlayMsg::Renew => out.push(T_RENEW),
+            OverlayMsg::Unsubscribe { filter, subscriber } => {
+                out.push(T_UNSUBSCRIBE);
+                filter.encode_bin(out, dict);
+                write_actor(out, *subscriber);
+            }
+            OverlayMsg::ReqRemove { filter, child } => {
+                out.push(T_REQ_REMOVE);
+                filter.encode_bin(out, dict);
+                write_actor(out, *child);
+            }
+            OverlayMsg::Detach { subscriber } => {
+                out.push(T_DETACH);
+                write_actor(out, *subscriber);
+            }
+            OverlayMsg::Attach { subscriber } => {
+                out.push(T_ATTACH);
+                write_actor(out, *subscriber);
+            }
+            OverlayMsg::Sequenced { link_seq, env } => {
+                out.push(T_SEQUENCED);
+                write_varint(out, *link_seq);
+                env.encode_bin(out, dict);
+            }
+            OverlayMsg::Nack { from_seq, to_seq } => {
+                out.push(T_NACK);
+                write_varint(out, *from_seq);
+                write_varint(out, *to_seq);
+            }
+            OverlayMsg::Advance { to } => {
+                out.push(T_ADVANCE);
+                write_varint(out, *to);
+            }
+            OverlayMsg::RenewAck => out.push(T_RENEW_ACK),
+            OverlayMsg::Rejoin => out.push(T_REJOIN),
+            OverlayMsg::Reannounce => out.push(T_REANNOUNCE),
+            OverlayMsg::Credit => out.push(T_CREDIT),
+            OverlayMsg::CreditGrant { consumed_total } => {
+                out.push(T_CREDIT_GRANT);
+                write_varint(out, *consumed_total);
+            }
+            OverlayMsg::Durable { off, env } => {
+                out.push(T_DURABLE);
+                write_varint(out, *off);
+                env.encode_bin(out, dict);
+            }
+            OverlayMsg::AckUpto { class, upto } => {
+                out.push(T_ACK_UPTO);
+                class.encode_bin(out, dict);
+                write_varint(out, *upto);
+            }
+            OverlayMsg::DurableBase { class, base } => {
+                out.push(T_DURABLE_BASE);
+                class.encode_bin(out, dict);
+                write_varint(out, *base);
+            }
+        }
+    }
+
+    fn decode_bin(r: &mut WireReader<'_>, dict: &DecodeDict) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            T_ADVERTISE => OverlayMsg::Advertise(Advertisement::decode_bin(r, dict)?),
+            T_SUBSCRIBE => OverlayMsg::Subscribe(SubscriptionReq::decode_bin(r, dict)?),
+            T_JOIN_AT => OverlayMsg::JoinAt {
+                req: SubscriptionReq::decode_bin(r, dict)?,
+                node: read_actor(r)?,
+            },
+            T_ACCEPTED_AT => OverlayMsg::AcceptedAt {
+                id: FilterId::decode_bin(r, dict)?,
+                node: read_actor(r)?,
+            },
+            T_REQ_INSERT => OverlayMsg::ReqInsert {
+                filter: Filter::decode_bin(r, dict)?,
+                child: read_actor(r)?,
+            },
+            T_PUBLISH => OverlayMsg::Publish(Envelope::decode_bin(r, dict)?),
+            T_DELIVER => OverlayMsg::Deliver(Envelope::decode_bin(r, dict)?),
+            T_RENEW => OverlayMsg::Renew,
+            T_UNSUBSCRIBE => OverlayMsg::Unsubscribe {
+                filter: Filter::decode_bin(r, dict)?,
+                subscriber: read_actor(r)?,
+            },
+            T_REQ_REMOVE => OverlayMsg::ReqRemove {
+                filter: Filter::decode_bin(r, dict)?,
+                child: read_actor(r)?,
+            },
+            T_DETACH => OverlayMsg::Detach {
+                subscriber: read_actor(r)?,
+            },
+            T_ATTACH => OverlayMsg::Attach {
+                subscriber: read_actor(r)?,
+            },
+            T_SEQUENCED => OverlayMsg::Sequenced {
+                link_seq: r.varint()?,
+                env: Envelope::decode_bin(r, dict)?,
+            },
+            T_NACK => OverlayMsg::Nack {
+                from_seq: r.varint()?,
+                to_seq: r.varint()?,
+            },
+            T_ADVANCE => OverlayMsg::Advance { to: r.varint()? },
+            T_RENEW_ACK => OverlayMsg::RenewAck,
+            T_REJOIN => OverlayMsg::Rejoin,
+            T_REANNOUNCE => OverlayMsg::Reannounce,
+            T_CREDIT => OverlayMsg::Credit,
+            T_CREDIT_GRANT => OverlayMsg::CreditGrant {
+                consumed_total: r.varint()?,
+            },
+            T_DURABLE => OverlayMsg::Durable {
+                off: r.varint()?,
+                env: Envelope::decode_bin(r, dict)?,
+            },
+            T_ACK_UPTO => OverlayMsg::AckUpto {
+                class: ClassId::decode_bin(r, dict)?,
+                upto: r.varint()?,
+            },
+            T_DURABLE_BASE => OverlayMsg::DurableBase {
+                class: ClassId::decode_bin(r, dict)?,
+                base: r.varint()?,
+            },
+            t => return Err(CodecError::Tag(t)),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -615,6 +847,87 @@ mod tests {
         let bytes = serde_json::to_vec(&msg).unwrap();
         let back: OverlayMsg = serde_json::from_slice(&bytes).unwrap();
         assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_binary_shared_dict() {
+        use layercake_event::DictMode;
+        let mut enc = EncodeDict::new(DictMode::Shared);
+        let dec = DecodeDict::new(DictMode::Shared);
+        for msg in one_of_each() {
+            let mut buf = Vec::new();
+            msg.encode_bin(&mut buf, &mut enc);
+            let mut r = WireReader::new(&buf);
+            let back = OverlayMsg::decode_bin(&mut r, &dec).unwrap();
+            assert_eq!(msg, back, "binary round trip failed");
+            r.expect_end().unwrap();
+            assert!(!enc.has_pending(), "shared dict never announces");
+        }
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_negotiated_dict() {
+        use layercake_event::DictMode;
+        let mut enc = EncodeDict::new(DictMode::Negotiated);
+        let mut dec = DecodeDict::new(DictMode::Negotiated);
+        for msg in one_of_each() {
+            let mut buf = Vec::new();
+            msg.encode_bin(&mut buf, &mut enc);
+            let pending = enc.take_pending();
+            if !pending.is_empty() {
+                let mut update = Vec::new();
+                layercake_event::encode_dict_update(
+                    &pending.iter().map(|(w, n)| (*w, *n)).collect::<Vec<_>>(),
+                    &mut update,
+                );
+                dec.apply_update(&update[1..]).unwrap();
+            }
+            let mut r = WireReader::new(&buf);
+            let back = OverlayMsg::decode_bin(&mut r, &dec).unwrap();
+            assert_eq!(msg, back, "negotiated round trip failed");
+            r.expect_end().unwrap();
+        }
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json_for_every_variant() {
+        use layercake_event::DictMode;
+        let mut enc = EncodeDict::new(DictMode::Shared);
+        for msg in one_of_each() {
+            let json = serde_json::to_vec(&msg).unwrap();
+            let mut bin = Vec::new();
+            msg.encode_bin(&mut bin, &mut enc);
+            assert!(
+                bin.len() < json.len(),
+                "{msg:?}: binary {} bytes >= json {} bytes",
+                bin.len(),
+                json.len()
+            );
+        }
+    }
+
+    #[test]
+    fn binary_external_sentinel_survives_the_wire() {
+        use layercake_event::DictMode;
+        let msg = OverlayMsg::Detach {
+            subscriber: ActorId(usize::MAX),
+        };
+        let mut enc = EncodeDict::new(DictMode::Shared);
+        let dec = DecodeDict::new(DictMode::Shared);
+        let mut buf = Vec::new();
+        msg.encode_bin(&mut buf, &mut enc);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(OverlayMsg::decode_bin(&mut r, &dec).unwrap(), msg);
+    }
+
+    #[test]
+    fn binary_unknown_variant_tag_is_rejected() {
+        let dec = DecodeDict::new(layercake_event::DictMode::Shared);
+        let mut r = WireReader::new(&[200]);
+        assert_eq!(
+            OverlayMsg::decode_bin(&mut r, &dec),
+            Err(CodecError::Tag(200))
+        );
     }
 
     #[test]

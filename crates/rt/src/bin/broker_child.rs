@@ -1,0 +1,55 @@
+//! A broker process for the cross-process smoke test
+//! (`tests/cross_process.rs`): starts a runtime, serves exactly one
+//! remote client over TCP, and reports what it delivered.
+//!
+//! Protocol with the parent process, over stdout:
+//!
+//! * `PORT <n>` — the ephemeral port the broker is listening on;
+//! * `DONE <delivered>` — printed after the client disconnects and the
+//!   runtime has shut down cleanly.
+//!
+//! The client drives everything else (advertise, subscribe, publish)
+//! through the [`layercake_rt::remote`] protocol. The event class here
+//! must match the parent's declaration field for field — both sides
+//! register it first, so the class ids agree.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use layercake_event::{typed_event, TypeRegistry};
+use layercake_overlay::OverlayConfig;
+use layercake_rt::{remote, RtConfig, Runtime};
+
+typed_event! {
+    pub struct CpTick: "CpTick" {
+        level: i64,
+        tag: String,
+    }
+}
+
+fn main() {
+    let mut registry = TypeRegistry::new();
+    registry
+        .register_event::<CpTick>()
+        .expect("class registers");
+    let overlay = OverlayConfig {
+        levels: vec![2, 1],
+        ..OverlayConfig::default()
+    };
+    let mut rt =
+        Runtime::start(RtConfig::new(overlay, 2), Arc::new(registry)).expect("runtime starts");
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let port = listener.local_addr().expect("local addr").port();
+    println!("PORT {port}");
+    std::io::stdout().flush().expect("flush");
+
+    remote::serve_one(&mut rt, &listener).expect("serve");
+    let report = rt.shutdown();
+    assert!(
+        report.failure().is_none(),
+        "broker child saw an unrecovered crash"
+    );
+    println!("DONE {}", report.stats.delivered());
+}

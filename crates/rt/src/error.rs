@@ -35,6 +35,10 @@ pub enum RtError {
     NodePanic(String),
     /// The OS refused to spawn a runtime thread.
     Thread(std::io::Error),
+    /// A wire-protocol failure on a runtime or remote link: an encode
+    /// that exceeded the frame cap, a handshake that failed, or a socket
+    /// stream that ended mid-frame.
+    Wire(String),
 }
 
 impl std::fmt::Display for RtError {
@@ -55,6 +59,7 @@ impl std::fmt::Display for RtError {
             ),
             RtError::NodePanic(detail) => write!(f, "node thread exited unrecovered: {detail}"),
             RtError::Thread(e) => write!(f, "cannot spawn runtime thread: {e}"),
+            RtError::Wire(detail) => write!(f, "wire protocol failure: {detail}"),
         }
     }
 }

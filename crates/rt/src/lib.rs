@@ -8,9 +8,16 @@
 //! under real concurrency:
 //!
 //! * every broker matcher shard and every subscriber is an OS thread;
-//! * threads exchange length-prefixed byte frames over `std::sync::mpsc`,
-//!   so each hop pays genuine serialize/deserialize cost (the frames are
-//!   the exact wire encoding defined in `layercake-overlay::msg`);
+//! * threads exchange length-prefixed byte frames — over `std::sync::mpsc`
+//!   channels by default, or over real loopback TCP sockets with
+//!   [`TransportKind::Tcp`] — so each hop pays genuine
+//!   serialize/deserialize cost. Frames carry either the compact binary
+//!   codec (the default; varint integers plus an interned attribute
+//!   dictionary) or the legacy self-describing JSON encoding, selected
+//!   per runtime with [`RtConfig::codec`];
+//! * separate *processes* talk to a broker through the [`remote`]
+//!   protocol: a handshake, a per-connection negotiated attribute
+//!   dictionary, then the same framed binary messages over TCP;
 //! * events are hashed by class across `shards` matcher threads per
 //!   broker, scaling the dominant per-event cost (deserialize + match +
 //!   re-serialize) across cores;
@@ -95,10 +102,12 @@
 mod error;
 mod fault;
 mod metrics_http;
+pub mod remote;
 mod runtime;
 mod snapshot;
 mod stats;
 mod supervisor;
+mod transport;
 pub mod wire;
 
 pub use error::RtError;
@@ -107,3 +116,5 @@ pub use runtime::{Publisher, RtConfig, RtReport, RtSubscriberHandle, Runtime};
 pub use snapshot::RtSnapshot;
 pub use stats::RtStats;
 pub use supervisor::{CrashEntry, CrashKind, SupervisionConfig};
+pub use transport::TransportKind;
+pub use wire::{LinkDecoder, WireCodec, WireError};

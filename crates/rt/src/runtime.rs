@@ -66,7 +66,7 @@ use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGua
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use layercake_event::{Advertisement, Envelope, FrameDecoder, TraceContext, TraceId, TypeRegistry};
+use layercake_event::{Advertisement, Envelope, TraceContext, TraceId, TypeRegistry};
 use layercake_filter::{Filter, FilterId};
 use layercake_metrics::{DurabilityStats, Gauge, HistogramSample, PipelineStage, StageProfiler};
 use layercake_overlay::topology::{self, TopologyNode};
@@ -84,11 +84,12 @@ use crate::supervisor::{
     panic_message, CrashEntry, CrashKind, DownKind, Notice, ShardOutcome, ShardSlot, Slots,
     SubOutcome, SupervisionConfig, Supervisor, SupervisorShared,
 };
-use crate::wire;
+use crate::transport::{self, Link, LinkCmd, TransportKind, SHARD_BROADCAST};
+use crate::wire::{self, LinkDecoder, WireCodec};
 
 /// The external-publisher sentinel: same value the simulator uses for
 /// `send_external`, so provenance on the wire matches sim traces.
-const EXTERNAL: ActorId = ActorId(usize::MAX);
+pub(crate) const EXTERNAL: ActorId = ActorId(usize::MAX);
 
 /// How long an idle node thread sleeps in `recv_timeout` before checking
 /// timers again.
@@ -144,6 +145,18 @@ pub struct RtConfig {
     /// default) injects nothing and keeps the fault hooks to two hash
     /// probes per frame.
     pub fault_plan: Option<RtFaultPlan>,
+    /// Which payload encoding every link speaks:
+    /// [`WireCodec::Binary`] (the default — varints, tag bytes,
+    /// dictionary-interned attribute names) or [`WireCodec::Json`] (the
+    /// original format, kept as the measured baseline for E17/E21).
+    pub codec: WireCodec,
+    /// Which link backend carries frames between node threads:
+    /// in-process mpsc channels (the default) or loopback TCP sockets
+    /// with per-link writer/reader threads ([`TransportKind::Tcp`]),
+    /// which makes every hop pay real socket I/O — the in-process
+    /// proving ground for multi-process deployments (see
+    /// [`crate::remote`] for actual cross-process brokers).
+    pub transport: TransportKind,
 }
 
 impl RtConfig {
@@ -162,6 +175,8 @@ impl RtConfig {
             metrics_addr: None,
             supervision: SupervisionConfig::default(),
             fault_plan: None,
+            codec: WireCodec::default(),
+            transport: TransportKind::default(),
         }
     }
 
@@ -245,8 +260,18 @@ pub(crate) enum RtEvent {
 }
 
 enum Route {
-    Broker { shards: Vec<Sender<RtEvent>> },
-    Subscriber { tx: Sender<RtEvent> },
+    Broker {
+        shards: Vec<Sender<RtEvent>>,
+        /// On the TCP transport, the destination's link writer: frames
+        /// are queued here and the link's reader thread forwards them
+        /// into `shards` after a real socket round trip. `None` on the
+        /// mpsc transport.
+        link: Option<Sender<LinkCmd>>,
+    },
+    Subscriber {
+        tx: Sender<RtEvent>,
+        link: Option<Sender<LinkCmd>>,
+    },
 }
 
 /// The routing table: node id → channel(s). Subscribers register after
@@ -269,6 +294,8 @@ pub(crate) struct Router {
     /// by data volume.
     ctrl: Arc<Vec<Mutex<Vec<Vec<u8>>>>>,
     pub(crate) epoch: Instant,
+    /// The payload codec every link speaks ([`RtConfig::codec`]).
+    pub(crate) codec: WireCodec,
     profiler: Arc<StageProfiler>,
     pub(crate) fault: Arc<FaultState>,
     /// Set once teardown begins: send failures stop counting as frame
@@ -280,6 +307,7 @@ impl Router {
     fn new(
         capacity: usize,
         epoch: Instant,
+        codec: WireCodec,
         profiler: Arc<StageProfiler>,
         fault: Arc<FaultState>,
     ) -> Self {
@@ -291,6 +319,7 @@ impl Router {
             routes: Arc::new(RwLock::new(routes)),
             ctrl: Arc::new(ctrl),
             epoch,
+            codec,
             profiler,
             fault,
             teardown: Arc::new(AtomicBool::new(false)),
@@ -356,7 +385,15 @@ impl Router {
             return;
         }
         let encode_timer = sampled.then(Instant::now);
-        let bytes = wire::encode(from, msg);
+        let bytes = match wire::encode_for_dispatch(self.codec, from, msg) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                // A message that cannot fit the frame cap: accounted and
+                // dropped here, never a panic in a node thread.
+                stats.inc_encode_errors();
+                return;
+            }
+        };
         if let Some(t0) = encode_timer {
             self.profiler.record(PipelineStage::Encode, elapsed_ns(t0));
         }
@@ -371,36 +408,58 @@ impl Router {
             return;
         };
         match route {
-            Route::Subscriber { tx } => {
+            Route::Subscriber { tx, link } => {
                 stats.note_frame_sent(bytes.len());
                 let tag = if msg.is_data() {
                     FrameTag::Data
                 } else {
                     FrameTag::Ack
                 };
-                if tx
-                    .send(RtEvent::Frame(Frame {
-                        bytes,
-                        enqueued_ns,
-                        tag,
-                    }))
-                    .is_err()
-                {
-                    self.note_send_failure(stats, tag == FrameTag::Data);
-                }
-            }
-            Route::Broker { shards } => {
-                if let Some(class) = data_class(msg) {
-                    let shard = shard_of(class, shards.len());
-                    stats.note_frame_sent(bytes.len());
-                    if shards[shard]
+                let sent = match link {
+                    // Over TCP the subscriber is a one-shard node; the
+                    // link reader forwards into `tx` on arrival.
+                    Some(link) => link
+                        .send(LinkCmd::Frame {
+                            shard: 0,
+                            tag,
+                            enqueued_ns,
+                            bytes,
+                        })
+                        .is_ok(),
+                    None => tx
                         .send(RtEvent::Frame(Frame {
                             bytes,
                             enqueued_ns,
-                            tag: FrameTag::Data,
+                            tag,
                         }))
-                        .is_err()
-                    {
+                        .is_ok(),
+                };
+                if !sent {
+                    self.note_send_failure(stats, tag == FrameTag::Data);
+                }
+            }
+            Route::Broker { shards, link } => {
+                if let Some(class) = data_class(msg) {
+                    let shard = shard_of(class, shards.len());
+                    stats.note_frame_sent(bytes.len());
+                    let sent = match link {
+                        Some(link) => link
+                            .send(LinkCmd::Frame {
+                                shard: shard as u32,
+                                tag: FrameTag::Data,
+                                enqueued_ns,
+                                bytes,
+                            })
+                            .is_ok(),
+                        None => shards[shard]
+                            .send(RtEvent::Frame(Frame {
+                                bytes,
+                                enqueued_ns,
+                                tag: FrameTag::Data,
+                            }))
+                            .is_ok(),
+                    };
+                    if !sent {
                         self.note_send_failure(stats, true);
                     }
                 } else {
@@ -413,17 +472,41 @@ impl Router {
                         log.push(bytes.clone());
                         FrameTag::Ctrl(log.len() as u64 - 1)
                     };
-                    for tx in shards {
-                        stats.note_frame_sent(bytes.len());
-                        if tx
-                            .send(RtEvent::Frame(Frame {
-                                bytes: bytes.clone(),
-                                enqueued_ns,
-                                tag,
-                            }))
-                            .is_err()
-                        {
-                            self.note_send_failure(stats, false);
+                    match link {
+                        Some(link) => {
+                            // One socket write carries the broadcast; the
+                            // link reader fans it out to every shard, but
+                            // the accounting stays per shard copy so both
+                            // transports report identical frame counts.
+                            for _ in shards {
+                                stats.note_frame_sent(bytes.len());
+                            }
+                            if link
+                                .send(LinkCmd::Frame {
+                                    shard: SHARD_BROADCAST,
+                                    tag,
+                                    enqueued_ns,
+                                    bytes,
+                                })
+                                .is_err()
+                            {
+                                self.note_send_failure(stats, false);
+                            }
+                        }
+                        None => {
+                            for tx in shards {
+                                stats.note_frame_sent(bytes.len());
+                                if tx
+                                    .send(RtEvent::Frame(Frame {
+                                        bytes: bytes.clone(),
+                                        enqueued_ns,
+                                        tag,
+                                    }))
+                                    .is_err()
+                                {
+                                    self.note_send_failure(stats, false);
+                                }
+                            }
                         }
                     }
                 }
@@ -432,6 +515,85 @@ impl Router {
         if let Some(t0) = send_timer {
             self.profiler
                 .record(PipelineStage::EgressSend, elapsed_ns(t0));
+        }
+    }
+
+    /// Delivers one link-arrived frame into node `dest`'s *current* inbox
+    /// sender(s) — called by the TCP link reader thread. Looking the
+    /// route up per message means supervised shard restarts re-wire the
+    /// link exactly as they re-wire in-process senders.
+    pub(crate) fn forward_link_frame(
+        &self,
+        dest: usize,
+        shard: u32,
+        tag: FrameTag,
+        enqueued_ns: u64,
+        payload: &[u8],
+        stats: &RtStats,
+    ) {
+        let routes = self.read_routes();
+        match routes.get(dest) {
+            Some(Some(Route::Subscriber { tx, .. })) => {
+                if tx
+                    .send(RtEvent::Frame(Frame {
+                        bytes: payload.to_vec(),
+                        enqueued_ns,
+                        tag,
+                    }))
+                    .is_err()
+                {
+                    self.note_send_failure(stats, tag == FrameTag::Data);
+                }
+            }
+            Some(Some(Route::Broker { shards, .. })) => {
+                if shard == SHARD_BROADCAST {
+                    for tx in shards {
+                        if tx
+                            .send(RtEvent::Frame(Frame {
+                                bytes: payload.to_vec(),
+                                enqueued_ns,
+                                tag,
+                            }))
+                            .is_err()
+                        {
+                            self.note_send_failure(stats, false);
+                        }
+                    }
+                } else if let Some(tx) = shards.get(shard as usize) {
+                    if tx
+                        .send(RtEvent::Frame(Frame {
+                            bytes: payload.to_vec(),
+                            enqueued_ns,
+                            tag,
+                        }))
+                        .is_err()
+                    {
+                        self.note_send_failure(stats, tag == FrameTag::Data);
+                    }
+                }
+            }
+            _ => self.note_send_failure(stats, tag == FrameTag::Data),
+        }
+    }
+
+    /// Delivers a link-arrived shutdown pill into node `dest`'s inbox
+    /// sender(s).
+    pub(crate) fn forward_link_shutdown(&self, dest: usize, shard: u32) {
+        let routes = self.read_routes();
+        match routes.get(dest) {
+            Some(Some(Route::Subscriber { tx, .. })) => {
+                let _ = tx.send(RtEvent::Shutdown);
+            }
+            Some(Some(Route::Broker { shards, .. })) => {
+                if shard == SHARD_BROADCAST {
+                    for tx in shards {
+                        let _ = tx.send(RtEvent::Shutdown);
+                    }
+                } else if let Some(tx) = shards.get(shard as usize) {
+                    let _ = tx.send(RtEvent::Shutdown);
+                }
+            }
+            _ => {}
         }
     }
 
@@ -452,7 +614,7 @@ impl Router {
     pub(crate) fn park_shard(&self, b: usize, shard: usize) -> Receiver<RtEvent> {
         let (tx, rx) = channel();
         let mut routes = self.write_routes();
-        if let Some(Some(Route::Broker { shards })) = routes.get_mut(b) {
+        if let Some(Some(Route::Broker { shards, .. })) = routes.get_mut(b) {
             shards[shard] = tx;
         }
         rx
@@ -510,7 +672,7 @@ impl Router {
                 }
             }
         }
-        if let Some(Some(Route::Broker { shards })) = routes.get_mut(b) {
+        if let Some(Some(Route::Broker { shards, .. })) = routes.get_mut(b) {
             shards[shard] = tx;
         }
         drop(routes);
@@ -533,7 +695,7 @@ impl Router {
         let (tx, _dead_rx) = channel();
         {
             let mut routes = self.write_routes();
-            if let Some(Some(Route::Broker { shards })) = routes.get_mut(b) {
+            if let Some(Some(Route::Broker { shards, .. })) = routes.get_mut(b) {
                 shards[shard] = tx;
             }
         }
@@ -568,7 +730,7 @@ impl Router {
     ) -> (u64, u64) {
         let routes = self.read_routes();
         let tx = match routes.get(b) {
-            Some(Some(Route::Broker { shards })) => shards.get(shard).cloned(),
+            Some(Some(Route::Broker { shards, .. })) => shards.get(shard).cloned(),
             _ => None,
         };
         drop(routes);
@@ -768,6 +930,7 @@ fn snapshot_from(
         frames_received: stats.frames_received(),
         suppressed_control: stats.suppressed_control(),
         decode_errors: stats.decode_errors(),
+        encode_errors: stats.encode_errors(),
         timers_fired: stats.timers_fired(),
         panics: stats.panics(),
         restarts: stats.restarts(),
@@ -778,6 +941,7 @@ fn snapshot_from(
         faults_injected: stats.faults_injected(),
         traced: trace.map_or(0, TraceSink::traced_count),
         latency_ns: stats.latency_histogram(),
+        queue_wait_ns: stats.queue_wait_histogram(),
         restart_ns: stats.restart_histogram(),
         stages: PipelineStage::ALL
             .iter()
@@ -944,6 +1108,10 @@ pub struct Runtime {
     supervisor: Option<Supervisor>,
     notice_tx: Sender<Notice>,
     subscriber_threads: Vec<SubscriberThread>,
+    /// Live TCP links (one per node) when `cfg.transport` is
+    /// [`TransportKind::Tcp`]; empty on the mpsc transport. Closed and
+    /// joined at teardown after every node thread has drained.
+    links: Vec<Link>,
     next_filter: u64,
     trace: Option<Arc<TraceSink>>,
     profiler: Arc<StageProfiler>,
@@ -991,7 +1159,8 @@ impl Runtime {
             .expect("validated topology has a root")
             .id;
 
-        let router = Router::new(broker_count, epoch, Arc::clone(&profiler), fault);
+        let router = Router::new(broker_count, epoch, cfg.codec, Arc::clone(&profiler), fault);
+        let mut links: Vec<Link> = Vec::new();
         let mut inboxes: Vec<Vec<Receiver<RtEvent>>> = Vec::with_capacity(broker_count);
         for b in 0..broker_count {
             let mut txs = Vec::with_capacity(cfg.shards);
@@ -1001,7 +1170,17 @@ impl Runtime {
                 txs.push(tx);
                 rxs.push(rx);
             }
-            router.set(ActorId(b), Route::Broker { shards: txs });
+            let link = match cfg.transport {
+                TransportKind::Mpsc => None,
+                TransportKind::Tcp => {
+                    let link = transport::spawn_link(b, router.clone(), Arc::clone(&stats))
+                        .map_err(RtError::Thread)?;
+                    let tx = link.tx.clone();
+                    links.push(link);
+                    Some(tx)
+                }
+            };
+            router.set(ActorId(b), Route::Broker { shards: txs, link });
             inboxes.push(rxs);
         }
 
@@ -1102,6 +1281,7 @@ impl Runtime {
             supervisor,
             notice_tx,
             subscriber_threads: Vec::new(),
+            links,
             next_filter: 0,
             trace,
             profiler,
@@ -1206,7 +1386,24 @@ impl Runtime {
     /// [`RtError::PlacementTimeout`] if the walk does not finish within
     /// the configured timeout.
     pub fn add_subscriber(&mut self, filter: Filter) -> Result<RtSubscriberHandle, RtError> {
-        self.add_subscriber_inner(vec![filter], false)
+        self.add_subscriber_inner(vec![filter], false, None)
+    }
+
+    /// Adds a subscriber whose accepted deliveries are *also* forwarded,
+    /// in acceptance order, into `tap` — the bridge the remote-access
+    /// layer ([`crate::remote`]) uses to stream matched events out to
+    /// another process. Delivery accounting (exactly-once dedup, latency
+    /// histogram) is unchanged; the tap sees each accepted envelope once.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::add_subscriber`].
+    pub fn add_subscriber_tapped(
+        &mut self,
+        filter: Filter,
+        tap: Sender<Envelope>,
+    ) -> Result<RtSubscriberHandle, RtError> {
+        self.add_subscriber_inner(vec![filter], false, Some(tap))
     }
 
     /// Adds a *durable* subscriber: the hosting broker appends the
@@ -1227,7 +1424,7 @@ impl Runtime {
         &mut self,
         filter: Filter,
     ) -> Result<RtSubscriberHandle, RtError> {
-        self.add_subscriber_inner(vec![filter], true)
+        self.add_subscriber_inner(vec![filter], true, None)
     }
 
     /// Adds a subscriber with a disjunctive subscription, spawns its
@@ -1242,13 +1439,14 @@ impl Runtime {
         &mut self,
         filters: Vec<Filter>,
     ) -> Result<RtSubscriberHandle, RtError> {
-        self.add_subscriber_inner(filters, false)
+        self.add_subscriber_inner(filters, false, None)
     }
 
     fn add_subscriber_inner(
         &mut self,
         filters: Vec<Filter>,
         durable: bool,
+        tap: Option<Sender<Envelope>>,
     ) -> Result<RtSubscriberHandle, RtError> {
         let branches = topology::standardize_branches(&self.registry, filters, self.next_filter)
             .map_err(RtError::Filter)?;
@@ -1269,7 +1467,18 @@ impl Runtime {
         node.set_store_envelopes(true);
 
         let (tx, rx) = channel();
-        self.router.set(id, Route::Subscriber { tx });
+        let link = match self.cfg.transport {
+            TransportKind::Mpsc => None,
+            TransportKind::Tcp => {
+                let link =
+                    transport::spawn_link(id.0, self.router.clone(), Arc::clone(&self.stats))
+                        .map_err(RtError::Thread)?;
+                let link_tx = link.tx.clone();
+                self.links.push(link);
+                Some(link_tx)
+            }
+        };
+        self.router.set(id, Route::Subscriber { tx, link });
         let placed = Arc::new(AtomicBool::new(false));
         let heartbeat = self
             .stats
@@ -1286,6 +1495,7 @@ impl Runtime {
             placed: Arc::clone(&placed),
             heartbeat,
             notices: self.notice_tx.clone(),
+            tap,
         };
         let handle = spawn_subscriber(env, node, rx).map_err(RtError::Thread)?;
         self.subscriber_threads.push(SubscriberThread {
@@ -1508,6 +1718,12 @@ impl Runtime {
             }
         }
 
+        // Every node thread has drained and joined; nothing useful can
+        // still be in flight on a link socket.
+        for link in std::mem::take(&mut self.links) {
+            link.close();
+        }
+
         if flush_wals {
             // Subscribers batch acknowledgements (`ACK_EVERY` plus a
             // flush timer); at a graceful shutdown the tail of a batch
@@ -1561,15 +1777,31 @@ impl Runtime {
         node
     }
 
+    /// Sends the shutdown poison pill to one node shard. On the TCP
+    /// transport the pill rides the link's FIFO behind every frame
+    /// already queued there, preserving the drain-before-exit teardown
+    /// invariant the mpsc channels give for free.
     fn poison(&self, id: ActorId, shard: usize) {
         let routes = self.router.read_routes();
         match routes.get(id.0) {
-            Some(Some(Route::Broker { shards })) => {
-                let _ = shards[shard].send(RtEvent::Shutdown);
-            }
-            Some(Some(Route::Subscriber { tx })) => {
-                let _ = tx.send(RtEvent::Shutdown);
-            }
+            Some(Some(Route::Broker { shards, link })) => match link {
+                Some(link) => {
+                    let _ = link.send(LinkCmd::Shutdown {
+                        shard: shard as u32,
+                    });
+                }
+                None => {
+                    let _ = shards[shard].send(RtEvent::Shutdown);
+                }
+            },
+            Some(Some(Route::Subscriber { tx, link })) => match link {
+                Some(link) => {
+                    let _ = link.send(LinkCmd::Shutdown { shard: 0 });
+                }
+                None => {
+                    let _ = tx.send(RtEvent::Shutdown);
+                }
+            },
             _ => {}
         }
     }
@@ -1676,7 +1908,7 @@ fn shard_run_loop(
     let me = ActorId(env.b);
     let shard = Some((env.shard, env.count));
     let mut timers: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
-    let mut decoder = FrameDecoder::new();
+    let mut decoder = LinkDecoder::new(env.router.codec);
     let mut frame_counter = 0u64;
     let mut received = 0u64;
     loop {
@@ -1780,6 +2012,9 @@ struct SubEnv {
     placed: Arc<AtomicBool>,
     heartbeat: Arc<Gauge>,
     notices: Sender<Notice>,
+    /// When set, every accepted delivery is also forwarded here (the
+    /// remote-access bridge); see [`Runtime::add_subscriber_tapped`].
+    tap: Option<Sender<Envelope>>,
 }
 
 fn spawn_subscriber(
@@ -1821,7 +2056,7 @@ fn subscriber_thread_main(
 /// through its node id with shard 0 ([`RtSubscriberHandle::node`]).
 fn sub_run_loop(env: &SubEnv, node: &mut SubscriberNode, rx: &Receiver<RtEvent>) {
     let mut timers: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
-    let mut decoder = FrameDecoder::new();
+    let mut decoder = LinkDecoder::new(env.router.codec);
     let mut frame_counter = 0u64;
     let mut received = 0u64;
     let after = |node: &mut SubscriberNode, stats: &RtStats| {
@@ -1833,6 +2068,9 @@ fn sub_run_loop(env: &SubEnv, node: &mut SubscriberNode, rx: &Receiver<RtEvent>)
                 stats.record_latency_ns(nanos_since(env.epoch).saturating_sub(tc.published_at));
             }
             stats.inc_delivered();
+            if let Some(tap) = &env.tap {
+                let _ = tap.send(env_msg);
+            }
         }
     };
     loop {
@@ -1947,17 +2185,15 @@ fn rebuild_broker(
     broker.set_stage_profiler(Arc::clone(&shared.profiler));
     let prefix = shared.router.ctrl_prefix(b);
     let replayed = prefix.len() as u64;
-    let mut decoder = FrameDecoder::new();
+    let mut decoder = LinkDecoder::new(shared.router.codec);
     let mut ctx = MutedCtx {
         me: ActorId(b),
         epoch: shared.router.epoch,
     };
     for bytes in prefix {
         decoder.push(&bytes);
-        while let Ok(Some(payload)) = decoder.next_frame() {
-            if let Ok((from, msg)) = wire::decode(&payload) {
-                broker.on_message(from, msg, &mut ctx);
-            }
+        while let Ok(Some((from, msg))) = decoder.next_msg() {
+            broker.on_message(from, msg, &mut ctx);
         }
     }
     Ok((broker, replayed))
@@ -2062,19 +2298,28 @@ pub(crate) fn perform_restart(
     }
 }
 
-/// Pushes one channel message's bytes through the frame decoder and
+/// Pushes one channel message's bytes through the link decoder and
 /// feeds every complete wire message to the node. Corrupt frames are
-/// counted and the buffered remainder discarded.
+/// counted and the buffered remainder discarded (the learned attribute
+/// dictionary survives the reset — only framing state is poisoned).
 ///
 /// On a sampled frame the per-stage pipeline costs are recorded:
 /// ingress wait (sender's enqueue stamp → now), decode (deframe +
 /// deserialize, per wire message), and match (the state-machine step,
 /// minus the time its own sends spent encoding and enqueuing — those
 /// are reported as `Encode`/`EgressSend` by the nested dispatch).
+///
+/// Externally published events are re-stamped here, at root ingress
+/// dequeue: the wait an event spent behind earlier events in the root
+/// inbox goes into `rt.queue_wait_ns`, and the trace context's
+/// `published_at` is rebased to *now* so the end-to-end latency
+/// histogram measures pipeline delivery latency rather than publish
+/// backlog. (Experiment E17's "268 ms p50 at one shard" was backlog —
+/// an open-loop publisher queueing faster than one shard drains.)
 #[allow(clippy::too_many_arguments)]
 fn feed_node<N: Node>(
     node: &mut N,
-    decoder: &mut FrameDecoder,
+    decoder: &mut LinkDecoder,
     bytes: &[u8],
     enqueued_ns: u64,
     sampled: bool,
@@ -2096,40 +2341,48 @@ fn feed_node<N: Node>(
     decoder.push(bytes);
     loop {
         let decode_timer = sampled.then(Instant::now);
-        match decoder.next_frame() {
-            Ok(Some(payload)) => match wire::decode(&payload) {
-                Ok((from, msg)) => {
-                    if let Some(t0) = decode_timer {
-                        profiler.record(PipelineStage::Decode, elapsed_ns(t0));
-                    }
-                    stats.inc_frames_received();
-                    let mut ctx = RtCtx {
-                        me,
-                        epoch,
-                        router,
-                        stats,
-                        timers: &mut *timers,
-                        speaks,
-                        shard,
-                        profiler,
-                        sampled,
-                        nested_ns: 0,
-                    };
-                    let match_timer = sampled.then(Instant::now);
-                    node.on_message(from, msg, &mut ctx);
-                    if let Some(t0) = match_timer {
-                        profiler.record(
-                            PipelineStage::Match,
-                            elapsed_ns(t0).saturating_sub(ctx.nested_ns),
-                        );
+        match decoder.next_msg() {
+            Ok(Some((from, mut msg))) => {
+                if let Some(t0) = decode_timer {
+                    profiler.record(PipelineStage::Decode, elapsed_ns(t0));
+                }
+                stats.inc_frames_received();
+                if from == EXTERNAL {
+                    if let OverlayMsg::Publish(env) = &mut msg {
+                        if let Some(mut tc) = env.trace() {
+                            let now = nanos_since(epoch);
+                            stats.record_queue_wait_ns(now.saturating_sub(tc.published_at));
+                            tc.published_at = now;
+                            tc.last_hop_at = now;
+                            env.set_trace(Some(tc));
+                        }
                     }
                 }
-                Err(_) => stats.inc_decode_errors(),
-            },
+                let mut ctx = RtCtx {
+                    me,
+                    epoch,
+                    router,
+                    stats,
+                    timers: &mut *timers,
+                    speaks,
+                    shard,
+                    profiler,
+                    sampled,
+                    nested_ns: 0,
+                };
+                let match_timer = sampled.then(Instant::now);
+                node.on_message(from, msg, &mut ctx);
+                if let Some(t0) = match_timer {
+                    profiler.record(
+                        PipelineStage::Match,
+                        elapsed_ns(t0).saturating_sub(ctx.nested_ns),
+                    );
+                }
+            }
             Ok(None) => break,
             Err(_) => {
                 stats.inc_decode_errors();
-                *decoder = FrameDecoder::new();
+                decoder.reset_framing();
                 break;
             }
         }

@@ -36,6 +36,9 @@ pub struct RtSnapshot {
     pub suppressed_control: u64,
     /// Frames that failed framing or payload decoding.
     pub decode_errors: u64,
+    /// Messages that failed wire encoding (frame cap) and were dropped
+    /// before any send.
+    pub encode_errors: u64,
     /// Node timers that fired.
     pub timers_fired: u64,
     /// Node-thread panics caught by the supervision wrappers.
@@ -56,9 +59,12 @@ pub struct RtSnapshot {
     pub faults_injected: u64,
     /// Events the trace sink sampled (0 when tracing is off).
     pub traced: u64,
-    /// End-to-end delivery latency (publish stamp → subscriber accept),
-    /// nanoseconds. Sampled deliveries only when tracing is on.
+    /// End-to-end delivery latency (root ingress dequeue → subscriber
+    /// accept), nanoseconds. Sampled deliveries only when tracing is on.
     pub latency_ns: Histogram,
+    /// Publish-queue wait (publish stamp → root ingress dequeue),
+    /// nanoseconds — the backlog component excluded from `latency_ns`.
+    pub queue_wait_ns: Histogram,
     /// Supervised restart durations (crash noticed → replacement live,
     /// backoff included), nanoseconds — the runtime's MTTR distribution.
     pub restart_ns: Histogram,
@@ -90,6 +96,7 @@ impl std::fmt::Display for RtSnapshot {
             ("frames_received", self.frames_received),
             ("suppressed_control", self.suppressed_control),
             ("decode_errors", self.decode_errors),
+            ("encode_errors", self.encode_errors),
             ("timers_fired", self.timers_fired),
             ("panics", self.panics),
             ("restarts", self.restarts),
@@ -120,6 +127,9 @@ impl std::fmt::Display for RtSnapshot {
         };
         if !self.latency_ns.is_empty() {
             push_hist(&mut hist_rows, "rt.latency_ns", &self.latency_ns);
+        }
+        if !self.queue_wait_ns.is_empty() {
+            push_hist(&mut hist_rows, "rt.queue_wait_ns", &self.queue_wait_ns);
         }
         if !self.restart_ns.is_empty() {
             push_hist(&mut hist_rows, "rt.restart_ns", &self.restart_ns);
@@ -162,6 +172,7 @@ mod tests {
             frames_received: 40,
             suppressed_control: 2,
             decode_errors: 0,
+            encode_errors: 0,
             timers_fired: 3,
             panics: 1,
             restarts: 1,
@@ -172,6 +183,7 @@ mod tests {
             faults_injected: 1,
             traced: 5,
             latency_ns: latency,
+            queue_wait_ns: Histogram::new(),
             restart_ns: Histogram::new(),
             stages: vec![
                 HistogramSample {

@@ -40,6 +40,7 @@ pub struct RtStats {
     frames_received: Arc<ShardedCounter>,
     suppressed_control: Arc<ShardedCounter>,
     decode_errors: Arc<ShardedCounter>,
+    encode_errors: Arc<ShardedCounter>,
     timers_fired: Arc<ShardedCounter>,
     panics: Arc<ShardedCounter>,
     restarts: Arc<ShardedCounter>,
@@ -49,6 +50,7 @@ pub struct RtStats {
     frames_requeued: Arc<ShardedCounter>,
     faults_injected: Arc<ShardedCounter>,
     latency_ns: Arc<ShardedHistogram>,
+    queue_wait_ns: Arc<ShardedHistogram>,
     restart_ns: Arc<ShardedHistogram>,
 }
 
@@ -71,6 +73,7 @@ impl RtStats {
             frames_received: registry.counter("rt.frames_received"),
             suppressed_control: registry.counter("rt.suppressed_control"),
             decode_errors: registry.counter("rt.decode_errors"),
+            encode_errors: registry.counter("rt.encode_errors"),
             timers_fired: registry.counter("rt.timers_fired"),
             panics: registry.counter("rt.panics"),
             restarts: registry.counter("rt.restarts"),
@@ -80,6 +83,7 @@ impl RtStats {
             frames_requeued: registry.counter("rt.frames_requeued"),
             faults_injected: registry.counter("rt.faults_injected"),
             latency_ns: registry.histogram("rt.latency_ns"),
+            queue_wait_ns: registry.histogram("rt.queue_wait_ns"),
             restart_ns: registry.histogram("rt.restart_ns"),
             registry,
         }
@@ -118,12 +122,20 @@ impl RtStats {
         self.decode_errors.inc();
     }
 
+    pub(crate) fn inc_encode_errors(&self) {
+        self.encode_errors.inc();
+    }
+
     pub(crate) fn inc_timers_fired(&self) {
         self.timers_fired.inc();
     }
 
     pub(crate) fn record_latency_ns(&self, ns: u64) {
         self.latency_ns.record(ns);
+    }
+
+    pub(crate) fn record_queue_wait_ns(&self, ns: u64) {
+        self.queue_wait_ns.record(ns);
     }
 
     pub(crate) fn inc_panics(&self) {
@@ -210,6 +222,14 @@ impl RtStats {
         self.decode_errors.get()
     }
 
+    /// Messages that failed wire encoding (frame cap exceeded) and were
+    /// never sent. Always zero for well-formed workloads; nonzero means
+    /// a protocol-scale bug, surfaced as a counter instead of a panic.
+    #[must_use]
+    pub fn encode_errors(&self) -> u64 {
+        self.encode_errors.get()
+    }
+
     /// Node timers that fired.
     #[must_use]
     pub fn timers_fired(&self) -> u64 {
@@ -273,6 +293,18 @@ impl RtStats {
     #[must_use]
     pub fn latency_histogram(&self) -> Histogram {
         self.latency_ns.merged()
+    }
+
+    /// Distribution of publish-queue wait (publish stamp → root-broker
+    /// ingress dequeue), in nanoseconds. This is the backlog component
+    /// the delivery-latency histogram deliberately *excludes*: publish
+    /// stamps are rebased at ingress dequeue so `latency_ns` measures
+    /// pipeline delivery latency, and the wait spent behind earlier
+    /// events in the root inbox is accounted here instead (the E17
+    /// "268 ms p50" artifact was this wait, misread as delivery time).
+    #[must_use]
+    pub fn queue_wait_histogram(&self) -> Histogram {
+        self.queue_wait_ns.merged()
     }
 
     /// Distribution of supervised restart durations (crash noticed →

@@ -1,25 +1,62 @@
-//! The runtime's wire format: one length-prefixed frame per message,
-//! whose payload is the JSON encoding of `{"from": <node id>, "msg":
-//! <OverlayMsg>}`.
+//! The runtime's wire format: one length-prefixed frame per message.
 //!
-//! Every hop in the runtime pays this full cycle — serialize, frame,
+//! Two payload codecs sit behind the same framing ([`WireCodec`]):
+//!
+//! * **Binary** (the default) — a [`layercake_event::KIND_MSG`] byte,
+//!   the sender id as a varint, then the [`BinCodec`] encoding of the
+//!   overlay message. Attribute names travel as interned ids through the
+//!   connection's [`EncodeDict`]/[`DecodeDict`]; in-process links run
+//!   the dictionary in [`DictMode::Shared`] (the global interner *is*
+//!   the dictionary), cross-process links negotiate a dense id space via
+//!   [`layercake_event::KIND_DICT`] frames emitted ahead of the first
+//!   message that references a new name.
+//! * **Json** — the PR 5 format, `{"from": <id>, "msg": <OverlayMsg>}`,
+//!   kept selectable through [`crate::RtConfig`] as the baseline the
+//!   E17/E21 experiments compare against.
+//!
+//! Every hop in the runtime pays the full cycle — serialize, frame,
 //! deframe, deserialize — so the measured throughput includes the real
 //! marshalling cost the deterministic simulator only models. The sender
-//! id rides inside the frame because OS channels, unlike the simulator's
-//! scheduler, do not carry provenance.
+//! id rides inside the frame because OS channels and sockets, unlike the
+//! simulator's scheduler, do not carry provenance.
+//!
+//! Encoding appends into a caller-supplied buffer ([`encode_msg_into`])
+//! so per-connection writers and the dispatch hot path reuse one
+//! allocation across messages; nothing on the encode path panics — the
+//! frame-cap check that used to `expect()` now surfaces as a
+//! [`WireError`].
 
-use layercake_event::{encode_frame, FrameDecoder, FrameError};
+use std::cell::RefCell;
+
+use layercake_event::{
+    write_varint, BinCodec, CodecError, DecodeDict, DictMode, EncodeDict, FrameDecoder, FrameError,
+    WireReader, FRAME_HEADER_LEN, HELLO_MAGIC, KIND_DICT, KIND_HELLO, KIND_MSG, MAX_FRAME_PAYLOAD,
+};
 use layercake_overlay::OverlayMsg;
 use layercake_sim::ActorId;
 use serde::{DeError, Deserialize, Serialize, Value};
 
-/// Errors surfaced while decoding an incoming byte stream.
+/// Which payload encoding a runtime's links speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireCodec {
+    /// Tagged JSON objects — the original wire format, kept as the
+    /// measured baseline.
+    Json,
+    /// The compact binary codec: varints, tag bytes, dictionary-interned
+    /// attribute names.
+    #[default]
+    Binary,
+}
+
+/// Errors surfaced while encoding or decoding the byte stream.
 #[derive(Debug)]
 pub enum WireError {
     /// The framing layer rejected the stream (oversized or truncated).
     Frame(FrameError),
-    /// A frame's payload was not a valid wire message.
+    /// A frame's payload was not a valid JSON wire message.
     Decode(DeError),
+    /// A frame's payload was not a valid binary wire message.
+    Codec(CodecError),
 }
 
 impl std::fmt::Display for WireError {
@@ -27,6 +64,7 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::Frame(e) => write!(f, "framing error: {e}"),
             WireError::Decode(e) => write!(f, "payload decode error: {e}"),
+            WireError::Codec(e) => write!(f, "binary codec error: {e}"),
         }
     }
 }
@@ -39,7 +77,13 @@ impl From<FrameError> for WireError {
     }
 }
 
-/// The frame payload: a message plus its sender's node id.
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Codec(e)
+    }
+}
+
+/// The JSON frame payload: a message plus its sender's node id.
 struct WireMsg {
     from: u64,
     msg: OverlayMsg,
@@ -63,85 +107,448 @@ impl Deserialize for WireMsg {
     }
 }
 
-/// Encodes one wire message: serialize `{from, msg}` to JSON, then wrap
-/// it in a length-prefixed frame.
-///
-/// # Panics
-///
-/// Panics if the message serializes to more than the 16 MiB frame cap —
-/// a protocol bug, not an input condition (event payloads are bounded
-/// far below it).
-#[must_use]
-pub fn encode(from: ActorId, msg: &OverlayMsg) -> Vec<u8> {
-    // Cloning the message is cheap: envelope bodies are Arc-shared, so
-    // only the serialization below walks the payload bytes.
-    let wire = WireMsg {
-        from: from.0 as u64,
-        msg: msg.clone(),
-    };
-    let json = serde_json::to_vec(&wire).expect("wire message serializes");
-    encode_frame(&json).expect("wire message fits the frame cap")
-}
-
-/// Decodes one frame payload back into `(sender, message)`.
-///
-/// # Errors
-///
-/// Returns [`WireError::Decode`] when the payload is not valid JSON or
-/// not a tagged wire object.
-pub fn decode(payload: &[u8]) -> Result<(ActorId, OverlayMsg), WireError> {
-    let wire: WireMsg = serde_json::from_slice(payload)
-        .map_err(|e| WireError::Decode(DeError::msg(e.to_string())))?;
-    Ok((ActorId(wire.from as usize), wire.msg))
-}
-
-/// Drains every complete frame currently buffered in `decoder`, decoding
-/// each into `(sender, message)`.
-///
-/// # Errors
-///
-/// Returns the first framing or payload error; earlier good messages are
-/// already in the returned vector's place — the caller drops the link.
-pub fn drain(decoder: &mut FrameDecoder) -> Result<Vec<(ActorId, OverlayMsg)>, WireError> {
-    let mut out = Vec::new();
-    while let Some(payload) = decoder.next_frame()? {
-        out.push(decode(&payload)?);
+/// Patches the 4-byte length header at `header_at` to cover everything
+/// appended after it, or reports the frame-cap violation (truncating the
+/// buffer back so a failed encode leaves no partial frame behind).
+fn close_frame(out: &mut Vec<u8>, header_at: usize) -> Result<(), WireError> {
+    let len = out.len() - header_at - FRAME_HEADER_LEN;
+    if len > MAX_FRAME_PAYLOAD {
+        out.truncate(header_at);
+        return Err(WireError::Frame(FrameError::Oversized {
+            len,
+            max: MAX_FRAME_PAYLOAD,
+        }));
     }
+    out[header_at..header_at + FRAME_HEADER_LEN].copy_from_slice(&(len as u32).to_le_bytes());
+    Ok(())
+}
+
+/// Encodes one wire message as a length-prefixed frame appended to `out`,
+/// preceded by a dictionary-update frame when the encode just assigned
+/// wire ids the peer has not learned yet (negotiated dictionaries only;
+/// a shared dictionary never pends updates).
+///
+/// The message is encoded in place behind a length placeholder, so the
+/// steady state allocates nothing once `out` has grown to the working
+/// frame size.
+///
+/// # Errors
+///
+/// [`WireError::Frame`] when the payload exceeds the 16 MiB frame cap
+/// (`out` is restored, no partial frame is left behind).
+pub fn encode_msg_into(
+    codec: WireCodec,
+    from: ActorId,
+    msg: &OverlayMsg,
+    dict: &mut EncodeDict,
+    out: &mut Vec<u8>,
+) -> Result<(), WireError> {
+    let start = out.len();
+    match codec {
+        WireCodec::Json => {
+            let wire = WireMsg {
+                from: from.0 as u64,
+                msg: msg.clone(),
+            };
+            let header_at = out.len();
+            out.extend_from_slice(&[0u8; FRAME_HEADER_LEN]);
+            // The JSON stub serializes through an owned Value tree, so
+            // this path keeps its inner allocations — it exists as the
+            // baseline codec, not the fast one.
+            out.extend_from_slice(&serde_json::to_vec(&wire).expect("wire message serializes"));
+            close_frame(out, header_at)
+        }
+        WireCodec::Binary => {
+            let header_at = out.len();
+            out.extend_from_slice(&[0u8; FRAME_HEADER_LEN]);
+            out.push(KIND_MSG);
+            write_varint(out, from.0 as u64);
+            msg.encode_bin(out, dict);
+            if let Err(e) = close_frame(out, header_at) {
+                out.truncate(start);
+                return Err(e);
+            }
+            if dict.has_pending() {
+                // First use of some attribute names on this connection:
+                // announce their wire ids in a dictionary frame spliced
+                // *before* the message that references them. Rare by
+                // construction (once per name per connection), so the
+                // O(frame) splice never shows on the hot path.
+                let pending = dict.take_pending();
+                let mut update = Vec::with_capacity(FRAME_HEADER_LEN + 8 * pending.len());
+                update.extend_from_slice(&[0u8; FRAME_HEADER_LEN]);
+                layercake_event::encode_dict_update(&pending, &mut update);
+                close_frame(&mut update, 0)?;
+                out.splice(header_at..header_at, update);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Encodes one message into a fresh buffer — the convenience form of
+/// [`encode_msg_into`] for cold paths and tests.
+///
+/// # Errors
+///
+/// As [`encode_msg_into`].
+pub fn encode_msg(
+    codec: WireCodec,
+    from: ActorId,
+    msg: &OverlayMsg,
+    dict: &mut EncodeDict,
+) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::new();
+    encode_msg_into(codec, from, msg, dict, &mut out)?;
     Ok(out)
+}
+
+/// A framed connection handshake: magic bytes plus the sender's
+/// dictionary mode, sent once at connection open by cross-process peers.
+#[must_use]
+pub fn encode_hello(mode: DictMode) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + 5);
+    out.extend_from_slice(&[0u8; FRAME_HEADER_LEN]);
+    out.push(KIND_HELLO);
+    out.extend_from_slice(&HELLO_MAGIC);
+    out.push(match mode {
+        DictMode::Shared => 0,
+        DictMode::Negotiated => 1,
+    });
+    close_frame(&mut out, 0).expect("hello frame is 5 bytes");
+    out
+}
+
+thread_local! {
+    /// Per-thread reusable encode state for the in-process dispatch hot
+    /// path: dispatch is called from every node thread, and in-process
+    /// links always run the shared dictionary, so one `(dict, buffer)`
+    /// pair per thread serves every destination without locking.
+    static DISPATCH_BUF: RefCell<(EncodeDict, Vec<u8>)> =
+        RefCell::new((EncodeDict::new(DictMode::Shared), Vec::with_capacity(256)));
+}
+
+/// Encodes one message for the router's dispatch path, reusing a
+/// thread-local buffer for the encode itself; the returned `Vec` is
+/// sized exactly to the frame (channel ownership needs an owned buffer,
+/// but the working buffer's growth is amortized away).
+///
+/// # Errors
+///
+/// As [`encode_msg_into`].
+pub(crate) fn encode_for_dispatch(
+    codec: WireCodec,
+    from: ActorId,
+    msg: &OverlayMsg,
+) -> Result<Vec<u8>, WireError> {
+    DISPATCH_BUF.with(|cell| {
+        let (dict, buf) = &mut *cell.borrow_mut();
+        buf.clear();
+        encode_msg_into(codec, from, msg, dict, buf)?;
+        Ok(buf.as_slice().to_vec())
+    })
+}
+
+/// Decodes one frame payload back into `(sender, message)`, or consumes
+/// it as connection control (`Ok(None)`): dictionary updates mutate
+/// `dict`, handshakes are validated and absorbed.
+///
+/// # Errors
+///
+/// [`WireError::Codec`] / [`WireError::Decode`] on malformed payloads;
+/// a bad handshake magic is rejected as a codec error.
+pub fn decode_payload(
+    codec: WireCodec,
+    payload: &[u8],
+    dict: &mut DecodeDict,
+) -> Result<Option<(ActorId, OverlayMsg)>, WireError> {
+    match codec {
+        WireCodec::Json => {
+            let wire: WireMsg = serde_json::from_slice(payload)
+                .map_err(|e| WireError::Decode(DeError::msg(e.to_string())))?;
+            Ok(Some((ActorId(wire.from as usize), wire.msg)))
+        }
+        WireCodec::Binary => {
+            let (&kind, rest) = payload.split_first().ok_or(CodecError::Truncated)?;
+            match kind {
+                KIND_MSG => {
+                    let mut r = WireReader::new(rest);
+                    let raw = r.varint()?;
+                    let from = ActorId(
+                        usize::try_from(raw)
+                            .map_err(|_| CodecError::Invalid("sender id exceeds usize"))?,
+                    );
+                    let msg = OverlayMsg::decode_bin(&mut r, dict)?;
+                    r.expect_end()?;
+                    Ok(Some((from, msg)))
+                }
+                KIND_DICT => {
+                    dict.apply_update(rest)?;
+                    Ok(None)
+                }
+                KIND_HELLO => {
+                    if rest.len() < HELLO_MAGIC.len() || rest[..HELLO_MAGIC.len()] != HELLO_MAGIC {
+                        return Err(CodecError::Invalid("bad handshake magic").into());
+                    }
+                    Ok(None)
+                }
+                t => Err(CodecError::Tag(t).into()),
+            }
+        }
+    }
+}
+
+/// One direction of a link: an incremental frame decoder plus the
+/// connection's decode dictionary, yielding `(sender, message)` pairs
+/// from arbitrarily chunked bytes. Dictionary and handshake frames are
+/// consumed internally.
+#[derive(Debug)]
+pub struct LinkDecoder {
+    codec: WireCodec,
+    dict: DecodeDict,
+    frames: FrameDecoder,
+}
+
+impl LinkDecoder {
+    /// A decoder for an in-process link (shared dictionary).
+    #[must_use]
+    pub fn new(codec: WireCodec) -> Self {
+        Self {
+            codec,
+            dict: DecodeDict::new(DictMode::Shared),
+            frames: FrameDecoder::new(),
+        }
+    }
+
+    /// A decoder for a cross-process link: attribute ids are learned
+    /// from the peer's dictionary-update frames.
+    #[must_use]
+    pub fn negotiated(codec: WireCodec) -> Self {
+        Self {
+            codec,
+            dict: DecodeDict::new(DictMode::Negotiated),
+            frames: FrameDecoder::new(),
+        }
+    }
+
+    /// Appends received bytes to the framing buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.frames.push(bytes);
+    }
+
+    /// Extracts the next decoded message, if a complete one is buffered.
+    /// Control frames (dictionary updates, handshakes) are consumed
+    /// without surfacing.
+    ///
+    /// # Errors
+    ///
+    /// Framing errors are terminal for the stream (the inner decoder
+    /// poisons); payload errors poison nothing — framing boundaries are
+    /// intact, so the caller may count and continue or drop the link.
+    pub fn next_msg(&mut self) -> Result<Option<(ActorId, OverlayMsg)>, WireError> {
+        while let Some(payload) = self.frames.next_frame()? {
+            if let Some(decoded) = decode_payload(self.codec, &payload, &mut self.dict)? {
+                return Ok(Some(decoded));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Declares the stream finished; a buffered partial frame errors.
+    ///
+    /// # Errors
+    ///
+    /// As [`FrameDecoder::finish`].
+    pub fn finish(&self) -> Result<(), WireError> {
+        Ok(self.frames.finish()?)
+    }
+
+    /// Drops buffered framing state after an error, keeping the learned
+    /// dictionary (in-process channels deliver whole frames, so the next
+    /// channel message starts clean; sockets drop the connection
+    /// instead).
+    pub fn reset_framing(&mut self) {
+        self.frames = FrameDecoder::new();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use layercake_event::FrameDecoder;
+    use layercake_event::{event_data, ClassId, Envelope, EventSeq};
+
+    fn deliver_msg() -> OverlayMsg {
+        let meta = event_data! { "wire_rt_region" => 3i64, "wire_rt_symbol" => "Foo" };
+        OverlayMsg::Deliver(Envelope::from_meta(
+            ClassId(2),
+            "WireRt",
+            EventSeq(77),
+            meta,
+        ))
+    }
 
     #[test]
-    fn encode_decode_round_trip() {
-        let msg = OverlayMsg::CreditGrant { consumed_total: 9 };
-        let bytes = encode(ActorId(usize::MAX), &msg);
-        let mut dec = FrameDecoder::new();
-        dec.push(&bytes);
-        let got = drain(&mut dec).unwrap();
-        assert_eq!(got.len(), 1);
-        assert_eq!(got[0].0, ActorId(usize::MAX));
-        assert_eq!(got[0].1, msg);
+    fn both_codecs_round_trip() {
+        for codec in [WireCodec::Json, WireCodec::Binary] {
+            let msg = OverlayMsg::CreditGrant { consumed_total: 9 };
+            let mut dict = EncodeDict::new(DictMode::Shared);
+            let bytes = encode_msg(codec, ActorId(usize::MAX), &msg, &mut dict).unwrap();
+            let mut dec = LinkDecoder::new(codec);
+            dec.push(&bytes);
+            let (from, back) = dec.next_msg().unwrap().expect("one message");
+            assert_eq!(from, ActorId(usize::MAX));
+            assert_eq!(back, msg);
+            assert!(dec.next_msg().unwrap().is_none());
+            dec.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn binary_frames_are_smaller_than_json() {
+        let msg = deliver_msg();
+        let mut dict = EncodeDict::new(DictMode::Shared);
+        let bin = encode_msg(WireCodec::Binary, ActorId(1), &msg, &mut dict).unwrap();
+        let json = encode_msg(WireCodec::Json, ActorId(1), &msg, &mut dict).unwrap();
+        assert!(
+            bin.len() * 2 <= json.len(),
+            "binary {} vs json {}",
+            bin.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn reused_buffer_accumulates_frames() {
+        let mut dict = EncodeDict::new(DictMode::Shared);
+        let mut buf = Vec::new();
+        encode_msg_into(
+            WireCodec::Binary,
+            ActorId(1),
+            &OverlayMsg::Renew,
+            &mut dict,
+            &mut buf,
+        )
+        .unwrap();
+        let first = buf.len();
+        encode_msg_into(
+            WireCodec::Binary,
+            ActorId(2),
+            &deliver_msg(),
+            &mut dict,
+            &mut buf,
+        )
+        .unwrap();
+        assert!(buf.len() > first);
+        let mut dec = LinkDecoder::new(WireCodec::Binary);
+        dec.push(&buf);
+        assert_eq!(dec.next_msg().unwrap().unwrap().0, ActorId(1));
+        assert_eq!(dec.next_msg().unwrap().unwrap().1, deliver_msg());
         dec.finish().unwrap();
     }
 
     #[test]
-    fn garbage_payload_is_a_decode_error() {
-        let framed = layercake_event::encode_frame(b"not json").unwrap();
-        let mut dec = FrameDecoder::new();
+    fn negotiated_dict_update_precedes_the_message() {
+        let mut dict = EncodeDict::new(DictMode::Negotiated);
+        let bytes = encode_msg(WireCodec::Binary, ActorId(3), &deliver_msg(), &mut dict).unwrap();
+        // A fresh negotiated decoder can only succeed if the dictionary
+        // frame arrives before the message referencing it.
+        let mut dec = LinkDecoder::negotiated(WireCodec::Binary);
+        dec.push(&bytes);
+        let (from, msg) = dec.next_msg().unwrap().expect("message after dict update");
+        assert_eq!(from, ActorId(3));
+        assert_eq!(msg, deliver_msg());
+        // Second message re-uses the learned ids: no further dict frame.
+        let again = encode_msg(WireCodec::Binary, ActorId(3), &deliver_msg(), &mut dict).unwrap();
+        assert!(again.len() < bytes.len());
+        dec.push(&again);
+        assert_eq!(dec.next_msg().unwrap().unwrap().1, deliver_msg());
+    }
+
+    #[test]
+    fn hello_frames_are_absorbed() {
+        let mut dec = LinkDecoder::negotiated(WireCodec::Binary);
+        dec.push(&encode_hello(DictMode::Negotiated));
+        assert!(dec.next_msg().unwrap().is_none());
+        let mut dict = EncodeDict::new(DictMode::Shared);
+        dec.push(
+            &encode_msg(WireCodec::Binary, ActorId(1), &OverlayMsg::Renew, &mut dict).unwrap(),
+        );
+        assert_eq!(dec.next_msg().unwrap().unwrap().1, OverlayMsg::Renew);
+    }
+
+    #[test]
+    fn bad_hello_magic_is_rejected() {
+        let mut out = vec![0u8; FRAME_HEADER_LEN];
+        out.push(KIND_HELLO);
+        out.extend_from_slice(b"XX\x01");
+        close_frame(&mut out, 0).unwrap();
+        let mut dec = LinkDecoder::negotiated(WireCodec::Binary);
+        dec.push(&out);
+        assert!(matches!(dec.next_msg(), Err(WireError::Codec(_))));
+    }
+
+    #[test]
+    fn garbage_payload_is_a_decode_error_for_both_codecs() {
+        for (codec, raw) in [
+            (WireCodec::Json, &b"not json"[..]),
+            (WireCodec::Binary, b"\x63\x01"),
+        ] {
+            let framed = layercake_event::encode_frame(raw).unwrap();
+            let mut dec = LinkDecoder::new(codec);
+            dec.push(&framed);
+            assert!(dec.next_msg().is_err());
+        }
+    }
+
+    #[test]
+    fn empty_payload_is_rejected_not_panicking() {
+        let framed = layercake_event::encode_frame(b"").unwrap();
+        let mut dec = LinkDecoder::new(WireCodec::Binary);
         dec.push(&framed);
-        assert!(matches!(drain(&mut dec), Err(WireError::Decode(_))));
+        assert!(matches!(
+            dec.next_msg(),
+            Err(WireError::Codec(CodecError::Truncated))
+        ));
     }
 
     #[test]
     fn truncated_stream_is_a_frame_error_on_finish() {
-        let bytes = encode(ActorId(1), &OverlayMsg::Renew);
-        let mut dec = FrameDecoder::new();
+        let mut dict = EncodeDict::new(DictMode::Shared);
+        let bytes =
+            encode_msg(WireCodec::Binary, ActorId(1), &OverlayMsg::Renew, &mut dict).unwrap();
+        let mut dec = LinkDecoder::new(WireCodec::Binary);
         dec.push(&bytes[..bytes.len() - 1]);
-        assert!(drain(&mut dec).unwrap().is_empty());
+        assert!(dec.next_msg().unwrap().is_none());
         assert!(dec.finish().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_after_a_message_error() {
+        let mut dict = EncodeDict::new(DictMode::Shared);
+        let mut payload = vec![KIND_MSG];
+        write_varint(&mut payload, 1);
+        OverlayMsg::Renew.encode_bin(&mut payload, &mut dict);
+        payload.push(0xAB);
+        let framed = layercake_event::encode_frame(&payload).unwrap();
+        let mut dec = LinkDecoder::new(WireCodec::Binary);
+        dec.push(&framed);
+        assert!(matches!(
+            dec.next_msg(),
+            Err(WireError::Codec(CodecError::Trailing))
+        ));
+    }
+
+    #[test]
+    fn dispatch_buffer_reuse_matches_fresh_encode() {
+        let msg = deliver_msg();
+        let via_tls = encode_for_dispatch(WireCodec::Binary, ActorId(7), &msg).unwrap();
+        let mut dict = EncodeDict::new(DictMode::Shared);
+        let fresh = encode_msg(WireCodec::Binary, ActorId(7), &msg, &mut dict).unwrap();
+        assert_eq!(via_tls, fresh);
+        // And again, exercising the cleared-buffer path.
+        assert_eq!(
+            encode_for_dispatch(WireCodec::Binary, ActorId(7), &msg).unwrap(),
+            fresh
+        );
     }
 }

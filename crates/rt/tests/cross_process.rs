@@ -1,0 +1,129 @@
+//! Cross-process smoke test: a *separate broker process* serves the
+//! remote TCP protocol, and this process drives it end to end —
+//! advertise, subscribe, publish, receive — asserting exactly-once
+//! delivery of the matched set across a real process boundary.
+//!
+//! The binary codec's negotiated attribute dictionary is exercised for
+//! real here: the two processes share no interner, so the first frames
+//! in each direction carry dictionary updates and everything after
+//! references attributes by dense wire id.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use layercake_event::{typed_event, Advertisement, Envelope, EventSeq, StageMap, TypeRegistry};
+use layercake_filter::Filter;
+use layercake_rt::remote::RemoteClient;
+
+// Must match the declaration in `src/bin/broker_child.rs` field for
+// field: both processes register it first, so the class ids agree.
+typed_event! {
+    pub struct CpTick: "CpTick" {
+        level: i64,
+        tag: String,
+    }
+}
+
+struct ChildGuard(Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn broker_in_another_process_delivers_exactly_once() {
+    let mut child = ChildGuard(
+        Command::new(env!("CARGO_BIN_EXE_broker_child"))
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn broker child"),
+    );
+    let stdout = child.0.stdout.take().expect("child stdout");
+    let mut lines = BufReader::new(stdout).lines();
+
+    let port_line = lines
+        .next()
+        .expect("child prints its port")
+        .expect("readable stdout");
+    let port: u16 = port_line
+        .strip_prefix("PORT ")
+        .unwrap_or_else(|| panic!("unexpected child output: {port_line:?}"))
+        .parse()
+        .expect("port parses");
+    let addr: SocketAddr = format!("127.0.0.1:{port}").parse().expect("socket addr");
+
+    let mut registry = TypeRegistry::new();
+    let class = registry
+        .register_event::<CpTick>()
+        .expect("class registers");
+
+    let mut client = RemoteClient::connect(addr).expect("connect to broker child");
+    client
+        .advertise(Advertisement::new(
+            class,
+            StageMap::from_prefixes(&[2, 1]).expect("stage map"),
+        ))
+        .expect("advertise");
+    client
+        .subscribe(
+            Filter::for_class(class).ge("level", 50),
+            Duration::from_secs(10),
+        )
+        .expect("placement confirmed across the process boundary");
+
+    // Publish 100 events; exactly the even-numbered half matches.
+    let total = 100u64;
+    for i in 0..total {
+        let level = if i % 2 == 0 {
+            50 + (i as i64)
+        } else {
+            i as i64 % 50
+        };
+        let env = Envelope::encode(
+            class,
+            EventSeq(i),
+            &CpTick::new(level, format!("t{}", i % 7)),
+        )
+        .expect("envelope encodes");
+        client.publish(env).expect("publish");
+    }
+
+    let mut got: Vec<EventSeq> = Vec::new();
+    while got.len() < 50 {
+        match client
+            .recv_deliver(Duration::from_secs(10))
+            .expect("delivery stream healthy")
+        {
+            Some(env) => got.push(env.seq()),
+            None => panic!("timed out with {} of 50 deliveries", got.len()),
+        }
+    }
+    // Exactly once: the matched set, nothing twice, nothing extra. Give
+    // late duplicates a moment to prove they don't exist.
+    assert!(client
+        .recv_deliver(Duration::from_millis(300))
+        .expect("stream healthy")
+        .is_none());
+    got.sort_unstable();
+    let want: Vec<EventSeq> = (0..total).filter(|i| i % 2 == 0).map(EventSeq).collect();
+    assert_eq!(
+        got, want,
+        "matched set diverged across the process boundary"
+    );
+
+    // Closing the connection ends the child's serve loop; it shuts the
+    // runtime down and reports its own delivered count.
+    drop(client);
+    let done_line = lines
+        .next()
+        .expect("child prints DONE")
+        .expect("readable stdout");
+    assert_eq!(done_line, "DONE 50");
+    let status = child.0.wait().expect("child exits");
+    assert!(status.success(), "broker child exited with {status:?}");
+}
