@@ -21,6 +21,9 @@
 //!   of Figure 6, with a naive scan strategy (the paper's algorithm) and a
 //!   counting-index strategy (the "efficient indexing and matching
 //!   techniques" the paper defers to related work).
+//! * **Aggregation** — [`AggTable`], a refcounted cover forest that
+//!   collapses filters subsumed by an existing cover into shared live
+//!   entries, maintained incrementally under churn (see `agg`).
 //!
 //! # Example (paper Example 1 and 2)
 //!
@@ -44,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod agg;
 mod codec;
 mod cover;
 mod error;
@@ -52,6 +56,7 @@ mod index;
 mod predicate;
 mod weaken;
 
+pub use agg::{AggDelta, AggStats, AggTable};
 pub use cover::{event_covers_for, merge_cover};
 pub use error::FilterError;
 pub use filter::{Filter, FilterId};

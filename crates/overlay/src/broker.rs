@@ -4,7 +4,9 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use layercake_event::{Advertisement, ClassId, Envelope, StageMap, TraceContext, TypeRegistry};
-use layercake_filter::{weaken_to_stage, DestId, Filter, FilterTable, IndexKind};
+use layercake_filter::{
+    weaken_to_stage, AggDelta, AggTable, DestId, Filter, FilterTable, IndexKind,
+};
 use layercake_metrics::{DurabilityStats, NodeRecord, OverloadStats, PipelineStage, StageProfiler};
 use layercake_sim::{ActorId, SimDuration, SimTime};
 use layercake_trace::{HopRecord, HopVerdict, TraceSink, EXTERNAL_SOURCE};
@@ -56,6 +58,105 @@ pub(crate) fn trace_actor(actor: ActorId) -> u64 {
     }
 }
 
+/// The broker's subscription store: one entry per subscription
+/// ([`FilterTable`], the paper's Figure 6 table), or the aggregated cover
+/// forest ([`AggTable`]) when `OverlayConfig::aggregation_enabled` is set.
+/// The wrappers present one read surface to the protocol machine; the two
+/// *write* paths stay distinct because aggregation reports table changes as
+/// live-entry deltas instead of a created/removed bool.
+#[derive(Debug)]
+enum BrokerTable {
+    /// Per-subscription entries (optionally collapsed by covering on
+    /// insert — the `covering_collapse` knob, which discards the covered
+    /// filter instead of keeping it as recoverable bookkeeping).
+    Plain(Box<FilterTable>),
+    /// The refcounted cover forest: covered subscriptions are bookkeeping
+    /// attached to their covering root and only roots are live entries.
+    Agg(Box<AggTable>),
+}
+
+impl BrokerTable {
+    fn new(kind: IndexKind, aggregation: bool) -> Self {
+        if aggregation {
+            BrokerTable::Agg(Box::new(AggTable::new(kind)))
+        } else {
+            BrokerTable::Plain(Box::new(FilterTable::new(kind)))
+        }
+    }
+
+    /// Live entries — the number of filters the match loop evaluates.
+    fn filter_count(&self) -> usize {
+        match self {
+            BrokerTable::Plain(t) => t.filter_count(),
+            BrokerTable::Agg(t) => t.live_entries(),
+        }
+    }
+
+    /// `<filter, dest>` pairs held as covered (non-live) bookkeeping;
+    /// zero for the per-subscription table by definition.
+    fn covered_subs(&self) -> usize {
+        match self {
+            BrokerTable::Plain(_) => 0,
+            BrokerTable::Agg(t) => t.covered_subs(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            BrokerTable::Plain(t) => t.is_empty(),
+            BrokerTable::Agg(t) => t.is_empty(),
+        }
+    }
+
+    /// Whether the table stores any filter for `dest` (live or covered).
+    fn has_dest(&self, dest: DestId) -> bool {
+        match self {
+            BrokerTable::Plain(t) => t.filters_for(dest).next().is_some(),
+            BrokerTable::Agg(t) => t.has_dest(dest),
+        }
+    }
+
+    /// The filters stored for `dest` — exactly the forms a removal must
+    /// name (weakened-to-this-stage; original even when covered).
+    fn filters_for(&self, dest: DestId) -> Box<dyn Iterator<Item = &Filter> + '_> {
+        match self {
+            BrokerTable::Plain(t) => Box::new(t.filters_for(dest)),
+            BrokerTable::Agg(t) => Box::new(t.filters_for(dest)),
+        }
+    }
+
+    /// Live `<filter, id-list>` entries. Id-lists are materialized because
+    /// the aggregated table derives them from refcounts on read.
+    fn entries(&self) -> Box<dyn Iterator<Item = (&Filter, Vec<DestId>)> + '_> {
+        match self {
+            BrokerTable::Plain(t) => Box::new(t.iter().map(|(f, d)| (f, d.to_vec()))),
+            BrokerTable::Agg(t) => Box::new(t.iter()),
+        }
+    }
+
+    /// Strongest live filter covering `f`, with its destinations.
+    fn find_cover(&self, f: &Filter, registry: &TypeRegistry) -> Option<(&Filter, Vec<DestId>)> {
+        match self {
+            BrokerTable::Plain(t) => t.find_cover(f, registry).map(|(c, d)| (c, d.to_vec())),
+            BrokerTable::Agg(t) => t.find_cover(f, registry),
+        }
+    }
+
+    /// Evaluates an event against the live entries (Figure 6's match loop).
+    fn matches(
+        &mut self,
+        class: ClassId,
+        meta: &layercake_event::EventData,
+        registry: &TypeRegistry,
+        out: &mut Vec<DestId>,
+    ) {
+        match self {
+            BrokerTable::Plain(t) => t.matches(class, meta, registry, out),
+            BrokerTable::Agg(t) => t.matches(class, meta, registry, out),
+        }
+    }
+}
+
 /// A broker node at stage ≥ 1 of the hierarchy.
 ///
 /// Brokers store weakened filters in a `<filter, id-list>` table
@@ -71,7 +172,13 @@ pub struct Broker {
     children_set: HashSet<ActorId>,
     registry: Arc<TypeRegistry>,
     stage_maps: HashMap<ClassId, StageMap>,
-    table: FilterTable,
+    table: BrokerTable,
+    /// Aggregation mode only: refcounts over the parent-stage weakened
+    /// forms of the table's *live* roots. Two roots can weaken to the same
+    /// upstream filter, so announcements are sent on the 0→1 edge and
+    /// withdrawn on the 1→0 edge — the aggregated analogue of the plain
+    /// table's `parent_needs` set difference.
+    up_refs: HashMap<Filter, u32>,
     index: IndexKind,
     placement: PlacementPolicy,
     covering_collapse: bool,
@@ -146,6 +253,7 @@ pub(crate) struct BrokerSetup {
     pub placement: PlacementPolicy,
     pub index: IndexKind,
     pub covering_collapse: bool,
+    pub aggregation_enabled: bool,
     pub wildcard_stage_placement: bool,
     pub leases_enabled: bool,
     pub ttl: SimDuration,
@@ -171,7 +279,8 @@ impl Broker {
             children: setup.children,
             registry: setup.registry,
             stage_maps: HashMap::new(),
-            table: FilterTable::new(setup.index),
+            table: BrokerTable::new(setup.index, setup.aggregation_enabled),
+            up_refs: HashMap::new(),
             index: setup.index,
             placement: setup.placement,
             covering_collapse: setup.covering_collapse,
@@ -297,10 +406,20 @@ impl Broker {
         self.parent
     }
 
-    /// Iterates over the broker's `<filter, id-list>` entries (for
-    /// introspection and debugging dumps).
-    pub fn table_entries(&self) -> impl Iterator<Item = (&Filter, &[DestId])> {
-        self.table.iter()
+    /// Iterates over the broker's live `<filter, id-list>` entries (for
+    /// introspection and debugging dumps). Id-lists are materialized
+    /// because the aggregated table derives them from refcounts on read.
+    pub fn table_entries(&self) -> impl Iterator<Item = (&Filter, Vec<DestId>)> {
+        self.table.entries()
+    }
+
+    /// `<filter, dest>` pairs currently held as covered bookkeeping under
+    /// an aggregation root — subscriptions the table tracks without
+    /// spending a live entry on them. Always zero when
+    /// `aggregation_enabled` is off.
+    #[must_use]
+    pub fn covered_subs(&self) -> usize {
+        self.table.covered_subs()
     }
 
     /// The broker's counters as a metrics record.
@@ -455,7 +574,7 @@ impl Broker {
             OverlayMsg::Renew => {
                 let dest = dest_of(from);
                 self.leases.insert(dest, ctx.now() + self.ttl * 3);
-                let known = self.table.filters_for(dest).next().is_some();
+                let known = self.table.has_dest(dest);
                 if self.children_set.contains(&from) {
                     // A child broker only renews while it holds filters; if
                     // we store none for it, our table lost them (crash, or a
@@ -475,11 +594,15 @@ impl Broker {
                 self.remove_with_upstream(&weakened, dest, ctx);
                 if self.covering_collapse {
                     // The subscription may have been folded into a stored
-                    // covering filter; sweep those too.
-                    let registry = Arc::clone(&self.registry);
-                    while self.table.remove_covering(&weakened, dest, &registry) {}
+                    // covering filter; sweep those too. (Mutually exclusive
+                    // with aggregation — the forest tracks covered pairs
+                    // itself, so `remove` above already found them.)
+                    if let BrokerTable::Plain(table) = &mut self.table {
+                        let registry = Arc::clone(&self.registry);
+                        while table.remove_covering(&weakened, dest, &registry) {}
+                    }
                 }
-                if self.table.filters_for(dest).next().is_none() {
+                if !self.table.has_dest(dest) {
                     self.leases.remove(&dest);
                     self.parked.remove(&dest);
                     // An explicit unsubscription also ends the durable
@@ -595,7 +718,8 @@ impl Broker {
         self.durable_sent.clear();
         self.durable_sweep_acked.clear();
         self.durable_replay_hwm.clear();
-        self.table = FilterTable::new(self.index);
+        self.table = BrokerTable::new(self.index, matches!(self.table, BrokerTable::Agg(_)));
+        self.up_refs.clear();
         self.stage_maps.clear();
         self.leases.clear();
         self.parked.clear();
@@ -968,36 +1092,49 @@ impl Broker {
         g.top_stage_using(attr_mg)
     }
 
-    /// Inserts a `<filter, dest>` pair, optionally collapsing into a stored
-    /// covering filter (paper Example 5's "keep only g1"). Returns whether a
-    /// new entry was created.
+    /// Per-subscription mode: inserts a `<filter, dest>` pair, optionally
+    /// collapsing into a stored covering filter (paper Example 5's "keep
+    /// only g1"). Returns whether a new entry was created.
     fn table_insert(&mut self, filter: Filter, dest: DestId) -> bool {
+        let BrokerTable::Plain(table) = &mut self.table else {
+            debug_assert!(false, "table_insert is the per-subscription path");
+            return false;
+        };
         if self.covering_collapse {
-            if let Some((cover, _)) = self.table.find_cover(&filter, &self.registry) {
+            if let Some((cover, _)) = table.find_cover(&filter, &self.registry) {
                 let cover = cover.clone();
-                self.table.insert(cover, dest);
+                table.insert(cover, dest);
                 return false;
             }
         }
-        self.table.insert(filter, dest)
+        table.insert(filter, dest)
     }
 
-    /// INSERT-SUBSCRIBER: store the subscription (weakened to this stage)
-    /// for the subscriber, acknowledge, and propagate a further weakened
-    /// filter to the parent.
-    fn insert_subscriber(&mut self, req: SubscriptionReq, ctx: &mut dyn NodeCtx) {
-        let weakened = self.weaken(&req.filter, self.stage);
-        let dest = dest_of(req.subscriber);
-        let created = self.table_insert(weakened, dest);
-        self.leases.insert(dest, ctx.now() + self.ttl * 3);
-        // Propagate upward *before* acknowledging: the ack is what
-        // releases a blocked `add_subscriber` caller, so the weakened
-        // filter must already be enqueued at the parent when the caller
-        // wakes — otherwise an immediate publish can overtake the
-        // req-Insert into the parent's inbox and miss this subscription.
+    /// Stores a `<filter, dest>` pair (already weakened to this stage) and
+    /// sends the parent whatever announcements the insertion requires. `up`
+    /// is the parent-stage form the per-subscription path announces when a
+    /// new entry appears; the aggregated path ignores it and derives
+    /// announcements from the forest's live-entry delta instead, so a
+    /// covered insert stays entirely local to this broker.
+    fn insert_with_upstream(
+        &mut self,
+        filter: Filter,
+        up: Filter,
+        dest: DestId,
+        ctx: &mut dyn NodeCtx,
+    ) {
+        if matches!(self.table, BrokerTable::Agg(_)) {
+            let registry = Arc::clone(&self.registry);
+            let BrokerTable::Agg(table) = &mut self.table else {
+                unreachable!()
+            };
+            let delta = table.insert(filter, dest, &registry);
+            self.apply_agg_delta(delta, ctx);
+            return;
+        }
+        let created = self.table_insert(filter, dest);
         if created {
             if let Some(parent) = self.parent {
-                let up = self.weaken(&req.filter, self.stage + 1);
                 ctx.send(
                     parent,
                     OverlayMsg::ReqInsert {
@@ -1007,6 +1144,65 @@ impl Broker {
                 );
             }
         }
+    }
+
+    /// Applies a live-entry delta from the aggregated table to the
+    /// refcounted upstream view: newly-live roots are announced to the
+    /// parent, roots that lost their live entry are withdrawn. Additions
+    /// are processed *before* removals — when one operation promotes one
+    /// root and demotes another that weakens to the same upstream form,
+    /// the refcount dips through the insert, never through a coverage gap.
+    fn apply_agg_delta(&mut self, delta: AggDelta, ctx: &mut dyn NodeCtx) {
+        let Some(parent) = self.parent else {
+            return;
+        };
+        for f in delta.added {
+            let up = self.weaken(&f, self.stage + 1).normalized();
+            let count = self.up_refs.entry(up.clone()).or_insert(0);
+            *count += 1;
+            if *count == 1 {
+                ctx.send(
+                    parent,
+                    OverlayMsg::ReqInsert {
+                        filter: up,
+                        child: ctx.me(),
+                    },
+                );
+            }
+        }
+        for f in delta.removed {
+            let up = self.weaken(&f, self.stage + 1).normalized();
+            match self.up_refs.get_mut(&up) {
+                Some(count) if *count > 1 => *count -= 1,
+                Some(_) => {
+                    self.up_refs.remove(&up);
+                    ctx.send(
+                        parent,
+                        OverlayMsg::ReqRemove {
+                            filter: up,
+                            child: ctx.me(),
+                        },
+                    );
+                }
+                None => debug_assert!(false, "withdrawn upstream filter was never announced"),
+            }
+        }
+    }
+
+    /// INSERT-SUBSCRIBER: store the subscription (weakened to this stage)
+    /// for the subscriber, acknowledge, and propagate a further weakened
+    /// filter to the parent.
+    fn insert_subscriber(&mut self, req: SubscriptionReq, ctx: &mut dyn NodeCtx) {
+        let weakened = self.weaken(&req.filter, self.stage);
+        let dest = dest_of(req.subscriber);
+        // Propagate upward *before* acknowledging: the ack is what
+        // releases a blocked `add_subscriber` caller, so the weakened
+        // filter must already be enqueued at the parent when the caller
+        // wakes — otherwise an immediate publish can overtake the
+        // req-Insert into the parent's inbox and miss this subscription.
+        let up = self.weaken(&req.filter, self.stage + 1);
+        self.insert_with_upstream(weakened, up, dest, ctx);
+        self.leases.insert(dest, ctx.now() + self.ttl * 3);
         ctx.send(
             req.subscriber,
             OverlayMsg::AcceptedAt {
@@ -1047,20 +1243,9 @@ impl Broker {
     /// propagate upward unless it collapsed into an existing entry.
     fn insert_child_filter(&mut self, filter: Filter, child: ActorId, ctx: &mut dyn NodeCtx) {
         let dest = dest_of(child);
-        let created = self.table_insert(filter.clone(), dest);
+        let up = self.weaken(&filter, self.stage + 1);
+        self.insert_with_upstream(filter, up, dest, ctx);
         self.leases.insert(dest, ctx.now() + self.ttl * 3);
-        if created {
-            if let Some(parent) = self.parent {
-                let up = self.weaken(&filter, self.stage + 1);
-                ctx.send(
-                    parent,
-                    OverlayMsg::ReqInsert {
-                        filter: up,
-                        child: ctx.me(),
-                    },
-                );
-            }
-        }
     }
 
     /// Figure 6: evaluate the event against every stored filter and forward
@@ -1315,8 +1500,21 @@ impl Broker {
         dest: DestId,
         ctx: &mut dyn NodeCtx,
     ) -> bool {
+        if matches!(self.table, BrokerTable::Agg(_)) {
+            let registry = Arc::clone(&self.registry);
+            let BrokerTable::Agg(table) = &mut self.table else {
+                unreachable!()
+            };
+            let delta = table.remove(filter, dest, &registry);
+            let removed = delta.changed;
+            self.apply_agg_delta(delta, ctx);
+            return removed;
+        }
         let before = self.parent_needs();
-        let removed = self.table.remove(filter, dest);
+        let BrokerTable::Plain(table) = &mut self.table else {
+            unreachable!()
+        };
+        let removed = table.remove(filter, dest);
         if removed {
             if let Some(parent) = self.parent {
                 let after = self.parent_needs();
@@ -1335,15 +1533,19 @@ impl Broker {
     }
 
     /// The set of parent-stage weakened filters this node's table requires
-    /// (normalized for set comparison).
+    /// (normalized for set comparison). In aggregation mode this is the
+    /// refcounted upstream view — one form per announced live root.
     fn parent_needs(&self) -> std::collections::HashSet<Filter> {
         if self.parent.is_none() {
             return std::collections::HashSet::new();
         }
-        self.table
-            .iter()
-            .map(|(f, _)| self.weaken(f, self.stage + 1).normalized())
-            .collect()
+        match &self.table {
+            BrokerTable::Plain(table) => table
+                .iter()
+                .map(|(f, _)| self.weaken(f, self.stage + 1).normalized())
+                .collect(),
+            BrokerTable::Agg(_) => self.up_refs.keys().cloned().collect(),
+        }
     }
 
     /// Weakens a filter to the format of `stage`, using the class's

@@ -38,6 +38,16 @@ pub struct OverlayConfig {
     /// Smaller tables, coarser pre-filtering; end-to-end delivery stays
     /// exact thanks to subscriber-side perfect filtering.
     pub covering_collapse: bool,
+    /// Subscription aggregation (`layercake_filter::AggTable`): broker
+    /// tables keep a refcounted cover forest where filters subsumed by an
+    /// existing cover become bookkeeping children of one shared live entry,
+    /// maintained incrementally under churn and lease expiry. Match cost
+    /// and upstream announcements scale with the number of cover *roots*
+    /// instead of subscriptions; end-to-end delivery stays exact thanks to
+    /// subscriber-side perfect filtering. Mutually exclusive with
+    /// `covering_collapse`, which is the coarser entry-merging strategy
+    /// this subsumes.
+    pub aggregation_enabled: bool,
     /// Whether stage-aware wildcard placement (Section 4.4/4.5) is enabled.
     /// When disabled, wildcard subscriptions descend to stage-1 nodes like
     /// any other — the naive attachment the paper warns about.
@@ -115,6 +125,7 @@ impl Default for OverlayConfig {
             placement: PlacementPolicy::Similarity,
             index: IndexKind::Compiled,
             covering_collapse: false,
+            aggregation_enabled: false,
             wildcard_stage_placement: true,
             ttl: SimDuration::from_ticks(100_000),
             leases_enabled: false,
@@ -170,6 +181,9 @@ impl OverlayConfig {
                     above: w[1],
                 });
             }
+        }
+        if self.aggregation_enabled && self.covering_collapse {
+            return Err(OverlayError::AggregationWithCollapse);
         }
         if self.flow_control_enabled {
             if self.queue_capacity == 0 {
@@ -248,6 +262,28 @@ mod tests {
                 above: 10
             })
         );
+    }
+
+    #[test]
+    fn validation_rejects_aggregation_with_collapse() {
+        use crate::error::OverlayError;
+        let both = OverlayConfig {
+            aggregation_enabled: true,
+            covering_collapse: true,
+            ..OverlayConfig::default()
+        };
+        assert_eq!(both.validate(), Err(OverlayError::AggregationWithCollapse));
+        // Either strategy alone is fine.
+        let agg_only = OverlayConfig {
+            aggregation_enabled: true,
+            ..OverlayConfig::default()
+        };
+        assert!(agg_only.validate().is_ok());
+        let collapse_only = OverlayConfig {
+            covering_collapse: true,
+            ..OverlayConfig::default()
+        };
+        assert!(collapse_only.validate().is_ok());
     }
 
     #[test]

@@ -100,6 +100,7 @@ pub fn build_brokers(
                 placement: cfg.placement,
                 index: cfg.index,
                 covering_collapse: cfg.covering_collapse,
+                aggregation_enabled: cfg.aggregation_enabled,
                 wildcard_stage_placement: cfg.wildcard_stage_placement,
                 leases_enabled: cfg.leases_enabled,
                 ttl: cfg.ttl,

@@ -1,0 +1,254 @@
+//! Subscription-aggregation suite: the aggregated broker table must be an
+//! invisible optimization. For random Zipf-skewed subscription sets under
+//! subscribe/unsubscribe churn, every subscriber's delivery sequence is
+//! identical with aggregation on and off; and an expired covering root
+//! re-promotes its covered children instead of dropping their deliveries.
+
+use std::sync::Arc;
+
+use layercake_event::{event_data, Advertisement, ClassId, Envelope, EventSeq, TypeRegistry};
+use layercake_filter::Filter;
+use layercake_overlay::{OverlayConfig, OverlaySim, SubscriberHandle};
+use layercake_sim::SimDuration;
+use layercake_workload::{StockConfig, StockWorkload, SubsConfig, ZipfSubs};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TTL: u64 = 200;
+
+fn stock_sim(aggregation: bool, leases: bool, levels: Vec<usize>) -> (OverlaySim, ClassId) {
+    let mut registry = TypeRegistry::new();
+    let stock = StockWorkload::new(StockConfig::default(), &mut registry);
+    let class = stock.class();
+    let mut sim = OverlaySim::new(
+        OverlayConfig {
+            levels,
+            aggregation_enabled: aggregation,
+            leases_enabled: leases,
+            ttl: SimDuration::from_ticks(TTL),
+            // Symbol-wide subscriptions standardize with a `price`
+            // wildcard; anchor-stage placement would host them above
+            // stage 1 and the covering tests need them co-located with
+            // the narrow filters they cover.
+            wildcard_stage_placement: false,
+            ..OverlayConfig::default()
+        },
+        Arc::new(registry),
+    );
+    sim.advertise(Advertisement::new(class, StockWorkload::stage_map()));
+    sim.settle();
+    (sim, class)
+}
+
+fn publish_quote(sim: &mut OverlaySim, class: ClassId, symbol: &str, price: f64, seq: u64) {
+    let data = event_data! { "symbol" => symbol, "price" => price };
+    sim.publish(Envelope::from_meta(class, "Stock", EventSeq(seq), data));
+}
+
+/// Runs one scripted subscribe/publish/churn/publish scenario and returns
+/// each subscriber's delivery sequence. The script depends only on the
+/// inputs, so an aggregated and a plain run see byte-identical traffic.
+fn run_scenario(
+    aggregation: bool,
+    seed: u64,
+    sub_count: usize,
+    churn: &[usize],
+    events: usize,
+) -> Vec<Vec<EventSeq>> {
+    let (mut sim, class) = stock_sim(aggregation, false, vec![4, 2, 1]);
+    let mut pool = ZipfSubs::new(
+        SubsConfig {
+            groups: 10,
+            buckets: 5,
+            seed,
+            ..SubsConfig::default()
+        },
+        class,
+    );
+    let handles: Vec<SubscriberHandle> = (0..sub_count)
+        .map(|_| {
+            sim.add_subscriber(pool.next_filter())
+                .expect("valid subscription")
+        })
+        .collect();
+    sim.settle();
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let mut seq = 0u64;
+    let mut publish_batch = |sim: &mut OverlaySim, n: usize| {
+        for _ in 0..n {
+            let symbol = StockWorkload::symbol_name(rng.gen_range(0..10));
+            let price = rng.gen_range(0.0..25.0);
+            publish_quote(sim, class, &symbol, price, seq);
+            seq += 1;
+        }
+        sim.settle();
+    };
+
+    publish_batch(&mut sim, events / 2);
+    for &victim in churn {
+        sim.unsubscribe_now(handles[victim % handles.len()]);
+        sim.settle();
+    }
+    publish_batch(&mut sim, events - events / 2);
+
+    handles
+        .iter()
+        .map(|&h| sim.deliveries(h).to_vec())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// With merge weakening off (the default), aggregation must not change
+    /// a single delivery: not the set, not the order.
+    #[test]
+    fn aggregated_delivery_sequences_equal_plain(
+        seed in 0u64..10_000,
+        sub_count in 3usize..20,
+        churn in proptest::collection::vec(0usize..32, 0..8),
+        events in 8usize..32,
+    ) {
+        let plain = run_scenario(false, seed, sub_count, &churn, events);
+        let agg = run_scenario(true, seed, sub_count, &churn, events);
+        prop_assert_eq!(plain, agg);
+    }
+}
+
+/// Aggregation actually collapses the skewed population — the run above
+/// would pass trivially if the feature were a no-op.
+#[test]
+fn skewed_population_collapses_broker_tables() {
+    let live_after = |aggregation: bool| -> (usize, usize) {
+        let (mut sim, class) = stock_sim(aggregation, false, vec![1, 1]);
+        let mut pool = ZipfSubs::new(
+            SubsConfig {
+                groups: 8,
+                buckets: 6,
+                seed: 21,
+                ..SubsConfig::default()
+            },
+            class,
+        );
+        for _ in 0..64 {
+            sim.add_subscriber(pool.next_filter()).expect("valid");
+        }
+        sim.settle();
+        let stage1 = sim.brokers()[0];
+        let broker = sim.broker(stage1).expect("broker");
+        (broker.filter_count(), broker.covered_subs())
+    };
+    let (plain_entries, plain_covered) = live_after(false);
+    let (agg_entries, agg_covered) = live_after(true);
+    assert_eq!(plain_covered, 0);
+    assert!(
+        agg_entries * 2 <= plain_entries,
+        "aggregation should at least halve live entries ({agg_entries} vs {plain_entries})"
+    );
+    assert!(agg_covered > 0, "covered bookkeeping is visible");
+}
+
+/// An expired covering root's children are re-promoted into the live
+/// index — silently dropping the covering subscriber must not take the
+/// covered ones dark.
+#[test]
+fn expired_covering_root_repromotes_children_without_dropping_deliveries() {
+    let (mut sim, class) = stock_sim(true, true, vec![1, 1]);
+    let sym = StockWorkload::symbol_name(0);
+    let wide = sim
+        .add_subscriber(Filter::for_class(class).eq("symbol", sym.clone()))
+        .expect("wide subscription");
+    let narrow_lo = sim
+        .add_subscriber(
+            Filter::for_class(class)
+                .eq("symbol", sym.clone())
+                .lt("price", 8.0),
+        )
+        .expect("narrow subscription");
+    let narrow_hi = sim
+        .add_subscriber(
+            Filter::for_class(class)
+                .eq("symbol", sym.clone())
+                .lt("price", 12.0),
+        )
+        .expect("narrow subscription");
+    sim.run_for(SimDuration::from_ticks(TTL / 2));
+
+    let stage1 = sim.brokers()[0];
+    assert_eq!(
+        sim.broker(stage1).unwrap().filter_count(),
+        1,
+        "the symbol-wide root is the only live entry"
+    );
+    assert_eq!(sim.broker(stage1).unwrap().covered_subs(), 2);
+
+    publish_quote(&mut sim, class, &sym, 5.0, 0);
+    sim.run_for(SimDuration::from_ticks(TTL / 4));
+    for &h in &[wide, narrow_lo, narrow_hi] {
+        assert!(sim.deliveries(h).contains(&EventSeq(0)));
+    }
+
+    // The covering subscriber goes silent; its lease expires and the root
+    // dissolves. The children must be re-promoted, not lost.
+    sim.unsubscribe(wide);
+    sim.run_for(SimDuration::from_ticks(5 * TTL));
+    let broker = sim.broker(stage1).unwrap();
+    assert!(
+        broker.filter_count() >= 1,
+        "re-promoted children keep live entries"
+    );
+    assert!(
+        !broker
+            .table_entries()
+            .any(|(f, _)| f.constraints().iter().any(|c| c.is_wildcard())),
+        "the expired symbol-wide root left the live index"
+    );
+
+    publish_quote(&mut sim, class, &sym, 5.0, 1);
+    sim.run_for(SimDuration::from_ticks(TTL / 2));
+    assert!(!sim.deliveries(wide).contains(&EventSeq(1)));
+    assert!(
+        sim.deliveries(narrow_lo).contains(&EventSeq(1)),
+        "re-promoted child still receives matching events"
+    );
+    assert!(sim.deliveries(narrow_hi).contains(&EventSeq(1)));
+}
+
+/// The mirror-image churn: explicitly unsubscribing the covering root
+/// re-promotes children through the `Unsubscribe` path (not just the
+/// lease sweep), and upstream announcements stay consistent — events
+/// published right after the removal still reach the children through
+/// the root broker.
+#[test]
+fn explicit_root_removal_keeps_children_reachable_through_the_hierarchy() {
+    let (mut sim, class) = stock_sim(true, false, vec![2, 1]);
+    let sym = StockWorkload::symbol_name(3);
+    let wide = sim
+        .add_subscriber(Filter::for_class(class).eq("symbol", sym.clone()))
+        .expect("wide");
+    let narrow = sim
+        .add_subscriber(
+            Filter::for_class(class)
+                .eq("symbol", sym.clone())
+                .lt("price", 9.0),
+        )
+        .expect("narrow");
+    sim.settle();
+
+    publish_quote(&mut sim, class, &sym, 4.0, 0);
+    sim.settle();
+    assert!(sim.deliveries(wide).contains(&EventSeq(0)));
+    assert!(sim.deliveries(narrow).contains(&EventSeq(0)));
+
+    assert!(sim.unsubscribe_now(wide));
+    sim.settle();
+    publish_quote(&mut sim, class, &sym, 4.0, 1);
+    sim.settle();
+    assert!(!sim.deliveries(wide).contains(&EventSeq(1)));
+    assert!(
+        sim.deliveries(narrow).contains(&EventSeq(1)),
+        "withdrawing the covering root must not orphan the covered child"
+    );
+}

@@ -26,7 +26,7 @@
 //! frame is really gone.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 use crate::error::RtError;
@@ -165,6 +165,11 @@ pub(crate) struct FaultState {
     stalls: HashMap<(usize, usize), AtomicU64>,
     /// Per-link drop probability and Bernoulli-stream counter.
     links: HashMap<(usize, usize), (f64, AtomicU64)>,
+    /// Set once teardown begins: the plan models faults against a
+    /// *running, supervised* system, so a storm must not crash a shard
+    /// after the supervisor has been told to stop (nobody would restart
+    /// it and the crash would surface as an unrecovered failure).
+    disarmed: AtomicBool,
 }
 
 impl FaultState {
@@ -192,12 +197,32 @@ impl FaultState {
             panics,
             stalls,
             links,
+            disarmed: AtomicBool::new(false),
         }
+    }
+
+    /// Stops all further injection. Called when runtime teardown
+    /// begins: the shards processed during the poison sweep run with
+    /// the supervisor already stopped, so an injected panic there
+    /// would be unrecoverable by construction rather than by the
+    /// scenario under test.
+    pub(crate) fn disarm(&self) {
+        self.disarmed.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the plan ever arms per-shard faults (panics or stalls).
+    /// The supervisor uses this to decide if its shutdown sweep needs a
+    /// grace window for exit notices from panics still unwinding.
+    pub(crate) fn injects_shard_faults(&self) -> bool {
+        !self.shards.is_empty()
     }
 
     /// Consulted by a broker shard thread for each received frame
     /// (`count` is the generation-local 1-based frame number).
     pub(crate) fn frame_action(&self, broker: usize, shard: usize, count: u64) -> FaultAction {
+        if self.disarmed.load(Ordering::Relaxed) {
+            return FaultAction::Pass;
+        }
         let key = (broker, shard);
         let Some(f) = self.shards.get(&key) else {
             return FaultAction::Pass;
@@ -231,6 +256,9 @@ impl FaultState {
     /// dropped. Draws from the link's seeded Bernoulli stream; links
     /// without a configured fault never consult the RNG.
     pub(crate) fn should_drop(&self, from: usize, to: usize) -> bool {
+        if self.disarmed.load(Ordering::Relaxed) {
+            return false;
+        }
         let Some((p, counter)) = self.links.get(&(from, to)) else {
             return false;
         };
@@ -275,6 +303,21 @@ mod tests {
         for _ in 0..5 {
             assert!(matches!(state.frame_action(0, 1, 2), FaultAction::Panic));
         }
+    }
+
+    #[test]
+    fn disarm_silences_a_storm_and_link_drops() {
+        let state = FaultState::new(Some(
+            RtFaultPlan::new(7)
+                .panic_shard_every(0, 1, 2)
+                .drop_link(0, 1, 1.0),
+        ));
+        assert!(state.injects_shard_faults());
+        assert!(matches!(state.frame_action(0, 1, 2), FaultAction::Panic));
+        assert!(state.should_drop(0, 1));
+        state.disarm();
+        assert!(matches!(state.frame_action(0, 1, 2), FaultAction::Pass));
+        assert!(!state.should_drop(0, 1));
     }
 
     #[test]

@@ -940,6 +940,8 @@ fn snapshot_from(
         frames_requeued: stats.frames_requeued(),
         faults_injected: stats.faults_injected(),
         traced: trace.map_or(0, TraceSink::traced_count),
+        filter_table_entries: stats.filter_table_entries(),
+        agg_covered_subs: stats.agg_covered_subs(),
         latency_ns: stats.latency_histogram(),
         queue_wait_ns: stats.queue_wait_histogram(),
         restart_ns: stats.restart_histogram(),
@@ -1606,6 +1608,11 @@ impl Runtime {
         // Closed channels are expected from here on — stop counting
         // them as loss.
         self.router.begin_teardown();
+        // Stop injecting faults before stopping the supervisor: a storm
+        // re-arms every generation, and a panic taken once the
+        // supervisor is gone would surface as an unrecovered crash the
+        // scenario never asked for.
+        self.router.fault.disarm();
         // Stop the supervisor first: it force-completes pending restarts
         // (skipping the remaining backoff) so every shard is either live
         // or permanently dead-ended before the poison sweep starts.
@@ -1843,6 +1850,60 @@ enum LoopExit {
     Fenced,
 }
 
+/// Publishes one broker's table shape (live filter entries, covered
+/// aggregation bookkeeping) into the runtime-wide gauges as a *delta
+/// contribution*: each loop iteration adds the change since the last
+/// publish, and dropping the guard retracts everything it contributed.
+/// That makes the gauges correct across panics, fences, and restarts —
+/// a crashed generation's contribution unwinds with its stack, and the
+/// replacement republishes as control replay rebuilds its table. Only
+/// the leader shard publishes (followers hold replica tables of the same
+/// broker; counting them would multiply every entry by the shard count).
+struct TableGauges {
+    entries: Arc<Gauge>,
+    covered: Arc<Gauge>,
+    published_entries: i64,
+    published_covered: i64,
+    active: bool,
+}
+
+impl TableGauges {
+    fn new(env: &ShardEnv) -> Self {
+        Self {
+            entries: env.stats.filter_table_entries_gauge(),
+            covered: env.stats.agg_covered_subs_gauge(),
+            published_entries: 0,
+            published_covered: 0,
+            active: env.speaks,
+        }
+    }
+
+    fn publish(&mut self, broker: &Broker) {
+        if !self.active {
+            return;
+        }
+        let entries = i64::try_from(broker.filter_count()).unwrap_or(i64::MAX);
+        let covered = i64::try_from(broker.covered_subs()).unwrap_or(i64::MAX);
+        if entries != self.published_entries {
+            self.entries.add(entries - self.published_entries);
+            self.published_entries = entries;
+        }
+        if covered != self.published_covered {
+            self.covered.add(covered - self.published_covered);
+            self.published_covered = covered;
+        }
+    }
+}
+
+impl Drop for TableGauges {
+    fn drop(&mut self) {
+        if self.active {
+            self.entries.add(-self.published_entries);
+            self.covered.add(-self.published_covered);
+        }
+    }
+}
+
 fn spawn_shard(
     env: ShardEnv,
     broker: Broker,
@@ -1911,6 +1972,10 @@ fn shard_run_loop(
     let mut decoder = LinkDecoder::new(env.router.codec);
     let mut frame_counter = 0u64;
     let mut received = 0u64;
+    // Declared inside the loop fn so a panic unwinding through
+    // `catch_unwind` in `shard_thread_main` still runs the Drop and
+    // retracts this generation's gauge contribution.
+    let mut table_gauges = TableGauges::new(env);
     loop {
         env.heartbeat.set_max(heartbeat_now(env.epoch));
         if env.fence.load(Ordering::Relaxed) {
@@ -1998,6 +2063,7 @@ fn shard_run_loop(
             env.speaks,
             shard,
         );
+        table_gauges.publish(broker);
     }
 }
 

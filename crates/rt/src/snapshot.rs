@@ -59,6 +59,12 @@ pub struct RtSnapshot {
     pub faults_injected: u64,
     /// Events the trace sink sampled (0 when tracing is off).
     pub traced: u64,
+    /// Live filter-table entries across all broker leaders — the filters
+    /// the match loops actually evaluate per event.
+    pub filter_table_entries: u64,
+    /// Subscriptions held as covered aggregation bookkeeping (no live
+    /// entry of their own); zero with aggregation disabled.
+    pub agg_covered_subs: u64,
     /// End-to-end delivery latency (root ingress dequeue → subscriber
     /// accept), nanoseconds. Sampled deliveries only when tracing is on.
     pub latency_ns: Histogram,
@@ -106,6 +112,8 @@ impl std::fmt::Display for RtSnapshot {
             ("frames_requeued", self.frames_requeued),
             ("faults_injected", self.faults_injected),
             ("traced", self.traced),
+            ("filter_table_entries", self.filter_table_entries),
+            ("agg_covered_subs", self.agg_covered_subs),
         ];
         let rows: Vec<Vec<String>> = counters
             .iter()
@@ -182,6 +190,8 @@ mod tests {
             frames_requeued: 4,
             faults_injected: 1,
             traced: 5,
+            filter_table_entries: 6,
+            agg_covered_subs: 2,
             latency_ns: latency,
             queue_wait_ns: Histogram::new(),
             restart_ns: Histogram::new(),

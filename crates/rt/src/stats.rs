@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use layercake_metrics::{Histogram, ShardedCounter, ShardedHistogram, TelemetryRegistry};
+use layercake_metrics::{Gauge, Histogram, ShardedCounter, ShardedHistogram, TelemetryRegistry};
 
 /// How many cache-padded slots each runtime metric shards across. Node
 /// threads pick distinct slots round-robin, so this bounds the writer
@@ -52,6 +52,12 @@ pub struct RtStats {
     latency_ns: Arc<ShardedHistogram>,
     queue_wait_ns: Arc<ShardedHistogram>,
     restart_ns: Arc<ShardedHistogram>,
+    /// Live filter-table entries summed over all broker leaders — the
+    /// number of filters the match loops actually evaluate.
+    filter_table_entries: Arc<Gauge>,
+    /// Subscriptions held as covered (non-live) aggregation bookkeeping,
+    /// summed over all broker leaders; zero with aggregation disabled.
+    agg_covered_subs: Arc<Gauge>,
 }
 
 impl Default for RtStats {
@@ -85,6 +91,8 @@ impl RtStats {
             latency_ns: registry.histogram("rt.latency_ns"),
             queue_wait_ns: registry.histogram("rt.queue_wait_ns"),
             restart_ns: registry.histogram("rt.restart_ns"),
+            filter_table_entries: registry.gauge("rt.filter_table_entries"),
+            agg_covered_subs: registry.gauge("rt.agg_covered_subs"),
             registry,
         }
     }
@@ -176,6 +184,30 @@ impl RtStats {
 
     pub(crate) fn record_restart_ns(&self, ns: u64) {
         self.restart_ns.record(ns);
+    }
+
+    pub(crate) fn filter_table_entries_gauge(&self) -> Arc<Gauge> {
+        Arc::clone(&self.filter_table_entries)
+    }
+
+    pub(crate) fn agg_covered_subs_gauge(&self) -> Arc<Gauge> {
+        Arc::clone(&self.agg_covered_subs)
+    }
+
+    /// Live filter-table entries across all broker leaders — the sum of
+    /// the filters each broker's match loop evaluates per event. Tracks
+    /// the `rt.filter_table_entries` gauge.
+    #[must_use]
+    pub fn filter_table_entries(&self) -> u64 {
+        u64::try_from(self.filter_table_entries.get()).unwrap_or(0)
+    }
+
+    /// Subscriptions currently held as covered aggregation bookkeeping
+    /// (no live entry of their own) across all broker leaders. Zero with
+    /// `aggregation_enabled` off. Tracks the `rt.agg_covered_subs` gauge.
+    #[must_use]
+    pub fn agg_covered_subs(&self) -> u64 {
+        u64::try_from(self.agg_covered_subs.get()).unwrap_or(0)
     }
 
     /// Events handed to [`crate::Publisher::publish`].

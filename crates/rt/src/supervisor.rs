@@ -42,6 +42,13 @@ use crate::stats::RtStats;
 /// and scan for stalls).
 const SUP_TICK: Duration = Duration::from_millis(10);
 
+/// Extra wait in the stopping supervisor's final notice sweep when the
+/// fault plan arms per-shard faults: a panic injected just before the
+/// plan was disarmed may still be unwinding, and its exit notice must
+/// land while the supervisor can still restart the shard. Plans without
+/// shard faults skip the wait entirely.
+const FAULT_DRAIN_GRACE: Duration = Duration::from_millis(20);
+
 /// Cap on the exponential backoff multiplier: `2^6` — the PR 3 breaker
 /// shape (doubling, capped at 64× base).
 const MAX_BACKOFF_SHIFT: u32 = 6;
@@ -275,7 +282,17 @@ fn supervisor_main(shared: &SupervisorShared, notices: &Receiver<Notice>, stop: 
             }
         }
         if stopping && pending.is_empty() {
-            // One final sweep: a notice may have raced the stop flag.
+            // One final sweep: a notice may have raced the stop flag —
+            // or, under an armed fault plan, a just-injected panic may
+            // still be unwinding toward its exit notice.
+            let grace = if shared.router.fault.injects_shard_faults() {
+                FAULT_DRAIN_GRACE
+            } else {
+                Duration::ZERO
+            };
+            if let Ok(notice) = notices.recv_timeout(grace) {
+                on_notice(shared, notice, &mut pending);
+            }
             while let Ok(notice) = notices.try_recv() {
                 on_notice(shared, notice, &mut pending);
             }

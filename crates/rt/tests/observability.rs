@@ -16,10 +16,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use layercake_event::{Advertisement, TypeRegistry};
+use layercake_filter::Filter;
 use layercake_overlay::{OverlayConfig, OverlaySim};
 use layercake_rt::{RtConfig, RtError, RtSnapshot, Runtime};
 use layercake_trace::EventTrace;
-use layercake_workload::{BiblioConfig, BiblioWorkload};
+use layercake_workload::{BiblioConfig, BiblioWorkload, StockConfig, StockWorkload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -306,6 +307,57 @@ fn metrics_endpoint_serves_prometheus_exposition() {
     assert!(table.contains("published"));
     assert!(table.contains("stage.match_ns"));
 
+    let _ = rt.shutdown();
+}
+
+#[test]
+fn snapshot_and_prometheus_expose_table_shape_gauges() {
+    let mut registry = TypeRegistry::new();
+    let stock = StockWorkload::new(StockConfig::default(), &mut registry);
+    let class = stock.class();
+    let overlay = OverlayConfig {
+        levels: vec![1, 1],
+        aggregation_enabled: true,
+        // Keep the symbol-wide filter co-located with the narrow one it
+        // covers (see the overlay aggregation suite).
+        wildcard_stage_placement: false,
+        ..OverlayConfig::default()
+    };
+    let mut cfg = RtConfig::new(overlay, 1);
+    cfg.metrics_addr = Some("127.0.0.1:0".to_string());
+    let mut rt = Runtime::start(cfg, Arc::new(registry)).unwrap();
+    let addr = rt.metrics_addr().expect("endpoint bound");
+    rt.advertise(Advertisement::new(class, StockWorkload::stage_map()));
+    let sym = StockWorkload::symbol_name(0);
+    rt.add_subscriber(Filter::for_class(class).eq("symbol", sym.clone()))
+        .unwrap();
+    rt.add_subscriber(Filter::for_class(class).eq("symbol", sym).lt("price", 10.0))
+        .unwrap();
+
+    // Subscriptions land asynchronously; poll until the broker leaders
+    // have published the table shape. The wide filter is one live entry
+    // on the stage-1 broker plus its announcement upstream; the narrow
+    // one is covered bookkeeping only.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let snap = loop {
+        let snap = rt.snapshot();
+        if snap.filter_table_entries >= 2 && snap.agg_covered_subs >= 1 {
+            break snap;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "table-shape gauges never published:\n{snap}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(snap.to_string().contains("filter_table_entries"));
+
+    let response = scrape(addr);
+    let body = response.split_once("\r\n\r\n").unwrap().1;
+    assert!(body.contains("# TYPE layercake_rt_filter_table_entries gauge"));
+    assert!(body.contains("# TYPE layercake_rt_agg_covered_subs gauge"));
+    assert!(prom_value(body, "layercake_rt_filter_table_entries ") >= 2);
+    assert!(prom_value(body, "layercake_rt_agg_covered_subs ") >= 1);
     let _ = rt.shutdown();
 }
 

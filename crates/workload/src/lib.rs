@@ -22,7 +22,10 @@ pub mod auction;
 pub mod biblio;
 pub mod sensor;
 pub mod stock;
+mod subs;
 mod zipf;
 
 pub use biblio::{BiblioConfig, BiblioWorkload};
+pub use stock::{StockConfig, StockWorkload};
+pub use subs::{SubsConfig, SubsDomain, ZipfSubs};
 pub use zipf::Zipf;

@@ -1,0 +1,239 @@
+//! Zipf-skewed subscription populations for aggregation experiments.
+//!
+//! Real subscription populations are heavily skewed: a few popular
+//! filters are subscribed by many parties, and near-duplicates differing
+//! only in a threshold abound. This module generates that shape
+//! deterministically over the existing stock and sensor domains, for the
+//! E22 aggregation experiment and the aggregation test suites.
+//!
+//! The population is a finite pool of `groups × buckets` distinct
+//! filters. A *group* pins the domain's equality attribute (a ticker
+//! symbol, a station name); a *bucket* picks one of `buckets` evenly
+//! spaced upper bounds on the domain's numeric attribute. Within a group
+//! the widest bucket covers every narrower one (Definition 2), so a
+//! skewed draw collapses well under covering-based aggregation — exactly
+//! the structure Shi et al. observe in real subscription traces.
+//! Popularity is Zipf-ranked over the pool: rank `r` maps to group
+//! `r / buckets` and bucket `r % buckets`, so low ranks (the popular
+//! mass) concentrate on the first groups.
+//!
+//! Draws are seeded and deterministic: the same [`SubsConfig`] always
+//! yields the same subscription sequence.
+
+use layercake_event::ClassId;
+use layercake_filter::Filter;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::sensor::SensorWorkload;
+use crate::stock::StockWorkload;
+use crate::zipf::Zipf;
+
+/// Which attribute domain the generated filters draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubsDomain {
+    /// `Stock` quotes: `symbol = SYMxxx ∧ price < ceiling`.
+    Stock,
+    /// `Temperature` readings: `station = STxx ∧ celsius < threshold`.
+    Sensor,
+}
+
+/// Configuration for a [`ZipfSubs`] generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubsConfig {
+    /// The attribute domain to draw filters over.
+    pub domain: SubsDomain,
+    /// Number of equality groups (ticker symbols or stations).
+    pub groups: usize,
+    /// Number of threshold buckets per group; bucket `b` bounds the
+    /// numeric attribute at the `(b + 1)`-th step of an even grid, so
+    /// larger buckets cover smaller ones.
+    pub buckets: usize,
+    /// Zipf exponent on filter popularity (`0.0` = uniform draws).
+    pub skew: f64,
+    /// RNG seed; equal seeds yield equal subscription sequences.
+    pub seed: u64,
+}
+
+impl Default for SubsConfig {
+    fn default() -> Self {
+        Self {
+            domain: SubsDomain::Stock,
+            groups: 100,
+            buckets: 8,
+            skew: 1.0,
+            seed: 7,
+        }
+    }
+}
+
+/// A deterministic stream of Zipf-popular subscription filters.
+///
+/// ```
+/// use layercake_event::TypeRegistry;
+/// use layercake_workload::{StockConfig, StockWorkload, SubsConfig, ZipfSubs};
+///
+/// let mut registry = TypeRegistry::new();
+/// let stock = StockWorkload::new(StockConfig::default(), &mut registry);
+/// let mut subs = ZipfSubs::new(SubsConfig::default(), stock.class());
+/// let f = subs.next_filter();
+/// assert!(f.class().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSubs {
+    cfg: SubsConfig,
+    class: ClassId,
+    zipf: Zipf,
+    rng: StdRng,
+}
+
+impl ZipfSubs {
+    /// Creates a generator drawing filters on `class` — the domain's
+    /// event class ([`StockWorkload::class`] or
+    /// [`SensorWorkload::temperature_class`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` or `buckets` is zero, or the skew is negative
+    /// or non-finite (see [`Zipf::new`]).
+    #[must_use]
+    pub fn new(cfg: SubsConfig, class: ClassId) -> Self {
+        assert!(cfg.groups > 0, "subscription pool needs at least one group");
+        assert!(
+            cfg.buckets > 0,
+            "subscription pool needs at least one bucket"
+        );
+        let zipf = Zipf::new(cfg.groups * cfg.buckets, cfg.skew);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Self {
+            cfg,
+            class,
+            zipf,
+            rng,
+        }
+    }
+
+    /// Number of distinct filters in the pool.
+    #[must_use]
+    pub fn population(&self) -> usize {
+        self.cfg.groups * self.cfg.buckets
+    }
+
+    /// The pool filter at `rank` (0 = most popular). Pure: independent of
+    /// the draw state, so tests can enumerate the population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is outside the pool.
+    #[must_use]
+    pub fn filter_at(&self, rank: usize) -> Filter {
+        assert!(rank < self.population(), "rank outside the pool");
+        let group = rank / self.cfg.buckets;
+        let bucket = rank % self.cfg.buckets;
+        let step = (bucket + 1) as f64 / self.cfg.buckets as f64;
+        match self.cfg.domain {
+            SubsDomain::Stock => {
+                // Ceilings span (0, 2×base]: the widest bucket admits
+                // roughly every quote of the random walk, the narrowest
+                // only deep dips.
+                let ceiling = 20.0 * step;
+                Filter::for_class(self.class)
+                    .eq("symbol", StockWorkload::symbol_name(group))
+                    .lt("price", ceiling)
+            }
+            SubsDomain::Sensor => {
+                // Thresholds span the clamped walk range (-30, 45].
+                let threshold = -30.0 + 75.0 * step;
+                Filter::for_class(self.class)
+                    .eq("station", SensorWorkload::station_name(group))
+                    .lt("celsius", threshold)
+            }
+        }
+    }
+
+    /// Draws the next subscription filter.
+    pub fn next_filter(&mut self) -> Filter {
+        let rank = self.zipf.sample(&mut self.rng);
+        self.filter_at(rank)
+    }
+}
+
+impl Iterator for ZipfSubs {
+    type Item = Filter;
+
+    fn next(&mut self) -> Option<Filter> {
+        Some(self.next_filter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensor::{SensorConfig, SensorWorkload};
+    use crate::stock::{StockConfig, StockWorkload};
+    use layercake_event::TypeRegistry;
+
+    fn stock_subs(seed: u64) -> ZipfSubs {
+        let mut registry = TypeRegistry::new();
+        let stock = StockWorkload::new(StockConfig::default(), &mut registry);
+        ZipfSubs::new(
+            SubsConfig {
+                seed,
+                ..SubsConfig::default()
+            },
+            stock.class(),
+        )
+    }
+
+    #[test]
+    fn sequences_are_seed_deterministic() {
+        let a: Vec<Filter> = stock_subs(11).take(200).collect();
+        let b: Vec<Filter> = stock_subs(11).take(200).collect();
+        let c: Vec<Filter> = stock_subs(12).take(200).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn wider_buckets_cover_narrower_ones_within_a_group() {
+        let registry = TypeRegistry::new();
+        let subs = stock_subs(1);
+        // Same group, ascending buckets: each filter covers its
+        // predecessors and no filter of any other group.
+        let narrow = subs.filter_at(0);
+        let wide = subs.filter_at(subs.cfg.buckets - 1);
+        let other_group = subs.filter_at(subs.cfg.buckets);
+        assert!(wide.covers(&narrow, &registry));
+        assert!(!narrow.covers(&wide, &registry));
+        assert!(!wide.covers(&other_group, &registry));
+    }
+
+    #[test]
+    fn skewed_draws_concentrate_on_low_ranks() {
+        let mut subs = stock_subs(3);
+        let head = subs.filter_at(0);
+        let hits = (0..2_000).filter(|_| subs.next_filter() == head).count();
+        // Rank 0 under s=1.0 over an 800-filter pool carries ~14% of the
+        // mass; uniform draws would give 0.125%.
+        assert!(hits > 100, "rank-0 filter drawn only {hits}/2000 times");
+    }
+
+    #[test]
+    fn sensor_domain_draws_station_filters() {
+        let mut registry = TypeRegistry::new();
+        let sensor = SensorWorkload::new(SensorConfig::default(), &mut registry);
+        let mut subs = ZipfSubs::new(
+            SubsConfig {
+                domain: SubsDomain::Sensor,
+                groups: 5,
+                buckets: 4,
+                skew: 1.0,
+                seed: 9,
+            },
+            sensor.temperature_class(),
+        );
+        let f = subs.next_filter();
+        assert_eq!(f.class(), Some(sensor.temperature_class()));
+        assert_eq!(subs.population(), 20);
+    }
+}

@@ -157,6 +157,44 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn uniform_of_zero_ranks_panics() {
+        let _ = Zipf::uniform(0);
+    }
+
+    #[test]
+    fn zero_exponent_is_the_uniform_sampler() {
+        // `s = 0` must behave *identically* to `uniform(n)`, draw for
+        // draw — not just in distribution — so experiments can flip the
+        // skew knob to 0.0 without changing the code path.
+        let z = Zipf::new(64, 0.0);
+        let u = Zipf::uniform(64);
+        for r in 0..64 {
+            assert!((z.pmf(r) - u.pmf(r)).abs() < 1e-15);
+        }
+        let mut rng_z = StdRng::seed_from_u64(99);
+        let mut rng_u = StdRng::seed_from_u64(99);
+        for _ in 0..1_000 {
+            assert_eq!(z.sample(&mut rng_z), u.sample(&mut rng_u));
+        }
+    }
+
+    #[test]
+    fn pinned_sample_sequence_under_fixed_seed() {
+        // Concrete draws pinned so a refactor that silently changes the
+        // CDF construction or the search direction shows up as a diff,
+        // not as mysteriously shifted benchmark numbers.
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(2026);
+        let draws: Vec<usize> = (0..12).map(|_| z.sample(&mut rng)).collect();
+        assert_eq!(draws, pinned_draws());
+    }
+
+    fn pinned_draws() -> Vec<usize> {
+        vec![1, 2, 4, 6, 0, 7, 5, 7, 5, 1, 7, 2]
+    }
+
+    #[test]
     #[should_panic(expected = "exponent")]
     fn negative_exponent_panics() {
         let _ = Zipf::new(3, -1.0);
